@@ -1,0 +1,108 @@
+//! Criterion microbenchmarks for the six tile kernels of Section V-B,
+//! at the paper's inner-block ratio (ib = nb/4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pulsar_linalg::kernels::ApplyTrans;
+use pulsar_linalg::{flops, geqrt, tsmqr, tsqrt, ttmqr, ttqrt, unmqr, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+const SIZES: &[usize] = &[48, 96, 192];
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut g = c.benchmark_group("tile_kernels");
+    for &nb in SIZES {
+        let ib = nb / 4;
+        let a = Matrix::random(nb, nb, &mut rng);
+        let b = Matrix::random(nb, nb, &mut rng);
+
+        g.throughput(Throughput::Elements(flops::geqrt_flops(nb, nb) as u64));
+        g.bench_with_input(BenchmarkId::new("geqrt", nb), &nb, |bch, _| {
+            bch.iter(|| {
+                let mut t = Matrix::zeros(ib, nb);
+                let mut tile = a.clone();
+                geqrt(black_box(&mut tile), &mut t, ib);
+                black_box(tile);
+            })
+        });
+
+        // Prepare a factored tile for the apply benchmarks.
+        let mut v = a.clone();
+        let mut tv = Matrix::zeros(ib, nb);
+        geqrt(&mut v, &mut tv, ib);
+        g.throughput(Throughput::Elements(flops::unmqr_flops(nb, nb, nb) as u64));
+        g.bench_with_input(BenchmarkId::new("unmqr", nb), &nb, |bch, _| {
+            bch.iter(|| {
+                let mut cmat = b.clone();
+                unmqr(&v, &tv, ApplyTrans::Trans, black_box(&mut cmat), ib);
+                black_box(cmat);
+            })
+        });
+
+        let r1 = a.upper_triangle();
+        g.throughput(Throughput::Elements(flops::tsqrt_flops(nb, nb) as u64));
+        g.bench_with_input(BenchmarkId::new("tsqrt", nb), &nb, |bch, _| {
+            bch.iter(|| {
+                let mut a1 = r1.clone();
+                let mut a2 = b.clone();
+                let mut t = Matrix::zeros(ib, nb);
+                tsqrt(black_box(&mut a1), &mut a2, &mut t, ib);
+                black_box((a1, a2));
+            })
+        });
+
+        let mut vts = b.clone();
+        let mut tts = Matrix::zeros(ib, nb);
+        {
+            let mut a1 = r1.clone();
+            tsqrt(&mut a1, &mut vts, &mut tts, ib);
+        }
+        g.throughput(Throughput::Elements(flops::tsmqr_flops(nb, nb, nb) as u64));
+        g.bench_with_input(BenchmarkId::new("tsmqr", nb), &nb, |bch, _| {
+            bch.iter(|| {
+                let mut c1 = a.clone();
+                let mut c2 = b.clone();
+                tsmqr(&mut c1, &mut c2, &vts, &tts, ApplyTrans::Trans, ib);
+                black_box((c1, c2));
+            })
+        });
+
+        let r2 = b.upper_triangle();
+        g.throughput(Throughput::Elements(flops::ttqrt_flops(nb) as u64));
+        g.bench_with_input(BenchmarkId::new("ttqrt", nb), &nb, |bch, _| {
+            bch.iter(|| {
+                let mut a1 = r1.clone();
+                let mut a2 = r2.clone();
+                let mut t = Matrix::zeros(ib, nb);
+                ttqrt(black_box(&mut a1), &mut a2, &mut t, ib);
+                black_box((a1, a2));
+            })
+        });
+
+        let mut vtt = r2.clone();
+        let mut ttt = Matrix::zeros(ib, nb);
+        {
+            let mut a1 = r1.clone();
+            ttqrt(&mut a1, &mut vtt, &mut ttt, ib);
+        }
+        g.throughput(Throughput::Elements(flops::ttmqr_flops(nb, nb) as u64));
+        g.bench_with_input(BenchmarkId::new("ttmqr", nb), &nb, |bch, _| {
+            bch.iter(|| {
+                let mut c1 = a.clone();
+                let mut c2 = b.clone();
+                ttmqr(&mut c1, &mut c2, &vtt, &ttt, ApplyTrans::Trans, ib);
+                black_box((c1, c2));
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_kernels
+}
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Criterion benchmarks for the PULSAR runtime itself: channel throughput,
+//! per-firing overhead, and cross-node proxy latency — the "minimal
+//! scheduling overheads" claim of Section IV-B.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pulsar_runtime::*;
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// A pipeline of `len` trivial VDPs; measures per-firing overhead.
+fn pipeline_run(len: i32, threads: usize, scheme: SchedScheme) -> RunStats {
+    let mut vsa = Vsa::new();
+    for i in 0..len {
+        vsa.add_vdp(VdpSpec::new(
+            Tuple::new1(i),
+            1,
+            1,
+            1,
+            |ctx: &mut VdpContext| {
+                let x: i64 = ctx.pop(0).take();
+                ctx.push(0, Packet::new(x + 1, 8));
+            },
+        ));
+        vsa.add_channel(ChannelSpec::new(8, Tuple::new1(i), 0, Tuple::new1(i + 1), 0));
+    }
+    vsa.seed(Tuple::new1(0), 0, Packet::new(0i64, 8));
+    let out = vsa.run(&RunConfig::smp(threads).with_scheme(scheme));
+    out.stats
+}
+
+fn bench_firing_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime");
+    let len = 2000;
+    g.throughput(Throughput::Elements(len as u64));
+    g.bench_function("pipeline_firings_1thread", |b| {
+        b.iter(|| black_box(pipeline_run(len, 1, SchedScheme::Lazy)))
+    });
+    g.bench_function("pipeline_firings_4threads", |b| {
+        b.iter(|| black_box(pipeline_run(len, 4, SchedScheme::Lazy)))
+    });
+    g.bench_function("pipeline_firings_aggressive", |b| {
+        b.iter(|| black_box(pipeline_run(len, 1, SchedScheme::Aggressive)))
+    });
+    g.finish();
+}
+
+fn bench_multifire_stream(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime_stream");
+    let k = 5000u32;
+    g.throughput(Throughput::Elements(k as u64));
+    g.bench_function("multifire_stream", |b| {
+        b.iter(|| {
+            let mut vsa = Vsa::new();
+            vsa.add_vdp(VdpSpec::new(
+                Tuple::new1(0),
+                k,
+                1,
+                1,
+                |ctx: &mut VdpContext| {
+                    let x: i64 = ctx.pop(0).take();
+                    ctx.push(0, Packet::new(x, 8));
+                },
+            ));
+            vsa.add_channel(ChannelSpec::new(8, Tuple::new1(0), 0, Tuple::new1(1), 0));
+            for i in 0..k {
+                vsa.seed(Tuple::new1(0), 0, Packet::new(i as i64, 8));
+            }
+            black_box(vsa.run(&RunConfig::smp(1)))
+        })
+    });
+    g.finish();
+}
+
+fn bench_proxy_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime_proxy");
+    let hops = 200;
+    g.throughput(Throughput::Elements(hops as u64));
+    g.bench_function("cross_node_hops", |b| {
+        b.iter(|| {
+            let mut vsa = Vsa::new();
+            for i in 0..hops {
+                vsa.add_vdp(VdpSpec::new(
+                    Tuple::new1(i),
+                    1,
+                    1,
+                    1,
+                    |ctx: &mut VdpContext| {
+                        let x: i64 = ctx.pop(0).take();
+                        ctx.push(0, Packet::new(x + 1, 8));
+                    },
+                ));
+                vsa.add_channel(ChannelSpec::new(8, Tuple::new1(i), 0, Tuple::new1(i + 1), 0));
+            }
+            vsa.seed(Tuple::new1(0), 0, Packet::new(0i64, 8));
+            let mapping: MappingFn = Arc::new(|t: &Tuple| Place {
+                node: (t.id(0) % 2) as usize,
+                thread: 0,
+            });
+            black_box(vsa.run(&RunConfig::cluster(2, 1, mapping)))
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_firing_overhead, bench_multifire_stream, bench_proxy_roundtrip
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Ablation (Section VI setup): domain size `h` and tile size `nb` sweeps
+//! for the hierarchical tree at the paper's scale, via the simulator.
+
+use pulsar_core::mapping::RowDist;
+use pulsar_core::plan::Tree;
+use pulsar_core::QrOptions;
+use pulsar_sim::{simulate_tree_qr, Machine, RuntimeModel};
+
+fn main() {
+    let mach = Machine::kraken_cores(9216);
+    let (m, n) = (368_640usize, 4_608usize);
+
+    println!("# h sweep (nb=192, ib=48, m={m}, n={n}, 9216 cores)");
+    println!("{:>6} {:>12} {:>10}", "h", "Gflop/s", "busy");
+    for &h in &[1usize, 2, 3, 6, 12, 24, 48, 96, 1920] {
+        let tree = if h == 1 {
+            Tree::Binary
+        } else if h >= m / 192 {
+            Tree::Flat
+        } else {
+            Tree::BinaryOnFlat { h }
+        };
+        let opts = QrOptions::new(192, 48, tree);
+        let r = simulate_tree_qr(m, n, &opts, RowDist::Block, &mach, RuntimeModel::pulsar());
+        println!("{h:>6} {:>12.0} {:>9.1}%", r.gflops, r.busy_fraction * 100.0);
+    }
+
+    println!("\n# nb sweep (h=6, ib=nb/4)");
+    println!("{:>6} {:>12} {:>10} {:>12}", "nb", "Gflop/s", "busy", "tasks");
+    for &nb in &[96usize, 128, 192, 240, 320, 384] {
+        if m % nb != 0 {
+            continue;
+        }
+        let opts = QrOptions::new(nb, nb / 4, Tree::BinaryOnFlat { h: 6 });
+        let r = simulate_tree_qr(m, n, &opts, RowDist::Block, &mach, RuntimeModel::pulsar());
+        println!("{nb:>6} {:>12.0} {:>9.1}% {:>12}", r.gflops, r.busy_fraction * 100.0, r.tasks);
+    }
+    println!("# paper methodology: nb in {{192, 240}}, ib = 48, h in {{6, 12}}, best-of reported");
+}

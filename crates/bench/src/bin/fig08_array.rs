@@ -1,0 +1,52 @@
+//! Figure 8: the structure of the 3D Virtual Systolic Array for a
+//! hierarchical QR of a 6x3-tile matrix with h = 3 and five threads.
+//!
+//! Prints every VDP (kernel, role, thread assignment) and the channel
+//! counts, mirroring the paper's diagram: red = domain flat reductions,
+//! orange = their trailing updates, blue = binary reductions.
+
+use pulsar_core::mapping::{qr_mapping, RowDist};
+use pulsar_core::plan::{Boundary, PanelOp, QrPlan, Tree};
+use pulsar_core::vsa3d::array_shape;
+use pulsar_runtime::Tuple;
+
+fn color(op: &PanelOp, l: usize, j: usize) -> &'static str {
+    match (op, l == j) {
+        (PanelOp::Ttqrt { .. }, _) => "blue  ",
+        (_, true) => "red   ",
+        (_, false) => "orange",
+    }
+}
+
+fn main() {
+    let plan = QrPlan::new(6, 3, Tree::BinaryOnFlat { h: 3 }, Boundary::Shifted);
+    let threads = 5;
+    let map = qr_mapping(&plan, RowDist::Cyclic, 1, threads);
+
+    println!("# Figure 8: 3D VSA for hierarchical QR, 6x3 tiles, h=3, {threads} threads");
+    let shape = array_shape(&plan);
+    println!("# VDPs: {}   channels: {}   per stage: {:?}", shape.vdps, shape.channels, shape.per_stage);
+    for j in 0..plan.panels() {
+        println!("\n== stage j={j} (panel column {j}) ==");
+        for (q, op) in plan.panel_ops(j).iter().enumerate() {
+            for l in j..plan.nt {
+                let place = map(&Tuple::new3(j as i32, q as i32, l as i32));
+                let kernel = if l == j {
+                    op.factor_kernel()
+                } else {
+                    op.update_kernel()
+                };
+                println!(
+                    "  vdp ({j},{q},{l})  {}  {:<6} {:<22} thread {}",
+                    color(op, l, j),
+                    kernel,
+                    format!("{op:?}"),
+                    place.thread,
+                );
+            }
+        }
+    }
+    println!("\n# vertical channels broadcast (V,T) along each op's column chain (with bypass);");
+    println!("# horizontal channels move tiles along row chains and on to the next stage;");
+    println!("# a Ttqrt VDP shares its thread with its first child's VDPs (paper Section V-D).");
+}

@@ -1,0 +1,55 @@
+//! Figure 10: asymptotic scaling of tree-based QR.
+//!
+//! Gflop/s vs number of rows `m` for a tall-and-skinny matrix with
+//! `n = 4,608` columns on 9,216 Kraken cores, comparing the flat tree, the
+//! binary tree, and the hierarchical (binary-on-flat) tree. Following the
+//! paper's methodology, each configuration is run with `nb` ∈ {192, 240},
+//! `ib = 48`, and `h` ∈ {6, 12} for the hierarchical tree, reporting the
+//! best result.
+
+use pulsar_core::mapping::RowDist;
+use pulsar_core::plan::Tree;
+use pulsar_core::QrOptions;
+use pulsar_sim::{simulate_tree_qr, Machine, RuntimeModel};
+
+fn best_gflops(m: usize, n: usize, mach: &Machine, tree_family: &str) -> f64 {
+    let mut best = 0.0f64;
+    for &nb in &[192usize, 240] {
+        if m % nb != 0 {
+            continue;
+        }
+        let trees: Vec<Tree> = match tree_family {
+            "flat" => vec![Tree::Flat],
+            "binary" => vec![Tree::Binary],
+            "hierarchical" => vec![
+                Tree::BinaryOnFlat { h: 6 },
+                Tree::BinaryOnFlat { h: 12 },
+            ],
+            _ => unreachable!(),
+        };
+        for tree in trees {
+            let opts = QrOptions::new(nb, 48, tree);
+            let r = simulate_tree_qr(m, n, &opts, RowDist::Block, mach, RuntimeModel::pulsar());
+            best = best.max(r.gflops);
+        }
+    }
+    best
+}
+
+fn main() {
+    let mach = Machine::kraken_cores(9216);
+    let n = 4_608;
+    println!("# Figure 10: asymptotic tree-based QR scaling (n = {n}, 9K cores)");
+    println!(
+        "# machine: {} nodes x {} cores (Kraken XT5 model), best of nb in {{192,240}}, ib=48, h in {{6,12}}",
+        mach.nodes, mach.cores_per_node
+    );
+    println!("{:>10} {:>14} {:>14} {:>14}", "m", "Hierarchical", "Binary", "Flat");
+    for &m in &[23_040usize, 92_160, 184_320, 368_640, 737_280] {
+        let hier = best_gflops(m, n, &mach, "hierarchical");
+        let bin = best_gflops(m, n, &mach, "binary");
+        let flat = best_gflops(m, n, &mach, "flat");
+        println!("{m:>10} {hier:>14.0} {bin:>14.0} {flat:>14.0}");
+    }
+    println!("# paper (measured, Gflop/s at m=737K): hierarchical ~11000 > binary > flat (~2000 plateau)");
+}

@@ -1,0 +1,40 @@
+//! Weak scaling (Section II): fix the per-node workload (block rows per
+//! node) and grow the machine. The paper motivates weak scaling with the
+//! memory argument — strong scaling a growing problem exhausts node
+//! memory, weak scaling partitions both data and computation — so this
+//! harness also reports the per-node matrix footprint, which must stay
+//! constant along the sweep.
+
+use pulsar_core::mapping::RowDist;
+use pulsar_core::plan::Tree;
+use pulsar_core::QrOptions;
+use pulsar_sim::{build_tree_qr_graph, simulate, Machine, RuntimeModel};
+
+fn main() {
+    let nb = 192;
+    let n = 4_608;
+    let rows_per_node = 30; // 30 block rows/node ~ 0.9 GB/node with n=4608
+    println!("# Weak scaling: {rows_per_node} block rows per node (nb={nb}), n={n}, hierarchical h=6");
+    println!(
+        "{:>7} {:>10} {:>12} {:>14} {:>14} {:>12}",
+        "nodes", "cores", "m", "Gflop/s", "Gflop/s/node", "GB/node"
+    );
+    let mut prev_per_node = f64::INFINITY;
+    for &nodes in &[12usize, 24, 48, 96, 192, 384, 768] {
+        let mach = Machine::kraken(nodes);
+        let m = rows_per_node * nodes * nb;
+        let opts = QrOptions::new(nb, 48, Tree::BinaryOnFlat { h: 6 });
+        let g = build_tree_qr_graph(m, n, &opts, RowDist::Block, &mach, RuntimeModel::pulsar());
+        let r = simulate(&g, &mach);
+        let per_node = r.gflops / nodes as f64;
+        println!(
+            "{nodes:>7} {:>10} {m:>12} {:>14.0} {:>14.1} {:>12.3}",
+            nodes * mach.cores_per_node,
+            r.gflops,
+            per_node,
+            g.peak_node_bytes as f64 / 1e9,
+        );
+        prev_per_node = prev_per_node.min(per_node);
+    }
+    println!("# per-node memory is constant by construction; per-node Gflop/s decay = weak-scaling loss");
+}

@@ -1,0 +1,143 @@
+//! Minimal `--key value` argument parsing (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    opts: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parse from an iterator of arguments (excluding the program name).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
+        let mut it = args.into_iter();
+        let command = it.next().ok_or("missing subcommand")?;
+        if command.starts_with("--") {
+            return Err(format!("expected a subcommand, got option {command}"));
+        }
+        let mut opts = HashMap::new();
+        while let Some(key) = it.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                return Err(format!("expected --option, got {key}"));
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| format!("option --{name} needs a value"))?;
+            if opts.insert(name.to_string(), value).is_some() {
+                return Err(format!("option --{name} given twice"));
+            }
+        }
+        Ok(Args { command, opts })
+    }
+
+    /// Look up an option's raw value.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.opts.get(name).map(String::as_str)
+    }
+
+    /// A required parsed value.
+    pub fn req<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
+        self.get(name)
+            .ok_or_else(|| format!("missing required option --{name}"))?
+            .parse()
+            .map_err(|_| format!("could not parse --{name}"))
+    }
+
+    /// An optional parsed value with a default.
+    pub fn opt<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("could not parse --{name}")),
+        }
+    }
+
+    /// Reject unknown options (call after reading all known ones).
+    pub fn ensure_known(&self, known: &[&str]) -> Result<(), String> {
+        for k in self.opts.keys() {
+            if !known.contains(&k.as_str()) {
+                return Err(format!("unknown option --{k} for `{}`", self.command));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parse a tree spec: `flat`, `binary`, `greedy`, `hier:H`, or a
+/// comma-separated custom domain list like `domains:3,2,1`.
+pub fn parse_tree(s: &str) -> Result<pulsar_core::Tree, String> {
+    use pulsar_core::Tree;
+    match s {
+        "flat" => Ok(Tree::Flat),
+        "binary" => Ok(Tree::Binary),
+        "greedy" => Ok(Tree::Greedy),
+        _ => {
+            if let Some(h) = s.strip_prefix("hier:") {
+                let h: usize = h.parse().map_err(|_| format!("bad h in {s}"))?;
+                if h == 0 {
+                    return Err("h must be positive".into());
+                }
+                Ok(Tree::BinaryOnFlat { h })
+            } else if let Some(list) = s.strip_prefix("domains:") {
+                let sizes: Result<Vec<usize>, _> = list.split(',').map(str::parse).collect();
+                let sizes = sizes.map_err(|_| format!("bad domain list in {s}"))?;
+                if sizes.is_empty() || sizes.contains(&0) {
+                    return Err("domain sizes must be positive".into());
+                }
+                Ok(Tree::custom(sizes))
+            } else {
+                Err(format!(
+                    "unknown tree `{s}` (use flat | binary | greedy | hier:H | domains:a,b,...)"
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pulsar_core::Tree;
+
+    fn args(v: &[&str]) -> Result<Args, String> {
+        Args::parse(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let a = args(&["factor", "--rows", "128", "--tree", "hier:6"]).unwrap();
+        assert_eq!(a.command, "factor");
+        assert_eq!(a.req::<usize>("rows").unwrap(), 128);
+        assert_eq!(a.opt::<usize>("cols", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(args(&[]).is_err());
+        assert!(args(&["--rows", "1"]).is_err());
+        assert!(args(&["factor", "rows"]).is_err());
+        assert!(args(&["factor", "--rows"]).is_err());
+        assert!(args(&["factor", "--rows", "1", "--rows", "2"]).is_err());
+    }
+
+    #[test]
+    fn unknown_options_detected() {
+        let a = args(&["factor", "--bogus", "1"]).unwrap();
+        assert!(a.ensure_known(&["rows", "cols"]).is_err());
+        assert!(a.ensure_known(&["bogus"]).is_ok());
+    }
+
+    #[test]
+    fn tree_specs() {
+        assert_eq!(parse_tree("flat").unwrap(), Tree::Flat);
+        assert_eq!(parse_tree("binary").unwrap(), Tree::Binary);
+        assert_eq!(parse_tree("greedy").unwrap(), Tree::Greedy);
+        assert_eq!(parse_tree("hier:12").unwrap(), Tree::BinaryOnFlat { h: 12 });
+        assert_eq!(parse_tree("domains:3,2").unwrap(), Tree::custom([3, 2]));
+        assert!(parse_tree("hier:0").is_err());
+        assert!(parse_tree("domains:3,0").is_err());
+        assert!(parse_tree("nope").is_err());
+    }
+}

@@ -1,0 +1,396 @@
+//! The CLI subcommands. Each returns its report as a `String` so the whole
+//! surface is unit-testable without capturing stdout.
+
+use crate::args::{parse_tree, Args};
+use pulsar_core::mapping::{qr_mapping, RowDist};
+use pulsar_core::plan::Tree;
+use pulsar_core::QrOptions;
+use pulsar_linalg::{flops, Matrix};
+use pulsar_runtime::{NetModel, RunConfig};
+use pulsar_sim::{Machine, RuntimeModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Top-level usage text.
+pub fn usage() -> String {
+    "\
+pulsar-qr — tree-based QR on a virtual systolic array
+
+USAGE: pulsar-qr <command> [--option value]...
+
+COMMANDS
+  factor    factorize a random tall-skinny matrix on the runtime and verify
+            --rows N --cols N [--nb 64] [--ib nb/4] [--tree hier:4]
+            [--threads 4] [--nodes 1] [--engine vsa3d|compact|domino|seq]
+            [--seed 42] [--net seastar]
+  ls        solve a random least-squares problem, report residuals/cond
+            --rows N --cols N [--rhs 1] [--nb 64] [--ib nb/4]
+            [--tree hier:4] [--threads 4] [--seed 42]
+  simulate  model a factorization on a Kraken-like machine (paper Figs 10/11)
+            --m N --n N --cores N [--nb 192] [--ib 48] [--tree hier:6]
+            [--dist block|cyclic] [--runtime pulsar|parsec]
+  tune      rank candidate trees on the machine model
+            --m N --n N --cores N [--nb 192] [--ib 48]
+  cholesky  factor a random SPD matrix on the runtime and verify
+            --n N [--nb 64] [--threads 4] [--seed 42]
+TREES: flat | binary | greedy | hier:H | domains:a,b,...
+"
+    .to_string()
+}
+
+/// Dispatch a parsed command line.
+pub fn run(args: &Args) -> Result<String, String> {
+    match args.command.as_str() {
+        "factor" => factor(args),
+        "ls" => least_squares(args),
+        "simulate" => simulate(args),
+        "tune" => tune(args),
+        "cholesky" => cholesky(args),
+        "help" | "--help" => Ok(usage()),
+        other => Err(format!("unknown command `{other}`\n\n{}", usage())),
+    }
+}
+
+fn opts_from(args: &Args, default_nb: usize, default_tree: Tree) -> Result<QrOptions, String> {
+    let nb: usize = args.opt("nb", default_nb)?;
+    if nb == 0 {
+        return Err("--nb must be positive".into());
+    }
+    let ib: usize = args.opt("ib", (nb / 4).max(1))?;
+    let tree = match args.get("tree") {
+        Some(s) => parse_tree(s)?,
+        None => default_tree,
+    };
+    Ok(QrOptions::new(nb, ib, tree))
+}
+
+fn factor(args: &Args) -> Result<String, String> {
+    args.ensure_known(&[
+        "rows", "cols", "nb", "ib", "tree", "threads", "nodes", "engine", "seed", "net",
+    ])?;
+    let m: usize = args.req("rows")?;
+    let n: usize = args.req("cols")?;
+    let opts = opts_from(args, 64, Tree::BinaryOnFlat { h: 4 })?;
+    if m % opts.nb != 0 {
+        return Err(format!("--rows must be a multiple of nb ({})", opts.nb));
+    }
+    let threads: usize = args.opt("threads", 4)?;
+    let nodes: usize = args.opt("nodes", 1)?;
+    let engine: String = args.opt("engine", "vsa3d".to_string())?;
+    let seed: u64 = args.opt("seed", 42)?;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = Matrix::random(m, n, &mut rng);
+    let mut config = if nodes <= 1 {
+        RunConfig::smp(threads)
+    } else {
+        let plan = opts.plan(m / opts.nb, n.div_ceil(opts.nb));
+        RunConfig::cluster(nodes, threads, qr_mapping(&plan, RowDist::Block, nodes, threads))
+    };
+    if args.get("net") == Some("seastar") {
+        config = config.with_net(NetModel::seastar2());
+    }
+
+    let t0 = Instant::now();
+    let (factors, stats) = match engine.as_str() {
+        "vsa3d" => {
+            let r = pulsar_core::vsa3d::tile_qr_vsa(&a, &opts, &config);
+            (r.factors, Some(r.stats))
+        }
+        "compact" => {
+            let r = pulsar_core::vsa_compact::tile_qr_compact(&a, &opts, &config);
+            (r.factors, Some(r.stats))
+        }
+        "domino" => {
+            let r = pulsar_core::domino::tile_qr_domino(&a, &opts, &config);
+            (r.factors, Some(r.stats))
+        }
+        "seq" => (pulsar_core::tile_qr_seq(&a, &opts), None),
+        other => return Err(format!("unknown engine `{other}`")),
+    };
+    let dt = t0.elapsed().as_secs_f64();
+
+    let mut out = String::new();
+    writeln!(out, "factor {m}x{n}  nb={} ib={} tree={:?} engine={engine}", opts.nb, opts.ib, opts.tree).unwrap();
+    writeln!(
+        out,
+        "time {:.1} ms   {:.2} Gflop/s",
+        dt * 1e3,
+        flops::qr_flops(m, n) / dt * 1e-9
+    )
+    .unwrap();
+    if let Some(s) = stats {
+        writeln!(
+            out,
+            "firings {}   remote msgs {}   load imbalance {:.2}",
+            s.fired,
+            s.remote_msgs,
+            s.imbalance()
+        )
+        .unwrap();
+    }
+    let resid = factors.residual(&a);
+    writeln!(out, "residual ||A-QR||/(||A|| max(m,n)) = {resid:.2e}").unwrap();
+    if resid > 1e-12 {
+        return Err(format!("verification FAILED: residual {resid:.2e}\n{out}"));
+    }
+    writeln!(out, "verification OK").unwrap();
+    Ok(out)
+}
+
+fn least_squares(args: &Args) -> Result<String, String> {
+    args.ensure_known(&["rows", "cols", "rhs", "nb", "ib", "tree", "threads", "seed"])?;
+    let m: usize = args.req("rows")?;
+    let n: usize = args.req("cols")?;
+    if m < n {
+        return Err("least squares needs --rows >= --cols".into());
+    }
+    let nrhs: usize = args.opt("rhs", 1)?;
+    let opts = opts_from(args, 64, Tree::BinaryOnFlat { h: 4 })?;
+    if m % opts.nb != 0 {
+        return Err(format!("--rows must be a multiple of nb ({})", opts.nb));
+    }
+    let threads: usize = args.opt("threads", 4)?;
+    let seed: u64 = args.opt("seed", 42)?;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = Matrix::random(m, n, &mut rng);
+    let b = Matrix::random(m, nrhs, &mut rng);
+    let t0 = Instant::now();
+    let sol = pulsar_core::least_squares(&a, &b, &opts, &RunConfig::smp(threads));
+    let dt = t0.elapsed().as_secs_f64();
+
+    let mut out = String::new();
+    writeln!(out, "least squares {m}x{n}, {nrhs} rhs: {:.1} ms", dt * 1e3).unwrap();
+    writeln!(out, "cond(R) estimate: {:.2e}", sol.factors.r_condition_estimate()).unwrap();
+    for (j, r) in sol.residual_norms.iter().enumerate() {
+        writeln!(out, "rhs {j}: ||Ax-b|| = {r:.6e}").unwrap();
+    }
+    // Optimality check: A^T (A x - b) ~ 0.
+    let resid = a.matmul(&sol.x).sub(&b);
+    let atr = a.transpose().matmul(&resid).norm_fro();
+    writeln!(out, "||A^T (Ax-b)|| = {atr:.2e}").unwrap();
+    if atr > 1e-8 * a.norm_fro() * b.norm_fro().max(1.0) {
+        return Err(format!("normal equations not satisfied\n{out}"));
+    }
+    writeln!(out, "verification OK").unwrap();
+    Ok(out)
+}
+
+fn simulate(args: &Args) -> Result<String, String> {
+    args.ensure_known(&["m", "n", "cores", "nb", "ib", "tree", "dist", "runtime"])?;
+    let m: usize = args.req("m")?;
+    let n: usize = args.req("n")?;
+    let cores: usize = args.req("cores")?;
+    let opts = opts_from(args, 192, Tree::BinaryOnFlat { h: 6 })?;
+    if m % opts.nb != 0 {
+        return Err(format!("--m must be a multiple of nb ({})", opts.nb));
+    }
+    let dist = match args.opt("dist", "block".to_string())?.as_str() {
+        "block" => RowDist::Block,
+        "cyclic" => RowDist::Cyclic,
+        other => return Err(format!("unknown dist `{other}`")),
+    };
+    let model = match args.opt("runtime", "pulsar".to_string())?.as_str() {
+        "pulsar" => RuntimeModel::pulsar(),
+        "parsec" => pulsar_sim::baselines::parsec_model(),
+        other => return Err(format!("unknown runtime model `{other}`")),
+    };
+    let mach = Machine::kraken_cores(cores);
+    let g = pulsar_sim::build_tree_qr_graph(m, n, &opts, dist, &mach, model);
+    let cp = g.critical_path_us(&mach);
+    let r = pulsar_sim::simulate(&g, &mach);
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "simulate {m}x{n} on {} nodes x {} cores (Kraken model), tree={:?}",
+        mach.nodes, mach.cores_per_node, opts.tree
+    )
+    .unwrap();
+    writeln!(out, "makespan  {:.3} s   ({:.0} Gflop/s)", r.makespan_s, r.gflops).unwrap();
+    writeln!(out, "critical path lower bound {:.3} s", cp * 1e-6).unwrap();
+    writeln!(
+        out,
+        "tasks {}   busy {:.1}%   remote {} msgs / {:.2} GB   peak node mem {:.2} GB",
+        r.tasks,
+        r.busy_fraction * 100.0,
+        r.remote_messages,
+        r.remote_bytes as f64 / 1e9,
+        g.peak_node_bytes as f64 / 1e9
+    )
+    .unwrap();
+    writeln!(out, "kernel breakdown (busy us):").unwrap();
+    for (k, t) in &r.kernel_breakdown_us {
+        writeln!(out, "  {k:<6} {t:>15.0}").unwrap();
+    }
+    Ok(out)
+}
+
+fn tune(args: &Args) -> Result<String, String> {
+    args.ensure_known(&["m", "n", "cores", "nb", "ib"])?;
+    let m: usize = args.req("m")?;
+    let n: usize = args.req("n")?;
+    let cores: usize = args.req("cores")?;
+    let nb: usize = args.opt("nb", 192)?;
+    let ib: usize = args.opt("ib", (nb / 4).max(1))?;
+    if m % nb != 0 {
+        return Err(format!("--m must be a multiple of nb ({nb})"));
+    }
+    let mach = Machine::kraken_cores(cores);
+    let mt = m / nb;
+    let mut hs = vec![2usize, 3, 6, 12, 24];
+    hs.retain(|&h| h < mt);
+    let report = pulsar_sim::autotune::tune_h(m, n, nb, ib, &mach, RowDist::Block, &hs);
+
+    let mut out = String::new();
+    writeln!(out, "tuning {m}x{n} on {cores} cores (nb={nb}, ib={ib})").unwrap();
+    writeln!(out, "{:<26} {:>12} {:>10}", "tree", "Gflop/s", "time (s)").unwrap();
+    for (tree, r) in &report.ranked {
+        writeln!(out, "{:<26} {:>12.0} {:>10.3}", format!("{tree:?}"), r.gflops, r.makespan_s).unwrap();
+    }
+    writeln!(out, "winner: {:?}", report.best().0).unwrap();
+    Ok(out)
+}
+
+fn cholesky(args: &Args) -> Result<String, String> {
+    args.ensure_known(&["n", "nb", "threads", "seed"])?;
+    let n: usize = args.req("n")?;
+    let nb: usize = args.opt("nb", 64)?;
+    if nb == 0 || n % nb != 0 {
+        return Err(format!("--n must be a positive multiple of nb ({nb})"));
+    }
+    let threads: usize = args.opt("threads", 4)?;
+    let seed: u64 = args.opt("seed", 42)?;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let b = Matrix::random(n, n, &mut rng);
+    let mut a = Matrix::zeros(n, n);
+    pulsar_linalg::blas::dgemm(
+        pulsar_linalg::blas::Trans::No,
+        pulsar_linalg::blas::Trans::Yes,
+        1.0,
+        &b,
+        &b,
+        0.0,
+        &mut a,
+    );
+    for i in 0..n {
+        a[(i, i)] += n as f64;
+    }
+
+    let t0 = Instant::now();
+    let res = pulsar_core::cholesky::tile_cholesky_vsa(&a, nb, &RunConfig::smp(threads));
+    let dt = t0.elapsed().as_secs_f64();
+    let resid = pulsar_core::cholesky::cholesky_residual(&a, &res.l);
+
+    let mut out = String::new();
+    writeln!(out, "cholesky {n}x{n}  nb={nb}  threads={threads}").unwrap();
+    writeln!(
+        out,
+        "time {:.1} ms   {:.2} Gflop/s   {} tasks",
+        dt * 1e3,
+        flops::cholesky_flops(n) / dt * 1e-9,
+        res.stats.fired
+    )
+    .unwrap();
+    writeln!(out, "residual ||A - L L^T||/(||A|| n) = {resid:.2e}").unwrap();
+    if resid > 1e-12 {
+        return Err(format!("verification FAILED\n{out}"));
+    }
+    writeln!(out, "verification OK").unwrap();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_line(line: &[&str]) -> Result<String, String> {
+        let args = Args::parse(line.iter().map(|s| s.to_string()))?;
+        run(&args)
+    }
+
+    #[test]
+    fn factor_smoke() {
+        let out = run_line(&[
+            "factor", "--rows", "32", "--cols", "8", "--nb", "4", "--threads", "2",
+        ])
+        .unwrap();
+        assert!(out.contains("verification OK"), "{out}");
+    }
+
+    #[test]
+    fn factor_all_engines_agree_on_ok() {
+        for engine in ["vsa3d", "compact", "domino", "seq"] {
+            let tree = if engine == "domino" || engine == "compact" {
+                "flat"
+            } else {
+                "hier:2"
+            };
+            let out = run_line(&[
+                "factor", "--rows", "24", "--cols", "8", "--nb", "4", "--engine", engine,
+                "--tree", tree, "--threads", "2",
+            ])
+            .unwrap_or_else(|e| panic!("{engine}: {e}"));
+            assert!(out.contains("verification OK"), "{engine}: {out}");
+        }
+    }
+
+    #[test]
+    fn factor_multinode_with_net() {
+        let out = run_line(&[
+            "factor", "--rows", "32", "--cols", "8", "--nb", "4", "--nodes", "2",
+            "--threads", "2", "--net", "seastar",
+        ])
+        .unwrap();
+        assert!(out.contains("remote msgs"), "{out}");
+        assert!(out.contains("verification OK"));
+    }
+
+    #[test]
+    fn ls_smoke() {
+        let out = run_line(&[
+            "ls", "--rows", "32", "--cols", "8", "--nb", "4", "--rhs", "2", "--threads", "2",
+        ])
+        .unwrap();
+        assert!(out.contains("verification OK"), "{out}");
+        assert!(out.contains("cond(R)"));
+    }
+
+    #[test]
+    fn simulate_smoke() {
+        let out = run_line(&[
+            "simulate", "--m", "9216", "--n", "768", "--cores", "96", "--nb", "192",
+        ])
+        .unwrap();
+        assert!(out.contains("makespan"), "{out}");
+        assert!(out.contains("kernel breakdown"));
+    }
+
+    #[test]
+    fn tune_smoke() {
+        let out = run_line(&["tune", "--m", "9216", "--n", "384", "--cores", "48"]).unwrap();
+        assert!(out.contains("winner:"), "{out}");
+    }
+
+    #[test]
+    fn cholesky_smoke() {
+        let out = run_line(&["cholesky", "--n", "16", "--nb", "4", "--threads", "2"]).unwrap();
+        assert!(out.contains("verification OK"), "{out}");
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(run_line(&["factor"]).unwrap_err().contains("--rows"));
+        assert!(run_line(&["factor", "--rows", "10", "--cols", "4", "--nb", "4"])
+            .unwrap_err()
+            .contains("multiple of nb"));
+        assert!(run_line(&["nope"]).unwrap_err().contains("unknown command"));
+        assert!(run_line(&["factor", "--rows", "8", "--cols", "4", "--zzz", "1"])
+            .unwrap_err()
+            .contains("unknown option"));
+    }
+}

@@ -1,0 +1,10 @@
+//! # pulsar-cli
+//!
+//! Library backing the `pulsar-qr` command-line tool: argument parsing and
+//! the `factor` / `ls` / `simulate` / `tune` subcommands, each returning
+//! its report as a string (unit-testable without process spawning).
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;

@@ -1,0 +1,19 @@
+//! `pulsar-qr`: the command-line driver.
+
+use pulsar_cli::args::Args;
+use pulsar_cli::commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        print!("{}", commands::usage());
+        std::process::exit(2);
+    }
+    match Args::parse(argv).and_then(|a| commands::run(&a)) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Distributed application of `Q`/`Q^T` as a Virtual Systolic Array.
+//!
+//! [`TileQrFactors::apply_qt`](crate::factors::TileQrFactors::apply_qt)
+//! replays the transformation tree sequentially; this module builds a VSA
+//! that streams the right-hand-side row tiles through the same tree on the
+//! runtime — the shape a distributed least-squares solve needs. Each
+//! recorded transformation becomes one VDP; a row tile flows through the
+//! chain of ops touching its block row, in schedule order for `Q^T`
+//! (factorization direction) and in reverse for `Q`.
+
+use crate::factors::{Reflectors, TileQrFactors};
+use crate::plan::PanelOp;
+use pulsar_linalg::kernels::ApplyTrans;
+use pulsar_linalg::{tsmqr, ttmqr, unmqr, Matrix};
+use pulsar_runtime::{ChannelSpec, Packet, RunConfig, Tuple, VdpContext, VdpSpec, Vsa};
+use std::sync::Arc;
+
+fn vdp_tuple(k: usize) -> Tuple {
+    Tuple::new2(0, k as i32)
+}
+
+fn exit_tuple(row: usize) -> Tuple {
+    Tuple::new2(-1, row as i32)
+}
+
+/// One VDP of the apply array: applies a fixed recorded transformation to
+/// the arriving row tile(s).
+struct ApplyVdp {
+    refl: Arc<Reflectors>,
+    trans: ApplyTrans,
+    ib: usize,
+}
+
+impl pulsar_runtime::VdpLogic for ApplyVdp {
+    fn fire(&mut self, ctx: &mut VdpContext<'_>) {
+        let r = &self.refl;
+        match r.op {
+            PanelOp::Geqrt { .. } => {
+                let mut c = ctx.pop(0).into_tile();
+                ctx.kernel("unmqr", || unmqr(&r.v, &r.t, self.trans, &mut c, self.ib));
+                ctx.push(0, Packet::tile(c));
+            }
+            PanelOp::Tsqrt { .. } => {
+                let mut c1 = ctx.pop(0).into_tile();
+                let mut c2 = ctx.pop(1).into_tile();
+                ctx.kernel("tsmqr", || {
+                    tsmqr(&mut c1, &mut c2, &r.v, &r.t, self.trans, self.ib)
+                });
+                ctx.push(0, Packet::tile(c1));
+                ctx.push(1, Packet::tile(c2));
+            }
+            PanelOp::Ttqrt { .. } => {
+                let mut c1 = ctx.pop(0).into_tile();
+                let mut c2 = ctx.pop(1).into_tile();
+                ctx.kernel("ttmqr", || {
+                    ttmqr(&mut c1, &mut c2, &r.v, &r.t, self.trans, self.ib)
+                });
+                ctx.push(0, Packet::tile(c1));
+                ctx.push(1, Packet::tile(c2));
+            }
+        }
+    }
+}
+
+/// Apply `op(Q)` to the `m x k` matrix `b` by streaming its row tiles
+/// through a VSA of the factorization's transformations.
+pub fn apply_q_vsa(
+    factors: &TileQrFactors,
+    b: &Matrix,
+    trans: ApplyTrans,
+    config: &RunConfig,
+) -> Matrix {
+    assert_eq!(b.nrows(), factors.m, "operand row count must match A");
+    assert_eq!(factors.m % factors.nb, 0, "row tiling must be exact");
+    let nb = factors.nb;
+    let mt = factors.m / nb;
+
+    // Flatten the transformation tree into application order.
+    let mut seq: Vec<Arc<Reflectors>> = Vec::new();
+    match trans {
+        ApplyTrans::Trans => {
+            for panel in &factors.panels {
+                seq.extend(panel.iter().cloned().map(Arc::new));
+            }
+        }
+        ApplyTrans::NoTrans => {
+            for panel in factors.panels.iter().rev() {
+                seq.extend(panel.iter().rev().cloned().map(Arc::new));
+            }
+        }
+    }
+
+    // For each block row, the chain of op indices touching it.
+    let touched = |op: &PanelOp, i: usize| op.touches(i);
+    let next_in_seq = |after: Option<usize>, row: usize| -> Option<usize> {
+        let start = after.map_or(0, |k| k + 1);
+        (start..seq.len()).find(|&k| touched(&seq[k].op, row))
+    };
+
+    let tile_bytes = 8 * nb * b.ncols().max(1);
+    let mut vsa = Vsa::new();
+    for (k, refl) in seq.iter().enumerate() {
+        vsa.add_vdp(VdpSpec::new(
+            vdp_tuple(k),
+            1,
+            2,
+            2,
+            ApplyVdp {
+                refl: refl.clone(),
+                trans,
+                ib: factors.ib,
+            },
+        ));
+        // Wire each touched row's outgoing hop.
+        let (prim, sec) = refl.op.rows();
+        let mut rows = vec![prim];
+        if let Some(s) = sec {
+            rows.push(s);
+        }
+        for (slot, row) in rows.into_iter().enumerate() {
+            match next_in_seq(Some(k), row) {
+                Some(k2) => {
+                    let dst_slot = seq[k2].op.role_slot(row);
+                    vsa.add_channel(ChannelSpec::new(
+                        tile_bytes,
+                        vdp_tuple(k),
+                        slot,
+                        vdp_tuple(k2),
+                        dst_slot,
+                    ));
+                }
+                None => {
+                    vsa.add_channel(ChannelSpec::new(
+                        tile_bytes,
+                        vdp_tuple(k),
+                        slot,
+                        exit_tuple(row),
+                        0,
+                    ));
+                }
+            }
+        }
+    }
+
+    // Seed each row tile at its first op (rows untouched by any op pass
+    // through unchanged).
+    let mut passthrough: Vec<Option<Matrix>> = vec![None; mt];
+    for i in 0..mt {
+        let tile = b.submatrix(i * nb, 0, nb, b.ncols());
+        match next_in_seq(None, i) {
+            Some(k0) => {
+                let slot = seq[k0].op.role_slot(i);
+                vsa.seed(vdp_tuple(k0), slot, Packet::tile(tile));
+            }
+            None => passthrough[i] = Some(tile),
+        }
+    }
+
+    let mut out = vsa.run(config);
+    let mut result = Matrix::zeros(factors.m, b.ncols());
+    for (i, pt) in passthrough.into_iter().enumerate() {
+        let tile = match pt {
+            Some(t) => t,
+            None => {
+                let mut p = out.take_exit(exit_tuple(i), 0);
+                assert_eq!(p.len(), 1, "missing result tile for row {i}");
+                p.remove(0).into_tile()
+            }
+        };
+        result.set_submatrix(i * nb, 0, &tile);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Tree;
+    use crate::vsa3d::tile_qr_vsa;
+    use crate::QrOptions;
+
+    fn fixture(tree: Tree) -> (Matrix, TileQrFactors) {
+        let mut rng = rand::rng();
+        let a = Matrix::random(32, 12, &mut rng);
+        let opts = QrOptions::new(4, 2, tree);
+        let f = tile_qr_vsa(&a, &opts, &RunConfig::smp(2)).factors;
+        (a, f)
+    }
+
+    #[test]
+    fn vsa_apply_matches_sequential() {
+        let mut rng = rand::rng();
+        for tree in [Tree::Flat, Tree::Binary, Tree::BinaryOnFlat { h: 3 }] {
+            let (_, f) = fixture(tree.clone());
+            let b = Matrix::random(32, 3, &mut rng);
+            for trans in [ApplyTrans::Trans, ApplyTrans::NoTrans] {
+                let via_vsa = apply_q_vsa(&f, &b, trans, &RunConfig::smp(3));
+                let seq = match trans {
+                    ApplyTrans::Trans => f.apply_qt(&b),
+                    ApplyTrans::NoTrans => f.apply_q(&b),
+                };
+                assert!(
+                    via_vsa.sub(&seq).norm_fro() < 1e-12,
+                    "{tree:?} {trans:?} mismatch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vsa_apply_roundtrip() {
+        let (_, f) = fixture(Tree::BinaryOnFlat { h: 2 });
+        let mut rng = rand::rng();
+        let b = Matrix::random(32, 2, &mut rng);
+        let qt = apply_q_vsa(&f, &b, ApplyTrans::Trans, &RunConfig::smp(2));
+        let back = apply_q_vsa(&f, &qt, ApplyTrans::NoTrans, &RunConfig::smp(2));
+        assert!(back.sub(&b).norm_fro() < 1e-12);
+    }
+
+    #[test]
+    fn vsa_apply_reduces_a_to_r() {
+        // Q^T A must be [R; 0].
+        let (a, f) = fixture(Tree::BinaryOnFlat { h: 3 });
+        let qta = apply_q_vsa(&f, &a, ApplyTrans::Trans, &RunConfig::smp(2));
+        for j in 0..12 {
+            for i in 0..32 {
+                let want = if i <= j.min(11) && i < 12 { f.r[(i, j)] } else { 0.0 };
+                assert!(
+                    (qta[(i, j)] - want).abs() < 1e-11,
+                    "Q^T A mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! The output of a tile tree-QR factorization: `R` plus the tree of
+//! Householder transformations, with `Q` application and least-squares
+//! solving. Shared by the sequential executor, the 3D VSA, and the domino
+//! baseline, so all of them are verified by the same machinery.
+
+use crate::plan::PanelOp;
+use pulsar_linalg::kernels::ApplyTrans;
+use pulsar_linalg::{tsmqr, ttmqr, unmqr, Matrix};
+
+/// One recorded transformation: the op it came from, the reflector tile `v`
+/// (a factored tile: `R`+reflectors for GEQRT, tails for TS/TT), and its
+/// inner-block factors `t`.
+#[derive(Clone, Debug)]
+pub struct Reflectors {
+    /// The elimination step this transformation implements.
+    pub op: PanelOp,
+    /// Reflector storage (the factored tile).
+    pub v: Matrix,
+    /// Inner-block `T` factors (`ib x k`).
+    pub t: Matrix,
+}
+
+/// A completed tile QR factorization `A = Q R`.
+#[derive(Clone, Debug)]
+pub struct TileQrFactors {
+    /// Row count of `A`.
+    pub m: usize,
+    /// Column count of `A`.
+    pub n: usize,
+    /// Tile size used.
+    pub nb: usize,
+    /// Inner block size used.
+    pub ib: usize,
+    /// The `min(m,n) x n` upper-triangular/trapezoidal factor.
+    pub r: Matrix,
+    /// Transformations, grouped by panel, in schedule order.
+    pub panels: Vec<Vec<Reflectors>>,
+}
+
+impl TileQrFactors {
+    /// Apply `Q^T` (from the left) to a dense `m x k` matrix.
+    pub fn apply_qt(&self, b: &Matrix) -> Matrix {
+        self.apply(b, ApplyTrans::Trans)
+    }
+
+    /// Apply `Q` (from the left) to a dense `m x k` matrix.
+    pub fn apply_q(&self, b: &Matrix) -> Matrix {
+        self.apply(b, ApplyTrans::NoTrans)
+    }
+
+    fn apply(&self, b: &Matrix, trans: ApplyTrans) -> Matrix {
+        assert_eq!(b.nrows(), self.m, "operand row count must match A");
+        assert_eq!(self.m % self.nb, 0, "row tiling must be exact");
+        let nb = self.nb;
+        let mt = self.m / nb;
+        let mut blocks: Vec<Matrix> = (0..mt)
+            .map(|i| b.submatrix(i * nb, 0, nb, b.ncols()))
+            .collect();
+
+        let mut step = |r: &Reflectors| {
+            match r.op {
+                PanelOp::Geqrt { row } => {
+                    unmqr(&r.v, &r.t, trans, &mut blocks[row], self.ib);
+                }
+                PanelOp::Tsqrt { head, row } => {
+                    let (top, bot) = two_blocks(&mut blocks, head, row);
+                    tsmqr(top, bot, &r.v, &r.t, trans, self.ib);
+                }
+                PanelOp::Ttqrt { top, bot } => {
+                    let (c1, c2) = two_blocks(&mut blocks, top, bot);
+                    ttmqr(c1, c2, &r.v, &r.t, trans, self.ib);
+                }
+            };
+        };
+        match trans {
+            ApplyTrans::Trans => {
+                for panel in &self.panels {
+                    for r in panel {
+                        step(r);
+                    }
+                }
+            }
+            ApplyTrans::NoTrans => {
+                for panel in self.panels.iter().rev() {
+                    for r in panel.iter().rev() {
+                        step(r);
+                    }
+                }
+            }
+        }
+
+        let mut out = Matrix::zeros(self.m, b.ncols());
+        for (i, blk) in blocks.iter().enumerate() {
+            out.set_submatrix(i * nb, 0, blk);
+        }
+        out
+    }
+
+    /// Explicitly form the `m x m` orthogonal factor (test-scale only).
+    pub fn form_q(&self) -> Matrix {
+        self.apply_q(&Matrix::identity(self.m))
+    }
+
+    /// Explicitly form the thin factor `Q1` (`m x min(m,n)`), the part of
+    /// `Q` spanning the column space of `A`: `Q1 = Q * [I; 0]` — the
+    /// economical orthobasis used by least-squares and randomized methods.
+    pub fn form_q_thin(&self) -> Matrix {
+        let k = self.m.min(self.n);
+        let mut eye = Matrix::zeros(self.m, k);
+        for i in 0..k {
+            eye[(i, i)] = 1.0;
+        }
+        self.apply_q(&eye)
+    }
+
+    /// Solve the least-squares problem `min ||A x - b||` (`m >= n`,
+    /// full rank): `x = R^{-1} (Q^T b)[0..n]`.
+    pub fn solve_ls(&self, b: &Matrix) -> Matrix {
+        assert!(self.m >= self.n, "least squares needs m >= n");
+        let qtb = self.apply_qt(b);
+        let mut x = qtb.submatrix(0, 0, self.n, b.ncols());
+        pulsar_linalg::blas::dtrsm_upper_left(&self.r, &mut x);
+        x
+    }
+
+    /// Scaled factorization residual `||A - Q [R; 0]||_F / (||A||_F max(m,n))`.
+    pub fn residual(&self, a: &Matrix) -> f64 {
+        let mut rstack = Matrix::zeros(self.m, self.n);
+        rstack.set_submatrix(0, 0, &self.r);
+        let qr = self.apply_q(&rstack);
+        let denom = a.norm_fro().max(f64::MIN_POSITIVE) * self.m.max(self.n) as f64;
+        qr.sub(a).norm_fro() / denom
+    }
+
+    /// Scaled orthogonality check via random probes: `max_k ||Q^T Q x_k -
+    /// x_k|| / ||x_k||`, avoiding the `m x m` explicit `Q` on large inputs.
+    pub fn orthogonality_probe(&self, probes: usize, rng: &mut impl rand::Rng) -> f64 {
+        let mut worst: f64 = 0.0;
+        for _ in 0..probes {
+            let x = Matrix::random(self.m, 1, rng);
+            let qx = self.apply_q(&x);
+            let qtqx = self.apply_qt(&qx);
+            worst = worst.max(qtqx.sub(&x).norm_fro() / x.norm_fro());
+        }
+        worst
+    }
+
+    /// Number of recorded transformations.
+    pub fn transform_count(&self) -> usize {
+        self.panels.iter().map(|p| p.len()).sum()
+    }
+
+    /// Estimated 1-norm condition number of `R` (`m >= n` only). Since
+    /// `Q` is orthogonal this also estimates the conditioning of the
+    /// least-squares problem; values near `1/eps` mean [`Self::solve_ls`]
+    /// results are unreliable.
+    pub fn r_condition_estimate(&self) -> f64 {
+        assert!(self.m >= self.n, "condition estimate needs m >= n");
+        pulsar_linalg::cond::cond_est_upper(&self.r)
+    }
+}
+
+fn two_blocks(blocks: &mut [Matrix], a: usize, b: usize) -> (&mut Matrix, &mut Matrix) {
+    assert_ne!(a, b);
+    if a < b {
+        let (lo, hi) = blocks.split_at_mut(b);
+        (&mut lo[a], &mut hi[0])
+    } else {
+        let (lo, hi) = blocks.split_at_mut(a);
+        let second = &mut lo[b];
+        (&mut hi[0], second)
+    }
+}

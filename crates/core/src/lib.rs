@@ -1,0 +1,67 @@
+//! # pulsar-core
+//!
+//! The paper's primary contribution: a **tree-based tile QR decomposition
+//! of tall-and-skinny matrices executed by a 3D Virtual Systolic Array** on
+//! the PULSAR runtime.
+//!
+//! - [`plan`] — reduction-tree plans (flat / binary / binary-on-flat trees,
+//!   fixed / shifted domain boundaries), i.e. the paper's Figure 5 schedule.
+//! - [`seqqr`] — a sequential executor of any plan (numerical oracle).
+//! - [`vsa3d`] — the 3D VSA: one VDP per (panel, op, column), transformations
+//!   flowing along vertical channels with bypass, tiles flowing horizontally
+//!   between panel stages (the paper's Section V-C / Figure 8).
+//! - [`domino`] — the IPDPS'13 2D domino QR baseline (Figure 9), with
+//!   multi-fire VDPs and persistent local stores.
+//! - [`mapping`] — VDP→(node, thread) mapping functions.
+//! - [`factors`] — the factorization output: `R`, the transformation tree,
+//!   `Q` application, least-squares solving, and verification.
+
+#![warn(missing_docs)]
+
+pub mod applyq;
+pub mod cholesky;
+pub mod domino;
+pub mod factors;
+pub mod lsqr;
+pub mod mapping;
+pub mod plan;
+pub mod seqqr;
+pub mod vsa3d;
+pub mod vsa_compact;
+
+pub use factors::{Reflectors, TileQrFactors};
+pub use lsqr::{least_squares, LsSolution};
+pub use plan::{Boundary, PanelOp, QrPlan, Tree};
+pub use seqqr::tile_qr_seq;
+
+/// Tuning and algorithm parameters of a tile QR factorization.
+#[derive(Clone, Debug)]
+pub struct QrOptions {
+    /// Tile size (paper: 192 or 240 on Kraken).
+    pub nb: usize,
+    /// Inner block size (paper: 48).
+    pub ib: usize,
+    /// Panel reduction tree.
+    pub tree: Tree,
+    /// Domain boundary strategy (paper default: shifted).
+    pub boundary: Boundary,
+}
+
+impl QrOptions {
+    /// Options with the paper's shifted boundaries.
+    pub fn new(nb: usize, ib: usize, tree: Tree) -> Self {
+        assert!(nb > 0 && ib > 0, "block sizes must be positive");
+        QrOptions {
+            nb,
+            ib,
+            tree,
+            boundary: Boundary::Shifted,
+        }
+    }
+
+    /// Use fixed domain boundaries (for the Figure 6/7 comparison).
+    pub fn with_fixed_boundary(mut self) -> Self {
+        self.boundary = Boundary::Fixed;
+        self
+    }
+}

@@ -1,0 +1,268 @@
+//! Sequential executor for tile tree-QR plans: runs the exact Figure-5
+//! schedule on a single thread. It is the numerical oracle for the runtime
+//! implementations and the reference for plan-equivalence tests.
+
+use crate::factors::{Reflectors, TileQrFactors};
+use crate::plan::{PanelOp, QrPlan};
+use crate::QrOptions;
+use pulsar_linalg::kernels::ApplyTrans;
+use pulsar_linalg::{geqrt, tsmqr, tsqrt, ttmqr, ttqrt, unmqr, Matrix, TileMatrix};
+
+/// Make a `T` workspace for a tile with `nc` factored columns.
+pub(crate) fn t_for(nc: usize, ib: usize) -> Matrix {
+    Matrix::zeros(ib.min(nc).max(1), nc.max(1))
+}
+
+/// Factor `a` with the given options on the current thread.
+///
+/// Requires `a.nrows() % nb == 0` (exact row tiling; see DESIGN.md — domain
+/// heads must be full-height tiles). Ragged column edges are fine.
+pub fn tile_qr_seq(a: &Matrix, opts: &QrOptions) -> TileQrFactors {
+    assert_eq!(
+        a.nrows() % opts.nb,
+        0,
+        "tree QR requires exact row tiling (m % nb == 0)"
+    );
+    let mut tiles = TileMatrix::from_matrix(a, opts.nb);
+    let plan = opts.plan(tiles.mt(), tiles.nt());
+    let mut panels = Vec::with_capacity(plan.panels());
+
+    for j in 0..plan.panels() {
+        let mut recorded = Vec::new();
+        for op in plan.panel_ops(j) {
+            let refl = execute_panel_op(&mut tiles, j, op, opts.ib);
+            // Trailing updates for every column to the right.
+            for l in j + 1..tiles.nt() {
+                apply_update(&mut tiles, l, &refl, opts.ib);
+            }
+            recorded.push(refl);
+        }
+        panels.push(recorded);
+    }
+
+    TileQrFactors {
+        m: a.nrows(),
+        n: a.ncols(),
+        nb: opts.nb,
+        ib: opts.ib,
+        r: extract_r(&tiles),
+        panels,
+    }
+}
+
+/// Run one panel op on the tile grid, returning the recorded transformation.
+pub(crate) fn execute_panel_op(
+    tiles: &mut TileMatrix,
+    j: usize,
+    op: PanelOp,
+    ib: usize,
+) -> Reflectors {
+    match op {
+        PanelOp::Geqrt { row } => {
+            let tile = tiles.tile_mut(row, j);
+            let mut t = t_for(tile.ncols(), ib);
+            geqrt(tile, &mut t, ib);
+            Reflectors {
+                op,
+                v: tile.clone(),
+                t,
+            }
+        }
+        PanelOp::Tsqrt { head, row } => {
+            let (a1, a2) = tiles.two_tiles_mut((head, j), (row, j));
+            let mut t = t_for(a1.ncols(), ib);
+            tsqrt(a1, a2, &mut t, ib);
+            Reflectors {
+                op,
+                v: a2.clone(),
+                t,
+            }
+        }
+        PanelOp::Ttqrt { top, bot } => {
+            let (a1, a2) = tiles.two_tiles_mut((top, j), (bot, j));
+            let mut t = t_for(a1.ncols(), ib);
+            ttqrt(a1, a2, &mut t, ib);
+            Reflectors {
+                op,
+                v: a2.clone(),
+                t,
+            }
+        }
+    }
+}
+
+/// Apply the trailing-submatrix update of `refl` to column `l`.
+pub(crate) fn apply_update(tiles: &mut TileMatrix, l: usize, refl: &Reflectors, ib: usize) {
+    match refl.op {
+        PanelOp::Geqrt { row } => {
+            unmqr(
+                &refl.v,
+                &refl.t,
+                ApplyTrans::Trans,
+                tiles.tile_mut(row, l),
+                ib,
+            );
+        }
+        PanelOp::Tsqrt { head, row } => {
+            let (c1, c2) = tiles.two_tiles_mut((head, l), (row, l));
+            tsmqr(c1, c2, &refl.v, &refl.t, ApplyTrans::Trans, ib);
+        }
+        PanelOp::Ttqrt { top, bot } => {
+            let (c1, c2) = tiles.two_tiles_mut((top, l), (bot, l));
+            ttmqr(c1, c2, &refl.v, &refl.t, ApplyTrans::Trans, ib);
+        }
+    }
+}
+
+/// Assemble the `min(m,n) x n` upper-trapezoidal `R` from the factored
+/// tile grid.
+pub(crate) fn extract_r(tiles: &TileMatrix) -> Matrix {
+    let k = tiles.ncols().min(tiles.nrows());
+    let n = tiles.ncols();
+    let nb = tiles.nb();
+    let mut r = Matrix::zeros(k, n);
+    for j in 0..tiles.nt() {
+        for i in 0..=j.min(tiles.mt() - 1) {
+            if i * nb >= k {
+                break;
+            }
+            let tile = tiles.tile(i, j);
+            let block = if i == j {
+                tile.upper_triangle()
+            } else {
+                tile.clone()
+            };
+            // Clip to the top k rows (rows beyond hold reflectors).
+            let rows = block.nrows().min(k - i * nb);
+            r.set_submatrix(i * nb, j * nb, &block.submatrix(0, 0, rows, block.ncols()));
+        }
+    }
+    r.upper_triangle()
+}
+
+impl QrOptions {
+    /// The plan this option set induces for an `mt x nt` grid.
+    pub fn plan(&self, mt: usize, nt: usize) -> QrPlan {
+        QrPlan::new(mt, nt, self.tree.clone(), self.boundary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{Boundary, Tree};
+    use pulsar_linalg::reference::geqrf;
+    use pulsar_linalg::verify::r_factor_distance;
+
+    fn opts(nb: usize, ib: usize, tree: Tree) -> QrOptions {
+        QrOptions {
+            nb,
+            ib,
+            tree,
+            boundary: Boundary::Shifted,
+        }
+    }
+
+    fn check(m: usize, n: usize, o: &QrOptions) {
+        let mut rng = rand::rng();
+        let a = Matrix::random(m, n, &mut rng);
+        let f = tile_qr_seq(&a, o);
+        let resid = f.residual(&a);
+        assert!(resid < 1e-13, "residual {resid} for {m}x{n} {:?}", o.tree);
+        let orth = f.orthogonality_probe(3, &mut rng);
+        assert!(orth < 1e-12, "orthogonality {orth}");
+        // R agrees with the reference QR up to row signs.
+        let rref = geqrf(a.clone()).r();
+        let d = r_factor_distance(&f.r, &rref.submatrix(0, 0, n.min(m), n));
+        assert!(d < 1e-11, "R mismatch {d}");
+    }
+
+    #[test]
+    fn flat_tree_tall() {
+        check(24, 8, &opts(4, 2, Tree::Flat));
+    }
+
+    #[test]
+    fn binary_tree_tall() {
+        check(24, 8, &opts(4, 2, Tree::Binary));
+    }
+
+    #[test]
+    fn hierarchical_tall() {
+        check(24, 8, &opts(4, 2, Tree::BinaryOnFlat { h: 3 }));
+        check(32, 8, &opts(4, 4, Tree::BinaryOnFlat { h: 2 }));
+    }
+
+    #[test]
+    fn fixed_boundary_same_factorization_quality() {
+        let o = QrOptions {
+            nb: 4,
+            ib: 2,
+            tree: Tree::BinaryOnFlat { h: 3 },
+            boundary: Boundary::Fixed,
+        };
+        check(28, 8, &o);
+    }
+
+    #[test]
+    fn square_matrix() {
+        check(12, 12, &opts(4, 2, Tree::BinaryOnFlat { h: 2 }));
+    }
+
+    #[test]
+    fn single_tile_column() {
+        check(20, 4, &opts(4, 2, Tree::Binary));
+    }
+
+    #[test]
+    fn ragged_column_edge() {
+        // n not a multiple of nb: last column block is narrower.
+        check(16, 6, &opts(4, 2, Tree::BinaryOnFlat { h: 2 }));
+        check(16, 5, &opts(4, 2, Tree::Flat));
+    }
+
+    #[test]
+    fn wide_matrix() {
+        check(8, 14, &opts(4, 2, Tree::Binary));
+    }
+
+    #[test]
+    fn least_squares_via_tree_qr() {
+        let mut rng = rand::rng();
+        let a = Matrix::random(24, 6, &mut rng);
+        let x0 = Matrix::random(6, 2, &mut rng);
+        let b = a.matmul(&x0);
+        let f = tile_qr_seq(&a, &opts(4, 2, Tree::BinaryOnFlat { h: 2 }));
+        let x = f.solve_ls(&b);
+        assert!(x.sub(&x0).norm_fro() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_tree_tall() {
+        check(28, 8, &opts(4, 2, Tree::Greedy));
+    }
+
+    #[test]
+    fn custom_domains_tall() {
+        check(28, 8, &opts(4, 2, Tree::custom([3, 2])));
+        check(24, 8, &opts(4, 2, Tree::custom([5])));
+    }
+
+    #[test]
+    fn all_trees_same_r_up_to_signs() {
+        let mut rng = rand::rng();
+        let a = Matrix::random(20, 8, &mut rng);
+        let r1 = tile_qr_seq(&a, &opts(4, 2, Tree::Flat)).r;
+        let r2 = tile_qr_seq(&a, &opts(4, 2, Tree::Binary)).r;
+        let r3 = tile_qr_seq(&a, &opts(4, 2, Tree::BinaryOnFlat { h: 2 })).r;
+        assert!(r_factor_distance(&r1, &r2) < 1e-11);
+        assert!(r_factor_distance(&r1, &r3) < 1e-11);
+    }
+
+    #[test]
+    #[should_panic(expected = "exact row tiling")]
+    fn ragged_rows_rejected() {
+        let a = Matrix::zeros(10, 4);
+        let _ = tile_qr_seq(&a, &opts(4, 2, Tree::Flat));
+    }
+}

@@ -1,0 +1,515 @@
+//! The 3D Virtual Systolic Array for hierarchical QR (Section V-C, Fig. 8).
+//!
+//! The array's three dimensions map directly onto the three nested loops of
+//! the tile QR algorithm: panel `j`, elimination step `q` (which encodes the
+//! block rows the step touches), and block column `l`. VDP `(j, q, l)` with
+//! `l == j` performs the panel kernel of step `q` (`geqrt`/`tsqrt`/`ttqrt`);
+//! with `l > j` it performs the matching trailing update
+//! (`unmqr`/`tsmqr`/`ttmqr`).
+//!
+//! Channel geometry:
+//! - **Vertical** channels carry the Householder transformation of step
+//!   `(j, q)` across columns `l = j+1, j+2, ...`; every update VDP forwards
+//!   the packet *before* applying it (the paper's bypass, overlapping the
+//!   broadcast with compute).
+//! - **Horizontal** channels carry tiles: within a stage, along each block
+//!   row's chain of ops; between stages, from the last stage-`j` op touching
+//!   a row to the first stage-`j+1` op touching it (this is where the
+//!   shifted-boundary pipelining materializes: the next panel's flat
+//!   reduction starts as soon as its tiles arrive, while the binary
+//!   reduction of the current panel is still running).
+//! - **Exit** channels deliver finished `R` tiles and the recorded
+//!   transformations out of the array.
+
+use crate::factors::{Reflectors, TileQrFactors};
+use crate::plan::{PanelOp, QrPlan};
+use crate::seqqr::t_for;
+use crate::QrOptions;
+use pulsar_linalg::kernels::ApplyTrans;
+use pulsar_linalg::{geqrt, tsmqr, tsqrt, ttmqr, ttqrt, unmqr, Matrix, TileMatrix};
+use pulsar_runtime::{
+    ChannelSpec, Packet, RunConfig, RunStats, Trace, Tuple, VdpContext, VdpSpec, Vsa,
+};
+
+/// Result of a VSA-executed factorization.
+pub struct VsaQrResult {
+    /// The factorization (same machinery as the sequential oracle).
+    pub factors: TileQrFactors,
+    /// Runtime statistics.
+    pub stats: RunStats,
+    /// Execution trace, when the config requested one.
+    pub trace: Option<Trace>,
+}
+
+fn vdp_tuple(j: usize, q: usize, l: usize) -> Tuple {
+    Tuple::new3(j as i32, q as i32, l as i32)
+}
+
+fn exit_r_tuple(i: usize, l: usize) -> Tuple {
+    Tuple::new3(-1, i as i32, l as i32)
+}
+
+fn exit_trans_tuple(j: usize, q: usize) -> Tuple {
+    Tuple::new3(-2, j as i32, q as i32)
+}
+
+/// Where a row's tile goes after op `after_q` (or after arriving fresh when
+/// `after_q` is `None`) in stage `j`, at column `l`.
+enum Hop {
+    /// Another VDP: `(tuple, input slot)`.
+    Vdp(Tuple, usize),
+    /// The tile is a finished `R` tile.
+    ExitR,
+    /// The tile's content is spent (its reflectors travel separately).
+    Drop,
+}
+
+fn next_hop(
+    stage_ops: &[Vec<PanelOp>],
+    kt: usize,
+    j: usize,
+    after_q: Option<usize>,
+    row: usize,
+    l: usize,
+) -> Hop {
+    let start = after_q.map_or(0, |q| q + 1);
+    if let Some((q2, op)) = stage_ops[j]
+        .iter()
+        .enumerate()
+        .skip(start)
+        .find(|(_, op)| op.touches(row))
+    {
+        return Hop::Vdp(vdp_tuple(j, q2, l), op.role_slot(row));
+    }
+    if row == j {
+        return Hop::ExitR;
+    }
+    if j + 1 < kt {
+        debug_assert!(l > j, "panel-column tiles of eliminated rows are spent");
+        return next_hop(stage_ops, kt, j + 1, None, row, l);
+    }
+    Hop::Drop
+}
+
+/// Build the 3D VSA for `a`, run it under `config`, and collect the factors.
+///
+/// Requires `a.nrows() % nb == 0` (exact row tiling). Any mapping is
+/// *correct*; [`crate::mapping::qr_mapping`] gives the paper's locality
+/// (cyclic rows, binary parents with their first child).
+pub fn tile_qr_vsa(a: &Matrix, opts: &QrOptions, config: &RunConfig) -> VsaQrResult {
+    assert_eq!(
+        a.nrows() % opts.nb,
+        0,
+        "tree QR requires exact row tiling (m % nb == 0)"
+    );
+    let tiles = TileMatrix::from_matrix(a, opts.nb);
+    let (mt, nt, nb, ib) = (tiles.mt(), tiles.nt(), opts.nb, opts.ib);
+    let plan = opts.plan(mt, nt);
+    let kt = plan.panels();
+    let stage_ops: Vec<Vec<PanelOp>> = (0..kt).map(|j| plan.panel_ops(j)).collect();
+
+    let tile_bytes = 8 * nb * nb;
+    let trans_bytes = 8 * nb * nb + 8 * ib * nb;
+
+    let mut vsa = Vsa::new();
+
+    // VDPs.
+    for (j, ops) in stage_ops.iter().enumerate() {
+        for (q, &op) in ops.iter().enumerate() {
+            for l in j..nt {
+                let logic = QrVdp { op, ib };
+                // Factor VDPs: in 0/1 = primary/secondary tile; out 0 = R
+                // onward, 1 = transform chain, 2 = transform exit.
+                // Update VDPs: in 0/1 = C1/C2, in 2 = transform; out 0/1 =
+                // tiles onward, out 2 = transform chain.
+                let (n_in, n_out) = if l == j { (2, 3) } else { (3, 3) };
+                vsa.add_vdp(VdpSpec::new(vdp_tuple(j, q, l), 1, n_in, n_out, logic));
+            }
+        }
+    }
+
+    // Channels.
+    for (j, ops) in stage_ops.iter().enumerate() {
+        for (q, &op) in ops.iter().enumerate() {
+            for l in j..nt {
+                let src = vdp_tuple(j, q, l);
+                // Tile channels out of this VDP.
+                let (prim, sec) = op.rows();
+                match next_hop(&stage_ops, kt, j, Some(q), prim, l) {
+                    Hop::Vdp(dst, slot) => {
+                        vsa.add_channel(ChannelSpec::new(tile_bytes, src.clone(), 0, dst, slot));
+                    }
+                    Hop::ExitR => {
+                        vsa.add_channel(ChannelSpec::new(
+                            tile_bytes,
+                            src.clone(),
+                            0,
+                            exit_r_tuple(prim, l),
+                            0,
+                        ));
+                    }
+                    Hop::Drop => {}
+                }
+                if l > j {
+                    if let Some(s) = sec {
+                        match next_hop(&stage_ops, kt, j, Some(q), s, l) {
+                            Hop::Vdp(dst, slot) => {
+                                vsa.add_channel(ChannelSpec::new(
+                                    tile_bytes,
+                                    src.clone(),
+                                    1,
+                                    dst,
+                                    slot,
+                                ));
+                            }
+                            Hop::ExitR => {
+                                vsa.add_channel(ChannelSpec::new(
+                                    tile_bytes,
+                                    src.clone(),
+                                    1,
+                                    exit_r_tuple(s, l),
+                                    0,
+                                ));
+                            }
+                            Hop::Drop => {}
+                        }
+                    }
+                }
+                // Transformation channels.
+                if l == j {
+                    // Factor: into the vertical chain and to the exit store.
+                    if l + 1 < nt {
+                        vsa.add_channel(ChannelSpec::new(
+                            trans_bytes,
+                            src.clone(),
+                            1,
+                            vdp_tuple(j, q, l + 1),
+                            2,
+                        ));
+                    }
+                    vsa.add_channel(ChannelSpec::new(
+                        trans_bytes,
+                        src.clone(),
+                        2,
+                        exit_trans_tuple(j, q),
+                        0,
+                    ));
+                } else if l + 1 < nt {
+                    vsa.add_channel(ChannelSpec::new(
+                        trans_bytes,
+                        src.clone(),
+                        2,
+                        vdp_tuple(j, q, l + 1),
+                        2,
+                    ));
+                }
+            }
+        }
+    }
+
+    // Seed every tile into the first stage-0 op that touches its row.
+    let mut tiles = tiles;
+    for i in 0..mt {
+        let (q0, op0) = stage_ops[0]
+            .iter()
+            .enumerate()
+            .find(|(_, op)| op.touches(i))
+            .expect("every row is touched in stage 0");
+        let slot = op0.role_slot(i);
+        for l in 0..nt {
+            let t = tiles.take_tile(i, l);
+            vsa.seed(vdp_tuple(0, q0, l), slot, Packet::tile(t));
+        }
+    }
+
+    // Run and collect.
+    let mut out = vsa.run(config);
+    let k = a.nrows().min(a.ncols());
+    let mut r = Matrix::zeros(k, a.ncols());
+    for i in 0..kt {
+        for l in i..nt {
+            if i * nb >= k {
+                continue;
+            }
+            let mut packets = out.take_exit(exit_r_tuple(i, l), 0);
+            assert_eq!(packets.len(), 1, "missing R tile ({i},{l})");
+            let tile = packets.remove(0).into_tile();
+            let block = if i == l { tile.upper_triangle() } else { tile };
+            let rows = block.nrows().min(k - i * nb);
+            r.set_submatrix(i * nb, l * nb, &block.submatrix(0, 0, rows, block.ncols()));
+        }
+    }
+    let panels: Vec<Vec<Reflectors>> = (0..kt)
+        .map(|j| {
+            (0..stage_ops[j].len())
+                .map(|q| {
+                    let mut p = out.take_exit(exit_trans_tuple(j, q), 0);
+                    assert_eq!(p.len(), 1, "missing transform ({j},{q})");
+                    p.remove(0).take::<Reflectors>()
+                })
+                .collect()
+        })
+        .collect();
+
+    VsaQrResult {
+        factors: TileQrFactors {
+            m: a.nrows(),
+            n: a.ncols(),
+            nb,
+            ib,
+            r: r.upper_triangle(),
+            panels,
+        },
+        stats: out.stats,
+        trace: out.trace,
+    }
+}
+
+/// The logic of one 3D-VSA VDP (factor when `l == j`, update when `l > j` —
+/// distinguished by which input slots are wired).
+struct QrVdp {
+    op: PanelOp,
+    ib: usize,
+}
+
+impl pulsar_runtime::VdpLogic for QrVdp {
+    fn fire(&mut self, ctx: &mut VdpContext<'_>) {
+        let l = ctx.tuple().id(2);
+        let j = ctx.tuple().id(0);
+        if l == j {
+            self.fire_factor(ctx);
+        } else {
+            self.fire_update(ctx);
+        }
+    }
+}
+
+impl QrVdp {
+    fn fire_factor(&mut self, ctx: &mut VdpContext<'_>) {
+        let ib = self.ib;
+        let op = self.op;
+        let (refl, r_tile) = match op {
+            PanelOp::Geqrt { .. } => {
+                let mut tile = ctx.pop(0).into_tile();
+                let mut t = t_for(tile.ncols(), ib);
+                ctx.kernel("geqrt", || geqrt(&mut tile, &mut t, ib));
+                let refl = Reflectors {
+                    op,
+                    v: tile.clone(),
+                    t,
+                };
+                (refl, tile)
+            }
+            PanelOp::Tsqrt { .. } => {
+                let mut a1 = ctx.pop(0).into_tile();
+                let mut a2 = ctx.pop(1).into_tile();
+                let mut t = t_for(a1.ncols(), ib);
+                ctx.kernel("tsqrt", || tsqrt(&mut a1, &mut a2, &mut t, ib));
+                (Reflectors { op, v: a2, t }, a1)
+            }
+            PanelOp::Ttqrt { .. } => {
+                let mut a1 = ctx.pop(0).into_tile();
+                let mut a2 = ctx.pop(1).into_tile();
+                let mut t = t_for(a1.ncols(), ib);
+                ctx.kernel("ttqrt", || ttqrt(&mut a1, &mut a2, &mut t, ib));
+                (Reflectors { op, v: a2, t }, a1)
+            }
+        };
+        ctx.set_label(format!("{}{:?}", op.factor_kernel(), ctx.tuple()));
+        let bytes = 8 * (refl.v.nrows() * refl.v.ncols() + refl.t.nrows() * refl.t.ncols());
+        let pkt = Packet::new(refl, bytes);
+        // Broadcast the transformation down the vertical chain first
+        // (bypass), then record it, then pass the R factor along.
+        if ctx.output_connected(1) {
+            ctx.push(1, pkt.clone());
+        }
+        ctx.push(2, pkt);
+        if ctx.output_connected(0) {
+            ctx.push(0, Packet::tile(r_tile));
+        }
+    }
+
+    fn fire_update(&mut self, ctx: &mut VdpContext<'_>) {
+        let ib = self.ib;
+        let op = self.op;
+        // Pop the transformation and forward it down the chain *before*
+        // using it — the paper's communication/computation overlap.
+        let trans = ctx.pop(2);
+        if ctx.output_connected(2) {
+            ctx.push(2, trans.clone());
+        }
+        let refl = trans
+            .get::<Reflectors>()
+            .expect("transform channel carries Reflectors");
+        match op {
+            PanelOp::Geqrt { .. } => {
+                let mut c = ctx.pop(0).into_tile();
+                ctx.kernel("unmqr", || {
+                    unmqr(&refl.v, &refl.t, ApplyTrans::Trans, &mut c, ib)
+                });
+                ctx.push(0, Packet::tile(c));
+            }
+            PanelOp::Tsqrt { .. } => {
+                let mut c1 = ctx.pop(0).into_tile();
+                let mut c2 = ctx.pop(1).into_tile();
+                ctx.kernel("tsmqr", || {
+                    tsmqr(&mut c1, &mut c2, &refl.v, &refl.t, ApplyTrans::Trans, ib)
+                });
+                ctx.push(0, Packet::tile(c1));
+                ctx.push(1, Packet::tile(c2));
+            }
+            PanelOp::Ttqrt { .. } => {
+                let mut c1 = ctx.pop(0).into_tile();
+                let mut c2 = ctx.pop(1).into_tile();
+                ctx.kernel("ttmqr", || {
+                    ttmqr(&mut c1, &mut c2, &refl.v, &refl.t, ApplyTrans::Trans, ib)
+                });
+                ctx.push(0, Packet::tile(c1));
+                ctx.push(1, Packet::tile(c2));
+            }
+        }
+        ctx.set_label(format!("{}{:?}", op.update_kernel(), ctx.tuple()));
+    }
+}
+
+/// Summary of the array a plan builds (for Figure 8-style inspection).
+pub struct ArrayShape {
+    /// Total VDPs.
+    pub vdps: usize,
+    /// Total channels.
+    pub channels: usize,
+    /// VDPs per stage.
+    pub per_stage: Vec<usize>,
+}
+
+/// Compute the array shape without running it.
+pub fn array_shape(plan: &QrPlan) -> ArrayShape {
+    let per_stage: Vec<usize> = (0..plan.panels())
+        .map(|j| plan.panel_ops(j).len() * (plan.nt - j))
+        .collect();
+    // Channels: counted the same way the builder creates them.
+    let kt = plan.panels();
+    let stage_ops: Vec<Vec<PanelOp>> = (0..kt).map(|j| plan.panel_ops(j)).collect();
+    let mut channels = 0usize;
+    for (j, ops) in stage_ops.iter().enumerate() {
+        for (q, &op) in ops.iter().enumerate() {
+            for l in j..plan.nt {
+                let (prim, sec) = op.rows();
+                if !matches!(next_hop(&stage_ops, kt, j, Some(q), prim, l), Hop::Drop) {
+                    channels += 1;
+                }
+                if l > j {
+                    if let Some(s) = sec {
+                        if !matches!(next_hop(&stage_ops, kt, j, Some(q), s, l), Hop::Drop) {
+                            channels += 1;
+                        }
+                    }
+                }
+                if l == j {
+                    channels += 1 + usize::from(l + 1 < plan.nt);
+                } else if l + 1 < plan.nt {
+                    channels += 1;
+                }
+            }
+        }
+    }
+    ArrayShape {
+        vdps: per_stage.iter().sum(),
+        channels,
+        per_stage,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{Boundary, Tree};
+    use crate::seqqr::tile_qr_seq;
+    use pulsar_linalg::verify::r_factor_distance;
+
+    fn run_case(m: usize, n: usize, opts: &QrOptions, threads: usize) {
+        let mut rng = rand::rng();
+        let a = Matrix::random(m, n, &mut rng);
+        let res = tile_qr_vsa(&a, opts, &RunConfig::smp(threads));
+        let resid = res.factors.residual(&a);
+        assert!(resid < 1e-13, "residual {resid} ({m}x{n} {:?})", opts.tree);
+        // Same R as the sequential oracle (identical schedule => identical
+        // arithmetic, so this is exact equality territory; allow roundoff
+        // slack for nondeterministic summation order differences — there
+        // are none, but stay robust).
+        let seq = tile_qr_seq(&a, opts);
+        let d = r_factor_distance(&res.factors.r, &seq.r);
+        assert!(d < 1e-12, "VSA and sequential R differ by {d}");
+    }
+
+    #[test]
+    fn vsa_flat() {
+        run_case(
+            16,
+            8,
+            &QrOptions::new(4, 2, Tree::Flat),
+            3,
+        );
+    }
+
+    #[test]
+    fn vsa_binary() {
+        run_case(16, 8, &QrOptions::new(4, 2, Tree::Binary), 4);
+    }
+
+    #[test]
+    fn vsa_hierarchical() {
+        run_case(24, 8, &QrOptions::new(4, 2, Tree::BinaryOnFlat { h: 3 }), 4);
+    }
+
+    #[test]
+    fn vsa_fixed_boundary() {
+        let opts = QrOptions {
+            nb: 4,
+            ib: 2,
+            tree: Tree::BinaryOnFlat { h: 3 },
+            boundary: Boundary::Fixed,
+        };
+        run_case(24, 8, &opts, 4);
+    }
+
+    #[test]
+    fn vsa_single_panel() {
+        run_case(20, 4, &QrOptions::new(4, 2, Tree::BinaryOnFlat { h: 2 }), 2);
+    }
+
+    #[test]
+    fn vsa_square() {
+        run_case(12, 12, &QrOptions::new(4, 2, Tree::BinaryOnFlat { h: 2 }), 4);
+    }
+
+    #[test]
+    fn vsa_ragged_columns() {
+        run_case(16, 7, &QrOptions::new(4, 2, Tree::Binary), 3);
+    }
+
+    #[test]
+    fn vsa_single_thread() {
+        run_case(16, 8, &QrOptions::new(4, 2, Tree::BinaryOnFlat { h: 2 }), 1);
+    }
+
+    #[test]
+    fn vsa_greedy_tree() {
+        run_case(24, 8, &QrOptions::new(4, 2, Tree::Greedy), 4);
+    }
+
+    #[test]
+    fn vsa_custom_domains() {
+        run_case(28, 8, &QrOptions::new(4, 2, Tree::custom([3, 2])), 4);
+    }
+
+    #[test]
+    fn array_shape_matches_built_vsa() {
+        // The paper's Figure 8 example: 6x3 tiles, h = 3.
+        let plan = QrPlan::new(6, 3, Tree::BinaryOnFlat { h: 3 }, Boundary::Shifted);
+        let shape = array_shape(&plan);
+        assert_eq!(shape.per_stage.len(), 3);
+        assert_eq!(shape.per_stage[0], 7 * 3); // 7 ops x 3 columns
+        assert!(shape.vdps > 0 && shape.channels > 0);
+    }
+}

@@ -1,0 +1,600 @@
+//! The **compact** hierarchical QR array — the paper's literal Figure 8
+//! geometry (Section V-C), with one *multi-fire* VDP per circle:
+//!
+//! - a red VDP per (stage, domain) performs the whole flat-tree reduction
+//!   of its domain (`geqrt` then a chain of `tsqrt`s against a locally
+//!   held `R`);
+//! - an orange VDP per (stage, domain, trailing column) applies the
+//!   corresponding updates, holding the domain-top tile `C1` locally and
+//!   streaming the updated tiles down to the next stage;
+//! - blue VDPs perform the binary reduction of the domain tops
+//!   (`ttqrt`/`ttmqr`, single-fire);
+//! - after each binary merge, the *second* tile is passed right to the
+//!   next stage's flat VDP, where it is that domain's **last** tile. The
+//!   channel carrying it — the paper's dashed channel — is created
+//!   **disabled**; the flat VDP enables it (and retires its exhausted
+//!   stream channel) only once it has processed every other tile, so the
+//!   flat and binary reductions of consecutive panels overlap.
+//!
+//! Functionally equivalent to [`crate::vsa3d`] (same schedule, same
+//! numbers); structurally it exercises the runtime features the unrolled
+//! array does not need: firing counters > 1, persistent local stores, and
+//! mid-run channel enable/disable.
+//!
+//! Supports the paper's configuration: [`Tree::Flat`] or
+//! [`Tree::BinaryOnFlat`] with [`Boundary::Shifted`].
+
+use crate::factors::{Reflectors, TileQrFactors};
+use crate::plan::{Boundary, PanelOp, Tree};
+use crate::seqqr::t_for;
+use crate::vsa3d::VsaQrResult;
+use crate::QrOptions;
+use pulsar_linalg::kernels::ApplyTrans;
+use pulsar_linalg::{geqrt, tsmqr, tsqrt, ttmqr, ttqrt, unmqr, Matrix, TileMatrix};
+use pulsar_runtime::{
+    ChannelSpec, Packet, RunConfig, Tuple, VdpContext, VdpLogic, VdpSpec, Vsa,
+};
+use std::collections::HashMap;
+
+fn flat_tuple(j: usize, d: usize, l: usize) -> Tuple {
+    Tuple::new4(0, j as i32, d as i32, l as i32)
+}
+
+fn binary_tuple(j: usize, lvl: usize, pair: usize, l: usize) -> Tuple {
+    assert!(pair < 10_000);
+    Tuple::new4(1, j as i32, (lvl * 10_000 + pair) as i32, l as i32)
+}
+
+fn exit_r(j: usize, l: usize) -> Tuple {
+    Tuple::new3(-1, j as i32, l as i32)
+}
+
+fn exit_refl_flat(j: usize, d: usize) -> Tuple {
+    Tuple::new3(-2, j as i32, d as i32)
+}
+
+fn exit_refl_binary(j: usize, lvl: usize, pair: usize) -> Tuple {
+    Tuple::new3(-3, j as i32, (lvl * 10_000 + pair) as i32)
+}
+
+fn refl_packet(refl: Reflectors) -> Packet {
+    let bytes = 8 * (refl.v.nrows() * refl.v.ncols() + refl.t.nrows() * refl.t.ncols());
+    Packet::new(refl, bytes)
+}
+
+/// Red (factor) or orange (update) VDP of one (stage, domain) at column `l`.
+///
+/// Inputs: 0 = tile stream, 1 = the dashed last-tile channel (optional),
+/// 2 = transformations (updates only). Outputs: 0 = C2 stream to the next
+/// stage, 1 = transformation chain, 2 = transformation record (factor
+/// only), 3 = final local tile (R exit or binary-tree input).
+struct FlatDomainVdp {
+    j: usize,
+    l: usize,
+    head_row: usize,
+    has_dashed: bool,
+    ib: usize,
+    c1: Option<Matrix>, // persistent local store: R (factor) or C1 (update)
+}
+
+impl VdpLogic for FlatDomainVdp {
+    fn fire(&mut self, ctx: &mut VdpContext<'_>) {
+        let k = ctx.firing() as usize;
+        let last = ctx.remaining() == 0;
+        let slot = if last && self.has_dashed { 1 } else { 0 };
+        let mut tile = ctx.pop(slot).into_tile();
+        let is_factor = self.l == self.j;
+
+        if is_factor {
+            let refl = if k == 0 {
+                let mut t = t_for(tile.ncols(), self.ib);
+                ctx.kernel("geqrt", || geqrt(&mut tile, &mut t, self.ib));
+                let refl = Reflectors {
+                    op: PanelOp::Geqrt { row: self.head_row },
+                    v: tile.clone(),
+                    t,
+                };
+                self.c1 = Some(tile);
+                refl
+            } else {
+                let r = self.c1.as_mut().expect("R initialized at firing 0");
+                let mut t = t_for(r.ncols(), self.ib);
+                ctx.kernel("tsqrt", || tsqrt(r, &mut tile, &mut t, self.ib));
+                Reflectors {
+                    op: PanelOp::Tsqrt {
+                        head: self.head_row,
+                        row: self.head_row + k,
+                    },
+                    v: tile,
+                    t,
+                }
+            };
+            ctx.set_label(format!("{}{:?}", refl.op.factor_kernel(), ctx.tuple()));
+            let pkt = refl_packet(refl);
+            if ctx.output_connected(1) {
+                ctx.push(1, pkt.clone());
+            }
+            ctx.push(2, pkt);
+        } else {
+            let trans = ctx.pop(2);
+            if ctx.output_connected(1) {
+                ctx.push(1, trans.clone()); // bypass
+            }
+            let refl = trans.get::<Reflectors>().expect("transformation packet");
+            if k == 0 {
+                ctx.kernel("unmqr", || {
+                    unmqr(&refl.v, &refl.t, ApplyTrans::Trans, &mut tile, self.ib)
+                });
+                ctx.set_label(format!("unmqr{:?}", ctx.tuple()));
+                self.c1 = Some(tile);
+            } else {
+                let c1 = self.c1.as_mut().expect("C1 initialized at firing 0");
+                ctx.kernel("tsmqr", || {
+                    tsmqr(c1, &mut tile, &refl.v, &refl.t, ApplyTrans::Trans, self.ib)
+                });
+                ctx.set_label(format!("tsmqr{:?}", ctx.tuple()));
+                if ctx.output_connected(0) {
+                    ctx.push(0, Packet::tile(tile)); // stream the row down
+                }
+            }
+        }
+
+        // The Section V-C channel switch: the stream is exhausted after the
+        // next-to-last firing; activate the dashed channel and retire the
+        // stream so readiness is gated by the binary reduction's delivery.
+        if self.has_dashed && ctx.remaining() == 1 {
+            ctx.disable_input(0);
+            ctx.enable_input(1);
+        }
+        if last {
+            // The locally held tile is final: R(j, l) or a domain top.
+            ctx.push(3, Packet::tile(self.c1.take().expect("local tile")));
+        }
+    }
+}
+
+/// Blue (binary) VDP: one `ttqrt`/`ttmqr` merge of two domain tops.
+///
+/// Inputs: 0 = surviving top, 1 = merged-away top, 2 = transformation
+/// (updates only). Outputs: 0 = surviving tile onward, 1 = transformation
+/// chain, 2 = transformation record (factor) / second tile to the next
+/// stage's flat VDP (update).
+struct BinaryVdp {
+    j: usize,
+    l: usize,
+    top: usize,
+    bot: usize,
+    ib: usize,
+}
+
+impl VdpLogic for BinaryVdp {
+    fn fire(&mut self, ctx: &mut VdpContext<'_>) {
+        let mut a1 = ctx.pop(0).into_tile();
+        let mut a2 = ctx.pop(1).into_tile();
+        if self.l == self.j {
+            let mut t = t_for(a1.ncols(), self.ib);
+            ctx.kernel("ttqrt", || ttqrt(&mut a1, &mut a2, &mut t, self.ib));
+            ctx.set_label(format!("ttqrt{:?}", ctx.tuple()));
+            let refl = Reflectors {
+                op: PanelOp::Ttqrt {
+                    top: self.top,
+                    bot: self.bot,
+                },
+                v: a2,
+                t,
+            };
+            let pkt = refl_packet(refl);
+            if ctx.output_connected(1) {
+                ctx.push(1, pkt.clone());
+            }
+            ctx.push(2, pkt);
+        } else {
+            let trans = ctx.pop(2);
+            if ctx.output_connected(1) {
+                ctx.push(1, trans.clone()); // bypass
+            }
+            let refl = trans.get::<Reflectors>().expect("transformation packet");
+            ctx.kernel("ttmqr", || {
+                ttmqr(&mut a1, &mut a2, &refl.v, &refl.t, ApplyTrans::Trans, self.ib)
+            });
+            ctx.set_label(format!("ttmqr{:?}", ctx.tuple()));
+            // The paper: "after each binary-reduction of two top tiles, the
+            // second tile is passed right to the flat-tree" of the next
+            // stage (it is that domain's last tile).
+            if ctx.output_connected(2) {
+                ctx.push(2, Packet::tile(a2));
+            }
+        }
+        ctx.push(0, Packet::tile(a1));
+    }
+}
+
+/// Factor `a` with the compact (Figure 8) hierarchical array.
+///
+/// Requires `m % nb == 0`, shifted boundaries, and a flat or
+/// binary-on-flat tree.
+pub fn tile_qr_compact(a: &Matrix, opts: &QrOptions, config: &RunConfig) -> VsaQrResult {
+    assert_eq!(
+        a.nrows() % opts.nb,
+        0,
+        "tree QR requires exact row tiling (m % nb == 0)"
+    );
+    assert_eq!(
+        opts.boundary,
+        Boundary::Shifted,
+        "the compact array implements the paper's shifted boundaries"
+    );
+    let h = match &opts.tree {
+        Tree::Flat => usize::MAX,
+        Tree::BinaryOnFlat { h } => *h,
+        other => panic!("compact array supports Flat/BinaryOnFlat, not {other:?}"),
+    };
+
+    let mut tiles = TileMatrix::from_matrix(a, opts.nb);
+    let (mt, nt, nb, ib) = (tiles.mt(), tiles.nt(), opts.nb, opts.ib);
+    let kt = mt.min(nt);
+    let tile_bytes = 8 * nb * nb;
+    let trans_bytes = 8 * nb * nb + 8 * ib * nb;
+    let heads_of = |j: usize| -> Vec<usize> {
+        (j..mt).step_by(h.min(mt.max(1))).collect()
+    };
+    let size_of = |heads: &[usize], d: usize| -> usize {
+        heads.get(d + 1).copied().unwrap_or(mt) - heads[d]
+    };
+
+    let mut vsa = Vsa::new();
+
+    // --- Create all flat-domain VDPs with their counters. -----------------
+    for j in 0..kt {
+        let heads = heads_of(j);
+        for (d, &head) in heads.iter().enumerate() {
+            let size = size_of(&heads, d);
+            // A stage-j>0 domain receives `prev_size - 1` tiles from the
+            // previous stage's stream; the remainder (0 or 1) arrives on
+            // the dashed channel from the binary tree.
+            let has_dashed = if j == 0 {
+                false
+            } else {
+                let prev_heads = heads_of(j - 1);
+                let stream_in = size_of(&prev_heads, d) - 1;
+                debug_assert!(size == stream_in || size == stream_in + 1);
+                size == stream_in + 1
+            };
+            for l in j..nt {
+                vsa.add_vdp(VdpSpec::new(
+                    flat_tuple(j, d, l),
+                    size as u32,
+                    3,
+                    4,
+                    FlatDomainVdp {
+                        j,
+                        l,
+                        head_row: head,
+                        has_dashed,
+                        ib,
+                        c1: None,
+                    },
+                ));
+                // Transformation chain and record.
+                if l == j {
+                    if l + 1 < nt {
+                        vsa.add_channel(ChannelSpec::new(
+                            trans_bytes,
+                            flat_tuple(j, d, l),
+                            1,
+                            flat_tuple(j, d, l + 1),
+                            2,
+                        ));
+                    }
+                    vsa.add_channel(ChannelSpec::new(
+                        trans_bytes,
+                        flat_tuple(j, d, l),
+                        2,
+                        exit_refl_flat(j, d),
+                        0,
+                    ));
+                } else if l + 1 < nt {
+                    vsa.add_channel(ChannelSpec::new(
+                        trans_bytes,
+                        flat_tuple(j, d, l),
+                        1,
+                        flat_tuple(j, d, l + 1),
+                        2,
+                    ));
+                }
+                // Stream to the next stage's same-domain flat VDP.
+                if size > 1 && l > j && j + 1 < kt {
+                    vsa.add_channel(ChannelSpec::new(
+                        tile_bytes,
+                        flat_tuple(j, d, l),
+                        0,
+                        flat_tuple(j + 1, d, l),
+                        0,
+                    ));
+                }
+            }
+        }
+    }
+
+    // --- Binary reductions and final-tile routing, stage by stage. --------
+    for j in 0..kt {
+        let heads = heads_of(j);
+        let next_heads_len = if j + 1 < kt { heads_of(j + 1).len() } else { 0 };
+        for l in j..nt {
+            // Producers of each domain-top tile: (tuple, out_slot, top_row,
+            // head index in `heads`).
+            let mut producers: Vec<(Tuple, usize, usize, usize)> = heads
+                .iter()
+                .enumerate()
+                .map(|(d, &row)| (flat_tuple(j, d, l), 3, row, d))
+                .collect();
+            let mut lvl = 0usize;
+            while producers.len() > 1 {
+                let mut next = Vec::with_capacity(producers.len().div_ceil(2));
+                let pairs: Vec<_> = producers.chunks(2).map(<[_]>::to_vec).collect();
+                for (pair_idx, chunk) in pairs.into_iter().enumerate() {
+                    if let [aa, bb] = &chunk[..] {
+                        let bt = binary_tuple(j, lvl, pair_idx, l);
+                        vsa.add_vdp(VdpSpec::new(
+                            bt.clone(),
+                            1,
+                            3,
+                            3,
+                            BinaryVdp {
+                                j,
+                                l,
+                                top: aa.2,
+                                bot: bb.2,
+                                ib,
+                            },
+                        ));
+                        vsa.add_channel(ChannelSpec::new(
+                            tile_bytes,
+                            aa.0.clone(),
+                            aa.1,
+                            bt.clone(),
+                            0,
+                        ));
+                        vsa.add_channel(ChannelSpec::new(
+                            tile_bytes,
+                            bb.0.clone(),
+                            bb.1,
+                            bt.clone(),
+                            1,
+                        ));
+                        // Transformation chain / record.
+                        if l == j {
+                            if l + 1 < nt {
+                                vsa.add_channel(ChannelSpec::new(
+                                    trans_bytes,
+                                    bt.clone(),
+                                    1,
+                                    binary_tuple(j, lvl, pair_idx, l + 1),
+                                    2,
+                                ));
+                            }
+                            vsa.add_channel(ChannelSpec::new(
+                                trans_bytes,
+                                bt.clone(),
+                                2,
+                                exit_refl_binary(j, lvl, pair_idx),
+                                0,
+                            ));
+                        } else {
+                            if l + 1 < nt {
+                                vsa.add_channel(ChannelSpec::new(
+                                    trans_bytes,
+                                    bt.clone(),
+                                    1,
+                                    binary_tuple(j, lvl, pair_idx, l + 1),
+                                    2,
+                                ));
+                            }
+                            // The dashed channel: the merged-away top is the
+                            // last tile of next stage's domain (d_b - 1).
+                            let d_next = bb.3 - 1;
+                            if j + 1 < kt && d_next < next_heads_len {
+                                let next_heads = heads_of(j + 1);
+                                let stream_in = size_of(&heads, d_next) - 1;
+                                let _ = next_heads;
+                                vsa.add_channel(
+                                    ChannelSpec::new(
+                                        tile_bytes,
+                                        bt.clone(),
+                                        2,
+                                        flat_tuple(j + 1, d_next, l),
+                                        1,
+                                    )
+                                    // Disabled until the flat VDP has
+                                    // drained its stream (Section V-C);
+                                    // enabled at creation when there is no
+                                    // stream to wait for.
+                                    .into_disabled_if(stream_in > 0),
+                                );
+                            }
+                        }
+                        next.push((bt, 0, aa.2, aa.3));
+                    } else {
+                        next.push(chunk[0].clone());
+                    }
+                }
+                producers = next;
+                lvl += 1;
+            }
+            // The surviving tile is the finished R(j, l).
+            let (tuple, slot, row, _) = producers.pop().unwrap();
+            debug_assert_eq!(row, j);
+            vsa.add_channel(ChannelSpec::new(tile_bytes, tuple, slot, exit_r(j, l), 0));
+        }
+    }
+
+    // --- Seeds: stage-0 streams carry whole domains in row order. ---------
+    {
+        let heads = heads_of(0);
+        for (d, &head) in heads.iter().enumerate() {
+            let size = size_of(&heads, d);
+            for l in 0..nt {
+                for i in head..head + size {
+                    let t = tiles.take_tile(i, l);
+                    vsa.seed(flat_tuple(0, d, l), 0, Packet::tile(t));
+                }
+            }
+        }
+    }
+
+    // --- Run and collect. --------------------------------------------------
+    let mut out = vsa.run(config);
+    let k = a.nrows().min(a.ncols());
+    let mut r = Matrix::zeros(k, a.ncols());
+    for j in 0..kt {
+        for l in j..nt {
+            if j * nb >= k {
+                continue;
+            }
+            let mut p = out.take_exit(exit_r(j, l), 0);
+            assert_eq!(p.len(), 1, "missing R tile ({j},{l})");
+            let tile = p.remove(0).into_tile();
+            let block = if j == l { tile.upper_triangle() } else { tile };
+            let rows = block.nrows().min(k - j * nb);
+            r.set_submatrix(j * nb, l * nb, &block.submatrix(0, 0, rows, block.ncols()));
+        }
+    }
+    // Reassemble the transformation tree in plan order.
+    let plan = opts.plan(mt, nt);
+    let panels: Vec<Vec<Reflectors>> = (0..kt)
+        .map(|j| {
+            let order: HashMap<PanelOp, usize> = plan
+                .panel_ops(j)
+                .into_iter()
+                .enumerate()
+                .map(|(i, op)| (op, i))
+                .collect();
+            let mut collected: Vec<Reflectors> = Vec::new();
+            let heads = heads_of(j);
+            for d in 0..heads.len() {
+                for p in out.take_exit(exit_refl_flat(j, d), 0) {
+                    collected.push(p.take::<Reflectors>());
+                }
+            }
+            // Binary records: sweep all (lvl, pair) keys that exist.
+            let mut lvl = 0usize;
+            let mut width = heads.len();
+            while width > 1 {
+                for pair in 0..width / 2 {
+                    for p in out.take_exit(exit_refl_binary(j, lvl, pair), 0) {
+                        collected.push(p.take::<Reflectors>());
+                    }
+                }
+                width = width.div_ceil(2);
+                lvl += 1;
+            }
+            collected.sort_by_key(|r| order[&r.op]);
+            assert_eq!(collected.len(), order.len(), "missing transforms in stage {j}");
+            collected
+        })
+        .collect();
+
+    VsaQrResult {
+        factors: TileQrFactors {
+            m: a.nrows(),
+            n: a.ncols(),
+            nb,
+            ib,
+            r: r.upper_triangle(),
+            panels,
+        },
+        stats: out.stats,
+        trace: out.trace,
+    }
+}
+
+/// Small extension trait so channel construction reads naturally above.
+trait DisabledIf {
+    fn into_disabled_if(self, cond: bool) -> Self;
+}
+impl DisabledIf for ChannelSpec {
+    fn into_disabled_if(self, cond: bool) -> Self {
+        if cond {
+            self.disabled()
+        } else {
+            self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seqqr::tile_qr_seq;
+    use pulsar_linalg::verify::r_factor_distance;
+
+    fn check(m: usize, n: usize, nb: usize, ib: usize, tree: Tree, threads: usize) {
+        let mut rng = rand::rng();
+        let a = Matrix::random(m, n, &mut rng);
+        let opts = QrOptions::new(nb, ib, tree);
+        let res = tile_qr_compact(&a, &opts, &RunConfig::smp(threads));
+        let resid = res.factors.residual(&a);
+        assert!(resid < 1e-13, "compact residual {resid} ({m}x{n})");
+        let seq = tile_qr_seq(&a, &opts);
+        let d = r_factor_distance(&res.factors.r, &seq.r);
+        assert!(d < 1e-12, "compact vs sequential R differ by {d}");
+    }
+
+    #[test]
+    fn compact_hierarchical() {
+        check(24, 8, 4, 2, Tree::BinaryOnFlat { h: 3 }, 4);
+    }
+
+    #[test]
+    fn compact_many_domains() {
+        check(40, 8, 4, 2, Tree::BinaryOnFlat { h: 2 }, 4);
+    }
+
+    #[test]
+    fn compact_partial_last_domain() {
+        // 7 block rows with h=3: domains of 3, 3, 1.
+        check(28, 8, 4, 2, Tree::BinaryOnFlat { h: 3 }, 3);
+    }
+
+    #[test]
+    fn compact_flat_is_domino_like() {
+        check(20, 8, 4, 2, Tree::Flat, 3);
+    }
+
+    #[test]
+    fn compact_single_column() {
+        check(24, 4, 4, 2, Tree::BinaryOnFlat { h: 2 }, 2);
+    }
+
+    #[test]
+    fn compact_square() {
+        check(12, 12, 4, 2, Tree::BinaryOnFlat { h: 2 }, 3);
+    }
+
+    #[test]
+    fn compact_h_one_pure_binary() {
+        check(16, 8, 4, 2, Tree::BinaryOnFlat { h: 1 }, 4);
+    }
+
+    #[test]
+    fn compact_fires_fewer_vdps_than_unrolled() {
+        // Same work, far fewer VDPs than the unrolled array (the compact
+        // array reuses VDPs across firings).
+        let mut rng = rand::rng();
+        let a = Matrix::random(32, 12, &mut rng);
+        let opts = QrOptions::new(4, 2, Tree::BinaryOnFlat { h: 3 });
+        let compact = tile_qr_compact(&a, &opts, &RunConfig::smp(2));
+        let unrolled = crate::vsa3d::tile_qr_vsa(&a, &opts, &RunConfig::smp(2));
+        assert_eq!(compact.stats.fired, unrolled.stats.fired, "same kernel count");
+        let d = r_factor_distance(&compact.factors.r, &unrolled.factors.r);
+        assert!(d < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "shifted")]
+    fn compact_rejects_fixed_boundaries() {
+        let a = Matrix::zeros(8, 4);
+        let opts = QrOptions::new(4, 2, Tree::BinaryOnFlat { h: 2 }).with_fixed_boundary();
+        let _ = tile_qr_compact(&a, &opts, &RunConfig::smp(1));
+    }
+}

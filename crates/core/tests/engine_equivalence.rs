@@ -1,0 +1,141 @@
+//! Engine-equivalence suite: the sequential oracle, the unrolled 3D VSA,
+//! the compact Figure-8 array, and the 2D domino baseline must produce the
+//! *same* factorization (identical schedules mean identical arithmetic).
+
+use pulsar_core::domino::tile_qr_domino;
+use pulsar_core::plan::{Boundary, Tree};
+use pulsar_core::vsa3d::tile_qr_vsa;
+use pulsar_core::vsa_compact::tile_qr_compact;
+use pulsar_core::{tile_qr_seq, QrOptions, TileQrFactors};
+use pulsar_linalg::verify::r_factor_distance;
+use pulsar_linalg::Matrix;
+use pulsar_runtime::RunConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn check_same(a: &Matrix, f1: &TileQrFactors, f2: &TileQrFactors, what: &str) {
+    assert!(
+        r_factor_distance(&f1.r, &f2.r) < 1e-12,
+        "{what}: R factors differ"
+    );
+    assert!(f2.residual(a) < 1e-13, "{what}: residual too large");
+    assert_eq!(
+        f1.transform_count(),
+        f2.transform_count(),
+        "{what}: different transformation counts"
+    );
+}
+
+#[test]
+fn four_engines_agree_hierarchical() {
+    let mut rng = StdRng::seed_from_u64(2014);
+    let a = Matrix::random(48, 16, &mut rng);
+    let opts = QrOptions::new(4, 2, Tree::BinaryOnFlat { h: 3 });
+    let seq = tile_qr_seq(&a, &opts);
+    let vsa = tile_qr_vsa(&a, &opts, &RunConfig::smp(4)).factors;
+    let compact = tile_qr_compact(&a, &opts, &RunConfig::smp(4)).factors;
+    check_same(&a, &seq, &vsa, "seq vs vsa3d");
+    check_same(&a, &seq, &compact, "seq vs compact");
+}
+
+#[test]
+fn three_engines_agree_flat_plus_domino() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let a = Matrix::random(40, 16, &mut rng);
+    let opts = QrOptions::new(4, 2, Tree::Flat);
+    let seq = tile_qr_seq(&a, &opts);
+    let vsa = tile_qr_vsa(&a, &opts, &RunConfig::smp(3)).factors;
+    let compact = tile_qr_compact(&a, &opts, &RunConfig::smp(3)).factors;
+    let domino = tile_qr_domino(&a, &opts, &RunConfig::smp(3)).factors;
+    check_same(&a, &seq, &vsa, "seq vs vsa3d");
+    check_same(&a, &seq, &compact, "seq vs compact");
+    check_same(&a, &seq, &domino, "seq vs domino");
+}
+
+#[test]
+fn transforms_are_identical_not_just_r() {
+    // Beyond R: the recorded V/T trees must match op for op.
+    let mut rng = StdRng::seed_from_u64(99);
+    let a = Matrix::random(24, 8, &mut rng);
+    let opts = QrOptions::new(4, 2, Tree::BinaryOnFlat { h: 2 });
+    let seq = tile_qr_seq(&a, &opts);
+    let compact = tile_qr_compact(&a, &opts, &RunConfig::smp(3)).factors;
+    assert_eq!(seq.panels.len(), compact.panels.len());
+    for (ps, pc) in seq.panels.iter().zip(&compact.panels) {
+        assert_eq!(ps.len(), pc.len());
+        for (rs, rc) in ps.iter().zip(pc) {
+            assert_eq!(rs.op, rc.op, "schedule order differs");
+            assert!(
+                rs.v.sub(&rc.v).norm_fro() < 1e-13,
+                "V differs for {:?}",
+                rs.op
+            );
+            assert!(
+                rs.t.sub(&rc.t).norm_fro() < 1e-13,
+                "T differs for {:?}",
+                rs.op
+            );
+        }
+    }
+}
+
+#[test]
+fn q_thin_is_orthonormal_basis() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let a = Matrix::random(36, 12, &mut rng);
+    let opts = QrOptions::new(4, 2, Tree::Binary);
+    let f = tile_qr_vsa(&a, &opts, &RunConfig::smp(2)).factors;
+    let q1 = f.form_q_thin();
+    assert_eq!((q1.nrows(), q1.ncols()), (36, 12));
+    // Q1^T Q1 == I.
+    let qtq = q1.transpose().matmul(&q1);
+    assert!(qtq.sub(&Matrix::identity(12)).norm_fro() < 1e-12);
+    // Q1 R == A.
+    let back = q1.matmul(&f.r);
+    assert!(back.sub(&a).norm_fro() < 1e-12 * a.norm_fro());
+}
+
+#[test]
+fn many_random_shapes_compact_vs_seq() {
+    let mut rng = StdRng::seed_from_u64(31415);
+    for case in 0..12 {
+        let nb = 3 + case % 3;
+        let mt = 2 + case % 7;
+        let nt = 1 + case % 4;
+        let h = 1 + case % 4;
+        let m = mt * nb;
+        let n = nt * nb - (case % 2); // sometimes ragged columns
+        if n == 0 {
+            continue;
+        }
+        let a = Matrix::random(m, n, &mut rng);
+        let tree = if h >= mt {
+            Tree::Flat
+        } else {
+            Tree::BinaryOnFlat { h }
+        };
+        let opts = QrOptions::new(nb, 2, tree);
+        let seq = tile_qr_seq(&a, &opts);
+        let compact = tile_qr_compact(&a, &opts, &RunConfig::smp(1 + case % 4)).factors;
+        assert!(
+            r_factor_distance(&seq.r, &compact.r) < 1e-11,
+            "case {case}: m={m} n={n} nb={nb} h={h}"
+        );
+    }
+}
+
+#[test]
+fn fixed_vs_shifted_same_numerics_different_schedule() {
+    let mut rng = StdRng::seed_from_u64(17);
+    let a = Matrix::random(36, 12, &mut rng);
+    let shifted = QrOptions::new(4, 2, Tree::BinaryOnFlat { h: 3 });
+    let fixed = shifted.clone().with_fixed_boundary();
+    let fs = tile_qr_vsa(&a, &shifted, &RunConfig::smp(3)).factors;
+    let ff = tile_qr_vsa(&a, &fixed, &RunConfig::smp(3)).factors;
+    // Same R up to signs (different elimination orders).
+    assert!(r_factor_distance(&fs.r, &ff.r) < 1e-11);
+    // But genuinely different schedules in later panels.
+    let ops_s: Vec<_> = fs.panels[1].iter().map(|r| r.op).collect();
+    let ops_f: Vec<_> = ff.panels[1].iter().map(|r| r.op).collect();
+    assert_ne!(ops_s, ops_f, "boundary strategies should differ from panel 1 on");
+}

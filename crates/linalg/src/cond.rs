@@ -1,0 +1,148 @@
+//! Condition-number estimation for triangular factors (`dtrcon`-style):
+//! lets a least-squares driver warn when `R` is close to singular without
+//! forming `R^{-1}`.
+
+use crate::blas::{dtrsm_upper_left, dtrsm_upper_trans_left};
+use crate::matrix::Matrix;
+
+/// 1-norm of a matrix (max absolute column sum).
+pub fn one_norm(a: &Matrix) -> f64 {
+    (0..a.ncols())
+        .map(|j| a.col(j).iter().map(|x| x.abs()).sum::<f64>())
+        .fold(0.0, f64::max)
+}
+
+/// Infinity norm of a matrix (max absolute row sum).
+pub fn inf_norm(a: &Matrix) -> f64 {
+    let mut rows = vec![0.0f64; a.nrows()];
+    for j in 0..a.ncols() {
+        for (i, v) in a.col(j).iter().enumerate() {
+            rows[i] += v.abs();
+        }
+    }
+    rows.into_iter().fold(0.0, f64::max)
+}
+
+/// Hager-style estimate of `||R^{-1}||_1` for an upper-triangular `R`,
+/// using only triangular solves (LAPACK `dlacon` simplified). Returns
+/// `f64::INFINITY` when `R` is exactly singular.
+pub fn inv_one_norm_est_upper(r: &Matrix) -> f64 {
+    let n = r.nrows();
+    assert_eq!(r.ncols(), n, "R must be square");
+    if n == 0 {
+        return 0.0;
+    }
+    if (0..n).any(|i| r[(i, i)] == 0.0) {
+        return f64::INFINITY;
+    }
+    // x = e / n.
+    let mut x = Matrix::from_fn(n, 1, |_, _| 1.0 / n as f64);
+    let mut est = 0.0f64;
+    for _ in 0..5 {
+        // y = R^{-1} x.
+        let mut y = x.clone();
+        dtrsm_upper_left(r, &mut y);
+        let ynorm: f64 = y.col(0).iter().map(|v| v.abs()).sum();
+        est = est.max(ynorm);
+        // z = R^{-T} sign(y).
+        let mut z = Matrix::from_fn(n, 1, |i, _| if y[(i, 0)] >= 0.0 { 1.0 } else { -1.0 });
+        dtrsm_upper_trans_left(r, &mut z);
+        // Pick the coordinate with the largest |z|.
+        let (jmax, zmax) = (0..n)
+            .map(|i| (i, z[(i, 0)].abs()))
+            .fold((0, 0.0), |acc, v| if v.1 > acc.1 { v } else { acc });
+        let xtz: f64 = (0..n).map(|i| x[(i, 0)] * z[(i, 0)]).sum();
+        if zmax <= xtz.abs() {
+            break; // converged
+        }
+        x = Matrix::zeros(n, 1);
+        x[(jmax, 0)] = 1.0;
+    }
+    est
+}
+
+/// Estimated 1-norm condition number of an upper-triangular `R`.
+pub fn cond_est_upper(r: &Matrix) -> f64 {
+    let nrm = one_norm(r);
+    if nrm == 0.0 {
+        return f64::INFINITY;
+    }
+    nrm * inv_one_norm_est_upper(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn explicit_inverse_one_norm(r: &Matrix) -> f64 {
+        // Columns of R^{-1} by solving R x = e_j.
+        let n = r.nrows();
+        let mut worst = 0.0f64;
+        for j in 0..n {
+            let mut e = Matrix::zeros(n, 1);
+            e[(j, 0)] = 1.0;
+            dtrsm_upper_left(r, &mut e);
+            worst = worst.max(e.col(0).iter().map(|x| x.abs()).sum());
+        }
+        worst
+    }
+
+    #[test]
+    fn norms() {
+        let a = Matrix::from_fn(2, 2, |i, j| ((i + 1) * (j + 1)) as f64);
+        // columns sums: 1+2=3, 2+4=6; row sums: 1+2=3, 2+4=6.
+        assert_eq!(one_norm(&a), 6.0);
+        assert_eq!(inf_norm(&a), 6.0);
+    }
+
+    #[test]
+    fn identity_has_condition_one() {
+        let r = Matrix::identity(8);
+        let c = cond_est_upper(&r);
+        assert!((c - 1.0).abs() < 1e-12, "cond(I) = {c}");
+    }
+
+    #[test]
+    fn estimate_within_factor_of_truth() {
+        let mut rng = rand::rng();
+        for _ in 0..20 {
+            let mut r = Matrix::random(10, 10, &mut rng).upper_triangle();
+            for i in 0..10 {
+                r[(i, i)] += 2.0_f64.copysign(r[(i, i)]);
+            }
+            let truth = explicit_inverse_one_norm(&r);
+            let est = inv_one_norm_est_upper(&r);
+            // Hager's estimator is a lower bound, usually within ~3x.
+            assert!(est <= truth * (1.0 + 1e-12), "estimate above truth");
+            assert!(est >= truth / 10.0, "estimate {est} far below truth {truth}");
+        }
+    }
+
+    #[test]
+    fn singular_r_is_infinite() {
+        let mut r = Matrix::identity(4);
+        r[(2, 2)] = 0.0;
+        assert!(cond_est_upper(&r).is_infinite());
+    }
+
+    #[test]
+    fn ill_conditioned_detected() {
+        let mut r = Matrix::identity(6);
+        r[(5, 5)] = 1e-12;
+        assert!(cond_est_upper(&r) > 1e10);
+    }
+
+    #[test]
+    fn trans_solve_matches() {
+        let mut rng = rand::rng();
+        let mut u = Matrix::random(6, 6, &mut rng).upper_triangle();
+        for i in 0..6 {
+            u[(i, i)] += 3.0;
+        }
+        let b = Matrix::random(6, 2, &mut rng);
+        let mut x = b.clone();
+        dtrsm_upper_trans_left(&u, &mut x);
+        let back = u.transpose().matmul(&x);
+        assert!(back.sub(&b).norm_fro() < 1e-11);
+    }
+}

@@ -1,0 +1,187 @@
+//! Tile Cholesky kernels (`potrf` / `trsm` / `syrk`), the second classic
+//! tile algorithm of the PLASMA family — used by the Cholesky-on-PULSAR
+//! demonstration of runtime generality.
+
+use crate::matrix::Matrix;
+
+/// In-place lower Cholesky factorization of an SPD tile: `A = L L^T`,
+/// `L` overwriting the lower triangle (the strict upper triangle is
+/// neither read nor written). Returns the failing column when the tile is
+/// not positive definite.
+pub fn potrf_lower(a: &mut Matrix) -> Result<(), usize> {
+    let n = a.nrows();
+    assert_eq!(a.ncols(), n, "potrf needs a square tile");
+    for j in 0..n {
+        let mut d = a[(j, j)];
+        for k in 0..j {
+            d -= a[(j, k)] * a[(j, k)];
+        }
+        if d <= 0.0 {
+            return Err(j);
+        }
+        let d = d.sqrt();
+        a[(j, j)] = d;
+        for i in j + 1..n {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= a[(i, k)] * a[(j, k)];
+            }
+            a[(i, j)] = s / d;
+        }
+    }
+    Ok(())
+}
+
+/// Right triangular solve against a transposed lower factor:
+/// `A := A * L^{-T}` with `l` lower triangular (only its lower triangle is
+/// read). This is the `dtrsm(Right, Lower, Trans, NonUnit)` the tile
+/// Cholesky uses to form the off-diagonal `L` blocks.
+pub fn trsm_right_lower_trans(l: &Matrix, a: &mut Matrix) {
+    let n = l.nrows();
+    assert_eq!(l.ncols(), n);
+    assert_eq!(a.ncols(), n, "operand column count must match L");
+    let m = a.nrows();
+    // Solve X L^T = A column by column: X[:,j] = (A[:,j] - sum_{p<j}
+    // X[:,p] L[j,p]) / L[j,j].
+    for j in 0..n {
+        for p in 0..j {
+            let ljp = l[(j, p)];
+            if ljp == 0.0 {
+                continue;
+            }
+            let (xp, xj) = a.two_cols_mut(p, j);
+            for r in 0..m {
+                xj[r] -= xp[r] * ljp;
+            }
+        }
+        let d = l[(j, j)];
+        for v in a.col_mut(j) {
+            *v /= d;
+        }
+    }
+}
+
+/// Symmetric rank-k update of a lower-stored tile:
+/// `C := C - A * A^T`, touching only the lower triangle (and diagonal)
+/// of `c`.
+pub fn syrk_lower(a: &Matrix, c: &mut Matrix) {
+    let n = c.nrows();
+    assert_eq!(c.ncols(), n);
+    assert_eq!(a.nrows(), n, "A rows must match C");
+    let k = a.ncols();
+    for j in 0..n {
+        for p in 0..k {
+            let ajp = a[(j, p)];
+            if ajp == 0.0 {
+                continue;
+            }
+            for i in j..n {
+                c[(i, j)] -= a[(i, p)] * ajp;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::{dgemm, Trans};
+
+    fn spd(n: usize) -> Matrix {
+        let mut rng = rand::rng();
+        let b = Matrix::random(n, n, &mut rng);
+        let mut a = Matrix::identity(n);
+        for i in 0..n {
+            a[(i, i)] = n as f64;
+        }
+        dgemm(Trans::No, Trans::Yes, 1.0, &b, &b, 1.0, &mut a);
+        a
+    }
+
+    fn lower_of(a: &Matrix) -> Matrix {
+        Matrix::from_fn(a.nrows(), a.ncols(), |i, j| if i >= j { a[(i, j)] } else { 0.0 })
+    }
+
+    #[test]
+    fn potrf_reconstructs() {
+        let a0 = spd(8);
+        let mut a = a0.clone();
+        potrf_lower(&mut a).unwrap();
+        let l = lower_of(&a);
+        let mut llt = Matrix::zeros(8, 8);
+        dgemm(Trans::No, Trans::Yes, 1.0, &l, &l, 0.0, &mut llt);
+        // Compare lower triangles (upper of a0 is symmetric anyway).
+        for j in 0..8 {
+            for i in j..8 {
+                assert!((llt[(i, j)] - a0[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn potrf_ignores_upper_triangle() {
+        let mut a = spd(5);
+        let a0 = a.clone();
+        for j in 0..5 {
+            for i in 0..j {
+                a[(i, j)] = f64::NAN;
+            }
+        }
+        potrf_lower(&mut a).unwrap();
+        let mut clean = a0;
+        potrf_lower(&mut clean).unwrap();
+        for j in 0..5 {
+            for i in j..5 {
+                assert_eq!(a[(i, j)], clean[(i, j)]);
+            }
+            for i in 0..j {
+                assert!(a[(i, j)].is_nan(), "upper written");
+            }
+        }
+    }
+
+    #[test]
+    fn potrf_detects_indefinite() {
+        let mut a = Matrix::identity(4);
+        a[(2, 2)] = -1.0;
+        assert_eq!(potrf_lower(&mut a), Err(2));
+    }
+
+    #[test]
+    fn trsm_solves() {
+        let mut rng = rand::rng();
+        let mut l = Matrix::random(6, 6, &mut rng);
+        for i in 0..6 {
+            l[(i, i)] = 2.0 + l[(i, i)].abs();
+            for j in i + 1..6 {
+                l[(i, j)] = 0.0;
+            }
+        }
+        let a0 = Matrix::random(4, 6, &mut rng);
+        let mut x = a0.clone();
+        trsm_right_lower_trans(&l, &mut x);
+        // X L^T must equal A0.
+        let mut back = Matrix::zeros(4, 6);
+        dgemm(Trans::No, Trans::Yes, 1.0, &x, &l, 0.0, &mut back);
+        assert!(back.sub(&a0).norm_fro() < 1e-11);
+    }
+
+    #[test]
+    fn syrk_matches_gemm_on_lower() {
+        let mut rng = rand::rng();
+        let a = Matrix::random(5, 3, &mut rng);
+        let c0 = Matrix::random(5, 5, &mut rng);
+        let mut c = c0.clone();
+        syrk_lower(&a, &mut c);
+        let mut want = c0.clone();
+        dgemm(Trans::No, Trans::Yes, -1.0, &a, &a, 1.0, &mut want);
+        for j in 0..5 {
+            for i in j..5 {
+                assert!((c[(i, j)] - want[(i, j)]).abs() < 1e-12);
+            }
+            for i in 0..j {
+                assert_eq!(c[(i, j)], c0[(i, j)], "upper triangle touched");
+            }
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! `geqrt` (tile QR) and `unmqr` (apply tile Q), with inner blocking.
+
+use super::{apply_t_block, inner_blocks, ApplyTrans};
+use crate::blas::ddot;
+use crate::householder::dlarfg;
+use crate::matrix::Matrix;
+
+/// QR factorization of the `m x n` tile `a` with inner block size `ib`.
+///
+/// On return the upper triangle of `a` holds `R`, the strict lower triangle
+/// holds the Householder reflectors `V` (unit diagonal implicit), and
+/// `t[0..ibb, jb..jb+ibb]` holds the upper-triangular inner-block factors.
+/// `t` must be at least `min(ib, k) x k` with `k = min(m, n)`.
+pub fn geqrt(a: &mut Matrix, t: &mut Matrix, ib: usize) {
+    let m = a.nrows();
+    let n = a.ncols();
+    let k = m.min(n);
+    assert!(t.nrows() >= ib.min(k.max(1)) && t.ncols() >= k, "t too small");
+    let mut taus = vec![0.0; k];
+
+    for (jb, ibb) in inner_blocks(k, ib, ApplyTrans::Trans) {
+        // Unblocked factorization of the panel columns jb..jb+ibb.
+        for j in jb..jb + ibb {
+            let (beta, tau) = {
+                let col = a.col_mut(j);
+                let (head, tail) = col.split_at_mut(j + 1);
+                dlarfg(head[j], tail)
+            };
+            a[(j, j)] = beta;
+            taus[j] = tau;
+            if tau == 0.0 {
+                continue;
+            }
+            // Apply H_j to the remaining panel columns j+1..jb+ibb.
+            for c in j + 1..jb + ibb {
+                let (colj, colc) = a.two_cols_mut(j, c);
+                let vtail = &colj[j + 1..m];
+                let seg = &mut colc[j..m];
+                let w = tau * (seg[0] + ddot(vtail, &seg[1..]));
+                seg[0] -= w;
+                for (s, v) in seg[1..].iter_mut().zip(vtail) {
+                    *s -= w * v;
+                }
+            }
+        }
+
+        // Form the T factor of this block (dlarft on the in-tile V block).
+        for lj in 0..ibb {
+            let j = jb + lj;
+            let tau = taus[j];
+            t[(lj, j)] = tau;
+            if tau == 0.0 {
+                for li in 0..lj {
+                    t[(li, j)] = 0.0;
+                }
+                continue;
+            }
+            for li in 0..lj {
+                let i = jb + li;
+                // v_i^T v_j: unit head of v_j hits row j of v_i, tails overlap below.
+                let mut s = a[(j, i)];
+                for r in j + 1..m {
+                    s += a[(r, i)] * a[(r, j)];
+                }
+                t[(li, j)] = -tau * s;
+            }
+            for li in 0..lj {
+                let mut s = 0.0;
+                for ll in li..lj {
+                    s += t[(li, jb + ll)] * t[(ll, j)];
+                }
+                t[(li, j)] = s;
+            }
+        }
+
+        // Apply the block reflector (transposed) to the trailing columns of
+        // this tile: C = a[jb.., jb+ibb..n].
+        if jb + ibb < n {
+            let nc = n - (jb + ibb);
+            let mut w = Matrix::zeros(ibb, nc);
+            for wc in 0..nc {
+                let c = jb + ibb + wc;
+                for l in 0..ibb {
+                    let vcol = jb + l;
+                    let mut s = a[(vcol, c)];
+                    for r in vcol + 1..m {
+                        s += a[(r, vcol)] * a[(r, c)];
+                    }
+                    w[(l, wc)] = s;
+                }
+            }
+            apply_t_block(t, jb, ibb, ApplyTrans::Trans, &mut w);
+            for wc in 0..nc {
+                let c = jb + ibb + wc;
+                for l in 0..ibb {
+                    let vcol = jb + l;
+                    let wv = w[(l, wc)];
+                    if wv == 0.0 {
+                        continue;
+                    }
+                    a[(vcol, c)] -= wv;
+                    for r in vcol + 1..m {
+                        a[(r, c)] -= a[(r, vcol)] * wv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Apply `Q` or `Q^T` from a [`geqrt`] factorization to the tile `c`
+/// (from the left): `c := op(Q) * c`.
+///
+/// `v` is the factored tile (reflectors in its strict lower triangle) and
+/// `t` the matching inner-block factors. `c` must have the same row count.
+pub fn unmqr(v: &Matrix, t: &Matrix, trans: ApplyTrans, c: &mut Matrix, ib: usize) {
+    let m = v.nrows();
+    let k = m.min(v.ncols());
+    assert_eq!(c.nrows(), m, "C row count must match V");
+    let n = c.ncols();
+
+    for (jb, ibb) in inner_blocks(k, ib, trans) {
+        let mut w = Matrix::zeros(ibb, n);
+        for col in 0..n {
+            let ccol = c.col(col);
+            for l in 0..ibb {
+                let vcol = jb + l;
+                let mut s = ccol[vcol];
+                for r in vcol + 1..m {
+                    s += v[(r, vcol)] * ccol[r];
+                }
+                w[(l, col)] = s;
+            }
+        }
+        apply_t_block(t, jb, ibb, trans, &mut w);
+        for col in 0..n {
+            let ccol = c.col_mut(col);
+            for l in 0..ibb {
+                let vcol = jb + l;
+                let wv = w[(l, col)];
+                if wv == 0.0 {
+                    continue;
+                }
+                ccol[vcol] -= wv;
+                for r in vcol + 1..m {
+                    ccol[r] -= v[(r, vcol)] * wv;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    /// Explicitly form Q by applying it to the identity.
+    fn form_q(v: &Matrix, t: &Matrix, ib: usize) -> Matrix {
+        let m = v.nrows();
+        let mut q = Matrix::identity(m);
+        unmqr(v, t, ApplyTrans::NoTrans, &mut q, ib);
+        q
+    }
+
+    fn check_qr(m: usize, n: usize, ib: usize) {
+        let mut rng = rand::rng();
+        let a0 = Matrix::random(m, n, &mut rng);
+        let mut a = a0.clone();
+        let k = m.min(n);
+        let mut t = Matrix::zeros(ib.min(k), k);
+        geqrt(&mut a, &mut t, ib);
+
+        let q = form_q(&a, &t, ib);
+        // Orthogonality.
+        let qtq = q.transpose().matmul(&q);
+        assert!(
+            qtq.sub(&Matrix::identity(m)).norm_fro() < 1e-12 * (m as f64),
+            "Q not orthogonal ({m}x{n}, ib={ib})"
+        );
+        // Residual: Q * R == A.
+        let mut r = Matrix::zeros(m, n);
+        for j in 0..n {
+            for i in 0..=j.min(m - 1) {
+                r[(i, j)] = a[(i, j)];
+            }
+        }
+        let back = q.matmul(&r);
+        assert!(
+            back.sub(&a0).norm_fro() < 1e-12 * a0.norm_fro().max(1.0),
+            "QR != A ({m}x{n}, ib={ib})"
+        );
+    }
+
+    #[test]
+    fn geqrt_square_various_ib() {
+        for ib in [1, 2, 3, 8, 16] {
+            check_qr(8, 8, ib);
+        }
+    }
+
+    #[test]
+    fn geqrt_tall() {
+        check_qr(12, 5, 2);
+        check_qr(16, 4, 4);
+        check_qr(9, 1, 2);
+    }
+
+    #[test]
+    fn geqrt_wide() {
+        check_qr(4, 9, 2);
+        check_qr(1, 5, 1);
+    }
+
+    #[test]
+    fn geqrt_ib_larger_than_n() {
+        check_qr(6, 3, 10);
+    }
+
+    #[test]
+    fn unmqr_trans_then_notrans_roundtrip() {
+        let mut rng = rand::rng();
+        let mut a = Matrix::random(7, 7, &mut rng);
+        let mut t = Matrix::zeros(3, 7);
+        geqrt(&mut a, &mut t, 3);
+        let c0 = Matrix::random(7, 4, &mut rng);
+        let mut c = c0.clone();
+        unmqr(&a, &t, ApplyTrans::Trans, &mut c, 3);
+        unmqr(&a, &t, ApplyTrans::NoTrans, &mut c, 3);
+        assert!(c.sub(&c0).norm_fro() < 1e-12);
+    }
+
+    #[test]
+    fn unmqr_trans_reduces_a_to_r() {
+        // Q^T A == R.
+        let mut rng = rand::rng();
+        let a0 = Matrix::random(9, 5, &mut rng);
+        let mut a = a0.clone();
+        let mut t = Matrix::zeros(2, 5);
+        geqrt(&mut a, &mut t, 2);
+        let mut c = a0.clone();
+        unmqr(&a, &t, ApplyTrans::Trans, &mut c, 2);
+        for j in 0..5 {
+            for i in 0..9 {
+                if i > j {
+                    assert!(c[(i, j)].abs() < 1e-12, "below-diagonal not annihilated");
+                } else {
+                    assert!((c[(i, j)] - a[(i, j)]).abs() < 1e-11, "R mismatch");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn geqrt_on_zero_matrix() {
+        let mut a = Matrix::zeros(5, 3);
+        let mut t = Matrix::zeros(2, 3);
+        geqrt(&mut a, &mut t, 2);
+        assert_eq!(a.norm_fro(), 0.0);
+        assert_eq!(t.norm_fro(), 0.0);
+    }
+}

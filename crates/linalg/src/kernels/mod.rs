@@ -1,0 +1,241 @@
+//! PLASMA-style tile QR kernels.
+//!
+//! These are the computational kernels from Section V-B of the paper:
+//!
+//! | kernel               | role |
+//! |----------------------|------|
+//! | [`geqrt`]            | QR of a tile; R in the upper triangle, reflectors below, `T` factors on the side |
+//! | [`unmqr`]            | apply a `geqrt` transformation to a tile of the trailing submatrix |
+//! | [`tsqrt`]            | incremental QR of a triangle stacked on a full tile |
+//! | [`tsmqr`]            | apply a `tsqrt` transformation to two stacked tiles |
+//! | [`ttqrt`]            | incremental QR of a triangle stacked on a triangle |
+//! | [`ttmqr`]            | apply a `ttqrt` transformation to two stacked tiles |
+//!
+//! All kernels use inner blocking with block size `ib` and store the
+//! block-reflector factors in a `ib x n` matrix `t`: the `T` factor of the
+//! inner block starting at column `jb` lives in `t[0..ibb, jb..jb+ibb]`
+//! (upper triangular, `ibb = min(ib, n - jb)`).
+
+pub mod cholesky;
+mod geqrt;
+mod tsqrt;
+mod ttqrt;
+
+pub use cholesky::{potrf_lower, syrk_lower, trsm_right_lower_trans};
+pub use geqrt::{geqrt, unmqr};
+pub use tsqrt::{tsmqr, tsqrt};
+pub use ttqrt::{ttmqr, ttqrt};
+
+use crate::matrix::Matrix;
+
+/// Which operator to apply in the `*mqr` kernels.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ApplyTrans {
+    /// Apply `Q` itself.
+    NoTrans,
+    /// Apply `Q^T` (the direction used during factorization updates).
+    Trans,
+}
+
+/// Iterate over the inner blocks of a factorization with `k` columns:
+/// yields `(jb, ibb)` pairs, ascending for [`ApplyTrans::Trans`] (and for
+/// factorization), descending for [`ApplyTrans::NoTrans`].
+pub(crate) fn inner_blocks(k: usize, ib: usize, trans: ApplyTrans) -> Vec<(usize, usize)> {
+    assert!(ib > 0, "inner block size must be positive");
+    let mut blocks: Vec<(usize, usize)> = (0..k)
+        .step_by(ib)
+        .map(|jb| (jb, ib.min(k - jb)))
+        .collect();
+    if trans == ApplyTrans::NoTrans {
+        blocks.reverse();
+    }
+    blocks
+}
+
+/// Multiply the `ibb x nc` workspace `w` in place by the inner-block `T`
+/// factor stored at `t[0..ibb, jb..jb+ibb]`: `w := op(T) * w`.
+pub(crate) fn apply_t_block(t: &Matrix, jb: usize, ibb: usize, trans: ApplyTrans, w: &mut Matrix) {
+    debug_assert_eq!(w.nrows(), ibb);
+    let nc = w.ncols();
+    match trans {
+        ApplyTrans::Trans => {
+            // Row i of T^T w depends on rows <= i of w: bottom-up in place.
+            for c in 0..nc {
+                let col = w.col_mut(c);
+                for i in (0..ibb).rev() {
+                    let mut s = 0.0;
+                    for l in 0..=i {
+                        s += t[(l, jb + i)] * col[l];
+                    }
+                    col[i] = s;
+                }
+            }
+        }
+        ApplyTrans::NoTrans => {
+            // Row i of T w depends on rows >= i of w: top-down in place.
+            for c in 0..nc {
+                let col = w.col_mut(c);
+                for i in 0..ibb {
+                    let mut s = 0.0;
+                    for l in i..ibb {
+                        s += t[(i, jb + l)] * col[l];
+                    }
+                    col[i] = s;
+                }
+            }
+        }
+    }
+}
+
+/// Form the inner-block `T` factor for a *stacked* reflector block
+/// (`tsqrt` / `ttqrt`): the top part of each reflector is a unit vector, so
+/// cross products reduce to dot products of the stored tails in `v2`.
+///
+/// Local reflector `l` (for `l < ibb`) has its tail in column
+/// `v2_col0 + l` of `v2` with stored length `vlen(l)`; `taus[l]` is its
+/// scalar. The result goes to `t[0..ibb, jb..jb+ibb]`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn form_t_block_stacked(
+    v2: &Matrix,
+    v2_col0: usize,
+    jb: usize,
+    ibb: usize,
+    taus: &[f64],
+    vlen: &impl Fn(usize) -> usize,
+    t: &mut Matrix,
+) {
+    for lj in 0..ibb {
+        let j = jb + lj;
+        let tau = taus[lj];
+        t[(lj, j)] = tau;
+        if tau == 0.0 {
+            for li in 0..lj {
+                t[(li, j)] = 0.0;
+            }
+            continue;
+        }
+        // t[0..lj, j] = -tau * V2[:, ..lj]^T * v2_lj  (overlap bounded by tail lengths)
+        for li in 0..lj {
+            let len = vlen(li).min(vlen(lj));
+            let mut s = 0.0;
+            for r in 0..len {
+                s += v2[(r, v2_col0 + li)] * v2[(r, v2_col0 + lj)];
+            }
+            t[(li, j)] = -tau * s;
+        }
+        // t[0..lj, j] = T_block * t[0..lj, j], ascending in-place triangular product.
+        for li in 0..lj {
+            let mut s = 0.0;
+            for ll in li..lj {
+                s += t[(li, jb + ll)] * t[(ll, j)];
+            }
+            t[(li, j)] = s;
+        }
+    }
+}
+
+/// Apply one inner block of a *stacked* block reflector from the left to the
+/// pair `(rows jb..jb+ibb of a1, a2)`, columns `cols` of both:
+///
+/// ```text
+/// W  = A1[jb..jb+ibb, cols] + V2_blk^T * A2[.., cols]
+/// W := op(T_blk) * W
+/// A1[jb..jb+ibb, cols] -= W
+/// A2[.., cols]         -= V2_blk * W
+/// ```
+///
+/// Local reflector `l` has its tail in column `v2_col0 + l` of `v2` with
+/// stored length `vlen(l)` (rows of `a2` it touches).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn apply_stacked_block(
+    v2: &Matrix,
+    v2_col0: usize,
+    t: &Matrix,
+    jb: usize,
+    ibb: usize,
+    trans: ApplyTrans,
+    vlen: &impl Fn(usize) -> usize,
+    a1: &mut Matrix,
+    a2: &mut Matrix,
+    cols: std::ops::Range<usize>,
+) {
+    let nc = cols.len();
+    if nc == 0 {
+        return;
+    }
+    let mut w = Matrix::zeros(ibb, nc);
+    for (wc, c) in cols.clone().enumerate() {
+        let a2col = a2.col(c);
+        for l in 0..ibb {
+            let len = vlen(l);
+            let mut s = a1[(jb + l, c)];
+            for r in 0..len {
+                s += v2[(r, v2_col0 + l)] * a2col[r];
+            }
+            w[(l, wc)] = s;
+        }
+    }
+    apply_t_block(t, jb, ibb, trans, &mut w);
+    for (wc, c) in cols.enumerate() {
+        for l in 0..ibb {
+            a1[(jb + l, c)] -= w[(l, wc)];
+        }
+        let a2col = a2.col_mut(c);
+        for l in 0..ibb {
+            let wv = w[(l, wc)];
+            if wv == 0.0 {
+                continue;
+            }
+            let len = vlen(l);
+            for r in 0..len {
+                a2col[r] -= v2[(r, v2_col0 + l)] * wv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inner_blocks_cover_columns() {
+        let blocks = inner_blocks(10, 4, ApplyTrans::Trans);
+        assert_eq!(blocks, vec![(0, 4), (4, 4), (8, 2)]);
+        let rev = inner_blocks(10, 4, ApplyTrans::NoTrans);
+        assert_eq!(rev, vec![(8, 2), (4, 4), (0, 4)]);
+    }
+
+    #[test]
+    fn inner_blocks_single() {
+        assert_eq!(inner_blocks(3, 8, ApplyTrans::Trans), vec![(0, 3)]);
+    }
+
+    #[test]
+    fn apply_t_block_matches_dense() {
+        use crate::blas::{dgemm, Trans};
+        let mut rng = rand::rng();
+        let ibb = 3;
+        // t with the block at columns 2..5, upper triangular.
+        let mut t = Matrix::zeros(4, 8);
+        for j in 0..ibb {
+            for i in 0..=j {
+                t[(i, 2 + j)] = rand::Rng::random::<f64>(&mut rng);
+            }
+        }
+        let tdense = Matrix::from_fn(ibb, ibb, |i, j| if i <= j { t[(i, 2 + j)] } else { 0.0 });
+        let w0 = Matrix::random(ibb, 5, &mut rng);
+
+        let mut w = w0.clone();
+        apply_t_block(&t, 2, ibb, ApplyTrans::Trans, &mut w);
+        let mut want = Matrix::zeros(ibb, 5);
+        dgemm(Trans::Yes, Trans::No, 1.0, &tdense, &w0, 0.0, &mut want);
+        assert!(w.sub(&want).norm_fro() < 1e-13);
+
+        let mut w = w0.clone();
+        apply_t_block(&t, 2, ibb, ApplyTrans::NoTrans, &mut w);
+        let mut want = Matrix::zeros(ibb, 5);
+        dgemm(Trans::No, Trans::No, 1.0, &tdense, &w0, 0.0, &mut want);
+        assert!(w.sub(&want).norm_fro() < 1e-13);
+    }
+}

@@ -1,0 +1,229 @@
+//! `tsqrt` / `tsmqr`: incremental QR of a triangle stacked on a full tile.
+
+use super::{apply_stacked_block, form_t_block_stacked, inner_blocks, ApplyTrans};
+use crate::blas::ddot;
+use crate::householder::dlarfg;
+use crate::matrix::Matrix;
+
+/// Incremental QR of the stacked pair `[A1; A2]` where `a1` is an `n x n`
+/// upper-triangular tile (an `R` factor) and `a2` is a full `m2 x n` tile.
+///
+/// On return `a1` holds the updated `R` factor, `a2` holds the Householder
+/// reflector tails `V2` (the top part of each reflector is an implicit unit
+/// vector), and `t[0..ibb, jb..jb+ibb]` the inner-block factors.
+pub fn tsqrt(a1: &mut Matrix, a2: &mut Matrix, t: &mut Matrix, ib: usize) {
+    let n = a1.ncols();
+    // a1 may be a full tile taller than its column count; only its top
+    // n x n triangle (the R factor) is read and written.
+    assert!(a1.nrows() >= n, "a1 must cover an n x n R factor");
+    assert_eq!(a2.ncols(), n, "a2 must have the same column count");
+    let m2 = a2.nrows();
+    assert!(t.nrows() >= ib.min(n.max(1)) && t.ncols() >= n, "t too small");
+
+    let mut taus = vec![0.0; ib.min(n.max(1))];
+    for (jb, ibb) in inner_blocks(n, ib, ApplyTrans::Trans) {
+        for lj in 0..ibb {
+            let j = jb + lj;
+            // Reflector from [a1[j,j]; a2[:, j]].
+            let (beta, tau) = dlarfg(a1[(j, j)], a2.col_mut(j));
+            a1[(j, j)] = beta;
+            taus[lj] = tau;
+            if tau == 0.0 {
+                continue;
+            }
+            // Apply H_j to the remaining in-block columns of [A1; A2]:
+            // only row j of A1 is touched (the top of the reflector is e_j).
+            for c in j + 1..jb + ibb {
+                let (v2, a2c) = a2.two_cols_mut(j, c);
+                let w = tau * (a1[(j, c)] + ddot(v2, a2c));
+                a1[(j, c)] -= w;
+                for (x, v) in a2c.iter_mut().zip(v2.iter()) {
+                    *x -= w * v;
+                }
+            }
+        }
+        form_t_block_stacked(a2, jb, jb, ibb, &taus[..ibb], &|_| m2, t);
+        // Apply the block reflector to the trailing columns. `a2` is both the
+        // reflector store and the update target, so copy the V block out.
+        if jb + ibb < n {
+            let vblk = a2.submatrix(0, jb, m2, ibb);
+            apply_stacked_block(
+                &vblk,
+                0,
+                t,
+                jb,
+                ibb,
+                ApplyTrans::Trans,
+                &|_| m2,
+                a1,
+                a2,
+                jb + ibb..n,
+            );
+        }
+    }
+}
+
+/// Apply `Q` or `Q^T` from a [`tsqrt`] factorization to the stacked pair
+/// `[a1; a2]` from the left.
+///
+/// `v` is the `m2 x k` reflector-tail tile produced by `tsqrt` (i.e. its
+/// `a2` output) and `t` the matching inner-block factors; `a1` must have at
+/// least `k` rows and `a2` exactly `m2` rows.
+pub fn tsmqr(
+    a1: &mut Matrix,
+    a2: &mut Matrix,
+    v: &Matrix,
+    t: &Matrix,
+    trans: ApplyTrans,
+    ib: usize,
+) {
+    let k = v.ncols();
+    let m2 = v.nrows();
+    assert!(a1.nrows() >= k, "a1 must cover the factored rows");
+    assert_eq!(a2.nrows(), m2, "a2 rows must match V");
+    assert_eq!(a1.ncols(), a2.ncols(), "a1/a2 must have equal column count");
+    let nc = a1.ncols();
+
+    for (jb, ibb) in inner_blocks(k, ib, trans) {
+        apply_stacked_block(v, jb, t, jb, ibb, trans, &|_| m2, a1, a2, 0..nc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::geqrt;
+    use crate::matrix::Matrix;
+
+    /// Factor [R1; B] with tsqrt and rebuild the stacked Q explicitly.
+    fn form_q_ts(v: &Matrix, t: &Matrix, n: usize, ib: usize) -> Matrix {
+        let m2 = v.nrows();
+        let m = n + m2;
+        // Apply Q to the identity, column block by column block.
+        let mut top = Matrix::identity(n);
+        let mut top_rest = Matrix::zeros(n, m2);
+        let mut bot = Matrix::zeros(m2, n);
+        let mut bot_rest = Matrix::identity(m2);
+        tsmqr(&mut top, &mut bot, v, t, ApplyTrans::NoTrans, ib);
+        tsmqr(&mut top_rest, &mut bot_rest, v, t, ApplyTrans::NoTrans, ib);
+        let mut q = Matrix::zeros(m, m);
+        q.set_submatrix(0, 0, &top);
+        q.set_submatrix(0, n, &top_rest);
+        q.set_submatrix(n, 0, &bot);
+        q.set_submatrix(n, n, &bot_rest);
+        q
+    }
+
+    fn check_ts(n: usize, m2: usize, ib: usize) {
+        let mut rng = rand::rng();
+        // Start from a random R1 (upper triangular) and a full B.
+        let r1 = Matrix::random(n, n, &mut rng).upper_triangle();
+        let b = Matrix::random(m2, n, &mut rng);
+        let mut a1 = r1.clone();
+        let mut a2 = b.clone();
+        let mut t = Matrix::zeros(ib.min(n), n);
+        tsqrt(&mut a1, &mut a2, &mut t, ib);
+
+        // a1 must be upper triangular.
+        for j in 0..n {
+            for i in j + 1..n {
+                assert!(a1[(i, j)].abs() < 1e-12, "R not triangular");
+            }
+        }
+        // Q * [R; 0] must equal [R1; B].
+        let q = form_q_ts(&a2, &t, n, ib);
+        let m = n + m2;
+        let qtq = q.transpose().matmul(&q);
+        assert!(
+            qtq.sub(&Matrix::identity(m)).norm_fro() < 1e-12 * m as f64,
+            "stacked Q not orthogonal (n={n}, m2={m2}, ib={ib})"
+        );
+        let mut rstack = Matrix::zeros(m, n);
+        rstack.set_submatrix(0, 0, &a1.upper_triangle());
+        let back = q.matmul(&rstack);
+        let mut orig = Matrix::zeros(m, n);
+        orig.set_submatrix(0, 0, &r1);
+        orig.set_submatrix(n, 0, &b);
+        assert!(
+            back.sub(&orig).norm_fro() < 1e-12 * orig.norm_fro().max(1.0),
+            "ts QR mismatch (n={n}, m2={m2}, ib={ib})"
+        );
+    }
+
+    #[test]
+    fn tsqrt_various_shapes() {
+        check_ts(4, 4, 2);
+        check_ts(6, 6, 3);
+        check_ts(5, 8, 2);
+        check_ts(8, 3, 4);
+        check_ts(1, 1, 1);
+    }
+
+    #[test]
+    fn tsqrt_ib_extremes() {
+        check_ts(6, 6, 1);
+        check_ts(6, 6, 6);
+        check_ts(6, 6, 100);
+    }
+
+    #[test]
+    fn tsmqr_roundtrip() {
+        let mut rng = rand::rng();
+        let n = 5;
+        let m2 = 6;
+        let ib = 2;
+        let mut a1 = Matrix::random(n, n, &mut rng).upper_triangle();
+        let mut a2 = Matrix::random(m2, n, &mut rng);
+        let mut t = Matrix::zeros(ib, n);
+        tsqrt(&mut a1, &mut a2, &mut t, ib);
+
+        let c1_0 = Matrix::random(n, 4, &mut rng);
+        let c2_0 = Matrix::random(m2, 4, &mut rng);
+        let mut c1 = c1_0.clone();
+        let mut c2 = c2_0.clone();
+        tsmqr(&mut c1, &mut c2, &a2, &t, ApplyTrans::Trans, ib);
+        tsmqr(&mut c1, &mut c2, &a2, &t, ApplyTrans::NoTrans, ib);
+        assert!(c1.sub(&c1_0).norm_fro() < 1e-12);
+        assert!(c2.sub(&c2_0).norm_fro() < 1e-12);
+    }
+
+    #[test]
+    fn two_tile_flat_tree_equals_tall_qr() {
+        // Factor a 2-tile column [A0; A1] via geqrt + tsqrt and compare the
+        // R factor with a direct QR of the stacked matrix (up to signs).
+        let mut rng = rand::rng();
+        let nb = 6;
+        let ib = 3;
+        let a0 = Matrix::random(nb, nb, &mut rng);
+        let a1 = Matrix::random(nb, nb, &mut rng);
+
+        let mut top = a0.clone();
+        let mut t0 = Matrix::zeros(ib, nb);
+        geqrt(&mut top, &mut t0, ib);
+        let mut bot = a1.clone();
+        let mut t1 = Matrix::zeros(ib, nb);
+        tsqrt(&mut top, &mut bot, &mut t1, ib);
+
+        // Direct QR of the 12x6 stacked matrix.
+        let mut stacked = Matrix::zeros(2 * nb, nb);
+        stacked.set_submatrix(0, 0, &a0);
+        stacked.set_submatrix(nb, 0, &a1);
+        let mut tref = Matrix::zeros(ib, nb);
+        geqrt(&mut stacked, &mut tref, ib);
+
+        // R factors must agree up to per-row sign.
+        for i in 0..nb {
+            let sign = if (top[(i, i)] >= 0.0) == (stacked[(i, i)] >= 0.0) {
+                1.0
+            } else {
+                -1.0
+            };
+            for j in i..nb {
+                assert!(
+                    (top[(i, j)] - sign * stacked[(i, j)]).abs() < 1e-10,
+                    "R mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+}

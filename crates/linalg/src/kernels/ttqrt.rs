@@ -1,0 +1,212 @@
+//! `ttqrt` / `ttmqr`: incremental QR of a triangle stacked on a triangle
+//! (the binary-tree reduction kernels).
+
+use super::{apply_stacked_block, form_t_block_stacked, inner_blocks, ApplyTrans};
+use crate::householder::dlarfg;
+use crate::matrix::Matrix;
+
+/// Incremental QR of the stacked pair `[A1; A2]` where **both** `a1` and
+/// `a2` are `n x n` upper-triangular tiles (two `R` factors meeting in a
+/// tree reduction).
+///
+/// On return `a1` holds the combined `R`, the upper triangle of `a2` holds
+/// the reflector tails `V2` (tail `j` spans rows `0..=j`; the strict lower
+/// triangle of `a2` is never read or written), and `t` the inner-block
+/// factors.
+pub fn ttqrt(a1: &mut Matrix, a2: &mut Matrix, t: &mut Matrix, ib: usize) {
+    let n = a1.ncols();
+    // Tiles may be taller than their column count (ragged column edges);
+    // only the top n x n triangles participate.
+    assert!(a1.nrows() >= n, "a1 must cover an n x n R factor");
+    assert!(a2.nrows() >= n, "a2 must cover an n x n R factor");
+    assert_eq!(a2.ncols(), n, "a2 column count must match");
+    assert!(t.nrows() >= ib.min(n.max(1)) && t.ncols() >= n, "t too small");
+
+    let mut taus = vec![0.0; ib.min(n.max(1))];
+    for (jb, ibb) in inner_blocks(n, ib, ApplyTrans::Trans) {
+        for lj in 0..ibb {
+            let j = jb + lj;
+            // Reflector from [a1[j,j]; a2[0..=j, j]].
+            let (beta, tau) = {
+                let tail = &mut a2.col_mut(j)[0..=j];
+                dlarfg(a1[(j, j)], tail)
+            };
+            a1[(j, j)] = beta;
+            taus[lj] = tau;
+            if tau == 0.0 {
+                continue;
+            }
+            // Apply H_j to the remaining in-block columns; the reflector tail
+            // only touches rows 0..=j of A2, which stay inside its upper
+            // triangle because c > j.
+            for c in j + 1..jb + ibb {
+                let (v2, a2c) = a2.two_cols_mut(j, c);
+                let v2 = &v2[0..=j];
+                let seg = &mut a2c[0..=j];
+                let mut dot = 0.0;
+                for (v, x) in v2.iter().zip(seg.iter()) {
+                    dot += v * x;
+                }
+                let w = tau * (a1[(j, c)] + dot);
+                a1[(j, c)] -= w;
+                for (x, v) in seg.iter_mut().zip(v2) {
+                    *x -= w * v;
+                }
+            }
+        }
+        let vlen = |l: usize| jb + l + 1;
+        form_t_block_stacked(a2, jb, jb, ibb, &taus[..ibb], &vlen, t);
+        // Apply the block reflector to the trailing columns; `a2` is both the
+        // reflector store and the update target, so copy the V block out.
+        if jb + ibb < n {
+            let vrows = (jb + ibb).min(n);
+            let vblk = a2.submatrix(0, jb, vrows, ibb);
+            apply_stacked_block(
+                &vblk,
+                0,
+                t,
+                jb,
+                ibb,
+                ApplyTrans::Trans,
+                &vlen,
+                a1,
+                a2,
+                jb + ibb..n,
+            );
+        }
+    }
+}
+
+/// Apply `Q` or `Q^T` from a [`ttqrt`] factorization to the stacked pair
+/// `[a1; a2]` from the left.
+///
+/// `v` is the triangular reflector-tail tile produced by `ttqrt` (its `a2`
+/// output; only its upper triangle is read) and `t` the matching factors.
+pub fn ttmqr(
+    a1: &mut Matrix,
+    a2: &mut Matrix,
+    v: &Matrix,
+    t: &Matrix,
+    trans: ApplyTrans,
+    ib: usize,
+) {
+    let k = v.ncols();
+    assert!(a1.nrows() >= k, "a1 must cover the factored rows");
+    assert!(a2.nrows() >= k, "a2 must cover the reflector tails");
+    assert_eq!(a1.ncols(), a2.ncols(), "a1/a2 must have equal column count");
+    let nc = a1.ncols();
+
+    for (jb, ibb) in inner_blocks(k, ib, trans) {
+        let vlen = |l: usize| jb + l + 1;
+        apply_stacked_block(v, jb, t, jb, ibb, trans, &vlen, a1, a2, 0..nc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    fn form_q_tt(v: &Matrix, t: &Matrix, n: usize, ib: usize) -> Matrix {
+        let m = 2 * n;
+        let mut top = Matrix::identity(n);
+        let mut top_rest = Matrix::zeros(n, n);
+        let mut bot = Matrix::zeros(n, n);
+        let mut bot_rest = Matrix::identity(n);
+        ttmqr(&mut top, &mut bot, v, t, ApplyTrans::NoTrans, ib);
+        ttmqr(&mut top_rest, &mut bot_rest, v, t, ApplyTrans::NoTrans, ib);
+        let mut q = Matrix::zeros(m, m);
+        q.set_submatrix(0, 0, &top);
+        q.set_submatrix(0, n, &top_rest);
+        q.set_submatrix(n, 0, &bot);
+        q.set_submatrix(n, n, &bot_rest);
+        q
+    }
+
+    fn check_tt(n: usize, ib: usize) {
+        let mut rng = rand::rng();
+        let r1 = Matrix::random(n, n, &mut rng).upper_triangle();
+        let r2 = Matrix::random(n, n, &mut rng).upper_triangle();
+        let mut a1 = r1.clone();
+        // Poison the strict lower triangle of a2 to verify it is ignored.
+        let mut a2 = r2.clone();
+        for j in 0..n {
+            for i in j + 1..n {
+                a2[(i, j)] = f64::NAN;
+            }
+        }
+        let mut t = Matrix::zeros(ib.min(n), n);
+        ttqrt(&mut a1, &mut a2, &mut t, ib);
+
+        for j in 0..n {
+            for i in j + 1..n {
+                assert!(a1[(i, j)].abs() < 1e-12, "R not triangular");
+                assert!(a2[(i, j)].is_nan(), "lower triangle of a2 written");
+            }
+        }
+        // Zero the poison before using a2 as V (ttmqr only reads the upper
+        // triangle, but form_q builds a dense Q).
+        let v = a2.upper_triangle();
+        let q = form_q_tt(&v, &t, n, ib);
+        let m = 2 * n;
+        let qtq = q.transpose().matmul(&q);
+        assert!(
+            qtq.sub(&Matrix::identity(m)).norm_fro() < 1e-12 * m as f64,
+            "tt Q not orthogonal (n={n}, ib={ib})"
+        );
+        let mut rstack = Matrix::zeros(m, n);
+        rstack.set_submatrix(0, 0, &a1.upper_triangle());
+        let back = q.matmul(&rstack);
+        let mut orig = Matrix::zeros(m, n);
+        orig.set_submatrix(0, 0, &r1);
+        orig.set_submatrix(n, 0, &r2);
+        assert!(
+            back.sub(&orig).norm_fro() < 1e-12 * orig.norm_fro().max(1.0),
+            "tt QR mismatch (n={n}, ib={ib})"
+        );
+    }
+
+    #[test]
+    fn ttqrt_various() {
+        check_tt(1, 1);
+        check_tt(4, 2);
+        check_tt(6, 3);
+        check_tt(7, 2);
+        check_tt(5, 100);
+    }
+
+    #[test]
+    fn ttmqr_roundtrip() {
+        let mut rng = rand::rng();
+        let n = 5;
+        let ib = 2;
+        let mut a1 = Matrix::random(n, n, &mut rng).upper_triangle();
+        let mut a2 = Matrix::random(n, n, &mut rng).upper_triangle();
+        let mut t = Matrix::zeros(ib, n);
+        ttqrt(&mut a1, &mut a2, &mut t, ib);
+
+        let c1_0 = Matrix::random(n, 3, &mut rng);
+        let c2_0 = Matrix::random(n, 3, &mut rng);
+        let mut c1 = c1_0.clone();
+        let mut c2 = c2_0.clone();
+        ttmqr(&mut c1, &mut c2, &a2, &t, ApplyTrans::Trans, ib);
+        ttmqr(&mut c1, &mut c2, &a2, &t, ApplyTrans::NoTrans, ib);
+        assert!(c1.sub(&c1_0).norm_fro() < 1e-12);
+        assert!(c2.sub(&c2_0).norm_fro() < 1e-12);
+    }
+
+    #[test]
+    fn ttqrt_identity_second_block_keeps_r() {
+        // Reducing [R; 0] must leave R unchanged up to signs and produce
+        // tau = 0 reflectors.
+        let mut rng = rand::rng();
+        let n = 4;
+        let r = Matrix::random(n, n, &mut rng).upper_triangle();
+        let mut a1 = r.clone();
+        let mut a2 = Matrix::zeros(n, n);
+        let mut t = Matrix::zeros(2, n);
+        ttqrt(&mut a1, &mut a2, &mut t, 2);
+        assert!(a1.sub(&r).norm_fro() < 1e-14, "R changed by trivial reduction");
+        assert_eq!(t.norm_fro(), 0.0);
+    }
+}

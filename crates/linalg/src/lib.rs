@@ -1,0 +1,26 @@
+//! # pulsar-linalg
+//!
+//! Dense linear-algebra substrate for the PULSAR tree-QR reproduction:
+//! column-major matrices, BLAS-like primitives, and the PLASMA-style tile
+//! QR kernels (`geqrt`, `unmqr`, `tsqrt`, `tsmqr`, `ttqrt`, `ttmqr`) the
+//! paper's Section V-B lists, implemented from scratch with inner blocking.
+//!
+//! The tile kernels follow PLASMA core-blas calling conventions so the
+//! algorithm layer (`pulsar-core`) can be transcribed from the paper's
+//! pseudocode (Fig. 5) directly.
+
+#![warn(missing_docs)]
+
+pub mod blas;
+pub mod cond;
+pub mod flops;
+pub mod householder;
+pub mod kernels;
+pub mod matrix;
+pub mod reference;
+pub mod tile;
+pub mod verify;
+
+pub use kernels::{geqrt, tsmqr, tsqrt, ttmqr, ttqrt, unmqr, ApplyTrans};
+pub use matrix::Matrix;
+pub use tile::TileMatrix;

@@ -1,0 +1,90 @@
+//! Numerical verification helpers for QR factorizations.
+
+use crate::matrix::Matrix;
+
+/// Scaled residual `||A - Q R||_F / (||A||_F * max(m, n))`.
+pub fn qr_residual(a: &Matrix, q: &Matrix, r: &Matrix) -> f64 {
+    let back = q.matmul(r);
+    let denom = a.norm_fro().max(f64::MIN_POSITIVE) * a.nrows().max(a.ncols()) as f64;
+    back.sub(a).norm_fro() / denom
+}
+
+/// Scaled orthogonality `||Q^T Q - I||_F / n`.
+pub fn orthogonality(q: &Matrix) -> f64 {
+    let n = q.ncols();
+    let qtq = q.transpose().matmul(q);
+    qtq.sub(&Matrix::identity(n)).norm_fro() / n as f64
+}
+
+/// Check that `r` is numerically upper triangular (max below-diagonal
+/// magnitude relative to `||R||_F`).
+pub fn triangularity(r: &Matrix) -> f64 {
+    let norm = r.norm_fro().max(f64::MIN_POSITIVE);
+    let mut worst: f64 = 0.0;
+    for j in 0..r.ncols() {
+        for i in j + 1..r.nrows() {
+            worst = worst.max(r[(i, j)].abs());
+        }
+    }
+    worst / norm
+}
+
+/// Compare two `R` factors up to per-row sign (QR is unique only up to the
+/// signs of the rows of `R`). Returns the scaled max difference.
+pub fn r_factor_distance(r1: &Matrix, r2: &Matrix) -> f64 {
+    assert_eq!((r1.nrows(), r1.ncols()), (r2.nrows(), r2.ncols()));
+    let k = r1.nrows().min(r1.ncols());
+    let norm = r1.norm_fro().max(f64::MIN_POSITIVE);
+    let mut worst: f64 = 0.0;
+    for i in 0..k {
+        let sign = if (r1[(i, i)] >= 0.0) == (r2[(i, i)] >= 0.0) {
+            1.0
+        } else {
+            -1.0
+        };
+        for j in i..r1.ncols() {
+            worst = worst.max((r1[(i, j)] - sign * r2[(i, j)]).abs());
+        }
+    }
+    worst / norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::geqrf;
+
+    #[test]
+    fn metrics_near_zero_for_reference_qr() {
+        let mut rng = rand::rng();
+        let a = Matrix::random(10, 6, &mut rng);
+        let f = geqrf(a.clone());
+        let q = f.q();
+        let mut r_full = Matrix::zeros(10, 6);
+        r_full.set_submatrix(0, 0, &f.r());
+        assert!(qr_residual(&a, &q, &r_full) < 1e-14);
+        assert!(orthogonality(&q) < 1e-14);
+        assert!(triangularity(&f.r()) < 1e-14);
+    }
+
+    #[test]
+    fn r_distance_ignores_row_signs() {
+        let mut rng = rand::rng();
+        let a = Matrix::random(6, 6, &mut rng);
+        let r = geqrf(a).r();
+        let mut flipped = r.clone();
+        for j in 0..6 {
+            flipped[(2, j)] = -flipped[(2, j)];
+            flipped[(4, j)] = -flipped[(4, j)];
+        }
+        assert!(r_factor_distance(&r, &flipped) < 1e-15);
+    }
+
+    #[test]
+    fn r_distance_detects_real_difference() {
+        let r1 = Matrix::identity(4);
+        let mut r2 = Matrix::identity(4);
+        r2[(0, 3)] = 0.5;
+        assert!(r_factor_distance(&r1, &r2) > 0.1);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests for the tile kernels: for arbitrary shapes, inner
+//! block sizes, and random data, the kernels must produce orthogonal
+//! transformations that exactly reproduce their inputs.
+
+use proptest::prelude::*;
+use pulsar_linalg::kernels::ApplyTrans;
+use pulsar_linalg::{geqrt, tsmqr, tsqrt, ttmqr, ttqrt, unmqr, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn rand_matrix(m: usize, n: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::random(m, n, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// geqrt: Q^T A is upper triangular, Q Q^T x == x.
+    #[test]
+    fn geqrt_invariants(
+        m in 1usize..14,
+        n in 1usize..14,
+        ib in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let a0 = rand_matrix(m, n, seed);
+        let mut a = a0.clone();
+        let k = m.min(n);
+        let mut t = Matrix::zeros(ib.min(k).max(1), k.max(1));
+        geqrt(&mut a, &mut t, ib);
+
+        // Q^T * A0 must equal the stored R (upper part of a).
+        let mut c = a0.clone();
+        unmqr(&a, &t, ApplyTrans::Trans, &mut c, ib);
+        for j in 0..n {
+            for i in 0..m {
+                if i > j {
+                    prop_assert!(c[(i, j)].abs() < 1e-11, "not annihilated at ({i},{j})");
+                } else {
+                    prop_assert!((c[(i, j)] - a[(i, j)]).abs() < 1e-10, "R mismatch");
+                }
+            }
+        }
+        // Roundtrip.
+        let x0 = rand_matrix(m, 2, seed ^ 1);
+        let mut x = x0.clone();
+        unmqr(&a, &t, ApplyTrans::NoTrans, &mut x, ib);
+        unmqr(&a, &t, ApplyTrans::Trans, &mut x, ib);
+        prop_assert!(x.sub(&x0).norm_fro() < 1e-11 * x0.norm_fro().max(1.0));
+    }
+
+    /// tsqrt + tsmqr: the stacked transformation annihilates A2 exactly and
+    /// preserves the stacked Frobenius norm column-wise.
+    #[test]
+    fn tsqrt_invariants(
+        n in 1usize..10,
+        m2 in 1usize..12,
+        ib in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let r0 = rand_matrix(n, n, seed).upper_triangle();
+        let b0 = rand_matrix(m2, n, seed ^ 2);
+        let mut a1 = r0.clone();
+        let mut a2 = b0.clone();
+        let mut t = Matrix::zeros(ib.min(n), n);
+        tsqrt(&mut a1, &mut a2, &mut t, ib);
+
+        // Column norms of [R0; B0] match those of the produced R.
+        for j in 0..n {
+            let before: f64 = (0..=j).map(|i| r0[(i, j)].powi(2)).sum::<f64>()
+                + (0..m2).map(|i| b0[(i, j)].powi(2)).sum::<f64>();
+            let after: f64 = (0..=j).map(|i| a1[(i, j)].powi(2)).sum();
+            prop_assert!(
+                (before.sqrt() - after.sqrt()).abs() < 1e-9 * before.sqrt().max(1.0),
+                "column norm not preserved at {j}"
+            );
+        }
+        // Applying Q^T to the original stack gives [R; 0].
+        let mut c1 = r0.clone();
+        let mut c2 = b0.clone();
+        tsmqr(&mut c1, &mut c2, &a2, &t, ApplyTrans::Trans, ib);
+        prop_assert!(c2.norm_fro() < 1e-10 * (1.0 + b0.norm_fro()), "A2 not annihilated");
+        prop_assert!(c1.sub(&a1).norm_fro() < 1e-9 * (1.0 + a1.norm_fro()), "R mismatch");
+    }
+
+    /// ttqrt + ttmqr: same invariants for the triangle-on-triangle case,
+    /// and the strict lower triangle of A2 is never touched.
+    #[test]
+    fn ttqrt_invariants(
+        n in 1usize..10,
+        ib in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let r1 = rand_matrix(n, n, seed).upper_triangle();
+        let r2 = rand_matrix(n, n, seed ^ 3).upper_triangle();
+        let mut a1 = r1.clone();
+        let mut a2 = r2.clone();
+        // Poison below the diagonal.
+        for j in 0..n {
+            for i in j + 1..n {
+                a2[(i, j)] = 1e300;
+            }
+        }
+        let mut t = Matrix::zeros(ib.min(n), n);
+        ttqrt(&mut a1, &mut a2, &mut t, ib);
+        for j in 0..n {
+            for i in j + 1..n {
+                prop_assert!(a1[(i, j)].abs() < 1e-10, "R fill-in");
+                prop_assert_eq!(a2[(i, j)], 1e300, "lower triangle written");
+            }
+        }
+        // Q^T [R1; R2] == [R; 0].
+        let v = a2.upper_triangle();
+        let mut c1 = r1.clone();
+        let mut c2 = r2.clone();
+        ttmqr(&mut c1, &mut c2, &v, &t, ApplyTrans::Trans, ib);
+        prop_assert!(c2.norm_fro() < 1e-10 * (1.0 + r2.norm_fro()));
+        prop_assert!(c1.sub(&a1).norm_fro() < 1e-9 * (1.0 + a1.norm_fro()));
+    }
+
+    /// tsmqr roundtrip for rectangular C blocks.
+    #[test]
+    fn tsmqr_roundtrip_rect(
+        n in 1usize..8,
+        m2 in 1usize..10,
+        nc in 1usize..8,
+        ib in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let mut a1 = rand_matrix(n, n, seed).upper_triangle();
+        let mut a2 = rand_matrix(m2, n, seed ^ 4);
+        let mut t = Matrix::zeros(ib.min(n), n);
+        tsqrt(&mut a1, &mut a2, &mut t, ib);
+
+        let c1_0 = rand_matrix(n, nc, seed ^ 5);
+        let c2_0 = rand_matrix(m2, nc, seed ^ 6);
+        let mut c1 = c1_0.clone();
+        let mut c2 = c2_0.clone();
+        tsmqr(&mut c1, &mut c2, &a2, &t, ApplyTrans::Trans, ib);
+        tsmqr(&mut c1, &mut c2, &a2, &t, ApplyTrans::NoTrans, ib);
+        prop_assert!(c1.sub(&c1_0).norm_fro() < 1e-11 * c1_0.norm_fro().max(1.0));
+        prop_assert!(c2.sub(&c2_0).norm_fro() < 1e-11 * c2_0.norm_fro().max(1.0));
+    }
+
+    /// Householder generation: reflector is norm-preserving for any input.
+    #[test]
+    fn larfg_norm_preserving(
+        alpha in -100.0f64..100.0,
+        tail in prop::collection::vec(-100.0f64..100.0, 0..8),
+    ) {
+        use pulsar_linalg::householder::dlarfg;
+        let norm0 = (alpha * alpha + tail.iter().map(|x| x * x).sum::<f64>()).sqrt();
+        let mut x = tail.clone();
+        let (beta, tau) = dlarfg(alpha, &mut x);
+        prop_assert!((beta.abs() - norm0).abs() < 1e-10 * norm0.max(1.0));
+        if tail.iter().all(|&v| v == 0.0) {
+            prop_assert_eq!(tau, 0.0);
+        } else {
+            // tau in [1, 2] for real reflectors (LAPACK convention).
+            prop_assert!((0.0..=2.0).contains(&tau), "tau {tau} out of range");
+        }
+    }
+}

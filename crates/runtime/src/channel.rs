@@ -1,0 +1,208 @@
+//! Channels: static unidirectional FIFO connections between VDP slots.
+
+use crate::packet::Packet;
+use crate::tuple::Tuple;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+/// Life-cycle state of a channel (the paper's enable/disable/destroy options).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ChannelState {
+    /// Packets in the channel gate the destination VDP's readiness.
+    Enabled,
+    /// The channel is ignored by the readiness check; packets still queue.
+    Disabled,
+    /// The channel is permanently removed from the readiness check.
+    Destroyed,
+}
+
+/// Static description of a channel, as given to the VSA builder
+/// (`prt_channel_new` analogue).
+#[derive(Clone, Debug)]
+pub struct ChannelSpec {
+    /// Maximum packet size in bytes (checked on push).
+    pub max_bytes: usize,
+    /// Source VDP tuple.
+    pub src: Tuple,
+    /// Output slot on the source VDP.
+    pub src_slot: usize,
+    /// Destination VDP tuple.
+    pub dst: Tuple,
+    /// Input slot on the destination VDP.
+    pub dst_slot: usize,
+    /// Whether the channel starts enabled (the paper allows creating a
+    /// channel in the disabled state and enabling it mid-run).
+    pub enabled: bool,
+}
+
+impl ChannelSpec {
+    /// A channel carrying packets of at most `max_bytes` from
+    /// `(src, src_slot)` to `(dst, dst_slot)`, initially enabled.
+    pub fn new(
+        max_bytes: usize,
+        src: impl Into<Tuple>,
+        src_slot: usize,
+        dst: impl Into<Tuple>,
+        dst_slot: usize,
+    ) -> Self {
+        ChannelSpec {
+            max_bytes,
+            src: src.into(),
+            src_slot,
+            dst: dst.into(),
+            dst_slot,
+            enabled: true,
+        }
+    }
+
+    /// Mark the channel as initially disabled.
+    pub fn disabled(mut self) -> Self {
+        self.enabled = false;
+        self
+    }
+}
+
+/// The runtime half of a channel: a mutex-guarded FIFO plus its state flag.
+///
+/// Exactly one VDP pops from it (the owner of the input slot); any number of
+/// producers (a worker pushing locally, or the node proxy routing an
+/// inter-node packet) may push.
+pub struct ChannelQueue {
+    fifo: Mutex<VecDeque<Packet>>,
+    state: AtomicU8,
+    max_bytes: usize,
+    high_water: std::sync::atomic::AtomicUsize,
+}
+
+impl ChannelQueue {
+    /// Create a queue in the given initial state.
+    pub fn new(max_bytes: usize, enabled: bool) -> Arc<Self> {
+        Arc::new(ChannelQueue {
+            fifo: Mutex::new(VecDeque::new()),
+            state: AtomicU8::new(if enabled { 0 } else { 1 }),
+            max_bytes,
+            high_water: std::sync::atomic::AtomicUsize::new(0),
+        })
+    }
+
+    /// Deepest the queue has ever been — the paper's Section II concern
+    /// ("it is possible to exhaust the available local memory"): unbounded
+    /// channels make queue depth the memory high-water mark.
+    pub fn high_water(&self) -> usize {
+        self.high_water.load(Ordering::Relaxed)
+    }
+
+    /// Current life-cycle state.
+    pub fn state(&self) -> ChannelState {
+        match self.state.load(Ordering::Acquire) {
+            0 => ChannelState::Enabled,
+            1 => ChannelState::Disabled,
+            _ => ChannelState::Destroyed,
+        }
+    }
+
+    /// Enable the channel (no-op once destroyed).
+    pub fn enable(&self) {
+        let _ = self
+            .state
+            .compare_exchange(1, 0, Ordering::AcqRel, Ordering::Acquire);
+    }
+
+    /// Disable the channel (no-op once destroyed).
+    pub fn disable(&self) {
+        let _ = self
+            .state
+            .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire);
+    }
+
+    /// Destroy the channel: it never gates readiness again.
+    pub fn destroy(&self) {
+        self.state.store(2, Ordering::Release);
+    }
+
+    /// Append a packet (FIFO order).
+    pub fn push(&self, p: Packet) {
+        assert!(
+            p.bytes() <= self.max_bytes,
+            "packet of {} bytes exceeds channel capacity {}",
+            p.bytes(),
+            self.max_bytes
+        );
+        let depth = {
+            let mut q = self.fifo.lock();
+            q.push_back(p);
+            q.len()
+        };
+        self.high_water.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Pop the oldest packet, if any.
+    pub fn pop(&self) -> Option<Packet> {
+        self.fifo.lock().pop_front()
+    }
+
+    /// Whether a packet is waiting.
+    pub fn has_packet(&self) -> bool {
+        !self.fifo.lock().is_empty()
+    }
+
+    /// Number of queued packets.
+    pub fn len(&self) -> usize {
+        self.fifo.lock().len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.fifo.lock().is_empty()
+    }
+
+    /// Whether this channel currently gates the destination VDP: an enabled
+    /// channel must hold a packet; disabled/destroyed channels never block.
+    pub fn satisfied(&self) -> bool {
+        match self.state() {
+            ChannelState::Enabled => self.has_packet(),
+            ChannelState::Disabled | ChannelState::Destroyed => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let q = ChannelQueue::new(64, true);
+        q.push(Packet::new(1u32, 4));
+        q.push(Packet::new(2u32, 4));
+        assert_eq!(q.pop().unwrap().take::<u32>(), 1);
+        assert_eq!(q.pop().unwrap().take::<u32>(), 2);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn state_transitions() {
+        let q = ChannelQueue::new(8, false);
+        assert_eq!(q.state(), ChannelState::Disabled);
+        assert!(q.satisfied(), "disabled channel never blocks");
+        q.enable();
+        assert_eq!(q.state(), ChannelState::Enabled);
+        assert!(!q.satisfied(), "enabled empty channel blocks");
+        q.push(Packet::new(0u8, 1));
+        assert!(q.satisfied());
+        q.destroy();
+        assert_eq!(q.state(), ChannelState::Destroyed);
+        q.enable(); // must not resurrect
+        assert_eq!(q.state(), ChannelState::Destroyed);
+        assert!(q.satisfied());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds channel capacity")]
+    fn oversized_packet_rejected() {
+        let q = ChannelQueue::new(4, true);
+        q.push(Packet::new([0u8; 16], 16));
+    }
+}

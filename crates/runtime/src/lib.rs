@@ -1,0 +1,61 @@
+//! # pulsar-runtime
+//!
+//! A Rust reimplementation of the **PULSAR Runtime (PRT)** — the lightweight
+//! runtime of the paper's Section IV. It executes a *Virtual Systolic Array*
+//! (VSA): a set of *Virtual Data Processors* (VDPs) connected by FIFO
+//! channels, fired by data availability.
+//!
+//! - [`Tuple`] identifies a VDP; [`VdpSpec`]/[`VdpLogic`] define its code,
+//!   firing counter, and channel slots; [`VdpContext`] is what a firing sees.
+//! - [`ChannelSpec`] declares a static unidirectional channel between two
+//!   VDP slots; channels can start disabled and be enabled/disabled/destroyed
+//!   mid-run (used by the QR array's binary→flat return channel).
+//! - [`Vsa`] collects VDPs, channels, and seed packets, and [`Vsa::run`]
+//!   executes the array on `nodes x threads_per_node` worker threads with a
+//!   per-node proxy thread handling inter-node traffic — the same process
+//!   layout as the paper's MPI+Pthreads PRT, with an in-process fabric
+//!   substituted for MPI (optionally delayed by a [`NetModel`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use pulsar_runtime::*;
+//!
+//! // A two-VDP pipeline: (0) doubles a number and sends it to (1), which
+//! // adds one and exits the result from the array.
+//! let mut vsa = Vsa::new();
+//! vsa.add_vdp(VdpSpec::new(Tuple::new1(0), 1, 1, 1, |ctx: &mut VdpContext| {
+//!     let x: i64 = ctx.pop(0).take();
+//!     ctx.push(0, Packet::new(x * 2, 8));
+//! }));
+//! vsa.add_vdp(VdpSpec::new(Tuple::new1(1), 1, 1, 1, |ctx: &mut VdpContext| {
+//!     let x: i64 = ctx.pop(0).take();
+//!     ctx.push(0, Packet::new(x + 1, 8));
+//! }));
+//! vsa.add_channel(ChannelSpec::new(8, Tuple::new1(0), 0, Tuple::new1(1), 0));
+//! vsa.add_channel(ChannelSpec::new(8, Tuple::new1(1), 0, Tuple::new1(99), 0)); // exit
+//! vsa.seed(Tuple::new1(0), 0, Packet::new(20i64, 8));
+//!
+//! let mut out = vsa.run(&RunConfig::smp(2));
+//! let result: i64 = out.take_exit(Tuple::new1(99), 0).remove(0).take();
+//! assert_eq!(result, 41);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod net;
+pub mod packet;
+mod sched;
+pub mod trace;
+pub mod tuple;
+pub mod vdp;
+pub mod vsa;
+
+pub use channel::{ChannelSpec, ChannelState};
+pub use net::NetModel;
+pub use packet::Packet;
+pub use trace::{TaskSpan, Trace};
+pub use tuple::Tuple;
+pub use vdp::{VdpContext, VdpLogic, VdpSpec};
+pub use vsa::{MappingFn, Place, RunConfig, RunOutput, RunStats, SchedScheme, Vsa};

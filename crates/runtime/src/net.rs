@@ -1,0 +1,211 @@
+//! The inter-node fabric and per-node proxy threads.
+//!
+//! This module substitutes for MPI (see DESIGN.md): each virtual node runs a
+//! dedicated proxy thread, exactly like the paper's PRT. Workers never touch
+//! the fabric — they enqueue outgoing packets on per-worker queues; the
+//! proxy posts the sends (`MPI_Isend` analogue), drains a single incoming
+//! queue (`MPI_Irecv`/`MPI_Test` analogue), and routes arrivals to the
+//! destination channel by wire id (the MPI-tag trick of Section IV-B).
+//! An optional alpha-beta [`NetModel`] delays deliveries to emulate a real
+//! interconnect.
+
+use crate::packet::Packet;
+use crate::vsa::Shared;
+use crossbeam::channel::{Receiver, Sender};
+use parking_lot::Mutex;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Alpha-beta interconnect model: a message of `b` bytes takes
+/// `latency + b / bandwidth` to arrive.
+#[derive(Copy, Clone, Debug)]
+pub struct NetModel {
+    /// Per-message latency (alpha), microseconds.
+    pub latency_us: f64,
+    /// Bandwidth (1/beta), bytes per microsecond.
+    pub bytes_per_us: f64,
+}
+
+impl NetModel {
+    /// Delivery delay for a message of `bytes`.
+    pub fn delay(&self, bytes: usize) -> Duration {
+        let us = self.latency_us + bytes as f64 / self.bytes_per_us;
+        Duration::from_secs_f64(us * 1e-6)
+    }
+
+    /// Roughly a Cray SeaStar2+ link (the paper's Kraken): ~6 us latency,
+    /// ~6 GB/s bandwidth.
+    pub fn seastar2() -> Self {
+        NetModel {
+            latency_us: 6.0,
+            bytes_per_us: 6000.0,
+        }
+    }
+}
+
+/// One message on the wire.
+pub(crate) struct WireMsg {
+    pub wire_id: u32,
+    pub dst_node: usize,
+    pub packet: Packet,
+    pub deliver_at: Option<Instant>,
+}
+
+/// Per-node routing table: wire id -> (destination queue, owner thread).
+pub(crate) type RouteTable = HashMap<u32, (Arc<crate::channel::ChannelQueue>, usize)>;
+
+struct Held {
+    at: Instant,
+    seq: u64,
+    msg: WireMsg,
+}
+
+impl PartialEq for Held {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Held {}
+impl PartialOrd for Held {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Held {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Main loop of one node's proxy thread.
+pub(crate) fn proxy_loop(
+    node: usize,
+    rx: Receiver<WireMsg>,
+    senders: &[Sender<WireMsg>],
+    routes: RouteTable,
+    outgoing: &[Mutex<VecDeque<WireMsg>>],
+    shared: &Shared,
+) {
+    let _ = node;
+    let mut held: BinaryHeap<Reverse<Held>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let route = |msg: WireMsg| {
+        let (queue, owner) = routes
+            .get(&msg.wire_id)
+            .unwrap_or_else(|| panic!("no route for wire id {}", msg.wire_id));
+        queue.push(msg.packet);
+        shared.delivered.fetch_add(1, Ordering::AcqRel);
+        shared.mark_progress();
+        shared.notifiers[*owner].notify();
+    };
+
+    loop {
+        let mut progressed = false;
+
+        // Serve outgoing queues: post the sends (MPI_Isend analogue).
+        for q in outgoing {
+            loop {
+                let Some(mut msg) = q.lock().pop_front() else { break };
+                if let Some(net) = shared.net {
+                    msg.deliver_at = Some(Instant::now() + net.delay(msg.packet.bytes()));
+                }
+                shared.sent.fetch_add(1, Ordering::AcqRel);
+                shared.pending_remote.fetch_sub(1, Ordering::AcqRel);
+                let dst = msg.dst_node;
+                senders[dst].send(msg).expect("fabric closed early");
+                progressed = true;
+            }
+        }
+
+        // Drain the single incoming queue (MPI_Irecv/MPI_Test analogue).
+        while let Ok(msg) = rx.try_recv() {
+            progressed = true;
+            match msg.deliver_at {
+                Some(at) if at > Instant::now() => {
+                    held.push(Reverse(Held { at, seq, msg }));
+                    seq += 1;
+                }
+                _ => route(msg),
+            }
+        }
+
+        // Deliver messages whose modeled flight time has elapsed.
+        while let Some(Reverse(h)) = held.peek() {
+            if h.at > Instant::now() {
+                break;
+            }
+            let Reverse(h) = held.pop().unwrap();
+            route(h.msg);
+            progressed = true;
+        }
+
+        // Termination: no VDP will ever fire again and nothing is in flight.
+        if shared.is_aborted()
+            || (shared.live.load(Ordering::Acquire) == 0
+                && shared.pending_remote.load(Ordering::Acquire) == 0
+                && shared.sent.load(Ordering::Acquire) == shared.delivered.load(Ordering::Acquire)
+                && held.is_empty())
+        {
+            return;
+        }
+
+        if !progressed {
+            // Park briefly on the incoming queue; held messages bound the nap.
+            let nap = held
+                .peek()
+                .map(|Reverse(h)| {
+                    h.at.saturating_duration_since(Instant::now())
+                        .min(Duration::from_micros(100))
+                })
+                .unwrap_or(Duration::from_micros(100));
+            if let Ok(msg) = rx.recv_timeout(nap.max(Duration::from_micros(1))) {
+                match msg.deliver_at {
+                    Some(at) if at > Instant::now() => {
+                        held.push(Reverse(Held { at, seq, msg }));
+                        seq += 1;
+                    }
+                    _ => route(msg),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn net_model_delay() {
+        let m = NetModel {
+            latency_us: 10.0,
+            bytes_per_us: 100.0,
+        };
+        let d = m.delay(1000);
+        assert!((d.as_secs_f64() * 1e6 - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn held_ordering_is_by_time_then_seq() {
+        let now = Instant::now();
+        let mk = |us: u64, seq: u64| Held {
+            at: now + Duration::from_micros(us),
+            seq,
+            msg: WireMsg {
+                wire_id: 0,
+                dst_node: 0,
+                packet: Packet::new(0u8, 1),
+                deliver_at: None,
+            },
+        };
+        let mut heap = BinaryHeap::new();
+        heap.push(Reverse(mk(50, 0)));
+        heap.push(Reverse(mk(10, 1)));
+        heap.push(Reverse(mk(10, 0)));
+        let Reverse(first) = heap.pop().unwrap();
+        assert_eq!((first.at, first.seq), (now + Duration::from_micros(10), 0));
+    }
+}

@@ -1,0 +1,120 @@
+//! Data packets flowing through channels.
+//!
+//! A packet is an `Arc`-backed payload plus an explicit byte size. Cloning a
+//! packet clones the `Arc` only — this is the zero-copy aliasing the paper's
+//! intra-node channels rely on, and it is what makes the *bypass* pattern
+//! (forward a packet downstream before using it locally) free.
+
+use pulsar_linalg::Matrix;
+use std::any::Any;
+use std::sync::Arc;
+
+/// A type-erased, cheaply clonable data packet.
+#[derive(Clone)]
+pub struct Packet {
+    payload: Arc<dyn Any + Send + Sync>,
+    bytes: usize,
+}
+
+impl Packet {
+    /// Wrap an arbitrary payload, declaring its wire size in bytes (used by
+    /// the fabric's latency/bandwidth model and by channel size checks).
+    pub fn new<T: Any + Send + Sync>(value: T, bytes: usize) -> Self {
+        Packet {
+            payload: Arc::new(value),
+            bytes,
+        }
+    }
+
+    /// Wrap a matrix tile; the wire size is its `8 * m * n` payload.
+    pub fn tile(t: Matrix) -> Self {
+        let bytes = 8 * t.nrows() * t.ncols();
+        Self::new(t, bytes)
+    }
+
+    /// Declared wire size in bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Borrow the payload as `T`, if it has that type.
+    pub fn get<T: Any + Send + Sync>(&self) -> Option<&T> {
+        self.payload.downcast_ref()
+    }
+
+    /// Take the payload out as an owned `T`.
+    ///
+    /// When this packet is the only holder the payload moves out without a
+    /// copy; when the payload is still aliased (e.g. a bypassed packet also
+    /// queued downstream) it is cloned. Panics on a type mismatch — channel
+    /// wiring bugs should fail loudly.
+    pub fn take<T: Any + Send + Sync + Clone>(self) -> T {
+        let arc = self
+            .payload
+            .downcast::<T>()
+            .unwrap_or_else(|_| panic!("packet payload type mismatch"));
+        Arc::try_unwrap(arc).unwrap_or_else(|shared| (*shared).clone())
+    }
+
+    /// Borrow the payload as a matrix tile.
+    pub fn as_tile(&self) -> Option<&Matrix> {
+        self.get::<Matrix>()
+    }
+
+    /// Take the payload out as a matrix tile.
+    pub fn into_tile(self) -> Matrix {
+        self.take::<Matrix>()
+    }
+}
+
+impl std::fmt::Debug for Packet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Packet({} bytes)", self.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_roundtrip_and_size() {
+        let t = Matrix::identity(3);
+        let p = Packet::tile(t.clone());
+        assert_eq!(p.bytes(), 8 * 9);
+        assert_eq!(p.as_tile().unwrap(), &t);
+        assert_eq!(p.into_tile(), t);
+    }
+
+    #[test]
+    fn clone_is_aliasing() {
+        let p = Packet::new(vec![1u8, 2, 3], 3);
+        let q = p.clone();
+        let a = p.get::<Vec<u8>>().unwrap().as_ptr();
+        let b = q.get::<Vec<u8>>().unwrap().as_ptr();
+        assert_eq!(a, b, "clone must alias, not copy");
+    }
+
+    #[test]
+    fn take_moves_when_unique_clones_when_shared() {
+        let p = Packet::new(String::from("x"), 1);
+        let q = p.clone();
+        let s1: String = p.take(); // shared -> clone
+        assert_eq!(s1, "x");
+        let s2: String = q.take(); // unique -> move
+        assert_eq!(s2, "x");
+    }
+
+    #[test]
+    fn wrong_type_get_is_none() {
+        let p = Packet::new(1u32, 4);
+        assert!(p.get::<String>().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn wrong_type_take_panics() {
+        let p = Packet::new(1u32, 4);
+        let _: String = p.take();
+    }
+}

@@ -1,0 +1,258 @@
+//! Worker-thread scheduling: each worker sweeps its list of VDPs and fires
+//! the ready ones (lazy or aggressive), parking when nothing is ready.
+
+use crate::channel::ChannelQueue;
+use crate::packet::Packet;
+use crate::trace::TaskSpan;
+use crate::tuple::Tuple;
+use crate::vdp::{RuntimeServices, VdpContext, VdpState};
+use crate::vsa::{NodeShared, SchedScheme, Shared};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Wakes a parked worker (or proxy) when new work may be available.
+pub(crate) struct ThreadNotifier {
+    epoch: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl ThreadNotifier {
+    pub fn new() -> Arc<Self> {
+        Arc::new(ThreadNotifier {
+            epoch: Mutex::new(0),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Signal that state changed.
+    pub fn notify(&self) {
+        let mut e = self.epoch.lock();
+        *e += 1;
+        self.cv.notify_all();
+    }
+
+    /// Current epoch.
+    pub fn current(&self) -> u64 {
+        *self.epoch.lock()
+    }
+
+    /// Block until the epoch moves past `seen` or `timeout` elapses;
+    /// returns the epoch observed on wake-up.
+    pub fn wait_past(&self, seen: u64, timeout: Duration) -> u64 {
+        let mut e = self.epoch.lock();
+        if *e == seen {
+            let _ = self.cv.wait_for(&mut e, timeout);
+        }
+        *e
+    }
+}
+
+/// The services a firing VDP gets from its worker thread.
+pub(crate) struct WorkerServices<'a> {
+    pub shared: &'a Shared,
+    pub node_shared: &'a NodeShared,
+    pub local_thread: usize,
+}
+
+impl RuntimeServices for WorkerServices<'_> {
+    fn deliver_local(&self, queue: &Arc<ChannelQueue>, owner: usize, p: Packet) {
+        queue.push(p);
+        self.shared.mark_progress();
+        self.shared.notifiers[owner].notify();
+    }
+
+    fn deliver_remote(&self, wire_id: u32, dst_node: usize, p: Packet) {
+        self.shared
+            .pending_remote
+            .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+        self.node_shared.outgoing[self.local_thread]
+            .lock()
+            .push_back(crate::net::WireMsg {
+                wire_id,
+                dst_node,
+                packet: p,
+                deliver_at: None,
+            });
+    }
+
+    fn deliver_exit(&self, key: &(Tuple, usize), p: Packet) {
+        self.shared
+            .exits
+            .lock()
+            .entry(key.clone())
+            .or_default()
+            .push(p);
+    }
+
+    fn kernel_span_begin(&self) -> f64 {
+        self.shared.trace.as_ref().map_or(0.0, |t| t.now_us())
+    }
+
+    fn kernel_span_end(&self, node: usize, thread: usize, tuple: &Tuple, label: &str, t0: f64) {
+        if let Some(t) = &self.shared.trace {
+            let end = t.now_us();
+            t.record(TaskSpan {
+                node,
+                thread: self.shared.global_thread(node, thread),
+                tuple: tuple.to_string(),
+                label: label.to_string(),
+                start_us: t0,
+                end_us: end,
+            });
+        }
+    }
+}
+
+/// Fire one VDP once.
+fn fire_vdp(
+    vdp: &mut VdpState,
+    node: usize,
+    local_thread: usize,
+    services: &WorkerServices<'_>,
+) {
+    let mut logic = vdp.logic.take().expect("firing a destroyed VDP");
+    let trace_t0 = services.shared.trace.as_ref().map(|t| t.now_us());
+    let label = {
+        let mut ctx = VdpContext {
+            tuple: &vdp.tuple,
+            remaining: vdp.counter - vdp.fired - 1,
+            firing: vdp.fired,
+            node,
+            local_thread,
+            inputs: &vdp.inputs,
+            outputs: &vdp.outputs,
+            services,
+            label: None,
+        };
+        logic.fire(&mut ctx);
+        ctx.label
+    };
+    vdp.logic = Some(logic);
+    vdp.fired += 1;
+    if let (Some(t0), Some(tr)) = (trace_t0, services.shared.trace.as_ref()) {
+        tr.record(TaskSpan {
+            node,
+            thread: services.shared.global_thread(node, local_thread),
+            tuple: vdp.tuple.to_string(),
+            label: label.unwrap_or_else(|| format!("fire{}", vdp.tuple)),
+            start_us: t0,
+            end_us: tr.now_us(),
+        });
+    }
+}
+
+/// Main loop of one worker thread.
+pub(crate) fn worker_loop(
+    node: usize,
+    local_thread: usize,
+    mut vdps: Vec<VdpState>,
+    shared: &Shared,
+    node_shared: &NodeShared,
+    scheme: SchedScheme,
+) {
+    // If this worker panics (user VDP code, watchdog, wiring bug), wake and
+    // stop every other thread so the scope can join and propagate the panic.
+    struct AbortOnPanic<'a>(&'a Shared);
+    impl Drop for AbortOnPanic<'_> {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                self.0.abort();
+            }
+        }
+    }
+    let _guard = AbortOnPanic(shared);
+
+    let services = WorkerServices {
+        shared,
+        node_shared,
+        local_thread,
+    };
+    let global = shared.global_thread(node, local_thread);
+    let notifier = shared.notifiers[global].clone();
+    let mut alive = vdps.len();
+
+    while alive > 0 {
+        if shared.is_aborted() {
+            return;
+        }
+        let epoch = notifier.current();
+        let mut progressed = false;
+        for vdp in vdps.iter_mut() {
+            if vdp.logic.is_none() {
+                continue;
+            }
+            while vdp.is_ready() {
+                fire_vdp(vdp, node, local_thread, &services);
+                progressed = true;
+                shared.fired.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                shared.fired_per_thread[global]
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                shared.mark_progress();
+                if vdp.fired == vdp.counter {
+                    // Destroy the VDP.
+                    vdp.logic = None;
+                    alive -= 1;
+                    shared.live.fetch_sub(1, std::sync::atomic::Ordering::AcqRel);
+                    break;
+                }
+                if scheme == SchedScheme::Lazy {
+                    break;
+                }
+            }
+        }
+        if alive == 0 {
+            break;
+        }
+        if !progressed {
+            notifier.wait_past(epoch, Duration::from_micros(500));
+            if let Some(limit) = shared.deadlock_timeout {
+                if shared.since_progress() > limit {
+                    let stuck: Vec<String> = vdps
+                        .iter()
+                        .filter(|v| v.logic.is_some())
+                        .map(|v| describe_stuck(v))
+                        .collect();
+                    shared.abort();
+                    panic!(
+                        "VSA made no progress for {limit:?}; worker {global} stuck VDPs: {}",
+                        stuck.join(", ")
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn describe_stuck(v: &VdpState) -> String {
+    let waits: Vec<String> = v
+        .inputs
+        .iter()
+        .enumerate()
+        .filter_map(|(slot, q)| {
+            q.as_ref().and_then(|q| {
+                if q.satisfied() {
+                    None
+                } else {
+                    Some(format!("in{slot}"))
+                }
+            })
+        })
+        .collect();
+    format!(
+        "{}[fired {}/{}, waiting on {}]",
+        v.tuple,
+        v.fired,
+        v.counter,
+        if waits.is_empty() {
+            String::from("?")
+        } else {
+            waits.join("+")
+        }
+    )
+}
+
+/// An output queue from workers to their node proxy.
+pub(crate) type OutgoingQueue = Mutex<VecDeque<crate::net::WireMsg>>;
+

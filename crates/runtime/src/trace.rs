@@ -1,0 +1,173 @@
+//! Execution tracing: per-firing and per-kernel spans, plus an ASCII
+//! renderer for Figure-7-style thread/time charts.
+
+use parking_lot::Mutex;
+use std::time::Instant;
+
+/// One traced span (a VDP firing or a kernel inside one).
+#[derive(Clone, Debug)]
+pub struct TaskSpan {
+    /// Node that executed the span.
+    pub node: usize,
+    /// Global worker-thread index.
+    pub thread: usize,
+    /// Owning VDP tuple, rendered.
+    pub tuple: String,
+    /// Span label (kernel name or VDP label).
+    pub label: String,
+    /// Start, microseconds since run start.
+    pub start_us: f64,
+    /// End, microseconds since run start.
+    pub end_us: f64,
+}
+
+/// A completed execution trace.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// All spans, in completion order.
+    pub spans: Vec<TaskSpan>,
+}
+
+impl Trace {
+    /// Total busy time (sum of span durations), microseconds. Kernel spans
+    /// are nested inside firing spans; pass a filter to avoid double counts.
+    pub fn busy_us(&self, filter: impl Fn(&TaskSpan) -> bool) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| filter(s))
+            .map(|s| s.end_us - s.start_us)
+            .sum()
+    }
+
+    /// Wall-clock extent of the trace, microseconds.
+    pub fn makespan_us(&self) -> f64 {
+        let t1 = self.spans.iter().map(|s| s.end_us).fold(0.0, f64::max);
+        let t0 = self
+            .spans
+            .iter()
+            .map(|s| s.start_us)
+            .fold(f64::INFINITY, f64::min);
+        if t1 > t0 {
+            t1 - t0
+        } else {
+            0.0
+        }
+    }
+
+    /// Spans matching a label predicate.
+    pub fn with_label(&self, pred: impl Fn(&str) -> bool) -> Vec<&TaskSpan> {
+        self.spans.iter().filter(|s| pred(&s.label)).collect()
+    }
+
+    /// Render an ASCII chart: one row per thread, time binned into `width`
+    /// columns, each cell showing the class letter of the span occupying it
+    /// (`classify` maps a label to a letter; later spans win ties).
+    pub fn ascii_chart(&self, width: usize, classify: impl Fn(&str) -> Option<char>) -> String {
+        if self.spans.is_empty() {
+            return String::from("(empty trace)\n");
+        }
+        let t0 = self
+            .spans
+            .iter()
+            .map(|s| s.start_us)
+            .fold(f64::INFINITY, f64::min);
+        let t1 = self.spans.iter().map(|s| s.end_us).fold(0.0, f64::max);
+        let span = (t1 - t0).max(1e-9);
+        let nthreads = self.spans.iter().map(|s| s.thread).max().unwrap() + 1;
+        let mut rows = vec![vec!['.'; width]; nthreads];
+        for s in &self.spans {
+            let Some(c) = classify(&s.label) else { continue };
+            let b0 = (((s.start_us - t0) / span) * width as f64).floor() as usize;
+            let b1 = (((s.end_us - t0) / span) * width as f64).ceil() as usize;
+            for cell in rows[s.thread][b0.min(width - 1)..b1.min(width)].iter_mut() {
+                *cell = c;
+            }
+        }
+        let mut out = String::new();
+        for (t, row) in rows.iter().enumerate() {
+            out.push_str(&format!("thr {t:>3} |"));
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Shared collector the runtime appends spans to while tracing is on.
+pub(crate) struct TraceCollector {
+    pub t0: Instant,
+    pub spans: Mutex<Vec<TaskSpan>>,
+}
+
+impl TraceCollector {
+    pub fn new(t0: Instant) -> Self {
+        TraceCollector {
+            t0,
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub fn now_us(&self) -> f64 {
+        self.t0.elapsed().as_secs_f64() * 1e6
+    }
+
+    pub fn record(&self, span: TaskSpan) {
+        self.spans.lock().push(span);
+    }
+
+    pub fn finish(self) -> Trace {
+        Trace {
+            spans: self.spans.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(thread: usize, label: &str, a: f64, b: f64) -> TaskSpan {
+        TaskSpan {
+            node: 0,
+            thread,
+            tuple: String::from("(0)"),
+            label: label.into(),
+            start_us: a,
+            end_us: b,
+        }
+    }
+
+    #[test]
+    fn busy_and_makespan() {
+        let t = Trace {
+            spans: vec![span(0, "a", 0.0, 10.0), span(1, "b", 5.0, 25.0)],
+        };
+        assert_eq!(t.busy_us(|_| true), 30.0);
+        assert_eq!(t.makespan_us(), 25.0);
+        assert_eq!(t.with_label(|l| l == "a").len(), 1);
+    }
+
+    #[test]
+    fn ascii_chart_places_spans() {
+        let t = Trace {
+            spans: vec![span(0, "geqrt", 0.0, 50.0), span(1, "tsmqr", 50.0, 100.0)],
+        };
+        let chart = t.ascii_chart(10, |l| match l {
+            "geqrt" => Some('F'),
+            "tsmqr" => Some('U'),
+            _ => None,
+        });
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("FFFFF"));
+        assert!(lines[1].ends_with("UUUUU"));
+        assert!(lines[1].contains("....."));
+    }
+
+    #[test]
+    fn empty_trace_renders() {
+        let t = Trace::default();
+        assert!(t.ascii_chart(10, |_| Some('x')).contains("empty"));
+        assert_eq!(t.makespan_us(), 0.0);
+    }
+}

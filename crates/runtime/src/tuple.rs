@@ -1,0 +1,122 @@
+//! VDP identity tuples.
+//!
+//! Every Virtual Data Processor is uniquely identified by a tuple — a short
+//! string of integers (`prt_tuple_new2(i, j)` in the C API). Tuples are the
+//! keys used to wire channels and to map VDPs to threads.
+
+use std::fmt;
+
+/// A VDP identity: an ordered string of integers.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple(Vec<i32>);
+
+impl Tuple {
+    /// Build from any integer list.
+    pub fn new(ids: impl Into<Vec<i32>>) -> Self {
+        Tuple(ids.into())
+    }
+
+    /// One-integer tuple (`prt_tuple_new1`).
+    pub fn new1(a: i32) -> Self {
+        Tuple(vec![a])
+    }
+
+    /// Two-integer tuple (`prt_tuple_new2`).
+    pub fn new2(a: i32, b: i32) -> Self {
+        Tuple(vec![a, b])
+    }
+
+    /// Three-integer tuple (`prt_tuple_new3`).
+    pub fn new3(a: i32, b: i32, c: i32) -> Self {
+        Tuple(vec![a, b, c])
+    }
+
+    /// Four-integer tuple (`prt_tuple_new4`).
+    pub fn new4(a: i32, b: i32, c: i32, d: i32) -> Self {
+        Tuple(vec![a, b, c, d])
+    }
+
+    /// The components.
+    pub fn ids(&self) -> &[i32] {
+        &self.0
+    }
+
+    /// Component `k`, panicking when out of range.
+    pub fn id(&self, k: usize) -> i32 {
+        self.0[k]
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the tuple is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (k, v) in self.0.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<(i32, i32)> for Tuple {
+    fn from((a, b): (i32, i32)) -> Self {
+        Tuple::new2(a, b)
+    }
+}
+
+impl From<(i32, i32, i32)> for Tuple {
+    fn from((a, b, c): (i32, i32, i32)) -> Self {
+        Tuple::new3(a, b, c)
+    }
+}
+
+impl From<(i32, i32, i32, i32)> for Tuple {
+    fn from((a, b, c, d): (i32, i32, i32, i32)) -> Self {
+        Tuple::new4(a, b, c, d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn equality_and_hash() {
+        let mut set = HashSet::new();
+        set.insert(Tuple::new2(1, 2));
+        assert!(set.contains(&Tuple::new2(1, 2)));
+        assert!(!set.contains(&Tuple::new2(2, 1)));
+        assert!(!set.contains(&Tuple::new3(1, 2, 0)));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Tuple::new3(4, -1, 7).to_string(), "(4,-1,7)");
+        assert_eq!(Tuple::new1(9).to_string(), "(9)");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(Tuple::new2(1, 5) < Tuple::new2(2, 0));
+        assert!(Tuple::new2(1, 5) < Tuple::new3(1, 5, 0));
+    }
+}

@@ -1,0 +1,217 @@
+//! Virtual Data Processors: the processing elements of a VSA.
+
+use crate::channel::ChannelQueue;
+use crate::packet::Packet;
+use crate::tuple::Tuple;
+use std::sync::Arc;
+
+/// User code executed when a VDP fires.
+///
+/// A VDP's persistent local variables are simply the fields of the type
+/// implementing this trait (the `qr_local_t` store of the C API). The
+/// closure blanket impl covers stateless VDPs.
+pub trait VdpLogic: Send {
+    /// One firing: pop from inputs, compute, push to outputs.
+    fn fire(&mut self, ctx: &mut VdpContext<'_>);
+}
+
+impl<F: FnMut(&mut VdpContext<'_>) + Send> VdpLogic for F {
+    fn fire(&mut self, ctx: &mut VdpContext<'_>) {
+        self(ctx)
+    }
+}
+
+/// Specification of a VDP, handed to the VSA builder
+/// (`prt_vdp_new` analogue).
+pub struct VdpSpec {
+    /// Unique identity.
+    pub tuple: Tuple,
+    /// Number of firings before the VDP is destroyed.
+    pub counter: u32,
+    /// Number of input slots.
+    pub n_in: usize,
+    /// Number of output slots.
+    pub n_out: usize,
+    /// The executable code.
+    pub logic: Box<dyn VdpLogic>,
+}
+
+impl VdpSpec {
+    /// Create a VDP with `counter` firings and the given slot counts.
+    pub fn new(
+        tuple: impl Into<Tuple>,
+        counter: u32,
+        n_in: usize,
+        n_out: usize,
+        logic: impl VdpLogic + 'static,
+    ) -> Self {
+        VdpSpec {
+            tuple: tuple.into(),
+            counter,
+            n_in,
+            n_out,
+            logic: Box::new(logic),
+        }
+    }
+}
+
+/// Where an output slot delivers its packets (resolved at launch).
+pub(crate) enum OutputTarget {
+    /// Same-node destination: push straight into the channel queue.
+    Local {
+        queue: Arc<ChannelQueue>,
+        /// Global thread index of the destination VDP's owner (to wake).
+        owner: usize,
+    },
+    /// Different node: hand to this node's proxy for transmission.
+    Remote { wire_id: u32, dst_node: usize },
+    /// No destination VDP: packets accumulate in the run's exit store.
+    Exit { key: (Tuple, usize) },
+}
+
+/// Runtime state of one VDP (owned exclusively by its worker thread).
+pub(crate) struct VdpState {
+    pub tuple: Tuple,
+    pub counter: u32,
+    pub fired: u32,
+    pub inputs: Vec<Option<Arc<ChannelQueue>>>,
+    pub outputs: Vec<Option<OutputTarget>>,
+    pub logic: Option<Box<dyn VdpLogic>>,
+}
+
+impl VdpState {
+    /// Ready when every *connected, active* input channel holds a packet.
+    pub fn is_ready(&self) -> bool {
+        self.inputs
+            .iter()
+            .flatten()
+            .all(|q| q.satisfied())
+    }
+}
+
+/// The environment a VDP sees while firing: its channels, identity, and the
+/// runtime services (delivery, tracing, channel control).
+pub struct VdpContext<'a> {
+    pub(crate) tuple: &'a Tuple,
+    pub(crate) remaining: u32,
+    pub(crate) firing: u32,
+    pub(crate) node: usize,
+    pub(crate) local_thread: usize,
+    pub(crate) inputs: &'a [Option<Arc<ChannelQueue>>],
+    pub(crate) outputs: &'a [Option<OutputTarget>],
+    pub(crate) services: &'a dyn RuntimeServices,
+    pub(crate) label: Option<String>,
+}
+
+/// Delivery and tracing services the scheduler provides to firing VDPs.
+pub(crate) trait RuntimeServices {
+    fn deliver_local(&self, queue: &Arc<ChannelQueue>, owner: usize, p: Packet);
+    fn deliver_remote(&self, wire_id: u32, dst_node: usize, p: Packet);
+    fn deliver_exit(&self, key: &(Tuple, usize), p: Packet);
+    fn kernel_span_begin(&self) -> f64;
+    fn kernel_span_end(&self, node: usize, thread: usize, tuple: &Tuple, label: &str, t0: f64);
+}
+
+impl<'a> VdpContext<'a> {
+    /// This VDP's identity tuple.
+    pub fn tuple(&self) -> &Tuple {
+        self.tuple
+    }
+
+    /// Firings left *after* the current one.
+    pub fn remaining(&self) -> u32 {
+        self.remaining
+    }
+
+    /// Zero-based index of the current firing.
+    pub fn firing(&self) -> u32 {
+        self.firing
+    }
+
+    /// Node executing this firing.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Node-local worker thread executing this firing.
+    pub fn thread(&self) -> usize {
+        self.local_thread
+    }
+
+    /// Pop a packet from an input slot, panicking when none is queued
+    /// (fire conditions guarantee one on every active channel).
+    pub fn pop(&mut self, slot: usize) -> Packet {
+        self.try_pop(slot).unwrap_or_else(|| {
+            panic!("VDP {} popped empty input slot {}", self.tuple, slot)
+        })
+    }
+
+    /// Pop a packet from an input slot, if one is queued.
+    pub fn try_pop(&mut self, slot: usize) -> Option<Packet> {
+        self.inputs[slot].as_ref()?.pop()
+    }
+
+    /// Number of packets waiting on an input slot.
+    pub fn input_len(&self, slot: usize) -> usize {
+        self.inputs[slot].as_ref().map_or(0, |q| q.len())
+    }
+
+    /// Push a packet to an output slot. Pushing to an unconnected slot is an
+    /// error (wire the channel or drop the data explicitly).
+    pub fn push(&mut self, slot: usize, p: Packet) {
+        match self.outputs[slot].as_ref() {
+            Some(OutputTarget::Local { queue, owner }) => {
+                self.services.deliver_local(queue, *owner, p)
+            }
+            Some(OutputTarget::Remote { wire_id, dst_node }) => {
+                self.services.deliver_remote(*wire_id, *dst_node, p)
+            }
+            Some(OutputTarget::Exit { key }) => self.services.deliver_exit(key, p),
+            None => panic!("VDP {} pushed to unconnected output slot {}", self.tuple, slot),
+        }
+    }
+
+    /// Whether an output slot has a channel attached.
+    pub fn output_connected(&self, slot: usize) -> bool {
+        self.outputs[slot].is_some()
+    }
+
+    /// Enable this VDP's input channel at `slot` (paper Section V-C: the
+    /// binary→flat channel starts disabled and is enabled mid-run).
+    pub fn enable_input(&self, slot: usize) {
+        if let Some(q) = &self.inputs[slot] {
+            q.enable();
+        }
+    }
+
+    /// Disable this VDP's input channel at `slot`.
+    pub fn disable_input(&self, slot: usize) {
+        if let Some(q) = &self.inputs[slot] {
+            q.disable();
+        }
+    }
+
+    /// Permanently remove this VDP's input channel at `slot` from its
+    /// readiness condition.
+    pub fn destroy_input(&self, slot: usize) {
+        if let Some(q) = &self.inputs[slot] {
+            q.destroy();
+        }
+    }
+
+    /// Label the current firing in the execution trace (defaults to the
+    /// VDP tuple).
+    pub fn set_label(&mut self, label: impl Into<String>) {
+        self.label = Some(label.into());
+    }
+
+    /// Run a computational kernel and record it as a separate span in the
+    /// execution trace (used to paint Figure-7-style traces).
+    pub fn kernel<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        let t0 = self.services.kernel_span_begin();
+        let r = f();
+        self.services
+            .kernel_span_end(self.node, self.local_thread, self.tuple, name, t0);
+        r
+    }
+}

@@ -1,0 +1,588 @@
+//! The Virtual Systolic Array: construction and execution.
+
+use crate::channel::{ChannelQueue, ChannelSpec};
+use crate::net::{NetModel, RouteTable, WireMsg};
+use crate::packet::Packet;
+use crate::sched::{worker_loop, OutgoingQueue, ThreadNotifier};
+use crate::trace::{Trace, TraceCollector};
+use crate::tuple::Tuple;
+use crate::vdp::{OutputTarget, VdpSpec, VdpState};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which VDP a tuple maps to: a node and a node-local worker thread.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Place {
+    /// Virtual node (paper: one MPI process per node).
+    pub node: usize,
+    /// Worker thread within the node.
+    pub thread: usize,
+}
+
+/// The user-supplied many-to-one VDP→thread mapping function.
+pub type MappingFn = Arc<dyn Fn(&Tuple) -> Place + Send + Sync>;
+
+/// VDP firing policy within a worker sweep (Section IV-A).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SchedScheme {
+    /// Fire a ready VDP once, then move to the next VDP. Encourages
+    /// lookahead (panel/update interleaving) — the paper's better choice
+    /// for tree-based QR.
+    Lazy,
+    /// Keep refiring a VDP while it stays ready.
+    Aggressive,
+}
+
+/// Execution parameters for [`Vsa::run`].
+#[derive(Clone)]
+pub struct RunConfig {
+    /// Number of virtual nodes (distributed-memory domains).
+    pub nodes: usize,
+    /// Worker threads per node.
+    pub threads_per_node: usize,
+    /// Firing policy.
+    pub scheme: SchedScheme,
+    /// VDP→thread mapping.
+    pub mapping: MappingFn,
+    /// Record an execution trace.
+    pub trace: bool,
+    /// Optional interconnect model applied to inter-node packets.
+    pub net: Option<NetModel>,
+    /// Abort (with diagnostics) when no VDP fires for this long.
+    pub deadlock_timeout: Option<Duration>,
+}
+
+impl RunConfig {
+    /// Single-node configuration with a deterministic default mapping that
+    /// spreads tuples over `threads` by hashing.
+    pub fn smp(threads: usize) -> Self {
+        RunConfig {
+            nodes: 1,
+            threads_per_node: threads,
+            scheme: SchedScheme::Lazy,
+            mapping: Arc::new(move |t: &Tuple| {
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for &v in t.ids() {
+                    h = (h ^ v as u64).wrapping_mul(0x1000_0000_01b3);
+                }
+                Place {
+                    node: 0,
+                    thread: (h % threads as u64) as usize,
+                }
+            }),
+            trace: false,
+            net: None,
+            deadlock_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+
+    /// Multi-node configuration with an explicit mapping.
+    pub fn cluster(nodes: usize, threads_per_node: usize, mapping: MappingFn) -> Self {
+        RunConfig {
+            nodes,
+            threads_per_node,
+            scheme: SchedScheme::Lazy,
+            mapping,
+            trace: false,
+            net: None,
+            deadlock_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+
+    /// Enable trace recording.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Set the firing policy.
+    pub fn with_scheme(mut self, s: SchedScheme) -> Self {
+        self.scheme = s;
+        self
+    }
+
+    /// Attach an interconnect model.
+    pub fn with_net(mut self, net: NetModel) -> Self {
+        self.net = Some(net);
+        self
+    }
+}
+
+/// Counters and statistics from a completed run.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Total VDP firings.
+    pub fired: usize,
+    /// Inter-node messages transmitted.
+    pub remote_msgs: usize,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+    /// Firings per global worker thread (load-balance diagnostics).
+    pub fired_per_thread: Vec<usize>,
+    /// Deepest any channel queue ever got — the memory high-water mark of
+    /// the run (Section II: unbounded queues can exhaust node memory).
+    pub peak_channel_depth: usize,
+}
+
+impl RunStats {
+    /// Load imbalance: max over mean of per-thread firing counts
+    /// (1.0 = perfectly balanced; only threads that own VDPs count).
+    pub fn imbalance(&self) -> f64 {
+        let busy: Vec<usize> = self.fired_per_thread.iter().copied().collect();
+        let max = busy.iter().copied().max().unwrap_or(0) as f64;
+        let sum: usize = busy.iter().sum();
+        if sum == 0 {
+            return 1.0;
+        }
+        max * busy.len() as f64 / sum as f64
+    }
+}
+
+/// Everything a completed run produced.
+pub struct RunOutput {
+    /// Packets that left the array through exit channels, keyed by the
+    /// (nonexistent) destination tuple and slot of the exit channel.
+    pub exits: HashMap<(Tuple, usize), Vec<Packet>>,
+    /// Execution trace, when requested.
+    pub trace: Option<Trace>,
+    /// Run statistics.
+    pub stats: RunStats,
+}
+
+impl RunOutput {
+    /// Take the packets delivered to exit `(tuple, slot)`.
+    pub fn take_exit(&mut self, tuple: impl Into<Tuple>, slot: usize) -> Vec<Packet> {
+        self.exits.remove(&(tuple.into(), slot)).unwrap_or_default()
+    }
+}
+
+/// Global state shared by all workers and proxies of a run.
+pub(crate) struct Shared {
+    pub notifiers: Vec<Arc<ThreadNotifier>>,
+    pub exits: Mutex<HashMap<(Tuple, usize), Vec<Packet>>>,
+    pub live: AtomicUsize,
+    pub pending_remote: AtomicUsize,
+    pub sent: AtomicUsize,
+    pub delivered: AtomicUsize,
+    pub fired: AtomicUsize,
+    pub fired_per_thread: Vec<AtomicUsize>,
+    pub trace: Option<TraceCollector>,
+    pub net: Option<NetModel>,
+    pub deadlock_timeout: Option<Duration>,
+    pub threads_per_node: usize,
+    t0: Instant,
+    last_progress_us: AtomicU64,
+    aborted: AtomicBool,
+}
+
+impl Shared {
+    pub fn global_thread(&self, node: usize, local: usize) -> usize {
+        node * self.threads_per_node + local
+    }
+
+    pub fn mark_progress(&self) {
+        let us = self.t0.elapsed().as_micros() as u64;
+        self.last_progress_us.store(us, Ordering::Relaxed);
+    }
+
+    pub fn since_progress(&self) -> Duration {
+        let last = self.last_progress_us.load(Ordering::Relaxed);
+        let now = self.t0.elapsed().as_micros() as u64;
+        Duration::from_micros(now.saturating_sub(last))
+    }
+
+    pub fn abort(&self) {
+        self.aborted.store(true, Ordering::Release);
+        for n in &self.notifiers {
+            n.notify();
+        }
+    }
+
+    pub fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::Acquire)
+    }
+}
+
+/// Per-node state shared between the node's workers and its proxy.
+pub(crate) struct NodeShared {
+    pub outgoing: Vec<OutgoingQueue>,
+}
+
+/// A Virtual Systolic Array under construction: VDPs + channels + seeds
+/// (`prt_vsa_new` / `prt_vsa_vdp_insert` analogue).
+#[derive(Default)]
+pub struct Vsa {
+    vdps: Vec<VdpSpec>,
+    by_tuple: HashMap<Tuple, usize>,
+    channels: Vec<ChannelSpec>,
+    seeds: Vec<(Tuple, usize, Packet)>,
+}
+
+impl Vsa {
+    /// An empty array.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a VDP. Tuples must be unique and counters positive.
+    pub fn add_vdp(&mut self, spec: VdpSpec) {
+        assert!(spec.counter > 0, "VDP {} has zero counter", spec.tuple);
+        let prev = self.by_tuple.insert(spec.tuple.clone(), self.vdps.len());
+        assert!(prev.is_none(), "duplicate VDP tuple {}", spec.tuple);
+        self.vdps.push(spec);
+    }
+
+    /// Insert a channel. A channel whose destination tuple has no VDP is an
+    /// *exit* channel: its packets are collected into [`RunOutput::exits`].
+    pub fn add_channel(&mut self, spec: ChannelSpec) {
+        self.channels.push(spec);
+    }
+
+    /// Queue an initial packet on input `slot` of `dst` before the run
+    /// starts (this is how the matrix tiles enter the array). If no channel
+    /// feeds that slot, an implicit one is created.
+    pub fn seed(&mut self, dst: impl Into<Tuple>, slot: usize, p: Packet) {
+        self.seeds.push((dst.into(), slot, p));
+    }
+
+    /// Number of VDPs currently in the array.
+    pub fn vdp_count(&self) -> usize {
+        self.vdps.len()
+    }
+
+    /// Number of channels currently in the array.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Check the array's wiring against a configuration without running
+    /// it: slot bounds, slot conflicts, dangling channels, seed targets,
+    /// and mapping placements. Returns every problem found. `run` enforces
+    /// the same invariants with panics; this gives them all at once.
+    pub fn validate(&self, config: &RunConfig) -> Result<(), Vec<String>> {
+        let mut errors = Vec::new();
+        let mut in_used: HashMap<(usize, usize), usize> = HashMap::new();
+        let mut out_used: HashMap<(usize, usize), usize> = HashMap::new();
+
+        for (ci, ch) in self.channels.iter().enumerate() {
+            let src = self.by_tuple.get(&ch.src);
+            let dst = self.by_tuple.get(&ch.dst);
+            if src.is_none() && dst.is_none() {
+                errors.push(format!(
+                    "channel #{ci} {}:{} -> {}:{} connects two nonexistent VDPs",
+                    ch.src, ch.src_slot, ch.dst, ch.dst_slot
+                ));
+                continue;
+            }
+            if let Some(&s) = src {
+                if ch.src_slot >= self.vdps[s].n_out {
+                    errors.push(format!(
+                        "channel #{ci}: output slot {} out of range for VDP {} ({} outputs)",
+                        ch.src_slot, ch.src, self.vdps[s].n_out
+                    ));
+                } else if let Some(prev) = out_used.insert((s, ch.src_slot), ci) {
+                    errors.push(format!(
+                        "VDP {} output slot {} wired by channels #{prev} and #{ci}",
+                        ch.src, ch.src_slot
+                    ));
+                }
+            }
+            if let Some(&d) = dst {
+                if ch.dst_slot >= self.vdps[d].n_in {
+                    errors.push(format!(
+                        "channel #{ci}: input slot {} out of range for VDP {} ({} inputs)",
+                        ch.dst_slot, ch.dst, self.vdps[d].n_in
+                    ));
+                } else if let Some(prev) = in_used.insert((d, ch.dst_slot), ci) {
+                    errors.push(format!(
+                        "VDP {} input slot {} wired by channels #{prev} and #{ci}",
+                        ch.dst, ch.dst_slot
+                    ));
+                }
+            }
+        }
+        for (dst, slot, _) in &self.seeds {
+            match self.by_tuple.get(dst) {
+                None => errors.push(format!("seed targets nonexistent VDP {dst}")),
+                Some(&d) => {
+                    if *slot >= self.vdps[d].n_in {
+                        errors.push(format!(
+                            "seed targets out-of-range input slot {slot} of VDP {dst}"
+                        ));
+                    }
+                }
+            }
+        }
+        for v in &self.vdps {
+            let p = (config.mapping)(&v.tuple);
+            if p.node >= config.nodes || p.thread >= config.threads_per_node {
+                errors.push(format!(
+                    "mapping places VDP {} at {:?}, outside {} nodes x {} threads",
+                    v.tuple, p, config.nodes, config.threads_per_node
+                ));
+            }
+        }
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
+
+    /// Launch the array and block until every VDP has been destroyed.
+    pub fn run(self, config: &RunConfig) -> RunOutput {
+        let Vsa {
+            vdps,
+            by_tuple,
+            channels,
+            seeds,
+        } = self;
+        let nodes = config.nodes;
+        let tpn = config.threads_per_node;
+        assert!(nodes > 0 && tpn > 0);
+
+        // Resolve VDP placements.
+        let places: Vec<Place> = vdps
+            .iter()
+            .map(|v| {
+                let p = (config.mapping)(&v.tuple);
+                assert!(
+                    p.node < nodes && p.thread < tpn,
+                    "mapping put VDP {} at invalid place {:?}",
+                    v.tuple,
+                    p
+                );
+                p
+            })
+            .collect();
+
+        // Materialize VDP states.
+        let mut states: Vec<VdpState> = vdps
+            .into_iter()
+            .map(|spec| VdpState {
+                tuple: spec.tuple,
+                counter: spec.counter,
+                fired: 0,
+                inputs: (0..spec.n_in).map(|_| None).collect(),
+                outputs: (0..spec.n_out).map(|_| None).collect(),
+                logic: Some(spec.logic),
+            })
+            .collect();
+
+        let t0 = Instant::now();
+        let shared = Shared {
+            notifiers: (0..nodes * tpn).map(|_| ThreadNotifier::new()).collect(),
+            exits: Mutex::new(HashMap::new()),
+            live: AtomicUsize::new(states.len()),
+            pending_remote: AtomicUsize::new(0),
+            sent: AtomicUsize::new(0),
+            delivered: AtomicUsize::new(0),
+            fired: AtomicUsize::new(0),
+            fired_per_thread: (0..nodes * tpn).map(|_| AtomicUsize::new(0)).collect(),
+            trace: config.trace.then(|| TraceCollector::new(t0)),
+            net: config.net,
+            deadlock_timeout: config.deadlock_timeout,
+            threads_per_node: tpn,
+            t0,
+            last_progress_us: AtomicU64::new(0),
+            aborted: AtomicBool::new(false),
+        };
+
+        // Wire channels (keep a registry to report queue high-water marks).
+        let mut all_queues: Vec<Arc<ChannelQueue>> = Vec::new();
+        let mut routes: Vec<RouteTable> = (0..nodes).map(|_| RouteTable::new()).collect();
+        let mut next_wire: u32 = 0;
+        for ch in channels {
+            let dst_idx = by_tuple.get(&ch.dst).copied();
+            let src_idx = by_tuple.get(&ch.src).copied();
+            match (src_idx, dst_idx) {
+                (Some(s), Some(d)) => {
+                    let queue = ChannelQueue::new(ch.max_bytes, ch.enabled);
+                    all_queues.push(queue.clone());
+                    let dst_place = places[d];
+                    attach_input(&mut states[d], ch.dst_slot, queue.clone(), &ch);
+                    let owner = shared.global_thread(dst_place.node, dst_place.thread);
+                    let target = if places[s].node == dst_place.node {
+                        OutputTarget::Local { queue, owner }
+                    } else {
+                        let wire_id = next_wire;
+                        next_wire += 1;
+                        routes[dst_place.node].insert(wire_id, (queue, owner));
+                        OutputTarget::Remote {
+                            wire_id,
+                            dst_node: dst_place.node,
+                        }
+                    };
+                    attach_output(&mut states[s], ch.src_slot, target, &ch);
+                }
+                (Some(s), None) => {
+                    // Exit channel.
+                    attach_output(
+                        &mut states[s],
+                        ch.src_slot,
+                        OutputTarget::Exit {
+                            key: (ch.dst.clone(), ch.dst_slot),
+                        },
+                        &ch,
+                    );
+                }
+                (None, Some(d)) => {
+                    // Entry channel: only seeds feed it.
+                    let queue = ChannelQueue::new(ch.max_bytes, ch.enabled);
+                    all_queues.push(queue.clone());
+                    attach_input(&mut states[d], ch.dst_slot, queue, &ch);
+                }
+                (None, None) => {
+                    panic!(
+                        "channel {}:{} -> {}:{} connects two nonexistent VDPs",
+                        ch.src, ch.src_slot, ch.dst, ch.dst_slot
+                    );
+                }
+            }
+        }
+
+        // Seeds.
+        for (dst, slot, p) in seeds {
+            let idx = *by_tuple
+                .get(&dst)
+                .unwrap_or_else(|| panic!("seed destination VDP {dst} does not exist"));
+            if states[idx].inputs[slot].is_none() {
+                let queue = ChannelQueue::new(usize::MAX, true);
+                all_queues.push(queue.clone());
+                states[idx].inputs[slot] = Some(queue);
+            }
+            states[idx].inputs[slot].as_ref().unwrap().push(p);
+        }
+        shared.mark_progress();
+
+        // Partition VDPs per worker thread.
+        let mut per_thread: Vec<Vec<VdpState>> = (0..nodes * tpn).map(|_| Vec::new()).collect();
+        for (state, place) in states.into_iter().zip(&places) {
+            per_thread[shared.global_thread(place.node, place.thread)].push(state);
+        }
+
+        // Node-shared outgoing queues and the fabric.
+        let node_shared: Vec<NodeShared> = (0..nodes)
+            .map(|_| NodeShared {
+                outgoing: (0..tpn).map(|_| Mutex::new(Default::default())).collect(),
+            })
+            .collect();
+        let mut senders: Vec<crossbeam::channel::Sender<WireMsg>> = Vec::new();
+        let mut receivers: Vec<crossbeam::channel::Receiver<WireMsg>> = Vec::new();
+        for _ in 0..nodes {
+            let (tx, rx) = crossbeam::channel::unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+
+        let scheme = config.scheme;
+        // `thread::scope` replaces panic payloads with a generic message, so
+        // capture the first real payload (e.g. a watchdog diagnostic or a
+        // user-kernel panic) and re-raise it after every thread has stopped.
+        let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+        let capture = |e: Box<dyn std::any::Any + Send>| {
+            shared.abort();
+            let mut slot = first_panic.lock();
+            if slot.is_none() {
+                *slot = Some(e);
+            }
+        };
+        std::thread::scope(|scope| {
+            // Workers.
+            let mut iter = per_thread.into_iter();
+            for node in 0..nodes {
+                for local in 0..tpn {
+                    let vdps = iter.next().unwrap();
+                    let shared = &shared;
+                    let ns = &node_shared[node];
+                    let capture = &capture;
+                    scope.spawn(move || {
+                        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            worker_loop(node, local, vdps, shared, ns, scheme)
+                        }));
+                        if let Err(e) = r {
+                            capture(e);
+                        }
+                    });
+                }
+            }
+            // Proxies (one per node, matching the paper's PRT layout).
+            if nodes > 1 {
+                for (node, (rx, rt)) in receivers.into_iter().zip(routes).enumerate() {
+                    let shared = &shared;
+                    let ns = &node_shared[node];
+                    let senders = senders.clone();
+                    let capture = &capture;
+                    scope.spawn(move || {
+                        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            crate::net::proxy_loop(node, rx, &senders, rt, &ns.outgoing, shared)
+                        }));
+                        if let Err(e) = r {
+                            capture(e);
+                        }
+                    });
+                }
+            }
+            drop(senders);
+        });
+        if let Some(p) = first_panic.into_inner() {
+            std::panic::resume_unwind(p);
+        }
+
+        let stats = RunStats {
+            fired: shared.fired.load(Ordering::Relaxed),
+            remote_msgs: shared.sent.load(Ordering::Relaxed),
+            wall: t0.elapsed(),
+            fired_per_thread: shared
+                .fired_per_thread
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            peak_channel_depth: all_queues.iter().map(|q| q.high_water()).max().unwrap_or(0),
+        };
+        RunOutput {
+            exits: shared.exits.into_inner(),
+            trace: shared.trace.map(|t| t.finish()),
+            stats,
+        }
+    }
+}
+
+fn attach_input(state: &mut VdpState, slot: usize, q: Arc<ChannelQueue>, ch: &ChannelSpec) {
+    assert!(
+        slot < state.inputs.len(),
+        "channel {}:{} -> {}:{}: input slot out of range",
+        ch.src,
+        ch.src_slot,
+        ch.dst,
+        ch.dst_slot
+    );
+    assert!(
+        state.inputs[slot].is_none(),
+        "VDP {} input slot {} already connected",
+        state.tuple,
+        slot
+    );
+    state.inputs[slot] = Some(q);
+}
+
+fn attach_output(state: &mut VdpState, slot: usize, t: OutputTarget, ch: &ChannelSpec) {
+    assert!(
+        slot < state.outputs.len(),
+        "channel {}:{} -> {}:{}: output slot out of range",
+        ch.src,
+        ch.src_slot,
+        ch.dst,
+        ch.dst_slot
+    );
+    assert!(
+        state.outputs[slot].is_none(),
+        "VDP {} output slot {} already connected",
+        state.tuple,
+        slot
+    );
+    state.outputs[slot] = Some(t);
+}

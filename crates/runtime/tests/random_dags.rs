@@ -1,0 +1,165 @@
+//! Property tests of the runtime itself: randomly generated layered
+//! dataflow graphs, random mappings and thread counts — every packet must
+//! be accounted for, every VDP must fire exactly its counter, and the
+//! results must be deterministic.
+
+use proptest::prelude::*;
+use pulsar_runtime::*;
+use std::sync::Arc;
+
+/// Description of a random layered DAG: `widths[l]` VDPs in layer `l`,
+/// each consuming one packet from a random parent in the previous layer
+/// and forwarding a tagged value. Sources are seeded; sinks exit.
+#[derive(Debug, Clone)]
+struct LayeredDag {
+    widths: Vec<usize>,
+    /// parent[l][i] = index in layer l-1 feeding VDP i of layer l (l >= 1).
+    parents: Vec<Vec<usize>>,
+}
+
+fn dag_strategy() -> impl Strategy<Value = LayeredDag> {
+    (2usize..6)
+        .prop_flat_map(|layers| {
+            prop::collection::vec(1usize..6, layers)
+        })
+        .prop_flat_map(|widths| {
+            let mut parent_strats = Vec::new();
+            for l in 1..widths.len() {
+                let prev = widths[l - 1];
+                parent_strats.push(prop::collection::vec(0..prev, widths[l]));
+            }
+            (Just(widths), parent_strats)
+        })
+        .prop_map(|(widths, parents)| LayeredDag { widths, parents })
+}
+
+/// Build and run the DAG; returns (per-sink outputs, stats).
+fn run_dag(dag: &LayeredDag, threads: usize, nodes: usize, scheme: SchedScheme) -> (Vec<Vec<i64>>, RunStats) {
+    let mut vsa = Vsa::new();
+    let layers = dag.widths.len();
+    // Fan-out counts: how many children each VDP has.
+    let mut fanout: Vec<Vec<usize>> = dag.widths.iter().map(|&w| vec![0; w]).collect();
+    for l in 1..layers {
+        for &p in &dag.parents[l - 1] {
+            fanout[l - 1][p] += 1;
+        }
+    }
+    // The last layer exits (fanout 0 -> 1 exit each).
+    for (l, w) in dag.widths.iter().enumerate() {
+        for i in 0..*w {
+            let outs = if l == layers - 1 { 1 } else { fanout[l][i].max(1) };
+            vsa.add_vdp(VdpSpec::new(
+                Tuple::new2(l as i32, i as i32),
+                1,
+                1,
+                outs,
+                move |ctx: &mut VdpContext| {
+                    let x: i64 = ctx.pop(0).take();
+                    let y = x * 31 + 1; // deterministic transform
+                    for s in 0..outs {
+                        if ctx.output_connected(s) {
+                            ctx.push(s, Packet::new(y, 8));
+                        }
+                    }
+                },
+            ));
+        }
+    }
+    // Channels: child i of layer l gets its parent's next free output slot.
+    let mut next_slot: Vec<Vec<usize>> = dag.widths.iter().map(|&w| vec![0; w]).collect();
+    for l in 1..layers {
+        for (i, &p) in dag.parents[l - 1].iter().enumerate() {
+            let slot = next_slot[l - 1][p];
+            next_slot[l - 1][p] += 1;
+            vsa.add_channel(ChannelSpec::new(
+                8,
+                Tuple::new2((l - 1) as i32, p as i32),
+                slot,
+                Tuple::new2(l as i32, i as i32),
+                0,
+            ));
+        }
+    }
+    // Exits for the last layer.
+    for i in 0..dag.widths[layers - 1] {
+        vsa.add_channel(ChannelSpec::new(
+            8,
+            Tuple::new2((layers - 1) as i32, i as i32),
+            0,
+            Tuple::new2(-1, i as i32),
+            0,
+        ));
+    }
+    // Seeds for the first layer.
+    for i in 0..dag.widths[0] {
+        vsa.seed(Tuple::new2(0, i as i32), 0, Packet::new(i as i64, 8));
+    }
+
+    let config = if nodes == 1 {
+        RunConfig::smp(threads).with_scheme(scheme)
+    } else {
+        let mapping: MappingFn = Arc::new(move |t: &Tuple| Place {
+            node: (t.id(1).unsigned_abs() as usize) % nodes,
+            thread: (t.id(0).unsigned_abs() as usize) % threads,
+        });
+        RunConfig::cluster(nodes, threads, mapping).with_scheme(scheme)
+    };
+    vsa.validate(&config).expect("generated DAG must be valid");
+    let mut out = vsa.run(&config);
+    let sinks = (0..dag.widths[layers - 1])
+        .map(|i| {
+            out.take_exit(Tuple::new2(-1, i as i32), 0)
+                .into_iter()
+                .map(|p| p.take::<i64>())
+                .collect()
+        })
+        .collect();
+    (sinks, out.stats)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any layered DAG drains completely: VDPs reachable from a seed fire
+    /// once; results are independent of threads, nodes, and scheme.
+    #[test]
+    fn dag_execution_deterministic(
+        dag in dag_strategy(),
+        threads in 1usize..4,
+        nodes in 1usize..4,
+    ) {
+        // Note: VDPs whose parent chain receives no packet would deadlock;
+        // in this construction every layer-l VDP has exactly one parent
+        // chain to a seed, so all fire.
+        let total: usize = dag.widths.iter().sum();
+        let (base, stats) = run_dag(&dag, 1, 1, SchedScheme::Lazy);
+        prop_assert_eq!(stats.fired, total);
+        let (alt, stats2) = run_dag(&dag, threads, nodes, SchedScheme::Aggressive);
+        prop_assert_eq!(stats2.fired, total);
+        prop_assert_eq!(base, alt, "results depend on execution configuration");
+        if nodes > 1 {
+            prop_assert_eq!(
+                stats2.fired_per_thread.len(),
+                nodes * threads
+            );
+        }
+    }
+}
+
+/// Queue depth accounting: a multi-fire VDP fed k packets at once reports
+/// a high-water mark of k.
+#[test]
+fn peak_channel_depth_reported() {
+    let k = 37;
+    let mut vsa = Vsa::new();
+    vsa.add_vdp(VdpSpec::new(Tuple::new1(0), k, 1, 1, |ctx: &mut VdpContext| {
+        let _ = ctx.pop(0);
+        ctx.push(0, Packet::new(0i64, 8));
+    }));
+    vsa.add_channel(ChannelSpec::new(8, Tuple::new1(0), 0, Tuple::new1(1), 0));
+    for i in 0..k {
+        vsa.seed(Tuple::new1(0), 0, Packet::new(i as i64, 8));
+    }
+    let out = vsa.run(&RunConfig::smp(1));
+    assert_eq!(out.stats.peak_channel_depth as u32, k);
+}

@@ -1,0 +1,102 @@
+//! Reduction-tree autotuning (Sections I/II: "the optimal match between the
+//! chosen reduction-tree and the underlying software and hardware layers
+//! is, for the most part, system-dependent. Such an optimal match could be
+//! found through experimentation"). The simulator makes that
+//! experimentation cheap: sweep candidate trees on the machine model and
+//! pick the fastest.
+
+use crate::des::{simulate, SimResult};
+use crate::machine::Machine;
+use crate::taskgraph::{build_tree_qr_graph, RuntimeModel};
+use pulsar_core::mapping::RowDist;
+use pulsar_core::plan::Tree;
+use pulsar_core::QrOptions;
+
+/// Result of a tuning sweep: every candidate with its simulated outcome,
+/// sorted fastest-first.
+pub struct TuneReport {
+    /// `(tree, result)` pairs, best first.
+    pub ranked: Vec<(Tree, SimResult)>,
+}
+
+impl TuneReport {
+    /// The winning tree.
+    pub fn best(&self) -> &(Tree, SimResult) {
+        &self.ranked[0]
+    }
+}
+
+/// Simulate every candidate tree for an `m x n` QR on `machine` and rank
+/// them by makespan.
+pub fn tune_tree(
+    m: usize,
+    n: usize,
+    nb: usize,
+    ib: usize,
+    machine: &Machine,
+    dist: RowDist,
+    candidates: Vec<Tree>,
+) -> TuneReport {
+    assert!(!candidates.is_empty());
+    let mut ranked: Vec<(Tree, SimResult)> = candidates
+        .into_iter()
+        .map(|tree| {
+            let opts = QrOptions::new(nb, ib, tree.clone());
+            let g = build_tree_qr_graph(m, n, &opts, dist, machine, RuntimeModel::pulsar());
+            (tree, simulate(&g, machine))
+        })
+        .collect();
+    ranked.sort_by(|a, b| a.1.makespan_s.total_cmp(&b.1.makespan_s));
+    TuneReport { ranked }
+}
+
+/// Sweep the hierarchical domain size `h` over `hs` (plus the flat and
+/// binary extremes) and return the report.
+pub fn tune_h(
+    m: usize,
+    n: usize,
+    nb: usize,
+    ib: usize,
+    machine: &Machine,
+    dist: RowDist,
+    hs: &[usize],
+) -> TuneReport {
+    let mut candidates = vec![Tree::Flat, Tree::Binary];
+    candidates.extend(hs.iter().map(|&h| Tree::BinaryOnFlat { h }));
+    tune_tree(m, n, nb, ib, machine, dist, candidates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuner_ranks_by_makespan() {
+        let mach = Machine::kraken(16);
+        let report = tune_h(
+            256 * 192,
+            4 * 192,
+            192,
+            48,
+            &mach,
+            RowDist::Block,
+            &[4, 8, 16],
+        );
+        assert_eq!(report.ranked.len(), 5);
+        for w in report.ranked.windows(2) {
+            assert!(w[0].1.makespan_s <= w[1].1.makespan_s, "not sorted");
+        }
+        // For a very tall-skinny problem the flat tree must not win.
+        assert_ne!(report.best().0, Tree::Flat);
+    }
+
+    #[test]
+    fn tuner_prefers_flat_for_single_worker() {
+        // With one worker there is no parallelism to exploit; the flat
+        // tree does the fewest flops and must win.
+        let mut mach = Machine::kraken(1);
+        mach.workers_per_node = 1;
+        let report = tune_h(16 * 192, 2 * 192, 192, 48, &mach, RowDist::Block, &[4]);
+        assert_eq!(report.best().0, Tree::Flat);
+    }
+}

@@ -1,0 +1,152 @@
+//! Baseline performance models for Section VI-A's comparisons:
+//! a ScaLAPACK-style block algorithm and a PaRSEC-style generic task
+//! runtime. Both are *models* — the paper reports only ratio bands
+//! (ScaLAPACK ≥3x slower, PaRSEC 10–20% slower), and these reproduce the
+//! mechanisms those ratios come from.
+
+use crate::machine::Machine;
+use crate::taskgraph::RuntimeModel;
+
+/// A PaRSEC-like generic task-superscalar runtime: heavier per-task
+/// dependence tracking, no packet bypass (transformations are released when
+/// the producing task completes), and a calibrated 10% duration penalty
+/// encoding the scheduling-quality gap the paper's references [6, 7]
+/// measured (PaRSEC "at least 10% slower strong-scaling, 20% or more weak").
+pub fn parsec_model() -> RuntimeModel {
+    RuntimeModel {
+        task_overhead_us: 12.0,
+        bypass: false,
+        duration_scale: 1.10,
+    }
+}
+
+/// Analytic execution-time model (seconds) for a ScaLAPACK-style *block*
+/// (non-tile) QR: `pdgeqrf` on a `pr x pc` process grid.
+///
+/// The block algorithm's panel factorization walks the panel column by
+/// column: each column needs a norm reduction and a broadcast over the
+/// process column (latency-bound, `2 log2(pr) alpha` per column) and runs
+/// at memory-bound speed. For a tall-and-skinny matrix this serial panel
+/// path is exactly what the tree algorithms remove — hence the paper's
+/// ≥3x observation.
+pub fn scalapack_qr_time(m: usize, n: usize, machine: &Machine, nb: usize) -> f64 {
+    let p = (machine.nodes * machine.cores_per_node) as f64;
+    let (mf, nf, nbf) = (m as f64, n as f64, nb as f64);
+    // Process grid: tall matrices favour tall grids.
+    let pc = (p * nf / mf).sqrt().round().clamp(1.0, p);
+    let pr = (p / pc).max(1.0);
+
+    // Calibration (documented in EXPERIMENTS.md): an idealized alpha-beta
+    // model puts pdgeqrf far above what [6, 7] measured on Kraken. Two
+    // effects dominate in practice and are folded in as parameters:
+    //  - COLLECTIVE_STRAGGLER: each of the ~3 collectives per panel column
+    //    runs in a serial chain of thousands; OS noise and network
+    //    contention inflate the effective latency well beyond nominal.
+    //  - PANEL_RATE/UPDATE_EFF: level-2 panel work and skinny block-cyclic
+    //    gemms run far from peak, with no panel/update overlap (fork-join).
+    const COLLECTIVE_STRAGGLER: f64 = 10.0;
+    const COLLECTIVES_PER_COLUMN: f64 = 3.0;
+    const PANEL_RATE_FRAC: f64 = 0.05;
+    const UPDATE_EFF: f64 = 0.60;
+
+    let gemm_rate = machine.core_gflops * UPDATE_EFF * 1e9; // flops/s
+    let panel_rate = machine.core_gflops * PANEL_RATE_FRAC * 1e9;
+    let alpha = machine.latency_us * 1e-6 * COLLECTIVE_STRAGGLER; // s
+    let beta = machine.bytes_per_us * 1e6; // bytes/s
+
+    // Trailing updates: the parallel-friendly bulk of the flops.
+    let t_update = 2.0 * nf * nf * (mf - nf / 3.0) / (p * gemm_rate);
+    // Panel factorizations: 2 m nb flops per column over pr processes, at
+    // memory-bound rate, not overlapped with updates (lookahead-free model).
+    let t_panel = 2.0 * mf * nf * nbf / (pr * panel_rate);
+    // Per-column latency: the serial chain of collectives down the column.
+    let t_latency = nf * COLLECTIVES_PER_COLUMN * pr.log2().max(0.0) * alpha;
+    // Per-panel V broadcast across the process row.
+    let panels = (nf / nbf).ceil();
+    let panel_bytes = 8.0 * (mf / pr) * nbf;
+    let t_bcast = panels * pc.log2().max(0.0) * (alpha + panel_bytes / beta);
+
+    t_update + t_panel + t_latency + t_bcast
+}
+
+/// ScaLAPACK model expressed as Gflop/s (standard QR flop count).
+pub fn scalapack_qr_gflops(m: usize, n: usize, machine: &Machine, nb: usize) -> f64 {
+    pulsar_linalg::flops::qr_flops(m, n) / scalapack_qr_time(m, n, machine, nb) * 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::des::simulate;
+    use crate::taskgraph::build_tree_qr_graph;
+    use pulsar_core::mapping::RowDist;
+    use pulsar_core::plan::Tree;
+    use pulsar_core::QrOptions;
+
+    #[test]
+    fn scalapack_time_monotone_in_m() {
+        let mach = Machine::kraken(64);
+        let t1 = scalapack_qr_time(64 * 192 * 4, 4608, &mach, 64);
+        let t2 = scalapack_qr_time(64 * 192 * 8, 4608, &mach, 64);
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn parsec_model_is_slower_than_pulsar_in_band() {
+        let mach = Machine::kraken(8);
+        let opts = QrOptions::new(192, 48, Tree::BinaryOnFlat { h: 6 });
+        let pulsar = simulate(
+            &build_tree_qr_graph(
+                128 * 192,
+                4 * 192,
+                &opts,
+                RowDist::Cyclic,
+                &mach,
+                RuntimeModel::pulsar(),
+            ),
+            &mach,
+        );
+        let parsec = simulate(
+            &build_tree_qr_graph(
+                128 * 192,
+                4 * 192,
+                &opts,
+                RowDist::Cyclic,
+                &mach,
+                parsec_model(),
+            ),
+            &mach,
+        );
+        let ratio = parsec.makespan_s / pulsar.makespan_s;
+        assert!(
+            (1.03..1.50).contains(&ratio),
+            "PaRSEC/PULSAR ratio {ratio} outside the paper's 10-20% band neighborhood"
+        );
+    }
+
+    #[test]
+    fn tree_qr_beats_scalapack_for_tall_skinny() {
+        // The Section VI-A band: >= 3x for tall-skinny problems, at the
+        // paper's own scale (Kraken, 9216 cores, 368640 x 4608).
+        let mach = Machine::kraken_cores(9216);
+        let opts = QrOptions::new(192, 48, Tree::BinaryOnFlat { h: 6 });
+        let tree = simulate(
+            &build_tree_qr_graph(
+                368_640,
+                4_608,
+                &opts,
+                RowDist::Cyclic,
+                &mach,
+                RuntimeModel::pulsar(),
+            ),
+            &mach,
+        );
+        let scal = scalapack_qr_time(368_640, 4_608, &mach, 64);
+        let ratio = scal / tree.makespan_s;
+        assert!(
+            ratio >= 3.0,
+            "ScaLAPACK model only {ratio:.2}x slower (tree {}s, scalapack {scal}s)",
+            tree.makespan_s
+        );
+    }
+}

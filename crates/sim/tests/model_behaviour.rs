@@ -1,0 +1,152 @@
+//! Behavioural tests of the performance model: scaling trends, memory
+//! accounting, tuning landscapes, and the paper's qualitative claims must
+//! hold across parameter ranges (not just at the calibration anchors).
+
+use pulsar_core::mapping::RowDist;
+use pulsar_core::plan::{Boundary, Tree};
+use pulsar_core::QrOptions;
+use pulsar_sim::baselines::{parsec_model, scalapack_qr_time};
+use pulsar_sim::{build_tree_qr_graph, simulate, Machine, RuntimeModel, SimResult};
+
+fn run(m: usize, n: usize, tree: Tree, mach: &Machine) -> SimResult {
+    let opts = QrOptions::new(192, 48, tree);
+    let g = build_tree_qr_graph(m, n, &opts, RowDist::Block, mach, RuntimeModel::pulsar());
+    simulate(&g, mach)
+}
+
+#[test]
+fn hierarchical_gflops_grow_with_m() {
+    // Figure 10's qualitative content: more rows, more parallelism.
+    let mach = Machine::kraken(64);
+    let ms = [64 * 192, 128 * 192, 256 * 192, 512 * 192];
+    let g: Vec<f64> = ms
+        .iter()
+        .map(|&m| run(m, 4 * 192, Tree::BinaryOnFlat { h: 6 }, &mach).gflops)
+        .collect();
+    for w in g.windows(2) {
+        assert!(w[1] > w[0], "not monotone: {g:?}");
+    }
+}
+
+#[test]
+fn flat_gflops_saturate_with_m() {
+    // The flat tree's serial panel chain caps its throughput.
+    let mach = Machine::kraken(64);
+    let lo = run(128 * 192, 4 * 192, Tree::Flat, &mach).gflops;
+    let hi = run(512 * 192, 4 * 192, Tree::Flat, &mach).gflops;
+    assert!(
+        hi < lo * 1.5,
+        "flat should saturate: {lo} -> {hi} (4x the rows)"
+    );
+}
+
+#[test]
+fn strong_scaling_monotone_for_trees_not_flat() {
+    let (m, n) = (512 * 192, 4 * 192);
+    let mut hier_prev = 0.0;
+    for nodes in [8usize, 32, 128] {
+        let mach = Machine::kraken(nodes);
+        let hier = run(m, n, Tree::BinaryOnFlat { h: 6 }, &mach).gflops;
+        assert!(hier > hier_prev, "hierarchical should strong-scale");
+        hier_prev = hier;
+    }
+    // Flat barely gains from 16x more nodes.
+    let flat_small = run(m, n, Tree::Flat, &Machine::kraken(8)).gflops;
+    let flat_large = run(m, n, Tree::Flat, &Machine::kraken(128)).gflops;
+    assert!(flat_large < flat_small * 3.0);
+}
+
+#[test]
+fn shifted_boundary_faster_at_scale() {
+    let mach = Machine::kraken_cores(9216);
+    let mk = |boundary| {
+        let opts = QrOptions {
+            nb: 192,
+            ib: 48,
+            tree: Tree::BinaryOnFlat { h: 6 },
+            boundary,
+        };
+        let g = build_tree_qr_graph(368_640, 4_608, &opts, RowDist::Block, &mach, RuntimeModel::pulsar());
+        simulate(&g, &mach).makespan_s
+    };
+    let fixed = mk(Boundary::Fixed);
+    let shifted = mk(Boundary::Shifted);
+    assert!(
+        shifted < fixed,
+        "shifted ({shifted}) must beat fixed ({fixed})"
+    );
+}
+
+#[test]
+fn weak_scaling_keeps_node_memory_constant() {
+    let nb = 192;
+    let n = 4 * nb;
+    let rows_per_node = 16;
+    let mut bytes = Vec::new();
+    for nodes in [4usize, 16, 64] {
+        let mach = Machine::kraken(nodes);
+        let m = rows_per_node * nodes * nb;
+        let opts = QrOptions::new(nb, 48, Tree::BinaryOnFlat { h: 4 });
+        let g = build_tree_qr_graph(m, n, &opts, RowDist::Block, &mach, RuntimeModel::pulsar());
+        bytes.push(g.peak_node_bytes);
+    }
+    assert!(bytes.windows(2).all(|w| w[0] == w[1]), "per-node memory moved: {bytes:?}");
+}
+
+#[test]
+fn parsec_band_holds_across_sizes() {
+    let mach = Machine::kraken(32);
+    for &m in &[64 * 192usize, 256 * 192] {
+        let opts = QrOptions::new(192, 48, Tree::BinaryOnFlat { h: 6 });
+        let p = simulate(
+            &build_tree_qr_graph(m, 4 * 192, &opts, RowDist::Block, &mach, RuntimeModel::pulsar()),
+            &mach,
+        );
+        let q = simulate(
+            &build_tree_qr_graph(m, 4 * 192, &opts, RowDist::Block, &mach, parsec_model()),
+            &mach,
+        );
+        let ratio = q.makespan_s / p.makespan_s;
+        assert!((1.02..1.6).contains(&ratio), "m={m}: ratio {ratio}");
+    }
+}
+
+#[test]
+fn scalapack_gap_widens_as_matrix_gets_skinnier() {
+    // Fixed flop budget, varying aspect ratio: the panel-bound ScaLAPACK
+    // model falls behind fastest for the skinniest problems.
+    let mach = Machine::kraken_cores(9216);
+    let ratio = |m: usize, n: usize| {
+        let t = run(m, n, Tree::BinaryOnFlat { h: 6 }, &mach).makespan_s;
+        scalapack_qr_time(m, n, &mach, 64) / t
+    };
+    let skinny = ratio(737_280, 2_304);
+    let fat = ratio(184_320, 9_216);
+    assert!(
+        skinny > fat,
+        "skinny ratio {skinny} should exceed fat ratio {fat}"
+    );
+}
+
+#[test]
+fn larger_tiles_fewer_tasks_lower_parallelism() {
+    let mach = Machine::kraken(64);
+    let mk = |nb: usize| {
+        let opts = QrOptions::new(nb, nb / 4, Tree::BinaryOnFlat { h: 6 });
+        let g = build_tree_qr_graph(256 * 192, 4 * 192, &opts, RowDist::Block, &mach, RuntimeModel::pulsar());
+        (g.tasks.len(), simulate(&g, &mach).gflops)
+    };
+    let (t192, g192) = mk(192);
+    let (t384, g384) = mk(384);
+    assert!(t384 < t192 / 3, "tile count should drop sharply");
+    assert!(g384 < g192, "fewer, bigger tasks => less parallelism here");
+}
+
+#[test]
+fn busy_fraction_bounded_and_sane() {
+    let mach = Machine::kraken(16);
+    let r = run(128 * 192, 4 * 192, Tree::BinaryOnFlat { h: 8 }, &mach);
+    assert!(r.busy_fraction > 0.05 && r.busy_fraction <= 1.0);
+    assert!(r.remote_messages > 0);
+    assert!(r.remote_bytes > r.remote_messages as u64); // > 1 byte each
+}

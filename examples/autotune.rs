@@ -1,0 +1,58 @@
+//! Tree autotuning: use the machine-model simulator to pick the best
+//! reduction tree for a problem, then run the winner on the real runtime
+//! (Sections I/II: the optimal tree is system-dependent and found through
+//! experimentation).
+//!
+//! ```sh
+//! cargo run --release --example autotune
+//! ```
+
+use pulsar::core::mapping::RowDist;
+use pulsar::core::plan::Tree;
+use pulsar::core::vsa3d::tile_qr_vsa;
+use pulsar::core::QrOptions;
+use pulsar::linalg::Matrix;
+use pulsar::runtime::RunConfig;
+use pulsar::sim::autotune::tune_tree;
+use pulsar::sim::Machine;
+
+fn main() {
+    // Tune at the paper's scale on the modeled machine...
+    let mach = Machine::kraken_cores(9216);
+    let (m, n) = (368_640usize, 4_608usize);
+    let candidates = vec![
+        Tree::Flat,
+        Tree::Binary,
+        Tree::Greedy,
+        Tree::BinaryOnFlat { h: 3 },
+        Tree::BinaryOnFlat { h: 6 },
+        Tree::BinaryOnFlat { h: 12 },
+        Tree::BinaryOnFlat { h: 24 },
+        Tree::custom([12, 6]),
+    ];
+    println!("tuning {m}x{n} on the Kraken model ({} cores)...", 9216);
+    let report = tune_tree(m, n, 192, 48, &mach, RowDist::Block, candidates);
+    println!("{:<28} {:>12} {:>10}", "tree", "Gflop/s", "time (s)");
+    for (tree, r) in &report.ranked {
+        println!("{:<28} {:>12.0} {:>10.3}", format!("{tree:?}"), r.gflops, r.makespan_s);
+    }
+    let winner = report.best().0.clone();
+    println!("\nwinner: {winner:?}");
+
+    // ...then run the winner for real at laptop scale.
+    let nb = 32;
+    let (ml, nl) = (64 * nb, 4 * nb);
+    let mut rng = rand::rng();
+    let a = Matrix::random(ml, nl, &mut rng);
+    let opts = QrOptions::new(nb, 8, winner);
+    let t0 = std::time::Instant::now();
+    let res = tile_qr_vsa(&a, &opts, &RunConfig::smp(4));
+    println!(
+        "real run {}x{}: {:.1} ms, residual {:.2e}",
+        ml,
+        nl,
+        t0.elapsed().as_secs_f64() * 1e3,
+        res.factors.residual(&a)
+    );
+    assert!(res.factors.residual(&a) < 1e-13);
+}

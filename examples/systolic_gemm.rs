@@ -1,0 +1,137 @@
+//! PULSAR generality demo (Section II: "reuse of the PULSAR runtime across
+//! multiple application domains"): Cannon's systolic matrix multiplication
+//! on a p x p torus of multi-fire VDPs.
+//!
+//! Each VDP `(i, j)` owns block `C(i, j)` in its persistent local store,
+//! fires `p` times — multiply-accumulate the arriving `A` and `B` blocks,
+//! forward `A` left and `B` up along wrap-around channels — and emits its
+//! finished block on the last firing. This is the classic hardware systolic
+//! algorithm, virtualized.
+//!
+//! ```sh
+//! cargo run --release --example systolic_gemm
+//! ```
+
+use pulsar::linalg::Matrix;
+use pulsar::runtime::{
+    ChannelSpec, Packet, RunConfig, Tuple, VdpContext, VdpLogic, VdpSpec, Vsa,
+};
+
+struct CannonVdp {
+    p: usize,
+    c: Matrix, // persistent local store
+}
+
+impl VdpLogic for CannonVdp {
+    fn fire(&mut self, ctx: &mut VdpContext<'_>) {
+        let a = ctx.pop(0);
+        let b = ctx.pop(1);
+        // Forward along the torus first (bypass) — except on the last
+        // firing, when every VDP already has all it needs.
+        if ctx.remaining() > 0 {
+            ctx.push(0, a.clone());
+            ctx.push(1, b.clone());
+        }
+        let abl = a.as_tile().unwrap();
+        let bbl = b.as_tile().unwrap();
+        ctx.kernel("gemm", || {
+            pulsar::linalg::blas::dgemm(
+                pulsar::linalg::blas::Trans::No,
+                pulsar::linalg::blas::Trans::No,
+                1.0,
+                abl,
+                bbl,
+                1.0,
+                &mut self.c,
+            )
+        });
+        if ctx.remaining() == 0 {
+            ctx.push(2, Packet::tile(std::mem::replace(&mut self.c, Matrix::zeros(0, 0))));
+        }
+        let _ = self.p;
+    }
+}
+
+fn main() {
+    let p = 4; // 4x4 VDP torus
+    let nb = 32;
+    let n = p * nb;
+    let mut rng = rand::rng();
+    let a = Matrix::random(n, n, &mut rng);
+    let b = Matrix::random(n, n, &mut rng);
+
+    let block = |m: &Matrix, i: usize, j: usize| m.submatrix(i * nb, j * nb, nb, nb);
+    let tile_bytes = 8 * nb * nb;
+
+    let mut vsa = Vsa::new();
+    for i in 0..p {
+        for j in 0..p {
+            vsa.add_vdp(VdpSpec::new(
+                Tuple::new2(i as i32, j as i32),
+                p as u32,
+                2,
+                3,
+                CannonVdp {
+                    p,
+                    c: Matrix::zeros(nb, nb),
+                },
+            ));
+        }
+    }
+    for i in 0..p {
+        for j in 0..p {
+            let me = Tuple::new2(i as i32, j as i32);
+            // A blocks travel left (wrap), B blocks travel up (wrap).
+            let left = Tuple::new2(i as i32, ((j + p - 1) % p) as i32);
+            let up = Tuple::new2(((i + p - 1) % p) as i32, j as i32);
+            vsa.add_channel(ChannelSpec::new(tile_bytes, me.clone(), 0, left, 0));
+            vsa.add_channel(ChannelSpec::new(tile_bytes, me.clone(), 1, up, 1));
+            // C exits the array.
+            vsa.add_channel(ChannelSpec::new(
+                tile_bytes,
+                me,
+                2,
+                Tuple::new3(-1, i as i32, j as i32),
+                0,
+            ));
+        }
+    }
+    // Cannon pre-skew: VDP (i, j) starts with A(i, i+j) and B(i+j, j).
+    for i in 0..p {
+        for j in 0..p {
+            let k = (i + j) % p;
+            vsa.seed(
+                Tuple::new2(i as i32, j as i32),
+                0,
+                Packet::tile(block(&a, i, k)),
+            );
+            vsa.seed(
+                Tuple::new2(i as i32, j as i32),
+                1,
+                Packet::tile(block(&b, k, j)),
+            );
+        }
+    }
+
+    println!("running Cannon's algorithm on a {p}x{p} VDP torus ({n}x{n} blocks of {nb})...");
+    let mut out = vsa.run(&RunConfig::smp(4));
+    println!("{} firings", out.stats.fired);
+    assert_eq!(out.stats.fired, p * p * p);
+
+    // Reassemble C and verify against a dense multiply.
+    let mut c = Matrix::zeros(n, n);
+    for i in 0..p {
+        for j in 0..p {
+            let tile = out
+                .take_exit(Tuple::new3(-1, i as i32, j as i32), 0)
+                .remove(0)
+                .into_tile();
+            c.set_submatrix(i * nb, j * nb, &tile);
+        }
+    }
+    let want = a.matmul(&b);
+    let err = c.sub(&want).norm_fro() / want.norm_fro();
+    println!("relative error vs dense gemm: {err:.2e}");
+    assert!(err < 1e-13);
+    println!("ok — the same runtime that runs tree QR runs a systolic GEMM.");
+}

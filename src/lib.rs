@@ -1,0 +1,28 @@
+//! # pulsar
+//!
+//! Umbrella crate for the PULSAR tree-QR reproduction (IPDPS 2014:
+//! *"Design and Implementation of a Large Scale Tree-Based QR Decomposition
+//! Using a 3D Virtual Systolic Array and a Lightweight Runtime"*).
+//!
+//! Re-exports the four library crates:
+//! - [`runtime`] — the PULSAR runtime (VDPs, channels, VSAs, proxies);
+//! - [`linalg`] — tile kernels and dense linear-algebra substrate;
+//! - [`core`] — the tree-based QR on 3D virtual systolic arrays;
+//! - [`sim`] — the Kraken-scale discrete-event performance simulator.
+//!
+//! ```
+//! use pulsar::core::{plan::Tree, vsa3d::tile_qr_vsa, QrOptions};
+//! use pulsar::linalg::Matrix;
+//! use pulsar::runtime::RunConfig;
+//!
+//! let mut rng = rand::rng();
+//! let a = Matrix::random(64, 16, &mut rng);
+//! let opts = QrOptions::new(8, 4, Tree::BinaryOnFlat { h: 3 });
+//! let result = tile_qr_vsa(&a, &opts, &RunConfig::smp(2));
+//! assert!(result.factors.residual(&a) < 1e-13);
+//! ```
+
+pub use pulsar_core as core;
+pub use pulsar_linalg as linalg;
+pub use pulsar_runtime as runtime;
+pub use pulsar_sim as sim;

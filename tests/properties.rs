@@ -1,0 +1,104 @@
+//! Property-based tests over the whole stack: random shapes, tiles,
+//! trees, and boundaries; the factorization invariants must always hold.
+
+use proptest::prelude::*;
+use pulsar::core::plan::{validate_panel_schedule, Boundary, QrPlan, Tree};
+use pulsar::core::{tile_qr_seq, QrOptions};
+use pulsar::linalg::reference::geqrf;
+use pulsar::linalg::verify::r_factor_distance;
+use pulsar::linalg::{Matrix, TileMatrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tree_strategy() -> impl Strategy<Value = Tree> {
+    prop_oneof![
+        Just(Tree::Flat),
+        Just(Tree::Binary),
+        (2usize..6).prop_map(|h| Tree::BinaryOnFlat { h }),
+    ]
+}
+
+fn boundary_strategy() -> impl Strategy<Value = Boundary> {
+    prop_oneof![Just(Boundary::Fixed), Just(Boundary::Shifted)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every generated panel schedule is a valid complete elimination.
+    #[test]
+    fn schedules_always_valid(
+        mt in 1usize..20,
+        nt in 1usize..6,
+        tree in tree_strategy(),
+        boundary in boundary_strategy(),
+    ) {
+        let plan = QrPlan::new(mt, nt, tree, boundary);
+        for j in 0..plan.panels() {
+            let ops = plan.panel_ops(j);
+            prop_assert!(validate_panel_schedule(&ops, j, mt).is_ok());
+        }
+    }
+
+    /// Tile QR of random matrices: small residual, R matches the dense
+    /// reference up to row signs, for any tree/boundary/blocking.
+    #[test]
+    fn tile_qr_matches_reference(
+        mt in 1usize..7,
+        ncols in 1usize..20,
+        nb in 3usize..7,
+        ib_div in 1usize..4,
+        tree in tree_strategy(),
+        boundary in boundary_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let m = mt * nb;
+        let n = ncols.min(m); // keep m >= n occasionally violated too
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::random(m, n, &mut rng);
+        let opts = QrOptions { nb, ib: (nb / ib_div).max(1), tree, boundary };
+        let f = tile_qr_seq(&a, &opts);
+        prop_assert!(f.residual(&a) < 1e-12, "residual too large");
+        let r_ref = geqrf(a.clone()).r();
+        prop_assert!(
+            r_factor_distance(&f.r, &r_ref) < 1e-10,
+            "R differs from reference"
+        );
+    }
+
+    /// Q is orthogonal: applying Q then Q^T is the identity.
+    #[test]
+    fn q_roundtrip_identity(
+        mt in 1usize..6,
+        nb in 3usize..6,
+        tree in tree_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let m = mt * nb;
+        let n = (m / 2).max(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::random(m, n, &mut rng);
+        let opts = QrOptions::new(nb, 2, tree);
+        let f = tile_qr_seq(&a, &opts);
+        let b = Matrix::random(m, 2, &mut rng);
+        let rt = f.apply_qt(&f.apply_q(&b));
+        prop_assert!(rt.sub(&b).norm_fro() < 1e-11 * b.norm_fro().max(1.0));
+    }
+
+    /// Tiling round-trips exactly for any shape.
+    #[test]
+    fn tile_roundtrip(m in 1usize..40, n in 1usize..40, nb in 1usize..9, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::random(m, n, &mut rng);
+        let t = TileMatrix::from_matrix(&a, nb);
+        prop_assert_eq!(t.to_matrix(), a);
+    }
+
+    /// The standard flop count is monotone in both dimensions.
+    #[test]
+    fn flops_monotone(m in 10usize..1000, n in 1usize..10) {
+        use pulsar::linalg::flops::qr_flops;
+        prop_assert!(qr_flops(m + 1, n) > qr_flops(m, n));
+        prop_assert!(qr_flops(m + n + 1, n + 1) > qr_flops(m + n + 1, n));
+    }
+}
