@@ -21,7 +21,13 @@ fn pipeline_run(len: i32, threads: usize, scheme: SchedScheme) -> RunStats {
                 ctx.push(0, Packet::new(x + 1, 8));
             },
         ));
-        vsa.add_channel(ChannelSpec::new(8, Tuple::new1(i), 0, Tuple::new1(i + 1), 0));
+        vsa.add_channel(ChannelSpec::new(
+            8,
+            Tuple::new1(i),
+            0,
+            Tuple::new1(i + 1),
+            0,
+        ));
     }
     vsa.seed(Tuple::new1(0), 0, Packet::new(0i64, 8));
     let out = vsa.run(&RunConfig::smp(threads).with_scheme(scheme));
@@ -89,7 +95,13 @@ fn bench_proxy_roundtrip(c: &mut Criterion) {
                         ctx.push(0, Packet::new(x + 1, 8));
                     },
                 ));
-                vsa.add_channel(ChannelSpec::new(8, Tuple::new1(i), 0, Tuple::new1(i + 1), 0));
+                vsa.add_channel(ChannelSpec::new(
+                    8,
+                    Tuple::new1(i),
+                    0,
+                    Tuple::new1(i + 1),
+                    0,
+                ));
             }
             vsa.seed(Tuple::new1(0), 0, Packet::new(0i64, 8));
             let mapping: MappingFn = Arc::new(|t: &Tuple| Place {
@@ -102,9 +114,109 @@ fn bench_proxy_roundtrip(c: &mut Criterion) {
     g.finish();
 }
 
+/// Fabric-level transport comparison: one ping-pong round trip per
+/// iteration between rank 0 (the bench thread) and a rank-1 echo thread,
+/// over the in-process fabric vs real localhost TCP sockets, for payloads
+/// from 8 KiB to 2 MiB. The in-process numbers include one `Vec` clone per
+/// leg (the runtime's real in-process path moves `Arc`s instead, so this
+/// is a floor, not its ceiling).
+fn bench_transport(c: &mut Criterion) {
+    use pulsar_fabric::{Completion, Fabric, InProcFabric, TcpFabric};
+    use std::time::Duration;
+
+    const STOP: u32 = u32::MAX;
+
+    fn echo(mut f: impl Fabric<Payload = Vec<u8>>) {
+        loop {
+            let r = f.post_recv();
+            let (wire_id, payload, bytes) = loop {
+                match f.test(r) {
+                    Completion::Recv {
+                        wire_id,
+                        payload,
+                        bytes,
+                    } => break (wire_id, payload, bytes),
+                    Completion::Pending => f.idle(Duration::from_micros(20)),
+                    Completion::SendDone => unreachable!(),
+                }
+            };
+            if wire_id == STOP {
+                return;
+            }
+            let s = f.post_send(0, wire_id, payload, bytes);
+            while !matches!(f.test(s), Completion::SendDone) {
+                f.idle(Duration::from_micros(20));
+            }
+        }
+    }
+
+    fn ping(f: &mut impl Fabric<Payload = Vec<u8>>, payload: &[u8]) -> usize {
+        let s = f.post_send(1, 1, payload.to_vec(), payload.len());
+        let r = f.post_recv();
+        let mut send_done = false;
+        loop {
+            if !send_done && matches!(f.test(s), Completion::SendDone) {
+                send_done = true;
+            }
+            match f.test(r) {
+                Completion::Recv { bytes, .. } => {
+                    while !send_done {
+                        send_done = matches!(f.test(s), Completion::SendDone);
+                    }
+                    return bytes;
+                }
+                Completion::Pending => f.idle(Duration::from_micros(20)),
+                Completion::SendDone => unreachable!(),
+            }
+        }
+    }
+
+    fn stop(f: &mut impl Fabric<Payload = Vec<u8>>) {
+        let s = f.post_send(1, STOP, Vec::new(), 0);
+        while !matches!(f.test(s), Completion::SendDone) {
+            f.idle(Duration::from_micros(20));
+        }
+    }
+
+    let mut g = c.benchmark_group("transport_pingpong");
+    for size in [8 << 10, 64 << 10, 512 << 10, 2 << 20] {
+        let payload: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+        g.throughput(Throughput::Bytes(2 * size as u64));
+
+        let mut fabrics = InProcFabric::<Vec<u8>>::mesh(2);
+        let f1 = fabrics.pop().unwrap();
+        let mut f0 = fabrics.pop().unwrap();
+        let echo_thread = std::thread::spawn(move || echo(f1));
+        g.bench_function(&format!("inproc/{}KiB", size >> 10), |b| {
+            b.iter(|| black_box(ping(&mut f0, &payload)))
+        });
+        stop(&mut f0);
+        echo_thread.join().unwrap();
+
+        let l0 = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let l1 = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addrs = vec![
+            l0.local_addr().unwrap().to_string(),
+            l1.local_addr().unwrap().to_string(),
+        ];
+        let a1 = addrs.clone();
+        let echo_thread = std::thread::spawn(move || {
+            echo(TcpFabric::connect(1, l1, &a1, Duration::from_secs(5)).unwrap())
+        });
+        let mut f0 = TcpFabric::connect(0, l0, &addrs, Duration::from_secs(5)).unwrap();
+        g.bench_function(&format!("tcp/{}KiB", size >> 10), |b| {
+            b.iter(|| black_box(ping(&mut f0, &payload)))
+        });
+        stop(&mut f0);
+        echo_thread.join().unwrap();
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_firing_overhead, bench_multifire_stream, bench_proxy_roundtrip
+    targets = bench_firing_overhead, bench_multifire_stream, bench_proxy_roundtrip,
+        bench_transport
 }
 criterion_main!(benches);

@@ -22,18 +22,30 @@ fn main() {
         };
         let opts = QrOptions::new(192, 48, tree);
         let r = simulate_tree_qr(m, n, &opts, RowDist::Block, &mach, RuntimeModel::pulsar());
-        println!("{h:>6} {:>12.0} {:>9.1}%", r.gflops, r.busy_fraction * 100.0);
+        println!(
+            "{h:>6} {:>12.0} {:>9.1}%",
+            r.gflops,
+            r.busy_fraction * 100.0
+        );
     }
 
     println!("\n# nb sweep (h=6, ib=nb/4)");
-    println!("{:>6} {:>12} {:>10} {:>12}", "nb", "Gflop/s", "busy", "tasks");
+    println!(
+        "{:>6} {:>12} {:>10} {:>12}",
+        "nb", "Gflop/s", "busy", "tasks"
+    );
     for &nb in &[96usize, 128, 192, 240, 320, 384] {
-        if m % nb != 0 {
+        if !m.is_multiple_of(nb) {
             continue;
         }
         let opts = QrOptions::new(nb, nb / 4, Tree::BinaryOnFlat { h: 6 });
         let r = simulate_tree_qr(m, n, &opts, RowDist::Block, &mach, RuntimeModel::pulsar());
-        println!("{nb:>6} {:>12.0} {:>9.1}% {:>12}", r.gflops, r.busy_fraction * 100.0, r.tasks);
+        println!(
+            "{nb:>6} {:>12.0} {:>9.1}% {:>12}",
+            r.gflops,
+            r.busy_fraction * 100.0,
+            r.tasks
+        );
     }
     println!("# paper methodology: nb in {{192, 240}}, ib = 48, h in {{6, 12}}, best-of reported");
 }

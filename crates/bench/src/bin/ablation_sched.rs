@@ -32,7 +32,12 @@ fn main() {
             best = best.min(dt);
         }
         let gflops = pulsar_linalg::flops::qr_flops(m, n) / best * 1e-9;
-        println!("{:>12} {:>12.2} {:>12.2}", format!("{scheme:?}"), best * 1e3, gflops);
+        println!(
+            "{:>12} {:>12.2} {:>12.2}",
+            format!("{scheme:?}"),
+            best * 1e3,
+            gflops
+        );
     }
     println!("# paper: the lazy scheme often obtained better core utilization");
 }

@@ -52,10 +52,10 @@ fn cross_stage_overlap(trace: &Trace) -> f64 {
         }
     }
     let mut total = 0.0;
-    for j in 0..binary_end.len() {
+    for (j, &be) in binary_end.iter().enumerate() {
         if let Some(&fs) = flat_start.get(j + 1) {
-            if binary_end[j].is_finite() && fs.is_finite() {
-                total += (binary_end[j] - fs).max(0.0);
+            if be.is_finite() && fs.is_finite() {
+                total += (be - fs).max(0.0);
             }
         }
     }
@@ -82,7 +82,7 @@ fn run(boundary_fixed: bool) -> (Trace, f64, f64) {
         let trace = res.trace.expect("trace requested");
         let makespan = trace.makespan_us();
         let overlap = cross_stage_overlap(&trace);
-        if best.as_ref().map_or(true, |(_, m0, _)| makespan < *m0) {
+        if best.as_ref().is_none_or(|(_, m0, _)| makespan < *m0) {
             best = Some((trace, makespan, overlap));
         }
     }

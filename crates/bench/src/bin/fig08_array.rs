@@ -25,7 +25,10 @@ fn main() {
 
     println!("# Figure 8: 3D VSA for hierarchical QR, 6x3 tiles, h=3, {threads} threads");
     let shape = array_shape(&plan);
-    println!("# VDPs: {}   channels: {}   per stage: {:?}", shape.vdps, shape.channels, shape.per_stage);
+    println!(
+        "# VDPs: {}   channels: {}   per stage: {:?}",
+        shape.vdps, shape.channels, shape.per_stage
+    );
     for j in 0..plan.panels() {
         println!("\n== stage j={j} (panel column {j}) ==");
         for (q, op) in plan.panel_ops(j).iter().enumerate() {

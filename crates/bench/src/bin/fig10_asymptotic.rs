@@ -15,16 +15,13 @@ use pulsar_sim::{simulate_tree_qr, Machine, RuntimeModel};
 fn best_gflops(m: usize, n: usize, mach: &Machine, tree_family: &str) -> f64 {
     let mut best = 0.0f64;
     for &nb in &[192usize, 240] {
-        if m % nb != 0 {
+        if !m.is_multiple_of(nb) {
             continue;
         }
         let trees: Vec<Tree> = match tree_family {
             "flat" => vec![Tree::Flat],
             "binary" => vec![Tree::Binary],
-            "hierarchical" => vec![
-                Tree::BinaryOnFlat { h: 6 },
-                Tree::BinaryOnFlat { h: 12 },
-            ],
+            "hierarchical" => vec![Tree::BinaryOnFlat { h: 6 }, Tree::BinaryOnFlat { h: 12 }],
             _ => unreachable!(),
         };
         for tree in trees {
@@ -44,7 +41,10 @@ fn main() {
         "# machine: {} nodes x {} cores (Kraken XT5 model), best of nb in {{192,240}}, ib=48, h in {{6,12}}",
         mach.nodes, mach.cores_per_node
     );
-    println!("{:>10} {:>14} {:>14} {:>14}", "m", "Hierarchical", "Binary", "Flat");
+    println!(
+        "{:>10} {:>14} {:>14} {:>14}",
+        "m", "Hierarchical", "Binary", "Flat"
+    );
     for &m in &[23_040usize, 92_160, 184_320, 368_640, 737_280] {
         let hier = best_gflops(m, n, &mach, "hierarchical");
         let bin = best_gflops(m, n, &mach, "binary");

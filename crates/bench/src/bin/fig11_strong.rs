@@ -11,7 +11,7 @@ use pulsar_sim::{simulate_tree_qr, Machine, RuntimeModel};
 fn best_gflops(m: usize, n: usize, mach: &Machine, trees: &[Tree]) -> f64 {
     let mut best = 0.0f64;
     for &nb in &[192usize, 240] {
-        if m % nb != 0 {
+        if !m.is_multiple_of(nb) {
             continue;
         }
         for tree in trees.iter().cloned() {
@@ -26,7 +26,10 @@ fn best_gflops(m: usize, n: usize, mach: &Machine, trees: &[Tree]) -> f64 {
 fn main() {
     let (m, n) = (368_640usize, 4_608usize);
     println!("# Figure 11: strong scaling of tree-based QR at (m, n) = ({m}, {n})");
-    println!("{:>8} {:>14} {:>14} {:>14}", "cores", "Hierarchical", "Binary", "Flat");
+    println!(
+        "{:>8} {:>14} {:>14} {:>14}",
+        "cores", "Hierarchical", "Binary", "Flat"
+    );
     for &cores in &[480usize, 1_920, 3_840, 7_680, 15_360] {
         let mach = Machine::kraken_cores(cores);
         let hier = best_gflops(

@@ -14,7 +14,9 @@ fn main() {
     let nb = 192;
     let n = 4_608;
     let rows_per_node = 30; // 30 block rows/node ~ 0.9 GB/node with n=4608
-    println!("# Weak scaling: {rows_per_node} block rows per node (nb={nb}), n={n}, hierarchical h=6");
+    println!(
+        "# Weak scaling: {rows_per_node} block rows per node (nb={nb}), n={n}, hierarchical h=6"
+    );
     println!(
         "{:>7} {:>10} {:>12} {:>14} {:>14} {:>12}",
         "nodes", "cores", "m", "Gflop/s", "Gflop/s/node", "GB/node"
@@ -36,5 +38,7 @@ fn main() {
         );
         prev_per_node = prev_per_node.min(per_node);
     }
-    println!("# per-node memory is constant by construction; per-node Gflop/s decay = weak-scaling loss");
+    println!(
+        "# per-node memory is constant by construction; per-node Gflop/s decay = weak-scaling loss"
+    );
 }

@@ -35,6 +35,13 @@ COMMANDS
             --m N --n N --cores N [--nb 192] [--ib 48]
   cholesky  factor a random SPD matrix on the runtime and verify
             --n N [--nb 64] [--threads 4] [--seed 42]
+  launch    distributed QR: spawn N worker processes meshed over TCP,
+            verify each rank's R tiles against a shared-memory run
+            [--nodes 2] [--rows 64] [--cols 16] [--nb 8] [--ib nb/4]
+            [--tree hier:2] [--threads 2] [--seed 42]
+  worker    one rank of a distributed run (spawned by `launch`; reads the
+            peer address table on stdin)
+            --rank R --nodes N [qr options as for launch]
 TREES: flat | binary | greedy | hier:H | domains:a,b,...
 "
     .to_string()
@@ -48,6 +55,8 @@ pub fn run(args: &Args) -> Result<String, String> {
         "simulate" => simulate(args),
         "tune" => tune(args),
         "cholesky" => cholesky(args),
+        "launch" => crate::dist::launch(args),
+        "worker" => crate::dist::worker(args),
         "help" | "--help" => Ok(usage()),
         other => Err(format!("unknown command `{other}`\n\n{}", usage())),
     }
@@ -73,7 +82,7 @@ fn factor(args: &Args) -> Result<String, String> {
     let m: usize = args.req("rows")?;
     let n: usize = args.req("cols")?;
     let opts = opts_from(args, 64, Tree::BinaryOnFlat { h: 4 })?;
-    if m % opts.nb != 0 {
+    if !m.is_multiple_of(opts.nb) {
         return Err(format!("--rows must be a multiple of nb ({})", opts.nb));
     }
     let threads: usize = args.opt("threads", 4)?;
@@ -87,7 +96,11 @@ fn factor(args: &Args) -> Result<String, String> {
         RunConfig::smp(threads)
     } else {
         let plan = opts.plan(m / opts.nb, n.div_ceil(opts.nb));
-        RunConfig::cluster(nodes, threads, qr_mapping(&plan, RowDist::Block, nodes, threads))
+        RunConfig::cluster(
+            nodes,
+            threads,
+            qr_mapping(&plan, RowDist::Block, nodes, threads),
+        )
     };
     if args.get("net") == Some("seastar") {
         config = config.with_net(NetModel::seastar2());
@@ -113,7 +126,12 @@ fn factor(args: &Args) -> Result<String, String> {
     let dt = t0.elapsed().as_secs_f64();
 
     let mut out = String::new();
-    writeln!(out, "factor {m}x{n}  nb={} ib={} tree={:?} engine={engine}", opts.nb, opts.ib, opts.tree).unwrap();
+    writeln!(
+        out,
+        "factor {m}x{n}  nb={} ib={} tree={:?} engine={engine}",
+        opts.nb, opts.ib, opts.tree
+    )
+    .unwrap();
     writeln!(
         out,
         "time {:.1} ms   {:.2} Gflop/s",
@@ -149,7 +167,7 @@ fn least_squares(args: &Args) -> Result<String, String> {
     }
     let nrhs: usize = args.opt("rhs", 1)?;
     let opts = opts_from(args, 64, Tree::BinaryOnFlat { h: 4 })?;
-    if m % opts.nb != 0 {
+    if !m.is_multiple_of(opts.nb) {
         return Err(format!("--rows must be a multiple of nb ({})", opts.nb));
     }
     let threads: usize = args.opt("threads", 4)?;
@@ -164,7 +182,12 @@ fn least_squares(args: &Args) -> Result<String, String> {
 
     let mut out = String::new();
     writeln!(out, "least squares {m}x{n}, {nrhs} rhs: {:.1} ms", dt * 1e3).unwrap();
-    writeln!(out, "cond(R) estimate: {:.2e}", sol.factors.r_condition_estimate()).unwrap();
+    writeln!(
+        out,
+        "cond(R) estimate: {:.2e}",
+        sol.factors.r_condition_estimate()
+    )
+    .unwrap();
     for (j, r) in sol.residual_norms.iter().enumerate() {
         writeln!(out, "rhs {j}: ||Ax-b|| = {r:.6e}").unwrap();
     }
@@ -185,7 +208,7 @@ fn simulate(args: &Args) -> Result<String, String> {
     let n: usize = args.req("n")?;
     let cores: usize = args.req("cores")?;
     let opts = opts_from(args, 192, Tree::BinaryOnFlat { h: 6 })?;
-    if m % opts.nb != 0 {
+    if !m.is_multiple_of(opts.nb) {
         return Err(format!("--m must be a multiple of nb ({})", opts.nb));
     }
     let dist = match args.opt("dist", "block".to_string())?.as_str() {
@@ -210,7 +233,12 @@ fn simulate(args: &Args) -> Result<String, String> {
         mach.nodes, mach.cores_per_node, opts.tree
     )
     .unwrap();
-    writeln!(out, "makespan  {:.3} s   ({:.0} Gflop/s)", r.makespan_s, r.gflops).unwrap();
+    writeln!(
+        out,
+        "makespan  {:.3} s   ({:.0} Gflop/s)",
+        r.makespan_s, r.gflops
+    )
+    .unwrap();
     writeln!(out, "critical path lower bound {:.3} s", cp * 1e-6).unwrap();
     writeln!(
         out,
@@ -236,7 +264,7 @@ fn tune(args: &Args) -> Result<String, String> {
     let cores: usize = args.req("cores")?;
     let nb: usize = args.opt("nb", 192)?;
     let ib: usize = args.opt("ib", (nb / 4).max(1))?;
-    if m % nb != 0 {
+    if !m.is_multiple_of(nb) {
         return Err(format!("--m must be a multiple of nb ({nb})"));
     }
     let mach = Machine::kraken_cores(cores);
@@ -249,7 +277,14 @@ fn tune(args: &Args) -> Result<String, String> {
     writeln!(out, "tuning {m}x{n} on {cores} cores (nb={nb}, ib={ib})").unwrap();
     writeln!(out, "{:<26} {:>12} {:>10}", "tree", "Gflop/s", "time (s)").unwrap();
     for (tree, r) in &report.ranked {
-        writeln!(out, "{:<26} {:>12.0} {:>10.3}", format!("{tree:?}"), r.gflops, r.makespan_s).unwrap();
+        writeln!(
+            out,
+            "{:<26} {:>12.0} {:>10.3}",
+            format!("{tree:?}"),
+            r.gflops,
+            r.makespan_s
+        )
+        .unwrap();
     }
     writeln!(out, "winner: {:?}", report.best().0).unwrap();
     Ok(out)
@@ -259,7 +294,7 @@ fn cholesky(args: &Args) -> Result<String, String> {
     args.ensure_known(&["n", "nb", "threads", "seed"])?;
     let n: usize = args.req("n")?;
     let nb: usize = args.opt("nb", 64)?;
-    if nb == 0 || n % nb != 0 {
+    if nb == 0 || !n.is_multiple_of(nb) {
         return Err(format!("--n must be a positive multiple of nb ({nb})"));
     }
     let threads: usize = args.opt("threads", 4)?;
@@ -316,7 +351,15 @@ mod tests {
     #[test]
     fn factor_smoke() {
         let out = run_line(&[
-            "factor", "--rows", "32", "--cols", "8", "--nb", "4", "--threads", "2",
+            "factor",
+            "--rows",
+            "32",
+            "--cols",
+            "8",
+            "--nb",
+            "4",
+            "--threads",
+            "2",
         ])
         .unwrap();
         assert!(out.contains("verification OK"), "{out}");
@@ -331,8 +374,19 @@ mod tests {
                 "hier:2"
             };
             let out = run_line(&[
-                "factor", "--rows", "24", "--cols", "8", "--nb", "4", "--engine", engine,
-                "--tree", tree, "--threads", "2",
+                "factor",
+                "--rows",
+                "24",
+                "--cols",
+                "8",
+                "--nb",
+                "4",
+                "--engine",
+                engine,
+                "--tree",
+                tree,
+                "--threads",
+                "2",
             ])
             .unwrap_or_else(|e| panic!("{engine}: {e}"));
             assert!(out.contains("verification OK"), "{engine}: {out}");
@@ -342,8 +396,19 @@ mod tests {
     #[test]
     fn factor_multinode_with_net() {
         let out = run_line(&[
-            "factor", "--rows", "32", "--cols", "8", "--nb", "4", "--nodes", "2",
-            "--threads", "2", "--net", "seastar",
+            "factor",
+            "--rows",
+            "32",
+            "--cols",
+            "8",
+            "--nb",
+            "4",
+            "--nodes",
+            "2",
+            "--threads",
+            "2",
+            "--net",
+            "seastar",
         ])
         .unwrap();
         assert!(out.contains("remote msgs"), "{out}");
@@ -353,7 +418,17 @@ mod tests {
     #[test]
     fn ls_smoke() {
         let out = run_line(&[
-            "ls", "--rows", "32", "--cols", "8", "--nb", "4", "--rhs", "2", "--threads", "2",
+            "ls",
+            "--rows",
+            "32",
+            "--cols",
+            "8",
+            "--nb",
+            "4",
+            "--rhs",
+            "2",
+            "--threads",
+            "2",
         ])
         .unwrap();
         assert!(out.contains("verification OK"), "{out}");
@@ -385,12 +460,16 @@ mod tests {
     #[test]
     fn helpful_errors() {
         assert!(run_line(&["factor"]).unwrap_err().contains("--rows"));
-        assert!(run_line(&["factor", "--rows", "10", "--cols", "4", "--nb", "4"])
-            .unwrap_err()
-            .contains("multiple of nb"));
+        assert!(
+            run_line(&["factor", "--rows", "10", "--cols", "4", "--nb", "4"])
+                .unwrap_err()
+                .contains("multiple of nb")
+        );
         assert!(run_line(&["nope"]).unwrap_err().contains("unknown command"));
-        assert!(run_line(&["factor", "--rows", "8", "--cols", "4", "--zzz", "1"])
-            .unwrap_err()
-            .contains("unknown option"));
+        assert!(
+            run_line(&["factor", "--rows", "8", "--cols", "4", "--zzz", "1"])
+                .unwrap_err()
+                .contains("unknown option")
+        );
     }
 }

@@ -1,0 +1,285 @@
+//! Multi-process distributed runs: `pulsar-qr launch` spawns one worker
+//! process per node, plays rendezvous broker, and aggregates their reports;
+//! `pulsar-qr worker` is one SPMD rank over the TCP fabric.
+//!
+//! Rendezvous protocol (launcher <-> worker, over pipes):
+//! 1. each worker binds `127.0.0.1:0` and prints `ADDR <rank> <addr>`;
+//! 2. the launcher collects all addresses and writes the full table —
+//!    one address per line, rank order — to every worker's stdin;
+//! 3. workers mesh up over TCP and run; each prints `TILES`/`RDIST`/
+//!    `WIREBYTES`/`REMOTE` counters and `WORKER-OK`, which the launcher
+//!    checks and sums.
+//!
+//! Every rank builds the identical VSA from the same seed and compares its
+//! local `R` tiles against a rank-local SMP run of the same engine — the
+//! distributed and shared-memory executions must agree to ~1e-12.
+
+use crate::args::{parse_tree, Args};
+use pulsar_core::mapping::{qr_mapping, RowDist};
+use pulsar_core::vsa3d::tile_qr_vsa_partial;
+use pulsar_core::{wire_registry, QrOptions};
+use pulsar_linalg::Matrix;
+use pulsar_runtime::{Backend, RunConfig, TcpBackend};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::process::{Child, Command, Stdio};
+
+/// Options both subcommands share, forwarded verbatim to workers.
+const QR_OPTS: &[&str] = &["rows", "cols", "nb", "ib", "tree", "threads", "seed"];
+
+struct QrParams {
+    m: usize,
+    n: usize,
+    opts: QrOptions,
+    threads: usize,
+    seed: u64,
+    tree_spec: String,
+}
+
+fn qr_params(args: &Args) -> Result<QrParams, String> {
+    let m: usize = args.opt("rows", 64)?;
+    let n: usize = args.opt("cols", 16)?;
+    let nb: usize = args.opt("nb", 8)?;
+    if nb == 0 {
+        return Err("--nb must be positive".into());
+    }
+    let ib: usize = args.opt("ib", (nb / 4).max(1))?;
+    let tree_spec: String = args.opt("tree", "hier:2".to_string())?;
+    let tree = parse_tree(&tree_spec)?;
+    if !m.is_multiple_of(nb) {
+        return Err(format!("--rows must be a multiple of nb ({nb})"));
+    }
+    Ok(QrParams {
+        m,
+        n,
+        opts: QrOptions::new(nb, ib, tree),
+        threads: args.opt("threads", 2)?,
+        seed: args.opt("seed", 42)?,
+        tree_spec,
+    })
+}
+
+/// `pulsar-qr launch --nodes N [qr options]`: run a distributed QR across
+/// `N` worker OS processes on localhost and verify their reports.
+pub fn launch(args: &Args) -> Result<String, String> {
+    let mut known = vec!["nodes"];
+    known.extend_from_slice(QR_OPTS);
+    args.ensure_known(&known)?;
+    let nodes: usize = args.opt("nodes", 2)?;
+    if nodes == 0 {
+        return Err("--nodes must be positive".into());
+    }
+    let p = qr_params(args)?; // validate before spawning anything
+
+    let exe = std::env::current_exe().map_err(|e| format!("cannot find own binary: {e}"))?;
+    let mut children: Vec<(Child, BufReader<std::process::ChildStdout>)> = Vec::new();
+    for rank in 0..nodes {
+        let mut child = Command::new(&exe)
+            .args([
+                "worker",
+                "--rank",
+                &rank.to_string(),
+                "--nodes",
+                &nodes.to_string(),
+                "--rows",
+                &p.m.to_string(),
+                "--cols",
+                &p.n.to_string(),
+                "--nb",
+                &p.opts.nb.to_string(),
+                "--ib",
+                &p.opts.ib.to_string(),
+                "--tree",
+                &p.tree_spec,
+                "--threads",
+                &p.threads.to_string(),
+                "--seed",
+                &p.seed.to_string(),
+            ])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .map_err(|e| format!("spawning worker {rank}: {e}"))?;
+        let stdout = BufReader::new(child.stdout.take().expect("worker stdout is piped"));
+        children.push((child, stdout));
+    }
+
+    // Phase 1: collect `ADDR <rank> <addr>` from every worker.
+    let mut addrs = vec![String::new(); nodes];
+    for (rank, (_, stdout)) in children.iter_mut().enumerate() {
+        let mut line = String::new();
+        stdout
+            .read_line(&mut line)
+            .map_err(|e| format!("reading worker {rank} address: {e}"))?;
+        let mut parts = line.split_whitespace();
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some("ADDR"), Some(r), Some(addr)) if r == rank.to_string() => {
+                addrs[rank] = addr.to_string();
+            }
+            _ => return Err(format!("worker {rank}: bad rendezvous line {line:?}")),
+        }
+    }
+
+    // Phase 2: broadcast the address table.
+    for (rank, (child, _)) in children.iter_mut().enumerate() {
+        let stdin = child.stdin.as_mut().expect("worker stdin is piped");
+        for a in &addrs {
+            writeln!(stdin, "{a}").map_err(|e| format!("writing table to worker {rank}: {e}"))?;
+        }
+        // Close the pipe so the worker's table read terminates cleanly.
+        drop(child.stdin.take());
+    }
+
+    // Phase 3: collect reports.
+    let mut total_tiles = 0usize;
+    let mut total_remote = 0usize;
+    let mut total_wire_sent = 0u64;
+    let mut total_wire_recv = 0u64;
+    let mut max_rdist = 0.0f64;
+    let mut per_rank = String::new();
+    for (rank, (mut child, stdout)) in children.into_iter().enumerate() {
+        let mut ok = false;
+        for line in stdout.lines() {
+            let line = line.map_err(|e| format!("reading worker {rank}: {e}"))?;
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("TILES") => total_tiles += num(parts.next(), rank, "TILES")? as usize,
+                Some("RDIST") => {
+                    let d: f64 = parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| format!("worker {rank}: bad RDIST line"))?;
+                    max_rdist = max_rdist.max(d);
+                }
+                Some("WIREBYTES") => {
+                    total_wire_sent += num(parts.next(), rank, "WIREBYTES")?;
+                    total_wire_recv += num(parts.next(), rank, "WIREBYTES")?;
+                }
+                Some("REMOTE") => total_remote += num(parts.next(), rank, "REMOTE")? as usize,
+                Some("WORKER-OK") => ok = true,
+                _ => {}
+            }
+            writeln!(per_rank, "  rank {rank}: {line}").unwrap();
+        }
+        let status = child
+            .wait()
+            .map_err(|e| format!("waiting for worker {rank}: {e}"))?;
+        if !status.success() || !ok {
+            return Err(format!(
+                "worker {rank} failed (status {status}, ok={ok})\n{per_rank}"
+            ));
+        }
+    }
+
+    let mt = p.m / p.opts.nb;
+    let nt = p.n.div_ceil(p.opts.nb);
+    let kt = mt.min(nt);
+    let expect_tiles: usize = (0..kt).map(|i| nt - i).sum();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "launch {}x{} over {nodes} worker processes (nb={} ib={} tree={:?}, {} threads/node)",
+        p.m, p.n, p.opts.nb, p.opts.ib, p.opts.tree, p.threads
+    )
+    .unwrap();
+    out.push_str(&per_rank);
+    writeln!(
+        out,
+        "R tiles {total_tiles}/{expect_tiles}   remote msgs {total_remote}   \
+         wire bytes {total_wire_sent} sent / {total_wire_recv} recv"
+    )
+    .unwrap();
+    writeln!(out, "max |R_tcp - R_smp| = {max_rdist:.2e}").unwrap();
+    if total_tiles != expect_tiles {
+        return Err(format!("missing R tiles\n{out}"));
+    }
+    if nodes > 1 && total_wire_sent == 0 {
+        return Err(format!("no bytes crossed the wire\n{out}"));
+    }
+    if max_rdist > 1e-12 {
+        return Err(format!("distributed R diverges from SMP\n{out}"));
+    }
+    writeln!(out, "verification OK").unwrap();
+    Ok(out)
+}
+
+fn num(tok: Option<&str>, rank: usize, what: &str) -> Result<u64, String> {
+    tok.and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("worker {rank}: bad {what} line"))
+}
+
+/// `pulsar-qr worker --rank R --nodes N [qr options]`: one SPMD rank.
+/// Normally spawned by [`launch`]; runnable by hand with the address table
+/// on stdin.
+pub fn worker(args: &Args) -> Result<String, String> {
+    let mut known = vec!["rank", "nodes"];
+    known.extend_from_slice(QR_OPTS);
+    args.ensure_known(&known)?;
+    let rank: usize = args.req("rank")?;
+    let nodes: usize = args.req("nodes")?;
+    if rank >= nodes {
+        return Err(format!("--rank {rank} out of range for --nodes {nodes}"));
+    }
+    let p = qr_params(args)?;
+
+    // Rendezvous: bind, announce, read the table.
+    let listener =
+        TcpListener::bind("127.0.0.1:0").map_err(|e| format!("binding listener: {e}"))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("local addr: {e}"))?;
+    println!("ADDR {rank} {local}");
+    std::io::stdout().flush().ok();
+    let stdin = std::io::stdin();
+    let mut peers = Vec::with_capacity(nodes);
+    for i in 0..nodes {
+        let mut line = String::new();
+        stdin
+            .lock()
+            .read_line(&mut line)
+            .map_err(|e| format!("reading peer table: {e}"))?;
+        let addr = line.trim();
+        if addr.is_empty() {
+            return Err(format!("peer table truncated at rank {i}"));
+        }
+        peers.push(addr.to_string());
+    }
+
+    // Every rank builds the identical matrix and array (SPMD).
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let a = Matrix::random(p.m, p.n, &mut rng);
+    let plan = p.opts.plan(p.m / p.opts.nb, p.n.div_ceil(p.opts.nb));
+    let mapping = qr_mapping(&plan, RowDist::Block, nodes, p.threads);
+    let config = RunConfig::cluster(nodes, p.threads, mapping).with_backend(Backend::Tcp(
+        TcpBackend::new(rank, listener, peers, wire_registry()),
+    ));
+    let part = tile_qr_vsa_partial(&a, &p.opts, &config);
+
+    // Rank-local SMP reference run: the distributed R must match it.
+    let reference = pulsar_core::vsa3d::tile_qr_vsa(&a, &p.opts, &RunConfig::smp(p.threads));
+    let k = p.m.min(p.n);
+    let nb = part.nb;
+    let mut rdist = 0.0f64;
+    for (i, l, block) in &part.r_tiles {
+        let rows = block.nrows().min(k - i * nb);
+        let cols = block.ncols();
+        let mine = block.submatrix(0, 0, rows, cols);
+        let smp = reference.factors.r.submatrix(i * nb, l * nb, rows, cols);
+        rdist = rdist.max(mine.sub(&smp).norm_max());
+    }
+
+    let s = &part.stats;
+    println!("TILES {}", part.r_tiles.len());
+    println!("RDIST {rdist:e}");
+    println!("WIREBYTES {} {}", s.wire_bytes_sent, s.wire_bytes_recv);
+    println!("REMOTE {}", s.remote_msgs);
+    println!(
+        "STATS fired {} idle-spins {} peak-depth {}",
+        s.fired, s.proxy_idle_spins, s.peak_channel_depth
+    );
+    println!("WORKER-OK");
+    Ok(String::new())
+}

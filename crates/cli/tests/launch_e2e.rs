@@ -1,0 +1,53 @@
+//! End-to-end test of the multi-process TCP backend: runs the real
+//! `pulsar-qr` binary, which spawns one worker OS process per node; the
+//! workers mesh up over localhost TCP sockets and factor the same matrix
+//! the launcher verifies against a shared-memory run.
+
+use std::process::Command;
+
+fn launch(extra: &[&str]) -> String {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_pulsar-qr"));
+    cmd.arg("launch").args(extra);
+    let out = cmd.output().expect("running pulsar-qr launch");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "launch {extra:?} failed ({})\nstdout:\n{stdout}\nstderr:\n{stderr}",
+        out.status
+    );
+    stdout
+}
+
+#[test]
+fn two_process_tcp_qr_matches_smp() {
+    let out = launch(&["--nodes", "2", "--rows", "64", "--cols", "16", "--nb", "8"]);
+    assert!(out.contains("verification OK"), "{out}");
+    // Real bytes must have crossed real sockets between the two processes.
+    let wire: u64 = out
+        .lines()
+        .find_map(|l| {
+            let rest = l.trim().strip_prefix("R tiles")?;
+            let toks: Vec<&str> = rest.split_whitespace().collect();
+            let at = toks.iter().position(|t| *t == "bytes")?;
+            toks[at + 1].parse().ok()
+        })
+        .expect("wire byte count in report");
+    assert!(wire > 0, "no bytes crossed the wire:\n{out}");
+}
+
+#[test]
+fn three_process_flat_tree() {
+    let out = launch(&[
+        "--nodes", "3", "--rows", "96", "--cols", "24", "--nb", "8", "--tree", "flat",
+    ]);
+    assert!(out.contains("verification OK"), "{out}");
+    assert!(out.contains("R tiles 6/6"), "{out}");
+}
+
+#[test]
+fn single_node_launch_needs_no_wire() {
+    let out = launch(&["--nodes", "1", "--rows", "32", "--cols", "8", "--nb", "8"]);
+    assert!(out.contains("verification OK"), "{out}");
+    assert!(out.contains("wire bytes 0 sent"), "{out}");
+}

@@ -145,14 +145,14 @@ pub fn apply_q_vsa(
     // Seed each row tile at its first op (rows untouched by any op pass
     // through unchanged).
     let mut passthrough: Vec<Option<Matrix>> = vec![None; mt];
-    for i in 0..mt {
+    for (i, pass) in passthrough.iter_mut().enumerate() {
         let tile = b.submatrix(i * nb, 0, nb, b.ncols());
         match next_in_seq(None, i) {
             Some(k0) => {
                 let slot = seq[k0].op.role_slot(i);
                 vsa.seed(vdp_tuple(k0), slot, Packet::tile(tile));
             }
-            None => passthrough[i] = Some(tile),
+            None => *pass = Some(tile),
         }
     }
 
@@ -224,7 +224,11 @@ mod tests {
         let qta = apply_q_vsa(&f, &a, ApplyTrans::Trans, &RunConfig::smp(2));
         for j in 0..12 {
             for i in 0..32 {
-                let want = if i <= j.min(11) && i < 12 { f.r[(i, j)] } else { 0.0 };
+                let want = if i <= j.min(11) && i < 12 {
+                    f.r[(i, j)]
+                } else {
+                    0.0
+                };
                 assert!(
                     (qta[(i, j)] - want).abs() < 1e-11,
                     "Q^T A mismatch at ({i},{j})"

@@ -88,7 +88,11 @@ fn assemble_l(tiles: &TileMatrix) -> Matrix {
         for j in 0..=i {
             let t = tiles.tile(i, j);
             let block = if i == j {
-                Matrix::from_fn(t.nrows(), t.ncols(), |r, c| if r >= c { t[(r, c)] } else { 0.0 })
+                Matrix::from_fn(
+                    t.nrows(),
+                    t.ncols(),
+                    |r, c| if r >= c { t[(r, c)] } else { 0.0 },
+                )
             } else {
                 t.clone()
             };
@@ -211,7 +215,13 @@ pub fn tile_cholesky_vsa(a: &Matrix, nb: usize, config: &RunConfig) -> CholeskyR
                     0,
                 ));
             }
-            vsa.add_channel(ChannelSpec::new(tile_bytes, task(j, i, j), 0, exit_l(i, j), 0));
+            vsa.add_channel(ChannelSpec::new(
+                tile_bytes,
+                task(j, i, j),
+                0,
+                exit_l(i, j),
+                0,
+            ));
         }
     }
 
@@ -353,7 +363,10 @@ mod tests {
             }
         }
         let poisoned = tile_cholesky_vsa(&a, 4, &RunConfig::smp(2)).l;
-        assert!(clean.sub(&poisoned).norm_fro() == 0.0, "upper triangle read");
+        assert!(
+            clean.sub(&poisoned).norm_fro() == 0.0,
+            "upper triangle read"
+        );
     }
 
     #[test]

@@ -16,9 +16,7 @@ use crate::seqqr::t_for;
 use crate::vsa3d::VsaQrResult;
 use pulsar_linalg::kernels::ApplyTrans;
 use pulsar_linalg::{geqrt, tsmqr, tsqrt, unmqr, Matrix, TileMatrix};
-use pulsar_runtime::{
-    ChannelSpec, Packet, RunConfig, Tuple, VdpContext, VdpLogic, VdpSpec, Vsa,
-};
+use pulsar_runtime::{ChannelSpec, Packet, RunConfig, Tuple, VdpContext, VdpLogic, VdpSpec, Vsa};
 
 fn vdp(i: usize, j: usize) -> Tuple {
     Tuple::new2(i as i32, j as i32)
@@ -73,8 +71,7 @@ impl VdpLogic for FactorVdp {
             ctx.push(1, Packet::tile(refl.v.clone()));
             ctx.push(2, Packet::tile(refl.t.clone()));
         }
-        let bytes = 8 * (refl.v.nrows() * refl.v.ncols() + refl.t.nrows() * refl.t.ncols());
-        ctx.push(3, Packet::new(refl, bytes));
+        ctx.push(3, Packet::wire(refl));
         if ctx.remaining() == 0 {
             // Last firing: the locally held tile is the finished R(i, i).
             ctx.push(0, Packet::tile(self.r.take().unwrap()));
@@ -126,11 +123,7 @@ impl VdpLogic for UpdateVdp {
 ///
 /// `opts.tree`/`opts.boundary` are ignored — the domino array *is* the flat
 /// tree. Requires exact row tiling (`m % nb == 0`).
-pub fn tile_qr_domino(
-    a: &Matrix,
-    opts: &crate::QrOptions,
-    config: &RunConfig,
-) -> VsaQrResult {
+pub fn tile_qr_domino(a: &Matrix, opts: &crate::QrOptions, config: &RunConfig) -> VsaQrResult {
     assert_eq!(
         a.nrows() % opts.nb,
         0,
@@ -161,19 +154,37 @@ pub fn tile_qr_domino(
         vsa.add_channel(ChannelSpec::new(tile_bytes, vdp(i, i), 0, exit_r(i, i), 0));
         if i + 1 < nt {
             vsa.add_channel(ChannelSpec::new(tile_bytes, vdp(i, i), 1, vdp(i, i + 1), 1));
-            vsa.add_channel(ChannelSpec::new(trans_bytes, vdp(i, i), 2, vdp(i, i + 1), 2));
+            vsa.add_channel(ChannelSpec::new(
+                trans_bytes,
+                vdp(i, i),
+                2,
+                vdp(i, i + 1),
+                2,
+            ));
         }
         vsa.add_channel(ChannelSpec::new(trans_bytes, vdp(i, i), 3, exit_refl(i), 0));
         // Update VDPs (i, j): in 0 = tile stream, 1 = V, 2 = T; out 0 = tile
         // stream down, 1/2 = V/T chain, 3 = R exit.
         for j in i + 1..nt {
-            vsa.add_vdp(VdpSpec::new(vdp(i, j), counter, 3, 4, UpdateVdp { ib, c1: None }));
+            vsa.add_vdp(VdpSpec::new(
+                vdp(i, j),
+                counter,
+                3,
+                4,
+                UpdateVdp { ib, c1: None },
+            ));
             if counter > 1 {
                 vsa.add_channel(ChannelSpec::new(tile_bytes, vdp(i, j), 0, vdp(i + 1, j), 0));
             }
             if j + 1 < nt {
                 vsa.add_channel(ChannelSpec::new(tile_bytes, vdp(i, j), 1, vdp(i, j + 1), 1));
-                vsa.add_channel(ChannelSpec::new(trans_bytes, vdp(i, j), 2, vdp(i, j + 1), 2));
+                vsa.add_channel(ChannelSpec::new(
+                    trans_bytes,
+                    vdp(i, j),
+                    2,
+                    vdp(i, j + 1),
+                    2,
+                ));
             }
             vsa.add_channel(ChannelSpec::new(tile_bytes, vdp(i, j), 3, exit_r(i, j), 0));
         }

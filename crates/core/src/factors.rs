@@ -6,6 +6,8 @@
 use crate::plan::PanelOp;
 use pulsar_linalg::kernels::ApplyTrans;
 use pulsar_linalg::{tsmqr, ttmqr, unmqr, Matrix};
+use pulsar_runtime::packet::{decode_matrix_body, encode_matrix_body};
+use pulsar_runtime::{PacketCodec, WireError};
 
 /// One recorded transformation: the op it came from, the reflector tile `v`
 /// (a factored tile: `R`+reflectors for GEQRT, tails for TS/TT), and its
@@ -18,6 +20,50 @@ pub struct Reflectors {
     pub v: Matrix,
     /// Inner-block `T` factors (`ib x k`).
     pub t: Matrix,
+}
+
+/// Wire codec so transformations can cross a socket fabric in distributed
+/// runs. Body: `[op kind u8][row a u64][row b u64][v matrix][t matrix]`,
+/// all little-endian (application tag space starts at 16).
+impl PacketCodec for Reflectors {
+    const TAG: u32 = 16;
+
+    fn wire_bytes(&self) -> usize {
+        8 * (self.v.nrows() * self.v.ncols() + self.t.nrows() * self.t.ncols())
+    }
+
+    fn encode_body(&self, out: &mut Vec<u8>) {
+        let (kind, a, b) = match self.op {
+            PanelOp::Geqrt { row } => (0u8, row as u64, 0u64),
+            PanelOp::Tsqrt { head, row } => (1, head as u64, row as u64),
+            PanelOp::Ttqrt { top, bot } => (2, top as u64, bot as u64),
+        };
+        out.push(kind);
+        out.extend_from_slice(&a.to_le_bytes());
+        out.extend_from_slice(&b.to_le_bytes());
+        encode_matrix_body(&self.v, out);
+        encode_matrix_body(&self.t, out);
+    }
+
+    fn decode_body(body: &[u8]) -> Result<Self, WireError> {
+        if body.len() < 17 {
+            return Err(WireError::Truncated);
+        }
+        let a = u64::from_le_bytes(body[1..9].try_into().unwrap()) as usize;
+        let b = u64::from_le_bytes(body[9..17].try_into().unwrap()) as usize;
+        let op = match body[0] {
+            0 => PanelOp::Geqrt { row: a },
+            1 => PanelOp::Tsqrt { head: a, row: b },
+            2 => PanelOp::Ttqrt { top: a, bot: b },
+            _ => return Err(WireError::Malformed("bad PanelOp kind")),
+        };
+        let (v, rest) = decode_matrix_body(&body[17..])?;
+        let (t, rest) = decode_matrix_body(rest)?;
+        if !rest.is_empty() {
+            return Err(WireError::Malformed("trailing bytes after reflectors"));
+        }
+        Ok(Reflectors { op, v, t })
+    }
 }
 
 /// A completed tile QR factorization `A = Q R`.

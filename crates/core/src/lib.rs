@@ -34,6 +34,15 @@ pub use lsqr::{least_squares, LsSolution};
 pub use plan::{Boundary, PanelOp, QrPlan, Tree};
 pub use seqqr::tile_qr_seq;
 
+/// Decoders for every payload the QR arrays send across node boundaries:
+/// the runtime's standard types plus [`Reflectors`]. Every rank of a
+/// distributed run must use this registry (or a superset).
+pub fn wire_registry() -> pulsar_runtime::PacketRegistry {
+    let mut r = pulsar_runtime::PacketRegistry::standard();
+    r.register::<Reflectors>();
+    r
+}
+
 /// Tuning and algorithm parameters of a tile QR factorization.
 #[derive(Clone, Debug)]
 pub struct QrOptions {

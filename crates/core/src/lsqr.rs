@@ -27,12 +27,7 @@ pub struct LsSolution {
 /// Requires `m >= n`, full column rank, and `m % opts.nb == 0`.
 /// Both the factorization and the `Q^T b` application run as VSAs under
 /// `config`.
-pub fn least_squares(
-    a: &Matrix,
-    b: &Matrix,
-    opts: &QrOptions,
-    config: &RunConfig,
-) -> LsSolution {
+pub fn least_squares(a: &Matrix, b: &Matrix, opts: &QrOptions, config: &RunConfig) -> LsSolution {
     let (m, n) = (a.nrows(), a.ncols());
     assert!(m >= n, "least squares needs m >= n");
     assert_eq!(b.nrows(), m, "b must have m rows");
@@ -114,7 +109,12 @@ mod tests {
         // Well-conditioned random system.
         let a = Matrix::random(32, 8, &mut rng);
         let opts = QrOptions::new(4, 2, Tree::BinaryOnFlat { h: 2 });
-        let sol = least_squares(&a, &Matrix::random(32, 1, &mut rng), &opts, &RunConfig::smp(2));
+        let sol = least_squares(
+            &a,
+            &Matrix::random(32, 1, &mut rng),
+            &opts,
+            &RunConfig::smp(2),
+        );
         assert!(sol.factors.r_condition_estimate() < 1e4);
 
         // Nearly rank-deficient: last column almost a copy of the first.
@@ -122,7 +122,12 @@ mod tests {
         for i in 0..32 {
             bad[(i, 7)] = bad[(i, 0)] * (1.0 + 1e-13);
         }
-        let sol2 = least_squares(&bad, &Matrix::random(32, 1, &mut rng), &opts, &RunConfig::smp(2));
+        let sol2 = least_squares(
+            &bad,
+            &Matrix::random(32, 1, &mut rng),
+            &opts,
+            &RunConfig::smp(2),
+        );
         assert!(sol2.factors.r_condition_estimate() > 1e8);
     }
 

@@ -48,7 +48,10 @@ impl Tree {
     pub fn custom(sizes: impl Into<Vec<usize>>) -> Self {
         let sizes = sizes.into();
         assert!(!sizes.is_empty(), "need at least one domain size");
-        assert!(sizes.iter().all(|&s| s > 0), "domain sizes must be positive");
+        assert!(
+            sizes.iter().all(|&s| s > 0),
+            "domain sizes must be positive"
+        );
         Tree::CustomDomains {
             sizes: std::sync::Arc::new(sizes),
         }
@@ -479,9 +482,8 @@ mod tests {
                     let p = QrPlan::new(mt, mt.min(4), tree.clone(), boundary);
                     for j in 0..p.panels() {
                         let ops = p.panel_ops(j);
-                        validate_panel_schedule(&ops, j, mt).unwrap_or_else(|e| {
-                            panic!("{tree:?} {boundary:?} mt={mt} j={j}: {e}")
-                        });
+                        validate_panel_schedule(&ops, j, mt)
+                            .unwrap_or_else(|e| panic!("{tree:?} {boundary:?} mt={mt} j={j}: {e}"));
                     }
                 }
             }

@@ -91,12 +91,18 @@ fn next_hop(
     Hop::Drop
 }
 
-/// Build the 3D VSA for `a`, run it under `config`, and collect the factors.
-///
-/// Requires `a.nrows() % nb == 0` (exact row tiling). Any mapping is
-/// *correct*; [`crate::mapping::qr_mapping`] gives the paper's locality
-/// (cyclic rows, binary parents with their first child).
-pub fn tile_qr_vsa(a: &Matrix, opts: &QrOptions, config: &RunConfig) -> VsaQrResult {
+/// Array geometry a collector needs after the run.
+struct QrGeom {
+    nt: usize,
+    kt: usize,
+    nb: usize,
+    ib: usize,
+    stage_ops: Vec<Vec<PanelOp>>,
+}
+
+/// Build the full 3D VSA for `a` (every rank of an SPMD run builds the
+/// identical array; the runtime materializes only the local part).
+fn build_qr_array(a: &Matrix, opts: &QrOptions) -> (Vsa, QrGeom) {
     assert_eq!(
         a.nrows() % opts.nb,
         0,
@@ -222,7 +228,36 @@ pub fn tile_qr_vsa(a: &Matrix, opts: &QrOptions, config: &RunConfig) -> VsaQrRes
         }
     }
 
-    // Run and collect.
+    (
+        vsa,
+        QrGeom {
+            nt,
+            kt,
+            nb,
+            ib,
+            stage_ops,
+        },
+    )
+}
+
+/// Build the 3D VSA for `a`, run it under `config`, and collect the factors.
+///
+/// Requires `a.nrows() % nb == 0` (exact row tiling). Any mapping is
+/// *correct*; [`crate::mapping::qr_mapping`] gives the paper's locality
+/// (cyclic rows, binary parents with their first child).
+///
+/// Expects every exit to arrive locally — use it with
+/// [`pulsar_runtime::Backend::InProcess`]; distributed ranks use
+/// [`tile_qr_vsa_partial`].
+pub fn tile_qr_vsa(a: &Matrix, opts: &QrOptions, config: &RunConfig) -> VsaQrResult {
+    let (vsa, g) = build_qr_array(a, opts);
+    let QrGeom {
+        nt,
+        kt,
+        nb,
+        ib,
+        ref stage_ops,
+    } = g;
     let mut out = vsa.run(config);
     let k = a.nrows().min(a.ncols());
     let mut r = Matrix::zeros(k, a.ncols());
@@ -262,6 +297,51 @@ pub fn tile_qr_vsa(a: &Matrix, opts: &QrOptions, config: &RunConfig) -> VsaQrRes
         },
         stats: out.stats,
         trace: out.trace,
+    }
+}
+
+/// What one rank of a distributed run collected: the `R` tiles whose
+/// producing VDPs were mapped to this rank.
+pub struct VsaQrPartial {
+    /// Finished `R` blocks as `(block_row, block_col, tile)`; diagonal
+    /// blocks are already upper-triangularized.
+    pub r_tiles: Vec<(usize, usize, Matrix)>,
+    /// Tile size the blocks are laid out on.
+    pub nb: usize,
+    /// This rank's runtime statistics.
+    pub stats: RunStats,
+}
+
+/// Build the 3D VSA for `a`, run it under `config`, and collect whatever
+/// `R` tiles exited locally.
+///
+/// This is the SPMD entry point for [`pulsar_runtime::Backend::Tcp`]: every
+/// rank calls it with identical `a`, `opts`, and mapping; each gets back
+/// its own share of the `R` factor (and its local stats). Under an
+/// in-process backend it returns every tile.
+pub fn tile_qr_vsa_partial(a: &Matrix, opts: &QrOptions, config: &RunConfig) -> VsaQrPartial {
+    let (vsa, g) = build_qr_array(a, opts);
+    let mut out = vsa.run(config);
+    let k = a.nrows().min(a.ncols());
+    let mut r_tiles = Vec::new();
+    for i in 0..g.kt {
+        for l in i..g.nt {
+            if i * g.nb >= k {
+                continue;
+            }
+            let mut packets = out.take_exit(exit_r_tuple(i, l), 0);
+            let Some(p) = (!packets.is_empty()).then(|| packets.remove(0)) else {
+                continue;
+            };
+            let tile = p.into_tile();
+            let block = if i == l { tile.upper_triangle() } else { tile };
+            r_tiles.push((i, l, block));
+        }
+    }
+    VsaQrPartial {
+        r_tiles,
+        nb: g.nb,
+        stats: out.stats,
     }
 }
 
@@ -316,8 +396,7 @@ impl QrVdp {
             }
         };
         ctx.set_label(format!("{}{:?}", op.factor_kernel(), ctx.tuple()));
-        let bytes = 8 * (refl.v.nrows() * refl.v.ncols() + refl.t.nrows() * refl.t.ncols());
-        let pkt = Packet::new(refl, bytes);
+        let pkt = Packet::wire(refl);
         // Broadcast the transformation down the vertical chain first
         // (bypass), then record it, then pass the R factor along.
         if ctx.output_connected(1) {
@@ -444,12 +523,7 @@ mod tests {
 
     #[test]
     fn vsa_flat() {
-        run_case(
-            16,
-            8,
-            &QrOptions::new(4, 2, Tree::Flat),
-            3,
-        );
+        run_case(16, 8, &QrOptions::new(4, 2, Tree::Flat), 3);
     }
 
     #[test]
@@ -480,7 +554,12 @@ mod tests {
 
     #[test]
     fn vsa_square() {
-        run_case(12, 12, &QrOptions::new(4, 2, Tree::BinaryOnFlat { h: 2 }), 4);
+        run_case(
+            12,
+            12,
+            &QrOptions::new(4, 2, Tree::BinaryOnFlat { h: 2 }),
+            4,
+        );
     }
 
     #[test]

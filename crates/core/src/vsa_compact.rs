@@ -31,9 +31,7 @@ use crate::vsa3d::VsaQrResult;
 use crate::QrOptions;
 use pulsar_linalg::kernels::ApplyTrans;
 use pulsar_linalg::{geqrt, tsmqr, tsqrt, ttmqr, ttqrt, unmqr, Matrix, TileMatrix};
-use pulsar_runtime::{
-    ChannelSpec, Packet, RunConfig, Tuple, VdpContext, VdpLogic, VdpSpec, Vsa,
-};
+use pulsar_runtime::{ChannelSpec, Packet, RunConfig, Tuple, VdpContext, VdpLogic, VdpSpec, Vsa};
 use std::collections::HashMap;
 
 fn flat_tuple(j: usize, d: usize, l: usize) -> Tuple {
@@ -58,8 +56,7 @@ fn exit_refl_binary(j: usize, lvl: usize, pair: usize) -> Tuple {
 }
 
 fn refl_packet(refl: Reflectors) -> Packet {
-    let bytes = 8 * (refl.v.nrows() * refl.v.ncols() + refl.t.nrows() * refl.t.ncols());
-    Packet::new(refl, bytes)
+    Packet::wire(refl)
 }
 
 /// Red (factor) or orange (update) VDP of one (stage, domain) at column `l`.
@@ -195,7 +192,14 @@ impl VdpLogic for BinaryVdp {
             }
             let refl = trans.get::<Reflectors>().expect("transformation packet");
             ctx.kernel("ttmqr", || {
-                ttmqr(&mut a1, &mut a2, &refl.v, &refl.t, ApplyTrans::Trans, self.ib)
+                ttmqr(
+                    &mut a1,
+                    &mut a2,
+                    &refl.v,
+                    &refl.t,
+                    ApplyTrans::Trans,
+                    self.ib,
+                )
             });
             ctx.set_label(format!("ttmqr{:?}", ctx.tuple()));
             // The paper: "after each binary-reduction of two top tiles, the
@@ -235,12 +239,9 @@ pub fn tile_qr_compact(a: &Matrix, opts: &QrOptions, config: &RunConfig) -> VsaQ
     let kt = mt.min(nt);
     let tile_bytes = 8 * nb * nb;
     let trans_bytes = 8 * nb * nb + 8 * ib * nb;
-    let heads_of = |j: usize| -> Vec<usize> {
-        (j..mt).step_by(h.min(mt.max(1))).collect()
-    };
-    let size_of = |heads: &[usize], d: usize| -> usize {
-        heads.get(d + 1).copied().unwrap_or(mt) - heads[d]
-    };
+    let heads_of = |j: usize| -> Vec<usize> { (j..mt).step_by(h.min(mt.max(1))).collect() };
+    let size_of =
+        |heads: &[usize], d: usize| -> usize { heads.get(d + 1).copied().unwrap_or(mt) - heads[d] };
 
     let mut vsa = Vsa::new();
 
@@ -489,7 +490,11 @@ pub fn tile_qr_compact(a: &Matrix, opts: &QrOptions, config: &RunConfig) -> VsaQ
                 lvl += 1;
             }
             collected.sort_by_key(|r| order[&r.op]);
-            assert_eq!(collected.len(), order.len(), "missing transforms in stage {j}");
+            assert_eq!(
+                collected.len(),
+                order.len(),
+                "missing transforms in stage {j}"
+            );
             collected
         })
         .collect();
@@ -585,7 +590,10 @@ mod tests {
         let opts = QrOptions::new(4, 2, Tree::BinaryOnFlat { h: 3 });
         let compact = tile_qr_compact(&a, &opts, &RunConfig::smp(2));
         let unrolled = crate::vsa3d::tile_qr_vsa(&a, &opts, &RunConfig::smp(2));
-        assert_eq!(compact.stats.fired, unrolled.stats.fired, "same kernel count");
+        assert_eq!(
+            compact.stats.fired, unrolled.stats.fired,
+            "same kernel count"
+        );
         let d = r_factor_distance(&compact.factors.r, &unrolled.factors.r);
         assert!(d < 1e-12);
     }

@@ -3,7 +3,7 @@
 //! *same* factorization (identical schedules mean identical arithmetic).
 
 use pulsar_core::domino::tile_qr_domino;
-use pulsar_core::plan::{Boundary, Tree};
+use pulsar_core::plan::Tree;
 use pulsar_core::vsa3d::tile_qr_vsa;
 use pulsar_core::vsa_compact::tile_qr_compact;
 use pulsar_core::{tile_qr_seq, QrOptions, TileQrFactors};
@@ -137,5 +137,8 @@ fn fixed_vs_shifted_same_numerics_different_schedule() {
     // But genuinely different schedules in later panels.
     let ops_s: Vec<_> = fs.panels[1].iter().map(|r| r.op).collect();
     let ops_f: Vec<_> = ff.panels[1].iter().map(|r| r.op).collect();
-    assert_ne!(ops_s, ops_f, "boundary strategies should differ from panel 1 on");
+    assert_ne!(
+        ops_s, ops_f,
+        "boundary strategies should differ from panel 1 on"
+    );
 }

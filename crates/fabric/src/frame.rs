@@ -1,0 +1,185 @@
+//! The TCP wire format: a hand-rolled little-endian frame codec.
+//!
+//! Every frame is `HEADER_LEN` bytes of header followed by `len` body
+//! bytes. The header carries a magic tag (so a stray connection is
+//! rejected immediately), a frame kind, the runtime's wire id (the MPI-tag
+//! analogue of Section IV-B), a per-connection sequence number (FIFO
+//! integrity check), and the body length. There is no serde and no
+//! self-describing envelope: the body is raw bytes whose meaning the
+//! runtime's packet registry decides from the wire id's payload tag.
+
+/// Magic prefix of every frame.
+pub const MAGIC: [u8; 4] = *b"PSLF";
+
+/// Encoded header size: magic (4) + kind (1) + wire id (4) + seq (8) +
+/// len (8).
+pub const HEADER_LEN: usize = 25;
+
+/// Largest accepted body; anything bigger is a malformed or hostile frame.
+pub const MAX_BODY: usize = 1 << 30;
+
+/// Frame kind byte values.
+const KIND_DATA: u8 = 0;
+const KIND_BARRIER: u8 = 1;
+
+/// What a frame carries.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FrameKind {
+    /// A runtime packet for the channel identified by `wire_id`.
+    Data {
+        /// Destination wire id (the MPI-tag analogue).
+        wire_id: u32,
+    },
+    /// Barrier-entry announcement; the 8-byte body is the barrier epoch.
+    Barrier,
+}
+
+/// Decoded frame header.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// What the body is.
+    pub kind: FrameKind,
+    /// Per-connection monotone sequence number, starting at 0.
+    pub seq: u64,
+    /// Body length in bytes.
+    pub len: u64,
+}
+
+/// Why a header was rejected.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// First four bytes were not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// Unknown kind byte.
+    BadKind(u8),
+    /// Body length exceeds [`MAX_BODY`].
+    Oversized(u64),
+    /// A barrier frame whose body is not exactly 8 bytes.
+    BadBarrierLen(u64),
+    /// Sequence number broke the per-connection FIFO contract.
+    OutOfOrder {
+        /// Sequence number the connection expected next.
+        expected: u64,
+        /// Sequence number actually received.
+        got: u64,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic(m) => write!(f, "bad frame magic {m:?}"),
+            FrameError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            FrameError::Oversized(n) => write!(f, "frame body of {n} bytes exceeds cap"),
+            FrameError::BadBarrierLen(n) => write!(f, "barrier frame with {n}-byte body"),
+            FrameError::OutOfOrder { expected, got } => {
+                write!(f, "frame seq {got} arrived, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Encode a header into its fixed-size wire form.
+pub fn encode_header(h: &FrameHeader) -> [u8; HEADER_LEN] {
+    let mut out = [0u8; HEADER_LEN];
+    out[0..4].copy_from_slice(&MAGIC);
+    let (kind, wire_id) = match h.kind {
+        FrameKind::Data { wire_id } => (KIND_DATA, wire_id),
+        FrameKind::Barrier => (KIND_BARRIER, 0),
+    };
+    out[4] = kind;
+    out[5..9].copy_from_slice(&wire_id.to_le_bytes());
+    out[9..17].copy_from_slice(&h.seq.to_le_bytes());
+    out[17..25].copy_from_slice(&h.len.to_le_bytes());
+    out
+}
+
+/// Decode and validate a header.
+pub fn decode_header(buf: &[u8; HEADER_LEN]) -> Result<FrameHeader, FrameError> {
+    let magic: [u8; 4] = buf[0..4].try_into().unwrap();
+    if magic != MAGIC {
+        return Err(FrameError::BadMagic(magic));
+    }
+    let wire_id = u32::from_le_bytes(buf[5..9].try_into().unwrap());
+    let seq = u64::from_le_bytes(buf[9..17].try_into().unwrap());
+    let len = u64::from_le_bytes(buf[17..25].try_into().unwrap());
+    if len > MAX_BODY as u64 {
+        return Err(FrameError::Oversized(len));
+    }
+    let kind = match buf[4] {
+        KIND_DATA => FrameKind::Data { wire_id },
+        KIND_BARRIER => {
+            if len != 8 {
+                return Err(FrameError::BadBarrierLen(len));
+            }
+            FrameKind::Barrier
+        }
+        k => return Err(FrameError::BadKind(k)),
+    };
+    Ok(FrameHeader { kind, seq, len })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_data_header() {
+        let h = FrameHeader {
+            kind: FrameKind::Data { wire_id: 0xDEAD },
+            seq: 42,
+            len: 1 << 21,
+        };
+        assert_eq!(decode_header(&encode_header(&h)), Ok(h));
+    }
+
+    #[test]
+    fn roundtrip_barrier_header() {
+        let h = FrameHeader {
+            kind: FrameKind::Barrier,
+            seq: 7,
+            len: 8,
+        };
+        assert_eq!(decode_header(&encode_header(&h)), Ok(h));
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut b = encode_header(&FrameHeader {
+            kind: FrameKind::Barrier,
+            seq: 0,
+            len: 8,
+        });
+        b[0] = b'X';
+        assert!(matches!(decode_header(&b), Err(FrameError::BadMagic(_))));
+    }
+
+    #[test]
+    fn rejects_bad_kind_oversize_and_barrier_len() {
+        let mut b = encode_header(&FrameHeader {
+            kind: FrameKind::Data { wire_id: 1 },
+            seq: 0,
+            len: 4,
+        });
+        b[4] = 9;
+        assert_eq!(decode_header(&b), Err(FrameError::BadKind(9)));
+
+        let mut b = encode_header(&FrameHeader {
+            kind: FrameKind::Data { wire_id: 1 },
+            seq: 0,
+            len: 0,
+        });
+        b[17..25].copy_from_slice(&(MAX_BODY as u64 + 1).to_le_bytes());
+        assert!(matches!(decode_header(&b), Err(FrameError::Oversized(_))));
+
+        let mut b = encode_header(&FrameHeader {
+            kind: FrameKind::Barrier,
+            seq: 0,
+            len: 8,
+        });
+        b[17..25].copy_from_slice(&9u64.to_le_bytes());
+        assert_eq!(decode_header(&b), Err(FrameError::BadBarrierLen(9)));
+    }
+}

@@ -1,0 +1,298 @@
+//! In-process backend: virtual nodes inside one OS process, connected by
+//! `std::sync::mpsc` queues. Payloads move by pointer, so the runtime's
+//! zero-copy `Arc` aliasing survives the "network" hop.
+
+use crate::{Completion, Fabric, FabricError, NodeId, Op};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
+
+enum Wire<P> {
+    Data {
+        wire_id: u32,
+        payload: P,
+        bytes: usize,
+    },
+    Barrier {
+        epoch: u64,
+    },
+}
+
+/// One node's endpoint of an in-process full mesh (see
+/// [`InProcFabric::mesh`]).
+pub struct InProcFabric<P> {
+    rank: NodeId,
+    nodes: usize,
+    /// `peers[j]` sends into node j's receiver; `None` at `rank`.
+    peers: Vec<Option<Sender<Wire<P>>>>,
+    rx: Receiver<Wire<P>>,
+    /// Data frames pulled off `rx` but not yet claimed by a receive op.
+    inbox: VecDeque<(u32, P, usize)>,
+    /// Posted, unmatched receive ops (completed oldest-first).
+    recv_ops: VecDeque<u64>,
+    /// Posted sends not yet reported as done.
+    send_ops: HashSet<u64>,
+    /// Completed-op byte counts, consumed by `get_count`.
+    counts: HashMap<u64, usize>,
+    next_op: u64,
+    barrier_epoch: u64,
+    barrier_seen: HashMap<u64, usize>,
+    sent: u64,
+    received: u64,
+}
+
+impl<P: Send> InProcFabric<P> {
+    /// Build a full mesh of `n` connected endpoints, one per node.
+    pub fn mesh(n: usize) -> Vec<InProcFabric<P>> {
+        assert!(n > 0);
+        let (txs, rxs): (Vec<_>, Vec<_>) = (0..n).map(|_| channel()).unzip();
+        rxs.into_iter()
+            .enumerate()
+            .map(|(rank, rx)| InProcFabric {
+                rank,
+                nodes: n,
+                peers: txs
+                    .iter()
+                    .enumerate()
+                    .map(|(j, tx)| (j != rank).then(|| tx.clone()))
+                    .collect(),
+                rx,
+                inbox: VecDeque::new(),
+                recv_ops: VecDeque::new(),
+                send_ops: HashSet::new(),
+                counts: HashMap::new(),
+                next_op: 0,
+                barrier_epoch: 0,
+                barrier_seen: HashMap::new(),
+                sent: 0,
+                received: 0,
+            })
+            .collect()
+    }
+
+    fn next_op(&mut self) -> Op {
+        let id = self.next_op;
+        self.next_op += 1;
+        Op(id)
+    }
+
+    fn absorb(&mut self, w: Wire<P>) {
+        match w {
+            Wire::Data {
+                wire_id,
+                payload,
+                bytes,
+            } => {
+                self.received += bytes as u64;
+                self.inbox.push_back((wire_id, payload, bytes));
+            }
+            Wire::Barrier { epoch } => {
+                *self.barrier_seen.entry(epoch).or_insert(0) += 1;
+            }
+        }
+    }
+
+    fn drain_rx(&mut self) {
+        while let Ok(w) = self.rx.try_recv() {
+            self.absorb(w);
+        }
+    }
+}
+
+impl<P: Send> Fabric for InProcFabric<P> {
+    type Payload = P;
+
+    fn rank(&self) -> NodeId {
+        self.rank
+    }
+
+    fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    fn post_send(&mut self, dst: NodeId, wire_id: u32, payload: P, bytes: usize) -> Op {
+        let op = self.next_op();
+        let tx = self.peers[dst]
+            .as_ref()
+            .unwrap_or_else(|| panic!("node {} sending to itself", self.rank));
+        tx.send(Wire::Data {
+            wire_id,
+            payload,
+            bytes,
+        })
+        .expect("fabric closed early");
+        self.sent += bytes as u64;
+        // Queue delivery is instantaneous: the send completes at post time.
+        self.send_ops.insert(op.0);
+        self.counts.insert(op.0, bytes);
+        op
+    }
+
+    fn post_recv(&mut self) -> Op {
+        let op = self.next_op();
+        self.recv_ops.push_back(op.0);
+        op
+    }
+
+    fn test(&mut self, op: Op) -> Completion<P> {
+        self.drain_rx();
+        if self.send_ops.remove(&op.0) {
+            return Completion::SendDone;
+        }
+        if self.recv_ops.front() == Some(&op.0) {
+            if let Some((wire_id, payload, bytes)) = self.inbox.pop_front() {
+                self.recv_ops.pop_front();
+                self.counts.insert(op.0, bytes);
+                return Completion::Recv {
+                    wire_id,
+                    payload,
+                    bytes,
+                };
+            }
+        }
+        Completion::Pending
+    }
+
+    fn get_count(&mut self, op: Op) -> Option<usize> {
+        self.counts.remove(&op.0)
+    }
+
+    fn barrier(&mut self, poison: &mut dyn FnMut() -> bool) -> Result<(), FabricError> {
+        self.barrier_epoch += 1;
+        let epoch = self.barrier_epoch;
+        for tx in self.peers.iter().flatten() {
+            if tx.send(Wire::Barrier { epoch }).is_err() {
+                return Err(FabricError::Disconnected);
+            }
+        }
+        loop {
+            self.drain_rx();
+            if self.barrier_seen.get(&epoch).copied().unwrap_or(0) >= self.nodes - 1 {
+                self.barrier_seen.remove(&epoch);
+                return Ok(());
+            }
+            if poison() {
+                return Err(FabricError::Poisoned);
+            }
+            match self.rx.recv_timeout(Duration::from_micros(100)) {
+                Ok(w) => self.absorb(w),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return Err(FabricError::Disconnected),
+            }
+        }
+    }
+
+    fn cancel(&mut self, op: Op) {
+        self.recv_ops.retain(|&o| o != op.0);
+        self.send_ops.remove(&op.0);
+        self.counts.remove(&op.0);
+    }
+
+    fn idle(&mut self, max: Duration) {
+        if let Ok(w) = self.rx.recv_timeout(max) {
+            self.absorb(w);
+        }
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.sent
+    }
+
+    fn bytes_received(&self) -> u64 {
+        self.received
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let mut mesh = InProcFabric::<String>::mesh(2);
+        let mut b = mesh.pop().unwrap();
+        let mut a = mesh.pop().unwrap();
+        assert_eq!((a.rank(), b.rank(), a.nodes()), (0, 1, 2));
+
+        let s = a.post_send(1, 7, "hello".to_string(), 5);
+        assert!(matches!(a.test(s), Completion::SendDone));
+        assert_eq!(a.get_count(s), Some(5));
+        assert_eq!(a.bytes_sent(), 5);
+
+        let r = b.post_recv();
+        match b.test(r) {
+            Completion::Recv {
+                wire_id,
+                payload,
+                bytes,
+            } => {
+                assert_eq!((wire_id, payload.as_str(), bytes), (7, "hello", 5));
+            }
+            other => panic!("expected Recv, got {other:?}"),
+        }
+        assert_eq!(b.get_count(r), Some(5));
+        assert_eq!(b.get_count(r), None);
+        assert_eq!(b.bytes_received(), 5);
+    }
+
+    #[test]
+    fn recv_pending_until_data_then_fifo() {
+        let mut mesh = InProcFabric::<u32>::mesh(2);
+        let mut b = mesh.pop().unwrap();
+        let mut a = mesh.pop().unwrap();
+        let r = b.post_recv();
+        assert!(matches!(b.test(r), Completion::Pending));
+        a.post_send(1, 1, 10, 4);
+        a.post_send(1, 2, 20, 4);
+        match b.test(r) {
+            Completion::Recv { payload, .. } => assert_eq!(payload, 10),
+            other => panic!("{other:?}"),
+        }
+        let r2 = b.post_recv();
+        match b.test(r2) {
+            Completion::Recv { payload, .. } => assert_eq!(payload, 20),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes_three_nodes() {
+        let mesh = InProcFabric::<()>::mesh(3);
+        let handles: Vec<_> = mesh
+            .into_iter()
+            .map(|mut f| {
+                std::thread::spawn(move || {
+                    for _ in 0..3 {
+                        f.barrier(&mut || false).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn poisoned_barrier_returns_error() {
+        let mut mesh = InProcFabric::<()>::mesh(2);
+        let mut a = mesh.remove(0);
+        // Peer never enters; poison after a few spins.
+        let mut spins = 0;
+        let r = a.barrier(&mut || {
+            spins += 1;
+            spins > 3
+        });
+        assert_eq!(r, Err(FabricError::Poisoned));
+    }
+
+    #[test]
+    fn cancel_discards_pending_recv() {
+        let mut mesh = InProcFabric::<u8>::mesh(2);
+        let mut a = mesh.remove(0);
+        let r = a.post_recv();
+        a.cancel(r);
+        assert!(matches!(a.test(r), Completion::Pending));
+        assert_eq!(a.get_count(r), None);
+    }
+}

@@ -1,0 +1,142 @@
+//! # pulsar-fabric
+//!
+//! Pluggable inter-node transport for the PULSAR runtime.
+//!
+//! The paper's PRT talks to the network through six MPI calls only
+//! (Section IV-B): `MPI_Isend`, `MPI_Irecv`, `MPI_Test`,
+//! `MPI_Get_count`, `MPI_Barrier`, and `MPI_Cancel`. [`Fabric`] is that
+//! surface as a Rust trait, which lets the runtime's per-node proxy
+//! thread run unchanged over either backend:
+//!
+//! - [`InProcFabric`] — virtual nodes inside one OS process, connected by
+//!   in-memory queues. Payloads move by pointer (the runtime keeps its
+//!   zero-copy `Arc` aliasing).
+//! - [`TcpFabric`] — real OS processes connected by a full mesh of
+//!   nonblocking TCP sockets, with a hand-rolled little-endian frame
+//!   codec ([`frame`]), per-peer outbound queues, and clean shutdown via
+//!   `barrier` + `cancel`.
+//!
+//! The trait maps onto the paper's calls as:
+//!
+//! | paper (MPI)     | [`Fabric`]            |
+//! |-----------------|-----------------------|
+//! | `MPI_Isend`     | [`Fabric::post_send`] |
+//! | `MPI_Irecv`     | [`Fabric::post_recv`] |
+//! | `MPI_Test`      | [`Fabric::test`]      |
+//! | `MPI_Get_count` | [`Fabric::get_count`] |
+//! | `MPI_Barrier`   | [`Fabric::barrier`]   |
+//! | `MPI_Cancel`    | [`Fabric::cancel`]    |
+
+#![warn(missing_docs)]
+
+pub mod frame;
+mod inproc;
+mod tcp;
+
+pub use inproc::InProcFabric;
+pub use tcp::TcpFabric;
+
+use std::time::Duration;
+
+/// A node's index within the run (the MPI-rank analogue).
+pub type NodeId = usize;
+
+/// Handle to a posted send or receive (the `MPI_Request` analogue).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Op(pub(crate) u64);
+
+/// Result of testing an operation.
+#[derive(Debug)]
+pub enum Completion<P> {
+    /// Not finished yet.
+    Pending,
+    /// A send finished: the payload is on the wire (or delivered).
+    SendDone,
+    /// A receive finished.
+    Recv {
+        /// Wire id the sender addressed (the MPI-tag analogue).
+        wire_id: u32,
+        /// The received payload.
+        payload: P,
+        /// Payload size in bytes as counted by the transport.
+        bytes: usize,
+    },
+}
+
+/// Why a collective failed.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FabricError {
+    /// The local poison predicate fired while waiting (local abort).
+    Poisoned,
+    /// A peer vanished (connection closed or process died).
+    Disconnected,
+}
+
+impl std::fmt::Display for FabricError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FabricError::Poisoned => write!(f, "barrier poisoned by local abort"),
+            FabricError::Disconnected => write!(f, "peer disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+/// The six-call transport surface of the paper's Section IV-B.
+///
+/// One instance belongs to exactly one node's proxy thread; no method is
+/// called concurrently. `Payload` is the unit a proxy hands to the
+/// transport: an in-process fabric moves runtime packets by pointer,
+/// a wire fabric moves encoded byte vectors.
+pub trait Fabric {
+    /// What travels through this fabric.
+    type Payload;
+
+    /// This node's rank.
+    fn rank(&self) -> NodeId;
+
+    /// Total number of nodes in the run.
+    fn nodes(&self) -> usize;
+
+    /// Post a nonblocking send of `payload` to `dst`, addressed to
+    /// `wire_id`. `bytes` is the payload's logical size (used only for
+    /// accounting by in-process transports). Completion is reported by
+    /// [`Fabric::test`] as [`Completion::SendDone`].
+    fn post_send(&mut self, dst: NodeId, wire_id: u32, payload: Self::Payload, bytes: usize) -> Op;
+
+    /// Post a nonblocking wildcard receive (any source, any wire id).
+    /// Each posted receive completes at most once; re-post after every
+    /// [`Completion::Recv`].
+    fn post_recv(&mut self) -> Op;
+
+    /// Drive transport progress and report the state of `op`.
+    fn test(&mut self, op: Op) -> Completion<Self::Payload>;
+
+    /// Byte count of a completed operation (received payload size for a
+    /// receive, payload size for a send). Consumes the record; a second
+    /// call for the same op returns `None`.
+    fn get_count(&mut self, op: Op) -> Option<usize>;
+
+    /// Enter a global barrier and block until every node has entered, the
+    /// `poison` predicate returns true (-> [`FabricError::Poisoned`]), or
+    /// a peer vanishes (-> [`FabricError::Disconnected`]).
+    fn barrier(&mut self, poison: &mut dyn FnMut() -> bool) -> Result<(), FabricError>;
+
+    /// Cancel a posted receive that will never complete (the paper's
+    /// shutdown sequence: barrier, then cancel the outstanding
+    /// `MPI_Irecv`).
+    fn cancel(&mut self, op: Op);
+
+    /// Nothing to do: block for at most `max`, waking early if traffic
+    /// may have arrived (transports without a wakeup primitive may just
+    /// sleep).
+    fn idle(&mut self, max: Duration);
+
+    /// Total payload bytes sent so far (wire bytes for socket transports,
+    /// declared packet bytes for in-process ones).
+    fn bytes_sent(&self) -> u64;
+
+    /// Total payload bytes received so far.
+    fn bytes_received(&self) -> u64;
+}

@@ -1,0 +1,495 @@
+//! TCP backend: real OS processes connected by a full mesh of nonblocking
+//! sockets.
+//!
+//! Topology: node `r` actively connects to every lower rank and accepts a
+//! connection from every higher rank; a 4-byte little-endian rank
+//! handshake identifies the dialer. All streams then go nonblocking with
+//! Nagle disabled. Sends append encoded frames to a per-peer outbound
+//! queue drained opportunistically on every `test`/`idle`; a send
+//! completes when its last byte reaches the kernel. Receives parse the
+//! per-peer inbound buffer into frames (see [`crate::frame`]), verifying
+//! the per-connection sequence number.
+
+use crate::frame::{decode_header, encode_header, FrameError, FrameHeader, FrameKind, HEADER_LEN};
+use crate::{Completion, Fabric, FabricError, NodeId, Op};
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// A frame being written: fixed header + body, with a write cursor across
+/// both.
+struct OutFrame {
+    op: u64,
+    header: [u8; HEADER_LEN],
+    body: Vec<u8>,
+    written: usize,
+    /// Logical payload size reported by `get_count` on completion.
+    count: usize,
+}
+
+struct Peer {
+    stream: TcpStream,
+    out: VecDeque<OutFrame>,
+    inbuf: Vec<u8>,
+    next_seq_out: u64,
+    next_seq_in: u64,
+    /// Peer closed its end; frames already parsed stay valid.
+    eof: bool,
+    /// Highest barrier epoch this peer has announced entering.
+    barrier_epoch: u64,
+}
+
+/// One node's endpoint of a TCP full mesh (see [`TcpFabric::connect`]).
+pub struct TcpFabric {
+    rank: NodeId,
+    nodes: usize,
+    /// `None` at `rank`.
+    peers: Vec<Option<Peer>>,
+    inbox: VecDeque<(u32, Vec<u8>, usize)>,
+    recv_ops: VecDeque<u64>,
+    /// Send op -> peer whose queue holds its frame.
+    send_ops: HashMap<u64, NodeId>,
+    counts: HashMap<u64, usize>,
+    next_op: u64,
+    barrier_epoch: u64,
+    sent: u64,
+    received: u64,
+}
+
+impl TcpFabric {
+    /// Join the mesh as `rank`, dialing `addrs[0..rank]` and accepting
+    /// `addrs.len() - rank - 1` connections on `listener` (which must be
+    /// the socket `addrs[rank]` points at). Blocks until the mesh is
+    /// complete or `timeout` passes.
+    pub fn connect(
+        rank: NodeId,
+        listener: TcpListener,
+        addrs: &[String],
+        timeout: Duration,
+    ) -> std::io::Result<TcpFabric> {
+        let nodes = addrs.len();
+        assert!(rank < nodes, "rank {rank} outside {nodes} nodes");
+        let deadline = Instant::now() + timeout;
+        let mut peers: Vec<Option<Peer>> = (0..nodes).map(|_| None).collect();
+
+        // Dial every lower rank (their listeners are already bound; the
+        // kernel backlog accepts the handshake even before they call
+        // accept, so sequential dial-then-accept cannot deadlock).
+        for (j, addr) in addrs.iter().enumerate().take(rank) {
+            let stream = loop {
+                match TcpStream::connect(addr) {
+                    Ok(s) => break s,
+                    Err(e) if Instant::now() < deadline => {
+                        let _ = e;
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(e) => return Err(e),
+                }
+            };
+            let mut stream = stream;
+            stream.write_all(&(rank as u32).to_le_bytes())?;
+            peers[j] = Some(Self::init_peer(stream)?);
+        }
+
+        // Accept every higher rank.
+        listener.set_nonblocking(true)?;
+        let mut missing = nodes - rank - 1;
+        while missing > 0 {
+            match listener.accept() {
+                Ok((mut stream, _)) => {
+                    stream.set_nonblocking(false)?;
+                    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+                    let mut id = [0u8; 4];
+                    stream.read_exact(&mut id)?;
+                    let peer_rank = u32::from_le_bytes(id) as usize;
+                    if peer_rank <= rank || peer_rank >= nodes || peers[peer_rank].is_some() {
+                        return Err(std::io::Error::other(format!(
+                            "bogus handshake rank {peer_rank} at node {rank}"
+                        )));
+                    }
+                    stream.set_read_timeout(None)?;
+                    peers[peer_rank] = Some(Self::init_peer(stream)?);
+                    missing -= 1;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            format!("node {rank} still waiting for {missing} peers"),
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        Ok(TcpFabric {
+            rank,
+            nodes,
+            peers,
+            inbox: VecDeque::new(),
+            recv_ops: VecDeque::new(),
+            send_ops: HashMap::new(),
+            counts: HashMap::new(),
+            next_op: 0,
+            barrier_epoch: 0,
+            sent: 0,
+            received: 0,
+        })
+    }
+
+    fn init_peer(stream: TcpStream) -> std::io::Result<Peer> {
+        stream.set_nodelay(true)?;
+        stream.set_nonblocking(true)?;
+        Ok(Peer {
+            stream,
+            out: VecDeque::new(),
+            inbuf: Vec::new(),
+            next_seq_out: 0,
+            next_seq_in: 0,
+            eof: false,
+            barrier_epoch: 0,
+        })
+    }
+
+    fn next_op(&mut self) -> Op {
+        let id = self.next_op;
+        self.next_op += 1;
+        Op(id)
+    }
+
+    fn queue_frame(&mut self, dst: NodeId, kind: FrameKind, body: Vec<u8>, op: u64, count: usize) {
+        let peer = self.peers[dst]
+            .as_mut()
+            .unwrap_or_else(|| panic!("node sending to itself or unknown peer {dst}"));
+        let header = encode_header(&FrameHeader {
+            kind,
+            seq: peer.next_seq_out,
+            len: body.len() as u64,
+        });
+        peer.next_seq_out += 1;
+        peer.out.push_back(OutFrame {
+            op,
+            header,
+            body,
+            written: 0,
+            count,
+        });
+    }
+
+    /// Drive all socket I/O once. Panics on protocol violations (bad
+    /// frames, lost peers): a broken mesh cannot be recovered mid-run.
+    fn pump(&mut self) -> bool {
+        let mut progressed = false;
+        for (peer_rank, slot) in self.peers.iter_mut().enumerate() {
+            let Some(peer) = slot.as_mut() else { continue };
+
+            // Writes: drain the outbound queue as far as the kernel allows.
+            while let Some(front) = peer.out.front_mut() {
+                if peer.eof {
+                    panic!("fabric: peer {peer_rank} closed with sends pending");
+                }
+                let (src, base): (&[u8], usize) = if front.written < HEADER_LEN {
+                    (&front.header, front.written)
+                } else {
+                    (&front.body, front.written - HEADER_LEN)
+                };
+                match peer.stream.write(&src[base..]) {
+                    Ok(0) => panic!("fabric: peer {peer_rank} closed while writing"),
+                    Ok(k) => {
+                        front.written += k;
+                        self.sent += k as u64;
+                        progressed = true;
+                        if front.written == HEADER_LEN + front.body.len() {
+                            let done = peer.out.pop_front().unwrap();
+                            if self.send_ops.contains_key(&done.op) {
+                                self.counts.insert(done.op, done.count);
+                            }
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => panic!("fabric: write to peer {peer_rank} failed: {e}"),
+                }
+            }
+
+            // Reads: pull whatever the kernel has buffered.
+            let mut tmp = [0u8; 64 * 1024];
+            while !peer.eof {
+                match peer.stream.read(&mut tmp) {
+                    Ok(0) => {
+                        // Orderly close. Whether this is fatal depends on
+                        // what we still expect from the peer — barrier()
+                        // decides; already-parsed frames stay valid.
+                        peer.eof = true;
+                        break;
+                    }
+                    Ok(k) => {
+                        peer.inbuf.extend_from_slice(&tmp[..k]);
+                        self.received += k as u64;
+                        progressed = true;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => panic!("fabric: read from peer {peer_rank} failed: {e}"),
+                }
+            }
+
+            // Parse complete frames.
+            let mut consumed = 0;
+            while peer.inbuf.len() - consumed >= HEADER_LEN {
+                let hdr_bytes: [u8; HEADER_LEN] = peer.inbuf[consumed..consumed + HEADER_LEN]
+                    .try_into()
+                    .unwrap();
+                let hdr = match decode_header(&hdr_bytes) {
+                    Ok(h) => h,
+                    Err(e) => panic!("fabric: malformed frame from peer {peer_rank}: {e}"),
+                };
+                let total = HEADER_LEN + hdr.len as usize;
+                if peer.inbuf.len() - consumed < total {
+                    break;
+                }
+                if hdr.seq != peer.next_seq_in {
+                    let e = FrameError::OutOfOrder {
+                        expected: peer.next_seq_in,
+                        got: hdr.seq,
+                    };
+                    panic!("fabric: peer {peer_rank}: {e}");
+                }
+                peer.next_seq_in += 1;
+                let body = peer.inbuf[consumed + HEADER_LEN..consumed + total].to_vec();
+                consumed += total;
+                match hdr.kind {
+                    FrameKind::Data { wire_id } => {
+                        let n = body.len();
+                        self.inbox.push_back((wire_id, body, n));
+                    }
+                    FrameKind::Barrier => {
+                        let epoch = u64::from_le_bytes(body.try_into().unwrap());
+                        peer.barrier_epoch = peer.barrier_epoch.max(epoch);
+                    }
+                }
+            }
+            if consumed > 0 {
+                peer.inbuf.drain(..consumed);
+            }
+        }
+        progressed
+    }
+}
+
+impl Fabric for TcpFabric {
+    type Payload = Vec<u8>;
+
+    fn rank(&self) -> NodeId {
+        self.rank
+    }
+
+    fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    fn post_send(&mut self, dst: NodeId, wire_id: u32, payload: Vec<u8>, bytes: usize) -> Op {
+        let op = self.next_op();
+        let _ = bytes; // wire accounting uses actual frame bytes
+        let count = payload.len();
+        self.send_ops.insert(op.0, dst);
+        self.queue_frame(dst, FrameKind::Data { wire_id }, payload, op.0, count);
+        self.pump();
+        op
+    }
+
+    fn post_recv(&mut self) -> Op {
+        let op = self.next_op();
+        self.recv_ops.push_back(op.0);
+        op
+    }
+
+    fn test(&mut self, op: Op) -> Completion<Vec<u8>> {
+        self.pump();
+        if let Some(dst) = self.send_ops.get(&op.0).copied() {
+            // Complete when the frame is no longer queued (fully written).
+            let queued = self.peers[dst]
+                .as_ref()
+                .is_some_and(|p| p.out.iter().any(|f| f.op == op.0));
+            if queued {
+                return Completion::Pending;
+            }
+            self.send_ops.remove(&op.0);
+            return Completion::SendDone;
+        }
+        if self.recv_ops.front() == Some(&op.0) {
+            if let Some((wire_id, payload, bytes)) = self.inbox.pop_front() {
+                self.recv_ops.pop_front();
+                self.counts.insert(op.0, bytes);
+                return Completion::Recv {
+                    wire_id,
+                    payload,
+                    bytes,
+                };
+            }
+        }
+        Completion::Pending
+    }
+
+    fn get_count(&mut self, op: Op) -> Option<usize> {
+        self.counts.remove(&op.0)
+    }
+
+    fn barrier(&mut self, poison: &mut dyn FnMut() -> bool) -> Result<(), FabricError> {
+        self.barrier_epoch += 1;
+        let epoch = self.barrier_epoch;
+        let op = self.next_op();
+        for dst in 0..self.nodes {
+            if dst != self.rank {
+                self.queue_frame(
+                    dst,
+                    FrameKind::Barrier,
+                    epoch.to_le_bytes().to_vec(),
+                    op.0,
+                    8,
+                );
+            }
+        }
+        loop {
+            self.pump();
+            let mut entered = 0;
+            for peer in self.peers.iter().flatten() {
+                if peer.barrier_epoch >= epoch {
+                    entered += 1;
+                } else if peer.eof {
+                    // The peer died before entering: it can never arrive.
+                    return Err(FabricError::Disconnected);
+                }
+            }
+            if entered >= self.nodes - 1 {
+                return Ok(());
+            }
+            if poison() {
+                return Err(FabricError::Poisoned);
+            }
+            std::thread::sleep(Duration::from_micros(50));
+        }
+    }
+
+    fn cancel(&mut self, op: Op) {
+        self.recv_ops.retain(|&o| o != op.0);
+        self.send_ops.remove(&op.0);
+        self.counts.remove(&op.0);
+    }
+
+    fn idle(&mut self, max: Duration) {
+        // No portable readiness wait over many sockets in std; nap briefly,
+        // then let the caller's next test() pump.
+        std::thread::sleep(max.min(Duration::from_micros(200)));
+        self.pump();
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.sent
+    }
+
+    fn bytes_received(&self) -> u64 {
+        self.received
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn localhost_pair() -> (TcpFabric, TcpFabric) {
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addrs = vec![
+            l0.local_addr().unwrap().to_string(),
+            l1.local_addr().unwrap().to_string(),
+        ];
+        let a1 = addrs.clone();
+        let t = std::thread::spawn(move || {
+            TcpFabric::connect(1, l1, &a1, Duration::from_secs(5)).unwrap()
+        });
+        let f0 = TcpFabric::connect(0, l0, &addrs, Duration::from_secs(5)).unwrap();
+        (f0, t.join().unwrap())
+    }
+
+    fn wait_recv(f: &mut TcpFabric, op: Op) -> (u32, Vec<u8>, usize) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match f.test(op) {
+                Completion::Recv {
+                    wire_id,
+                    payload,
+                    bytes,
+                } => return (wire_id, payload, bytes),
+                Completion::Pending => {
+                    assert!(Instant::now() < deadline, "recv timed out");
+                    f.idle(Duration::from_micros(100));
+                }
+                Completion::SendDone => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_small_and_large() {
+        let (mut f0, mut f1) = localhost_pair();
+        // Large payload exercises partial writes through the kernel buffer.
+        let big: Vec<u8> = (0..3 * 1024 * 1024).map(|i| (i % 251) as u8).collect();
+        let s1 = f0.post_send(1, 5, b"ping".to_vec(), 4);
+        let s2 = f0.post_send(1, 6, big.clone(), big.len());
+
+        let handle = std::thread::spawn(move || {
+            let r = f1.post_recv();
+            let (w1, p1, b1) = wait_recv(&mut f1, r);
+            assert_eq!((w1, p1.as_slice(), b1), (5, b"ping".as_slice(), 4));
+            assert_eq!(f1.get_count(r), Some(4));
+            let r2 = f1.post_recv();
+            let (w2, p2, _) = wait_recv(&mut f1, r2);
+            assert_eq!(w2, 6);
+            assert_eq!(p2, big);
+            f1
+        });
+
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut done = [false; 2];
+        while !done.iter().all(|&d| d) {
+            assert!(Instant::now() < deadline, "sends timed out");
+            for (i, &op) in [s1, s2].iter().enumerate() {
+                if !done[i] && matches!(f0.test(op), Completion::SendDone) {
+                    done[i] = true;
+                }
+            }
+        }
+        let f1 = handle.join().unwrap();
+        assert!(f0.bytes_sent() > 3 * 1024 * 1024);
+        assert!(f1.bytes_received() > 3 * 1024 * 1024);
+    }
+
+    #[test]
+    fn barrier_and_cancel_shutdown() {
+        let (mut f0, mut f1) = localhost_pair();
+        let r0 = f0.post_recv();
+        let t = std::thread::spawn(move || {
+            let r1 = f1.post_recv();
+            f1.barrier(&mut || false).unwrap();
+            f1.cancel(r1);
+        });
+        f0.barrier(&mut || false).unwrap();
+        f0.cancel(r0);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn poisoned_barrier_unblocks() {
+        let (mut f0, _f1) = localhost_pair();
+        let mut n = 0;
+        let r = f0.barrier(&mut || {
+            n += 1;
+            n > 10
+        });
+        assert_eq!(r, Err(FabricError::Poisoned));
+    }
+}

@@ -1,0 +1,55 @@
+//! Property tests for the TCP frame header codec: arbitrary headers
+//! roundtrip exactly, and corrupted headers are rejected rather than
+//! misparsed.
+
+use proptest::prelude::*;
+use pulsar_fabric::frame::{
+    decode_header, encode_header, FrameError, FrameHeader, FrameKind, HEADER_LEN, MAX_BODY,
+};
+
+fn header_strategy() -> BoxedStrategy<FrameHeader> {
+    let data =
+        (any::<u32>(), any::<u64>(), 0u64..=MAX_BODY as u64).prop_map(|(wire_id, seq, len)| {
+            FrameHeader {
+                kind: FrameKind::Data { wire_id },
+                seq,
+                len,
+            }
+        });
+    let barrier = any::<u64>().prop_map(|seq| FrameHeader {
+        kind: FrameKind::Barrier,
+        seq,
+        len: 8,
+    });
+    prop_oneof![data, barrier].boxed()
+}
+
+proptest! {
+    #[test]
+    fn header_roundtrips(h in header_strategy()) {
+        let encoded = encode_header(&h);
+        prop_assert_eq!(encoded.len(), HEADER_LEN);
+        prop_assert_eq!(decode_header(&encoded), Ok(h));
+    }
+
+    #[test]
+    fn corrupt_magic_is_rejected(h in header_strategy(), pos in 0usize..4, flip in 1u8..=255) {
+        let mut b = encode_header(&h);
+        b[pos] ^= flip;
+        prop_assert!(matches!(decode_header(&b), Err(FrameError::BadMagic(_))));
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected(h in header_strategy(), kind in 2u8..=255) {
+        let mut b = encode_header(&h);
+        b[4] = kind;
+        prop_assert_eq!(decode_header(&b), Err(FrameError::BadKind(kind)));
+    }
+
+    #[test]
+    fn oversized_body_is_rejected(h in header_strategy(), over in 1u64..=1 << 20) {
+        let mut b = encode_header(&h);
+        b[17..25].copy_from_slice(&(MAX_BODY as u64 + over).to_le_bytes());
+        prop_assert!(matches!(decode_header(&b), Err(FrameError::Oversized(_))));
+    }
+}

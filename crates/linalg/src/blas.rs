@@ -144,6 +144,7 @@ pub fn dtrmm_left(uplo: UpLo, trans: Trans, diag: Diag, t: &Matrix, b: &mut Matr
             // Row i depends on rows >= i: compute top-down in place.
             for i in 0..n {
                 let mut s = get(i, i) * col[i];
+                #[allow(clippy::needless_range_loop)]
                 for k in i + 1..n {
                     s += get(i, k) * col[k];
                 }
@@ -153,6 +154,7 @@ pub fn dtrmm_left(uplo: UpLo, trans: Trans, diag: Diag, t: &Matrix, b: &mut Matr
             // Row i depends on rows <= i: compute bottom-up in place.
             for i in (0..n).rev() {
                 let mut s = get(i, i) * col[i];
+                #[allow(clippy::needless_range_loop)]
                 for k in 0..i {
                     s += get(i, k) * col[k];
                 }

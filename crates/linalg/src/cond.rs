@@ -114,7 +114,10 @@ mod tests {
             let est = inv_one_norm_est_upper(&r);
             // Hager's estimator is a lower bound, usually within ~3x.
             assert!(est <= truth * (1.0 + 1e-12), "estimate above truth");
-            assert!(est >= truth / 10.0, "estimate {est} far below truth {truth}");
+            assert!(
+                est >= truth / 10.0,
+                "estimate {est} far below truth {truth}"
+            );
         }
     }
 

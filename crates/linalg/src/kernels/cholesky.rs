@@ -99,7 +99,11 @@ mod tests {
     }
 
     fn lower_of(a: &Matrix) -> Matrix {
-        Matrix::from_fn(a.nrows(), a.ncols(), |i, j| if i >= j { a[(i, j)] } else { 0.0 })
+        Matrix::from_fn(
+            a.nrows(),
+            a.ncols(),
+            |i, j| if i >= j { a[(i, j)] } else { 0.0 },
+        )
     }
 
     #[test]

@@ -15,7 +15,10 @@ pub fn geqrt(a: &mut Matrix, t: &mut Matrix, ib: usize) {
     let m = a.nrows();
     let n = a.ncols();
     let k = m.min(n);
-    assert!(t.nrows() >= ib.min(k.max(1)) && t.ncols() >= k, "t too small");
+    assert!(
+        t.nrows() >= ib.min(k.max(1)) && t.ncols() >= k,
+        "t too small"
+    );
     let mut taus = vec![0.0; k];
 
     for (jb, ibb) in inner_blocks(k, ib, ApplyTrans::Trans) {

@@ -42,10 +42,8 @@ pub enum ApplyTrans {
 /// factorization), descending for [`ApplyTrans::NoTrans`].
 pub(crate) fn inner_blocks(k: usize, ib: usize, trans: ApplyTrans) -> Vec<(usize, usize)> {
     assert!(ib > 0, "inner block size must be positive");
-    let mut blocks: Vec<(usize, usize)> = (0..k)
-        .step_by(ib)
-        .map(|jb| (jb, ib.min(k - jb)))
-        .collect();
+    let mut blocks: Vec<(usize, usize)> =
+        (0..k).step_by(ib).map(|jb| (jb, ib.min(k - jb))).collect();
     if trans == ApplyTrans::NoTrans {
         blocks.reverse();
     }

@@ -18,10 +18,14 @@ pub fn tsqrt(a1: &mut Matrix, a2: &mut Matrix, t: &mut Matrix, ib: usize) {
     assert!(a1.nrows() >= n, "a1 must cover an n x n R factor");
     assert_eq!(a2.ncols(), n, "a2 must have the same column count");
     let m2 = a2.nrows();
-    assert!(t.nrows() >= ib.min(n.max(1)) && t.ncols() >= n, "t too small");
+    assert!(
+        t.nrows() >= ib.min(n.max(1)) && t.ncols() >= n,
+        "t too small"
+    );
 
     let mut taus = vec![0.0; ib.min(n.max(1))];
     for (jb, ibb) in inner_blocks(n, ib, ApplyTrans::Trans) {
+        #[allow(clippy::needless_range_loop)]
         for lj in 0..ibb {
             let j = jb + lj;
             // Reflector from [a1[j,j]; a2[:, j]].

@@ -20,10 +20,14 @@ pub fn ttqrt(a1: &mut Matrix, a2: &mut Matrix, t: &mut Matrix, ib: usize) {
     assert!(a1.nrows() >= n, "a1 must cover an n x n R factor");
     assert!(a2.nrows() >= n, "a2 must cover an n x n R factor");
     assert_eq!(a2.ncols(), n, "a2 column count must match");
-    assert!(t.nrows() >= ib.min(n.max(1)) && t.ncols() >= n, "t too small");
+    assert!(
+        t.nrows() >= ib.min(n.max(1)) && t.ncols() >= n,
+        "t too small"
+    );
 
     let mut taus = vec![0.0; ib.min(n.max(1))];
     for (jb, ibb) in inner_blocks(n, ib, ApplyTrans::Trans) {
+        #[allow(clippy::needless_range_loop)]
         for lj in 0..ibb {
             let j = jb + lj;
             // Reflector from [a1[j,j]; a2[0..=j, j]].
@@ -206,7 +210,10 @@ mod tests {
         let mut a2 = Matrix::zeros(n, n);
         let mut t = Matrix::zeros(2, n);
         ttqrt(&mut a1, &mut a2, &mut t, 2);
-        assert!(a1.sub(&r).norm_fro() < 1e-14, "R changed by trivial reduction");
+        assert!(
+            a1.sub(&r).norm_fro() < 1e-14,
+            "R changed by trivial reduction"
+        );
         assert_eq!(t.norm_fro(), 0.0);
     }
 }

@@ -147,7 +147,11 @@ impl Matrix {
 
     /// Upper-triangular copy (entries below the diagonal zeroed).
     pub fn upper_triangle(&self) -> Matrix {
-        Matrix::from_fn(self.m, self.n, |i, j| if i <= j { self[(i, j)] } else { 0.0 })
+        Matrix::from_fn(
+            self.m,
+            self.n,
+            |i, j| if i <= j { self[(i, j)] } else { 0.0 },
+        )
     }
 
     /// `self - other`, requiring equal shapes.

@@ -37,7 +37,14 @@ impl TileMatrix {
                 tiles.push(a.submatrix(r0, c0, rows, cols));
             }
         }
-        TileMatrix { m, n, nb, mt, nt, tiles }
+        TileMatrix {
+            m,
+            n,
+            nb,
+            mt,
+            nt,
+            tiles,
+        }
     }
 
     /// An all-zero tiled matrix.

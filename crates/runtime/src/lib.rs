@@ -13,8 +13,11 @@
 //! - [`Vsa`] collects VDPs, channels, and seed packets, and [`Vsa::run`]
 //!   executes the array on `nodes x threads_per_node` worker threads with a
 //!   per-node proxy thread handling inter-node traffic — the same process
-//!   layout as the paper's MPI+Pthreads PRT, with an in-process fabric
-//!   substituted for MPI (optionally delayed by a [`NetModel`]).
+//!   layout as the paper's MPI+Pthreads PRT, with a pluggable [`Backend`]
+//!   substituted for MPI: in-process queues by default, or real TCP sockets
+//!   between SPMD OS processes ([`TcpBackend`]), optionally delayed by a
+//!   [`NetModel`]. Payloads that cross a socket implement [`PacketCodec`]
+//!   and are decoded on arrival by a [`PacketRegistry`].
 //!
 //! ## Example
 //!
@@ -54,8 +57,10 @@ pub mod vsa;
 
 pub use channel::{ChannelSpec, ChannelState};
 pub use net::NetModel;
-pub use packet::Packet;
+pub use packet::{Packet, PacketCodec, PacketRegistry, WireError};
 pub use trace::{TaskSpan, Trace};
 pub use tuple::Tuple;
 pub use vdp::{VdpContext, VdpLogic, VdpSpec};
-pub use vsa::{MappingFn, Place, RunConfig, RunOutput, RunStats, SchedScheme, Vsa};
+pub use vsa::{
+    Backend, MappingFn, Place, RunConfig, RunOutput, RunStats, SchedScheme, TcpBackend, Vsa,
+};

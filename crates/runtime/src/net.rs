@@ -1,20 +1,24 @@
-//! The inter-node fabric and per-node proxy threads.
+//! The per-node proxy thread, generic over the inter-node [`Fabric`].
 //!
-//! This module substitutes for MPI (see DESIGN.md): each virtual node runs a
-//! dedicated proxy thread, exactly like the paper's PRT. Workers never touch
-//! the fabric — they enqueue outgoing packets on per-worker queues; the
-//! proxy posts the sends (`MPI_Isend` analogue), drains a single incoming
-//! queue (`MPI_Irecv`/`MPI_Test` analogue), and routes arrivals to the
+//! This module is the runtime's side of the paper's MPI substitution (see
+//! DESIGN.md): each node runs a dedicated proxy thread, exactly like the
+//! paper's PRT. Workers never touch the fabric — they enqueue outgoing
+//! packets on per-worker queues; the proxy posts the sends (`MPI_Isend`
+//! analogue), tests one outstanding wildcard receive
+//! (`MPI_Irecv`/`MPI_Test` analogue), and routes arrivals to the
 //! destination channel by wire id (the MPI-tag trick of Section IV-B).
-//! An optional alpha-beta [`NetModel`] delays deliveries to emulate a real
-//! interconnect.
+//! Shutdown follows the paper: once the node's last VDP is destroyed and
+//! all sends are flushed, the proxy enters a fabric barrier and then
+//! cancels the outstanding receive.
+//!
+//! An optional alpha-beta [`NetModel`] delays deliveries on the *receiving*
+//! side to emulate a slower interconnect — identically for every backend.
 
 use crate::packet::Packet;
 use crate::vsa::Shared;
-use crossbeam::channel::{Receiver, Sender};
-use parking_lot::Mutex;
+use pulsar_fabric::{Completion, Fabric, FabricError, Op};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -46,21 +50,22 @@ impl NetModel {
     }
 }
 
-/// One message on the wire.
+/// One outgoing message, queued by a worker for its node's proxy.
 pub(crate) struct WireMsg {
     pub wire_id: u32,
     pub dst_node: usize,
     pub packet: Packet,
-    pub deliver_at: Option<Instant>,
 }
 
 /// Per-node routing table: wire id -> (destination queue, owner thread).
 pub(crate) type RouteTable = HashMap<u32, (Arc<crate::channel::ChannelQueue>, usize)>;
 
+/// An arrival the [`NetModel`] is still holding back.
 struct Held {
     at: Instant,
     seq: u64,
-    msg: WireMsg,
+    wire_id: u32,
+    packet: Packet,
 }
 
 impl PartialEq for Held {
@@ -80,80 +85,156 @@ impl Ord for Held {
     }
 }
 
-/// Main loop of one node's proxy thread.
-pub(crate) fn proxy_loop(
+/// What one proxy measured; folded into [`Shared`] when it exits.
+#[derive(Default)]
+struct ProxyStats {
+    deferred: usize,
+    idle_spins: usize,
+}
+
+/// Main loop of one node's proxy thread, generic over the transport.
+///
+/// `encode` turns a runtime packet into the fabric's payload (an identity
+/// clone for in-process transports — preserving zero-copy aliasing — or a
+/// wire encoding for socket transports); `decode` is its inverse.
+pub(crate) fn proxy_loop<F, E, D>(
     node: usize,
-    rx: Receiver<WireMsg>,
-    senders: &[Sender<WireMsg>],
+    mut fabric: F,
     routes: RouteTable,
-    outgoing: &[Mutex<VecDeque<WireMsg>>],
+    outgoing: &[crate::sched::OutgoingQueue],
     shared: &Shared,
-) {
-    let _ = node;
+    encode: E,
+    decode: D,
+) where
+    F: Fabric,
+    E: Fn(&Packet) -> (F::Payload, usize),
+    D: Fn(F::Payload) -> Packet,
+{
+    let mut stats = ProxyStats::default();
     let mut held: BinaryHeap<Reverse<Held>> = BinaryHeap::new();
-    let mut seq = 0u64;
-    let route = |msg: WireMsg| {
+    let mut held_seq = 0u64;
+    // Per-wire FIFO floor: the model must not reorder messages on one wire.
+    let mut wire_floor: HashMap<u32, Instant> = HashMap::new();
+    let mut pending_sends: Vec<Op> = Vec::new();
+    let mut recv_op = fabric.post_recv();
+
+    let route = |wire_id: u32, packet: Packet| {
         let (queue, owner) = routes
-            .get(&msg.wire_id)
-            .unwrap_or_else(|| panic!("no route for wire id {}", msg.wire_id));
-        queue.push(msg.packet);
-        shared.delivered.fetch_add(1, Ordering::AcqRel);
+            .get(&wire_id)
+            .unwrap_or_else(|| panic!("node {node}: no route for wire id {wire_id}"));
+        queue.push(packet);
         shared.mark_progress();
         shared.notifiers[*owner].notify();
     };
 
-    loop {
+    'main: loop {
+        // Observe quiescence BEFORE sweeping outgoing: a worker's last push
+        // happens-before its final `live` decrement, so live == 0 followed
+        // by an empty sweep means no send can appear later.
+        let quiesced = shared.live[node].load(Ordering::Acquire) == 0;
         let mut progressed = false;
 
         // Serve outgoing queues: post the sends (MPI_Isend analogue).
+        let mut swept_any = false;
         for q in outgoing {
             loop {
-                let Some(mut msg) = q.lock().pop_front() else { break };
-                if let Some(net) = shared.net {
-                    msg.deliver_at = Some(Instant::now() + net.delay(msg.packet.bytes()));
-                }
+                let Some(msg) = q.lock().pop_front() else {
+                    break;
+                };
+                let (payload, nbytes) = encode(&msg.packet);
+                pending_sends.push(fabric.post_send(msg.dst_node, msg.wire_id, payload, nbytes));
                 shared.sent.fetch_add(1, Ordering::AcqRel);
-                shared.pending_remote.fetch_sub(1, Ordering::AcqRel);
-                let dst = msg.dst_node;
-                senders[dst].send(msg).expect("fabric closed early");
+                swept_any = true;
                 progressed = true;
             }
         }
 
-        // Drain the single incoming queue (MPI_Irecv/MPI_Test analogue).
-        while let Ok(msg) = rx.try_recv() {
-            progressed = true;
-            match msg.deliver_at {
-                Some(at) if at > Instant::now() => {
-                    held.push(Reverse(Held { at, seq, msg }));
-                    seq += 1;
+        // Complete posted sends (MPI_Test analogue).
+        pending_sends.retain(|&op| match fabric.test(op) {
+            Completion::SendDone => {
+                fabric.get_count(op);
+                progressed = true;
+                false
+            }
+            _ => true,
+        });
+
+        // Drain arrivals, re-posting the wildcard receive after each
+        // (MPI_Irecv/MPI_Test/MPI_Get_count analogue).
+        loop {
+            match fabric.test(recv_op) {
+                Completion::Pending => break,
+                Completion::SendDone => unreachable!("recv op completed as send"),
+                Completion::Recv {
+                    wire_id,
+                    payload,
+                    bytes,
+                } => {
+                    let bytes = fabric.get_count(recv_op).unwrap_or(bytes);
+                    recv_op = fabric.post_recv();
+                    progressed = true;
+                    let packet = decode(payload);
+                    match shared.net {
+                        Some(net) => {
+                            // Receiver-side hold; clamp to the wire's FIFO floor.
+                            let mut at = Instant::now() + net.delay(bytes);
+                            if let Some(&floor) = wire_floor.get(&wire_id) {
+                                at = at.max(floor);
+                            }
+                            wire_floor.insert(wire_id, at);
+                            stats.deferred += 1;
+                            held.push(Reverse(Held {
+                                at,
+                                seq: held_seq,
+                                wire_id,
+                                packet,
+                            }));
+                            held_seq += 1;
+                        }
+                        None => route(wire_id, packet),
+                    }
                 }
-                _ => route(msg),
             }
         }
 
-        // Deliver messages whose modeled flight time has elapsed.
+        // Deliver held messages whose modeled flight time has elapsed (all
+        // of them once the node is quiesced — nobody is left to care about
+        // the remaining delay).
         while let Some(Reverse(h)) = held.peek() {
-            if h.at > Instant::now() {
+            if !quiesced && h.at > Instant::now() {
                 break;
             }
             let Reverse(h) = held.pop().unwrap();
-            route(h.msg);
+            route(h.wire_id, h.packet);
             progressed = true;
         }
 
-        // Termination: no VDP will ever fire again and nothing is in flight.
-        if shared.is_aborted()
-            || (shared.live.load(Ordering::Acquire) == 0
-                && shared.pending_remote.load(Ordering::Acquire) == 0
-                && shared.sent.load(Ordering::Acquire) == shared.delivered.load(Ordering::Acquire)
-                && held.is_empty())
-        {
-            return;
+        if shared.is_aborted() {
+            fabric.cancel(recv_op);
+            break 'main;
+        }
+
+        // Paper shutdown sequence: last local VDP destroyed and nothing in
+        // flight -> Barrier (every peer's data frames precede its barrier
+        // frame, so all traffic for us has been absorbed) -> Cancel the
+        // outstanding receive.
+        if quiesced && !swept_any && pending_sends.is_empty() && held.is_empty() {
+            match fabric.barrier(&mut || shared.is_aborted()) {
+                Ok(()) => {}
+                Err(FabricError::Poisoned) => {}
+                Err(FabricError::Disconnected) => {
+                    shared.abort();
+                    fabric.cancel(recv_op);
+                    fold_stats(&fabric, &stats, shared);
+                    panic!("node {node}: peer disconnected during shutdown barrier");
+                }
+            }
+            fabric.cancel(recv_op);
+            break 'main;
         }
 
         if !progressed {
-            // Park briefly on the incoming queue; held messages bound the nap.
+            stats.idle_spins += 1;
             let nap = held
                 .peek()
                 .map(|Reverse(h)| {
@@ -161,17 +242,24 @@ pub(crate) fn proxy_loop(
                         .min(Duration::from_micros(100))
                 })
                 .unwrap_or(Duration::from_micros(100));
-            if let Ok(msg) = rx.recv_timeout(nap.max(Duration::from_micros(1))) {
-                match msg.deliver_at {
-                    Some(at) if at > Instant::now() => {
-                        held.push(Reverse(Held { at, seq, msg }));
-                        seq += 1;
-                    }
-                    _ => route(msg),
-                }
-            }
+            fabric.idle(nap.max(Duration::from_micros(1)));
         }
     }
+
+    fold_stats(&fabric, &stats, shared);
+}
+
+fn fold_stats<F: Fabric>(fabric: &F, stats: &ProxyStats, shared: &Shared) {
+    shared
+        .wire_bytes_sent
+        .fetch_add(fabric.bytes_sent(), Ordering::Relaxed);
+    shared
+        .wire_bytes_recv
+        .fetch_add(fabric.bytes_received(), Ordering::Relaxed);
+    shared.deferred.fetch_add(stats.deferred, Ordering::Relaxed);
+    shared
+        .idle_spins
+        .fetch_add(stats.idle_spins, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -194,12 +282,8 @@ mod tests {
         let mk = |us: u64, seq: u64| Held {
             at: now + Duration::from_micros(us),
             seq,
-            msg: WireMsg {
-                wire_id: 0,
-                dst_node: 0,
-                packet: Packet::new(0u8, 1),
-                deliver_at: None,
-            },
+            wire_id: 0,
+            packet: Packet::new(0u8, 1),
         };
         let mut heap = BinaryHeap::new();
         heap.push(Reverse(mk(50, 0)));

@@ -1,40 +1,145 @@
-//! Data packets flowing through channels.
+//! Data packets flowing through channels, and their wire encoding.
 //!
 //! A packet is an `Arc`-backed payload plus an explicit byte size. Cloning a
 //! packet clones the `Arc` only — this is the zero-copy aliasing the paper's
 //! intra-node channels rely on, and it is what makes the *bypass* pattern
 //! (forward a packet downstream before using it locally) free.
+//!
+//! In-process transports move packets by pointer, so any `Any` payload
+//! works. A socket transport needs bytes: payload types that implement
+//! [`PacketCodec`] (and are wrapped with [`Packet::wire`]) carry an encode
+//! hook, and a [`PacketRegistry`] on the receiving side turns tagged bodies
+//! back into packets. The wire form is a hand-rolled little-endian layout —
+//! `[tag: u32 LE][codec body]` — with no serde and no self-description
+//! beyond the tag.
 
 use pulsar_linalg::Matrix;
 use std::any::Any;
+use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Why encoding or decoding a packet failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload was built with [`Packet::new`] and carries no codec.
+    NotEncodable,
+    /// No decoder registered for this tag.
+    UnknownTag(u32),
+    /// The body ended before the layout said it would.
+    Truncated,
+    /// The body disagrees with its own framing (e.g. a dimension header
+    /// that does not match the byte count).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::NotEncodable => write!(f, "packet payload has no wire codec"),
+            WireError::UnknownTag(t) => write!(f, "no decoder registered for tag {t}"),
+            WireError::Truncated => write!(f, "wire body truncated"),
+            WireError::Malformed(why) => write!(f, "malformed wire body: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A payload type that can cross a byte-oriented fabric.
+///
+/// `TAG` identifies the type on the wire (unique per registry); the body
+/// layout is whatever `encode_body`/`decode_body` agree on, little-endian
+/// by convention. Tags 1–15 are reserved for the runtime's standard types;
+/// applications should use 16 and up.
+pub trait PacketCodec: Sized {
+    /// Wire type tag, unique within a registry.
+    const TAG: u32;
+
+    /// Logical payload size in bytes (what [`Packet::bytes`] reports and
+    /// the [`crate::NetModel`] charges for; framing overhead excluded).
+    fn wire_bytes(&self) -> usize;
+
+    /// Append the body encoding to `out`.
+    fn encode_body(&self, out: &mut Vec<u8>);
+
+    /// Parse a body produced by `encode_body`.
+    fn decode_body(body: &[u8]) -> Result<Self, WireError>;
+}
+
+/// The encode hook a wire-capable packet carries.
+#[derive(Copy, Clone)]
+struct WireInfo {
+    tag: u32,
+    encode: fn(&(dyn Any + Send + Sync), &mut Vec<u8>),
+}
+
+fn encode_erased<T: PacketCodec + Any + Send + Sync>(
+    payload: &(dyn Any + Send + Sync),
+    out: &mut Vec<u8>,
+) {
+    payload
+        .downcast_ref::<T>()
+        .expect("wire info type mismatch")
+        .encode_body(out);
+}
 
 /// A type-erased, cheaply clonable data packet.
 #[derive(Clone)]
 pub struct Packet {
     payload: Arc<dyn Any + Send + Sync>,
     bytes: usize,
+    wire: Option<WireInfo>,
 }
 
 impl Packet {
     /// Wrap an arbitrary payload, declaring its wire size in bytes (used by
     /// the fabric's latency/bandwidth model and by channel size checks).
+    /// The packet cannot cross a socket fabric; use [`Packet::wire`] for
+    /// payloads that must.
     pub fn new<T: Any + Send + Sync>(value: T, bytes: usize) -> Self {
         Packet {
             payload: Arc::new(value),
             bytes,
+            wire: None,
+        }
+    }
+
+    /// Wrap a wire-encodable payload. The byte size comes from the codec,
+    /// and the packet can cross both in-process and socket fabrics.
+    pub fn wire<T: PacketCodec + Any + Send + Sync>(value: T) -> Self {
+        let bytes = value.wire_bytes();
+        Packet {
+            payload: Arc::new(value),
+            bytes,
+            wire: Some(WireInfo {
+                tag: T::TAG,
+                encode: encode_erased::<T>,
+            }),
         }
     }
 
     /// Wrap a matrix tile; the wire size is its `8 * m * n` payload.
     pub fn tile(t: Matrix) -> Self {
-        let bytes = 8 * t.nrows() * t.ncols();
-        Self::new(t, bytes)
+        Self::wire(t)
     }
 
     /// Declared wire size in bytes.
     pub fn bytes(&self) -> usize {
         self.bytes
+    }
+
+    /// Whether this packet can cross a byte-oriented fabric.
+    pub fn is_wire_encodable(&self) -> bool {
+        self.wire.is_some()
+    }
+
+    /// Encode as `[tag: u32 LE][codec body]` for a socket fabric.
+    pub fn encode_wire(&self) -> Result<Vec<u8>, WireError> {
+        let info = self.wire.ok_or(WireError::NotEncodable)?;
+        let mut out = Vec::with_capacity(4 + self.bytes);
+        out.extend_from_slice(&info.tag.to_le_bytes());
+        (info.encode)(&*self.payload, &mut out);
+        Ok(out)
     }
 
     /// Borrow the payload as `T`, if it has that type.
@@ -70,6 +175,155 @@ impl Packet {
 impl std::fmt::Debug for Packet {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "Packet({} bytes)", self.bytes)
+    }
+}
+
+/// Tag-to-decoder table for a socket fabric's receiving side.
+///
+/// Every rank of a distributed run must register the same types (the wire
+/// carries only the tag). [`PacketRegistry::standard`] covers the runtime's
+/// built-in codecs; applications add their own with
+/// [`PacketRegistry::register`].
+#[derive(Default)]
+pub struct PacketRegistry {
+    decoders: HashMap<u32, DecodeFn>,
+}
+
+type DecodeFn = fn(&[u8]) -> Result<Packet, WireError>;
+
+fn decode_erased<T: PacketCodec + Any + Send + Sync>(body: &[u8]) -> Result<Packet, WireError> {
+    Ok(Packet::wire(T::decode_body(body)?))
+}
+
+impl PacketRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A registry with the runtime's standard codecs: [`Matrix`], `i64`,
+    /// `f64`, and `Vec<u8>`.
+    pub fn standard() -> Self {
+        let mut r = Self::new();
+        r.register::<Matrix>();
+        r.register::<i64>();
+        r.register::<f64>();
+        r.register::<Vec<u8>>();
+        r
+    }
+
+    /// Register `T`'s decoder; panics if its tag is already taken by
+    /// another type.
+    pub fn register<T: PacketCodec + Any + Send + Sync>(&mut self) {
+        let prev = self.decoders.insert(T::TAG, decode_erased::<T>);
+        assert!(prev.is_none(), "duplicate packet codec tag {}", T::TAG);
+    }
+
+    /// Decode a full wire body (`[tag: u32 LE][codec body]`) back into a
+    /// packet.
+    pub fn decode(&self, buf: &[u8]) -> Result<Packet, WireError> {
+        if buf.len() < 4 {
+            return Err(WireError::Truncated);
+        }
+        let tag = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+        let decode = self.decoders.get(&tag).ok_or(WireError::UnknownTag(tag))?;
+        decode(&buf[4..])
+    }
+}
+
+// ---- standard codecs (tags 1-15 reserved for the runtime) ----
+
+impl PacketCodec for Matrix {
+    const TAG: u32 = 1;
+
+    fn wire_bytes(&self) -> usize {
+        8 * self.nrows() * self.ncols()
+    }
+
+    fn encode_body(&self, out: &mut Vec<u8>) {
+        encode_matrix_body(self, out);
+    }
+
+    fn decode_body(body: &[u8]) -> Result<Self, WireError> {
+        let (m, rest) = decode_matrix_body(body)?;
+        if !rest.is_empty() {
+            return Err(WireError::Malformed("trailing bytes after matrix"));
+        }
+        Ok(m)
+    }
+}
+
+/// Append a matrix as `[nrows u64][ncols u64][col-major f64 data]`, all
+/// little-endian. Public so application codecs (e.g. reflector payloads)
+/// can nest matrices in their own bodies.
+pub fn encode_matrix_body(m: &Matrix, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(m.nrows() as u64).to_le_bytes());
+    out.extend_from_slice(&(m.ncols() as u64).to_le_bytes());
+    for &x in m.data() {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+/// Parse a matrix written by [`encode_matrix_body`] off the front of
+/// `body`, returning it with the unconsumed tail.
+pub fn decode_matrix_body(body: &[u8]) -> Result<(Matrix, &[u8]), WireError> {
+    if body.len() < 16 {
+        return Err(WireError::Truncated);
+    }
+    let nrows = u64::from_le_bytes(body[0..8].try_into().unwrap()) as usize;
+    let ncols = u64::from_le_bytes(body[8..16].try_into().unwrap()) as usize;
+    let need = nrows
+        .checked_mul(ncols)
+        .and_then(|n| n.checked_mul(8))
+        .ok_or(WireError::Malformed("matrix dimensions overflow"))?;
+    let rest = &body[16..];
+    if rest.len() < need {
+        return Err(WireError::Truncated);
+    }
+    let data = rest[..need]
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    Ok((Matrix::from_col_major(nrows, ncols, data), &rest[need..]))
+}
+
+macro_rules! le_scalar_codec {
+    ($t:ty, $tag:expr, $n:expr) => {
+        impl PacketCodec for $t {
+            const TAG: u32 = $tag;
+
+            fn wire_bytes(&self) -> usize {
+                $n
+            }
+
+            fn encode_body(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+
+            fn decode_body(body: &[u8]) -> Result<Self, WireError> {
+                let arr: [u8; $n] = body.try_into().map_err(|_| WireError::Truncated)?;
+                Ok(<$t>::from_le_bytes(arr))
+            }
+        }
+    };
+}
+
+le_scalar_codec!(i64, 2, 8);
+le_scalar_codec!(f64, 3, 8);
+
+impl PacketCodec for Vec<u8> {
+    const TAG: u32 = 4;
+
+    fn wire_bytes(&self) -> usize {
+        self.len()
+    }
+
+    fn encode_body(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self);
+    }
+
+    fn decode_body(body: &[u8]) -> Result<Self, WireError> {
+        Ok(body.to_vec())
     }
 }
 
@@ -116,5 +370,45 @@ mod tests {
     fn wrong_type_take_panics() {
         let p = Packet::new(1u32, 4);
         let _: String = p.take();
+    }
+
+    #[test]
+    fn wire_roundtrip_through_registry() {
+        let reg = PacketRegistry::standard();
+        let t = Matrix::from_fn(3, 2, |i, j| (i * 10 + j) as f64);
+        let buf = Packet::tile(t.clone()).encode_wire().unwrap();
+        let back = reg.decode(&buf).unwrap();
+        assert_eq!(back.as_tile().unwrap(), &t);
+        assert_eq!(back.bytes(), 8 * 6);
+
+        let buf = Packet::wire(-17i64).encode_wire().unwrap();
+        assert_eq!(reg.decode(&buf).unwrap().take::<i64>(), -17);
+        let buf = Packet::wire(2.5f64).encode_wire().unwrap();
+        assert_eq!(reg.decode(&buf).unwrap().take::<f64>(), 2.5);
+        let buf = Packet::wire(vec![9u8, 8, 7]).encode_wire().unwrap();
+        assert_eq!(reg.decode(&buf).unwrap().take::<Vec<u8>>(), vec![9, 8, 7]);
+    }
+
+    #[test]
+    fn plain_packet_is_not_encodable() {
+        let p = Packet::new(String::from("opaque"), 6);
+        assert!(!p.is_wire_encodable());
+        assert_eq!(p.encode_wire(), Err(WireError::NotEncodable));
+    }
+
+    #[test]
+    fn registry_rejects_unknown_and_truncated() {
+        let reg = PacketRegistry::standard();
+        assert_eq!(reg.decode(&[1, 2]).err(), Some(WireError::Truncated));
+        assert_eq!(
+            reg.decode(&999u32.to_le_bytes()).err(),
+            Some(WireError::UnknownTag(999))
+        );
+        // A matrix body whose data is shorter than its dimension header.
+        let mut buf = 1u32.to_le_bytes().to_vec();
+        buf.extend_from_slice(&4u64.to_le_bytes());
+        buf.extend_from_slice(&4u64.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 24]);
+        assert_eq!(reg.decode(&buf).err(), Some(WireError::Truncated));
     }
 }

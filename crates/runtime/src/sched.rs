@@ -64,16 +64,12 @@ impl RuntimeServices for WorkerServices<'_> {
     }
 
     fn deliver_remote(&self, wire_id: u32, dst_node: usize, p: Packet) {
-        self.shared
-            .pending_remote
-            .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
         self.node_shared.outgoing[self.local_thread]
             .lock()
             .push_back(crate::net::WireMsg {
                 wire_id,
                 dst_node,
                 packet: p,
-                deliver_at: None,
             });
     }
 
@@ -106,12 +102,7 @@ impl RuntimeServices for WorkerServices<'_> {
 }
 
 /// Fire one VDP once.
-fn fire_vdp(
-    vdp: &mut VdpState,
-    node: usize,
-    local_thread: usize,
-    services: &WorkerServices<'_>,
-) {
+fn fire_vdp(vdp: &mut VdpState, node: usize, local_thread: usize, services: &WorkerServices<'_>) {
     let mut logic = vdp.logic.take().expect("firing a destroyed VDP");
     let trace_t0 = services.shared.trace.as_ref().map(|t| t.now_us());
     let label = {
@@ -186,15 +177,18 @@ pub(crate) fn worker_loop(
             while vdp.is_ready() {
                 fire_vdp(vdp, node, local_thread, &services);
                 progressed = true;
-                shared.fired.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                shared.fired_per_thread[global]
+                shared
+                    .fired
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                shared.fired_per_thread[global].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 shared.mark_progress();
                 if vdp.fired == vdp.counter {
-                    // Destroy the VDP.
+                    // Destroy the VDP. The AcqRel decrement orders this
+                    // VDP's final output pushes before the proxy's
+                    // observation of `live[node] == 0`.
                     vdp.logic = None;
                     alive -= 1;
-                    shared.live.fetch_sub(1, std::sync::atomic::Ordering::AcqRel);
+                    shared.live[node].fetch_sub(1, std::sync::atomic::Ordering::AcqRel);
                     break;
                 }
                 if scheme == SchedScheme::Lazy {
@@ -212,7 +206,7 @@ pub(crate) fn worker_loop(
                     let stuck: Vec<String> = vdps
                         .iter()
                         .filter(|v| v.logic.is_some())
-                        .map(|v| describe_stuck(v))
+                        .map(describe_stuck)
                         .collect();
                     shared.abort();
                     panic!(
@@ -255,4 +249,3 @@ fn describe_stuck(v: &VdpState) -> String {
 
 /// An output queue from workers to their node proxy.
 pub(crate) type OutgoingQueue = Mutex<VecDeque<crate::net::WireMsg>>;
-

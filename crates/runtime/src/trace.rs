@@ -76,7 +76,9 @@ impl Trace {
         let nthreads = self.spans.iter().map(|s| s.thread).max().unwrap() + 1;
         let mut rows = vec![vec!['.'; width]; nthreads];
         for s in &self.spans {
-            let Some(c) = classify(&s.label) else { continue };
+            let Some(c) = classify(&s.label) else {
+                continue;
+            };
             let b0 = (((s.start_us - t0) / span) * width as f64).floor() as usize;
             let b1 = (((s.end_us - t0) / span) * width as f64).ceil() as usize;
             for cell in rows[s.thread][b0.min(width - 1)..b1.min(width)].iter_mut() {

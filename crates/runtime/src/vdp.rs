@@ -82,10 +82,7 @@ pub(crate) struct VdpState {
 impl VdpState {
     /// Ready when every *connected, active* input channel holds a packet.
     pub fn is_ready(&self) -> bool {
-        self.inputs
-            .iter()
-            .flatten()
-            .all(|q| q.satisfied())
+        self.inputs.iter().flatten().all(|q| q.satisfied())
     }
 }
 
@@ -141,9 +138,8 @@ impl<'a> VdpContext<'a> {
     /// Pop a packet from an input slot, panicking when none is queued
     /// (fire conditions guarantee one on every active channel).
     pub fn pop(&mut self, slot: usize) -> Packet {
-        self.try_pop(slot).unwrap_or_else(|| {
-            panic!("VDP {} popped empty input slot {}", self.tuple, slot)
-        })
+        self.try_pop(slot)
+            .unwrap_or_else(|| panic!("VDP {} popped empty input slot {}", self.tuple, slot))
     }
 
     /// Pop a packet from an input slot, if one is queued.
@@ -167,7 +163,10 @@ impl<'a> VdpContext<'a> {
                 self.services.deliver_remote(*wire_id, *dst_node, p)
             }
             Some(OutputTarget::Exit { key }) => self.services.deliver_exit(key, p),
-            None => panic!("VDP {} pushed to unconnected output slot {}", self.tuple, slot),
+            None => panic!(
+                "VDP {} pushed to unconnected output slot {}",
+                self.tuple, slot
+            ),
         }
     }
 

@@ -1,14 +1,17 @@
 //! The Virtual Systolic Array: construction and execution.
 
 use crate::channel::{ChannelQueue, ChannelSpec};
-use crate::net::{NetModel, RouteTable, WireMsg};
-use crate::packet::Packet;
+use crate::net::{NetModel, RouteTable};
+use crate::packet::{Packet, PacketRegistry};
 use crate::sched::{worker_loop, OutgoingQueue, ThreadNotifier};
 use crate::trace::{Trace, TraceCollector};
 use crate::tuple::Tuple;
 use crate::vdp::{OutputTarget, VdpSpec, VdpState};
 use parking_lot::Mutex;
+use pulsar_fabric::{InProcFabric, TcpFabric};
 use std::collections::HashMap;
+use std::net::TcpListener;
+use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -36,6 +39,55 @@ pub enum SchedScheme {
     Aggressive,
 }
 
+/// How a run's nodes talk to each other.
+#[derive(Clone)]
+pub enum Backend {
+    /// All nodes live in this process as thread groups, connected by
+    /// in-memory queues (packets cross "the network" by pointer).
+    InProcess,
+    /// This process is ONE node of a multi-process run over TCP sockets.
+    Tcp(TcpBackend),
+}
+
+/// Parameters for joining a multi-process TCP run ([`Backend::Tcp`]).
+///
+/// Every rank runs the same program, builds the identical [`Vsa`], and
+/// passes the same peer table — SPMD, like the paper's MPI processes. Only
+/// the VDPs mapped to `rank` are materialized locally.
+#[derive(Clone)]
+pub struct TcpBackend {
+    /// This process's node index.
+    pub rank: usize,
+    /// Listener already bound to `peers[rank]` (bind first, then exchange
+    /// addresses, so no connection races the rendezvous).
+    pub listener: Arc<Mutex<Option<TcpListener>>>,
+    /// Address table, one entry per rank.
+    pub peers: Vec<String>,
+    /// Decoders for every payload type that crosses node boundaries.
+    pub registry: Arc<PacketRegistry>,
+    /// How long to keep retrying the mesh dial-up.
+    pub connect_timeout: Duration,
+}
+
+impl TcpBackend {
+    /// Backend for `rank` with a bound `listener` and the run's address
+    /// table, decoding arrivals with `registry`.
+    pub fn new(
+        rank: usize,
+        listener: TcpListener,
+        peers: Vec<String>,
+        registry: PacketRegistry,
+    ) -> Self {
+        TcpBackend {
+            rank,
+            listener: Arc::new(Mutex::new(Some(listener))),
+            peers,
+            registry: Arc::new(registry),
+            connect_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
 /// Execution parameters for [`Vsa::run`].
 #[derive(Clone)]
 pub struct RunConfig {
@@ -53,6 +105,8 @@ pub struct RunConfig {
     pub net: Option<NetModel>,
     /// Abort (with diagnostics) when no VDP fires for this long.
     pub deadlock_timeout: Option<Duration>,
+    /// Inter-node transport.
+    pub backend: Backend,
 }
 
 impl RunConfig {
@@ -76,6 +130,7 @@ impl RunConfig {
             trace: false,
             net: None,
             deadlock_timeout: Some(Duration::from_secs(30)),
+            backend: Backend::InProcess,
         }
     }
 
@@ -89,6 +144,7 @@ impl RunConfig {
             trace: false,
             net: None,
             deadlock_timeout: Some(Duration::from_secs(30)),
+            backend: Backend::InProcess,
         }
     }
 
@@ -109,14 +165,23 @@ impl RunConfig {
         self.net = Some(net);
         self
     }
+
+    /// Select the inter-node transport.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
 }
 
 /// Counters and statistics from a completed run.
+///
+/// Under [`Backend::Tcp`] every count is local to this rank (each process
+/// sees only its own VDPs and proxy).
 #[derive(Clone, Debug, Default)]
 pub struct RunStats {
     /// Total VDP firings.
     pub fired: usize,
-    /// Inter-node messages transmitted.
+    /// Inter-node messages posted to the fabric.
     pub remote_msgs: usize,
     /// Wall-clock duration of the run.
     pub wall: Duration,
@@ -125,13 +190,22 @@ pub struct RunStats {
     /// Deepest any channel queue ever got — the memory high-water mark of
     /// the run (Section II: unbounded queues can exhaust node memory).
     pub peak_channel_depth: usize,
+    /// Payload bytes handed to the fabric (actual frame bodies for TCP,
+    /// declared packet bytes in-process).
+    pub wire_bytes_sent: u64,
+    /// Payload bytes received from the fabric.
+    pub wire_bytes_recv: u64,
+    /// Arrivals the [`NetModel`] held back before delivery.
+    pub deferred_msgs: usize,
+    /// Proxy loop iterations that found no work and napped.
+    pub proxy_idle_spins: usize,
 }
 
 impl RunStats {
     /// Load imbalance: max over mean of per-thread firing counts
     /// (1.0 = perfectly balanced; only threads that own VDPs count).
     pub fn imbalance(&self) -> f64 {
-        let busy: Vec<usize> = self.fired_per_thread.iter().copied().collect();
+        let busy: Vec<usize> = self.fired_per_thread.to_vec();
         let max = busy.iter().copied().max().unwrap_or(0) as f64;
         let sum: usize = busy.iter().sum();
         if sum == 0 {
@@ -163,12 +237,16 @@ impl RunOutput {
 pub(crate) struct Shared {
     pub notifiers: Vec<Arc<ThreadNotifier>>,
     pub exits: Mutex<HashMap<(Tuple, usize), Vec<Packet>>>,
-    pub live: AtomicUsize,
-    pub pending_remote: AtomicUsize,
+    /// Per-node count of not-yet-destroyed VDPs; a node's proxy may enter
+    /// the shutdown barrier once its entry reaches zero.
+    pub live: Vec<AtomicUsize>,
     pub sent: AtomicUsize,
-    pub delivered: AtomicUsize,
     pub fired: AtomicUsize,
     pub fired_per_thread: Vec<AtomicUsize>,
+    pub wire_bytes_sent: AtomicU64,
+    pub wire_bytes_recv: AtomicU64,
+    pub deferred: AtomicUsize,
+    pub idle_spins: AtomicUsize,
     pub trace: Option<TraceCollector>,
     pub net: Option<NetModel>,
     pub deadlock_timeout: Option<Duration>,
@@ -332,7 +410,14 @@ impl Vsa {
         }
     }
 
-    /// Launch the array and block until every VDP has been destroyed.
+    /// Launch the array and block until every local VDP has been destroyed.
+    ///
+    /// Under [`Backend::InProcess`] all `nodes` run here as thread groups.
+    /// Under [`Backend::Tcp`] only the VDPs mapped to the backend's rank
+    /// are materialized; wire ids for *every* cross-node channel are still
+    /// assigned (deterministically, in channel insertion order), so all
+    /// ranks of the SPMD run agree on them — the identically-built array IS
+    /// the address space.
     pub fn run(self, config: &RunConfig) -> RunOutput {
         let Vsa {
             vdps,
@@ -343,6 +428,18 @@ impl Vsa {
         let nodes = config.nodes;
         let tpn = config.threads_per_node;
         assert!(nodes > 0 && tpn > 0);
+        let local_nodes: Range<usize> = match &config.backend {
+            Backend::InProcess => 0..nodes,
+            Backend::Tcp(t) => {
+                assert_eq!(
+                    t.peers.len(),
+                    nodes,
+                    "TCP peer table size must match config.nodes"
+                );
+                assert!(t.rank < nodes, "TCP rank {} out of range", t.rank);
+                t.rank..t.rank + 1
+            }
+        };
 
         // Resolve VDP placements.
         let places: Vec<Place> = vdps
@@ -358,17 +455,24 @@ impl Vsa {
                 p
             })
             .collect();
+        let mut live_per_node = vec![0usize; nodes];
+        for p in &places {
+            live_per_node[p.node] += 1;
+        }
 
-        // Materialize VDP states.
-        let mut states: Vec<VdpState> = vdps
+        // Materialize VDP states — only the ones that live on this process.
+        let mut states: Vec<Option<VdpState>> = vdps
             .into_iter()
-            .map(|spec| VdpState {
-                tuple: spec.tuple,
-                counter: spec.counter,
-                fired: 0,
-                inputs: (0..spec.n_in).map(|_| None).collect(),
-                outputs: (0..spec.n_out).map(|_| None).collect(),
-                logic: Some(spec.logic),
+            .zip(&places)
+            .map(|(spec, place)| {
+                local_nodes.contains(&place.node).then(|| VdpState {
+                    tuple: spec.tuple,
+                    counter: spec.counter,
+                    fired: 0,
+                    inputs: (0..spec.n_in).map(|_| None).collect(),
+                    outputs: (0..spec.n_out).map(|_| None).collect(),
+                    logic: Some(spec.logic),
+                })
             })
             .collect();
 
@@ -376,12 +480,14 @@ impl Vsa {
         let shared = Shared {
             notifiers: (0..nodes * tpn).map(|_| ThreadNotifier::new()).collect(),
             exits: Mutex::new(HashMap::new()),
-            live: AtomicUsize::new(states.len()),
-            pending_remote: AtomicUsize::new(0),
+            live: live_per_node.into_iter().map(AtomicUsize::new).collect(),
             sent: AtomicUsize::new(0),
-            delivered: AtomicUsize::new(0),
             fired: AtomicUsize::new(0),
             fired_per_thread: (0..nodes * tpn).map(|_| AtomicUsize::new(0)).collect(),
+            wire_bytes_sent: AtomicU64::new(0),
+            wire_bytes_recv: AtomicU64::new(0),
+            deferred: AtomicUsize::new(0),
+            idle_spins: AtomicUsize::new(0),
             trace: config.trace.then(|| TraceCollector::new(t0)),
             net: config.net,
             deadlock_timeout: config.deadlock_timeout,
@@ -392,6 +498,8 @@ impl Vsa {
         };
 
         // Wire channels (keep a registry to report queue high-water marks).
+        // Wire ids advance for every cross-node channel whether or not an
+        // endpoint is local, keeping the SPMD ranks' tables aligned.
         let mut all_queues: Vec<Arc<ChannelQueue>> = Vec::new();
         let mut routes: Vec<RouteTable> = (0..nodes).map(|_| RouteTable::new()).collect();
         let mut next_wire: u32 = 0;
@@ -400,40 +508,56 @@ impl Vsa {
             let src_idx = by_tuple.get(&ch.src).copied();
             match (src_idx, dst_idx) {
                 (Some(s), Some(d)) => {
-                    let queue = ChannelQueue::new(ch.max_bytes, ch.enabled);
-                    all_queues.push(queue.clone());
-                    let dst_place = places[d];
-                    attach_input(&mut states[d], ch.dst_slot, queue.clone(), &ch);
-                    let owner = shared.global_thread(dst_place.node, dst_place.thread);
-                    let target = if places[s].node == dst_place.node {
-                        OutputTarget::Local { queue, owner }
-                    } else {
-                        let wire_id = next_wire;
+                    let (sp, dp) = (places[s], places[d]);
+                    let wire_id = (sp.node != dp.node).then(|| {
+                        let w = next_wire;
                         next_wire += 1;
-                        routes[dst_place.node].insert(wire_id, (queue, owner));
-                        OutputTarget::Remote {
-                            wire_id,
-                            dst_node: dst_place.node,
+                        w
+                    });
+                    let owner = shared.global_thread(dp.node, dp.thread);
+                    let queue = local_nodes.contains(&dp.node).then(|| {
+                        let queue = ChannelQueue::new(ch.max_bytes, ch.enabled);
+                        all_queues.push(queue.clone());
+                        attach_input(states[d].as_mut().unwrap(), ch.dst_slot, queue.clone(), &ch);
+                        if let Some(w) = wire_id {
+                            routes[dp.node].insert(w, (queue.clone(), owner));
                         }
-                    };
-                    attach_output(&mut states[s], ch.src_slot, target, &ch);
+                        queue
+                    });
+                    if local_nodes.contains(&sp.node) {
+                        let target = match wire_id {
+                            None => OutputTarget::Local {
+                                queue: queue.expect("same-node channel has a queue"),
+                                owner,
+                            },
+                            Some(w) => OutputTarget::Remote {
+                                wire_id: w,
+                                dst_node: dp.node,
+                            },
+                        };
+                        attach_output(states[s].as_mut().unwrap(), ch.src_slot, target, &ch);
+                    }
                 }
                 (Some(s), None) => {
                     // Exit channel.
-                    attach_output(
-                        &mut states[s],
-                        ch.src_slot,
-                        OutputTarget::Exit {
-                            key: (ch.dst.clone(), ch.dst_slot),
-                        },
-                        &ch,
-                    );
+                    if local_nodes.contains(&places[s].node) {
+                        attach_output(
+                            states[s].as_mut().unwrap(),
+                            ch.src_slot,
+                            OutputTarget::Exit {
+                                key: (ch.dst.clone(), ch.dst_slot),
+                            },
+                            &ch,
+                        );
+                    }
                 }
                 (None, Some(d)) => {
                     // Entry channel: only seeds feed it.
-                    let queue = ChannelQueue::new(ch.max_bytes, ch.enabled);
-                    all_queues.push(queue.clone());
-                    attach_input(&mut states[d], ch.dst_slot, queue, &ch);
+                    if local_nodes.contains(&places[d].node) {
+                        let queue = ChannelQueue::new(ch.max_bytes, ch.enabled);
+                        all_queues.push(queue.clone());
+                        attach_input(states[d].as_mut().unwrap(), ch.dst_slot, queue, &ch);
+                    }
                 }
                 (None, None) => {
                     panic!(
@@ -444,39 +568,37 @@ impl Vsa {
             }
         }
 
-        // Seeds.
+        // Seeds (each rank keeps only those aimed at its own VDPs).
         for (dst, slot, p) in seeds {
             let idx = *by_tuple
                 .get(&dst)
                 .unwrap_or_else(|| panic!("seed destination VDP {dst} does not exist"));
-            if states[idx].inputs[slot].is_none() {
+            let Some(state) = states[idx].as_mut() else {
+                continue;
+            };
+            if state.inputs[slot].is_none() {
                 let queue = ChannelQueue::new(usize::MAX, true);
                 all_queues.push(queue.clone());
-                states[idx].inputs[slot] = Some(queue);
+                state.inputs[slot] = Some(queue);
             }
-            states[idx].inputs[slot].as_ref().unwrap().push(p);
+            state.inputs[slot].as_ref().unwrap().push(p);
         }
         shared.mark_progress();
 
-        // Partition VDPs per worker thread.
+        // Partition local VDPs per worker thread.
         let mut per_thread: Vec<Vec<VdpState>> = (0..nodes * tpn).map(|_| Vec::new()).collect();
         for (state, place) in states.into_iter().zip(&places) {
-            per_thread[shared.global_thread(place.node, place.thread)].push(state);
+            if let Some(state) = state {
+                per_thread[shared.global_thread(place.node, place.thread)].push(state);
+            }
         }
 
-        // Node-shared outgoing queues and the fabric.
+        // Node-shared outgoing queues (worker -> proxy).
         let node_shared: Vec<NodeShared> = (0..nodes)
             .map(|_| NodeShared {
                 outgoing: (0..tpn).map(|_| Mutex::new(Default::default())).collect(),
             })
             .collect();
-        let mut senders: Vec<crossbeam::channel::Sender<WireMsg>> = Vec::new();
-        let mut receivers: Vec<crossbeam::channel::Receiver<WireMsg>> = Vec::new();
-        for _ in 0..nodes {
-            let (tx, rx) = crossbeam::channel::unbounded();
-            senders.push(tx);
-            receivers.push(rx);
-        }
 
         let scheme = config.scheme;
         // `thread::scope` replaces panic payloads with a generic message, so
@@ -492,10 +614,9 @@ impl Vsa {
         };
         std::thread::scope(|scope| {
             // Workers.
-            let mut iter = per_thread.into_iter();
-            for node in 0..nodes {
+            for node in local_nodes.clone() {
                 for local in 0..tpn {
-                    let vdps = iter.next().unwrap();
+                    let vdps = std::mem::take(&mut per_thread[shared.global_thread(node, local)]);
                     let shared = &shared;
                     let ns = &node_shared[node];
                     let capture = &capture;
@@ -509,24 +630,87 @@ impl Vsa {
                     });
                 }
             }
-            // Proxies (one per node, matching the paper's PRT layout).
+            // Proxies (one per local node, matching the paper's PRT layout).
             if nodes > 1 {
-                for (node, (rx, rt)) in receivers.into_iter().zip(routes).enumerate() {
-                    let shared = &shared;
-                    let ns = &node_shared[node];
-                    let senders = senders.clone();
-                    let capture = &capture;
-                    scope.spawn(move || {
-                        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            crate::net::proxy_loop(node, rx, &senders, rt, &ns.outgoing, shared)
-                        }));
-                        if let Err(e) = r {
-                            capture(e);
+                match &config.backend {
+                    Backend::InProcess => {
+                        let mesh = InProcFabric::<Packet>::mesh(nodes);
+                        for (node, fabric) in mesh.into_iter().enumerate() {
+                            let rt = std::mem::take(&mut routes[node]);
+                            let shared = &shared;
+                            let ns = &node_shared[node];
+                            let capture = &capture;
+                            scope.spawn(move || {
+                                let r =
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                        crate::net::proxy_loop(
+                                            node,
+                                            fabric,
+                                            rt,
+                                            &ns.outgoing,
+                                            shared,
+                                            // Zero-copy across the "network":
+                                            // clone the Arc, not the payload.
+                                            |p: &Packet| (p.clone(), p.bytes()),
+                                            |p: Packet| p,
+                                        )
+                                    }));
+                                if let Err(e) = r {
+                                    capture(e);
+                                }
+                            });
                         }
-                    });
+                    }
+                    Backend::Tcp(t) => {
+                        let rank = t.rank;
+                        let rt = std::mem::take(&mut routes[rank]);
+                        let listener = t
+                            .listener
+                            .lock()
+                            .take()
+                            .expect("TcpBackend listener already consumed");
+                        let peers = t.peers.clone();
+                        let registry = t.registry.clone();
+                        let timeout = t.connect_timeout;
+                        let shared = &shared;
+                        let ns = &node_shared[rank];
+                        let capture = &capture;
+                        scope.spawn(move || {
+                            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                let fabric = TcpFabric::connect(rank, listener, &peers, timeout)
+                                    .unwrap_or_else(|e| {
+                                        panic!("rank {rank}: mesh connect failed: {e}")
+                                    });
+                                crate::net::proxy_loop(
+                                    rank,
+                                    fabric,
+                                    rt,
+                                    &ns.outgoing,
+                                    shared,
+                                    |p: &Packet| {
+                                        let buf = p.encode_wire().unwrap_or_else(|e| {
+                                            panic!(
+                                                "packet crossing nodes must be wire-encodable \
+                                                 (use Packet::wire): {e}"
+                                            )
+                                        });
+                                        let n = buf.len();
+                                        (buf, n)
+                                    },
+                                    move |buf: Vec<u8>| {
+                                        registry.decode(&buf).unwrap_or_else(|e| {
+                                            panic!("undecodable packet from peer: {e}")
+                                        })
+                                    },
+                                )
+                            }));
+                            if let Err(e) = r {
+                                capture(e);
+                            }
+                        });
+                    }
                 }
             }
-            drop(senders);
         });
         if let Some(p) = first_panic.into_inner() {
             std::panic::resume_unwind(p);
@@ -542,6 +726,10 @@ impl Vsa {
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
             peak_channel_depth: all_queues.iter().map(|q| q.high_water()).max().unwrap_or(0),
+            wire_bytes_sent: shared.wire_bytes_sent.load(Ordering::Relaxed),
+            wire_bytes_recv: shared.wire_bytes_recv.load(Ordering::Relaxed),
+            deferred_msgs: shared.deferred.load(Ordering::Relaxed),
+            proxy_idle_spins: shared.idle_spins.load(Ordering::Relaxed),
         };
         RunOutput {
             exits: shared.exits.into_inner(),

@@ -19,9 +19,7 @@ struct LayeredDag {
 
 fn dag_strategy() -> impl Strategy<Value = LayeredDag> {
     (2usize..6)
-        .prop_flat_map(|layers| {
-            prop::collection::vec(1usize..6, layers)
-        })
+        .prop_flat_map(|layers| prop::collection::vec(1usize..6, layers))
         .prop_flat_map(|widths| {
             let mut parent_strats = Vec::new();
             for l in 1..widths.len() {
@@ -34,7 +32,12 @@ fn dag_strategy() -> impl Strategy<Value = LayeredDag> {
 }
 
 /// Build and run the DAG; returns (per-sink outputs, stats).
-fn run_dag(dag: &LayeredDag, threads: usize, nodes: usize, scheme: SchedScheme) -> (Vec<Vec<i64>>, RunStats) {
+fn run_dag(
+    dag: &LayeredDag,
+    threads: usize,
+    nodes: usize,
+    scheme: SchedScheme,
+) -> (Vec<Vec<i64>>, RunStats) {
     let mut vsa = Vsa::new();
     let layers = dag.widths.len();
     // Fan-out counts: how many children each VDP has.
@@ -46,8 +49,13 @@ fn run_dag(dag: &LayeredDag, threads: usize, nodes: usize, scheme: SchedScheme) 
     }
     // The last layer exits (fanout 0 -> 1 exit each).
     for (l, w) in dag.widths.iter().enumerate() {
+        #[allow(clippy::needless_range_loop)]
         for i in 0..*w {
-            let outs = if l == layers - 1 { 1 } else { fanout[l][i].max(1) };
+            let outs = if l == layers - 1 {
+                1
+            } else {
+                fanout[l][i].max(1)
+            };
             vsa.add_vdp(VdpSpec::new(
                 Tuple::new2(l as i32, i as i32),
                 1,
@@ -152,10 +160,16 @@ proptest! {
 fn peak_channel_depth_reported() {
     let k = 37;
     let mut vsa = Vsa::new();
-    vsa.add_vdp(VdpSpec::new(Tuple::new1(0), k, 1, 1, |ctx: &mut VdpContext| {
-        let _ = ctx.pop(0);
-        ctx.push(0, Packet::new(0i64, 8));
-    }));
+    vsa.add_vdp(VdpSpec::new(
+        Tuple::new1(0),
+        k,
+        1,
+        1,
+        |ctx: &mut VdpContext| {
+            let _ = ctx.pop(0);
+            ctx.push(0, Packet::new(0i64, 8));
+        },
+    ));
     vsa.add_channel(ChannelSpec::new(8, Tuple::new1(0), 0, Tuple::new1(1), 0));
     for i in 0..k {
         vsa.seed(Tuple::new1(0), 0, Packet::new(i as i64, 8));

@@ -29,7 +29,13 @@ fn chain_increments() {
                 ctx.push(0, Packet::new(x + 1, 8));
             },
         ));
-        vsa.add_channel(ChannelSpec::new(8, Tuple::new1(i), 0, Tuple::new1(i + 1), 0));
+        vsa.add_channel(ChannelSpec::new(
+            8,
+            Tuple::new1(i),
+            0,
+            Tuple::new1(i + 1),
+            0,
+        ));
     }
     vsa.seed(Tuple::new1(0), 0, Packet::new(0i64, 8));
     let mut out = vsa.run(&RunConfig::smp(4));
@@ -194,7 +200,7 @@ fn multinode_ring_token() {
 #[test]
 fn net_model_delays_but_preserves_results() {
     let hops = 6;
-    let mut build = |net: Option<NetModel>| {
+    let build = |net: Option<NetModel>| {
         let mut vsa = Vsa::new();
         for i in 0..hops {
             vsa.add_vdp(VdpSpec::new(
@@ -207,7 +213,13 @@ fn net_model_delays_but_preserves_results() {
                     ctx.push(0, Packet::new(x * 3, 8));
                 },
             ));
-            vsa.add_channel(ChannelSpec::new(8, Tuple::new1(i), 0, Tuple::new1(i + 1), 0));
+            vsa.add_channel(ChannelSpec::new(
+                8,
+                Tuple::new1(i),
+                0,
+                Tuple::new1(i + 1),
+                0,
+            ));
         }
         vsa.seed(Tuple::new1(0), 0, Packet::new(1i64, 8));
         let mapping: MappingFn = Arc::new(|t: &Tuple| Place {
@@ -419,9 +431,15 @@ fn oversized_packet_panics() {
     ));
     // The destination must be a real VDP: exit channels have no queue and
     // therefore no capacity to enforce.
-    vsa.add_vdp(VdpSpec::new(Tuple::new1(1), 1, 1, 0, |ctx: &mut VdpContext| {
-        let _ = ctx.pop(0);
-    }));
+    vsa.add_vdp(VdpSpec::new(
+        Tuple::new1(1),
+        1,
+        1,
+        0,
+        |ctx: &mut VdpContext| {
+            let _ = ctx.pop(0);
+        },
+    ));
     vsa.add_channel(ChannelSpec::new(8, Tuple::new1(0), 0, Tuple::new1(1), 0));
     vsa.seed(Tuple::new1(0), 0, Packet::new(1i64, 8));
     let _ = vsa.run(&RunConfig::smp(1));
@@ -431,7 +449,13 @@ fn oversized_packet_panics() {
 #[test]
 fn validate_collects_all_errors() {
     let mut vsa = Vsa::new();
-    vsa.add_vdp(VdpSpec::new(Tuple::new1(0), 1, 1, 1, |_: &mut VdpContext| {}));
+    vsa.add_vdp(VdpSpec::new(
+        Tuple::new1(0),
+        1,
+        1,
+        1,
+        |_: &mut VdpContext| {},
+    ));
     // Both endpoints missing.
     vsa.add_channel(ChannelSpec::new(8, Tuple::new1(7), 0, Tuple::new1(8), 0));
     // Output slot out of range.
@@ -446,8 +470,12 @@ fn validate_collects_all_errors() {
     let errs = vsa.validate(&RunConfig::smp(1)).unwrap_err();
     assert!(errs.len() >= 5, "expected many errors, got {errs:?}");
     assert!(errs.iter().any(|e| e.contains("nonexistent VDPs")));
-    assert!(errs.iter().any(|e| e.contains("output slot 5 out of range")));
-    assert!(errs.iter().any(|e| e.contains("input slot 0 wired by channels")));
+    assert!(errs
+        .iter()
+        .any(|e| e.contains("output slot 5 out of range")));
+    assert!(errs
+        .iter()
+        .any(|e| e.contains("input slot 0 wired by channels")));
     assert!(errs.iter().any(|e| e.contains("seed targets nonexistent")));
     assert!(errs.iter().any(|e| e.contains("out-of-range input slot 3")));
 }
@@ -455,11 +483,17 @@ fn validate_collects_all_errors() {
 /// `validate` accepts a well-formed array and catches bad mappings.
 #[test]
 fn validate_checks_mapping_range() {
-    let mut build = || {
+    let build = || {
         let mut vsa = Vsa::new();
-        vsa.add_vdp(VdpSpec::new(Tuple::new1(0), 1, 1, 1, |ctx: &mut VdpContext| {
-            let _ = ctx.pop(0);
-        }));
+        vsa.add_vdp(VdpSpec::new(
+            Tuple::new1(0),
+            1,
+            1,
+            1,
+            |ctx: &mut VdpContext| {
+                let _ = ctx.pop(0);
+            },
+        ));
         vsa.add_channel(ChannelSpec::new(8, Tuple::new1(0), 0, Tuple::new1(1), 0));
         vsa.seed(Tuple::new1(0), 0, Packet::new(1i64, 8));
         vsa
@@ -498,8 +532,20 @@ fn stress_many_vdps_multinode() {
                 ctx.push(0, Packet::new(x * 2, 8));
             },
         ));
-        vsa.add_channel(ChannelSpec::new(8, Tuple::new2(0, i), 0, Tuple::new2(1, i), 0));
-        vsa.add_channel(ChannelSpec::new(8, Tuple::new2(1, i), 0, Tuple::new2(2, i), 0));
+        vsa.add_channel(ChannelSpec::new(
+            8,
+            Tuple::new2(0, i),
+            0,
+            Tuple::new2(1, i),
+            0,
+        ));
+        vsa.add_channel(ChannelSpec::new(
+            8,
+            Tuple::new2(1, i),
+            0,
+            Tuple::new2(2, i),
+            0,
+        ));
         vsa.seed(Tuple::new2(0, i), 0, Packet::new(i as i64, 8));
     }
     let mapping: MappingFn = Arc::new(|t: &Tuple| Place {

@@ -74,7 +74,8 @@ fn simulate_inner(
     let workers = machine.total_workers();
     let mut pending: Vec<u32> = graph.tasks.iter().map(|t| t.pending).collect();
     let mut free_at = vec![0.0f64; workers];
-    let mut queues: Vec<BinaryHeap<Reverse<(T, u32)>>> = (0..workers).map(|_| BinaryHeap::new()).collect();
+    let mut queues: Vec<BinaryHeap<Reverse<(T, u32)>>> =
+        (0..workers).map(|_| BinaryHeap::new()).collect();
     let mut events: BinaryHeap<Reverse<(T, u64, Event)>> = BinaryHeap::new();
     let mut seq = 0u64;
 
@@ -128,14 +129,22 @@ fn simulate_inner(
                     remote_messages += 1;
                     remote_bytes += e.bytes as u64;
                 }
-                events.push(Reverse((T(at + delay), *seq, Event::Arrival { task: e.dst })));
+                events.push(Reverse((
+                    T(at + delay),
+                    *seq,
+                    Event::Arrival { task: e.dst },
+                )));
                 *seq += 1;
             }
         };
         release(&tk.out_start, t);
         release(&tk.out_end, end);
         free_at[tk.thread as usize] = end;
-        events.push(Reverse((T(end), *seq, Event::ThreadFree { thread: tk.thread })));
+        events.push(Reverse((
+            T(end),
+            *seq,
+            Event::ThreadFree { thread: tk.thread },
+        )));
         *seq += 1;
     };
 
@@ -266,7 +275,10 @@ mod tests {
         );
         let plain = simulate(&g, &machine);
         let (traced, trace) = simulate_traced(&g, &machine);
-        assert_eq!(plain.makespan_s, traced.makespan_s, "tracing changed the schedule");
+        assert_eq!(
+            plain.makespan_s, traced.makespan_s,
+            "tracing changed the schedule"
+        );
         assert_eq!(trace.spans.len(), g.tasks.len());
         // The trace's makespan agrees with the result's.
         assert!((trace.makespan_us() * 1e-6 - traced.makespan_s).abs() < 1e-9);

@@ -274,7 +274,8 @@ impl TaskGraph {
                 for e in edges {
                     debug_assert!(e.dst as usize > i, "ids must be topological");
                     let dst_node = self.tasks[e.dst as usize].node;
-                    let arr = at + machine.comm_us(task.node as usize, dst_node as usize, e.bytes as usize);
+                    let arr = at
+                        + machine.comm_us(task.node as usize, dst_node as usize, e.bytes as usize);
                     let slot = &mut est[e.dst as usize];
                     *slot = slot.max(arr);
                 }

@@ -66,7 +66,14 @@ fn shifted_boundary_faster_at_scale() {
             tree: Tree::BinaryOnFlat { h: 6 },
             boundary,
         };
-        let g = build_tree_qr_graph(368_640, 4_608, &opts, RowDist::Block, &mach, RuntimeModel::pulsar());
+        let g = build_tree_qr_graph(
+            368_640,
+            4_608,
+            &opts,
+            RowDist::Block,
+            &mach,
+            RuntimeModel::pulsar(),
+        );
         simulate(&g, &mach).makespan_s
     };
     let fixed = mk(Boundary::Fixed);
@@ -90,7 +97,10 @@ fn weak_scaling_keeps_node_memory_constant() {
         let g = build_tree_qr_graph(m, n, &opts, RowDist::Block, &mach, RuntimeModel::pulsar());
         bytes.push(g.peak_node_bytes);
     }
-    assert!(bytes.windows(2).all(|w| w[0] == w[1]), "per-node memory moved: {bytes:?}");
+    assert!(
+        bytes.windows(2).all(|w| w[0] == w[1]),
+        "per-node memory moved: {bytes:?}"
+    );
 }
 
 #[test]
@@ -99,7 +109,14 @@ fn parsec_band_holds_across_sizes() {
     for &m in &[64 * 192usize, 256 * 192] {
         let opts = QrOptions::new(192, 48, Tree::BinaryOnFlat { h: 6 });
         let p = simulate(
-            &build_tree_qr_graph(m, 4 * 192, &opts, RowDist::Block, &mach, RuntimeModel::pulsar()),
+            &build_tree_qr_graph(
+                m,
+                4 * 192,
+                &opts,
+                RowDist::Block,
+                &mach,
+                RuntimeModel::pulsar(),
+            ),
             &mach,
         );
         let q = simulate(
@@ -133,7 +150,14 @@ fn larger_tiles_fewer_tasks_lower_parallelism() {
     let mach = Machine::kraken(64);
     let mk = |nb: usize| {
         let opts = QrOptions::new(nb, nb / 4, Tree::BinaryOnFlat { h: 6 });
-        let g = build_tree_qr_graph(256 * 192, 4 * 192, &opts, RowDist::Block, &mach, RuntimeModel::pulsar());
+        let g = build_tree_qr_graph(
+            256 * 192,
+            4 * 192,
+            &opts,
+            RowDist::Block,
+            &mach,
+            RuntimeModel::pulsar(),
+        );
         (g.tasks.len(), simulate(&g, &mach).gflops)
     };
     let (t192, g192) = mk(192);

@@ -34,7 +34,12 @@ fn main() {
     let report = tune_tree(m, n, 192, 48, &mach, RowDist::Block, candidates);
     println!("{:<28} {:>12} {:>10}", "tree", "Gflop/s", "time (s)");
     for (tree, r) in &report.ranked {
-        println!("{:<28} {:>12.0} {:>10.3}", format!("{tree:?}"), r.gflops, r.makespan_s);
+        println!(
+            "{:<28} {:>12.0} {:>10.3}",
+            format!("{tree:?}"),
+            r.gflops,
+            r.makespan_s
+        );
     }
     let winner = report.best().0.clone();
     println!("\nwinner: {winner:?}");

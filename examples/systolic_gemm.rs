@@ -13,9 +13,7 @@
 //! ```
 
 use pulsar::linalg::Matrix;
-use pulsar::runtime::{
-    ChannelSpec, Packet, RunConfig, Tuple, VdpContext, VdpLogic, VdpSpec, Vsa,
-};
+use pulsar::runtime::{ChannelSpec, Packet, RunConfig, Tuple, VdpContext, VdpLogic, VdpSpec, Vsa};
 
 struct CannonVdp {
     p: usize,
@@ -46,7 +44,10 @@ impl VdpLogic for CannonVdp {
             )
         });
         if ctx.remaining() == 0 {
-            ctx.push(2, Packet::tile(std::mem::replace(&mut self.c, Matrix::zeros(0, 0))));
+            ctx.push(
+                2,
+                Packet::tile(std::mem::replace(&mut self.c, Matrix::zeros(0, 0))),
+            );
         }
         let _ = self.p;
     }

@@ -27,10 +27,18 @@ fn main() {
     let gf = flops::qr_flops(m, n) * 1e-9;
 
     println!("tree comparison on a {m}x{n} tall-skinny matrix, nb={nb}, {threads} threads");
-    println!("{:<26} {:>10} {:>10} {:>12}", "variant", "time (ms)", "Gflop/s", "residual");
+    println!(
+        "{:<26} {:>10} {:>10} {:>12}",
+        "variant", "time (ms)", "Gflop/s", "residual"
+    );
 
-    let mut report = |name: &str, dt: f64, resid: f64| {
-        println!("{name:<26} {:>10.1} {:>10.2} {:>12.2e}", dt * 1e3, gf / dt, resid);
+    let report = |name: &str, dt: f64, resid: f64| {
+        println!(
+            "{name:<26} {:>10.1} {:>10.2} {:>12.2e}",
+            dt * 1e3,
+            gf / dt,
+            resid
+        );
     };
 
     for (name, tree) in [
@@ -58,9 +66,17 @@ fn main() {
     let flat = QrOptions::new(nb, ib, Tree::Flat);
     let t0 = Instant::now();
     let dom = tile_qr_domino(&a, &flat, &RunConfig::smp(threads));
-    report("domino 2D (IPDPS'13)", t0.elapsed().as_secs_f64(), dom.factors.residual(&a));
+    report(
+        "domino 2D (IPDPS'13)",
+        t0.elapsed().as_secs_f64(),
+        dom.factors.residual(&a),
+    );
 
     let t0 = Instant::now();
     let seq = tile_qr_seq(&a, &QrOptions::new(nb, ib, Tree::BinaryOnFlat { h: 6 }));
-    report("sequential oracle", t0.elapsed().as_secs_f64(), seq.residual(&a));
+    report(
+        "sequential oracle",
+        t0.elapsed().as_secs_f64(),
+        seq.residual(&a),
+    );
 }

@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Tier-1 verification: formatting, lints, release build, full test suite.
+# Everything runs --offline — the workspace has no registry dependencies
+# (external crates are vendored under shims/, see shims/README.md).
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo fmt --all --check
+cargo clippy --offline --workspace --all-targets -- -D warnings
+cargo build --offline --workspace --release
+cargo test --offline --workspace -q

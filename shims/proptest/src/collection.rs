@@ -1,0 +1,70 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Accepted sizes for a generated collection: a fixed length or a
+/// half-open range of lengths.
+#[derive(Copy, Clone, Debug)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive.
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end,
+        }
+    }
+}
+
+/// A strategy producing `Vec`s of values drawn from `element`.
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// `Vec` strategy with lengths drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.max - self.size.min) as u64;
+        let len = self.size.min + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_and_ranged_lengths() {
+        let mut rng = TestRng::new("vec", 0);
+        for _ in 0..100 {
+            assert_eq!(vec(0usize..5, 3).generate(&mut rng).len(), 3);
+            let v = vec(0usize..5, 0..8).generate(&mut rng);
+            assert!(v.len() < 8);
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+}

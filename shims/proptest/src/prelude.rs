@@ -1,0 +1,6 @@
+//! One-stop import mirroring `proptest::prelude::*`.
+
+pub use crate as prop;
+pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+pub use crate::ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};

@@ -1,0 +1,75 @@
+//! The per-case random source.
+
+/// Deterministic splitmix64 generator, seeded from the test name and case
+/// index so failures reproduce across runs.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Generator for case `case` of test `test`.
+    pub fn new(test: &str, case: u32) -> Self {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in test.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            state: h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform double in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)`; returns 0 for `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::TestRng;
+
+    #[test]
+    fn deterministic_per_test_and_case() {
+        assert_eq!(
+            TestRng::new("t", 3).next_u64(),
+            TestRng::new("t", 3).next_u64()
+        );
+        assert_ne!(
+            TestRng::new("t", 3).next_u64(),
+            TestRng::new("t", 4).next_u64()
+        );
+        assert_ne!(
+            TestRng::new("t", 3).next_u64(),
+            TestRng::new("u", 3).next_u64()
+        );
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = TestRng::new("b", 0);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+        assert_eq!(r.below(0), 0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! exactly the `rand 0.9` API subset the workspace uses: [`rng`],
+//! [`Rng::random`], [`SeedableRng::seed_from_u64`], [`rngs::StdRng`], and
+//! the [`distr::StandardUniform`] distribution. The generator is
+//! xoshiro256++ seeded through splitmix64 — high quality for test data,
+//! *not* a drop-in bit-for-bit replacement for upstream `rand` streams.
+
+#![warn(missing_docs)]
+
+pub mod distr;
+pub mod rngs;
+
+use distr::{Distribution, StandardUniform};
+
+/// Low-level 64-bit generator interface.
+pub trait RngCore {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling interface (blanket-implemented for every
+/// [`RngCore`]).
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` from the standard distribution.
+    fn random<T>(&mut self) -> T
+    where
+        StandardUniform: Distribution<T>,
+        Self: Sized,
+    {
+        StandardUniform.sample(self)
+    }
+
+    /// Sample an integer uniformly from `[0, bound)`.
+    fn random_below(&mut self, bound: u64) -> u64
+    where
+        Self: Sized,
+    {
+        if bound == 0 {
+            return 0;
+        }
+        // Multiply-shift bounded sampling (Lemire); the slight bias is
+        // irrelevant at test scales.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Deterministic construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A fresh, entropy-seeded generator (thread-local in upstream `rand`;
+/// here simply seeded from the clock and a process-wide counter).
+pub fn rng() -> rngs::ThreadRng {
+    rngs::ThreadRng::from_entropy()
+}
+
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rngs::StdRng;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_samples_are_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn entropy_rngs_differ() {
+        let a: u64 = rng().random();
+        let b: u64 = rng().random();
+        assert_ne!(a, b, "two fresh generators should not collide");
+    }
+}

@@ -1,0 +1,62 @@
+//! Concrete generators: [`StdRng`] (seedable) and [`ThreadRng`] (entropy).
+
+use crate::{splitmix64, RngCore, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// xoshiro256++ state.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = splitmix64(&mut sm);
+        }
+        StdRng { s }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// An entropy-seeded generator, one per [`crate::rng`] call.
+#[derive(Clone, Debug)]
+pub struct ThreadRng(StdRng);
+
+impl ThreadRng {
+    pub(crate) fn from_entropy() -> Self {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let uniq = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let pid = std::process::id() as u64;
+        ThreadRng(StdRng::seed_from_u64(
+            nanos ^ uniq.rotate_left(32) ^ pid.rotate_left(48),
+        ))
+    }
+}
+
+impl RngCore for ThreadRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
