@@ -11,7 +11,7 @@
 use crate::factors::{Reflectors, TileQrFactors};
 use crate::plan::PanelOp;
 use pulsar_linalg::kernels::ApplyTrans;
-use pulsar_linalg::{tsmqr, ttmqr, unmqr, Matrix};
+use pulsar_linalg::{tsmqr_ws, ttmqr_ws, unmqr_ws, Matrix, Workspace};
 use pulsar_runtime::{ChannelSpec, Packet, RunConfig, Tuple, VdpContext, VdpSpec, Vsa};
 use std::sync::Arc;
 
@@ -34,17 +34,24 @@ struct ApplyVdp {
 impl pulsar_runtime::VdpLogic for ApplyVdp {
     fn fire(&mut self, ctx: &mut VdpContext<'_>) {
         let r = &self.refl;
+        let scratch = ctx.scratch();
         match r.op {
             PanelOp::Geqrt { .. } => {
                 let mut c = ctx.pop(0).into_tile();
-                ctx.kernel("unmqr", || unmqr(&r.v, &r.t, self.trans, &mut c, self.ib));
+                ctx.kernel("unmqr", || {
+                    scratch.with(|ws: &mut Workspace| {
+                        unmqr_ws(&r.v, &r.t, self.trans, &mut c, self.ib, ws)
+                    })
+                });
                 ctx.push(0, Packet::tile(c));
             }
             PanelOp::Tsqrt { .. } => {
                 let mut c1 = ctx.pop(0).into_tile();
                 let mut c2 = ctx.pop(1).into_tile();
                 ctx.kernel("tsmqr", || {
-                    tsmqr(&mut c1, &mut c2, &r.v, &r.t, self.trans, self.ib)
+                    scratch.with(|ws: &mut Workspace| {
+                        tsmqr_ws(&mut c1, &mut c2, &r.v, &r.t, self.trans, self.ib, ws)
+                    })
                 });
                 ctx.push(0, Packet::tile(c1));
                 ctx.push(1, Packet::tile(c2));
@@ -53,7 +60,9 @@ impl pulsar_runtime::VdpLogic for ApplyVdp {
                 let mut c1 = ctx.pop(0).into_tile();
                 let mut c2 = ctx.pop(1).into_tile();
                 ctx.kernel("ttmqr", || {
-                    ttmqr(&mut c1, &mut c2, &r.v, &r.t, self.trans, self.ib)
+                    scratch.with(|ws: &mut Workspace| {
+                        ttmqr_ws(&mut c1, &mut c2, &r.v, &r.t, self.trans, self.ib, ws)
+                    })
                 });
                 ctx.push(0, Packet::tile(c1));
                 ctx.push(1, Packet::tile(c2));

@@ -15,7 +15,7 @@ use crate::plan::PanelOp;
 use crate::seqqr::t_for;
 use crate::vsa3d::VsaQrResult;
 use pulsar_linalg::kernels::ApplyTrans;
-use pulsar_linalg::{geqrt, tsmqr, tsqrt, unmqr, Matrix, TileMatrix};
+use pulsar_linalg::{geqrt_ws, tsmqr_ws, tsqrt_ws, unmqr_ws, Matrix, TileMatrix, Workspace};
 use pulsar_runtime::{ChannelSpec, Packet, RunConfig, Tuple, VdpContext, VdpLogic, VdpSpec, Vsa};
 
 fn vdp(i: usize, j: usize) -> Tuple {
@@ -41,10 +41,13 @@ struct FactorVdp {
 impl VdpLogic for FactorVdp {
     fn fire(&mut self, ctx: &mut VdpContext<'_>) {
         let ib = self.ib;
+        let scratch = ctx.scratch();
         let mut tile = ctx.pop(0).into_tile();
         let refl = if ctx.firing() == 0 {
             let mut t = t_for(tile.ncols(), ib);
-            ctx.kernel("geqrt", || geqrt(&mut tile, &mut t, ib));
+            ctx.kernel("geqrt", || {
+                scratch.with(|ws: &mut Workspace| geqrt_ws(&mut tile, &mut t, ib, ws))
+            });
             let refl = Reflectors {
                 op: PanelOp::Geqrt { row: self.stage },
                 v: tile.clone(),
@@ -55,7 +58,9 @@ impl VdpLogic for FactorVdp {
         } else {
             let r = self.r.as_mut().expect("R factor initialized at firing 0");
             let mut t = t_for(r.ncols(), ib);
-            ctx.kernel("tsqrt", || tsqrt(r, &mut tile, &mut t, ib));
+            ctx.kernel("tsqrt", || {
+                scratch.with(|ws: &mut Workspace| tsqrt_ws(r, &mut tile, &mut t, ib, ws))
+            });
             Reflectors {
                 op: PanelOp::Tsqrt {
                     head: self.stage,
@@ -100,14 +105,20 @@ impl VdpLogic for UpdateVdp {
         }
         let v = vp.as_tile().expect("V channel carries a tile");
         let t = tp.as_tile().expect("T channel carries a tile");
+        let scratch = ctx.scratch();
         if ctx.firing() == 0 {
-            ctx.kernel("unmqr", || unmqr(v, t, ApplyTrans::Trans, &mut tile, ib));
+            ctx.kernel("unmqr", || {
+                scratch
+                    .with(|ws: &mut Workspace| unmqr_ws(v, t, ApplyTrans::Trans, &mut tile, ib, ws))
+            });
             ctx.set_label(format!("unmqr{:?}", ctx.tuple()));
             self.c1 = Some(tile);
         } else {
             let c1 = self.c1.as_mut().expect("C1 initialized at firing 0");
             ctx.kernel("tsmqr", || {
-                tsmqr(c1, &mut tile, v, t, ApplyTrans::Trans, ib)
+                scratch.with(|ws: &mut Workspace| {
+                    tsmqr_ws(c1, &mut tile, v, t, ApplyTrans::Trans, ib, ws)
+                })
             });
             ctx.set_label(format!("tsmqr{:?}", ctx.tuple()));
             ctx.push(0, Packet::tile(tile)); // stream the updated row down

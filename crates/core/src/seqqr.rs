@@ -6,7 +6,9 @@ use crate::factors::{Reflectors, TileQrFactors};
 use crate::plan::{PanelOp, QrPlan};
 use crate::QrOptions;
 use pulsar_linalg::kernels::ApplyTrans;
-use pulsar_linalg::{geqrt, tsmqr, tsqrt, ttmqr, ttqrt, unmqr, Matrix, TileMatrix};
+use pulsar_linalg::{
+    geqrt_ws, tsmqr_ws, tsqrt_ws, ttmqr_ws, ttqrt_ws, unmqr_ws, Matrix, TileMatrix, Workspace,
+};
 
 /// Make a `T` workspace for a tile with `nc` factored columns.
 pub(crate) fn t_for(nc: usize, ib: usize) -> Matrix {
@@ -26,14 +28,17 @@ pub fn tile_qr_seq(a: &Matrix, opts: &QrOptions) -> TileQrFactors {
     let mut tiles = TileMatrix::from_matrix(a, opts.nb);
     let plan = opts.plan(tiles.mt(), tiles.nt());
     let mut panels = Vec::with_capacity(plan.panels());
+    // One scratch arena for the whole factorization: every kernel call below
+    // reuses it, so the steady state allocates nothing per tile op.
+    let mut ws = Workspace::new();
 
     for j in 0..plan.panels() {
         let mut recorded = Vec::new();
         for op in plan.panel_ops(j) {
-            let refl = execute_panel_op(&mut tiles, j, op, opts.ib);
+            let refl = execute_panel_op(&mut tiles, j, op, opts.ib, &mut ws);
             // Trailing updates for every column to the right.
             for l in j + 1..tiles.nt() {
-                apply_update(&mut tiles, l, &refl, opts.ib);
+                apply_update(&mut tiles, l, &refl, opts.ib, &mut ws);
             }
             recorded.push(refl);
         }
@@ -56,12 +61,13 @@ pub(crate) fn execute_panel_op(
     j: usize,
     op: PanelOp,
     ib: usize,
+    ws: &mut Workspace,
 ) -> Reflectors {
     match op {
         PanelOp::Geqrt { row } => {
             let tile = tiles.tile_mut(row, j);
             let mut t = t_for(tile.ncols(), ib);
-            geqrt(tile, &mut t, ib);
+            geqrt_ws(tile, &mut t, ib, ws);
             Reflectors {
                 op,
                 v: tile.clone(),
@@ -71,7 +77,7 @@ pub(crate) fn execute_panel_op(
         PanelOp::Tsqrt { head, row } => {
             let (a1, a2) = tiles.two_tiles_mut((head, j), (row, j));
             let mut t = t_for(a1.ncols(), ib);
-            tsqrt(a1, a2, &mut t, ib);
+            tsqrt_ws(a1, a2, &mut t, ib, ws);
             Reflectors {
                 op,
                 v: a2.clone(),
@@ -81,7 +87,7 @@ pub(crate) fn execute_panel_op(
         PanelOp::Ttqrt { top, bot } => {
             let (a1, a2) = tiles.two_tiles_mut((top, j), (bot, j));
             let mut t = t_for(a1.ncols(), ib);
-            ttqrt(a1, a2, &mut t, ib);
+            ttqrt_ws(a1, a2, &mut t, ib, ws);
             Reflectors {
                 op,
                 v: a2.clone(),
@@ -92,24 +98,31 @@ pub(crate) fn execute_panel_op(
 }
 
 /// Apply the trailing-submatrix update of `refl` to column `l`.
-pub(crate) fn apply_update(tiles: &mut TileMatrix, l: usize, refl: &Reflectors, ib: usize) {
+pub(crate) fn apply_update(
+    tiles: &mut TileMatrix,
+    l: usize,
+    refl: &Reflectors,
+    ib: usize,
+    ws: &mut Workspace,
+) {
     match refl.op {
         PanelOp::Geqrt { row } => {
-            unmqr(
+            unmqr_ws(
                 &refl.v,
                 &refl.t,
                 ApplyTrans::Trans,
                 tiles.tile_mut(row, l),
                 ib,
+                ws,
             );
         }
         PanelOp::Tsqrt { head, row } => {
             let (c1, c2) = tiles.two_tiles_mut((head, l), (row, l));
-            tsmqr(c1, c2, &refl.v, &refl.t, ApplyTrans::Trans, ib);
+            tsmqr_ws(c1, c2, &refl.v, &refl.t, ApplyTrans::Trans, ib, ws);
         }
         PanelOp::Ttqrt { top, bot } => {
             let (c1, c2) = tiles.two_tiles_mut((top, l), (bot, l));
-            ttmqr(c1, c2, &refl.v, &refl.t, ApplyTrans::Trans, ib);
+            ttmqr_ws(c1, c2, &refl.v, &refl.t, ApplyTrans::Trans, ib, ws);
         }
     }
 }

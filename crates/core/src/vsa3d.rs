@@ -26,7 +26,9 @@ use crate::plan::{PanelOp, QrPlan};
 use crate::seqqr::t_for;
 use crate::QrOptions;
 use pulsar_linalg::kernels::ApplyTrans;
-use pulsar_linalg::{geqrt, tsmqr, tsqrt, ttmqr, ttqrt, unmqr, Matrix, TileMatrix};
+use pulsar_linalg::{
+    geqrt_ws, tsmqr_ws, tsqrt_ws, ttmqr_ws, ttqrt_ws, unmqr_ws, Matrix, TileMatrix, Workspace,
+};
 use pulsar_runtime::{
     ChannelSpec, Packet, RunConfig, RunStats, Trace, Tuple, VdpContext, VdpSpec, Vsa,
 };
@@ -368,11 +370,14 @@ impl QrVdp {
     fn fire_factor(&mut self, ctx: &mut VdpContext<'_>) {
         let ib = self.ib;
         let op = self.op;
+        let scratch = ctx.scratch();
         let (refl, r_tile) = match op {
             PanelOp::Geqrt { .. } => {
                 let mut tile = ctx.pop(0).into_tile();
                 let mut t = t_for(tile.ncols(), ib);
-                ctx.kernel("geqrt", || geqrt(&mut tile, &mut t, ib));
+                ctx.kernel("geqrt", || {
+                    scratch.with(|ws: &mut Workspace| geqrt_ws(&mut tile, &mut t, ib, ws))
+                });
                 let refl = Reflectors {
                     op,
                     v: tile.clone(),
@@ -384,14 +389,18 @@ impl QrVdp {
                 let mut a1 = ctx.pop(0).into_tile();
                 let mut a2 = ctx.pop(1).into_tile();
                 let mut t = t_for(a1.ncols(), ib);
-                ctx.kernel("tsqrt", || tsqrt(&mut a1, &mut a2, &mut t, ib));
+                ctx.kernel("tsqrt", || {
+                    scratch.with(|ws: &mut Workspace| tsqrt_ws(&mut a1, &mut a2, &mut t, ib, ws))
+                });
                 (Reflectors { op, v: a2, t }, a1)
             }
             PanelOp::Ttqrt { .. } => {
                 let mut a1 = ctx.pop(0).into_tile();
                 let mut a2 = ctx.pop(1).into_tile();
                 let mut t = t_for(a1.ncols(), ib);
-                ctx.kernel("ttqrt", || ttqrt(&mut a1, &mut a2, &mut t, ib));
+                ctx.kernel("ttqrt", || {
+                    scratch.with(|ws: &mut Workspace| ttqrt_ws(&mut a1, &mut a2, &mut t, ib, ws))
+                });
                 (Reflectors { op, v: a2, t }, a1)
             }
         };
@@ -420,11 +429,14 @@ impl QrVdp {
         let refl = trans
             .get::<Reflectors>()
             .expect("transform channel carries Reflectors");
+        let scratch = ctx.scratch();
         match op {
             PanelOp::Geqrt { .. } => {
                 let mut c = ctx.pop(0).into_tile();
                 ctx.kernel("unmqr", || {
-                    unmqr(&refl.v, &refl.t, ApplyTrans::Trans, &mut c, ib)
+                    scratch.with(|ws: &mut Workspace| {
+                        unmqr_ws(&refl.v, &refl.t, ApplyTrans::Trans, &mut c, ib, ws)
+                    })
                 });
                 ctx.push(0, Packet::tile(c));
             }
@@ -432,7 +444,17 @@ impl QrVdp {
                 let mut c1 = ctx.pop(0).into_tile();
                 let mut c2 = ctx.pop(1).into_tile();
                 ctx.kernel("tsmqr", || {
-                    tsmqr(&mut c1, &mut c2, &refl.v, &refl.t, ApplyTrans::Trans, ib)
+                    scratch.with(|ws: &mut Workspace| {
+                        tsmqr_ws(
+                            &mut c1,
+                            &mut c2,
+                            &refl.v,
+                            &refl.t,
+                            ApplyTrans::Trans,
+                            ib,
+                            ws,
+                        )
+                    })
                 });
                 ctx.push(0, Packet::tile(c1));
                 ctx.push(1, Packet::tile(c2));
@@ -441,7 +463,17 @@ impl QrVdp {
                 let mut c1 = ctx.pop(0).into_tile();
                 let mut c2 = ctx.pop(1).into_tile();
                 ctx.kernel("ttmqr", || {
-                    ttmqr(&mut c1, &mut c2, &refl.v, &refl.t, ApplyTrans::Trans, ib)
+                    scratch.with(|ws: &mut Workspace| {
+                        ttmqr_ws(
+                            &mut c1,
+                            &mut c2,
+                            &refl.v,
+                            &refl.t,
+                            ApplyTrans::Trans,
+                            ib,
+                            ws,
+                        )
+                    })
                 });
                 ctx.push(0, Packet::tile(c1));
                 ctx.push(1, Packet::tile(c2));

@@ -30,7 +30,9 @@ use crate::seqqr::t_for;
 use crate::vsa3d::VsaQrResult;
 use crate::QrOptions;
 use pulsar_linalg::kernels::ApplyTrans;
-use pulsar_linalg::{geqrt, tsmqr, tsqrt, ttmqr, ttqrt, unmqr, Matrix, TileMatrix};
+use pulsar_linalg::{
+    geqrt_ws, tsmqr_ws, tsqrt_ws, ttmqr_ws, ttqrt_ws, unmqr_ws, Matrix, TileMatrix, Workspace,
+};
 use pulsar_runtime::{ChannelSpec, Packet, RunConfig, Tuple, VdpContext, VdpLogic, VdpSpec, Vsa};
 use std::collections::HashMap;
 
@@ -82,10 +84,13 @@ impl VdpLogic for FlatDomainVdp {
         let mut tile = ctx.pop(slot).into_tile();
         let is_factor = self.l == self.j;
 
+        let scratch = ctx.scratch();
         if is_factor {
             let refl = if k == 0 {
                 let mut t = t_for(tile.ncols(), self.ib);
-                ctx.kernel("geqrt", || geqrt(&mut tile, &mut t, self.ib));
+                ctx.kernel("geqrt", || {
+                    scratch.with(|ws: &mut Workspace| geqrt_ws(&mut tile, &mut t, self.ib, ws))
+                });
                 let refl = Reflectors {
                     op: PanelOp::Geqrt { row: self.head_row },
                     v: tile.clone(),
@@ -96,7 +101,9 @@ impl VdpLogic for FlatDomainVdp {
             } else {
                 let r = self.c1.as_mut().expect("R initialized at firing 0");
                 let mut t = t_for(r.ncols(), self.ib);
-                ctx.kernel("tsqrt", || tsqrt(r, &mut tile, &mut t, self.ib));
+                ctx.kernel("tsqrt", || {
+                    scratch.with(|ws: &mut Workspace| tsqrt_ws(r, &mut tile, &mut t, self.ib, ws))
+                });
                 Reflectors {
                     op: PanelOp::Tsqrt {
                         head: self.head_row,
@@ -120,14 +127,26 @@ impl VdpLogic for FlatDomainVdp {
             let refl = trans.get::<Reflectors>().expect("transformation packet");
             if k == 0 {
                 ctx.kernel("unmqr", || {
-                    unmqr(&refl.v, &refl.t, ApplyTrans::Trans, &mut tile, self.ib)
+                    scratch.with(|ws: &mut Workspace| {
+                        unmqr_ws(&refl.v, &refl.t, ApplyTrans::Trans, &mut tile, self.ib, ws)
+                    })
                 });
                 ctx.set_label(format!("unmqr{:?}", ctx.tuple()));
                 self.c1 = Some(tile);
             } else {
                 let c1 = self.c1.as_mut().expect("C1 initialized at firing 0");
                 ctx.kernel("tsmqr", || {
-                    tsmqr(c1, &mut tile, &refl.v, &refl.t, ApplyTrans::Trans, self.ib)
+                    scratch.with(|ws: &mut Workspace| {
+                        tsmqr_ws(
+                            c1,
+                            &mut tile,
+                            &refl.v,
+                            &refl.t,
+                            ApplyTrans::Trans,
+                            self.ib,
+                            ws,
+                        )
+                    })
                 });
                 ctx.set_label(format!("tsmqr{:?}", ctx.tuple()));
                 if ctx.output_connected(0) {
@@ -168,9 +187,12 @@ impl VdpLogic for BinaryVdp {
     fn fire(&mut self, ctx: &mut VdpContext<'_>) {
         let mut a1 = ctx.pop(0).into_tile();
         let mut a2 = ctx.pop(1).into_tile();
+        let scratch = ctx.scratch();
         if self.l == self.j {
             let mut t = t_for(a1.ncols(), self.ib);
-            ctx.kernel("ttqrt", || ttqrt(&mut a1, &mut a2, &mut t, self.ib));
+            ctx.kernel("ttqrt", || {
+                scratch.with(|ws: &mut Workspace| ttqrt_ws(&mut a1, &mut a2, &mut t, self.ib, ws))
+            });
             ctx.set_label(format!("ttqrt{:?}", ctx.tuple()));
             let refl = Reflectors {
                 op: PanelOp::Ttqrt {
@@ -192,14 +214,17 @@ impl VdpLogic for BinaryVdp {
             }
             let refl = trans.get::<Reflectors>().expect("transformation packet");
             ctx.kernel("ttmqr", || {
-                ttmqr(
-                    &mut a1,
-                    &mut a2,
-                    &refl.v,
-                    &refl.t,
-                    ApplyTrans::Trans,
-                    self.ib,
-                )
+                scratch.with(|ws: &mut Workspace| {
+                    ttmqr_ws(
+                        &mut a1,
+                        &mut a2,
+                        &refl.v,
+                        &refl.t,
+                        ApplyTrans::Trans,
+                        self.ib,
+                        ws,
+                    )
+                })
             });
             ctx.set_label(format!("ttmqr{:?}", ctx.tuple()));
             // The paper: "after each binary-reduction of two top tiles, the

@@ -1,12 +1,16 @@
 //! BLAS-like building blocks on [`Matrix`] values.
 //!
-//! These are straightforward, cache-aware (jki-ordered) implementations —
-//! enough to drive the tile kernels and verification at the matrix sizes the
-//! paper uses for tiles (`nb` up to a few hundred). They are not meant to
-//! compete with a vendor BLAS; the performance *model* in `pulsar-sim`
-//! accounts for kernel efficiency separately.
+//! [`dgemm`] is backed by a BLIS-style packed, register-blocked engine
+//! (`crate::gemm`) with a runtime-dispatched AVX2+FMA microkernel on
+//! `x86_64`; it reaches a large fraction of scalar-peak-times-SIMD-width on
+//! tile sizes (`nb` up to a few hundred) and falls back to cache-aware
+//! jki-ordered loops below a crossover size where packing overhead would
+//! dominate. The remaining routines (TRMM/TRSM and the level-1 helpers) are
+//! simple loops sized for the narrow triangular factors the kernels use.
 
+use crate::gemm::{gemm_into_impl, MatMut, MatRef};
 use crate::matrix::Matrix;
+use crate::workspace::with_thread_workspace;
 
 /// Transposition selector for [`dgemm`].
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -17,8 +21,76 @@ pub enum Trans {
     Yes,
 }
 
+/// Algorithm selector for [`dgemm_with`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum GemmAlgo {
+    /// Pick packed or reference by problem size (what [`dgemm`] does).
+    Auto,
+    /// Force the packed, register-blocked engine regardless of size.
+    Packed,
+    /// Force the plain jki-ordered reference loops.
+    Reference,
+}
+
 /// General matrix multiply: `C := alpha * op(A) * op(B) + beta * C`.
+///
+/// `beta == 0` overwrites `C` without reading it (BLAS convention: NaN/Inf
+/// garbage in an uninitialized `C` does not propagate); `beta == 1` skips
+/// the scale pass.
 pub fn dgemm(ta: Trans, tb: Trans, alpha: f64, a: &Matrix, b: &Matrix, beta: f64, c: &mut Matrix) {
+    dgemm_with(GemmAlgo::Auto, ta, tb, alpha, a, b, beta, c);
+}
+
+/// [`dgemm`] with an explicit algorithm choice (for tests and benchmarks).
+#[allow(clippy::too_many_arguments)]
+pub fn dgemm_with(
+    algo: GemmAlgo,
+    ta: Trans,
+    tb: Trans,
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f64,
+    c: &mut Matrix,
+) {
+    if algo == GemmAlgo::Reference {
+        dgemm_reference(ta, tb, alpha, a, b, beta, c);
+        return;
+    }
+    let av = match ta {
+        Trans::No => MatRef::from_matrix(a),
+        Trans::Yes => MatRef::from_matrix(a).t(),
+    };
+    let bv = match tb {
+        Trans::No => MatRef::from_matrix(b),
+        Trans::Yes => MatRef::from_matrix(b).t(),
+    };
+    let (m, n) = (c.nrows(), c.ncols());
+    with_thread_workspace(|ws| {
+        let mut cv = MatMut::new(c.data_mut(), m, n, 1, m.max(1));
+        gemm_into_impl(
+            alpha,
+            av,
+            bv,
+            beta,
+            &mut cv,
+            &mut ws.gemm,
+            algo == GemmAlgo::Packed,
+        );
+    });
+}
+
+/// The original cache-aware jki-ordered loops, kept as the reference
+/// algorithm and the small-size fallback.
+fn dgemm_reference(
+    ta: Trans,
+    tb: Trans,
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f64,
+    c: &mut Matrix,
+) {
     let (am, an) = match ta {
         Trans::No => (a.nrows(), a.ncols()),
         Trans::Yes => (a.ncols(), a.nrows()),
@@ -32,7 +104,9 @@ pub fn dgemm(ta: Trans, tb: Trans, alpha: f64, a: &Matrix, b: &Matrix, beta: f64
     assert_eq!(bn, c.ncols(), "gemm C cols");
     let k = an;
 
-    if beta != 1.0 {
+    if beta == 0.0 {
+        c.data_mut().fill(0.0);
+    } else if beta != 1.0 {
         for x in c.data_mut() {
             *x *= beta;
         }
@@ -297,6 +371,53 @@ mod tests {
             }
         }
         assert!(c.sub(&want).norm_fro() < 1e-12);
+    }
+
+    #[test]
+    fn gemm_beta_zero_overwrites_nan_c() {
+        let mut rng = rand::rng();
+        let a = Matrix::random(6, 6, &mut rng);
+        let b = Matrix::random(6, 6, &mut rng);
+        for algo in [GemmAlgo::Reference, GemmAlgo::Packed, GemmAlgo::Auto] {
+            let mut c = Matrix::from_fn(6, 6, |_, _| f64::NAN);
+            dgemm_with(algo, Trans::No, Trans::No, 1.0, &a, &b, 0.0, &mut c);
+            assert!(
+                c.data().iter().all(|x| x.is_finite()),
+                "NaN leaked through beta=0 ({algo:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_packed_matches_reference() {
+        let mut rng = rand::rng();
+        let (m, n, k) = (23, 17, 19);
+        let a = Matrix::random(m, k, &mut rng);
+        let b = Matrix::random(k, n, &mut rng);
+        let c0 = Matrix::random(m, n, &mut rng);
+        let mut cp = c0.clone();
+        let mut cr = c0.clone();
+        dgemm_with(
+            GemmAlgo::Packed,
+            Trans::No,
+            Trans::No,
+            1.5,
+            &a,
+            &b,
+            -0.5,
+            &mut cp,
+        );
+        dgemm_with(
+            GemmAlgo::Reference,
+            Trans::No,
+            Trans::No,
+            1.5,
+            &a,
+            &b,
+            -0.5,
+            &mut cr,
+        );
+        assert!(cp.sub(&cr).norm_fro() < 1e-12 * cr.norm_fro().max(1.0));
     }
 
     #[test]

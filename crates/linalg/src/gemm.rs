@@ -1,0 +1,552 @@
+//! BLIS-style packed, register-blocked GEMM engine.
+//!
+//! The engine follows the classic three-loop blocking scheme: `B` panels of
+//! `KC x NC` and `A` panels of `MC x KC` are packed into contiguous,
+//! microkernel-ready buffers, and an unrolled `MR x NR` register-tiled
+//! microkernel (8x6, with 4-wide accumulator rows the autovectorizer turns
+//! into SIMD) sweeps the packed panels. Edge tiles are zero-padded during
+//! packing so the microkernel always runs at full size; the write-back step
+//! masks to the true `mr x nr` footprint.
+//!
+//! All four transpose combinations are handled by the packing step: operands
+//! are described by [`MatRef`] strided views, and transposition is just a
+//! stride swap. Products smaller than [`PACKED_MIN_FLOPS`] skip packing and
+//! run cache-aware fallback loops instead.
+//!
+//! On `x86_64` the macrokernel is compiled twice — once for the baseline
+//! target and once with `avx2`+`fma` enabled — and the wide version is
+//! selected at runtime when the CPU supports it.
+
+use crate::matrix::Matrix;
+
+/// Microkernel register-tile rows.
+pub(crate) const MR: usize = 8;
+/// Microkernel register-tile columns. `8 x 6` keeps 12 four-wide
+/// accumulator rows plus the `A` column and one broadcast in 15 of the 16
+/// AVX2 registers — the classic double-precision Haswell tile.
+pub(crate) const NR: usize = 6;
+/// Rows of a packed `A` panel (`MC x KC` sized for L2 residency).
+const MC: usize = 128;
+/// Shared inner (`k`) blocking of the packed panels.
+const KC: usize = 256;
+/// Columns of a packed `B` panel.
+const NC: usize = 4096;
+/// Below this `m*n*k`, the packed path loses to the plain loops.
+const PACKED_MIN_FLOPS: usize = 8192;
+
+/// Reusable packing buffers for the packed GEMM path. Buffers only ever
+/// grow, so steady-state calls with stable problem sizes allocate nothing.
+#[derive(Default)]
+pub struct GemmScratch {
+    pack_a: Vec<f64>,
+    pack_b: Vec<f64>,
+}
+
+impl GemmScratch {
+    /// Total `f64` capacity currently held (diagnostics).
+    pub fn capacity(&self) -> usize {
+        self.pack_a.capacity() + self.pack_b.capacity()
+    }
+}
+
+/// Immutable strided view of a column-major buffer: element `(i, j)` lives
+/// at `data[i * rs + j * cs]`.
+#[derive(Copy, Clone)]
+pub(crate) struct MatRef<'a> {
+    data: &'a [f64],
+    m: usize,
+    n: usize,
+    rs: usize,
+    cs: usize,
+}
+
+impl<'a> MatRef<'a> {
+    pub(crate) fn new(data: &'a [f64], m: usize, n: usize, rs: usize, cs: usize) -> Self {
+        if m > 0 && n > 0 {
+            let span = (m - 1) * rs + (n - 1) * cs;
+            assert!(span < data.len(), "MatRef view exceeds its buffer");
+        }
+        MatRef { data, m, n, rs, cs }
+    }
+
+    pub(crate) fn from_matrix(a: &'a Matrix) -> Self {
+        Self::new(a.data(), a.nrows(), a.ncols(), 1, a.nrows().max(1))
+    }
+
+    /// The transposed view (stride swap; no data movement).
+    pub(crate) fn t(self) -> Self {
+        MatRef {
+            data: self.data,
+            m: self.n,
+            n: self.m,
+            rs: self.cs,
+            cs: self.rs,
+        }
+    }
+
+    #[inline]
+    fn at(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.rs + j * self.cs]
+    }
+}
+
+/// Mutable strided view (same layout convention as [`MatRef`]).
+pub(crate) struct MatMut<'a> {
+    data: &'a mut [f64],
+    m: usize,
+    n: usize,
+    rs: usize,
+    cs: usize,
+}
+
+impl<'a> MatMut<'a> {
+    pub(crate) fn new(data: &'a mut [f64], m: usize, n: usize, rs: usize, cs: usize) -> Self {
+        if m > 0 && n > 0 {
+            let span = (m - 1) * rs + (n - 1) * cs;
+            assert!(span < data.len(), "MatMut view exceeds its buffer");
+        }
+        MatMut { data, m, n, rs, cs }
+    }
+
+    #[inline]
+    fn idx(&self, i: usize, j: usize) -> usize {
+        i * self.rs + j * self.cs
+    }
+}
+
+/// `C := alpha * A * B + beta * C` on strided views, picking the packed or
+/// fallback path by problem size. `beta == 0` overwrites `C` (NaN-safe,
+/// BLAS convention); `beta == 1` skips the scale pass entirely.
+pub(crate) fn gemm_into(
+    alpha: f64,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    beta: f64,
+    mut c: MatMut<'_>,
+    scratch: &mut GemmScratch,
+) {
+    gemm_into_impl(alpha, a, b, beta, &mut c, scratch, false);
+}
+
+pub(crate) fn gemm_into_impl(
+    alpha: f64,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    beta: f64,
+    c: &mut MatMut<'_>,
+    scratch: &mut GemmScratch,
+    force_packed: bool,
+) {
+    assert_eq!(a.n, b.m, "gemm inner dimensions");
+    assert_eq!(a.m, c.m, "gemm C rows");
+    assert_eq!(b.n, c.n, "gemm C cols");
+    scale_c(beta, c);
+    let (m, n, k) = (c.m, c.n, a.n);
+    if alpha == 0.0 || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    if force_packed || m * n * k >= PACKED_MIN_FLOPS {
+        gemm_packed(alpha, a, b, c, scratch);
+    } else {
+        gemm_small(alpha, a, b, c);
+    }
+}
+
+/// Apply `beta` to `C`: zero-fill for `beta == 0` (so garbage, including
+/// NaN/Inf, in an uninitialized `C` cannot leak through `0 * NaN`), no-op
+/// for `beta == 1`, scale otherwise.
+fn scale_c(beta: f64, c: &mut MatMut<'_>) {
+    if beta == 1.0 || c.m == 0 || c.n == 0 {
+        return;
+    }
+    if c.rs == 1 && c.cs >= c.m {
+        for j in 0..c.n {
+            let base = j * c.cs;
+            let col = &mut c.data[base..base + c.m];
+            if beta == 0.0 {
+                col.fill(0.0);
+            } else {
+                for x in col {
+                    *x *= beta;
+                }
+            }
+        }
+    } else {
+        for j in 0..c.n {
+            for i in 0..c.m {
+                let idx = c.idx(i, j);
+                c.data[idx] = if beta == 0.0 { 0.0 } else { c.data[idx] * beta };
+            }
+        }
+    }
+}
+
+/// Unpacked fallback for small products: `C += alpha * A * B` with the loop
+/// order chosen by which operands are unit-stride.
+fn gemm_small(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, c: &mut MatMut<'_>) {
+    let (m, n, k) = (c.m, c.n, a.n);
+    if a.cs == 1 && b.rs == 1 {
+        // Dot form: rows of A and columns of B are both contiguous.
+        for j in 0..n {
+            let bcol = &b.data[j * b.cs..j * b.cs + k];
+            for i in 0..m {
+                let arow = &a.data[i * a.rs..i * a.rs + k];
+                let dot = crate::blas::ddot(arow, bcol);
+                let idx = c.idx(i, j);
+                c.data[idx] += alpha * dot;
+            }
+        }
+    } else if a.rs == 1 && c.rs == 1 {
+        // Axpy form: columns of A and C are contiguous (jki order).
+        for j in 0..n {
+            for p in 0..k {
+                let f = alpha * b.at(p, j);
+                if f == 0.0 {
+                    continue;
+                }
+                let acol = &a.data[p * a.cs..p * a.cs + m];
+                let cbase = j * c.cs;
+                let ccol = &mut c.data[cbase..cbase + m];
+                for (x, v) in ccol.iter_mut().zip(acol) {
+                    *x += f * v;
+                }
+            }
+        }
+    } else {
+        for j in 0..n {
+            for i in 0..m {
+                let mut s = 0.0;
+                for p in 0..k {
+                    s += a.at(i, p) * b.at(p, j);
+                }
+                let idx = c.idx(i, j);
+                c.data[idx] += alpha * s;
+            }
+        }
+    }
+}
+
+fn gemm_packed(
+    alpha: f64,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    c: &mut MatMut<'_>,
+    scratch: &mut GemmScratch,
+) {
+    let (m, n, k) = (c.m, c.n, a.n);
+    let wide = wide_kernel_available();
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            pack_b(b, pc, jc, kc, nc, &mut scratch.pack_b);
+            for ic in (0..m).step_by(MC) {
+                let mc = MC.min(m - ic);
+                pack_a(a, ic, pc, mc, kc, &mut scratch.pack_a);
+                macro_kernel(
+                    &scratch.pack_a,
+                    &scratch.pack_b,
+                    mc,
+                    nc,
+                    kc,
+                    alpha,
+                    c,
+                    ic,
+                    jc,
+                    wide,
+                );
+            }
+        }
+    }
+}
+
+/// Pack the `mc x kc` block of `A` at `(ic, pc)` into row-panels of `MR`:
+/// panel `ip` holds rows `ic + ip*MR ..` for all `kc` columns, `MR` entries
+/// per k-step, zero-padded at the bottom edge.
+fn pack_a(a: MatRef<'_>, ic: usize, pc: usize, mc: usize, kc: usize, buf: &mut Vec<f64>) {
+    let panels = mc.div_ceil(MR);
+    let needed = panels * MR * kc;
+    if buf.len() < needed {
+        buf.resize(needed, 0.0);
+    }
+    let buf = &mut buf[..needed];
+    for ip in 0..panels {
+        let i0 = ic + ip * MR;
+        let rows = MR.min(ic + mc - i0);
+        let dst = &mut buf[ip * MR * kc..(ip + 1) * MR * kc];
+        if a.rs == 1 {
+            for p in 0..kc {
+                let base = (pc + p) * a.cs + i0;
+                let src = &a.data[base..base + rows];
+                let d = &mut dst[p * MR..(p + 1) * MR];
+                d[..rows].copy_from_slice(src);
+                d[rows..].fill(0.0);
+            }
+        } else {
+            for p in 0..kc {
+                let d = &mut dst[p * MR..(p + 1) * MR];
+                for (ii, x) in d[..rows].iter_mut().enumerate() {
+                    *x = a.at(i0 + ii, pc + p);
+                }
+                d[rows..].fill(0.0);
+            }
+        }
+    }
+}
+
+/// Pack the `kc x nc` block of `B` at `(pc, jc)` into column-panels of
+/// `NR`: panel `jp` holds columns `jc + jp*NR ..`, `NR` entries per k-step,
+/// zero-padded at the right edge.
+fn pack_b(b: MatRef<'_>, pc: usize, jc: usize, kc: usize, nc: usize, buf: &mut Vec<f64>) {
+    let panels = nc.div_ceil(NR);
+    let needed = panels * NR * kc;
+    if buf.len() < needed {
+        buf.resize(needed, 0.0);
+    }
+    let buf = &mut buf[..needed];
+    for jp in 0..panels {
+        let j0 = jc + jp * NR;
+        let cols = NR.min(jc + nc - j0);
+        let dst = &mut buf[jp * NR * kc..(jp + 1) * NR * kc];
+        if b.rs == 1 {
+            for jj in 0..cols {
+                let base = (j0 + jj) * b.cs + pc;
+                let src = &b.data[base..base + kc];
+                for (p, x) in src.iter().enumerate() {
+                    dst[p * NR + jj] = *x;
+                }
+            }
+        } else if b.cs == 1 {
+            for p in 0..kc {
+                let base = (pc + p) * b.rs + j0;
+                let src = &b.data[base..base + cols];
+                let d = &mut dst[p * NR..(p + 1) * NR];
+                d[..cols].copy_from_slice(src);
+            }
+        } else {
+            for p in 0..kc {
+                let d = &mut dst[p * NR..(p + 1) * NR];
+                for (jj, x) in d[..cols].iter_mut().enumerate() {
+                    *x = b.at(pc + p, j0 + jj);
+                }
+            }
+        }
+        // Zero-pad the right edge once per panel.
+        if cols < NR {
+            for p in 0..kc {
+                dst[p * NR + cols..(p + 1) * NR].fill(0.0);
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn macro_kernel(
+    pa: &[f64],
+    pb: &[f64],
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    alpha: f64,
+    c: &mut MatMut<'_>,
+    ic: usize,
+    jc: usize,
+    wide: bool,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if wide {
+        // SAFETY: `wide` is true only when runtime detection confirmed
+        // avx2 and fma support on this CPU.
+        unsafe { macro_kernel_avx2(pa, pb, mc, nc, kc, alpha, c, ic, jc) };
+        return;
+    }
+    let _ = wide;
+    macro_kernel_generic::<false>(pa, pb, mc, nc, kc, alpha, c, ic, jc);
+}
+
+/// The same macrokernel body compiled with AVX2 + FMA enabled; the
+/// autovectorizer turns the accumulator rows into 256-bit FMAs.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn macro_kernel_avx2(
+    pa: &[f64],
+    pb: &[f64],
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    alpha: f64,
+    c: &mut MatMut<'_>,
+    ic: usize,
+    jc: usize,
+) {
+    macro_kernel_generic::<true>(pa, pb, mc, nc, kc, alpha, c, ic, jc);
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn macro_kernel_generic<const FMA: bool>(
+    pa: &[f64],
+    pb: &[f64],
+    mc: usize,
+    nc: usize,
+    kc: usize,
+    alpha: f64,
+    c: &mut MatMut<'_>,
+    ic: usize,
+    jc: usize,
+) {
+    for jp in 0..nc.div_ceil(NR) {
+        let j0 = jp * NR;
+        let nr = NR.min(nc - j0);
+        let bpan = &pb[jp * NR * kc..(jp + 1) * NR * kc];
+        for ip in 0..mc.div_ceil(MR) {
+            let i0 = ip * MR;
+            let mr = MR.min(mc - i0);
+            let apan = &pa[ip * MR * kc..(ip + 1) * MR * kc];
+            micro_kernel::<FMA>(alpha, apan, bpan, c, ic + i0, jc + j0, mr, nr);
+        }
+    }
+}
+
+/// `MR x NR` register tile: accumulate `alpha * apan * bpan` over the full
+/// packed k-extent, then write the true `mr x nr` footprint back into `C`.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn micro_kernel<const FMA: bool>(
+    alpha: f64,
+    apan: &[f64],
+    bpan: &[f64],
+    c: &mut MatMut<'_>,
+    ci: usize,
+    cj: usize,
+    mr: usize,
+    nr: usize,
+) {
+    let mut acc = [[0.0f64; MR]; NR];
+    for (ac, bc) in apan.chunks_exact(MR).zip(bpan.chunks_exact(NR)) {
+        let ac: &[f64; MR] = ac.try_into().unwrap();
+        let bc: &[f64; NR] = bc.try_into().unwrap();
+        for j in 0..NR {
+            let bj = bc[j];
+            for i in 0..MR {
+                if FMA {
+                    acc[j][i] = ac[i].mul_add(bj, acc[j][i]);
+                } else {
+                    acc[j][i] += ac[i] * bj;
+                }
+            }
+        }
+    }
+    for (j, accj) in acc.iter().enumerate().take(nr) {
+        for (i, &v) in accj.iter().enumerate().take(mr) {
+            let idx = c.idx(ci + i, cj + j);
+            c.data[idx] += alpha * v;
+        }
+    }
+}
+
+/// Whether the AVX2+FMA macrokernel can run on this CPU (cached).
+fn wide_kernel_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::OnceLock;
+        static WIDE: OnceLock<bool> = OnceLock::new();
+        *WIDE.get_or_init(|| {
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense(m: usize, n: usize, f: impl Fn(usize, usize) -> f64) -> Vec<f64> {
+        let mut v = vec![0.0; m * n];
+        for j in 0..n {
+            for i in 0..m {
+                v[i + j * m] = f(i, j);
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn packed_matches_naive_with_offsets_and_strides() {
+        let (m, n, k) = (13, 9, 21);
+        let a = dense(m, k, |i, j| (i * 31 + j * 7) as f64 * 0.01 - 1.0);
+        let b = dense(k, n, |i, j| (i * 13 + j * 5) as f64 * 0.02 - 2.0);
+        let mut c = vec![0.5; m * n];
+        let mut scratch = GemmScratch::default();
+        gemm_into_impl(
+            1.5,
+            MatRef::new(&a, m, k, 1, m),
+            MatRef::new(&b, k, n, 1, k),
+            -1.0,
+            &mut MatMut::new(&mut c, m, n, 1, m),
+            &mut scratch,
+            true,
+        );
+        for j in 0..n {
+            for i in 0..m {
+                let mut s = 0.0;
+                for p in 0..k {
+                    s += a[i + p * m] * b[p + j * k];
+                }
+                let want = 1.5 * s - 0.5;
+                assert!((c[i + j * m] - want).abs() < 1e-10, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_views_match() {
+        let (m, n, k) = (10, 6, 7);
+        let at = dense(k, m, |i, j| (i + 2 * j) as f64 * 0.1);
+        let b = dense(k, n, |i, j| (3 * i + j) as f64 * 0.1 - 1.0);
+        let mut c = vec![0.0; m * n];
+        let mut scratch = GemmScratch::default();
+        gemm_into_impl(
+            1.0,
+            MatRef::new(&at, k, m, 1, k).t(),
+            MatRef::new(&b, k, n, 1, k),
+            0.0,
+            &mut MatMut::new(&mut c, m, n, 1, m),
+            &mut scratch,
+            true,
+        );
+        for j in 0..n {
+            for i in 0..m {
+                let mut s = 0.0;
+                for p in 0..k {
+                    s += at[p + i * k] * b[p + j * k];
+                }
+                assert!((c[i + j * m] - s).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn beta_zero_overwrites_nan() {
+        let a = dense(4, 4, |i, j| (i + j) as f64);
+        let b = a.clone();
+        let mut c = vec![f64::NAN; 16];
+        let mut scratch = GemmScratch::default();
+        gemm_into_impl(
+            1.0,
+            MatRef::new(&a, 4, 4, 1, 4),
+            MatRef::new(&b, 4, 4, 1, 4),
+            0.0,
+            &mut MatMut::new(&mut c, 4, 4, 1, 4),
+            &mut scratch,
+            true,
+        );
+        assert!(c.iter().all(|x| x.is_finite()), "NaN leaked through beta=0");
+    }
+}

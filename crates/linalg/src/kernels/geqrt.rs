@@ -1,9 +1,10 @@
 //! `geqrt` (tile QR) and `unmqr` (apply tile Q), with inner blocking.
 
-use super::{apply_t_block, inner_blocks, ApplyTrans};
+use super::{apply_tile_block, inner_blocks, ApplyTrans};
 use crate::blas::ddot;
 use crate::householder::dlarfg;
 use crate::matrix::Matrix;
+use crate::workspace::{grow, with_thread_workspace, Workspace};
 
 /// QR factorization of the `m x n` tile `a` with inner block size `ib`.
 ///
@@ -11,7 +12,16 @@ use crate::matrix::Matrix;
 /// holds the Householder reflectors `V` (unit diagonal implicit), and
 /// `t[0..ibb, jb..jb+ibb]` holds the upper-triangular inner-block factors.
 /// `t` must be at least `min(ib, k) x k` with `k = min(m, n)`.
+///
+/// Uses the thread-local [`Workspace`]; see [`geqrt_ws`] for the
+/// explicit-workspace variant.
 pub fn geqrt(a: &mut Matrix, t: &mut Matrix, ib: usize) {
+    with_thread_workspace(|ws| geqrt_ws(a, t, ib, ws));
+}
+
+/// [`geqrt`] with caller-provided scratch: allocation-free once `ws` has
+/// warmed up to the problem size.
+pub fn geqrt_ws(a: &mut Matrix, t: &mut Matrix, ib: usize, ws: &mut Workspace) {
     let m = a.nrows();
     let n = a.ncols();
     let k = m.min(n);
@@ -19,7 +29,7 @@ pub fn geqrt(a: &mut Matrix, t: &mut Matrix, ib: usize) {
         t.nrows() >= ib.min(k.max(1)) && t.ncols() >= k,
         "t too small"
     );
-    let mut taus = vec![0.0; k];
+    let taus = grow(&mut ws.taus, k);
 
     for (jb, ibb) in inner_blocks(k, ib, ApplyTrans::Trans) {
         // Unblocked factorization of the panel columns jb..jb+ibb.
@@ -61,10 +71,7 @@ pub fn geqrt(a: &mut Matrix, t: &mut Matrix, ib: usize) {
             for li in 0..lj {
                 let i = jb + li;
                 // v_i^T v_j: unit head of v_j hits row j of v_i, tails overlap below.
-                let mut s = a[(j, i)];
-                for r in j + 1..m {
-                    s += a[(r, i)] * a[(r, j)];
-                }
+                let s = a[(j, i)] + ddot(&a.col(i)[j + 1..m], &a.col(j)[j + 1..m]);
                 t[(li, j)] = -tau * s;
             }
             for li in 0..lj {
@@ -77,36 +84,24 @@ pub fn geqrt(a: &mut Matrix, t: &mut Matrix, ib: usize) {
         }
 
         // Apply the block reflector (transposed) to the trailing columns of
-        // this tile: C = a[jb.., jb+ibb..n].
+        // this tile. The V block lives in columns jb..jb+ibb and the update
+        // target in columns jb+ibb.., so split the tile buffer between them.
         if jb + ibb < n {
             let nc = n - (jb + ibb);
-            let mut w = Matrix::zeros(ibb, nc);
-            for wc in 0..nc {
-                let c = jb + ibb + wc;
-                for l in 0..ibb {
-                    let vcol = jb + l;
-                    let mut s = a[(vcol, c)];
-                    for r in vcol + 1..m {
-                        s += a[(r, vcol)] * a[(r, c)];
-                    }
-                    w[(l, wc)] = s;
-                }
-            }
-            apply_t_block(t, jb, ibb, ApplyTrans::Trans, &mut w);
-            for wc in 0..nc {
-                let c = jb + ibb + wc;
-                for l in 0..ibb {
-                    let vcol = jb + l;
-                    let wv = w[(l, wc)];
-                    if wv == 0.0 {
-                        continue;
-                    }
-                    a[(vcol, c)] -= wv;
-                    for r in vcol + 1..m {
-                        a[(r, c)] -= a[(r, vcol)] * wv;
-                    }
-                }
-            }
+            let (vpart, cpart) = a.split_cols_mut(jb + ibb);
+            apply_tile_block(
+                vpart,
+                m,
+                t,
+                jb,
+                ibb,
+                ApplyTrans::Trans,
+                cpart,
+                0,
+                nc,
+                &mut ws.w,
+                &mut ws.gemm,
+            );
         }
     }
 }
@@ -116,40 +111,42 @@ pub fn geqrt(a: &mut Matrix, t: &mut Matrix, ib: usize) {
 ///
 /// `v` is the factored tile (reflectors in its strict lower triangle) and
 /// `t` the matching inner-block factors. `c` must have the same row count.
+///
+/// Uses the thread-local [`Workspace`]; see [`unmqr_ws`] for the
+/// explicit-workspace variant.
 pub fn unmqr(v: &Matrix, t: &Matrix, trans: ApplyTrans, c: &mut Matrix, ib: usize) {
+    with_thread_workspace(|ws| unmqr_ws(v, t, trans, c, ib, ws));
+}
+
+/// [`unmqr`] with caller-provided scratch: allocation-free once `ws` has
+/// warmed up to the problem size.
+pub fn unmqr_ws(
+    v: &Matrix,
+    t: &Matrix,
+    trans: ApplyTrans,
+    c: &mut Matrix,
+    ib: usize,
+    ws: &mut Workspace,
+) {
     let m = v.nrows();
     let k = m.min(v.ncols());
     assert_eq!(c.nrows(), m, "C row count must match V");
     let n = c.ncols();
 
     for (jb, ibb) in inner_blocks(k, ib, trans) {
-        let mut w = Matrix::zeros(ibb, n);
-        for col in 0..n {
-            let ccol = c.col(col);
-            for l in 0..ibb {
-                let vcol = jb + l;
-                let mut s = ccol[vcol];
-                for r in vcol + 1..m {
-                    s += v[(r, vcol)] * ccol[r];
-                }
-                w[(l, col)] = s;
-            }
-        }
-        apply_t_block(t, jb, ibb, trans, &mut w);
-        for col in 0..n {
-            let ccol = c.col_mut(col);
-            for l in 0..ibb {
-                let vcol = jb + l;
-                let wv = w[(l, col)];
-                if wv == 0.0 {
-                    continue;
-                }
-                ccol[vcol] -= wv;
-                for r in vcol + 1..m {
-                    ccol[r] -= v[(r, vcol)] * wv;
-                }
-            }
-        }
+        apply_tile_block(
+            v.data(),
+            m,
+            t,
+            jb,
+            ibb,
+            trans,
+            c.data_mut(),
+            0,
+            n,
+            &mut ws.w,
+            &mut ws.gemm,
+        );
     }
 }
 
@@ -221,6 +218,13 @@ mod tests {
     }
 
     #[test]
+    fn geqrt_big_tile_exercises_packed_path() {
+        // 96x96 with ib=24 pushes the trailing update over the packed GEMM
+        // crossover, covering the packed W accumulation/write-back.
+        check_qr(96, 96, 24);
+    }
+
+    #[test]
     fn unmqr_trans_then_notrans_roundtrip() {
         let mut rng = rand::rng();
         let mut a = Matrix::random(7, 7, &mut rng);
@@ -261,5 +265,21 @@ mod tests {
         geqrt(&mut a, &mut t, 2);
         assert_eq!(a.norm_fro(), 0.0);
         assert_eq!(t.norm_fro(), 0.0);
+    }
+
+    #[test]
+    fn explicit_workspace_matches_thread_local() {
+        let mut rng = rand::rng();
+        let a0 = Matrix::random(12, 12, &mut rng);
+        let mut a1 = a0.clone();
+        let mut t1 = Matrix::zeros(4, 12);
+        geqrt(&mut a1, &mut t1, 4);
+
+        let mut ws = Workspace::new();
+        let mut a2 = a0.clone();
+        let mut t2 = Matrix::zeros(4, 12);
+        geqrt_ws(&mut a2, &mut t2, 4, &mut ws);
+        assert_eq!(a1, a2);
+        assert_eq!(t1, t2);
     }
 }

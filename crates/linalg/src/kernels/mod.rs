@@ -15,18 +15,30 @@
 //! block-reflector factors in a `ib x n` matrix `t`: the `T` factor of the
 //! inner block starting at column `jb` lives in `t[0..ibb, jb..jb+ibb]`
 //! (upper triangular, `ibb = min(ib, n - jb)`).
+//!
+//! The block-reflector applies are GEMM-shaped: the `W = A1 + V2^T A2`,
+//! `A2 -= V2 W` steps run through the packed GEMM engine over the whole
+//! column range, with the ragged reflector tails of `ttqrt`/`ttmqr` split
+//! into a dense rectangle (GEMM) plus a small triangular fringe. Each
+//! kernel has a `*_ws` variant taking an explicit [`Workspace`]
+//! (allocation-free in steady state); the plain names borrow the
+//! thread-local workspace.
 
 pub mod cholesky;
 mod geqrt;
 mod tsqrt;
 mod ttqrt;
 
-pub use cholesky::{potrf_lower, syrk_lower, trsm_right_lower_trans};
-pub use geqrt::{geqrt, unmqr};
-pub use tsqrt::{tsmqr, tsqrt};
-pub use ttqrt::{ttmqr, ttqrt};
+pub use geqrt::{geqrt, geqrt_ws, unmqr, unmqr_ws};
+pub use tsqrt::{tsmqr, tsmqr_ws, tsqrt, tsqrt_ws};
+pub use ttqrt::{ttmqr, ttmqr_ws, ttqrt, ttqrt_ws};
 
+pub use cholesky::{potrf_lower, syrk_lower, trsm_right_lower_trans};
+
+use crate::blas::{daxpy, ddot};
+use crate::gemm::{gemm_into, GemmScratch, MatMut, MatRef};
 use crate::matrix::Matrix;
+use crate::workspace::grow;
 
 /// Which operator to apply in the `*mqr` kernels.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -37,42 +49,87 @@ pub enum ApplyTrans {
     Trans,
 }
 
-/// Iterate over the inner blocks of a factorization with `k` columns:
-/// yields `(jb, ibb)` pairs, ascending for [`ApplyTrans::Trans`] (and for
-/// factorization), descending for [`ApplyTrans::NoTrans`].
-pub(crate) fn inner_blocks(k: usize, ib: usize, trans: ApplyTrans) -> Vec<(usize, usize)> {
-    assert!(ib > 0, "inner block size must be positive");
-    let mut blocks: Vec<(usize, usize)> =
-        (0..k).step_by(ib).map(|jb| (jb, ib.min(k - jb))).collect();
-    if trans == ApplyTrans::NoTrans {
-        blocks.reverse();
-    }
-    blocks
+/// Shape of the stored reflector tails in a stacked block (`tsqrt` family
+/// vs `ttqrt` family).
+#[derive(Copy, Clone, Debug)]
+pub(crate) enum VShape {
+    /// Every tail spans the same `m2` rows (`tsqrt`/`tsmqr`).
+    Full(usize),
+    /// Local tail `l` spans `first + l` rows (`ttqrt`/`ttmqr` staircase).
+    Staircase {
+        /// Rows of the shortest (first) tail in the block.
+        first: usize,
+    },
 }
 
-/// Multiply the `ibb x nc` workspace `w` in place by the inner-block `T`
-/// factor stored at `t[0..ibb, jb..jb+ibb]`: `w := op(T) * w`.
-pub(crate) fn apply_t_block(t: &Matrix, jb: usize, ibb: usize, trans: ApplyTrans, w: &mut Matrix) {
-    debug_assert_eq!(w.nrows(), ibb);
-    let nc = w.ncols();
+impl VShape {
+    /// Stored length of local tail `l`.
+    #[inline]
+    fn len(self, l: usize) -> usize {
+        match self {
+            VShape::Full(m2) => m2,
+            VShape::Staircase { first } => first + l,
+        }
+    }
+
+    /// Rows shared by *all* tails of an `ibb`-wide block (the dense
+    /// rectangle handled by GEMM; the rest is the triangular fringe).
+    #[inline]
+    fn rect(self) -> usize {
+        match self {
+            VShape::Full(m2) => m2,
+            VShape::Staircase { first } => first,
+        }
+    }
+}
+
+/// Iterate over the inner blocks of a factorization with `k` columns:
+/// yields `(jb, ibb)` pairs, ascending for [`ApplyTrans::Trans`] (and for
+/// factorization), descending for [`ApplyTrans::NoTrans`]. Allocation-free.
+pub(crate) fn inner_blocks(
+    k: usize,
+    ib: usize,
+    trans: ApplyTrans,
+) -> impl Iterator<Item = (usize, usize)> {
+    assert!(ib > 0, "inner block size must be positive");
+    let nblocks = k.div_ceil(ib);
+    (0..nblocks).map(move |bi| {
+        let bi = if trans == ApplyTrans::NoTrans {
+            nblocks - 1 - bi
+        } else {
+            bi
+        };
+        let jb = bi * ib;
+        (jb, ib.min(k - jb))
+    })
+}
+
+/// Multiply the `ibb x nc` column-major workspace `w` (leading dimension
+/// `ibb`) in place by the inner-block `T` factor stored at
+/// `t[0..ibb, jb..jb+ibb]`: `w := op(T) * w`.
+pub(crate) fn apply_t_block(
+    t: &Matrix,
+    jb: usize,
+    ibb: usize,
+    trans: ApplyTrans,
+    w: &mut [f64],
+    nc: usize,
+) {
+    debug_assert!(w.len() >= ibb * nc);
     match trans {
         ApplyTrans::Trans => {
             // Row i of T^T w depends on rows <= i of w: bottom-up in place.
             for c in 0..nc {
-                let col = w.col_mut(c);
+                let col = &mut w[c * ibb..(c + 1) * ibb];
                 for i in (0..ibb).rev() {
-                    let mut s = 0.0;
-                    for l in 0..=i {
-                        s += t[(l, jb + i)] * col[l];
-                    }
-                    col[i] = s;
+                    col[i] = ddot(&t.col(jb + i)[..=i], &col[..=i]);
                 }
             }
         }
         ApplyTrans::NoTrans => {
             // Row i of T w depends on rows >= i of w: top-down in place.
             for c in 0..nc {
-                let col = w.col_mut(c);
+                let col = &mut w[c * ibb..(c + 1) * ibb];
                 for i in 0..ibb {
                     let mut s = 0.0;
                     for l in i..ibb {
@@ -87,21 +144,24 @@ pub(crate) fn apply_t_block(t: &Matrix, jb: usize, ibb: usize, trans: ApplyTrans
 
 /// Form the inner-block `T` factor for a *stacked* reflector block
 /// (`tsqrt` / `ttqrt`): the top part of each reflector is a unit vector, so
-/// cross products reduce to dot products of the stored tails in `v2`.
+/// cross products reduce to dot products of the stored tails.
 ///
-/// Local reflector `l` (for `l < ibb`) has its tail in column
-/// `v2_col0 + l` of `v2` with stored length `vlen(l)`; `taus[l]` is its
+/// `v2` is the flat column-major store with leading dimension `v2_ld`;
+/// local reflector `l` (for `l < ibb`) has its tail in column
+/// `v2_col0 + l` with stored length `shape.len(l)`; `taus[l]` is its
 /// scalar. The result goes to `t[0..ibb, jb..jb+ibb]`.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn form_t_block_stacked(
-    v2: &Matrix,
+    v2: &[f64],
+    v2_ld: usize,
     v2_col0: usize,
     jb: usize,
     ibb: usize,
     taus: &[f64],
-    vlen: &impl Fn(usize) -> usize,
+    shape: VShape,
     t: &mut Matrix,
 ) {
+    let vcol = |l: usize| &v2[(v2_col0 + l) * v2_ld..][..shape.len(l)];
     for lj in 0..ibb {
         let j = jb + lj;
         let tau = taus[lj];
@@ -114,11 +174,8 @@ pub(crate) fn form_t_block_stacked(
         }
         // t[0..lj, j] = -tau * V2[:, ..lj]^T * v2_lj  (overlap bounded by tail lengths)
         for li in 0..lj {
-            let len = vlen(li).min(vlen(lj));
-            let mut s = 0.0;
-            for r in 0..len {
-                s += v2[(r, v2_col0 + li)] * v2[(r, v2_col0 + lj)];
-            }
+            let len = shape.len(li).min(shape.len(lj));
+            let s = ddot(&vcol(li)[..len], &vcol(lj)[..len]);
             t[(li, j)] = -tau * s;
         }
         // t[0..lj, j] = T_block * t[0..lj, j], ascending in-place triangular product.
@@ -142,53 +199,174 @@ pub(crate) fn form_t_block_stacked(
 /// A2[.., cols]         -= V2_blk * W
 /// ```
 ///
-/// Local reflector `l` has its tail in column `v2_col0 + l` of `v2` with
-/// stored length `vlen(l)` (rows of `a2` it touches).
+/// `v2` is the flat column-major reflector store with leading dimension
+/// `v2_ld`; local reflector `l` has its tail in column `v2_col0 + l` with
+/// stored length `shape.len(l)`. The two `V2` products run as one GEMM
+/// each over the dense `shape.rect()`-row rectangle, plus per-tail
+/// dot/axpy fringe for the staircase rows. `w`/`gemm` are the caller's
+/// scratch (no allocations in steady state).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn apply_stacked_block(
-    v2: &Matrix,
+    v2: &[f64],
+    v2_ld: usize,
     v2_col0: usize,
     t: &Matrix,
     jb: usize,
     ibb: usize,
     trans: ApplyTrans,
-    vlen: &impl Fn(usize) -> usize,
+    shape: VShape,
     a1: &mut Matrix,
     a2: &mut Matrix,
     cols: std::ops::Range<usize>,
+    w: &mut Vec<f64>,
+    gemm: &mut GemmScratch,
 ) {
     let nc = cols.len();
-    if nc == 0 {
+    if nc == 0 || ibb == 0 {
         return;
     }
-    let mut w = Matrix::zeros(ibb, nc);
+    let rect = shape.rect();
+    let a2m = a2.nrows();
+    let w = grow(w, ibb * nc);
+
+    // W = A1[jb..jb+ibb, cols].
     for (wc, c) in cols.clone().enumerate() {
-        let a2col = a2.col(c);
-        for l in 0..ibb {
-            let len = vlen(l);
-            let mut s = a1[(jb + l, c)];
-            for r in 0..len {
-                s += v2[(r, v2_col0 + l)] * a2col[r];
+        w[wc * ibb..(wc + 1) * ibb].copy_from_slice(&a1.col(c)[jb..jb + ibb]);
+    }
+    // W += V2_rect^T * A2_rect over the dense rectangle.
+    if rect > 0 {
+        let v2v = MatRef::new(&v2[v2_col0 * v2_ld..], rect, ibb, 1, v2_ld).t();
+        let a2v = MatRef::new(&a2.data()[cols.start * a2m..], rect, nc, 1, a2m);
+        gemm_into(
+            1.0,
+            v2v,
+            a2v,
+            1.0,
+            MatMut::new(&mut w[..], ibb, nc, 1, ibb),
+            gemm,
+        );
+    }
+    // Staircase fringe: tail `l` additionally spans rows rect..rect+l.
+    if let VShape::Staircase { first } = shape {
+        for l in 1..ibb {
+            let len = first + l;
+            let vtail = &v2[(v2_col0 + l) * v2_ld..][rect..len];
+            for (wc, c) in cols.clone().enumerate() {
+                w[wc * ibb + l] += ddot(vtail, &a2.col(c)[rect..len]);
             }
-            w[(l, wc)] = s;
         }
     }
-    apply_t_block(t, jb, ibb, trans, &mut w);
-    for (wc, c) in cols.enumerate() {
-        for l in 0..ibb {
-            a1[(jb + l, c)] -= w[(l, wc)];
+
+    apply_t_block(t, jb, ibb, trans, w, nc);
+
+    // A1[jb..jb+ibb, cols] -= W.
+    for (wc, c) in cols.clone().enumerate() {
+        let dst = &mut a1.col_mut(c)[jb..jb + ibb];
+        for (x, wv) in dst.iter_mut().zip(&w[wc * ibb..(wc + 1) * ibb]) {
+            *x -= wv;
         }
-        let a2col = a2.col_mut(c);
-        for l in 0..ibb {
-            let wv = w[(l, wc)];
-            if wv == 0.0 {
+    }
+    // A2_rect -= V2_rect * W over the dense rectangle.
+    if rect > 0 {
+        let v2v = MatRef::new(&v2[v2_col0 * v2_ld..], rect, ibb, 1, v2_ld);
+        let wv = MatRef::new(&w[..], ibb, nc, 1, ibb);
+        let cv = MatMut::new(&mut a2.data_mut()[cols.start * a2m..], rect, nc, 1, a2m);
+        gemm_into(-1.0, v2v, wv, 1.0, cv, gemm);
+    }
+    // Staircase fringe write-back.
+    if let VShape::Staircase { first } = shape {
+        for l in 1..ibb {
+            let len = first + l;
+            let vtail = &v2[(v2_col0 + l) * v2_ld..][rect..len];
+            for (wc, c) in cols.clone().enumerate() {
+                let wval = w[wc * ibb + l];
+                if wval == 0.0 {
+                    continue;
+                }
+                daxpy(-wval, vtail, &mut a2.col_mut(c)[rect..len]);
+            }
+        }
+    }
+}
+
+/// Apply one inner block of an *in-tile* block reflector (`geqrt` trailing
+/// update / `unmqr`) from the left to columns `c_col0..c_col0+nc` of the
+/// `m x *` column-major buffer `c` (leading dimension `m`):
+///
+/// ```text
+/// W  = V_blk^T * C     (V unit lower-triangular in rows jb..jb+ibb,
+/// W := op(T_blk) * W    dense in rows jb+ibb..m)
+/// C -= V_blk * W
+/// ```
+///
+/// `v` is the flat column-major tile holding reflector `l` in column
+/// `jb + l` (unit head at row `jb + l`, tail below). The dense rows go
+/// through GEMM; the `ibb`-row triangle is per-column dot/axpy.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn apply_tile_block(
+    v: &[f64],
+    m: usize,
+    t: &Matrix,
+    jb: usize,
+    ibb: usize,
+    trans: ApplyTrans,
+    c: &mut [f64],
+    c_col0: usize,
+    nc: usize,
+    w: &mut Vec<f64>,
+    gemm: &mut GemmScratch,
+) {
+    if nc == 0 || ibb == 0 {
+        return;
+    }
+    let d0 = jb + ibb; // first dense row
+    let md = m - d0;
+    let w = grow(w, ibb * nc);
+
+    // Triangle part: W[l] = C[jb+l] + dot(V[jb+l+1..d0, jb+l], C[jb+l+1..d0]).
+    for wc in 0..nc {
+        let ccol = &c[(c_col0 + wc) * m..][..m];
+        let wcol = &mut w[wc * ibb..(wc + 1) * ibb];
+        for (l, wl) in wcol.iter_mut().enumerate() {
+            let vcol = &v[(jb + l) * m..][..d0];
+            *wl = ccol[jb + l] + ddot(&vcol[jb + l + 1..d0], &ccol[jb + l + 1..d0]);
+        }
+    }
+    // Dense part: W += V_dense^T * C_dense.
+    if md > 0 {
+        let vv = MatRef::new(&v[jb * m + d0..], md, ibb, 1, m).t();
+        let cv = MatRef::new(&c[c_col0 * m + d0..], md, nc, 1, m);
+        gemm_into(
+            1.0,
+            vv,
+            cv,
+            1.0,
+            MatMut::new(&mut w[..], ibb, nc, 1, ibb),
+            gemm,
+        );
+    }
+
+    apply_t_block(t, jb, ibb, trans, w, nc);
+
+    // Triangle write-back: C[jb+l] -= W[l]; C[jb+l+1..d0] -= V_tail * W[l].
+    for wc in 0..nc {
+        let ccol = &mut c[(c_col0 + wc) * m..][..m];
+        let wcol = &w[wc * ibb..(wc + 1) * ibb];
+        for (l, &wl) in wcol.iter().enumerate() {
+            if wl == 0.0 {
                 continue;
             }
-            let len = vlen(l);
-            for r in 0..len {
-                a2col[r] -= v2[(r, v2_col0 + l)] * wv;
-            }
+            let vcol = &v[(jb + l) * m..][..d0];
+            ccol[jb + l] -= wl;
+            daxpy(-wl, &vcol[jb + l + 1..d0], &mut ccol[jb + l + 1..d0]);
         }
+    }
+    // Dense write-back: C_dense -= V_dense * W.
+    if md > 0 {
+        let vv = MatRef::new(&v[jb * m + d0..], md, ibb, 1, m);
+        let wv = MatRef::new(&w[..], ibb, nc, 1, ibb);
+        let cv = MatMut::new(&mut c[c_col0 * m + d0..], md, nc, 1, m);
+        gemm_into(-1.0, vv, wv, 1.0, cv, gemm);
     }
 }
 
@@ -198,15 +376,17 @@ mod tests {
 
     #[test]
     fn inner_blocks_cover_columns() {
-        let blocks = inner_blocks(10, 4, ApplyTrans::Trans);
+        let blocks: Vec<_> = inner_blocks(10, 4, ApplyTrans::Trans).collect();
         assert_eq!(blocks, vec![(0, 4), (4, 4), (8, 2)]);
-        let rev = inner_blocks(10, 4, ApplyTrans::NoTrans);
+        let rev: Vec<_> = inner_blocks(10, 4, ApplyTrans::NoTrans).collect();
         assert_eq!(rev, vec![(8, 2), (4, 4), (0, 4)]);
     }
 
     #[test]
     fn inner_blocks_single() {
-        assert_eq!(inner_blocks(3, 8, ApplyTrans::Trans), vec![(0, 3)]);
+        let blocks: Vec<_> = inner_blocks(3, 8, ApplyTrans::Trans).collect();
+        assert_eq!(blocks, vec![(0, 3)]);
+        assert_eq!(inner_blocks(0, 4, ApplyTrans::Trans).count(), 0);
     }
 
     #[test]
@@ -225,13 +405,13 @@ mod tests {
         let w0 = Matrix::random(ibb, 5, &mut rng);
 
         let mut w = w0.clone();
-        apply_t_block(&t, 2, ibb, ApplyTrans::Trans, &mut w);
+        apply_t_block(&t, 2, ibb, ApplyTrans::Trans, w.data_mut(), 5);
         let mut want = Matrix::zeros(ibb, 5);
         dgemm(Trans::Yes, Trans::No, 1.0, &tdense, &w0, 0.0, &mut want);
         assert!(w.sub(&want).norm_fro() < 1e-13);
 
         let mut w = w0.clone();
-        apply_t_block(&t, 2, ibb, ApplyTrans::NoTrans, &mut w);
+        apply_t_block(&t, 2, ibb, ApplyTrans::NoTrans, w.data_mut(), 5);
         let mut want = Matrix::zeros(ibb, 5);
         dgemm(Trans::No, Trans::No, 1.0, &tdense, &w0, 0.0, &mut want);
         assert!(w.sub(&want).norm_fro() < 1e-13);

@@ -1,9 +1,10 @@
 //! `tsqrt` / `tsmqr`: incremental QR of a triangle stacked on a full tile.
 
-use super::{apply_stacked_block, form_t_block_stacked, inner_blocks, ApplyTrans};
+use super::{apply_stacked_block, form_t_block_stacked, inner_blocks, ApplyTrans, VShape};
 use crate::blas::ddot;
 use crate::householder::dlarfg;
 use crate::matrix::Matrix;
+use crate::workspace::{grow, with_thread_workspace, Workspace};
 
 /// Incremental QR of the stacked pair `[A1; A2]` where `a1` is an `n x n`
 /// upper-triangular tile (an `R` factor) and `a2` is a full `m2 x n` tile.
@@ -11,7 +12,16 @@ use crate::matrix::Matrix;
 /// On return `a1` holds the updated `R` factor, `a2` holds the Householder
 /// reflector tails `V2` (the top part of each reflector is an implicit unit
 /// vector), and `t[0..ibb, jb..jb+ibb]` the inner-block factors.
+///
+/// Uses the thread-local [`Workspace`]; see [`tsqrt_ws`] for the
+/// explicit-workspace variant.
 pub fn tsqrt(a1: &mut Matrix, a2: &mut Matrix, t: &mut Matrix, ib: usize) {
+    with_thread_workspace(|ws| tsqrt_ws(a1, a2, t, ib, ws));
+}
+
+/// [`tsqrt`] with caller-provided scratch: allocation-free once `ws` has
+/// warmed up to the problem size.
+pub fn tsqrt_ws(a1: &mut Matrix, a2: &mut Matrix, t: &mut Matrix, ib: usize, ws: &mut Workspace) {
     let n = a1.ncols();
     // a1 may be a full tile taller than its column count; only its top
     // n x n triangle (the R factor) is read and written.
@@ -23,7 +33,7 @@ pub fn tsqrt(a1: &mut Matrix, a2: &mut Matrix, t: &mut Matrix, ib: usize) {
         "t too small"
     );
 
-    let mut taus = vec![0.0; ib.min(n.max(1))];
+    let taus = grow(&mut ws.taus, ib.min(n.max(1)));
     for (jb, ibb) in inner_blocks(n, ib, ApplyTrans::Trans) {
         #[allow(clippy::needless_range_loop)]
         for lj in 0..ibb {
@@ -46,22 +56,37 @@ pub fn tsqrt(a1: &mut Matrix, a2: &mut Matrix, t: &mut Matrix, ib: usize) {
                 }
             }
         }
-        form_t_block_stacked(a2, jb, jb, ibb, &taus[..ibb], &|_| m2, t);
+        form_t_block_stacked(
+            a2.data(),
+            m2,
+            jb,
+            jb,
+            ibb,
+            &taus[..ibb],
+            VShape::Full(m2),
+            t,
+        );
         // Apply the block reflector to the trailing columns. `a2` is both the
         // reflector store and the update target, so copy the V block out.
         if jb + ibb < n {
-            let vblk = a2.submatrix(0, jb, m2, ibb);
+            let vc = grow(&mut ws.vcopy, m2 * ibb);
+            for l in 0..ibb {
+                vc[l * m2..(l + 1) * m2].copy_from_slice(a2.col(jb + l));
+            }
             apply_stacked_block(
-                &vblk,
+                &ws.vcopy[..m2 * ibb],
+                m2,
                 0,
                 t,
                 jb,
                 ibb,
                 ApplyTrans::Trans,
-                &|_| m2,
+                VShape::Full(m2),
                 a1,
                 a2,
                 jb + ibb..n,
+                &mut ws.w,
+                &mut ws.gemm,
             );
         }
     }
@@ -73,6 +98,9 @@ pub fn tsqrt(a1: &mut Matrix, a2: &mut Matrix, t: &mut Matrix, ib: usize) {
 /// `v` is the `m2 x k` reflector-tail tile produced by `tsqrt` (i.e. its
 /// `a2` output) and `t` the matching inner-block factors; `a1` must have at
 /// least `k` rows and `a2` exactly `m2` rows.
+///
+/// Uses the thread-local [`Workspace`]; see [`tsmqr_ws`] for the
+/// explicit-workspace variant.
 pub fn tsmqr(
     a1: &mut Matrix,
     a2: &mut Matrix,
@@ -80,6 +108,21 @@ pub fn tsmqr(
     t: &Matrix,
     trans: ApplyTrans,
     ib: usize,
+) {
+    with_thread_workspace(|ws| tsmqr_ws(a1, a2, v, t, trans, ib, ws));
+}
+
+/// [`tsmqr`] with caller-provided scratch: allocation-free once `ws` has
+/// warmed up to the problem size.
+#[allow(clippy::too_many_arguments)]
+pub fn tsmqr_ws(
+    a1: &mut Matrix,
+    a2: &mut Matrix,
+    v: &Matrix,
+    t: &Matrix,
+    trans: ApplyTrans,
+    ib: usize,
+    ws: &mut Workspace,
 ) {
     let k = v.ncols();
     let m2 = v.nrows();
@@ -89,7 +132,21 @@ pub fn tsmqr(
     let nc = a1.ncols();
 
     for (jb, ibb) in inner_blocks(k, ib, trans) {
-        apply_stacked_block(v, jb, t, jb, ibb, trans, &|_| m2, a1, a2, 0..nc);
+        apply_stacked_block(
+            v.data(),
+            m2,
+            jb,
+            t,
+            jb,
+            ibb,
+            trans,
+            VShape::Full(m2),
+            a1,
+            a2,
+            0..nc,
+            &mut ws.w,
+            &mut ws.gemm,
+        );
     }
 }
 
@@ -171,6 +228,13 @@ mod tests {
     }
 
     #[test]
+    fn tsqrt_big_tile_exercises_packed_path() {
+        // Large enough that the stacked applies cross the packed GEMM
+        // threshold inside apply_stacked_block.
+        check_ts(48, 48, 12);
+    }
+
+    #[test]
     fn tsmqr_roundtrip() {
         let mut rng = rand::rng();
         let n = 5;
@@ -229,5 +293,28 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn explicit_workspace_matches_thread_local() {
+        let mut rng = rand::rng();
+        let n = 16;
+        let ib = 4;
+        let r1 = Matrix::random(n, n, &mut rng).upper_triangle();
+        let b = Matrix::random(n, n, &mut rng);
+
+        let mut a1 = r1.clone();
+        let mut a2 = b.clone();
+        let mut t = Matrix::zeros(ib, n);
+        tsqrt(&mut a1, &mut a2, &mut t, ib);
+
+        let mut ws = Workspace::new();
+        let mut a1w = r1.clone();
+        let mut a2w = b.clone();
+        let mut tw = Matrix::zeros(ib, n);
+        tsqrt_ws(&mut a1w, &mut a2w, &mut tw, ib, &mut ws);
+        assert_eq!(a1, a1w);
+        assert_eq!(a2, a2w);
+        assert_eq!(t, tw);
     }
 }

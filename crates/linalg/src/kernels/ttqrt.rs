@@ -1,9 +1,10 @@
 //! `ttqrt` / `ttmqr`: incremental QR of a triangle stacked on a triangle
 //! (the binary-tree reduction kernels).
 
-use super::{apply_stacked_block, form_t_block_stacked, inner_blocks, ApplyTrans};
+use super::{apply_stacked_block, form_t_block_stacked, inner_blocks, ApplyTrans, VShape};
 use crate::householder::dlarfg;
 use crate::matrix::Matrix;
+use crate::workspace::{grow, with_thread_workspace, Workspace};
 
 /// Incremental QR of the stacked pair `[A1; A2]` where **both** `a1` and
 /// `a2` are `n x n` upper-triangular tiles (two `R` factors meeting in a
@@ -13,7 +14,16 @@ use crate::matrix::Matrix;
 /// the reflector tails `V2` (tail `j` spans rows `0..=j`; the strict lower
 /// triangle of `a2` is never read or written), and `t` the inner-block
 /// factors.
+///
+/// Uses the thread-local [`Workspace`]; see [`ttqrt_ws`] for the
+/// explicit-workspace variant.
 pub fn ttqrt(a1: &mut Matrix, a2: &mut Matrix, t: &mut Matrix, ib: usize) {
+    with_thread_workspace(|ws| ttqrt_ws(a1, a2, t, ib, ws));
+}
+
+/// [`ttqrt`] with caller-provided scratch: allocation-free once `ws` has
+/// warmed up to the problem size.
+pub fn ttqrt_ws(a1: &mut Matrix, a2: &mut Matrix, t: &mut Matrix, ib: usize, ws: &mut Workspace) {
     let n = a1.ncols();
     // Tiles may be taller than their column count (ragged column edges);
     // only the top n x n triangles participate.
@@ -24,8 +34,9 @@ pub fn ttqrt(a1: &mut Matrix, a2: &mut Matrix, t: &mut Matrix, ib: usize) {
         t.nrows() >= ib.min(n.max(1)) && t.ncols() >= n,
         "t too small"
     );
+    let a2m = a2.nrows();
 
-    let mut taus = vec![0.0; ib.min(n.max(1))];
+    let taus = grow(&mut ws.taus, ib.min(n.max(1)));
     for (jb, ibb) in inner_blocks(n, ib, ApplyTrans::Trans) {
         #[allow(clippy::needless_range_loop)]
         for lj in 0..ibb {
@@ -58,24 +69,34 @@ pub fn ttqrt(a1: &mut Matrix, a2: &mut Matrix, t: &mut Matrix, ib: usize) {
                 }
             }
         }
-        let vlen = |l: usize| jb + l + 1;
-        form_t_block_stacked(a2, jb, jb, ibb, &taus[..ibb], &vlen, t);
+        // Local tail l (column jb + l) spans rows 0..jb+l+1.
+        let shape = VShape::Staircase { first: jb + 1 };
+        form_t_block_stacked(a2.data(), a2m, jb, jb, ibb, &taus[..ibb], shape, t);
         // Apply the block reflector to the trailing columns; `a2` is both the
-        // reflector store and the update target, so copy the V block out.
+        // reflector store and the update target, so copy the V block out
+        // (valid staircase rows only — the strict lower triangle of `a2` is
+        // poison by contract and must never be read).
         if jb + ibb < n {
-            let vrows = (jb + ibb).min(n);
-            let vblk = a2.submatrix(0, jb, vrows, ibb);
+            let vrows = jb + ibb;
+            let vc = grow(&mut ws.vcopy, vrows * ibb);
+            for l in 0..ibb {
+                let len = jb + l + 1;
+                vc[l * vrows..l * vrows + len].copy_from_slice(&a2.col(jb + l)[..len]);
+            }
             apply_stacked_block(
-                &vblk,
+                &ws.vcopy[..vrows * ibb],
+                vrows,
                 0,
                 t,
                 jb,
                 ibb,
                 ApplyTrans::Trans,
-                &vlen,
+                shape,
                 a1,
                 a2,
                 jb + ibb..n,
+                &mut ws.w,
+                &mut ws.gemm,
             );
         }
     }
@@ -86,6 +107,9 @@ pub fn ttqrt(a1: &mut Matrix, a2: &mut Matrix, t: &mut Matrix, ib: usize) {
 ///
 /// `v` is the triangular reflector-tail tile produced by `ttqrt` (its `a2`
 /// output; only its upper triangle is read) and `t` the matching factors.
+///
+/// Uses the thread-local [`Workspace`]; see [`ttmqr_ws`] for the
+/// explicit-workspace variant.
 pub fn ttmqr(
     a1: &mut Matrix,
     a2: &mut Matrix,
@@ -94,6 +118,21 @@ pub fn ttmqr(
     trans: ApplyTrans,
     ib: usize,
 ) {
+    with_thread_workspace(|ws| ttmqr_ws(a1, a2, v, t, trans, ib, ws));
+}
+
+/// [`ttmqr`] with caller-provided scratch: allocation-free once `ws` has
+/// warmed up to the problem size.
+#[allow(clippy::too_many_arguments)]
+pub fn ttmqr_ws(
+    a1: &mut Matrix,
+    a2: &mut Matrix,
+    v: &Matrix,
+    t: &Matrix,
+    trans: ApplyTrans,
+    ib: usize,
+    ws: &mut Workspace,
+) {
     let k = v.ncols();
     assert!(a1.nrows() >= k, "a1 must cover the factored rows");
     assert!(a2.nrows() >= k, "a2 must cover the reflector tails");
@@ -101,8 +140,21 @@ pub fn ttmqr(
     let nc = a1.ncols();
 
     for (jb, ibb) in inner_blocks(k, ib, trans) {
-        let vlen = |l: usize| jb + l + 1;
-        apply_stacked_block(v, jb, t, jb, ibb, trans, &vlen, a1, a2, 0..nc);
+        apply_stacked_block(
+            v.data(),
+            v.nrows(),
+            jb,
+            t,
+            jb,
+            ibb,
+            trans,
+            VShape::Staircase { first: jb + 1 },
+            a1,
+            a2,
+            0..nc,
+            &mut ws.w,
+            &mut ws.gemm,
+        );
     }
 }
 
@@ -180,6 +232,13 @@ mod tests {
     }
 
     #[test]
+    fn ttqrt_big_tile_exercises_packed_path() {
+        // Large enough that the rectangle part of the staircase apply
+        // crosses the packed GEMM threshold.
+        check_tt(48, 12);
+    }
+
+    #[test]
     fn ttmqr_roundtrip() {
         let mut rng = rand::rng();
         let n = 5;
@@ -215,5 +274,28 @@ mod tests {
             "R changed by trivial reduction"
         );
         assert_eq!(t.norm_fro(), 0.0);
+    }
+
+    #[test]
+    fn explicit_workspace_matches_thread_local() {
+        let mut rng = rand::rng();
+        let n = 16;
+        let ib = 4;
+        let r1 = Matrix::random(n, n, &mut rng).upper_triangle();
+        let r2 = Matrix::random(n, n, &mut rng).upper_triangle();
+
+        let mut a1 = r1.clone();
+        let mut a2 = r2.clone();
+        let mut t = Matrix::zeros(ib, n);
+        ttqrt(&mut a1, &mut a2, &mut t, ib);
+
+        let mut ws = Workspace::new();
+        let mut a1w = r1.clone();
+        let mut a2w = r2.clone();
+        let mut tw = Matrix::zeros(ib, n);
+        ttqrt_ws(&mut a1w, &mut a2w, &mut tw, ib, &mut ws);
+        assert_eq!(a1, a1w);
+        assert_eq!(a2, a2w);
+        assert_eq!(t, tw);
     }
 }

@@ -14,13 +14,19 @@
 pub mod blas;
 pub mod cond;
 pub mod flops;
+mod gemm;
 pub mod householder;
 pub mod kernels;
 pub mod matrix;
 pub mod reference;
 pub mod tile;
 pub mod verify;
+pub mod workspace;
 
-pub use kernels::{geqrt, tsmqr, tsqrt, ttmqr, ttqrt, unmqr, ApplyTrans};
+pub use kernels::{
+    geqrt, geqrt_ws, tsmqr, tsmqr_ws, tsqrt, tsqrt_ws, ttmqr, ttmqr_ws, ttqrt, ttqrt_ws, unmqr,
+    unmqr_ws, ApplyTrans,
+};
 pub use matrix::Matrix;
 pub use tile::TileMatrix;
+pub use workspace::{with_thread_workspace, Workspace};

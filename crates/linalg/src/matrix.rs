@@ -114,6 +114,14 @@ impl Matrix {
         }
     }
 
+    /// Split the flat buffer at column `j`: returns the data of columns
+    /// `0..j` and `j..n` as two mutable slices (for kernels that update
+    /// trailing columns with reflectors stored in leading columns).
+    pub fn split_cols_mut(&mut self, j: usize) -> (&mut [f64], &mut [f64]) {
+        assert!(j <= self.n);
+        self.data.split_at_mut(j * self.m)
+    }
+
     /// Frobenius norm.
     pub fn norm_fro(&self) -> f64 {
         self.data.iter().map(|x| x * x).sum::<f64>().sqrt()

@@ -1,0 +1,153 @@
+//! Proof that the `_ws` kernel hot path is allocation-free in steady
+//! state: a counting global allocator wraps `System`, each kernel is run
+//! once to warm its [`Workspace`] up to size, and the second call must
+//! perform zero heap allocations.
+
+use pulsar_linalg::kernels::ApplyTrans;
+use pulsar_linalg::{
+    geqrt_ws, tsmqr_ws, tsqrt_ws, ttmqr_ws, ttqrt_ws, unmqr_ws, Matrix, Workspace,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+struct CountingAlloc;
+
+thread_local! {
+    // const-initialized so first access inside `alloc` cannot recurse.
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn alloc_count() -> u64 {
+    ALLOCS.with(|c| c.get())
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+// nb = 64, ib = 16 puts the rectangular applies (16 x 64 x 64 and larger)
+// well above the packed-GEMM crossover, so the counter also covers the
+// engine's packing buffers, not just the small-kernel path.
+const NB: usize = 64;
+const IB: usize = 16;
+
+/// Run `f` twice against the same workspace; the second run must not hit
+/// the allocator at all.
+fn assert_steady_state_alloc_free(
+    name: &str,
+    ws: &mut Workspace,
+    mut f: impl FnMut(&mut Workspace),
+) {
+    f(ws); // warm-up sizes every workspace buffer
+    let before = alloc_count();
+    f(ws);
+    let during = alloc_count() - before;
+    assert_eq!(during, 0, "{name}: {during} allocations after warm-up");
+}
+
+#[test]
+fn factor_kernels_are_alloc_free_after_warmup() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut ws = Workspace::new();
+
+    let mut tile = Matrix::random(NB, NB, &mut rng);
+    let mut t = Matrix::zeros(IB, NB);
+    assert_steady_state_alloc_free("geqrt_ws", &mut ws, |ws| {
+        geqrt_ws(&mut tile, &mut t, IB, ws)
+    });
+
+    let mut a1 = Matrix::random(NB, NB, &mut rng).upper_triangle();
+    let mut a2 = Matrix::random(NB, NB, &mut rng);
+    let mut t = Matrix::zeros(IB, NB);
+    assert_steady_state_alloc_free("tsqrt_ws", &mut ws, |ws| {
+        tsqrt_ws(&mut a1, &mut a2, &mut t, IB, ws)
+    });
+
+    let mut a1 = Matrix::random(NB, NB, &mut rng).upper_triangle();
+    let mut a2 = Matrix::random(NB, NB, &mut rng).upper_triangle();
+    let mut t = Matrix::zeros(IB, NB);
+    assert_steady_state_alloc_free("ttqrt_ws", &mut ws, |ws| {
+        ttqrt_ws(&mut a1, &mut a2, &mut t, IB, ws)
+    });
+}
+
+#[test]
+fn apply_kernels_are_alloc_free_after_warmup() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut ws = Workspace::new();
+
+    // geqrt reflectors -> unmqr.
+    let mut v = Matrix::random(NB, NB, &mut rng);
+    let mut t = Matrix::zeros(IB, NB);
+    geqrt_ws(&mut v, &mut t, IB, &mut ws);
+    let mut c = Matrix::random(NB, NB, &mut rng);
+    assert_steady_state_alloc_free("unmqr_ws", &mut ws, |ws| {
+        unmqr_ws(&v, &t, ApplyTrans::Trans, &mut c, IB, ws)
+    });
+
+    // tsqrt reflectors -> tsmqr.
+    let mut r1 = Matrix::random(NB, NB, &mut rng).upper_triangle();
+    let mut v = Matrix::random(NB, NB, &mut rng);
+    let mut t = Matrix::zeros(IB, NB);
+    tsqrt_ws(&mut r1, &mut v, &mut t, IB, &mut ws);
+    let mut c1 = Matrix::random(NB, NB, &mut rng);
+    let mut c2 = Matrix::random(NB, NB, &mut rng);
+    assert_steady_state_alloc_free("tsmqr_ws", &mut ws, |ws| {
+        tsmqr_ws(&mut c1, &mut c2, &v, &t, ApplyTrans::Trans, IB, ws)
+    });
+
+    // ttqrt reflectors -> ttmqr.
+    let mut r1 = Matrix::random(NB, NB, &mut rng).upper_triangle();
+    let mut v = Matrix::random(NB, NB, &mut rng).upper_triangle();
+    let mut t = Matrix::zeros(IB, NB);
+    ttqrt_ws(&mut r1, &mut v, &mut t, IB, &mut ws);
+    let mut c1 = Matrix::random(NB, NB, &mut rng);
+    let mut c2 = Matrix::random(NB, NB, &mut rng);
+    assert_steady_state_alloc_free("ttmqr_ws", &mut ws, |ws| {
+        ttmqr_ws(&mut c1, &mut c2, &v, &t, ApplyTrans::Trans, IB, ws)
+    });
+}
+
+#[test]
+fn workspace_capacity_stops_growing() {
+    // Independent signal: after one full kernel sweep the arena's capacity
+    // is stable across further sweeps.
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut ws = Workspace::new();
+    let mut sweep = |ws: &mut Workspace| {
+        let mut r1 = Matrix::random(NB, NB, &mut rng).upper_triangle();
+        let mut v = Matrix::random(NB, NB, &mut rng);
+        let mut t = Matrix::zeros(IB, NB);
+        tsqrt_ws(&mut r1, &mut v, &mut t, IB, ws);
+        let mut c1 = Matrix::random(NB, NB, &mut rng);
+        let mut c2 = Matrix::random(NB, NB, &mut rng);
+        tsmqr_ws(&mut c1, &mut c2, &v, &t, ApplyTrans::Trans, IB, ws);
+    };
+    sweep(&mut ws);
+    let cap = ws.capacity();
+    sweep(&mut ws);
+    sweep(&mut ws);
+    assert_eq!(ws.capacity(), cap, "workspace kept growing across sweeps");
+}

@@ -60,7 +60,7 @@ pub use net::NetModel;
 pub use packet::{Packet, PacketCodec, PacketRegistry, WireError};
 pub use trace::{TaskSpan, Trace};
 pub use tuple::Tuple;
-pub use vdp::{VdpContext, VdpLogic, VdpSpec};
+pub use vdp::{VdpContext, VdpLogic, VdpSpec, WorkerScratch};
 pub use vsa::{
     Backend, MappingFn, Place, RunConfig, RunOutput, RunStats, SchedScheme, TcpBackend, Vsa,
 };

@@ -5,7 +5,7 @@ use crate::channel::ChannelQueue;
 use crate::packet::Packet;
 use crate::trace::TaskSpan;
 use crate::tuple::Tuple;
-use crate::vdp::{RuntimeServices, VdpContext, VdpState};
+use crate::vdp::{RuntimeServices, VdpContext, VdpState, WorkerScratch};
 use crate::vsa::{NodeShared, SchedScheme, Shared};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
@@ -102,7 +102,13 @@ impl RuntimeServices for WorkerServices<'_> {
 }
 
 /// Fire one VDP once.
-fn fire_vdp(vdp: &mut VdpState, node: usize, local_thread: usize, services: &WorkerServices<'_>) {
+fn fire_vdp(
+    vdp: &mut VdpState,
+    node: usize,
+    local_thread: usize,
+    services: &WorkerServices<'_>,
+    scratch: &WorkerScratch,
+) {
     let mut logic = vdp.logic.take().expect("firing a destroyed VDP");
     let trace_t0 = services.shared.trace.as_ref().map(|t| t.now_us());
     let label = {
@@ -115,6 +121,7 @@ fn fire_vdp(vdp: &mut VdpState, node: usize, local_thread: usize, services: &Wor
             inputs: &vdp.inputs,
             outputs: &vdp.outputs,
             services,
+            scratch,
             label: None,
         };
         logic.fire(&mut ctx);
@@ -160,6 +167,9 @@ pub(crate) fn worker_loop(
         node_shared,
         local_thread,
     };
+    // One scratch store per worker thread: kernel workspaces stay warm
+    // across every VDP firing this worker executes.
+    let scratch = WorkerScratch::new();
     let global = shared.global_thread(node, local_thread);
     let notifier = shared.notifiers[global].clone();
     let mut alive = vdps.len();
@@ -175,7 +185,7 @@ pub(crate) fn worker_loop(
                 continue;
             }
             while vdp.is_ready() {
-                fire_vdp(vdp, node, local_thread, &services);
+                fire_vdp(vdp, node, local_thread, &services, &scratch);
                 progressed = true;
                 shared
                     .fired

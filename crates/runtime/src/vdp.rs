@@ -3,7 +3,43 @@
 use crate::channel::ChannelQueue;
 use crate::packet::Packet;
 use crate::tuple::Tuple;
+use std::any::{Any, TypeId};
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Per-worker scratch storage VDP logic can use across firings.
+///
+/// Each worker thread owns one `WorkerScratch` for the lifetime of the run;
+/// values stored in it (keyed by type) persist across firings of every VDP
+/// scheduled on that worker. Kernel code uses it to keep a
+/// `pulsar_linalg::Workspace` warm so steady-state firings allocate
+/// nothing.
+#[derive(Default)]
+pub struct WorkerScratch {
+    slots: RefCell<HashMap<TypeId, Box<dyn Any + Send>>>,
+}
+
+impl WorkerScratch {
+    /// Create an empty scratch store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run `f` with this worker's instance of `T`, creating it on first
+    /// use. The value is taken out of the store for the duration of `f`,
+    /// so nested `with` calls for *different* types are fine; a nested call
+    /// for the same type would see a fresh default.
+    pub fn with<T: Default + Send + 'static, R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        let mut value: Box<T> = match self.slots.borrow_mut().remove(&TypeId::of::<T>()) {
+            Some(boxed) => boxed.downcast().expect("scratch slot type mismatch"),
+            None => Box::default(),
+        };
+        let r = f(&mut value);
+        self.slots.borrow_mut().insert(TypeId::of::<T>(), value);
+        r
+    }
+}
 
 /// User code executed when a VDP fires.
 ///
@@ -97,6 +133,7 @@ pub struct VdpContext<'a> {
     pub(crate) inputs: &'a [Option<Arc<ChannelQueue>>],
     pub(crate) outputs: &'a [Option<OutputTarget>],
     pub(crate) services: &'a dyn RuntimeServices,
+    pub(crate) scratch: &'a WorkerScratch,
     pub(crate) label: Option<String>,
 }
 
@@ -133,6 +170,13 @@ impl<'a> VdpContext<'a> {
     /// Node-local worker thread executing this firing.
     pub fn thread(&self) -> usize {
         self.local_thread
+    }
+
+    /// This worker thread's persistent scratch store. The returned
+    /// reference borrows the context's lifetime, so it can be captured
+    /// before entering a [`VdpContext::kernel`] closure.
+    pub fn scratch(&self) -> &'a WorkerScratch {
+        self.scratch
     }
 
     /// Pop a packet from an input slot, panicking when none is queued

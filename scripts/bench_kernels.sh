@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# Run the kernel microbenchmarks and distill GFLOP/s per kernel per tile
+# size into BENCH_kernels.json at the repo root.
+#
+# The criterion shim appends one NDJSON line per benchmark to the file in
+# CRITERION_JSON; this script turns those lines into a single JSON object
+# keyed "group/kernel/size" -> GFLOP/s. Tune sampling with
+# CRITERION_SAMPLE_SIZE (default here: 10).
+#
+# Usage: scripts/bench_kernels.sh [output.json]
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_kernels.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+CRITERION_JSON="$raw" CRITERION_SAMPLE_SIZE="${CRITERION_SAMPLE_SIZE:-10}" \
+    cargo bench --offline -p pulsar-bench --bench kernels
+
+# NDJSON -> one pretty-printed object. The shim reports units_per_s where
+# units are flops (Throughput::Elements carries the kernel flop count), so
+# GFLOP/s = units_per_s / 1e9.
+awk '
+BEGIN { print "{"; n = 0 }
+{
+    name = $0; sub(/.*"name":"/, "", name); sub(/".*/, "", name)
+    rate = $0; sub(/.*"units_per_s":/, "", rate); sub(/[,}].*/, "", rate)
+    if (n++) printf ",\n"
+    printf "  \"%s\": %.3f", name, rate / 1e9
+}
+END { print "\n}" }
+' "$raw" > "$out"
+
+echo "wrote $out:"
+cat "$out"

@@ -9,3 +9,9 @@ cargo fmt --all --check
 cargo clippy --offline --workspace --all-targets -- -D warnings
 cargo build --offline --workspace --release
 cargo test --offline --workspace -q
+
+# Optional: BENCH=1 ./scripts/check.sh also smoke-runs the kernel bench
+# harness (few samples) and refreshes BENCH_kernels.json.
+if [ "${BENCH:-0}" = "1" ]; then
+    CRITERION_SAMPLE_SIZE="${CRITERION_SAMPLE_SIZE:-3}" sh scripts/bench_kernels.sh
+fi

@@ -9,10 +9,20 @@
 //!
 //! When invoked with `--test` (as `cargo test --benches` does), each
 //! benchmark body runs exactly once as a smoke test.
+//!
+//! Two environment variables extend the real criterion's CLI surface for
+//! scripted runs:
+//!
+//! - `CRITERION_SAMPLE_SIZE=<n>` overrides the configured sample count.
+//! - `CRITERION_JSON=<path>` appends one NDJSON line per benchmark with
+//!   the median/mean seconds and the derived throughput rate, so scripts
+//!   can post-process results without parsing the human-readable table.
 
 #![warn(missing_docs)]
 
+use std::fs::OpenOptions;
 pub use std::hint::black_box;
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 /// Top-level benchmark driver.
@@ -39,10 +49,18 @@ impl Criterion {
         self
     }
 
-    /// Parse process arguments (notably `--test`). Called by
+    /// Parse process arguments (notably `--test`) and the
+    /// `CRITERION_SAMPLE_SIZE` environment override. Called by
     /// `criterion_main!`.
     pub fn configure_from_args(mut self) -> Self {
         self.test_mode = std::env::args().any(|a| a == "--test");
+        if let Some(n) = std::env::var("CRITERION_SAMPLE_SIZE")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            self.sample_size = n;
+        }
         self
     }
 
@@ -139,8 +157,20 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
-/// Passed to each benchmark body; call [`Bencher::iter`] with the code
-/// under test.
+/// Hint for how batched inputs are grouped. The shim times every routine
+/// call individually, so the variants only exist for API compatibility.
+#[derive(Copy, Clone, Debug)]
+pub enum BatchSize {
+    /// Inputs are cheap to hold; batch many per allocation.
+    SmallInput,
+    /// Inputs are large; batch few.
+    LargeInput,
+    /// One input per routine call.
+    PerIteration,
+}
+
+/// Passed to each benchmark body; call [`Bencher::iter`] or
+/// [`Bencher::iter_batched`] with the code under test.
 pub struct Bencher {
     iters: u64,
     elapsed: Duration,
@@ -154,6 +184,44 @@ impl Bencher {
             black_box(f());
         }
         self.elapsed = t0.elapsed();
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; only the routine is
+    /// on the clock, so per-call input construction (clones, zero fills)
+    /// does not pollute the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = black_box(setup());
+            let t0 = Instant::now();
+            let out = routine(input);
+            total += t0.elapsed();
+            black_box(out);
+        }
+        self.elapsed = total;
+    }
+
+    /// Like [`Bencher::iter_batched`], but the routine takes the input by
+    /// mutable reference.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let mut input = black_box(setup());
+            let t0 = Instant::now();
+            let out = routine(&mut input);
+            total += t0.elapsed();
+            black_box(out);
+            black_box(input);
+        }
+        self.elapsed = total;
     }
 }
 
@@ -207,6 +275,46 @@ fn run_one<F: FnMut(&mut Bencher)>(
         fmt_time(median),
         fmt_time(mean)
     );
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if !path.is_empty() {
+            append_json_line(&path, name, throughput, median, mean);
+        }
+    }
+}
+
+/// Append one NDJSON record for a finished benchmark to `path`.
+fn append_json_line(
+    path: &str,
+    name: &str,
+    throughput: Option<Throughput>,
+    median: f64,
+    mean: f64,
+) {
+    let (unit, per_iter, rate) = match throughput {
+        Some(Throughput::Elements(n)) => ("elements", n as f64, n as f64 / median),
+        Some(Throughput::Bytes(n)) => ("bytes", n as f64, n as f64 / median),
+        None => ("", 0.0, 0.0),
+    };
+    let line = format!(
+        concat!(
+            "{{\"name\":\"{}\",\"median_s\":{:e},\"mean_s\":{:e},",
+            "\"throughput_unit\":\"{}\",\"units_per_iter\":{},\"units_per_s\":{:e}}}\n"
+        ),
+        name.replace('\\', "\\\\").replace('"', "\\\""),
+        median,
+        mean,
+        unit,
+        per_iter,
+        rate
+    );
+    let res = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = res {
+        eprintln!("criterion shim: cannot write {path}: {e}");
+    }
 }
 
 fn fmt_time(secs: f64) -> String {
@@ -291,5 +399,66 @@ mod tests {
             g.finish();
         }
         assert!(counter > 0);
+    }
+
+    #[test]
+    fn iter_batched_times_routine_only() {
+        let mut b = Bencher {
+            iters: 4,
+            elapsed: Duration::ZERO,
+        };
+        let mut setups = 0u32;
+        let mut runs = 0u32;
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![1.0f64; 8]
+            },
+            |v| {
+                runs += 1;
+                v.iter().sum::<f64>()
+            },
+            BatchSize::SmallInput,
+        );
+        assert_eq!(setups, 4);
+        assert_eq!(runs, 4);
+
+        let mut b = Bencher {
+            iters: 3,
+            elapsed: Duration::ZERO,
+        };
+        let mut sum = 0.0;
+        b.iter_batched_ref(
+            || vec![2.0f64; 4],
+            |v| {
+                v[0] += 1.0;
+                sum += v[0];
+            },
+            BatchSize::PerIteration,
+        );
+        assert_eq!(sum, 9.0);
+    }
+
+    #[test]
+    fn json_line_escapes_and_reports_rate() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("criterion_shim_test_{}.ndjson", std::process::id()));
+        let path_s = path.to_str().unwrap();
+        let _ = std::fs::remove_file(&path);
+        append_json_line(
+            path_s,
+            "grp/\"q\"/8",
+            Some(Throughput::Elements(100)),
+            0.5,
+            0.6,
+        );
+        append_json_line(path_s, "plain", None, 1.0, 1.0);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\\\"q\\\""));
+        assert!(lines[0].contains("\"units_per_s\":2e2"));
+        assert!(lines[1].contains("\"throughput_unit\":\"\""));
     }
 }
