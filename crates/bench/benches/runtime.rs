@@ -30,7 +30,9 @@ fn pipeline_run(len: i32, threads: usize, scheme: SchedScheme) -> RunStats {
         ));
     }
     vsa.seed(Tuple::new1(0), 0, Packet::new(0i64, 8));
-    let out = vsa.run(&RunConfig::smp(threads).with_scheme(scheme));
+    let out = vsa
+        .run(&RunConfig::smp(threads).with_scheme(scheme))
+        .expect("run failed");
     out.stats
 }
 
@@ -71,7 +73,7 @@ fn bench_multifire_stream(c: &mut Criterion) {
             for i in 0..k {
                 vsa.seed(Tuple::new1(0), 0, Packet::new(i as i64, 8));
             }
-            black_box(vsa.run(&RunConfig::smp(1)))
+            black_box(vsa.run(&RunConfig::smp(1)).expect("run failed"))
         })
     });
     g.finish();
@@ -108,7 +110,10 @@ fn bench_proxy_roundtrip(c: &mut Criterion) {
                 node: (t.id(0) % 2) as usize,
                 thread: 0,
             });
-            black_box(vsa.run(&RunConfig::cluster(2, 1, mapping)))
+            black_box(
+                vsa.run(&RunConfig::cluster(2, 1, mapping))
+                    .expect("run failed"),
+            )
         })
     });
     g.finish();
@@ -128,9 +133,9 @@ fn bench_transport(c: &mut Criterion) {
 
     fn echo(mut f: impl Fabric<Payload = Vec<u8>>) {
         loop {
-            let r = f.post_recv();
+            let r = f.post_recv().expect("post_recv");
             let (wire_id, payload, bytes) = loop {
-                match f.test(r) {
+                match f.test(r).expect("test recv") {
                     Completion::Recv {
                         wire_id,
                         payload,
@@ -143,25 +148,27 @@ fn bench_transport(c: &mut Criterion) {
             if wire_id == STOP {
                 return;
             }
-            let s = f.post_send(0, wire_id, payload, bytes);
-            while !matches!(f.test(s), Completion::SendDone) {
+            let s = f.post_send(0, wire_id, payload, bytes).expect("post_send");
+            while !matches!(f.test(s).expect("test send"), Completion::SendDone) {
                 f.idle(Duration::from_micros(20));
             }
         }
     }
 
     fn ping(f: &mut impl Fabric<Payload = Vec<u8>>, payload: &[u8]) -> usize {
-        let s = f.post_send(1, 1, payload.to_vec(), payload.len());
-        let r = f.post_recv();
+        let s = f
+            .post_send(1, 1, payload.to_vec(), payload.len())
+            .expect("post_send");
+        let r = f.post_recv().expect("post_recv");
         let mut send_done = false;
         loop {
-            if !send_done && matches!(f.test(s), Completion::SendDone) {
+            if !send_done && matches!(f.test(s).expect("test send"), Completion::SendDone) {
                 send_done = true;
             }
-            match f.test(r) {
+            match f.test(r).expect("test recv") {
                 Completion::Recv { bytes, .. } => {
                     while !send_done {
-                        send_done = matches!(f.test(s), Completion::SendDone);
+                        send_done = matches!(f.test(s).expect("test send"), Completion::SendDone);
                     }
                     return bytes;
                 }
@@ -172,8 +179,8 @@ fn bench_transport(c: &mut Criterion) {
     }
 
     fn stop(f: &mut impl Fabric<Payload = Vec<u8>>) {
-        let s = f.post_send(1, STOP, Vec::new(), 0);
-        while !matches!(f.test(s), Completion::SendDone) {
+        let s = f.post_send(1, STOP, Vec::new(), 0).expect("post_send");
+        while !matches!(f.test(s).expect("test send"), Completion::SendDone) {
             f.idle(Duration::from_micros(20));
         }
     }

@@ -2,6 +2,7 @@
 //! surface is unit-testable without capturing stdout.
 
 use crate::args::{parse_tree, Args};
+use crate::error::CliError;
 use pulsar_core::mapping::{qr_mapping, RowDist};
 use pulsar_core::plan::Tree;
 use pulsar_core::QrOptions;
@@ -38,27 +39,36 @@ COMMANDS
   launch    distributed QR: spawn N worker processes meshed over TCP,
             verify each rank's R tiles against a shared-memory run
             [--nodes 2] [--rows 64] [--cols 16] [--nb 8] [--ib nb/4]
-            [--tree hier:2] [--threads 2] [--seed 42]
+            [--tree hier:2] [--threads 2] [--seed 42] [--stats]
+            [--rendezvous-timeout-ms 10000] [--heartbeat-ms MS]
+            [--fault-plan SPEC]
   worker    one rank of a distributed run (spawned by `launch`; reads the
             peer address table on stdin)
             --rank R --nodes N [qr options as for launch]
 TREES: flat | binary | greedy | hier:H | domains:a,b,...
+FAULT PLANS: comma-separated seed=N,drop=P,dup=P,delay=P,delay-steps=N,
+             corrupt=P,trunc=P,kill=RANK@SENDS (probabilities in [0,1])
+EXIT CODES: 1 failure, 2 usage, 3 peer lost, 4 stalled, 5 VDP panicked,
+            6 other fabric error
 "
     .to_string()
 }
 
 /// Dispatch a parsed command line.
-pub fn run(args: &Args) -> Result<String, String> {
+pub fn run(args: &Args) -> Result<String, CliError> {
     match args.command.as_str() {
-        "factor" => factor(args),
-        "ls" => least_squares(args),
-        "simulate" => simulate(args),
-        "tune" => tune(args),
-        "cholesky" => cholesky(args),
+        "factor" => factor(args).map_err(CliError::from),
+        "ls" => least_squares(args).map_err(CliError::from),
+        "simulate" => simulate(args).map_err(CliError::from),
+        "tune" => tune(args).map_err(CliError::from),
+        "cholesky" => cholesky(args).map_err(CliError::from),
         "launch" => crate::dist::launch(args),
         "worker" => crate::dist::worker(args),
         "help" | "--help" => Ok(usage()),
-        other => Err(format!("unknown command `{other}`\n\n{}", usage())),
+        other => Err(CliError::usage(format!(
+            "unknown command `{other}`\n\n{}",
+            usage()
+        ))),
     }
 }
 
@@ -343,7 +353,7 @@ fn cholesky(args: &Args) -> Result<String, String> {
 mod tests {
     use super::*;
 
-    fn run_line(line: &[&str]) -> Result<String, String> {
+    fn run_line(line: &[&str]) -> Result<String, CliError> {
         let args = Args::parse(line.iter().map(|s| s.to_string()))?;
         run(&args)
     }
@@ -459,16 +469,20 @@ mod tests {
 
     #[test]
     fn helpful_errors() {
-        assert!(run_line(&["factor"]).unwrap_err().contains("--rows"));
+        assert!(run_line(&["factor"]).unwrap_err().msg.contains("--rows"));
         assert!(
             run_line(&["factor", "--rows", "10", "--cols", "4", "--nb", "4"])
                 .unwrap_err()
+                .msg
                 .contains("multiple of nb")
         );
-        assert!(run_line(&["nope"]).unwrap_err().contains("unknown command"));
+        let unknown = run_line(&["nope"]).unwrap_err();
+        assert!(unknown.msg.contains("unknown command"));
+        assert_eq!(unknown.code, 2, "usage errors exit with code 2");
         assert!(
             run_line(&["factor", "--rows", "8", "--cols", "4", "--zzz", "1"])
                 .unwrap_err()
+                .msg
                 .contains("unknown option")
         );
     }

@@ -10,25 +10,39 @@
 //!    `WIREBYTES`/`REMOTE` counters and `WORKER-OK`, which the launcher
 //!    checks and sums.
 //!
+//! The launcher is defensive: worker stdout is drained by reader threads so
+//! rendezvous is bounded by `--rendezvous-timeout-ms` (a worker that dies or
+//! hangs before announcing its address is named, and every spawned child is
+//! killed and reaped before the error is reported). Fault-tolerance flags
+//! (`--heartbeat-ms`, `--fault-plan`, `--stats`) are validated up front and
+//! forwarded verbatim to every worker.
+//!
 //! Every rank builds the identical VSA from the same seed and compares its
 //! local `R` tiles against a rank-local SMP run of the same engine — the
 //! distributed and shared-memory executions must agree to ~1e-12.
 
 use crate::args::{parse_tree, Args};
+use crate::error::CliError;
 use pulsar_core::mapping::{qr_mapping, RowDist};
 use pulsar_core::vsa3d::tile_qr_vsa_partial;
 use pulsar_core::{wire_registry, QrOptions};
 use pulsar_linalg::Matrix;
-use pulsar_runtime::{Backend, RunConfig, TcpBackend};
+use pulsar_runtime::{Backend, FaultPlan, RunConfig, TcpBackend};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpListener;
-use std::process::{Child, Command, Stdio};
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Options both subcommands share, forwarded verbatim to workers.
 const QR_OPTS: &[&str] = &["rows", "cols", "nb", "ib", "tree", "threads", "seed"];
+
+/// Fault-tolerance options, also forwarded to workers.
+const FT_OPTS: &[&str] = &["heartbeat-ms", "fault-plan", "stats"];
 
 struct QrParams {
     m: usize,
@@ -62,87 +76,195 @@ fn qr_params(args: &Args) -> Result<QrParams, String> {
     })
 }
 
+/// Parsed fault-tolerance flags, validated before any process is spawned.
+struct FtParams {
+    heartbeat_ms: Option<u64>,
+    fault_plan: Option<String>,
+    stats: bool,
+}
+
+fn ft_params(args: &Args) -> Result<FtParams, String> {
+    let heartbeat_ms = match args.get("heartbeat-ms") {
+        None => None,
+        Some(v) => {
+            let ms: u64 = v.parse().map_err(|_| "could not parse --heartbeat-ms")?;
+            if ms == 0 {
+                return Err("--heartbeat-ms must be positive".into());
+            }
+            Some(ms)
+        }
+    };
+    let fault_plan = match args.get("fault-plan") {
+        None => None,
+        Some(spec) => {
+            // Validate eagerly so a typo is a usage error here, not a
+            // cryptic failure inside a worker process.
+            FaultPlan::parse(spec).map_err(|e| format!("bad --fault-plan: {e}"))?;
+            Some(spec.to_string())
+        }
+    };
+    Ok(FtParams {
+        heartbeat_ms,
+        fault_plan,
+        stats: args.opt("stats", false)?,
+    })
+}
+
+/// Kills and reaps every child it still holds when dropped, so no code path
+/// out of `launch` — error or success — leaks worker processes.
+struct Brood {
+    children: Vec<Option<Child>>,
+}
+
+impl Brood {
+    fn wait(&mut self, rank: usize) -> std::io::Result<std::process::ExitStatus> {
+        self.children[rank]
+            .take()
+            .expect("child already reaped")
+            .wait()
+    }
+}
+
+impl Drop for Brood {
+    fn drop(&mut self) {
+        for child in self.children.iter_mut().filter_map(Option::take) {
+            let mut child = child;
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
 /// `pulsar-qr launch --nodes N [qr options]`: run a distributed QR across
 /// `N` worker OS processes on localhost and verify their reports.
-pub fn launch(args: &Args) -> Result<String, String> {
-    let mut known = vec!["nodes"];
+pub fn launch(args: &Args) -> Result<String, CliError> {
+    let mut known = vec!["nodes", "rendezvous-timeout-ms"];
     known.extend_from_slice(QR_OPTS);
+    known.extend_from_slice(FT_OPTS);
     args.ensure_known(&known)?;
     let nodes: usize = args.opt("nodes", 2)?;
     if nodes == 0 {
-        return Err("--nodes must be positive".into());
+        return Err(CliError::from(String::from("--nodes must be positive")));
     }
+    let rendezvous_timeout = Duration::from_millis(args.opt("rendezvous-timeout-ms", 10_000u64)?);
     let p = qr_params(args)?; // validate before spawning anything
+    let ft = ft_params(args)?;
 
     let exe = std::env::current_exe().map_err(|e| format!("cannot find own binary: {e}"))?;
-    let mut children: Vec<(Child, BufReader<std::process::ChildStdout>)> = Vec::new();
+    let mut children = Vec::new();
+    let mut stdins: Vec<Option<ChildStdin>> = Vec::new();
+    let mut readers: Vec<Receiver<std::io::Result<String>>> = Vec::new();
     for rank in 0..nodes {
+        let mut argv = vec![
+            "worker".to_string(),
+            "--rank".to_string(),
+            rank.to_string(),
+            "--nodes".to_string(),
+            nodes.to_string(),
+            "--rows".to_string(),
+            p.m.to_string(),
+            "--cols".to_string(),
+            p.n.to_string(),
+            "--nb".to_string(),
+            p.opts.nb.to_string(),
+            "--ib".to_string(),
+            p.opts.ib.to_string(),
+            "--tree".to_string(),
+            p.tree_spec.clone(),
+            "--threads".to_string(),
+            p.threads.to_string(),
+            "--seed".to_string(),
+            p.seed.to_string(),
+        ];
+        if let Some(ms) = ft.heartbeat_ms {
+            argv.extend(["--heartbeat-ms".to_string(), ms.to_string()]);
+        }
+        if let Some(spec) = &ft.fault_plan {
+            argv.extend(["--fault-plan".to_string(), spec.clone()]);
+        }
+        if ft.stats {
+            argv.extend(["--stats".to_string(), "true".to_string()]);
+        }
         let mut child = Command::new(&exe)
-            .args([
-                "worker",
-                "--rank",
-                &rank.to_string(),
-                "--nodes",
-                &nodes.to_string(),
-                "--rows",
-                &p.m.to_string(),
-                "--cols",
-                &p.n.to_string(),
-                "--nb",
-                &p.opts.nb.to_string(),
-                "--ib",
-                &p.opts.ib.to_string(),
-                "--tree",
-                &p.tree_spec,
-                "--threads",
-                &p.threads.to_string(),
-                "--seed",
-                &p.seed.to_string(),
-            ])
+            .args(&argv)
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())
             .spawn()
             .map_err(|e| format!("spawning worker {rank}: {e}"))?;
+        stdins.push(child.stdin.take());
         let stdout = BufReader::new(child.stdout.take().expect("worker stdout is piped"));
-        children.push((child, stdout));
+        // Drain stdout on a thread so the launcher can time out instead of
+        // blocking forever on a worker that never speaks.
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            for line in stdout.lines() {
+                if tx.send(line).is_err() {
+                    return;
+                }
+            }
+        });
+        readers.push(rx);
+        children.push(Some(child));
     }
+    let mut brood = Brood { children };
 
-    // Phase 1: collect `ADDR <rank> <addr>` from every worker.
+    // Phase 1: collect `ADDR <rank> <addr>` from every worker, bounded by
+    // the rendezvous timeout. A dead or silent worker is named; `brood`
+    // kills and reaps the others on the way out.
+    let deadline = Instant::now() + rendezvous_timeout;
     let mut addrs = vec![String::new(); nodes];
-    for (rank, (_, stdout)) in children.iter_mut().enumerate() {
-        let mut line = String::new();
-        stdout
-            .read_line(&mut line)
-            .map_err(|e| format!("reading worker {rank} address: {e}"))?;
+    for (rank, rx) in readers.iter().enumerate() {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        let line = match rx.recv_timeout(remaining) {
+            Ok(line) => line.map_err(|e| format!("reading worker {rank} address: {e}"))?,
+            Err(RecvTimeoutError::Timeout) => {
+                return Err(CliError::from(format!(
+                    "worker {rank} did not announce an address within {}ms; \
+                     killing all workers",
+                    rendezvous_timeout.as_millis()
+                )))
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                let status = brood.wait(rank).map(|s| s.to_string()).unwrap_or_default();
+                return Err(CliError::from(format!(
+                    "worker {rank} exited before rendezvous ({status})"
+                )));
+            }
+        };
         let mut parts = line.split_whitespace();
         match (parts.next(), parts.next(), parts.next()) {
             (Some("ADDR"), Some(r), Some(addr)) if r == rank.to_string() => {
                 addrs[rank] = addr.to_string();
             }
-            _ => return Err(format!("worker {rank}: bad rendezvous line {line:?}")),
+            _ => {
+                return Err(CliError::from(format!(
+                    "worker {rank}: bad rendezvous line {line:?}"
+                )))
+            }
         }
     }
 
     // Phase 2: broadcast the address table.
-    for (rank, (child, _)) in children.iter_mut().enumerate() {
-        let stdin = child.stdin.as_mut().expect("worker stdin is piped");
+    for (rank, stdin) in stdins.iter_mut().enumerate() {
+        let pipe = stdin.as_mut().expect("worker stdin is piped");
         for a in &addrs {
-            writeln!(stdin, "{a}").map_err(|e| format!("writing table to worker {rank}: {e}"))?;
+            writeln!(pipe, "{a}").map_err(|e| format!("writing table to worker {rank}: {e}"))?;
         }
         // Close the pipe so the worker's table read terminates cleanly.
-        drop(child.stdin.take());
+        drop(stdin.take());
     }
 
-    // Phase 3: collect reports.
+    // Phase 3: collect reports until each worker closes stdout, then reap.
     let mut total_tiles = 0usize;
     let mut total_remote = 0usize;
     let mut total_wire_sent = 0u64;
     let mut total_wire_recv = 0u64;
     let mut max_rdist = 0.0f64;
     let mut per_rank = String::new();
-    for (rank, (mut child, stdout)) in children.into_iter().enumerate() {
+    for (rank, rx) in readers.iter().enumerate() {
         let mut ok = false;
-        for line in stdout.lines() {
+        // Drain until the channel disconnects (EOF: worker closed stdout).
+        while let Ok(line) = rx.recv() {
             let line = line.map_err(|e| format!("reading worker {rank}: {e}"))?;
             let mut parts = line.split_whitespace();
             match parts.next() {
@@ -164,13 +286,13 @@ pub fn launch(args: &Args) -> Result<String, String> {
             }
             writeln!(per_rank, "  rank {rank}: {line}").unwrap();
         }
-        let status = child
-            .wait()
+        let status = brood
+            .wait(rank)
             .map_err(|e| format!("waiting for worker {rank}: {e}"))?;
         if !status.success() || !ok {
-            return Err(format!(
+            return Err(CliError::from(format!(
                 "worker {rank} failed (status {status}, ok={ok})\n{per_rank}"
-            ));
+            )));
         }
     }
 
@@ -194,13 +316,15 @@ pub fn launch(args: &Args) -> Result<String, String> {
     .unwrap();
     writeln!(out, "max |R_tcp - R_smp| = {max_rdist:.2e}").unwrap();
     if total_tiles != expect_tiles {
-        return Err(format!("missing R tiles\n{out}"));
+        return Err(CliError::from(format!("missing R tiles\n{out}")));
     }
     if nodes > 1 && total_wire_sent == 0 {
-        return Err(format!("no bytes crossed the wire\n{out}"));
+        return Err(CliError::from(format!("no bytes crossed the wire\n{out}")));
     }
     if max_rdist > 1e-12 {
-        return Err(format!("distributed R diverges from SMP\n{out}"));
+        return Err(CliError::from(format!(
+            "distributed R diverges from SMP\n{out}"
+        )));
     }
     writeln!(out, "verification OK").unwrap();
     Ok(out)
@@ -213,17 +337,22 @@ fn num(tok: Option<&str>, rank: usize, what: &str) -> Result<u64, String> {
 
 /// `pulsar-qr worker --rank R --nodes N [qr options]`: one SPMD rank.
 /// Normally spawned by [`launch`]; runnable by hand with the address table
-/// on stdin.
-pub fn worker(args: &Args) -> Result<String, String> {
+/// on stdin. Exits with the typed codes of [`crate::error::exit_code_for`]
+/// when the run fails (lost peer, stall, panicking VDP, ...).
+pub fn worker(args: &Args) -> Result<String, CliError> {
     let mut known = vec!["rank", "nodes"];
     known.extend_from_slice(QR_OPTS);
+    known.extend_from_slice(FT_OPTS);
     args.ensure_known(&known)?;
     let rank: usize = args.req("rank")?;
     let nodes: usize = args.req("nodes")?;
     if rank >= nodes {
-        return Err(format!("--rank {rank} out of range for --nodes {nodes}"));
+        return Err(CliError::from(format!(
+            "--rank {rank} out of range for --nodes {nodes}"
+        )));
     }
     let p = qr_params(args)?;
+    let ft = ft_params(args)?;
 
     // Rendezvous: bind, announce, read the table.
     let listener =
@@ -243,7 +372,7 @@ pub fn worker(args: &Args) -> Result<String, String> {
             .map_err(|e| format!("reading peer table: {e}"))?;
         let addr = line.trim();
         if addr.is_empty() {
-            return Err(format!("peer table truncated at rank {i}"));
+            return Err(CliError::from(format!("peer table truncated at rank {i}")));
         }
         peers.push(addr.to_string());
     }
@@ -253,10 +382,17 @@ pub fn worker(args: &Args) -> Result<String, String> {
     let a = Matrix::random(p.m, p.n, &mut rng);
     let plan = p.opts.plan(p.m / p.opts.nb, p.n.div_ceil(p.opts.nb));
     let mapping = qr_mapping(&plan, RowDist::Block, nodes, p.threads);
-    let config = RunConfig::cluster(nodes, p.threads, mapping).with_backend(Backend::Tcp(
+    let mut config = RunConfig::cluster(nodes, p.threads, mapping).with_backend(Backend::Tcp(
         TcpBackend::new(rank, listener, peers, wire_registry()),
     ));
-    let part = tile_qr_vsa_partial(&a, &p.opts, &config);
+    if let Some(ms) = ft.heartbeat_ms {
+        config = config.with_heartbeat(Duration::from_millis(ms));
+    }
+    if let Some(spec) = &ft.fault_plan {
+        let fault = FaultPlan::parse(spec).map_err(|e| format!("bad --fault-plan: {e}"))?;
+        config = config.with_fault(fault, Arc::new(wire_registry()));
+    }
+    let part = tile_qr_vsa_partial(&a, &p.opts, &config).map_err(CliError::from)?;
 
     // Rank-local SMP reference run: the distributed R must match it.
     let reference = pulsar_core::vsa3d::tile_qr_vsa(&a, &p.opts, &RunConfig::smp(p.threads));
@@ -280,6 +416,17 @@ pub fn worker(args: &Args) -> Result<String, String> {
         "STATS fired {} idle-spins {} peak-depth {}",
         s.fired, s.proxy_idle_spins, s.peak_channel_depth
     );
+    if ft.stats {
+        println!(
+            "ROBUST heartbeats {}/{} missed   reconnect-attempts {}   \
+             retried-sends {}   quarantined-vdps {}",
+            s.heartbeats_sent,
+            s.heartbeats_missed,
+            s.reconnect_attempts,
+            s.retried_sends,
+            s.quarantined_vdps
+        );
+    }
     println!("WORKER-OK");
     Ok(String::new())
 }

@@ -1,0 +1,94 @@
+//! CLI error type: a message plus the process exit code it maps to.
+//!
+//! Exit codes (documented in the README):
+//! - `1` — generic failure (verification failed, I/O error, ...)
+//! - `2` — usage error (bad flags, unknown command)
+//! - `3` — a peer was lost or the mesh never formed ([`RunError::PeerLost`],
+//!   [`RunError::MeshConnect`])
+//! - `4` — the array stalled and the watchdog fired ([`RunError::Stalled`])
+//! - `5` — a VDP panicked and was quarantined ([`RunError::VdpPanicked`])
+//! - `6` — other fabric/protocol/decode failures
+
+use pulsar_runtime::RunError;
+
+/// A CLI failure: what to print and which code to exit with.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message, printed to stderr as `error: {msg}`.
+    pub msg: String,
+    /// Process exit code.
+    pub code: i32,
+}
+
+impl CliError {
+    /// A usage error (exit code 2).
+    pub fn usage(msg: impl Into<String>) -> Self {
+        CliError {
+            msg: msg.into(),
+            code: 2,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} (exit code {})", self.msg, self.code)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError { msg, code: 1 }
+    }
+}
+
+impl From<RunError> for CliError {
+    fn from(e: RunError) -> Self {
+        CliError {
+            code: exit_code_for(&e),
+            msg: e.to_string(),
+        }
+    }
+}
+
+/// Map a typed runtime failure to a distinct process exit code so
+/// supervisors (and the `launch` driver) can tell failure modes apart.
+pub fn exit_code_for(e: &RunError) -> i32 {
+    match e {
+        RunError::PeerLost { .. } | RunError::MeshConnect { .. } => 3,
+        RunError::Stalled { .. } => 4,
+        RunError::VdpPanicked { .. } => 5,
+        RunError::Fabric { .. } | RunError::Decode { .. } | RunError::Protocol { .. } => 6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pulsar_runtime::{FabricError, Tuple};
+    use std::time::Duration;
+
+    #[test]
+    fn codes_distinguish_failure_modes() {
+        let lost = RunError::PeerLost {
+            node: 0,
+            peer: 1,
+            error: FabricError::PeerClosed { peer: 1 },
+        };
+        assert_eq!(exit_code_for(&lost), 3);
+        let stalled = RunError::Stalled {
+            waited: Duration::from_millis(1),
+            stuck: vec![],
+        };
+        assert_eq!(exit_code_for(&stalled), 4);
+        let panicked = RunError::VdpPanicked {
+            tuple: Tuple::new1(0),
+            payload: "boom".into(),
+        };
+        assert_eq!(exit_code_for(&panicked), 5);
+        assert_eq!(CliError::from(lost).code, 3);
+        assert_eq!(CliError::from(String::from("x")).code, 1);
+    }
+}

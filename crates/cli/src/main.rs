@@ -2,6 +2,7 @@
 
 use pulsar_cli::args::Args;
 use pulsar_cli::commands;
+use pulsar_cli::error::CliError;
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -9,11 +10,14 @@ fn main() {
         print!("{}", commands::usage());
         std::process::exit(2);
     }
-    match Args::parse(argv).and_then(|a| commands::run(&a)) {
+    let result = Args::parse(argv)
+        .map_err(CliError::usage)
+        .and_then(|a| commands::run(&a));
+    match result {
         Ok(report) => print!("{report}"),
         Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(1);
+            eprintln!("error: {}", e.msg);
+            std::process::exit(e.code);
         }
     }
 }

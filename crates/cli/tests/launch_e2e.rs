@@ -51,3 +51,68 @@ fn single_node_launch_needs_no_wire() {
     assert!(out.contains("verification OK"), "{out}");
     assert!(out.contains("wire bytes 0 sent"), "{out}");
 }
+
+#[test]
+fn stats_flag_reports_robustness_counters() {
+    let out = launch(&[
+        "--nodes",
+        "2",
+        "--rows",
+        "32",
+        "--cols",
+        "8",
+        "--nb",
+        "8",
+        "--stats",
+        "true",
+        "--heartbeat-ms",
+        "50",
+    ]);
+    assert!(out.contains("verification OK"), "{out}");
+    assert!(out.contains("ROBUST heartbeats"), "{out}");
+}
+
+#[test]
+fn killed_worker_fails_launch_and_reaps_survivors() {
+    // Inject a crash into rank 1: the launch must fail with a named worker
+    // instead of hanging, and every child must be reaped.
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_pulsar-qr"));
+    cmd.args([
+        "launch",
+        "--nodes",
+        "2",
+        "--rows",
+        "64",
+        "--cols",
+        "16",
+        "--nb",
+        "8",
+        "--fault-plan",
+        "kill=1@1",
+        "--heartbeat-ms",
+        "50",
+    ]);
+    let out = cmd.output().expect("running pulsar-qr launch");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !out.status.success(),
+        "launch should fail when a worker is killed\nstderr:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("worker") && stderr.contains("failed"),
+        "failure should name the worker:\n{stderr}"
+    );
+}
+
+#[test]
+fn bad_fault_plan_is_a_launch_time_error() {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_pulsar-qr"));
+    cmd.args(["launch", "--nodes", "2", "--fault-plan", "zap=0.5"]);
+    let out = cmd.output().expect("running pulsar-qr launch");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success());
+    assert!(
+        stderr.contains("unknown key"),
+        "bad plans should fail before spawning workers:\n{stderr}"
+    );
+}

@@ -165,7 +165,9 @@ pub fn apply_q_vsa(
         }
     }
 
-    let mut out = vsa.run(config);
+    let mut out = vsa
+        .run(config)
+        .unwrap_or_else(|e| panic!("apply_q_vsa: {e}"));
     let mut result = Matrix::zeros(factors.m, b.ncols());
     for (i, pt) in passthrough.into_iter().enumerate() {
         let tile = match pt {

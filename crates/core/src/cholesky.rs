@@ -278,7 +278,9 @@ pub fn tile_cholesky_vsa(a: &Matrix, nb: usize, config: &RunConfig) -> CholeskyR
         }
     }
 
-    let mut out = vsa.run(config);
+    let mut out = vsa
+        .run(config)
+        .unwrap_or_else(|e| panic!("tile_cholesky_vsa: {e}"));
     let mut ltiles = TileMatrix::zeros(n, n, nb);
     for i in 0..nt {
         for j in 0..=i {

@@ -209,7 +209,9 @@ pub fn tile_qr_domino(a: &Matrix, opts: &crate::QrOptions, config: &RunConfig) -
         }
     }
 
-    let mut out = vsa.run(config);
+    let mut out = vsa
+        .run(config)
+        .unwrap_or_else(|e| panic!("tile_qr_domino: {e}"));
     let k = a.nrows().min(a.ncols());
     let mut r = Matrix::zeros(k, a.ncols());
     for i in 0..kt {

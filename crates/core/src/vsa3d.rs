@@ -30,7 +30,7 @@ use pulsar_linalg::{
     geqrt_ws, tsmqr_ws, tsqrt_ws, ttmqr_ws, ttqrt_ws, unmqr_ws, Matrix, TileMatrix, Workspace,
 };
 use pulsar_runtime::{
-    ChannelSpec, Packet, RunConfig, RunStats, Trace, Tuple, VdpContext, VdpSpec, Vsa,
+    ChannelSpec, Packet, RunConfig, RunError, RunStats, Trace, Tuple, VdpContext, VdpSpec, Vsa,
 };
 
 /// Result of a VSA-executed factorization.
@@ -260,7 +260,9 @@ pub fn tile_qr_vsa(a: &Matrix, opts: &QrOptions, config: &RunConfig) -> VsaQrRes
         ib,
         ref stage_ops,
     } = g;
-    let mut out = vsa.run(config);
+    let mut out = vsa
+        .run(config)
+        .unwrap_or_else(|e| panic!("tile_qr_vsa: {e}"));
     let k = a.nrows().min(a.ncols());
     let mut r = Matrix::zeros(k, a.ncols());
     for i in 0..kt {
@@ -321,9 +323,18 @@ pub struct VsaQrPartial {
 /// rank calls it with identical `a`, `opts`, and mapping; each gets back
 /// its own share of the `R` factor (and its local stats). Under an
 /// in-process backend it returns every tile.
-pub fn tile_qr_vsa_partial(a: &Matrix, opts: &QrOptions, config: &RunConfig) -> VsaQrPartial {
+///
+/// Unlike the single-process helpers this returns `Err` instead of
+/// panicking when the run fails: in an SPMD deployment a lost peer or a
+/// stalled array is an expected runtime outcome the caller must translate
+/// into an exit code, not a crash.
+pub fn tile_qr_vsa_partial(
+    a: &Matrix,
+    opts: &QrOptions,
+    config: &RunConfig,
+) -> Result<VsaQrPartial, RunError> {
     let (vsa, g) = build_qr_array(a, opts);
-    let mut out = vsa.run(config);
+    let mut out = vsa.run(config)?;
     let k = a.nrows().min(a.ncols());
     let mut r_tiles = Vec::new();
     for i in 0..g.kt {
@@ -340,11 +351,11 @@ pub fn tile_qr_vsa_partial(a: &Matrix, opts: &QrOptions, config: &RunConfig) -> 
             r_tiles.push((i, l, block));
         }
     }
-    VsaQrPartial {
+    Ok(VsaQrPartial {
         r_tiles,
         nb: g.nb,
         stats: out.stats,
-    }
+    })
 }
 
 /// The logic of one 3D-VSA VDP (factor when `l == j`, update when `l > j` —

@@ -469,7 +469,9 @@ pub fn tile_qr_compact(a: &Matrix, opts: &QrOptions, config: &RunConfig) -> VsaQ
     }
 
     // --- Run and collect. --------------------------------------------------
-    let mut out = vsa.run(config);
+    let mut out = vsa
+        .run(config)
+        .unwrap_or_else(|e| panic!("tile_qr_vsa_compact: {e}"));
     let k = a.nrows().min(a.ncols());
     let mut r = Matrix::zeros(k, a.ncols());
     for j in 0..kt {

@@ -21,6 +21,8 @@ pub const MAX_BODY: usize = 1 << 30;
 /// Frame kind byte values.
 const KIND_DATA: u8 = 0;
 const KIND_BARRIER: u8 = 1;
+const KIND_HEARTBEAT: u8 = 2;
+const KIND_ABORT: u8 = 3;
 
 /// What a frame carries.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -32,6 +34,13 @@ pub enum FrameKind {
     },
     /// Barrier-entry announcement; the 8-byte body is the barrier epoch.
     Barrier,
+    /// Liveness probe (empty body); any traffic proves liveness, this one
+    /// exists so an idle but healthy peer still refreshes its deadline.
+    Heartbeat,
+    /// The peer is going down on purpose (empty body); treat every
+    /// operation that still needs it as failed, but do not diagnose a
+    /// protocol violation.
+    Abort,
 }
 
 /// Decoded frame header.
@@ -48,7 +57,8 @@ pub struct FrameHeader {
 /// Why a header was rejected.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum FrameError {
-    /// First four bytes were not [`MAGIC`].
+    /// First four bytes were not [`MAGIC`] (padded with zeros when fewer
+    /// than four bytes were available and those already mismatched).
     BadMagic([u8; 4]),
     /// Unknown kind byte.
     BadKind(u8),
@@ -56,6 +66,19 @@ pub enum FrameError {
     Oversized(u64),
     /// A barrier frame whose body is not exactly 8 bytes.
     BadBarrierLen(u64),
+    /// A control frame (heartbeat/abort) whose body is not empty.
+    BadControlLen {
+        /// Offending kind byte.
+        kind: u8,
+        /// Body length carried by the header.
+        len: u64,
+    },
+    /// Fewer than [`HEADER_LEN`] bytes available, but what is there is a
+    /// plausible header prefix — read more and retry.
+    Truncated {
+        /// Bytes available so far.
+        have: usize,
+    },
     /// Sequence number broke the per-connection FIFO contract.
     OutOfOrder {
         /// Sequence number the connection expected next.
@@ -72,6 +95,12 @@ impl std::fmt::Display for FrameError {
             FrameError::BadKind(k) => write!(f, "unknown frame kind {k}"),
             FrameError::Oversized(n) => write!(f, "frame body of {n} bytes exceeds cap"),
             FrameError::BadBarrierLen(n) => write!(f, "barrier frame with {n}-byte body"),
+            FrameError::BadControlLen { kind, len } => {
+                write!(f, "control frame kind {kind} with {len}-byte body")
+            }
+            FrameError::Truncated { have } => {
+                write!(f, "header truncated at {have} of {HEADER_LEN} bytes")
+            }
             FrameError::OutOfOrder { expected, got } => {
                 write!(f, "frame seq {got} arrived, expected {expected}")
             }
@@ -88,6 +117,8 @@ pub fn encode_header(h: &FrameHeader) -> [u8; HEADER_LEN] {
     let (kind, wire_id) = match h.kind {
         FrameKind::Data { wire_id } => (KIND_DATA, wire_id),
         FrameKind::Barrier => (KIND_BARRIER, 0),
+        FrameKind::Heartbeat => (KIND_HEARTBEAT, 0),
+        FrameKind::Abort => (KIND_ABORT, 0),
     };
     out[4] = kind;
     out[5..9].copy_from_slice(&wire_id.to_le_bytes());
@@ -96,11 +127,21 @@ pub fn encode_header(h: &FrameHeader) -> [u8; HEADER_LEN] {
     out
 }
 
-/// Decode and validate a header.
-pub fn decode_header(buf: &[u8; HEADER_LEN]) -> Result<FrameHeader, FrameError> {
-    let magic: [u8; 4] = buf[0..4].try_into().unwrap();
-    if magic != MAGIC {
+/// Decode and validate a header from however many bytes are available.
+///
+/// Accepts any slice: a wrong magic prefix is rejected immediately (even
+/// on a partial read), while a plausible-but-short prefix returns
+/// [`FrameError::Truncated`] so the caller reads more. Never panics on
+/// arbitrary input.
+pub fn decode_header(buf: &[u8]) -> Result<FrameHeader, FrameError> {
+    let have = buf.len().min(4);
+    if buf[..have] != MAGIC[..have] {
+        let mut magic = [0u8; 4];
+        magic[..have].copy_from_slice(&buf[..have]);
         return Err(FrameError::BadMagic(magic));
+    }
+    if buf.len() < HEADER_LEN {
+        return Err(FrameError::Truncated { have: buf.len() });
     }
     let wire_id = u32::from_le_bytes(buf[5..9].try_into().unwrap());
     let seq = u64::from_le_bytes(buf[9..17].try_into().unwrap());
@@ -115,6 +156,16 @@ pub fn decode_header(buf: &[u8; HEADER_LEN]) -> Result<FrameHeader, FrameError> 
                 return Err(FrameError::BadBarrierLen(len));
             }
             FrameKind::Barrier
+        }
+        k @ (KIND_HEARTBEAT | KIND_ABORT) => {
+            if len != 0 {
+                return Err(FrameError::BadControlLen { kind: k, len });
+            }
+            if k == KIND_HEARTBEAT {
+                FrameKind::Heartbeat
+            } else {
+                FrameKind::Abort
+            }
         }
         k => return Err(FrameError::BadKind(k)),
     };
@@ -181,5 +232,48 @@ mod tests {
         });
         b[17..25].copy_from_slice(&9u64.to_le_bytes());
         assert_eq!(decode_header(&b), Err(FrameError::BadBarrierLen(9)));
+    }
+
+    #[test]
+    fn roundtrip_control_headers() {
+        for kind in [FrameKind::Heartbeat, FrameKind::Abort] {
+            let h = FrameHeader {
+                kind,
+                seq: 3,
+                len: 0,
+            };
+            assert_eq!(decode_header(&encode_header(&h)), Ok(h));
+        }
+        let mut b = encode_header(&FrameHeader {
+            kind: FrameKind::Heartbeat,
+            seq: 0,
+            len: 0,
+        });
+        b[17..25].copy_from_slice(&1u64.to_le_bytes());
+        assert_eq!(
+            decode_header(&b),
+            Err(FrameError::BadControlLen { kind: 2, len: 1 })
+        );
+    }
+
+    #[test]
+    fn short_prefixes_are_truncated_not_panics() {
+        let b = encode_header(&FrameHeader {
+            kind: FrameKind::Data { wire_id: 9 },
+            seq: 0,
+            len: 16,
+        });
+        for cut in 0..HEADER_LEN {
+            assert_eq!(
+                decode_header(&b[..cut]),
+                Err(FrameError::Truncated { have: cut })
+            );
+        }
+        // A wrong byte inside the magic is rejected even before the full
+        // header arrives.
+        assert!(matches!(
+            decode_header(b"PSX"),
+            Err(FrameError::BadMagic(_))
+        ));
     }
 }

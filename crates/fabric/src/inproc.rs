@@ -16,6 +16,10 @@ enum Wire<P> {
     Barrier {
         epoch: u64,
     },
+    /// The sender is going down on purpose (the abort frame analogue).
+    Abort {
+        from: NodeId,
+    },
 }
 
 /// One node's endpoint of an in-process full mesh (see
@@ -39,6 +43,10 @@ pub struct InProcFabric<P> {
     barrier_seen: HashMap<u64, usize>,
     sent: u64,
     received: u64,
+    /// Set when a peer announced a deliberate shutdown.
+    aborted_by: Option<NodeId>,
+    /// First fatal error; every later operation reports it again.
+    failed: Option<FabricError>,
 }
 
 impl<P: Send> InProcFabric<P> {
@@ -66,6 +74,8 @@ impl<P: Send> InProcFabric<P> {
                 barrier_seen: HashMap::new(),
                 sent: 0,
                 received: 0,
+                aborted_by: None,
+                failed: None,
             })
             .collect()
     }
@@ -89,6 +99,9 @@ impl<P: Send> InProcFabric<P> {
             Wire::Barrier { epoch } => {
                 *self.barrier_seen.entry(epoch).or_insert(0) += 1;
             }
+            Wire::Abort { from } => {
+                self.aborted_by.get_or_insert(from);
+            }
         }
     }
 
@@ -96,6 +109,26 @@ impl<P: Send> InProcFabric<P> {
         while let Ok(w) = self.rx.try_recv() {
             self.absorb(w);
         }
+    }
+
+    fn fail(&mut self, e: FabricError) -> FabricError {
+        if self.failed.is_none() {
+            self.failed = Some(e.clone());
+        }
+        e
+    }
+
+    fn check(&self) -> Result<(), FabricError> {
+        match &self.failed {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
+
+    /// The lowest rank that is not us: blamed when the mesh disconnects
+    /// without an identifiable culprit (every sender dropped at once).
+    fn some_peer(&self) -> NodeId {
+        usize::from(self.rank == 0)
     }
 }
 
@@ -110,47 +143,65 @@ impl<P: Send> Fabric for InProcFabric<P> {
         self.nodes
     }
 
-    fn post_send(&mut self, dst: NodeId, wire_id: u32, payload: P, bytes: usize) -> Op {
+    fn post_send(
+        &mut self,
+        dst: NodeId,
+        wire_id: u32,
+        payload: P,
+        bytes: usize,
+    ) -> Result<Op, FabricError> {
+        self.check()?;
         let op = self.next_op();
         let tx = self.peers[dst]
             .as_ref()
             .unwrap_or_else(|| panic!("node {} sending to itself", self.rank));
-        tx.send(Wire::Data {
-            wire_id,
-            payload,
-            bytes,
-        })
-        .expect("fabric closed early");
+        if tx
+            .send(Wire::Data {
+                wire_id,
+                payload,
+                bytes,
+            })
+            .is_err()
+        {
+            return Err(self.fail(FabricError::PeerClosed { peer: dst }));
+        }
         self.sent += bytes as u64;
         // Queue delivery is instantaneous: the send completes at post time.
         self.send_ops.insert(op.0);
         self.counts.insert(op.0, bytes);
-        op
+        Ok(op)
     }
 
-    fn post_recv(&mut self) -> Op {
+    fn post_recv(&mut self) -> Result<Op, FabricError> {
+        self.check()?;
         let op = self.next_op();
         self.recv_ops.push_back(op.0);
-        op
+        Ok(op)
     }
 
-    fn test(&mut self, op: Op) -> Completion<P> {
+    fn test(&mut self, op: Op) -> Result<Completion<P>, FabricError> {
+        self.check()?;
         self.drain_rx();
         if self.send_ops.remove(&op.0) {
-            return Completion::SendDone;
+            return Ok(Completion::SendDone);
         }
         if self.recv_ops.front() == Some(&op.0) {
             if let Some((wire_id, payload, bytes)) = self.inbox.pop_front() {
                 self.recv_ops.pop_front();
                 self.counts.insert(op.0, bytes);
-                return Completion::Recv {
+                return Ok(Completion::Recv {
                     wire_id,
                     payload,
                     bytes,
-                };
+                });
+            }
+            // A receive is pending, nothing is buffered, and a peer
+            // announced its death: it can never deliver.
+            if let Some(peer) = self.aborted_by {
+                return Err(self.fail(FabricError::PeerClosed { peer }));
             }
         }
-        Completion::Pending
+        Ok(Completion::Pending)
     }
 
     fn get_count(&mut self, op: Op) -> Option<usize> {
@@ -158,11 +209,14 @@ impl<P: Send> Fabric for InProcFabric<P> {
     }
 
     fn barrier(&mut self, poison: &mut dyn FnMut() -> bool) -> Result<(), FabricError> {
+        self.check()?;
         self.barrier_epoch += 1;
         let epoch = self.barrier_epoch;
-        for tx in self.peers.iter().flatten() {
+        for (dst, tx) in self.peers.iter().enumerate() {
+            let Some(tx) = tx else { continue };
             if tx.send(Wire::Barrier { epoch }).is_err() {
-                return Err(FabricError::Disconnected);
+                let e = FabricError::PeerClosed { peer: dst };
+                return Err(self.fail(e));
             }
         }
         loop {
@@ -171,13 +225,19 @@ impl<P: Send> Fabric for InProcFabric<P> {
                 self.barrier_seen.remove(&epoch);
                 return Ok(());
             }
+            if let Some(peer) = self.aborted_by {
+                return Err(self.fail(FabricError::PeerClosed { peer }));
+            }
             if poison() {
-                return Err(FabricError::Poisoned);
+                return Err(FabricError::Cancelled);
             }
             match self.rx.recv_timeout(Duration::from_micros(100)) {
                 Ok(w) => self.absorb(w),
                 Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => return Err(FabricError::Disconnected),
+                Err(RecvTimeoutError::Disconnected) => {
+                    let peer = self.some_peer();
+                    return Err(self.fail(FabricError::PeerClosed { peer }));
+                }
             }
         }
     }
@@ -186,6 +246,13 @@ impl<P: Send> Fabric for InProcFabric<P> {
         self.recv_ops.retain(|&o| o != op.0);
         self.send_ops.remove(&op.0);
         self.counts.remove(&op.0);
+    }
+
+    fn abort(&mut self) {
+        let from = self.rank;
+        for tx in self.peers.iter().flatten() {
+            let _ = tx.send(Wire::Abort { from });
+        }
     }
 
     fn idle(&mut self, max: Duration) {
@@ -214,13 +281,13 @@ mod tests {
         let mut a = mesh.pop().unwrap();
         assert_eq!((a.rank(), b.rank(), a.nodes()), (0, 1, 2));
 
-        let s = a.post_send(1, 7, "hello".to_string(), 5);
-        assert!(matches!(a.test(s), Completion::SendDone));
+        let s = a.post_send(1, 7, "hello".to_string(), 5).unwrap();
+        assert!(matches!(a.test(s), Ok(Completion::SendDone)));
         assert_eq!(a.get_count(s), Some(5));
         assert_eq!(a.bytes_sent(), 5);
 
-        let r = b.post_recv();
-        match b.test(r) {
+        let r = b.post_recv().unwrap();
+        match b.test(r).unwrap() {
             Completion::Recv {
                 wire_id,
                 payload,
@@ -240,16 +307,16 @@ mod tests {
         let mut mesh = InProcFabric::<u32>::mesh(2);
         let mut b = mesh.pop().unwrap();
         let mut a = mesh.pop().unwrap();
-        let r = b.post_recv();
-        assert!(matches!(b.test(r), Completion::Pending));
-        a.post_send(1, 1, 10, 4);
-        a.post_send(1, 2, 20, 4);
-        match b.test(r) {
+        let r = b.post_recv().unwrap();
+        assert!(matches!(b.test(r), Ok(Completion::Pending)));
+        a.post_send(1, 1, 10, 4).unwrap();
+        a.post_send(1, 2, 20, 4).unwrap();
+        match b.test(r).unwrap() {
             Completion::Recv { payload, .. } => assert_eq!(payload, 10),
             other => panic!("{other:?}"),
         }
-        let r2 = b.post_recv();
-        match b.test(r2) {
+        let r2 = b.post_recv().unwrap();
+        match b.test(r2).unwrap() {
             Completion::Recv { payload, .. } => assert_eq!(payload, 20),
             other => panic!("{other:?}"),
         }
@@ -283,16 +350,32 @@ mod tests {
             spins += 1;
             spins > 3
         });
-        assert_eq!(r, Err(FabricError::Poisoned));
+        assert_eq!(r, Err(FabricError::Cancelled));
     }
 
     #[test]
     fn cancel_discards_pending_recv() {
         let mut mesh = InProcFabric::<u8>::mesh(2);
         let mut a = mesh.remove(0);
-        let r = a.post_recv();
+        let r = a.post_recv().unwrap();
         a.cancel(r);
-        assert!(matches!(a.test(r), Completion::Pending));
+        assert!(matches!(a.test(r), Ok(Completion::Pending)));
         assert_eq!(a.get_count(r), None);
+    }
+
+    #[test]
+    fn abort_fails_peer_operations() {
+        let mut mesh = InProcFabric::<u8>::mesh(2);
+        let mut b = mesh.pop().unwrap();
+        let mut a = mesh.pop().unwrap();
+        b.abort();
+        drop(b);
+        let r = a.post_recv().unwrap();
+        assert_eq!(a.test(r), Err(FabricError::PeerClosed { peer: 1 }));
+        // Sticky.
+        assert_eq!(
+            a.post_send(1, 0, 1, 1),
+            Err(FabricError::PeerClosed { peer: 1 })
+        );
     }
 }

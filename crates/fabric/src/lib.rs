@@ -29,10 +29,12 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod frame;
 mod inproc;
 mod tcp;
 
+pub use fault::{FaultPlan, FaultyFabric, KillSpec};
 pub use inproc::InProcFabric;
 pub use tcp::TcpFabric;
 
@@ -46,7 +48,7 @@ pub type NodeId = usize;
 pub struct Op(pub(crate) u64);
 
 /// Result of testing an operation.
-#[derive(Debug)]
+#[derive(Debug, PartialEq, Eq)]
 pub enum Completion<P> {
     /// Not finished yet.
     Pending,
@@ -63,25 +65,122 @@ pub enum Completion<P> {
     },
 }
 
-/// Why a collective failed.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+/// Why a fabric operation failed.
+///
+/// Transient conditions (a kernel buffer momentarily full, an interrupted
+/// syscall, a peer that has not finished dialing in yet) are retried
+/// inside the backends and never surface here; everything that does
+/// surface is fatal to the run and sticky — once a fabric reports an
+/// error, every later operation reports the same one.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum FabricError {
-    /// The local poison predicate fired while waiting (local abort).
-    Poisoned,
-    /// A peer vanished (connection closed or process died).
-    Disconnected,
+    /// A peer's connection closed (or the peer announced it is aborting)
+    /// while we still needed it.
+    PeerClosed {
+        /// The peer that went away.
+        peer: NodeId,
+    },
+    /// An I/O error on a peer's socket that retrying cannot fix.
+    Io {
+        /// The peer whose socket failed, when attributable.
+        peer: Option<NodeId>,
+        /// The OS error kind.
+        kind: std::io::ErrorKind,
+        /// The OS error message.
+        msg: String,
+    },
+    /// A peer sent bytes that do not parse as a valid frame (or broke the
+    /// per-connection FIFO sequence contract).
+    MalformedFrame {
+        /// The offending peer.
+        peer: NodeId,
+        /// What was wrong with the frame.
+        reason: frame::FrameError,
+    },
+    /// A peer went silent past the configured liveness deadline
+    /// (heartbeats enabled via [`TcpFabric::set_heartbeat`]).
+    Timeout {
+        /// The silent peer.
+        peer: NodeId,
+        /// How long it had been silent.
+        waited: Duration,
+    },
+    /// The operation was abandoned locally: the poison predicate fired
+    /// during a barrier, or this fabric was deliberately killed
+    /// (fault injection).
+    Cancelled,
+}
+
+impl FabricError {
+    /// The peer this error blames, when attributable to one.
+    pub fn peer(&self) -> Option<NodeId> {
+        match self {
+            FabricError::PeerClosed { peer }
+            | FabricError::MalformedFrame { peer, .. }
+            | FabricError::Timeout { peer, .. } => Some(*peer),
+            FabricError::Io { peer, .. } => *peer,
+            FabricError::Cancelled => None,
+        }
+    }
 }
 
 impl std::fmt::Display for FabricError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            FabricError::Poisoned => write!(f, "barrier poisoned by local abort"),
-            FabricError::Disconnected => write!(f, "peer disconnected"),
+            FabricError::PeerClosed { peer } => write!(f, "peer {peer} closed its connection"),
+            FabricError::Io {
+                peer: Some(p),
+                kind,
+                msg,
+            } => {
+                write!(f, "i/o error ({kind:?}) on peer {p}: {msg}")
+            }
+            FabricError::Io {
+                peer: None,
+                kind,
+                msg,
+            } => {
+                write!(f, "i/o error ({kind:?}): {msg}")
+            }
+            FabricError::MalformedFrame { peer, reason } => {
+                write!(f, "malformed frame from peer {peer}: {reason}")
+            }
+            FabricError::Timeout { peer, waited } => {
+                write!(f, "peer {peer} silent for {waited:?} (liveness timeout)")
+            }
+            FabricError::Cancelled => write!(f, "operation cancelled by local abort"),
         }
     }
 }
 
 impl std::error::Error for FabricError {}
+
+/// Robustness counters a fabric accumulates; folded into the runtime's
+/// `RunStats` when the proxy exits.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct FabricHealth {
+    /// Heartbeat frames queued to peers.
+    pub heartbeats_sent: u64,
+    /// Liveness deadlines that expired (each one surfaces as
+    /// [`FabricError::Timeout`]).
+    pub heartbeats_missed: u64,
+    /// Redials during mesh-up (exponential backoff while a peer's
+    /// listener was not accepting yet).
+    pub reconnect_attempts: u64,
+    /// Sends that needed more than one write attempt (partial writes and
+    /// interrupted syscalls, retried transparently).
+    pub retried_sends: u64,
+}
+
+impl FabricHealth {
+    /// Component-wise sum.
+    pub fn merge(&mut self, other: &FabricHealth) {
+        self.heartbeats_sent += other.heartbeats_sent;
+        self.heartbeats_missed += other.heartbeats_missed;
+        self.reconnect_attempts += other.reconnect_attempts;
+        self.retried_sends += other.retried_sends;
+    }
+}
 
 /// The six-call transport surface of the paper's Section IV-B.
 ///
@@ -103,15 +202,23 @@ pub trait Fabric {
     /// `wire_id`. `bytes` is the payload's logical size (used only for
     /// accounting by in-process transports). Completion is reported by
     /// [`Fabric::test`] as [`Completion::SendDone`].
-    fn post_send(&mut self, dst: NodeId, wire_id: u32, payload: Self::Payload, bytes: usize) -> Op;
+    fn post_send(
+        &mut self,
+        dst: NodeId,
+        wire_id: u32,
+        payload: Self::Payload,
+        bytes: usize,
+    ) -> Result<Op, FabricError>;
 
     /// Post a nonblocking wildcard receive (any source, any wire id).
     /// Each posted receive completes at most once; re-post after every
     /// [`Completion::Recv`].
-    fn post_recv(&mut self) -> Op;
+    fn post_recv(&mut self) -> Result<Op, FabricError>;
 
-    /// Drive transport progress and report the state of `op`.
-    fn test(&mut self, op: Op) -> Completion<Self::Payload>;
+    /// Drive transport progress and report the state of `op`. A fatal
+    /// transport condition (peer lost, malformed frame, liveness timeout)
+    /// surfaces here as `Err` and is sticky.
+    fn test(&mut self, op: Op) -> Result<Completion<Self::Payload>, FabricError>;
 
     /// Byte count of a completed operation (received payload size for a
     /// receive, payload size for a send). Consumes the record; a second
@@ -119,14 +226,27 @@ pub trait Fabric {
     fn get_count(&mut self, op: Op) -> Option<usize>;
 
     /// Enter a global barrier and block until every node has entered, the
-    /// `poison` predicate returns true (-> [`FabricError::Poisoned`]), or
-    /// a peer vanishes (-> [`FabricError::Disconnected`]).
+    /// `poison` predicate returns true (-> [`FabricError::Cancelled`]), or
+    /// a peer vanishes (-> [`FabricError::PeerClosed`]).
     fn barrier(&mut self, poison: &mut dyn FnMut() -> bool) -> Result<(), FabricError>;
 
     /// Cancel a posted receive that will never complete (the paper's
     /// shutdown sequence: barrier, then cancel the outstanding
     /// `MPI_Irecv`).
     fn cancel(&mut self, op: Op);
+
+    /// Announce to every peer that this node is going down (the
+    /// `MPI_Abort` analogue): peers blocked in [`Fabric::barrier`] or
+    /// [`Fabric::test`] observe a typed error instead of hanging.
+    /// Best-effort and idempotent; default is a no-op for transports whose
+    /// peer death is otherwise observable.
+    fn abort(&mut self) {}
+
+    /// Robustness counters accumulated so far (all zero for transports
+    /// with nothing to retry).
+    fn health(&self) -> FabricHealth {
+        FabricHealth::default()
+    }
 
     /// Nothing to do: block for at most `max`, waking early if traffic
     /// may have arrived (transports without a wakeup primitive may just

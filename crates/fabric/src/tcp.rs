@@ -9,13 +9,26 @@
 //! completes when its last byte reaches the kernel. Receives parse the
 //! per-peer inbound buffer into frames (see [`crate::frame`]), verifying
 //! the per-connection sequence number.
+//!
+//! Failure handling: transient conditions are absorbed here — mesh-up
+//! redials a not-yet-listening peer with bounded exponential backoff,
+//! partial writes and `EINTR` are retried, and `WouldBlock` just defers
+//! progress to the next pump. Everything else (peer closed, I/O error,
+//! malformed frame, liveness timeout) is fatal: it surfaces as a
+//! [`FabricError`] and the fabric goes sticky-failed. Optional heartbeat
+//! frames ([`TcpFabric::set_heartbeat`]) detect a peer that is silent
+//! without closing its socket.
 
 use crate::frame::{decode_header, encode_header, FrameError, FrameHeader, FrameKind, HEADER_LEN};
-use crate::{Completion, Fabric, FabricError, NodeId, Op};
+use crate::{Completion, Fabric, FabricError, FabricHealth, NodeId, Op};
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::time::{Duration, Instant};
+
+/// Op id used for internal frames (barrier/heartbeat/abort) that no
+/// caller-visible operation tracks.
+const NO_OP: u64 = u64::MAX;
 
 /// A frame being written: fixed header + body, with a write cursor across
 /// both.
@@ -26,6 +39,9 @@ struct OutFrame {
     written: usize,
     /// Logical payload size reported by `get_count` on completion.
     count: usize,
+    /// Whether this frame already needed a second write attempt
+    /// (for the retried-sends counter).
+    retried: bool,
 }
 
 struct Peer {
@@ -34,10 +50,27 @@ struct Peer {
     inbuf: Vec<u8>,
     next_seq_out: u64,
     next_seq_in: u64,
-    /// Peer closed its end; frames already parsed stay valid.
+    /// Peer closed its end (or its socket errored); frames already parsed
+    /// stay valid, but nothing more can flow.
     eof: bool,
+    /// Peer announced a deliberate shutdown with an abort frame.
+    aborted: bool,
+    /// Last time any bytes arrived from this peer (liveness).
+    last_recv: Instant,
     /// Highest barrier epoch this peer has announced entering.
     barrier_epoch: u64,
+}
+
+impl Peer {
+    fn usable(&self) -> bool {
+        !self.eof && !self.aborted
+    }
+}
+
+struct Heartbeat {
+    interval: Duration,
+    liveness: Duration,
+    last_sent: Instant,
 }
 
 /// One node's endpoint of a TCP full mesh (see [`TcpFabric::connect`]).
@@ -55,13 +88,21 @@ pub struct TcpFabric {
     barrier_epoch: u64,
     sent: u64,
     received: u64,
+    heartbeat: Option<Heartbeat>,
+    health: FabricHealth,
+    /// First fatal error; every later operation reports it again.
+    failed: Option<FabricError>,
+    /// Abort frames already broadcast (abort is idempotent).
+    abort_sent: bool,
 }
 
 impl TcpFabric {
     /// Join the mesh as `rank`, dialing `addrs[0..rank]` and accepting
     /// `addrs.len() - rank - 1` connections on `listener` (which must be
     /// the socket `addrs[rank]` points at). Blocks until the mesh is
-    /// complete or `timeout` passes.
+    /// complete or `timeout` passes. Peers whose listeners are not up yet
+    /// are redialed with exponential backoff (1 ms doubling to 250 ms);
+    /// each redial counts as a reconnect attempt in [`FabricHealth`].
     pub fn connect(
         rank: NodeId,
         listener: TcpListener,
@@ -72,17 +113,21 @@ impl TcpFabric {
         assert!(rank < nodes, "rank {rank} outside {nodes} nodes");
         let deadline = Instant::now() + timeout;
         let mut peers: Vec<Option<Peer>> = (0..nodes).map(|_| None).collect();
+        let mut health = FabricHealth::default();
 
         // Dial every lower rank (their listeners are already bound; the
         // kernel backlog accepts the handshake even before they call
         // accept, so sequential dial-then-accept cannot deadlock).
         for (j, addr) in addrs.iter().enumerate().take(rank) {
+            let mut backoff = Duration::from_millis(1);
             let stream = loop {
                 match TcpStream::connect(addr) {
                     Ok(s) => break s,
-                    Err(e) if Instant::now() < deadline => {
+                    Err(e) if Instant::now() + backoff < deadline => {
                         let _ = e;
-                        std::thread::sleep(Duration::from_millis(10));
+                        health.reconnect_attempts += 1;
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(Duration::from_millis(250));
                     }
                     Err(e) => return Err(e),
                 }
@@ -137,7 +182,23 @@ impl TcpFabric {
             barrier_epoch: 0,
             sent: 0,
             received: 0,
+            heartbeat: None,
+            health,
+            failed: None,
+            abort_sent: false,
         })
+    }
+
+    /// Enable heartbeats: queue a probe to every peer each `interval`, and
+    /// declare a peer dead ([`FabricError::Timeout`]) when nothing at all
+    /// arrives from it for `liveness`. `liveness` should be several
+    /// intervals to tolerate scheduling jitter.
+    pub fn set_heartbeat(&mut self, interval: Duration, liveness: Duration) {
+        self.heartbeat = Some(Heartbeat {
+            interval,
+            liveness,
+            last_sent: Instant::now(),
+        });
     }
 
     fn init_peer(stream: TcpStream) -> std::io::Result<Peer> {
@@ -150,6 +211,8 @@ impl TcpFabric {
             next_seq_out: 0,
             next_seq_in: 0,
             eof: false,
+            aborted: false,
+            last_recv: Instant::now(),
             barrier_epoch: 0,
         })
     }
@@ -158,6 +221,28 @@ impl TcpFabric {
         let id = self.next_op;
         self.next_op += 1;
         Op(id)
+    }
+
+    fn fail(&mut self, e: FabricError) -> FabricError {
+        if self.failed.is_none() {
+            self.failed = Some(e.clone());
+        }
+        e
+    }
+
+    fn check(&self) -> Result<(), FabricError> {
+        match &self.failed {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
+
+    /// First peer that can no longer deliver anything, if any.
+    fn dead_peer(&self) -> Option<NodeId> {
+        self.peers
+            .iter()
+            .enumerate()
+            .find_map(|(r, s)| s.as_ref().and_then(|p| (!p.usable()).then_some(r)))
     }
 
     fn queue_frame(&mut self, dst: NodeId, kind: FrameKind, body: Vec<u8>, op: u64, count: usize) {
@@ -176,28 +261,78 @@ impl TcpFabric {
             body,
             written: 0,
             count,
+            retried: false,
         });
     }
 
-    /// Drive all socket I/O once. Panics on protocol violations (bad
-    /// frames, lost peers): a broken mesh cannot be recovered mid-run.
-    fn pump(&mut self) -> bool {
+    /// Drive all socket I/O once: sticky-failure check, heartbeat
+    /// scheduling, reads/writes/parsing, liveness check.
+    fn pump(&mut self) -> Result<bool, FabricError> {
+        self.check()?;
+        if let Some(hb) = &self.heartbeat {
+            if hb.last_sent.elapsed() >= hb.interval {
+                let dsts: Vec<NodeId> = (0..self.nodes)
+                    .filter(|&d| self.peers[d].as_ref().is_some_and(Peer::usable))
+                    .collect();
+                if let Some(hb) = &mut self.heartbeat {
+                    hb.last_sent = Instant::now();
+                }
+                for d in dsts {
+                    self.queue_frame(d, FrameKind::Heartbeat, Vec::new(), NO_OP, 0);
+                    self.health.heartbeats_sent += 1;
+                }
+            }
+        }
+        let progressed = match self.pump_io() {
+            Ok(p) => p,
+            Err(e) => return Err(self.fail(e)),
+        };
+        if let Some(hb) = &self.heartbeat {
+            let liveness = hb.liveness;
+            let silent = self.peers.iter().enumerate().find_map(|(r, s)| {
+                s.as_ref().and_then(|p| {
+                    (p.usable() && p.last_recv.elapsed() > liveness)
+                        .then(|| (r, p.last_recv.elapsed()))
+                })
+            });
+            if let Some((peer, waited)) = silent {
+                self.health.heartbeats_missed += 1;
+                if let Some(p) = self.peers[peer].as_mut() {
+                    p.eof = true;
+                }
+                return Err(self.fail(FabricError::Timeout { peer, waited }));
+            }
+        }
+        Ok(progressed)
+    }
+
+    /// Reads, writes, and frame parsing for every peer; marks the
+    /// offending peer unusable before reporting a fatal condition (so a
+    /// best-effort abort flush can skip it).
+    fn pump_io(&mut self) -> Result<bool, FabricError> {
         let mut progressed = false;
-        for (peer_rank, slot) in self.peers.iter_mut().enumerate() {
+        let mut fatal: Option<FabricError> = None;
+        'peers: for (peer_rank, slot) in self.peers.iter_mut().enumerate() {
             let Some(peer) = slot.as_mut() else { continue };
 
             // Writes: drain the outbound queue as far as the kernel allows.
-            while let Some(front) = peer.out.front_mut() {
-                if peer.eof {
-                    panic!("fabric: peer {peer_rank} closed with sends pending");
+            while !peer.out.is_empty() {
+                if !peer.usable() {
+                    fatal = Some(FabricError::PeerClosed { peer: peer_rank });
+                    break 'peers;
                 }
+                let front = peer.out.front_mut().unwrap();
                 let (src, base): (&[u8], usize) = if front.written < HEADER_LEN {
                     (&front.header, front.written)
                 } else {
                     (&front.body, front.written - HEADER_LEN)
                 };
                 match peer.stream.write(&src[base..]) {
-                    Ok(0) => panic!("fabric: peer {peer_rank} closed while writing"),
+                    Ok(0) => {
+                        peer.eof = true;
+                        fatal = Some(FabricError::PeerClosed { peer: peer_rank });
+                        break 'peers;
+                    }
                     Ok(k) => {
                         front.written += k;
                         self.sent += k as u64;
@@ -209,9 +344,26 @@ impl TcpFabric {
                             }
                         }
                     }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
-                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                    Err(e) => panic!("fabric: write to peer {peer_rank} failed: {e}"),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        if front.written > 0 && !front.retried {
+                            front.retried = true;
+                            self.health.retried_sends += 1;
+                        }
+                        break;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+                        self.health.retried_sends += 1;
+                        continue;
+                    }
+                    Err(e) => {
+                        peer.eof = true;
+                        fatal = Some(FabricError::Io {
+                            peer: Some(peer_rank),
+                            kind: e.kind(),
+                            msg: e.to_string(),
+                        });
+                        break 'peers;
+                    }
                 }
             }
 
@@ -221,42 +373,60 @@ impl TcpFabric {
                 match peer.stream.read(&mut tmp) {
                     Ok(0) => {
                         // Orderly close. Whether this is fatal depends on
-                        // what we still expect from the peer — barrier()
-                        // decides; already-parsed frames stay valid.
+                        // what we still expect from the peer — test() and
+                        // barrier() decide; already-parsed frames stay
+                        // valid.
                         peer.eof = true;
                         break;
                     }
                     Ok(k) => {
                         peer.inbuf.extend_from_slice(&tmp[..k]);
+                        peer.last_recv = Instant::now();
                         self.received += k as u64;
                         progressed = true;
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                     Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-                    Err(e) => panic!("fabric: read from peer {peer_rank} failed: {e}"),
+                    Err(e) => {
+                        peer.eof = true;
+                        fatal = Some(FabricError::Io {
+                            peer: Some(peer_rank),
+                            kind: e.kind(),
+                            msg: e.to_string(),
+                        });
+                        break 'peers;
+                    }
                 }
             }
 
             // Parse complete frames.
             let mut consumed = 0;
             while peer.inbuf.len() - consumed >= HEADER_LEN {
-                let hdr_bytes: [u8; HEADER_LEN] = peer.inbuf[consumed..consumed + HEADER_LEN]
-                    .try_into()
-                    .unwrap();
-                let hdr = match decode_header(&hdr_bytes) {
+                let hdr = match decode_header(&peer.inbuf[consumed..consumed + HEADER_LEN]) {
                     Ok(h) => h,
-                    Err(e) => panic!("fabric: malformed frame from peer {peer_rank}: {e}"),
+                    Err(reason) => {
+                        peer.eof = true;
+                        fatal = Some(FabricError::MalformedFrame {
+                            peer: peer_rank,
+                            reason,
+                        });
+                        break 'peers;
+                    }
                 };
                 let total = HEADER_LEN + hdr.len as usize;
                 if peer.inbuf.len() - consumed < total {
                     break;
                 }
                 if hdr.seq != peer.next_seq_in {
-                    let e = FrameError::OutOfOrder {
-                        expected: peer.next_seq_in,
-                        got: hdr.seq,
-                    };
-                    panic!("fabric: peer {peer_rank}: {e}");
+                    peer.eof = true;
+                    fatal = Some(FabricError::MalformedFrame {
+                        peer: peer_rank,
+                        reason: FrameError::OutOfOrder {
+                            expected: peer.next_seq_in,
+                            got: hdr.seq,
+                        },
+                    });
+                    break 'peers;
                 }
                 peer.next_seq_in += 1;
                 let body = peer.inbuf[consumed + HEADER_LEN..consumed + total].to_vec();
@@ -270,13 +440,20 @@ impl TcpFabric {
                         let epoch = u64::from_le_bytes(body.try_into().unwrap());
                         peer.barrier_epoch = peer.barrier_epoch.max(epoch);
                     }
+                    FrameKind::Heartbeat => {} // last_recv already refreshed
+                    FrameKind::Abort => {
+                        peer.aborted = true;
+                    }
                 }
             }
             if consumed > 0 {
                 peer.inbuf.drain(..consumed);
             }
         }
-        progressed
+        match fatal {
+            Some(e) => Err(e),
+            None => Ok(progressed),
+        }
     }
 }
 
@@ -291,47 +468,65 @@ impl Fabric for TcpFabric {
         self.nodes
     }
 
-    fn post_send(&mut self, dst: NodeId, wire_id: u32, payload: Vec<u8>, bytes: usize) -> Op {
-        let op = self.next_op();
+    fn post_send(
+        &mut self,
+        dst: NodeId,
+        wire_id: u32,
+        payload: Vec<u8>,
+        bytes: usize,
+    ) -> Result<Op, FabricError> {
+        self.check()?;
         let _ = bytes; // wire accounting uses actual frame bytes
+        if self.peers[dst].as_ref().is_some_and(|p| !p.usable()) {
+            return Err(self.fail(FabricError::PeerClosed { peer: dst }));
+        }
+        let op = self.next_op();
         let count = payload.len();
         self.send_ops.insert(op.0, dst);
         self.queue_frame(dst, FrameKind::Data { wire_id }, payload, op.0, count);
-        self.pump();
-        op
+        self.pump()?;
+        Ok(op)
     }
 
-    fn post_recv(&mut self) -> Op {
+    fn post_recv(&mut self) -> Result<Op, FabricError> {
+        self.check()?;
         let op = self.next_op();
         self.recv_ops.push_back(op.0);
-        op
+        Ok(op)
     }
 
-    fn test(&mut self, op: Op) -> Completion<Vec<u8>> {
-        self.pump();
+    fn test(&mut self, op: Op) -> Result<Completion<Vec<u8>>, FabricError> {
+        self.pump()?;
         if let Some(dst) = self.send_ops.get(&op.0).copied() {
             // Complete when the frame is no longer queued (fully written).
             let queued = self.peers[dst]
                 .as_ref()
                 .is_some_and(|p| p.out.iter().any(|f| f.op == op.0));
             if queued {
-                return Completion::Pending;
+                return Ok(Completion::Pending);
             }
             self.send_ops.remove(&op.0);
-            return Completion::SendDone;
+            return Ok(Completion::SendDone);
         }
         if self.recv_ops.front() == Some(&op.0) {
             if let Some((wire_id, payload, bytes)) = self.inbox.pop_front() {
                 self.recv_ops.pop_front();
                 self.counts.insert(op.0, bytes);
-                return Completion::Recv {
+                return Ok(Completion::Recv {
                     wire_id,
                     payload,
                     bytes,
-                };
+                });
+            }
+            // A receive is pending, nothing is buffered, and a peer can
+            // never deliver again: surface it instead of spinning forever.
+            // (The orderly shutdown path never tests a receive after the
+            // barrier, so a clean close is not misreported.)
+            if let Some(peer) = self.dead_peer() {
+                return Err(self.fail(FabricError::PeerClosed { peer }));
             }
         }
-        Completion::Pending
+        Ok(Completion::Pending)
     }
 
     fn get_count(&mut self, op: Op) -> Option<usize> {
@@ -339,36 +534,41 @@ impl Fabric for TcpFabric {
     }
 
     fn barrier(&mut self, poison: &mut dyn FnMut() -> bool) -> Result<(), FabricError> {
+        self.check()?;
         self.barrier_epoch += 1;
         let epoch = self.barrier_epoch;
-        let op = self.next_op();
         for dst in 0..self.nodes {
             if dst != self.rank {
                 self.queue_frame(
                     dst,
                     FrameKind::Barrier,
                     epoch.to_le_bytes().to_vec(),
-                    op.0,
+                    NO_OP,
                     8,
                 );
             }
         }
         loop {
-            self.pump();
+            self.pump()?;
             let mut entered = 0;
-            for peer in self.peers.iter().flatten() {
+            let mut gone: Option<NodeId> = None;
+            for (r, peer) in self.peers.iter().enumerate() {
+                let Some(peer) = peer else { continue };
                 if peer.barrier_epoch >= epoch {
                     entered += 1;
-                } else if peer.eof {
+                } else if !peer.usable() {
                     // The peer died before entering: it can never arrive.
-                    return Err(FabricError::Disconnected);
+                    gone = Some(r);
                 }
             }
             if entered >= self.nodes - 1 {
                 return Ok(());
             }
+            if let Some(peer) = gone {
+                return Err(self.fail(FabricError::PeerClosed { peer }));
+            }
             if poison() {
-                return Err(FabricError::Poisoned);
+                return Err(FabricError::Cancelled);
             }
             std::thread::sleep(Duration::from_micros(50));
         }
@@ -380,11 +580,44 @@ impl Fabric for TcpFabric {
         self.counts.remove(&op.0);
     }
 
+    fn abort(&mut self) {
+        if self.abort_sent {
+            return;
+        }
+        self.abort_sent = true;
+        let dsts: Vec<NodeId> = (0..self.nodes)
+            .filter(|&d| self.peers[d].as_ref().is_some_and(Peer::usable))
+            .collect();
+        for d in dsts {
+            self.queue_frame(d, FrameKind::Abort, Vec::new(), NO_OP, 0);
+        }
+        // Best-effort flush: keep pumping briefly, dropping queues aimed at
+        // peers that are themselves gone.
+        let deadline = Instant::now() + Duration::from_millis(200);
+        loop {
+            for p in self.peers.iter_mut().flatten() {
+                if !p.usable() {
+                    p.out.clear();
+                }
+            }
+            if !self.peers.iter().flatten().any(|p| !p.out.is_empty()) || Instant::now() >= deadline
+            {
+                break;
+            }
+            let _ = self.pump_io();
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
     fn idle(&mut self, max: Duration) {
         // No portable readiness wait over many sockets in std; nap briefly,
         // then let the caller's next test() pump.
         std::thread::sleep(max.min(Duration::from_micros(200)));
-        self.pump();
+        let _ = self.pump();
+    }
+
+    fn health(&self) -> FabricHealth {
+        self.health
     }
 
     fn bytes_sent(&self) -> u64 {
@@ -418,7 +651,7 @@ mod tests {
     fn wait_recv(f: &mut TcpFabric, op: Op) -> (u32, Vec<u8>, usize) {
         let deadline = Instant::now() + Duration::from_secs(5);
         loop {
-            match f.test(op) {
+            match f.test(op).expect("fabric healthy") {
                 Completion::Recv {
                     wire_id,
                     payload,
@@ -437,16 +670,24 @@ mod tests {
     fn roundtrip_small_and_large() {
         let (mut f0, mut f1) = localhost_pair();
         // Large payload exercises partial writes through the kernel buffer.
-        let big: Vec<u8> = (0..3 * 1024 * 1024).map(|i| (i % 251) as u8).collect();
-        let s1 = f0.post_send(1, 5, b"ping".to_vec(), 4);
-        let s2 = f0.post_send(1, 6, big.clone(), big.len());
+        let big: Vec<u8> = (0..8 * 1024 * 1024).map(|i| (i % 251) as u8).collect();
+        let s1 = f0.post_send(1, 5, b"ping".to_vec(), 4).unwrap();
+        let s2 = f0.post_send(1, 6, big.clone(), big.len()).unwrap();
+
+        // Pump with the receiver idle: its window cannot grow, so the
+        // 8 MiB body must stall mid-frame and move the retry counter.
+        let stall_deadline = Instant::now() + Duration::from_secs(5);
+        while f0.health().retried_sends == 0 {
+            assert!(Instant::now() < stall_deadline, "send never stalled");
+            let _ = f0.test(s2).unwrap();
+        }
 
         let handle = std::thread::spawn(move || {
-            let r = f1.post_recv();
+            let r = f1.post_recv().unwrap();
             let (w1, p1, b1) = wait_recv(&mut f1, r);
             assert_eq!((w1, p1.as_slice(), b1), (5, b"ping".as_slice(), 4));
             assert_eq!(f1.get_count(r), Some(4));
-            let r2 = f1.post_recv();
+            let r2 = f1.post_recv().unwrap();
             let (w2, p2, _) = wait_recv(&mut f1, r2);
             assert_eq!(w2, 6);
             assert_eq!(p2, big);
@@ -458,22 +699,23 @@ mod tests {
         while !done.iter().all(|&d| d) {
             assert!(Instant::now() < deadline, "sends timed out");
             for (i, &op) in [s1, s2].iter().enumerate() {
-                if !done[i] && matches!(f0.test(op), Completion::SendDone) {
+                if !done[i] && matches!(f0.test(op).unwrap(), Completion::SendDone) {
                     done[i] = true;
                 }
             }
         }
         let f1 = handle.join().unwrap();
-        assert!(f0.bytes_sent() > 3 * 1024 * 1024);
-        assert!(f1.bytes_received() > 3 * 1024 * 1024);
+        assert!(f0.bytes_sent() > 8 * 1024 * 1024);
+        assert!(f1.bytes_received() > 8 * 1024 * 1024);
+        assert!(f0.health().retried_sends > 0);
     }
 
     #[test]
     fn barrier_and_cancel_shutdown() {
         let (mut f0, mut f1) = localhost_pair();
-        let r0 = f0.post_recv();
+        let r0 = f0.post_recv().unwrap();
         let t = std::thread::spawn(move || {
-            let r1 = f1.post_recv();
+            let r1 = f1.post_recv().unwrap();
             f1.barrier(&mut || false).unwrap();
             f1.cancel(r1);
         });
@@ -490,6 +732,107 @@ mod tests {
             n += 1;
             n > 10
         });
-        assert_eq!(r, Err(FabricError::Poisoned));
+        assert_eq!(r, Err(FabricError::Cancelled));
+    }
+
+    #[test]
+    fn dead_peer_fails_pending_recv() {
+        let (mut f0, f1) = localhost_pair();
+        let r = f0.post_recv().unwrap();
+        assert!(matches!(f0.test(r), Ok(Completion::Pending)));
+        drop(f1); // socket closes
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let err = loop {
+            match f0.test(r) {
+                Ok(Completion::Pending) => {
+                    assert!(Instant::now() < deadline, "close never detected");
+                    f0.idle(Duration::from_micros(100));
+                }
+                Ok(c) => panic!("unexpected completion {c:?}"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err, FabricError::PeerClosed { peer: 1 });
+        // Sticky: the same error again, without hanging.
+        assert_eq!(f0.test(r), Err(FabricError::PeerClosed { peer: 1 }));
+        assert_eq!(
+            f0.post_send(1, 0, vec![1], 1),
+            Err(FabricError::PeerClosed { peer: 1 })
+        );
+    }
+
+    #[test]
+    fn malformed_frame_is_typed_not_panic() {
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addrs = vec![
+            l0.local_addr().unwrap().to_string(),
+            l1.local_addr().unwrap().to_string(),
+        ];
+        let a1 = addrs.clone();
+        let t = std::thread::spawn(move || {
+            // A hostile "rank 1" that handshakes correctly, then spews junk.
+            let mut s = TcpStream::connect(&a1[0]).unwrap();
+            s.write_all(&1u32.to_le_bytes()).unwrap();
+            s.write_all(b"this is definitely not a PSLF frame......")
+                .unwrap();
+            s
+        });
+        let mut f0 = TcpFabric::connect(0, l0, &addrs, Duration::from_secs(5)).unwrap();
+        let _keep = t.join().unwrap();
+        let r = f0.post_recv().unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let err = loop {
+            match f0.test(r) {
+                Ok(Completion::Pending) => {
+                    assert!(Instant::now() < deadline, "junk never detected");
+                    f0.idle(Duration::from_micros(100));
+                }
+                Ok(c) => panic!("unexpected completion {c:?}"),
+                Err(e) => break e,
+            }
+        };
+        assert!(
+            matches!(err, FabricError::MalformedFrame { peer: 1, .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn liveness_timeout_detects_silent_peer() {
+        let (mut f0, f1) = localhost_pair();
+        // f1 exists but never pumps: its kernel still ACKs, so only the
+        // heartbeat deadline can notice.
+        f0.set_heartbeat(Duration::from_millis(5), Duration::from_millis(40));
+        let r = f0.post_recv().unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let err = loop {
+            match f0.test(r) {
+                Ok(Completion::Pending) => {
+                    assert!(Instant::now() < deadline, "silence never detected");
+                    f0.idle(Duration::from_millis(1));
+                }
+                Ok(c) => panic!("unexpected completion {c:?}"),
+                Err(e) => break e,
+            }
+        };
+        assert!(
+            matches!(err, FabricError::Timeout { peer: 1, .. }),
+            "got {err:?}"
+        );
+        assert!(f0.health().heartbeats_sent > 0);
+        assert_eq!(f0.health().heartbeats_missed, 1);
+        drop(f1);
+    }
+
+    #[test]
+    fn abort_unblocks_peer_barrier() {
+        let (mut f0, mut f1) = localhost_pair();
+        let t = std::thread::spawn(move || f1.barrier(&mut || false));
+        std::thread::sleep(Duration::from_millis(20));
+        // f0 "errors out": announces the abort instead of entering.
+        f0.abort();
+        drop(f0);
+        assert_eq!(t.join().unwrap(), Err(FabricError::PeerClosed { peer: 0 }));
     }
 }

@@ -1,0 +1,96 @@
+//! Barrier cancellation semantics, over both backends: a rank that errors
+//! out (aborts and leaves) mid-barrier must unblock every other rank with
+//! a typed error — never a hang.
+
+use pulsar_fabric::{Fabric, FabricError, InProcFabric, TcpFabric};
+use std::net::TcpListener;
+use std::sync::mpsc::channel;
+use std::time::Duration;
+
+#[test]
+fn inproc_rank_erroring_mid_barrier_unblocks_others() {
+    let mut mesh = InProcFabric::<()>::mesh(3);
+    let mut dying = mesh.remove(1);
+
+    // Ranks 0 and 2 enter the barrier; rank 1 never does — it aborts.
+    let (ready_tx, ready_rx) = channel();
+    let survivors: Vec<_> = mesh
+        .into_iter()
+        .map(|mut f| {
+            let ready = ready_tx.clone();
+            std::thread::spawn(move || {
+                ready.send(()).unwrap();
+                f.barrier(&mut || false)
+            })
+        })
+        .collect();
+    ready_rx.recv().unwrap();
+    ready_rx.recv().unwrap();
+    dying.abort();
+    drop(dying);
+
+    // Every survivor must come back with a typed peer-closed error. The
+    // *first* one to notice can only blame rank 1, but once it errors out
+    // and drops its fabric, the other survivor may observe that closure
+    // first — so only "someone blames rank 1" is deterministic.
+    let results: Vec<_> = survivors.into_iter().map(|h| h.join().unwrap()).collect();
+    for r in &results {
+        assert!(
+            matches!(r, Err(FabricError::PeerClosed { .. })),
+            "survivor should fail with PeerClosed, got {r:?}"
+        );
+    }
+    assert!(
+        results.contains(&Err(FabricError::PeerClosed { peer: 1 })),
+        "at least one survivor should blame the aborting rank: {results:?}"
+    );
+}
+
+#[test]
+fn tcp_rank_erroring_mid_barrier_unblocks_others() {
+    let listeners: Vec<TcpListener> = (0..3)
+        .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
+        .collect();
+    let addrs: Vec<String> = listeners
+        .iter()
+        .map(|l| l.local_addr().unwrap().to_string())
+        .collect();
+    let timeout = Duration::from_secs(5);
+
+    let handles: Vec<_> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(rank, listener)| {
+            let addrs = addrs.clone();
+            std::thread::spawn(move || {
+                let mut f = TcpFabric::connect(rank, listener, &addrs, timeout).unwrap();
+                if rank == 1 {
+                    // Simulated failure: announce the abort and leave
+                    // without ever entering the barrier.
+                    f.abort();
+                    return Ok(());
+                }
+                f.barrier(&mut || false)
+            })
+        })
+        .collect();
+
+    let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert_eq!(results[1], Ok(()));
+    // As in the in-process case, the second survivor may observe the first
+    // survivor's (consequent) death rather than rank 1's — only "nobody
+    // hangs, everybody errors, someone blames rank 1" is deterministic.
+    for (rank, r) in results.iter().enumerate() {
+        if rank == 1 {
+            continue;
+        }
+        assert!(
+            matches!(r, Err(FabricError::PeerClosed { .. })),
+            "rank {rank} should observe a peer's death, not hang; got {r:?}"
+        );
+    }
+    assert!(
+        results.contains(&Err(FabricError::PeerClosed { peer: 1 })),
+        "at least one survivor should blame the aborting rank: {results:?}"
+    );
+}

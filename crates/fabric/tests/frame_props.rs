@@ -40,10 +40,46 @@ proptest! {
     }
 
     #[test]
-    fn unknown_kind_is_rejected(h in header_strategy(), kind in 2u8..=255) {
+    fn unknown_kind_is_rejected(h in header_strategy(), kind in 4u8..=255) {
         let mut b = encode_header(&h);
         b[4] = kind;
         prop_assert_eq!(decode_header(&b), Err(FrameError::BadKind(kind)));
+    }
+
+    #[test]
+    fn control_kind_with_body_is_rejected(h in header_strategy(), kind in 2u8..=3) {
+        // Heartbeat/abort frames must have empty bodies; grafting the
+        // control kind onto a header that declares one is malformed.
+        let mut b = encode_header(&h);
+        b[4] = kind;
+        if h.len != 0 {
+            prop_assert_eq!(
+                decode_header(&b),
+                Err(FrameError::BadControlLen { kind, len: h.len })
+            );
+        } else {
+            prop_assert!(decode_header(&b).is_ok());
+        }
+    }
+
+    #[test]
+    fn random_byte_prefixes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..2 * HEADER_LEN + 1)) {
+        // The decoder sees raw socket bytes; any prefix must yield a
+        // typed verdict, never a panic. A successful parse implies a
+        // complete header was present.
+        if let Ok(h) = decode_header(&bytes) {
+            prop_assert!(bytes.len() >= HEADER_LEN);
+            prop_assert!(h.len <= MAX_BODY as u64);
+        }
+    }
+
+    #[test]
+    fn magic_prefixes_shorter_than_header_are_truncated(h in header_strategy(), cut in 0usize..HEADER_LEN) {
+        let b = encode_header(&h);
+        prop_assert_eq!(
+            decode_header(&b[..cut]),
+            Err(FrameError::Truncated { have: cut })
+        );
     }
 
     #[test]

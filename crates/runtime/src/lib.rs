@@ -39,14 +39,24 @@
 //! vsa.add_channel(ChannelSpec::new(8, Tuple::new1(1), 0, Tuple::new1(99), 0)); // exit
 //! vsa.seed(Tuple::new1(0), 0, Packet::new(20i64, 8));
 //!
-//! let mut out = vsa.run(&RunConfig::smp(2));
+//! let mut out = vsa.run(&RunConfig::smp(2)).expect("run failed");
 //! let result: i64 = out.take_exit(Tuple::new1(99), 0).remove(0).take();
 //! assert_eq!(result, 41);
 //! ```
+//!
+//! ## Failure model
+//!
+//! [`Vsa::run`] returns `Result`: a lost peer, an undecodable or corrupted
+//! payload, a panicking VDP, or a stalled array surfaces as a typed
+//! [`RunError`] instead of a hang or a process abort. Deterministic fault
+//! injection for chaos tests is available via
+//! [`RunConfig::with_fault`] (re-exported [`FaultPlan`]), and TCP runs can
+//! enable peer heartbeats with [`RunConfig::with_heartbeat`].
 
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod error;
 pub mod net;
 pub mod packet;
 mod sched;
@@ -56,8 +66,10 @@ pub mod vdp;
 pub mod vsa;
 
 pub use channel::{ChannelSpec, ChannelState};
+pub use error::{RunError, StuckVdp};
 pub use net::NetModel;
 pub use packet::{Packet, PacketCodec, PacketRegistry, WireError};
+pub use pulsar_fabric::{FabricError, FaultPlan, KillSpec};
 pub use trace::{TaskSpan, Trace};
 pub use tuple::Tuple;
 pub use vdp::{VdpContext, VdpLogic, VdpSpec, WorkerScratch};

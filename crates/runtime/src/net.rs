@@ -14,7 +14,8 @@
 //! An optional alpha-beta [`NetModel`] delays deliveries on the *receiving*
 //! side to emulate a slower interconnect — identically for every backend.
 
-use crate::packet::Packet;
+use crate::error::{fabric_run_error, RunError};
+use crate::packet::{Packet, WireError};
 use crate::vsa::Shared;
 use pulsar_fabric::{Completion, Fabric, FabricError, Op};
 use std::cmp::Reverse;
@@ -92,11 +93,32 @@ struct ProxyStats {
     idle_spins: usize,
 }
 
+/// Why the proxy's inner loop bailed out; mapped to a [`RunError`] by
+/// [`proxy_loop`].
+enum ProxyFail {
+    /// The transport failed.
+    Fabric(FabricError),
+    /// An arrived payload did not decode as a registered packet.
+    Decode(WireError),
+    /// An arrival addressed a wire id this node has no route for.
+    Route(u32),
+}
+
+impl From<FabricError> for ProxyFail {
+    fn from(e: FabricError) -> Self {
+        ProxyFail::Fabric(e)
+    }
+}
+
 /// Main loop of one node's proxy thread, generic over the transport.
 ///
 /// `encode` turns a runtime packet into the fabric's payload (an identity
 /// clone for in-process transports — preserving zero-copy aliasing — or a
 /// wire encoding for socket transports); `decode` is its inverse.
+///
+/// A transport failure, undecodable arrival, or routing violation records
+/// the first [`RunError`] on `shared`, announces the abort to peers, and
+/// stops the run; the proxy itself never panics on remote input.
 pub(crate) fn proxy_loop<F, E, D>(
     node: usize,
     mut fabric: F,
@@ -108,26 +130,70 @@ pub(crate) fn proxy_loop<F, E, D>(
 ) where
     F: Fabric,
     E: Fn(&Packet) -> (F::Payload, usize),
-    D: Fn(F::Payload) -> Packet,
+    D: Fn(F::Payload) -> Result<Packet, WireError>,
 {
     let mut stats = ProxyStats::default();
+    if let Err(fail) = proxy_run(
+        node,
+        &mut fabric,
+        routes,
+        outgoing,
+        shared,
+        encode,
+        decode,
+        &mut stats,
+    ) {
+        let error = match fail {
+            // First error wins inside fail(): if this Cancelled is merely
+            // the reaction to an abort another thread already diagnosed,
+            // that thread's error is the one kept.
+            ProxyFail::Fabric(e) => fabric_run_error(node, e),
+            ProxyFail::Decode(e) => RunError::Decode { node, error: e },
+            ProxyFail::Route(w) => RunError::Protocol {
+                node,
+                msg: format!("no route for wire id {w}"),
+            },
+        };
+        shared.fail(error);
+        // Tell the peers we are going down so their barriers and receives
+        // fail fast instead of timing out.
+        fabric.abort();
+    }
+    fold_stats(&fabric, &stats, shared);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn proxy_run<F, E, D>(
+    node: usize,
+    fabric: &mut F,
+    routes: RouteTable,
+    outgoing: &[crate::sched::OutgoingQueue],
+    shared: &Shared,
+    encode: E,
+    decode: D,
+    stats: &mut ProxyStats,
+) -> Result<(), ProxyFail>
+where
+    F: Fabric,
+    E: Fn(&Packet) -> (F::Payload, usize),
+    D: Fn(F::Payload) -> Result<Packet, WireError>,
+{
     let mut held: BinaryHeap<Reverse<Held>> = BinaryHeap::new();
     let mut held_seq = 0u64;
     // Per-wire FIFO floor: the model must not reorder messages on one wire.
     let mut wire_floor: HashMap<u32, Instant> = HashMap::new();
     let mut pending_sends: Vec<Op> = Vec::new();
-    let mut recv_op = fabric.post_recv();
+    let mut recv_op = fabric.post_recv()?;
 
-    let route = |wire_id: u32, packet: Packet| {
-        let (queue, owner) = routes
-            .get(&wire_id)
-            .unwrap_or_else(|| panic!("node {node}: no route for wire id {wire_id}"));
+    let route = |wire_id: u32, packet: Packet| -> Result<(), ProxyFail> {
+        let (queue, owner) = routes.get(&wire_id).ok_or(ProxyFail::Route(wire_id))?;
         queue.push(packet);
         shared.mark_progress();
         shared.notifiers[*owner].notify();
+        Ok(())
     };
 
-    'main: loop {
+    loop {
         // Observe quiescence BEFORE sweeping outgoing: a worker's last push
         // happens-before its final `live` decrement, so live == 0 followed
         // by an empty sweep means no send can appear later.
@@ -142,7 +208,7 @@ pub(crate) fn proxy_loop<F, E, D>(
                     break;
                 };
                 let (payload, nbytes) = encode(&msg.packet);
-                pending_sends.push(fabric.post_send(msg.dst_node, msg.wire_id, payload, nbytes));
+                pending_sends.push(fabric.post_send(msg.dst_node, msg.wire_id, payload, nbytes)?);
                 shared.sent.fetch_add(1, Ordering::AcqRel);
                 swept_any = true;
                 progressed = true;
@@ -150,19 +216,22 @@ pub(crate) fn proxy_loop<F, E, D>(
         }
 
         // Complete posted sends (MPI_Test analogue).
-        pending_sends.retain(|&op| match fabric.test(op) {
-            Completion::SendDone => {
-                fabric.get_count(op);
-                progressed = true;
-                false
+        let mut i = 0;
+        while i < pending_sends.len() {
+            match fabric.test(pending_sends[i])? {
+                Completion::SendDone => {
+                    fabric.get_count(pending_sends[i]);
+                    pending_sends.swap_remove(i);
+                    progressed = true;
+                }
+                _ => i += 1,
             }
-            _ => true,
-        });
+        }
 
         // Drain arrivals, re-posting the wildcard receive after each
         // (MPI_Irecv/MPI_Test/MPI_Get_count analogue).
         loop {
-            match fabric.test(recv_op) {
+            match fabric.test(recv_op)? {
                 Completion::Pending => break,
                 Completion::SendDone => unreachable!("recv op completed as send"),
                 Completion::Recv {
@@ -171,9 +240,9 @@ pub(crate) fn proxy_loop<F, E, D>(
                     bytes,
                 } => {
                     let bytes = fabric.get_count(recv_op).unwrap_or(bytes);
-                    recv_op = fabric.post_recv();
+                    recv_op = fabric.post_recv()?;
                     progressed = true;
-                    let packet = decode(payload);
+                    let packet = decode(payload).map_err(ProxyFail::Decode)?;
                     match shared.net {
                         Some(net) => {
                             // Receiver-side hold; clamp to the wire's FIFO floor.
@@ -191,7 +260,7 @@ pub(crate) fn proxy_loop<F, E, D>(
                             }));
                             held_seq += 1;
                         }
-                        None => route(wire_id, packet),
+                        None => route(wire_id, packet)?,
                     }
                 }
             }
@@ -205,13 +274,16 @@ pub(crate) fn proxy_loop<F, E, D>(
                 break;
             }
             let Reverse(h) = held.pop().unwrap();
-            route(h.wire_id, h.packet);
+            route(h.wire_id, h.packet)?;
             progressed = true;
         }
 
         if shared.is_aborted() {
+            // Local teardown (error or panic elsewhere in this process):
+            // announce it so peers fail fast instead of stalling.
             fabric.cancel(recv_op);
-            break 'main;
+            fabric.abort();
+            return Ok(());
         }
 
         // Paper shutdown sequence: last local VDP destroyed and nothing in
@@ -220,17 +292,16 @@ pub(crate) fn proxy_loop<F, E, D>(
         // outstanding receive.
         if quiesced && !swept_any && pending_sends.is_empty() && held.is_empty() {
             match fabric.barrier(&mut || shared.is_aborted()) {
-                Ok(()) => {}
-                Err(FabricError::Poisoned) => {}
-                Err(FabricError::Disconnected) => {
-                    shared.abort();
+                // Cancelled = poisoned by our own abort flag; still a
+                // clean local exit.
+                Ok(()) | Err(FabricError::Cancelled) => {}
+                Err(e) => {
                     fabric.cancel(recv_op);
-                    fold_stats(&fabric, &stats, shared);
-                    panic!("node {node}: peer disconnected during shutdown barrier");
+                    return Err(e.into());
                 }
             }
             fabric.cancel(recv_op);
-            break 'main;
+            return Ok(());
         }
 
         if !progressed {
@@ -245,8 +316,6 @@ pub(crate) fn proxy_loop<F, E, D>(
             fabric.idle(nap.max(Duration::from_micros(1)));
         }
     }
-
-    fold_stats(&fabric, &stats, shared);
 }
 
 fn fold_stats<F: Fabric>(fabric: &F, stats: &ProxyStats, shared: &Shared) {
@@ -260,6 +329,19 @@ fn fold_stats<F: Fabric>(fabric: &F, stats: &ProxyStats, shared: &Shared) {
     shared
         .idle_spins
         .fetch_add(stats.idle_spins, Ordering::Relaxed);
+    let h = fabric.health();
+    shared
+        .heartbeats_sent
+        .fetch_add(h.heartbeats_sent, Ordering::Relaxed);
+    shared
+        .heartbeats_missed
+        .fetch_add(h.heartbeats_missed, Ordering::Relaxed);
+    shared
+        .reconnect_attempts
+        .fetch_add(h.reconnect_attempts, Ordering::Relaxed);
+    shared
+        .retried_sends
+        .fetch_add(h.retried_sends, Ordering::Relaxed);
 }
 
 #[cfg(test)]

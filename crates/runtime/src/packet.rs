@@ -10,8 +10,10 @@
 //! [`PacketCodec`] (and are wrapped with [`Packet::wire`]) carry an encode
 //! hook, and a [`PacketRegistry`] on the receiving side turns tagged bodies
 //! back into packets. The wire form is a hand-rolled little-endian layout —
-//! `[tag: u32 LE][codec body]` — with no serde and no self-description
-//! beyond the tag.
+//! `[tag: u32 LE][crc: u32 LE][codec body]` — with no serde and no
+//! self-description beyond the tag. The crc (FNV-1a over the body, mixed
+//! with the tag) means a corrupted payload is rejected as
+//! [`WireError::Checksum`] instead of silently decoding to wrong data.
 
 use pulsar_linalg::Matrix;
 use std::any::Any;
@@ -30,6 +32,14 @@ pub enum WireError {
     /// The body disagrees with its own framing (e.g. a dimension header
     /// that does not match the byte count).
     Malformed(&'static str),
+    /// The body's checksum does not match: the payload was corrupted in
+    /// flight (or the ranks disagree on the wire format).
+    Checksum {
+        /// Checksum the header carried.
+        expected: u32,
+        /// Checksum computed over the received body.
+        got: u32,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -39,6 +49,9 @@ impl std::fmt::Display for WireError {
             WireError::UnknownTag(t) => write!(f, "no decoder registered for tag {t}"),
             WireError::Truncated => write!(f, "wire body truncated"),
             WireError::Malformed(why) => write!(f, "malformed wire body: {why}"),
+            WireError::Checksum { expected, got } => {
+                write!(f, "body checksum mismatch: header says {expected:#010x}, body hashes to {got:#010x}")
+            }
         }
     }
 }
@@ -133,12 +146,16 @@ impl Packet {
         self.wire.is_some()
     }
 
-    /// Encode as `[tag: u32 LE][codec body]` for a socket fabric.
+    /// Encode as `[tag: u32 LE][crc: u32 LE][codec body]` for a socket
+    /// fabric.
     pub fn encode_wire(&self) -> Result<Vec<u8>, WireError> {
         let info = self.wire.ok_or(WireError::NotEncodable)?;
-        let mut out = Vec::with_capacity(4 + self.bytes);
+        let mut out = Vec::with_capacity(8 + self.bytes);
         out.extend_from_slice(&info.tag.to_le_bytes());
+        out.extend_from_slice(&[0u8; 4]); // crc placeholder
         (info.encode)(&*self.payload, &mut out);
+        let crc = body_checksum(info.tag, &out[8..]);
+        out[4..8].copy_from_slice(&crc.to_le_bytes());
         Ok(out)
     }
 
@@ -219,16 +236,31 @@ impl PacketRegistry {
         assert!(prev.is_none(), "duplicate packet codec tag {}", T::TAG);
     }
 
-    /// Decode a full wire body (`[tag: u32 LE][codec body]`) back into a
-    /// packet.
+    /// Decode a full wire body (`[tag: u32 LE][crc: u32 LE][codec body]`)
+    /// back into a packet, verifying the checksum first.
     pub fn decode(&self, buf: &[u8]) -> Result<Packet, WireError> {
-        if buf.len() < 4 {
+        if buf.len() < 8 {
             return Err(WireError::Truncated);
         }
         let tag = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+        let expected = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+        let got = body_checksum(tag, &buf[8..]);
+        if got != expected {
+            return Err(WireError::Checksum { expected, got });
+        }
         let decode = self.decoders.get(&tag).ok_or(WireError::UnknownTag(tag))?;
-        decode(&buf[4..])
+        decode(&buf[8..])
     }
+}
+
+/// FNV-1a over the body, mixed with the tag so the same bytes under a
+/// different tag do not collide.
+fn body_checksum(tag: u32, body: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in body {
+        h = (h ^ b as u32).wrapping_mul(0x0100_0193);
+    }
+    h ^ tag.wrapping_mul(0x9e37_79b9)
 }
 
 // ---- standard codecs (tags 1-15 reserved for the runtime) ----
@@ -396,19 +428,43 @@ mod tests {
         assert_eq!(p.encode_wire(), Err(WireError::NotEncodable));
     }
 
+    /// A `[tag][crc][body]` buffer with a correct checksum, for testing
+    /// the layers behind the checksum gate.
+    fn framed(tag: u32, body: &[u8]) -> Vec<u8> {
+        let mut buf = tag.to_le_bytes().to_vec();
+        buf.extend_from_slice(&body_checksum(tag, body).to_le_bytes());
+        buf.extend_from_slice(body);
+        buf
+    }
+
     #[test]
     fn registry_rejects_unknown_and_truncated() {
         let reg = PacketRegistry::standard();
         assert_eq!(reg.decode(&[1, 2]).err(), Some(WireError::Truncated));
         assert_eq!(
-            reg.decode(&999u32.to_le_bytes()).err(),
+            reg.decode(&framed(999, &[])).err(),
             Some(WireError::UnknownTag(999))
         );
         // A matrix body whose data is shorter than its dimension header.
-        let mut buf = 1u32.to_le_bytes().to_vec();
-        buf.extend_from_slice(&4u64.to_le_bytes());
-        buf.extend_from_slice(&4u64.to_le_bytes());
-        buf.extend_from_slice(&[0u8; 24]);
-        assert_eq!(reg.decode(&buf).err(), Some(WireError::Truncated));
+        let mut body = 4u64.to_le_bytes().to_vec();
+        body.extend_from_slice(&4u64.to_le_bytes());
+        body.extend_from_slice(&[0u8; 24]);
+        assert_eq!(
+            reg.decode(&framed(1, &body)).err(),
+            Some(WireError::Truncated)
+        );
+    }
+
+    #[test]
+    fn corrupted_bodies_fail_the_checksum() {
+        let reg = PacketRegistry::standard();
+        let mut buf = Packet::wire(-17i64).encode_wire().unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0x40;
+        assert!(matches!(reg.decode(&buf), Err(WireError::Checksum { .. })));
+        // A flipped tag also invalidates the checksum (the tag is mixed in).
+        let mut buf = Packet::wire(2.5f64).encode_wire().unwrap();
+        buf[0] ^= 1;
+        assert!(matches!(reg.decode(&buf), Err(WireError::Checksum { .. })));
     }
 }

@@ -2,6 +2,7 @@
 //! the ready ones (lazy or aggressive), parking when nothing is ready.
 
 use crate::channel::ChannelQueue;
+use crate::error::{RunError, StuckVdp};
 use crate::packet::Packet;
 use crate::trace::TaskSpan;
 use crate::tuple::Tuple;
@@ -101,6 +102,17 @@ impl RuntimeServices for WorkerServices<'_> {
     }
 }
 
+/// Render a panic payload for diagnostics.
+fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::from("non-string panic payload")
+    }
+}
+
 /// Fire one VDP once.
 fn fire_vdp(
     vdp: &mut VdpState,
@@ -185,7 +197,24 @@ pub(crate) fn worker_loop(
                 continue;
             }
             while vdp.is_ready() {
-                fire_vdp(vdp, node, local_thread, &services, &scratch);
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    fire_vdp(vdp, node, local_thread, &services, &scratch)
+                }));
+                if let Err(e) = r {
+                    // Quarantine: the panicking firing already left
+                    // `logic` taken, so the VDP can never fire again.
+                    // Record the typed error and tear the run down.
+                    vdp.logic = None;
+                    shared.live[node].fetch_sub(1, std::sync::atomic::Ordering::AcqRel);
+                    shared
+                        .quarantined
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    shared.fail(RunError::VdpPanicked {
+                        tuple: vdp.tuple.clone(),
+                        payload: panic_message(&*e),
+                    });
+                    return;
+                }
                 progressed = true;
                 shared
                     .fired
@@ -213,48 +242,40 @@ pub(crate) fn worker_loop(
             notifier.wait_past(epoch, Duration::from_micros(500));
             if let Some(limit) = shared.deadlock_timeout {
                 if shared.since_progress() > limit {
-                    let stuck: Vec<String> = vdps
+                    // Stall watchdog: report which VDPs this worker still
+                    // owns and which input channels they starve on, then
+                    // tear the run down with a typed error.
+                    let stuck: Vec<StuckVdp> = vdps
                         .iter()
                         .filter(|v| v.logic.is_some())
                         .map(describe_stuck)
                         .collect();
-                    shared.abort();
-                    panic!(
-                        "VSA made no progress for {limit:?}; worker {global} stuck VDPs: {}",
-                        stuck.join(", ")
-                    );
+                    shared.fail(RunError::Stalled {
+                        waited: limit,
+                        stuck,
+                    });
+                    return;
                 }
             }
         }
     }
 }
 
-fn describe_stuck(v: &VdpState) -> String {
-    let waits: Vec<String> = v
-        .inputs
-        .iter()
-        .enumerate()
-        .filter_map(|(slot, q)| {
-            q.as_ref().and_then(|q| {
-                if q.satisfied() {
-                    None
-                } else {
-                    Some(format!("in{slot}"))
-                }
+fn describe_stuck(v: &VdpState) -> StuckVdp {
+    StuckVdp {
+        tuple: v.tuple.clone(),
+        fired: v.fired,
+        counter: v.counter,
+        empty_inputs: v
+            .inputs
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, q)| {
+                q.as_ref()
+                    .and_then(|q| if q.satisfied() { None } else { Some(slot) })
             })
-        })
-        .collect();
-    format!(
-        "{}[fired {}/{}, waiting on {}]",
-        v.tuple,
-        v.fired,
-        v.counter,
-        if waits.is_empty() {
-            String::from("?")
-        } else {
-            waits.join("+")
-        }
-    )
+            .collect(),
+    }
 }
 
 /// An output queue from workers to their node proxy.

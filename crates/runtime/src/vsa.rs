@@ -1,6 +1,7 @@
 //! The Virtual Systolic Array: construction and execution.
 
 use crate::channel::{ChannelQueue, ChannelSpec};
+use crate::error::RunError;
 use crate::net::{NetModel, RouteTable};
 use crate::packet::{Packet, PacketRegistry};
 use crate::sched::{worker_loop, OutgoingQueue, ThreadNotifier};
@@ -8,7 +9,7 @@ use crate::trace::{Trace, TraceCollector};
 use crate::tuple::Tuple;
 use crate::vdp::{OutputTarget, VdpSpec, VdpState};
 use parking_lot::Mutex;
-use pulsar_fabric::{InProcFabric, TcpFabric};
+use pulsar_fabric::{FaultPlan, FaultyFabric, InProcFabric, TcpFabric};
 use std::collections::HashMap;
 use std::net::TcpListener;
 use std::ops::Range;
@@ -107,6 +108,17 @@ pub struct RunConfig {
     pub deadlock_timeout: Option<Duration>,
     /// Inter-node transport.
     pub backend: Backend,
+    /// Deterministic fault injection applied to every local fabric
+    /// endpoint (chaos testing). Requires `chaos_registry` under
+    /// [`Backend::InProcess`], because injected faults operate on wire
+    /// bytes.
+    pub fault: Option<FaultPlan>,
+    /// Decoders for the wire-encoded packets a fault-injected in-process
+    /// run moves between nodes.
+    pub chaos_registry: Option<Arc<PacketRegistry>>,
+    /// Heartbeat interval for [`Backend::Tcp`]: probe peers this often and
+    /// declare one dead after five silent intervals.
+    pub heartbeat: Option<Duration>,
 }
 
 impl RunConfig {
@@ -131,6 +143,9 @@ impl RunConfig {
             net: None,
             deadlock_timeout: Some(Duration::from_secs(30)),
             backend: Backend::InProcess,
+            fault: None,
+            chaos_registry: None,
+            heartbeat: None,
         }
     }
 
@@ -145,6 +160,9 @@ impl RunConfig {
             net: None,
             deadlock_timeout: Some(Duration::from_secs(30)),
             backend: Backend::InProcess,
+            fault: None,
+            chaos_registry: None,
+            heartbeat: None,
         }
     }
 
@@ -169,6 +187,22 @@ impl RunConfig {
     /// Select the inter-node transport.
     pub fn with_backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Inject faults per `plan` at every local fabric endpoint. The
+    /// `registry` decodes the wire-encoded packets an in-process chaos run
+    /// moves between nodes (pass the same registry a TCP run would use).
+    pub fn with_fault(mut self, plan: FaultPlan, registry: Arc<PacketRegistry>) -> Self {
+        self.fault = Some(plan);
+        self.chaos_registry = Some(registry);
+        self
+    }
+
+    /// Enable TCP heartbeats: probe peers every `interval`, declare one
+    /// dead ([`crate::RunError::PeerLost`]) after five silent intervals.
+    pub fn with_heartbeat(mut self, interval: Duration) -> Self {
+        self.heartbeat = Some(interval);
         self
     }
 }
@@ -199,6 +233,16 @@ pub struct RunStats {
     pub deferred_msgs: usize,
     /// Proxy loop iterations that found no work and napped.
     pub proxy_idle_spins: usize,
+    /// Heartbeat probes the local fabric(s) queued to peers.
+    pub heartbeats_sent: u64,
+    /// Liveness deadlines that expired on the local fabric(s).
+    pub heartbeats_missed: u64,
+    /// Redials during TCP mesh-up (exponential backoff).
+    pub reconnect_attempts: u64,
+    /// Sends that needed more than one write attempt.
+    pub retried_sends: u64,
+    /// VDPs destroyed because their firing panicked.
+    pub quarantined_vdps: usize,
 }
 
 impl RunStats {
@@ -247,10 +291,17 @@ pub(crate) struct Shared {
     pub wire_bytes_recv: AtomicU64,
     pub deferred: AtomicUsize,
     pub idle_spins: AtomicUsize,
+    pub heartbeats_sent: AtomicU64,
+    pub heartbeats_missed: AtomicU64,
+    pub reconnect_attempts: AtomicU64,
+    pub retried_sends: AtomicU64,
+    pub quarantined: AtomicUsize,
     pub trace: Option<TraceCollector>,
     pub net: Option<NetModel>,
     pub deadlock_timeout: Option<Duration>,
     pub threads_per_node: usize,
+    /// First run error observed; later reports are discarded.
+    error: Mutex<Option<RunError>>,
     t0: Instant,
     last_progress_us: AtomicU64,
     aborted: AtomicBool,
@@ -281,6 +332,22 @@ impl Shared {
 
     pub fn is_aborted(&self) -> bool {
         self.aborted.load(Ordering::Acquire)
+    }
+
+    /// Record a run error (first one wins) and tear the run down.
+    pub fn fail(&self, e: RunError) {
+        {
+            let mut slot = self.error.lock();
+            if slot.is_none() {
+                *slot = Some(e);
+            }
+        }
+        self.abort();
+    }
+
+    /// The recorded error, if any.
+    pub fn take_error(&self) -> Option<RunError> {
+        self.error.lock().take()
     }
 }
 
@@ -410,7 +477,8 @@ impl Vsa {
         }
     }
 
-    /// Launch the array and block until every local VDP has been destroyed.
+    /// Launch the array and block until every local VDP has been destroyed
+    /// or the run fails.
     ///
     /// Under [`Backend::InProcess`] all `nodes` run here as thread groups.
     /// Under [`Backend::Tcp`] only the VDPs mapped to the backend's rank
@@ -418,7 +486,13 @@ impl Vsa {
     /// assigned (deterministically, in channel insertion order), so all
     /// ranks of the SPMD run agree on them — the identically-built array IS
     /// the address space.
-    pub fn run(self, config: &RunConfig) -> RunOutput {
+    ///
+    /// A lost peer, undecodable arrival, panicking VDP, or stall is
+    /// reported as a typed [`RunError`] (first failure wins; every thread
+    /// is unblocked). Wiring bugs in the caller's own array — bad slots,
+    /// duplicate tuples, non-wire packets crossing nodes — still panic, as
+    /// does anything [`Vsa::validate`] would have rejected.
+    pub fn run(self, config: &RunConfig) -> Result<RunOutput, RunError> {
         let Vsa {
             vdps,
             by_tuple,
@@ -488,10 +562,16 @@ impl Vsa {
             wire_bytes_recv: AtomicU64::new(0),
             deferred: AtomicUsize::new(0),
             idle_spins: AtomicUsize::new(0),
+            heartbeats_sent: AtomicU64::new(0),
+            heartbeats_missed: AtomicU64::new(0),
+            reconnect_attempts: AtomicU64::new(0),
+            retried_sends: AtomicU64::new(0),
+            quarantined: AtomicUsize::new(0),
             trace: config.trace.then(|| TraceCollector::new(t0)),
             net: config.net,
             deadlock_timeout: config.deadlock_timeout,
             threads_per_node: tpn,
+            error: Mutex::new(None),
             t0,
             last_progress_us: AtomicU64::new(0),
             aborted: AtomicBool::new(false),
@@ -633,6 +713,47 @@ impl Vsa {
             // Proxies (one per local node, matching the paper's PRT layout).
             if nodes > 1 {
                 match &config.backend {
+                    Backend::InProcess if config.fault.is_some() => {
+                        // Chaos mode: packets cross the in-process "network"
+                        // as wire bytes so injected faults (corruption,
+                        // truncation) hit real encodings — and get caught by
+                        // the same checksum a TCP run relies on.
+                        let plan = config.fault.clone().unwrap();
+                        let registry = config
+                            .chaos_registry
+                            .clone()
+                            .expect("fault injection on InProcess requires with_fault's registry");
+                        let mesh = InProcFabric::<Vec<u8>>::mesh(nodes);
+                        for (node, fabric) in mesh.into_iter().enumerate() {
+                            let fabric = FaultyFabric::new(fabric, plan.clone());
+                            let rt = std::mem::take(&mut routes[node]);
+                            let registry = registry.clone();
+                            let shared = &shared;
+                            let ns = &node_shared[node];
+                            let capture = &capture;
+                            scope.spawn(move || {
+                                let r =
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                        crate::net::proxy_loop(
+                                            node,
+                                            fabric,
+                                            rt,
+                                            &ns.outgoing,
+                                            shared,
+                                            |p: &Packet| {
+                                                let buf = encode_or_die(p);
+                                                let n = buf.len();
+                                                (buf, n)
+                                            },
+                                            move |buf: Vec<u8>| registry.decode(&buf),
+                                        )
+                                    }));
+                                if let Err(e) = r {
+                                    capture(e);
+                                }
+                            });
+                        }
+                    }
                     Backend::InProcess => {
                         let mesh = InProcFabric::<Packet>::mesh(nodes);
                         for (node, fabric) in mesh.into_iter().enumerate() {
@@ -652,7 +773,7 @@ impl Vsa {
                                             // Zero-copy across the "network":
                                             // clone the Arc, not the payload.
                                             |p: &Packet| (p.clone(), p.bytes()),
-                                            |p: Packet| p,
+                                            |p: Packet| Ok(p),
                                         )
                                     }));
                                 if let Err(e) = r {
@@ -672,37 +793,56 @@ impl Vsa {
                         let peers = t.peers.clone();
                         let registry = t.registry.clone();
                         let timeout = t.connect_timeout;
+                        let heartbeat = config.heartbeat;
+                        let fault = config.fault.clone();
                         let shared = &shared;
                         let ns = &node_shared[rank];
                         let capture = &capture;
                         scope.spawn(move || {
                             let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                let fabric = TcpFabric::connect(rank, listener, &peers, timeout)
-                                    .unwrap_or_else(|e| {
-                                        panic!("rank {rank}: mesh connect failed: {e}")
-                                    });
-                                crate::net::proxy_loop(
-                                    rank,
-                                    fabric,
-                                    rt,
-                                    &ns.outgoing,
-                                    shared,
-                                    |p: &Packet| {
-                                        let buf = p.encode_wire().unwrap_or_else(|e| {
-                                            panic!(
-                                                "packet crossing nodes must be wire-encodable \
-                                                 (use Packet::wire): {e}"
-                                            )
-                                        });
-                                        let n = buf.len();
-                                        (buf, n)
-                                    },
-                                    move |buf: Vec<u8>| {
-                                        registry.decode(&buf).unwrap_or_else(|e| {
-                                            panic!("undecodable packet from peer: {e}")
-                                        })
-                                    },
-                                )
+                                let mut fabric =
+                                    match TcpFabric::connect(rank, listener, &peers, timeout) {
+                                        Ok(f) => f,
+                                        Err(e) => {
+                                            // The mesh never came up; the
+                                            // workers are unblocked by the
+                                            // abort inside fail().
+                                            shared.fail(RunError::MeshConnect {
+                                                node: rank,
+                                                msg: e.to_string(),
+                                            });
+                                            return;
+                                        }
+                                    };
+                                if let Some(hb) = heartbeat {
+                                    fabric.set_heartbeat(hb, hb * 5);
+                                }
+                                let encode = |p: &Packet| {
+                                    let buf = encode_or_die(p);
+                                    let n = buf.len();
+                                    (buf, n)
+                                };
+                                let decode = move |buf: Vec<u8>| registry.decode(&buf);
+                                match fault {
+                                    Some(plan) => crate::net::proxy_loop(
+                                        rank,
+                                        FaultyFabric::new(fabric, plan),
+                                        rt,
+                                        &ns.outgoing,
+                                        shared,
+                                        encode,
+                                        decode,
+                                    ),
+                                    None => crate::net::proxy_loop(
+                                        rank,
+                                        fabric,
+                                        rt,
+                                        &ns.outgoing,
+                                        shared,
+                                        encode,
+                                        decode,
+                                    ),
+                                }
                             }));
                             if let Err(e) = r {
                                 capture(e);
@@ -714,6 +854,9 @@ impl Vsa {
         });
         if let Some(p) = first_panic.into_inner() {
             std::panic::resume_unwind(p);
+        }
+        if let Some(e) = shared.take_error() {
+            return Err(e);
         }
 
         let stats = RunStats {
@@ -730,13 +873,27 @@ impl Vsa {
             wire_bytes_recv: shared.wire_bytes_recv.load(Ordering::Relaxed),
             deferred_msgs: shared.deferred.load(Ordering::Relaxed),
             proxy_idle_spins: shared.idle_spins.load(Ordering::Relaxed),
+            heartbeats_sent: shared.heartbeats_sent.load(Ordering::Relaxed),
+            heartbeats_missed: shared.heartbeats_missed.load(Ordering::Relaxed),
+            reconnect_attempts: shared.reconnect_attempts.load(Ordering::Relaxed),
+            retried_sends: shared.retried_sends.load(Ordering::Relaxed),
+            quarantined_vdps: shared.quarantined.load(Ordering::Relaxed),
         };
-        RunOutput {
+        Ok(RunOutput {
             exits: shared.exits.into_inner(),
             trace: shared.trace.map(|t| t.finish()),
             stats,
-        }
+        })
     }
+}
+
+/// Encode a packet for a byte fabric; a non-wire packet crossing nodes is
+/// a wiring bug in the caller's array, so it panics like the other wiring
+/// asserts.
+fn encode_or_die(p: &Packet) -> Vec<u8> {
+    p.encode_wire().unwrap_or_else(|e| {
+        panic!("packet crossing nodes must be wire-encodable (use Packet::wire): {e}")
+    })
 }
 
 fn attach_input(state: &mut VdpState, slot: usize, q: Arc<ChannelQueue>, ch: &ChannelSpec) {

@@ -113,7 +113,7 @@ fn run_dag(
         RunConfig::cluster(nodes, threads, mapping).with_scheme(scheme)
     };
     vsa.validate(&config).expect("generated DAG must be valid");
-    let mut out = vsa.run(&config);
+    let mut out = vsa.run(&config).expect("DAG run failed");
     let sinks = (0..dag.widths[layers - 1])
         .map(|i| {
             out.take_exit(Tuple::new2(-1, i as i32), 0)
@@ -174,6 +174,6 @@ fn peak_channel_depth_reported() {
     for i in 0..k {
         vsa.seed(Tuple::new1(0), 0, Packet::new(i as i64, 8));
     }
-    let out = vsa.run(&RunConfig::smp(1));
+    let out = vsa.run(&RunConfig::smp(1)).expect("run failed");
     assert_eq!(out.stats.peak_channel_depth as u32, k);
 }

@@ -38,7 +38,7 @@ fn chain_increments() {
         ));
     }
     vsa.seed(Tuple::new1(0), 0, Packet::new(0i64, 8));
-    let mut out = vsa.run(&RunConfig::smp(4));
+    let mut out = vsa.run(&RunConfig::smp(4)).expect("run failed");
     assert_eq!(exit_values_i64(&mut out, Tuple::new1(n), 0), vec![n as i64]);
     assert_eq!(out.stats.fired, n as usize);
 }
@@ -65,7 +65,7 @@ fn multifire_preserves_order_and_state() {
     for i in 1..=k as i64 {
         vsa.seed(Tuple::new1(0), 0, Packet::new(i, 8));
     }
-    let mut out = vsa.run(&RunConfig::smp(2));
+    let mut out = vsa.run(&RunConfig::smp(2)).expect("run failed");
     let prefix_sums = exit_values_i64(&mut out, Tuple::new1(1), 0);
     let want: Vec<i64> = (1..=k as i64).map(|i| i * (i + 1) / 2).collect();
     assert_eq!(prefix_sums, want, "FIFO order or local state broken");
@@ -92,7 +92,7 @@ fn fires_only_when_all_inputs_ready() {
     vsa.add_channel(ChannelSpec::new(8, Tuple::new1(0), 0, Tuple::new1(9), 0));
     vsa.seed(Tuple::new1(0), 0, Packet::new(6i64, 8));
     vsa.seed(Tuple::new1(0), 1, Packet::new(7i64, 8));
-    let mut out = vsa.run(&RunConfig::smp(1));
+    let mut out = vsa.run(&RunConfig::smp(1)).expect("run failed");
     assert_eq!(exit_values_i64(&mut out, Tuple::new1(9), 0), vec![42]);
 }
 
@@ -150,7 +150,7 @@ fn disabled_channel_is_ignored_until_enabled() {
     // Single worker thread: without the disable, VDP 0 could not fire twice
     // on slot 0 alone. The assertion inside firing 0/1 additionally pins the
     // arrival of the slot-1 packet before enablement.
-    let mut out = vsa.run(&RunConfig::smp(1));
+    let mut out = vsa.run(&RunConfig::smp(1)).expect("run failed");
     assert_eq!(
         exit_values_i64(&mut out, Tuple::new1(9), 0),
         vec![1, 2, 105]
@@ -190,7 +190,7 @@ fn multinode_ring_token() {
     let config = RunConfig::cluster(nodes, 1, mapping);
     // Seed the token.
     vsa.seed(Tuple::new1(0), 0, Packet::new(0i64, 8));
-    let out = vsa.run(&config);
+    let out = vsa.run(&config).expect("run failed");
     assert_eq!(out.stats.fired, nodes * laps as usize);
     assert!(out.stats.remote_msgs >= nodes * laps as usize - 1);
 }
@@ -228,7 +228,7 @@ fn net_model_delays_but_preserves_results() {
         });
         let mut config = RunConfig::cluster(2, 1, mapping);
         config.net = net;
-        let mut out = vsa.run(&config);
+        let mut out = vsa.run(&config).expect("run failed");
         (
             exit_values_i64(&mut out, Tuple::new1(hops), 0),
             out.stats.wall,
@@ -270,7 +270,9 @@ fn lazy_and_aggressive_agree() {
         for i in 0..k as i64 {
             vsa.seed(Tuple::new1(0), 0, Packet::new(i, 8));
         }
-        let mut out = vsa.run(&RunConfig::smp(3).with_scheme(scheme));
+        let mut out = vsa
+            .run(&RunConfig::smp(3).with_scheme(scheme))
+            .expect("run failed");
         let got = exit_values_i64(&mut out, Tuple::new1(1), 0);
         let want: Vec<i64> = (0..k as i64).map(|i| i * i).collect();
         assert_eq!(got, want, "{scheme:?}");
@@ -297,14 +299,14 @@ fn bypass_forwards_before_compute() {
     vsa.add_channel(ChannelSpec::new(8, Tuple::new1(0), 0, Tuple::new1(8), 0));
     vsa.add_channel(ChannelSpec::new(8, Tuple::new1(0), 1, Tuple::new1(9), 0));
     vsa.seed(Tuple::new1(0), 0, Packet::new(7i64, 8));
-    let mut out = vsa.run(&RunConfig::smp(1));
+    let mut out = vsa.run(&RunConfig::smp(1)).expect("run failed");
     assert_eq!(exit_values_i64(&mut out, Tuple::new1(8), 0), vec![7]);
     assert_eq!(exit_values_i64(&mut out, Tuple::new1(9), 0), vec![8]);
 }
 
-/// A VSA that can never fire trips the deadlock watchdog instead of hanging.
+/// A VSA that can never fire trips the stall watchdog, which returns a typed
+/// error naming the stuck VDP and the input slot it starves on.
 #[test]
-#[should_panic(expected = "no progress")]
 fn deadlock_watchdog_fires() {
     let mut vsa = Vsa::new();
     vsa.add_vdp(VdpSpec::new(
@@ -318,7 +320,18 @@ fn deadlock_watchdog_fires() {
     vsa.add_channel(ChannelSpec::new(8, Tuple::new1(99), 0, Tuple::new1(0), 0));
     let mut config = RunConfig::smp(1);
     config.deadlock_timeout = Some(Duration::from_millis(100));
-    let _ = vsa.run(&config);
+    let err = vsa.run(&config).map(|_| ()).unwrap_err();
+    match &err {
+        RunError::Stalled { waited, stuck } => {
+            assert_eq!(*waited, Duration::from_millis(100));
+            assert_eq!(stuck.len(), 1);
+            assert_eq!(stuck[0].tuple, Tuple::new1(0));
+            assert_eq!(stuck[0].empty_inputs, vec![0]);
+            let text = err.to_string();
+            assert!(text.contains("waiting on in0"), "diagnostic: {text}");
+        }
+        other => panic!("expected Stalled, got {other:?}"),
+    }
 }
 
 /// Many VDPs spread over many threads: an all-to-one reduction tree.
@@ -378,7 +391,7 @@ fn wide_reduction_tree() {
         vsa.seed(Tuple::new2(1, i), 0, Packet::new((2 * i) as i64, 8));
         vsa.seed(Tuple::new2(1, i), 1, Packet::new((2 * i + 1) as i64, 8));
     }
-    let mut out = vsa.run(&RunConfig::smp(8));
+    let mut out = vsa.run(&RunConfig::smp(8)).expect("run failed");
     let total: i64 = (0..leaves as i64).sum();
     assert_eq!(exit_values_i64(&mut out, Tuple::new1(-1), 0), vec![total]);
 }
@@ -403,7 +416,9 @@ fn trace_records_firings() {
     for i in 0..3 {
         vsa.seed(Tuple::new1(0), 0, Packet::new(i as i64, 8));
     }
-    let out = vsa.run(&RunConfig::smp(1).with_trace());
+    let out = vsa
+        .run(&RunConfig::smp(1).with_trace())
+        .expect("run failed");
     let trace = out.trace.expect("trace requested");
     let firings = trace.with_label(|l| l.starts_with("step"));
     let kernels = trace.with_label(|l| l == "double");
@@ -414,9 +429,9 @@ fn trace_records_firings() {
     }
 }
 
-/// Packets larger than the channel capacity are rejected loudly.
+/// Packets larger than the channel capacity are rejected loudly: the firing
+/// panics, the VDP is quarantined, and the run reports `VdpPanicked`.
 #[test]
-#[should_panic(expected = "exceeds channel capacity")]
 fn oversized_packet_panics() {
     let mut vsa = Vsa::new();
     vsa.add_vdp(VdpSpec::new(
@@ -442,7 +457,16 @@ fn oversized_packet_panics() {
     ));
     vsa.add_channel(ChannelSpec::new(8, Tuple::new1(0), 0, Tuple::new1(1), 0));
     vsa.seed(Tuple::new1(0), 0, Packet::new(1i64, 8));
-    let _ = vsa.run(&RunConfig::smp(1));
+    match vsa.run(&RunConfig::smp(1)).map(|_| ()) {
+        Err(RunError::VdpPanicked { tuple, payload }) => {
+            assert_eq!(tuple, Tuple::new1(0));
+            assert!(
+                payload.contains("exceeds channel capacity"),
+                "payload: {payload}"
+            );
+        }
+        other => panic!("expected VdpPanicked, got {other:?}"),
+    }
 }
 
 /// `validate` reports every wiring problem at once.
@@ -552,7 +576,9 @@ fn stress_many_vdps_multinode() {
         node: (t.id(1) % 3) as usize,
         thread: (t.id(1) % 2) as usize,
     });
-    let mut out = vsa.run(&RunConfig::cluster(3, 2, mapping));
+    let mut out = vsa
+        .run(&RunConfig::cluster(3, 2, mapping))
+        .expect("run failed");
     for i in 0..n {
         let got = exit_values_i64(&mut out, Tuple::new2(2, i), 0);
         assert_eq!(got, vec![(i as i64 + 1) * 2]);

@@ -7,6 +7,24 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 use pulsar_runtime::{Packet, PacketRegistry, WireError};
 
+/// Mirror of the codec's checksum (FNV-1a over the body, mixed with the
+/// tag) so tests can hand-build valid `[tag][crc][body]` frames.
+fn checksum(tag: u32, body: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in body {
+        h = (h ^ b as u32).wrapping_mul(0x0100_0193);
+    }
+    h ^ tag.wrapping_mul(0x9e37_79b9)
+}
+
+/// Build a wire buffer with a correct checksum for an arbitrary tag/body.
+fn framed(tag: u32, body: &[u8]) -> Vec<u8> {
+    let mut buf = tag.to_le_bytes().to_vec();
+    buf.extend_from_slice(&checksum(tag, body).to_le_bytes());
+    buf.extend_from_slice(body);
+    buf
+}
+
 fn roundtrip(reg: &PacketRegistry, p: &Packet) -> Packet {
     let buf = p.encode_wire().expect("encodable");
     let back = reg.decode(&buf).expect("decodable");
@@ -48,8 +66,8 @@ proptest! {
     #[test]
     fn unknown_tags_are_rejected(tag in 100u32..=u32::MAX, data in vec(any::<u8>(), 0..64)) {
         let reg = PacketRegistry::standard();
-        let mut buf = tag.to_le_bytes().to_vec();
-        buf.extend_from_slice(&data);
+        // The checksum is valid, so the failure is attributed to the tag.
+        let buf = framed(tag, &data);
         prop_assert_eq!(reg.decode(&buf).err(), Some(WireError::UnknownTag(tag)));
     }
 
@@ -65,16 +83,17 @@ proptest! {
     }
 
     #[test]
-    fn flipped_bytes_never_panic(pos in 0usize..120, flip in 1u8..=255) {
-        // Arbitrary single-byte corruption: decoding may succeed with
-        // different contents (payload bytes carry no checksum at this
-        // layer) but must never panic.
+    fn flipped_bytes_are_always_detected(pos in 0usize..120, flip in 1u8..=255) {
+        // Arbitrary single-byte corruption anywhere in the frame — tag,
+        // checksum, or body — must surface as a typed error, never a panic
+        // and never a silently different matrix. (FNV-1a detects every
+        // single-byte flip: each mixing step is injective.)
         let reg = PacketRegistry::standard();
         let t = pulsar_linalg::Matrix::from_fn(3, 4, |i, j| (i + 10 * j) as f64);
         let mut buf = Packet::tile(t).encode_wire().unwrap();
         let pos = pos % buf.len();
         buf[pos] ^= flip;
-        let _ = reg.decode(&buf);
+        prop_assert!(reg.decode(&buf).is_err(), "corruption at byte {} went undetected", pos);
     }
 }
 
@@ -112,10 +131,11 @@ fn huge_dimension_header_is_rejected_without_allocating() {
     // A malicious header claiming usize::MAX elements must fail cleanly
     // (overflow check), not attempt a giant allocation.
     let reg = PacketRegistry::standard();
-    let mut buf = 1u32.to_le_bytes().to_vec();
-    buf.extend_from_slice(&u64::MAX.to_le_bytes());
-    buf.extend_from_slice(&u64::MAX.to_le_bytes());
-    buf.extend_from_slice(&[0u8; 64]);
+    let mut body = u64::MAX.to_le_bytes().to_vec();
+    body.extend_from_slice(&u64::MAX.to_le_bytes());
+    body.extend_from_slice(&[0u8; 64]);
+    // Checksum must be valid so decoding reaches the dimension check.
+    let buf = framed(1, &body);
     assert_eq!(
         reg.decode(&buf).err(),
         Some(WireError::Malformed("matrix dimensions overflow"))

@@ -115,7 +115,7 @@ fn main() {
     }
 
     println!("running Cannon's algorithm on a {p}x{p} VDP torus ({n}x{n} blocks of {nb})...");
-    let mut out = vsa.run(&RunConfig::smp(4));
+    let mut out = vsa.run(&RunConfig::smp(4)).expect("run failed");
     println!("{} firings", out.stats.fired);
     assert_eq!(out.stats.fired, p * p * p);
 

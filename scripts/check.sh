@@ -15,3 +15,11 @@ cargo test --offline --workspace -q
 if [ "${BENCH:-0}" = "1" ]; then
     CRITERION_SAMPLE_SIZE="${CRITERION_SAMPLE_SIZE:-3}" sh scripts/bench_kernels.sh
 fi
+
+# Optional: CHAOS=1 ./scripts/check.sh widens the fault-injection suite to a
+# larger seed sweep (CHAOS_SWEEP seeds of drop/delay/corrupt/truncate chaos
+# against real QR runs; see tests/chaos.rs).
+if [ "${CHAOS:-0}" = "1" ]; then
+    CHAOS_SWEEP="${CHAOS_SWEEP:-16}" \
+        cargo test --offline -p pulsar --test chaos -- --nocapture
+fi

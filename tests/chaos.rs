@@ -1,0 +1,261 @@
+//! Chaos tests: deterministic fault injection against real runs. Every
+//! injected failure — a killed rank, dropped traffic, corrupted frames —
+//! must surface as a typed [`RunError`] (or a bit-correct result), never a
+//! hang, a process abort, or a silently wrong answer.
+//!
+//! The sweep size of the randomized test honors `CHAOS_SWEEP` (number of
+//! seeds, default 3); `scripts/check.sh CHAOS=1` runs it wider.
+
+use pulsar::core::mapping::{qr_mapping, RowDist};
+use pulsar::core::plan::Tree;
+use pulsar::core::vsa3d::{tile_qr_vsa, tile_qr_vsa_partial, VsaQrPartial};
+use pulsar::core::{wire_registry, QrOptions};
+use pulsar::linalg::verify::r_factor_distance;
+use pulsar::linalg::Matrix;
+use pulsar::runtime::{
+    Backend, ChannelSpec, FaultPlan, KillSpec, MappingFn, Packet, PacketRegistry, Place, RunConfig,
+    RunError, TcpBackend, Tuple, VdpContext, VdpSpec, Vsa,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A two-VDP pipeline split across two in-process nodes; the hop between
+/// them crosses the (fault-injected) fabric as encoded wire bytes.
+fn cross_node_pipeline() -> (Vsa, MappingFn) {
+    let mut vsa = Vsa::new();
+    vsa.add_vdp(VdpSpec::new(
+        Tuple::new1(0),
+        1,
+        1,
+        1,
+        |ctx: &mut VdpContext| {
+            let x: i64 = ctx.pop(0).take();
+            ctx.push(0, Packet::wire(x * 2));
+        },
+    ));
+    vsa.add_vdp(VdpSpec::new(
+        Tuple::new1(1),
+        1,
+        1,
+        1,
+        |ctx: &mut VdpContext| {
+            let x: i64 = ctx.pop(0).take();
+            ctx.push(0, Packet::wire(x + 1));
+        },
+    ));
+    vsa.add_channel(ChannelSpec::new(64, Tuple::new1(0), 0, Tuple::new1(1), 0));
+    vsa.add_channel(ChannelSpec::new(64, Tuple::new1(1), 0, Tuple::new1(9), 0));
+    vsa.seed(Tuple::new1(0), 0, Packet::wire(20i64));
+    let mapping: MappingFn = Arc::new(|t: &Tuple| Place {
+        node: (t.id(0) as usize) % 2,
+        thread: 0,
+    });
+    (vsa, mapping)
+}
+
+/// Dropping every cross-node packet starves the downstream VDP; the stall
+/// watchdog must name it (and the input slot it waits on) instead of
+/// hanging forever.
+#[test]
+fn dropped_traffic_trips_watchdog_with_stuck_vdp() {
+    let (vsa, mapping) = cross_node_pipeline();
+    let plan = FaultPlan {
+        drop: 1.0,
+        ..FaultPlan::none()
+    };
+    let mut cfg =
+        RunConfig::cluster(2, 1, mapping).with_fault(plan, Arc::new(PacketRegistry::standard()));
+    cfg.deadlock_timeout = Some(Duration::from_millis(300));
+    let err = vsa.run(&cfg).map(|_| ()).unwrap_err();
+    match &err {
+        RunError::Stalled { stuck, .. } => {
+            assert!(
+                stuck.iter().any(|s| s.tuple == Tuple::new1(1)),
+                "watchdog should name the starved VDP, got {stuck:?}"
+            );
+            assert!(
+                stuck
+                    .iter()
+                    .find(|s| s.tuple == Tuple::new1(1))
+                    .unwrap()
+                    .empty_inputs
+                    .contains(&0),
+                "watchdog should name the empty input slot"
+            );
+        }
+        other => panic!("expected Stalled, got {other:?}"),
+    }
+}
+
+/// Corrupting every frame must be caught by the wire checksum and reported
+/// as a typed decode error — never a silently wrong value downstream.
+#[test]
+fn corrupted_frames_yield_typed_decode_error() {
+    let (vsa, mapping) = cross_node_pipeline();
+    let plan = FaultPlan {
+        corrupt: 1.0,
+        ..FaultPlan::none()
+    };
+    let mut cfg =
+        RunConfig::cluster(2, 1, mapping).with_fault(plan, Arc::new(PacketRegistry::standard()));
+    cfg.deadlock_timeout = Some(Duration::from_millis(500));
+    let err = vsa.run(&cfg).map(|_| ()).unwrap_err();
+    assert!(
+        matches!(err, RunError::Decode { .. }),
+        "expected Decode, got {err:?}"
+    );
+}
+
+/// Kill one TCP rank mid-factorization: the survivors must come back with
+/// `RunError::PeerLost` promptly (no hang, no abort), and the killed rank
+/// itself fails locally instead of completing.
+#[test]
+fn killed_tcp_rank_yields_peer_lost_on_survivors() {
+    use std::net::TcpListener;
+
+    let nodes = 3;
+    let (mt, nt, nb) = (12usize, 3usize, 8usize);
+    let fixture = || {
+        let mut rng = StdRng::seed_from_u64(2014);
+        Matrix::random(mt * nb, nt * nb, &mut rng)
+    };
+    let opts = QrOptions::new(nb, 4, Tree::BinaryOnFlat { h: 3 });
+    let plan = FaultPlan {
+        kill: Some(KillSpec {
+            rank: 1,
+            after_sends: 1,
+        }),
+        ..FaultPlan::none()
+    };
+
+    let listeners: Vec<TcpListener> = (0..nodes)
+        .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
+        .collect();
+    let peers: Vec<String> = listeners
+        .iter()
+        .map(|l| l.local_addr().unwrap().to_string())
+        .collect();
+
+    let t0 = Instant::now();
+    let results: Vec<Result<VsaQrPartial, RunError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(rank, listener)| {
+                let peers = peers.clone();
+                let opts = opts.clone();
+                let plan = plan.clone();
+                let a = fixture();
+                s.spawn(move || {
+                    let qr_plan = opts.plan(mt, nt);
+                    let mapping = qr_mapping(&qr_plan, RowDist::Block, nodes, 2);
+                    let cfg = RunConfig::cluster(nodes, 2, mapping)
+                        .with_backend(Backend::Tcp(TcpBackend::new(
+                            rank,
+                            listener,
+                            peers,
+                            wire_registry(),
+                        )))
+                        .with_fault(plan, Arc::new(wire_registry()))
+                        .with_heartbeat(Duration::from_millis(25));
+                    tile_qr_vsa_partial(&a, &opts, &cfg)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = t0.elapsed();
+
+    // The whole mesh must fail fast — no rank may hang waiting on the
+    // corpse, and none may "succeed" with a partial factorization.
+    assert!(
+        elapsed < Duration::from_secs(20),
+        "peer loss took {elapsed:?} to detect"
+    );
+    for (rank, r) in results.iter().enumerate() {
+        assert!(r.is_err(), "rank {rank} completed despite the kill");
+    }
+    for (rank, r) in results.iter().enumerate() {
+        if rank == 1 {
+            continue; // the killed rank fails locally with a fabric error
+        }
+        match r {
+            Err(RunError::PeerLost { .. }) => {}
+            Err(other) => panic!("survivor rank {rank}: expected PeerLost, got {other:?}"),
+            Ok(_) => unreachable!(),
+        }
+    }
+    assert!(
+        results
+            .iter()
+            .enumerate()
+            .any(|(rank, r)| rank != 1 && matches!(r, Err(RunError::PeerLost { peer: 1, .. }))),
+        "at least one survivor should blame the killed rank: {:?}",
+        results
+            .iter()
+            .map(|r| r.as_ref().map(|_| ()).map_err(|e| e.to_string()))
+            .collect::<Vec<_>>()
+    );
+}
+
+/// Randomized sweep: drops, delays, corruption, and truncation at modest
+/// probabilities over seeded RNG streams. Every run must either produce a
+/// bit-correct `R` or a typed error. Duplicates are deliberately excluded:
+/// a duplicated tile is a *semantic* corruption (the FIFO dataflow counts
+/// packets), which the end-to-end verification would catch but which has
+/// no single typed error to assert on.
+#[test]
+fn chaos_sweep_correct_or_typed_error() {
+    let sweep: u64 = std::env::var("CHAOS_SWEEP")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let (mt, nt, nb) = (6usize, 2usize, 4usize);
+    let mut rng = StdRng::seed_from_u64(7);
+    let a = Matrix::random(mt * nb, nt * nb, &mut rng);
+    let opts = QrOptions::new(nb, 2, Tree::BinaryOnFlat { h: 2 });
+    let reference = tile_qr_vsa(&a, &opts, &RunConfig::smp(2));
+    let k = (mt * nb).min(nt * nb);
+
+    let mut outcomes = Vec::new();
+    for seed in 0..sweep {
+        let plan = FaultPlan {
+            seed,
+            drop: 0.05,
+            delay: 0.2,
+            delay_steps: 16,
+            corrupt: 0.03,
+            truncate: 0.03,
+            ..FaultPlan::none()
+        };
+        let qr_plan = opts.plan(mt, nt);
+        let mapping = qr_mapping(&qr_plan, RowDist::Block, 2, 2);
+        let mut cfg = RunConfig::cluster(2, 2, mapping).with_fault(plan, Arc::new(wire_registry()));
+        cfg.deadlock_timeout = Some(Duration::from_millis(400));
+        match tile_qr_vsa_partial(&a, &opts, &cfg) {
+            Ok(part) => {
+                // The run survived the gauntlet (only delays fired): its R
+                // must still be bit-correct.
+                let mut r = Matrix::zeros(k, nt * nb);
+                for (i, l, block) in &part.r_tiles {
+                    let rows = block.nrows().min(k - i * nb);
+                    r.set_submatrix(i * nb, l * nb, &block.submatrix(0, 0, rows, block.ncols()));
+                }
+                let dist = r_factor_distance(&r, &reference.factors.r);
+                assert!(
+                    dist < 1e-12,
+                    "seed {seed}: run completed with a wrong R (distance {dist:.2e})"
+                );
+                outcomes.push(format!("seed {seed}: ok"));
+            }
+            Err(e) => {
+                // Typed failure is an acceptable outcome; a hang, abort, or
+                // silent corruption is not.
+                outcomes.push(format!("seed {seed}: {e}"));
+            }
+        }
+    }
+    eprintln!("chaos sweep outcomes:\n  {}", outcomes.join("\n  "));
+}

@@ -190,7 +190,7 @@ fn qr_over_tcp_backend_matches_smp() {
                     let cfg = RunConfig::cluster(nodes, 2, mapping).with_backend(Backend::Tcp(
                         TcpBackend::new(rank, listener, peers, wire_registry()),
                     ));
-                    tile_qr_vsa_partial(&a, &opts, &cfg)
+                    tile_qr_vsa_partial(&a, &opts, &cfg).expect("TCP rank failed")
                 })
             })
             .collect();
