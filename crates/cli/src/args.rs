@@ -2,12 +2,14 @@
 
 use std::collections::HashMap;
 
-/// Parsed command line: a subcommand plus `--key value` options.
+/// Parsed command line: a subcommand plus positional arguments and
+/// `--key value` options.
 #[derive(Debug, Clone)]
 pub struct Args {
     /// The subcommand (first positional argument).
     pub command: String,
     opts: HashMap<String, String>,
+    pos: Vec<String>,
 }
 
 impl Args {
@@ -19,9 +21,13 @@ impl Args {
             return Err(format!("expected a subcommand, got option {command}"));
         }
         let mut opts = HashMap::new();
+        let mut pos = Vec::new();
         while let Some(key) = it.next() {
             let Some(name) = key.strip_prefix("--") else {
-                return Err(format!("expected --option, got {key}"));
+                // A positional argument (e.g. `resume <dir>`); commands that
+                // take none reject it in `ensure_known`.
+                pos.push(key);
+                continue;
             };
             let value = it
                 .next()
@@ -30,7 +36,12 @@ impl Args {
                 return Err(format!("option --{name} given twice"));
             }
         }
-        Ok(Args { command, opts })
+        Ok(Args { command, opts, pos })
+    }
+
+    /// Positional arguments after the subcommand, in order.
+    pub fn positionals(&self) -> &[String] {
+        &self.pos
     }
 
     /// Look up an option's raw value.
@@ -54,8 +65,21 @@ impl Args {
         }
     }
 
-    /// Reject unknown options (call after reading all known ones).
+    /// Reject unknown options and any positional argument (call after
+    /// reading all known ones).
     pub fn ensure_known(&self, known: &[&str]) -> Result<(), String> {
+        self.ensure_known_pos(known, 0)
+    }
+
+    /// Like [`Args::ensure_known`], but permit up to `max_pos` positional
+    /// arguments (e.g. `resume <dir>`).
+    pub fn ensure_known_pos(&self, known: &[&str], max_pos: usize) -> Result<(), String> {
+        if self.pos.len() > max_pos {
+            return Err(format!(
+                "unexpected argument `{}` for `{}`",
+                self.pos[max_pos], self.command
+            ));
+        }
         for k in self.opts.keys() {
             if !known.contains(&k.as_str()) {
                 return Err(format!("unknown option --{k} for `{}`", self.command));
@@ -117,9 +141,19 @@ mod tests {
     fn rejects_bad_shapes() {
         assert!(args(&[]).is_err());
         assert!(args(&["--rows", "1"]).is_err());
-        assert!(args(&["factor", "rows"]).is_err());
         assert!(args(&["factor", "--rows"]).is_err());
         assert!(args(&["factor", "--rows", "1", "--rows", "2"]).is_err());
+    }
+
+    #[test]
+    fn positionals_are_opt_in() {
+        let a = args(&["resume", "/tmp/ckpt", "--stats", "true"]).unwrap();
+        assert_eq!(a.positionals(), ["/tmp/ckpt"]);
+        assert!(a.ensure_known(&["stats"]).is_err(), "positional rejected");
+        assert!(a.ensure_known_pos(&["stats"], 1).is_ok());
+        // Commands that take no positionals still reject strays.
+        let a = args(&["factor", "rows"]).unwrap();
+        assert!(a.ensure_known(&["rows"]).is_err());
     }
 
     #[test]

@@ -14,9 +14,11 @@ use rand::SeedableRng;
 use std::fmt::Write as _;
 use std::time::Instant;
 
-/// Top-level usage text.
+/// Top-level usage text. The exit-code section is rendered from
+/// [`crate::error::EXIT_CODES`] so `--help` cannot drift from the code.
 pub fn usage() -> String {
-    "\
+    let mut text = String::from(
+        "\
 pulsar-qr — tree-based QR on a virtual systolic array
 
 USAGE: pulsar-qr <command> [--option value]...
@@ -41,17 +43,25 @@ COMMANDS
             [--nodes 2] [--rows 64] [--cols 16] [--nb 8] [--ib nb/4]
             [--tree hier:2] [--threads 2] [--seed 42] [--stats]
             [--rendezvous-timeout-ms 10000] [--heartbeat-ms MS]
-            [--fault-plan SPEC]
+            [--fault-plan SPEC] [--retry-attempts N] [--retry-backoff-ms 50]
+            [--checkpoint-dir DIR] [--checkpoint-every-ms MS]
+  resume    finish a checkpointed `launch` run after a crash: restore every
+            rank from the newest epoch all ranks completed, continue, verify
+            <dir> (the --checkpoint-dir of the original launch)
   worker    one rank of a distributed run (spawned by `launch`; reads the
             peer address table on stdin)
             --rank R --nodes N [qr options as for launch]
 TREES: flat | binary | greedy | hier:H | domains:a,b,...
 FAULT PLANS: comma-separated seed=N,drop=P,dup=P,delay=P,delay-steps=N,
-             corrupt=P,trunc=P,kill=RANK@SENDS (probabilities in [0,1])
-EXIT CODES: 1 failure, 2 usage, 3 peer lost, 4 stalled, 5 VDP panicked,
-            6 other fabric error
-"
-    .to_string()
+             corrupt=P,trunc=P,kill=RANK@SENDS,disconnect=RANK@SENDS
+             (probabilities in [0,1])
+EXIT CODES
+",
+    );
+    for (code, what) in crate::error::EXIT_CODES {
+        writeln!(text, "  {code}  {what}").unwrap();
+    }
+    text
 }
 
 /// Dispatch a parsed command line.
@@ -63,6 +73,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "tune" => tune(args).map_err(CliError::from),
         "cholesky" => cholesky(args).map_err(CliError::from),
         "launch" => crate::dist::launch(args),
+        "resume" => crate::dist::resume(args),
         "worker" => crate::dist::worker(args),
         "help" | "--help" => Ok(usage()),
         other => Err(CliError::usage(format!(
@@ -465,6 +476,24 @@ mod tests {
     fn cholesky_smoke() {
         let out = run_line(&["cholesky", "--n", "16", "--nb", "4", "--threads", "2"]).unwrap();
         assert!(out.contains("verification OK"), "{out}");
+    }
+
+    /// `--help`, the README table, and [`crate::error::EXIT_CODES`] must
+    /// agree on every exit code the CLI can produce.
+    #[test]
+    fn exit_code_docs_stay_in_sync() {
+        let help = usage();
+        let readme = include_str!("../../../README.md");
+        for (code, what) in crate::error::EXIT_CODES {
+            assert!(
+                help.contains(&format!("{code}  {what}")),
+                "--help is missing exit code {code} ({what})"
+            );
+            assert!(
+                readme.contains(&format!("| `{code}` | {what} |")),
+                "README exit-code table is missing {code} ({what})"
+            );
+        }
     }
 
     #[test]

@@ -27,12 +27,13 @@ use pulsar_core::mapping::{qr_mapping, RowDist};
 use pulsar_core::vsa3d::tile_qr_vsa_partial;
 use pulsar_core::{wire_registry, QrOptions};
 use pulsar_linalg::Matrix;
-use pulsar_runtime::{Backend, FaultPlan, RunConfig, TcpBackend};
+use pulsar_runtime::{Backend, FaultPlan, RetryPolicy, RunConfig, TcpBackend};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpListener;
+use std::path::Path;
 use std::process::{Child, ChildStdin, Command, Stdio};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError};
 use std::sync::Arc;
@@ -42,7 +43,20 @@ use std::time::{Duration, Instant};
 const QR_OPTS: &[&str] = &["rows", "cols", "nb", "ib", "tree", "threads", "seed"];
 
 /// Fault-tolerance options, also forwarded to workers.
-const FT_OPTS: &[&str] = &["heartbeat-ms", "fault-plan", "stats"];
+const FT_OPTS: &[&str] = &[
+    "heartbeat-ms",
+    "fault-plan",
+    "stats",
+    "retry-attempts",
+    "retry-backoff-ms",
+];
+
+/// Checkpoint/restart options, also forwarded to workers.
+const CKPT_OPTS: &[&str] = &["checkpoint-dir", "checkpoint-every-ms"];
+
+/// Name of the run manifest `launch` leaves in the checkpoint directory so
+/// `resume` can rebuild the identical run.
+const MANIFEST: &str = "manifest.txt";
 
 struct QrParams {
     m: usize,
@@ -81,6 +95,8 @@ struct FtParams {
     heartbeat_ms: Option<u64>,
     fault_plan: Option<String>,
     stats: bool,
+    retry_attempts: u32,
+    retry_backoff_ms: u64,
 }
 
 fn ft_params(args: &Args) -> Result<FtParams, String> {
@@ -107,7 +123,35 @@ fn ft_params(args: &Args) -> Result<FtParams, String> {
         heartbeat_ms,
         fault_plan,
         stats: args.opt("stats", false)?,
+        retry_attempts: args.opt("retry-attempts", 0u32)?,
+        retry_backoff_ms: args.opt("retry-backoff-ms", 50u64)?,
     })
+}
+
+/// Parsed checkpoint flags, validated before any process is spawned.
+struct CkptParams {
+    dir: Option<String>,
+    every_ms: Option<u64>,
+}
+
+fn ckpt_params(args: &Args) -> Result<CkptParams, String> {
+    let dir = args.get("checkpoint-dir").map(str::to_string);
+    let every_ms = match args.get("checkpoint-every-ms") {
+        None => None,
+        Some(v) => {
+            let ms: u64 = v
+                .parse()
+                .map_err(|_| "could not parse --checkpoint-every-ms")?;
+            if ms == 0 {
+                return Err("--checkpoint-every-ms must be positive".into());
+            }
+            Some(ms)
+        }
+    };
+    if every_ms.is_some() && dir.is_none() {
+        return Err("--checkpoint-every-ms needs --checkpoint-dir".into());
+    }
+    Ok(CkptParams { dir, every_ms })
 }
 
 /// Kills and reaps every child it still holds when dropped, so no code path
@@ -138,9 +182,47 @@ impl Drop for Brood {
 /// `pulsar-qr launch --nodes N [qr options]`: run a distributed QR across
 /// `N` worker OS processes on localhost and verify their reports.
 pub fn launch(args: &Args) -> Result<String, CliError> {
+    launch_impl(args, false)
+}
+
+/// `pulsar-qr resume <dir>`: relaunch the run recorded in `<dir>`'s
+/// manifest, restoring every rank from the newest checkpoint epoch all
+/// ranks completed. The fault plan of the original run (if any) is *not*
+/// replayed — resume is for finishing the work, not re-injecting the fault.
+pub fn resume(args: &Args) -> Result<String, CliError> {
+    args.ensure_known_pos(&[], 1)?;
+    let dir = args
+        .positionals()
+        .first()
+        .ok_or_else(|| CliError::usage("resume needs a directory: pulsar-qr resume <dir>"))?;
+    let path = Path::new(dir).join(MANIFEST);
+    let manifest =
+        std::fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let mut argv = vec!["launch".to_string()];
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (k, v) = line
+            .split_once(' ')
+            .ok_or_else(|| format!("bad manifest line {line:?} in {}", path.display()))?;
+        argv.push(format!("--{k}"));
+        argv.push(v.to_string());
+    }
+    // The directory on the command line wins over whatever path the
+    // manifest was written under (the tree may have been moved).
+    argv.push("--checkpoint-dir".to_string());
+    argv.push(dir.to_string());
+    let largs = Args::parse(argv).map_err(|e| format!("manifest {}: {e}", path.display()))?;
+    launch_impl(&largs, true)
+}
+
+fn launch_impl(args: &Args, resume: bool) -> Result<String, CliError> {
     let mut known = vec!["nodes", "rendezvous-timeout-ms"];
     known.extend_from_slice(QR_OPTS);
     known.extend_from_slice(FT_OPTS);
+    known.extend_from_slice(CKPT_OPTS);
     args.ensure_known(&known)?;
     let nodes: usize = args.opt("nodes", 2)?;
     if nodes == 0 {
@@ -149,6 +231,15 @@ pub fn launch(args: &Args) -> Result<String, CliError> {
     let rendezvous_timeout = Duration::from_millis(args.opt("rendezvous-timeout-ms", 10_000u64)?);
     let p = qr_params(args)?; // validate before spawning anything
     let ft = ft_params(args)?;
+    let ck = ckpt_params(args)?;
+    if resume && ck.dir.is_none() {
+        return Err(CliError::from(String::from(
+            "resume needs a checkpoint directory",
+        )));
+    }
+    if let (Some(dir), false) = (&ck.dir, resume) {
+        write_manifest(dir, nodes, &p, &ft, &ck).map_err(CliError::from)?;
+    }
 
     let exe = std::env::current_exe().map_err(|e| format!("cannot find own binary: {e}"))?;
     let mut children = Vec::new();
@@ -184,6 +275,25 @@ pub fn launch(args: &Args) -> Result<String, CliError> {
         }
         if ft.stats {
             argv.extend(["--stats".to_string(), "true".to_string()]);
+        }
+        if ft.retry_attempts > 0 {
+            argv.extend([
+                "--retry-attempts".to_string(),
+                ft.retry_attempts.to_string(),
+            ]);
+            argv.extend([
+                "--retry-backoff-ms".to_string(),
+                ft.retry_backoff_ms.to_string(),
+            ]);
+        }
+        if let Some(dir) = &ck.dir {
+            argv.extend(["--checkpoint-dir".to_string(), dir.clone()]);
+        }
+        if let Some(ms) = ck.every_ms {
+            argv.extend(["--checkpoint-every-ms".to_string(), ms.to_string()]);
+        }
+        if resume {
+            argv.extend(["--resume".to_string(), "true".to_string()]);
         }
         let mut child = Command::new(&exe)
             .args(&argv)
@@ -307,6 +417,14 @@ pub fn launch(args: &Args) -> Result<String, CliError> {
         p.m, p.n, p.opts.nb, p.opts.ib, p.opts.tree, p.threads
     )
     .unwrap();
+    if resume {
+        writeln!(
+            out,
+            "resumed from checkpoints in {}",
+            ck.dir.as_deref().unwrap_or("?")
+        )
+        .unwrap();
+    }
     out.push_str(&per_rank);
     writeln!(
         out,
@@ -335,14 +453,51 @@ fn num(tok: Option<&str>, rank: usize, what: &str) -> Result<u64, String> {
         .ok_or_else(|| format!("worker {rank}: bad {what} line"))
 }
 
+/// Record the launch parameters as `key value` lines so `resume <dir>` can
+/// rebuild the identical SPMD run. The fault plan is deliberately omitted.
+fn write_manifest(
+    dir: &str,
+    nodes: usize,
+    p: &QrParams,
+    ft: &FtParams,
+    ck: &CkptParams,
+) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+    let mut man = String::new();
+    writeln!(man, "nodes {nodes}").unwrap();
+    writeln!(man, "rows {}", p.m).unwrap();
+    writeln!(man, "cols {}", p.n).unwrap();
+    writeln!(man, "nb {}", p.opts.nb).unwrap();
+    writeln!(man, "ib {}", p.opts.ib).unwrap();
+    writeln!(man, "tree {}", p.tree_spec).unwrap();
+    writeln!(man, "threads {}", p.threads).unwrap();
+    writeln!(man, "seed {}", p.seed).unwrap();
+    if let Some(ms) = ft.heartbeat_ms {
+        writeln!(man, "heartbeat-ms {ms}").unwrap();
+    }
+    if ft.stats {
+        writeln!(man, "stats true").unwrap();
+    }
+    if ft.retry_attempts > 0 {
+        writeln!(man, "retry-attempts {}", ft.retry_attempts).unwrap();
+        writeln!(man, "retry-backoff-ms {}", ft.retry_backoff_ms).unwrap();
+    }
+    if let Some(ms) = ck.every_ms {
+        writeln!(man, "checkpoint-every-ms {ms}").unwrap();
+    }
+    let path = Path::new(dir).join(MANIFEST);
+    std::fs::write(&path, man).map_err(|e| format!("writing {}: {e}", path.display()))
+}
+
 /// `pulsar-qr worker --rank R --nodes N [qr options]`: one SPMD rank.
 /// Normally spawned by [`launch`]; runnable by hand with the address table
 /// on stdin. Exits with the typed codes of [`crate::error::exit_code_for`]
 /// when the run fails (lost peer, stall, panicking VDP, ...).
 pub fn worker(args: &Args) -> Result<String, CliError> {
-    let mut known = vec!["rank", "nodes"];
+    let mut known = vec!["rank", "nodes", "resume"];
     known.extend_from_slice(QR_OPTS);
     known.extend_from_slice(FT_OPTS);
+    known.extend_from_slice(CKPT_OPTS);
     args.ensure_known(&known)?;
     let rank: usize = args.req("rank")?;
     let nodes: usize = args.req("nodes")?;
@@ -353,6 +508,8 @@ pub fn worker(args: &Args) -> Result<String, CliError> {
     }
     let p = qr_params(args)?;
     let ft = ft_params(args)?;
+    let ck = ckpt_params(args)?;
+    let resume: bool = args.opt("resume", false)?;
 
     // Rendezvous: bind, announce, read the table.
     let listener =
@@ -392,6 +549,18 @@ pub fn worker(args: &Args) -> Result<String, CliError> {
         let fault = FaultPlan::parse(spec).map_err(|e| format!("bad --fault-plan: {e}"))?;
         config = config.with_fault(fault, Arc::new(wire_registry()));
     }
+    if ft.retry_attempts > 0 {
+        config = config.with_retry(RetryPolicy {
+            attempts: ft.retry_attempts,
+            backoff: Duration::from_millis(ft.retry_backoff_ms),
+        });
+    }
+    if let Some(dir) = &ck.dir {
+        config = config.with_checkpoints(dir, ck.every_ms.map(Duration::from_millis));
+        if resume {
+            config = config.resuming();
+        }
+    }
     let part = tile_qr_vsa_partial(&a, &p.opts, &config).map_err(CliError::from)?;
 
     // Rank-local SMP reference run: the distributed R must match it.
@@ -426,6 +595,34 @@ pub fn worker(args: &Args) -> Result<String, CliError> {
             s.retried_sends,
             s.quarantined_vdps
         );
+        // Machine-readable recovery counters (hand-rolled JSON, one line).
+        println!(
+            "STATS-JSON {{\"fired\":{},\"remote_msgs\":{},\"wire_bytes_sent\":{},\
+             \"wire_bytes_recv\":{},\"heartbeats_sent\":{},\"heartbeats_missed\":{},\
+             \"reconnect_attempts\":{},\"retried_sends\":{},\"quarantined_vdps\":{},\
+             \"checkpoints_written\":{},\"checkpoint_bytes\":{},\"frames_replayed\":{},\
+             \"retries_healed\":{}}}",
+            s.fired,
+            s.remote_msgs,
+            s.wire_bytes_sent,
+            s.wire_bytes_recv,
+            s.heartbeats_sent,
+            s.heartbeats_missed,
+            s.reconnect_attempts,
+            s.retried_sends,
+            s.quarantined_vdps,
+            s.checkpoints_written,
+            s.checkpoint_bytes,
+            s.frames_replayed,
+            s.retries_healed
+        );
+    }
+    if ft.fault_plan.is_some() {
+        // Audit line for chaos runs: what the injector actually did.
+        match &s.fault_log {
+            Some(log) => println!("FAULTS {log}"),
+            None => println!("FAULTS none"),
+        }
     }
     println!("WORKER-OK");
     Ok(String::new())

@@ -1,15 +1,21 @@
 //! CLI error type: a message plus the process exit code it maps to.
 //!
-//! Exit codes (documented in the README):
-//! - `1` — generic failure (verification failed, I/O error, ...)
-//! - `2` — usage error (bad flags, unknown command)
-//! - `3` — a peer was lost or the mesh never formed ([`RunError::PeerLost`],
-//!   [`RunError::MeshConnect`])
-//! - `4` — the array stalled and the watchdog fired ([`RunError::Stalled`])
-//! - `5` — a VDP panicked and was quarantined ([`RunError::VdpPanicked`])
-//! - `6` — other fabric/protocol/decode failures
+//! The single source of truth for the exit codes is [`EXIT_CODES`]; the
+//! `--help` text renders it, and a test asserts the README table matches.
 
-use pulsar_runtime::RunError;
+use pulsar_runtime::{FabricError, RunError};
+
+/// Every exit code the CLI can produce, with the description shown in
+/// `--help` and in the README table.
+pub const EXIT_CODES: &[(i32, &str)] = &[
+    (1, "generic failure (verification failed, I/O error, ...)"),
+    (2, "usage error (bad flags, unknown command)"),
+    (3, "peer lost or mesh never formed"),
+    (4, "stalled (watchdog fired)"),
+    (5, "VDP panicked and was quarantined"),
+    (6, "other fabric/protocol/decode/checkpoint failure"),
+    (7, "unrecoverable after N retry attempts"),
+];
 
 /// A CLI failure: what to print and which code to exit with.
 #[derive(Debug)]
@@ -57,10 +63,24 @@ impl From<RunError> for CliError {
 /// supervisors (and the `launch` driver) can tell failure modes apart.
 pub fn exit_code_for(e: &RunError) -> i32 {
     match e {
+        // The retry policy re-dialed and replayed but the peer never came
+        // back: distinct from a plain lost peer so supervisors can tell
+        // "retry was tried and exhausted" apart from "no retry configured".
+        RunError::PeerLost {
+            error: FabricError::RetriesExhausted { .. },
+            ..
+        }
+        | RunError::Fabric {
+            error: FabricError::RetriesExhausted { .. },
+            ..
+        } => 7,
         RunError::PeerLost { .. } | RunError::MeshConnect { .. } => 3,
         RunError::Stalled { .. } => 4,
         RunError::VdpPanicked { .. } => 5,
-        RunError::Fabric { .. } | RunError::Decode { .. } | RunError::Protocol { .. } => 6,
+        RunError::Fabric { .. }
+        | RunError::Decode { .. }
+        | RunError::Protocol { .. }
+        | RunError::Checkpoint { .. } => 6,
     }
 }
 
@@ -90,5 +110,82 @@ mod tests {
         assert_eq!(exit_code_for(&panicked), 5);
         assert_eq!(CliError::from(lost).code, 3);
         assert_eq!(CliError::from(String::from("x")).code, 1);
+    }
+
+    #[test]
+    fn exhausted_retries_get_their_own_code() {
+        let e = RunError::PeerLost {
+            node: 0,
+            peer: 1,
+            error: FabricError::RetriesExhausted {
+                peer: 1,
+                attempts: 3,
+            },
+        };
+        assert_eq!(exit_code_for(&e), 7);
+        let e = RunError::Fabric {
+            node: 0,
+            error: FabricError::RetriesExhausted {
+                peer: 2,
+                attempts: 1,
+            },
+        };
+        assert_eq!(exit_code_for(&e), 7);
+    }
+
+    /// Every code any `CliError` can carry must appear in [`EXIT_CODES`]
+    /// (which `--help` renders and the README mirrors).
+    #[test]
+    fn exit_code_table_covers_every_variant() {
+        let table: Vec<i32> = EXIT_CODES.iter().map(|(c, _)| *c).collect();
+        let fabric = FabricError::PeerClosed { peer: 1 };
+        let samples = [
+            RunError::PeerLost {
+                node: 0,
+                peer: 1,
+                error: fabric.clone(),
+            },
+            RunError::Fabric {
+                node: 0,
+                error: FabricError::RetriesExhausted {
+                    peer: 1,
+                    attempts: 2,
+                },
+            },
+            RunError::Fabric {
+                node: 0,
+                error: fabric,
+            },
+            RunError::Decode {
+                node: 0,
+                error: pulsar_runtime::WireError::Malformed("x"),
+            },
+            RunError::VdpPanicked {
+                tuple: Tuple::new1(0),
+                payload: "boom".into(),
+            },
+            RunError::Stalled {
+                waited: Duration::from_millis(1),
+                stuck: vec![],
+            },
+            RunError::MeshConnect {
+                node: 0,
+                msg: "x".into(),
+            },
+            RunError::Protocol {
+                node: 0,
+                msg: "x".into(),
+            },
+            RunError::Checkpoint {
+                node: 0,
+                error: pulsar_runtime::CheckpointError::Truncated,
+            },
+        ];
+        for e in samples {
+            let code = exit_code_for(&e);
+            assert!(table.contains(&code), "code {code} of {e:?} undocumented");
+        }
+        assert!(table.contains(&CliError::usage("x").code));
+        assert!(table.contains(&CliError::from(String::from("x")).code));
     }
 }

@@ -69,6 +69,17 @@ impl pulsar_runtime::VdpLogic for ApplyVdp {
             }
         }
     }
+
+    // The recorded transformation is immutable configuration rebuilt from
+    // the factors on resume; no mutable local store to snapshot.
+    fn snapshot(&self, out: &mut Vec<u8>) {
+        crate::store::snapshot_tile(&None, out);
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), pulsar_runtime::WireError> {
+        crate::store::restore_tile(bytes)?;
+        Ok(())
+    }
 }
 
 /// Apply `op(Q)` to the `m x k` matrix `b` by streaming its row tiles

@@ -82,6 +82,15 @@ impl VdpLogic for FactorVdp {
             ctx.push(0, Packet::tile(self.r.take().unwrap()));
         }
     }
+
+    fn snapshot(&self, out: &mut Vec<u8>) {
+        crate::store::snapshot_tile(&self.r, out);
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), pulsar_runtime::WireError> {
+        self.r = crate::store::restore_tile(bytes)?;
+        Ok(())
+    }
 }
 
 /// Trailing-update VDP `(i, j)`, `j > i`: `dormqr` on the first firing
@@ -127,6 +136,15 @@ impl VdpLogic for UpdateVdp {
             // Last firing: the locally held tile is the finished R(i, j).
             ctx.push(3, Packet::tile(self.c1.take().unwrap()));
         }
+    }
+
+    fn snapshot(&self, out: &mut Vec<u8>) {
+        crate::store::snapshot_tile(&self.c1, out);
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), pulsar_runtime::WireError> {
+        self.c1 = crate::store::restore_tile(bytes)?;
+        Ok(())
     }
 }
 

@@ -26,6 +26,7 @@ pub mod lsqr;
 pub mod mapping;
 pub mod plan;
 pub mod seqqr;
+pub(crate) mod store;
 pub mod vsa3d;
 pub mod vsa_compact;
 

@@ -375,6 +375,17 @@ impl pulsar_runtime::VdpLogic for QrVdp {
             self.fire_update(ctx);
         }
     }
+
+    // Single-fire VDP: `op`/`ib` come from the plan, which a resume
+    // rebuilds identically, so the local-store snapshot is empty.
+    fn snapshot(&self, out: &mut Vec<u8>) {
+        crate::store::snapshot_tile(&None, out);
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), pulsar_runtime::WireError> {
+        crate::store::restore_tile(bytes)?;
+        Ok(())
+    }
 }
 
 impl QrVdp {

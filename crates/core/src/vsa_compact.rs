@@ -167,6 +167,15 @@ impl VdpLogic for FlatDomainVdp {
             ctx.push(3, Packet::tile(self.c1.take().expect("local tile")));
         }
     }
+
+    fn snapshot(&self, out: &mut Vec<u8>) {
+        crate::store::snapshot_tile(&self.c1, out);
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), pulsar_runtime::WireError> {
+        self.c1 = crate::store::restore_tile(bytes)?;
+        Ok(())
+    }
 }
 
 /// Blue (binary) VDP: one `ttqrt`/`ttmqr` merge of two domain tops.

@@ -43,6 +43,9 @@ pub struct FaultPlan {
     pub truncate: f64,
     /// Kill a rank mid-run.
     pub kill: Option<KillSpec>,
+    /// Sever a rank's connections mid-run without killing the process
+    /// (a transient network fault: with a `RetryPolicy`, the run heals).
+    pub disconnect: Option<KillSpec>,
 }
 
 impl Default for FaultPlan {
@@ -56,6 +59,7 @@ impl Default for FaultPlan {
             corrupt: 0.0,
             truncate: 0.0,
             kill: None,
+            disconnect: None,
         }
     }
 }
@@ -70,8 +74,8 @@ impl FaultPlan {
     /// `seed=7,drop=0.01,corrupt=0.005,delay=0.1,dup=0.01,trunc=0.01,kill=1@50`.
     ///
     /// Keys: `seed`, `drop`, `dup`, `delay`, `delay-steps`, `corrupt`,
-    /// `trunc`, `kill` (as `rank@sends`). Unknown keys and malformed
-    /// values are errors.
+    /// `trunc`, `kill` (as `rank@sends`), `disconnect` (as `rank@sends`).
+    /// Unknown keys and malformed values are errors.
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::default();
         for part in spec.split(',').filter(|s| !s.is_empty()) {
@@ -103,18 +107,23 @@ impl FaultPlan {
                 }
                 "corrupt" => plan.corrupt = prob(value)?,
                 "trunc" => plan.truncate = prob(value)?,
-                "kill" => {
+                "kill" | "disconnect" => {
                     let (rank, sends) = value
                         .split_once('@')
-                        .ok_or_else(|| format!("fault spec: kill `{value}` is not rank@sends"))?;
-                    plan.kill = Some(KillSpec {
+                        .ok_or_else(|| format!("fault spec: {key} `{value}` is not rank@sends"))?;
+                    let spec = KillSpec {
                         rank: rank
                             .parse()
-                            .map_err(|_| format!("fault spec: bad kill rank `{rank}`"))?,
+                            .map_err(|_| format!("fault spec: bad {key} rank `{rank}`"))?,
                         after_sends: sends
                             .parse()
-                            .map_err(|_| format!("fault spec: bad kill step `{sends}`"))?,
-                    });
+                            .map_err(|_| format!("fault spec: bad {key} step `{sends}`"))?,
+                    };
+                    if key == "kill" {
+                        plan.kill = Some(spec);
+                    } else {
+                        plan.disconnect = Some(spec);
+                    }
                 }
                 k => return Err(format!("fault spec: unknown key `{k}`")),
             }
@@ -161,6 +170,24 @@ pub struct FaultLog {
     pub truncated: u64,
     /// Whether this rank was killed.
     pub killed: bool,
+    /// Whether this rank's connections were severed (transient fault).
+    pub disconnected: bool,
+}
+
+impl std::fmt::Display for FaultLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "dropped={} duplicated={} delayed={} corrupted={} truncated={} killed={} disconnected={}",
+            self.dropped,
+            self.duplicated,
+            self.delayed,
+            self.corrupted,
+            self.truncated,
+            self.killed,
+            self.disconnected
+        )
+    }
 }
 
 /// A held-back received payload, released by step count.
@@ -246,6 +273,17 @@ impl<F: Fabric<Payload = Vec<u8>>> FaultyFabric<F> {
                 // does not say goodbye.
                 self.inner = None;
                 self.log.killed = true;
+            }
+        }
+        if let Some(disc) = self.plan.disconnect {
+            if disc.rank == self.rank && self.sends >= disc.after_sends && !self.log.disconnected {
+                // A transient network fault, injected exactly once: the
+                // sockets are severed but the process lives, so a
+                // `RetryPolicy` can heal the run.
+                self.log.disconnected = true;
+                if let Some(f) = self.inner.as_mut() {
+                    f.drop_connections();
+                }
             }
         }
         Ok(())
@@ -408,6 +446,16 @@ impl<F: Fabric<Payload = Vec<u8>>> Fabric for FaultyFabric<F> {
         }
     }
 
+    fn drop_connections(&mut self) {
+        if let Some(f) = self.inner.as_mut() {
+            f.drop_connections();
+        }
+    }
+
+    fn fault_log(&self) -> Option<FaultLog> {
+        Some(self.log)
+    }
+
     fn idle(&mut self, max: Duration) {
         match self.inner.as_mut() {
             Some(f) => f.idle(max),
@@ -557,9 +605,18 @@ mod tests {
                 after_sends: 50
             })
         );
+        let p = FaultPlan::parse("disconnect=2@9").unwrap();
+        assert_eq!(
+            p.disconnect,
+            Some(KillSpec {
+                rank: 2,
+                after_sends: 9
+            })
+        );
         assert!(FaultPlan::parse("drop=2.0").is_err());
         assert!(FaultPlan::parse("bogus=1").is_err());
         assert!(FaultPlan::parse("kill=nope").is_err());
+        assert!(FaultPlan::parse("disconnect=nope").is_err());
         assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::none());
     }
 }

@@ -4,16 +4,23 @@
 //! bytes. The header carries a magic tag (so a stray connection is
 //! rejected immediately), a frame kind, the runtime's wire id (the MPI-tag
 //! analogue of Section IV-B), a per-connection sequence number (FIFO
-//! integrity check), and the body length. There is no serde and no
-//! self-describing envelope: the body is raw bytes whose meaning the
+//! integrity check), a cumulative acknowledgement (every sequence number
+//! below it has been delivered — the replay-log pruning signal for
+//! transient-fault recovery), and the body length. There is no serde and
+//! no self-describing envelope: the body is raw bytes whose meaning the
 //! runtime's packet registry decides from the wire id's payload tag.
+//!
+//! Sequence numbers are consumed only by *reliable* kinds (data and
+//! barrier frames — the ones a sender must be able to replay after a
+//! reconnect). Control kinds (heartbeat, ack, abort) carry whatever `seq`
+//! the sender stamps but do not advance the receiver's expected sequence.
 
 /// Magic prefix of every frame.
 pub const MAGIC: [u8; 4] = *b"PSLF";
 
 /// Encoded header size: magic (4) + kind (1) + wire id (4) + seq (8) +
-/// len (8).
-pub const HEADER_LEN: usize = 25;
+/// ack (8) + len (8).
+pub const HEADER_LEN: usize = 33;
 
 /// Largest accepted body; anything bigger is a malformed or hostile frame.
 pub const MAX_BODY: usize = 1 << 30;
@@ -23,6 +30,7 @@ const KIND_DATA: u8 = 0;
 const KIND_BARRIER: u8 = 1;
 const KIND_HEARTBEAT: u8 = 2;
 const KIND_ABORT: u8 = 3;
+const KIND_ACK: u8 = 4;
 
 /// What a frame carries.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -41,6 +49,18 @@ pub enum FrameKind {
     /// operation that still needs it as failed, but do not diagnose a
     /// protocol violation.
     Abort,
+    /// Standalone cumulative acknowledgement (empty body): carries only
+    /// the header's `ack` field, sent when a receiver has progress to
+    /// report but no outbound frame to piggyback it on.
+    Ack,
+}
+
+impl FrameKind {
+    /// Whether this kind consumes a sequence number (and must therefore be
+    /// kept in the sender's replay log until acknowledged).
+    pub fn is_reliable(&self) -> bool {
+        matches!(self, FrameKind::Data { .. } | FrameKind::Barrier)
+    }
 }
 
 /// Decoded frame header.
@@ -48,8 +68,12 @@ pub enum FrameKind {
 pub struct FrameHeader {
     /// What the body is.
     pub kind: FrameKind,
-    /// Per-connection monotone sequence number, starting at 0.
+    /// Per-connection monotone sequence number, starting at 0. Advanced
+    /// only by reliable kinds ([`FrameKind::is_reliable`]).
     pub seq: u64,
+    /// Cumulative acknowledgement: every reliable frame the sender has
+    /// received with `seq < ack` was delivered.
+    pub ack: u64,
     /// Body length in bytes.
     pub len: u64,
 }
@@ -119,11 +143,13 @@ pub fn encode_header(h: &FrameHeader) -> [u8; HEADER_LEN] {
         FrameKind::Barrier => (KIND_BARRIER, 0),
         FrameKind::Heartbeat => (KIND_HEARTBEAT, 0),
         FrameKind::Abort => (KIND_ABORT, 0),
+        FrameKind::Ack => (KIND_ACK, 0),
     };
     out[4] = kind;
     out[5..9].copy_from_slice(&wire_id.to_le_bytes());
     out[9..17].copy_from_slice(&h.seq.to_le_bytes());
-    out[17..25].copy_from_slice(&h.len.to_le_bytes());
+    out[17..25].copy_from_slice(&h.ack.to_le_bytes());
+    out[25..33].copy_from_slice(&h.len.to_le_bytes());
     out
 }
 
@@ -145,7 +171,8 @@ pub fn decode_header(buf: &[u8]) -> Result<FrameHeader, FrameError> {
     }
     let wire_id = u32::from_le_bytes(buf[5..9].try_into().unwrap());
     let seq = u64::from_le_bytes(buf[9..17].try_into().unwrap());
-    let len = u64::from_le_bytes(buf[17..25].try_into().unwrap());
+    let ack = u64::from_le_bytes(buf[17..25].try_into().unwrap());
+    let len = u64::from_le_bytes(buf[25..33].try_into().unwrap());
     if len > MAX_BODY as u64 {
         return Err(FrameError::Oversized(len));
     }
@@ -157,19 +184,24 @@ pub fn decode_header(buf: &[u8]) -> Result<FrameHeader, FrameError> {
             }
             FrameKind::Barrier
         }
-        k @ (KIND_HEARTBEAT | KIND_ABORT) => {
+        k @ (KIND_HEARTBEAT | KIND_ABORT | KIND_ACK) => {
             if len != 0 {
                 return Err(FrameError::BadControlLen { kind: k, len });
             }
-            if k == KIND_HEARTBEAT {
-                FrameKind::Heartbeat
-            } else {
-                FrameKind::Abort
+            match k {
+                KIND_HEARTBEAT => FrameKind::Heartbeat,
+                KIND_ABORT => FrameKind::Abort,
+                _ => FrameKind::Ack,
             }
         }
         k => return Err(FrameError::BadKind(k)),
     };
-    Ok(FrameHeader { kind, seq, len })
+    Ok(FrameHeader {
+        kind,
+        seq,
+        ack,
+        len,
+    })
 }
 
 #[cfg(test)]
@@ -181,6 +213,7 @@ mod tests {
         let h = FrameHeader {
             kind: FrameKind::Data { wire_id: 0xDEAD },
             seq: 42,
+            ack: 41,
             len: 1 << 21,
         };
         assert_eq!(decode_header(&encode_header(&h)), Ok(h));
@@ -191,6 +224,7 @@ mod tests {
         let h = FrameHeader {
             kind: FrameKind::Barrier,
             seq: 7,
+            ack: 0,
             len: 8,
         };
         assert_eq!(decode_header(&encode_header(&h)), Ok(h));
@@ -201,6 +235,7 @@ mod tests {
         let mut b = encode_header(&FrameHeader {
             kind: FrameKind::Barrier,
             seq: 0,
+            ack: 0,
             len: 8,
         });
         b[0] = b'X';
@@ -212,6 +247,7 @@ mod tests {
         let mut b = encode_header(&FrameHeader {
             kind: FrameKind::Data { wire_id: 1 },
             seq: 0,
+            ack: 0,
             len: 4,
         });
         b[4] = 9;
@@ -220,36 +256,43 @@ mod tests {
         let mut b = encode_header(&FrameHeader {
             kind: FrameKind::Data { wire_id: 1 },
             seq: 0,
+            ack: 0,
             len: 0,
         });
-        b[17..25].copy_from_slice(&(MAX_BODY as u64 + 1).to_le_bytes());
+        b[25..33].copy_from_slice(&(MAX_BODY as u64 + 1).to_le_bytes());
         assert!(matches!(decode_header(&b), Err(FrameError::Oversized(_))));
 
         let mut b = encode_header(&FrameHeader {
             kind: FrameKind::Barrier,
             seq: 0,
+            ack: 0,
             len: 8,
         });
-        b[17..25].copy_from_slice(&9u64.to_le_bytes());
+        b[25..33].copy_from_slice(&9u64.to_le_bytes());
         assert_eq!(decode_header(&b), Err(FrameError::BadBarrierLen(9)));
     }
 
     #[test]
     fn roundtrip_control_headers() {
-        for kind in [FrameKind::Heartbeat, FrameKind::Abort] {
+        for kind in [FrameKind::Heartbeat, FrameKind::Abort, FrameKind::Ack] {
             let h = FrameHeader {
                 kind,
                 seq: 3,
+                ack: 17,
                 len: 0,
             };
             assert_eq!(decode_header(&encode_header(&h)), Ok(h));
+            assert!(!kind.is_reliable());
         }
+        assert!(FrameKind::Data { wire_id: 0 }.is_reliable());
+        assert!(FrameKind::Barrier.is_reliable());
         let mut b = encode_header(&FrameHeader {
             kind: FrameKind::Heartbeat,
             seq: 0,
+            ack: 0,
             len: 0,
         });
-        b[17..25].copy_from_slice(&1u64.to_le_bytes());
+        b[25..33].copy_from_slice(&1u64.to_le_bytes());
         assert_eq!(
             decode_header(&b),
             Err(FrameError::BadControlLen { kind: 2, len: 1 })
@@ -261,6 +304,7 @@ mod tests {
         let b = encode_header(&FrameHeader {
             kind: FrameKind::Data { wire_id: 9 },
             seq: 0,
+            ack: 0,
             len: 16,
         });
         for cut in 0..HEADER_LEN {

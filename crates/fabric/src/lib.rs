@@ -34,11 +34,43 @@ pub mod frame;
 mod inproc;
 mod tcp;
 
-pub use fault::{FaultPlan, FaultyFabric, KillSpec};
+pub use fault::{FaultLog, FaultPlan, FaultyFabric, KillSpec};
 pub use inproc::InProcFabric;
 pub use tcp::TcpFabric;
 
 use std::time::Duration;
+
+/// Bounded in-run recovery window for transient connection faults.
+///
+/// When a peer's connection drops (EOF, I/O error, liveness timeout) and
+/// `attempts > 0`, a transport that supports reconnection re-dials the
+/// peer up to `attempts` times, `backoff` apart, replaying un-acked
+/// frames from its replay log once the connection is back. Only exhausted
+/// retries escalate to [`FabricError::RetriesExhausted`]. The default
+/// (`attempts: 0`) keeps the old fail-fast behavior.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Reconnection attempts before giving up on a peer.
+    pub attempts: u32,
+    /// Delay between consecutive attempts.
+    pub backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// No in-run recovery: the first connection fault is fatal.
+    pub fn none() -> Self {
+        RetryPolicy {
+            attempts: 0,
+            backoff: Duration::from_millis(0),
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
 
 /// A node's index within the run (the MPI-rank analogue).
 pub type NodeId = usize;
@@ -109,6 +141,15 @@ pub enum FabricError {
     /// during a barrier, or this fabric was deliberately killed
     /// (fault injection).
     Cancelled,
+    /// A peer's connection dropped and every attempt of the configured
+    /// [`RetryPolicy`] failed to bring it back: the fault was not
+    /// transient.
+    RetriesExhausted {
+        /// The unreachable peer.
+        peer: NodeId,
+        /// How many reconnection attempts were made.
+        attempts: u32,
+    },
 }
 
 impl FabricError {
@@ -117,7 +158,8 @@ impl FabricError {
         match self {
             FabricError::PeerClosed { peer }
             | FabricError::MalformedFrame { peer, .. }
-            | FabricError::Timeout { peer, .. } => Some(*peer),
+            | FabricError::Timeout { peer, .. }
+            | FabricError::RetriesExhausted { peer, .. } => Some(*peer),
             FabricError::Io { peer, .. } => *peer,
             FabricError::Cancelled => None,
         }
@@ -149,6 +191,12 @@ impl std::fmt::Display for FabricError {
                 write!(f, "peer {peer} silent for {waited:?} (liveness timeout)")
             }
             FabricError::Cancelled => write!(f, "operation cancelled by local abort"),
+            FabricError::RetriesExhausted { peer, attempts } => {
+                write!(
+                    f,
+                    "peer {peer} unrecoverable after {attempts} retry attempts"
+                )
+            }
         }
     }
 }
@@ -170,6 +218,12 @@ pub struct FabricHealth {
     /// Sends that needed more than one write attempt (partial writes and
     /// interrupted syscalls, retried transparently).
     pub retried_sends: u64,
+    /// Frames re-sent from the replay log after a connection was
+    /// re-established.
+    pub frames_replayed: u64,
+    /// Dropped connections that healed through the [`RetryPolicy`]
+    /// recovery window (one per successful reconnection).
+    pub retries_healed: u64,
 }
 
 impl FabricHealth {
@@ -179,6 +233,8 @@ impl FabricHealth {
         self.heartbeats_missed += other.heartbeats_missed;
         self.reconnect_attempts += other.reconnect_attempts;
         self.retried_sends += other.retried_sends;
+        self.frames_replayed += other.frames_replayed;
+        self.retries_healed += other.retries_healed;
     }
 }
 
@@ -246,6 +302,18 @@ pub trait Fabric {
     /// with nothing to retry).
     fn health(&self) -> FabricHealth {
         FabricHealth::default()
+    }
+
+    /// Sever every live connection without telling the peers (a network
+    /// fault, not a shutdown): the next I/O observes EOF on both sides.
+    /// Fault-injection hook; default is a no-op for transports without a
+    /// connection to drop.
+    fn drop_connections(&mut self) {}
+
+    /// The fault-injection audit log, when this fabric injects faults
+    /// (see [`FaultyFabric`]); `None` for real transports.
+    fn fault_log(&self) -> Option<FaultLog> {
+        None
     }
 
     /// Nothing to do: block for at most `max`, waking early if traffic

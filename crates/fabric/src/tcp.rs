@@ -13,14 +13,22 @@
 //! Failure handling: transient conditions are absorbed here — mesh-up
 //! redials a not-yet-listening peer with bounded exponential backoff,
 //! partial writes and `EINTR` are retried, and `WouldBlock` just defers
-//! progress to the next pump. Everything else (peer closed, I/O error,
-//! malformed frame, liveness timeout) is fatal: it surfaces as a
-//! [`FabricError`] and the fabric goes sticky-failed. Optional heartbeat
-//! frames ([`TcpFabric::set_heartbeat`]) detect a peer that is silent
-//! without closing its socket.
+//! progress to the next pump. Optional heartbeat frames
+//! ([`TcpFabric::set_heartbeat`]) detect a peer that is silent without
+//! closing its socket. With a [`RetryPolicy`] enabled
+//! ([`TcpFabric::set_retry`]), a *dropped connection* (EOF, I/O error,
+//! liveness timeout) opens a bounded recovery window instead of failing:
+//! the original dial direction re-establishes the socket, un-acked
+//! reliable frames are replayed from a bounded sender-side log (pruned by
+//! the cumulative ack in every frame header), and the receiver's sequence
+//! check deduplicates anything delivered twice. Only exhausted windows
+//! escalate ([`FabricError::RetriesExhausted`]). Everything else (peer
+//! abort, malformed frame, sequence gap) is fatal: it surfaces as a
+//! [`FabricError`] and the fabric goes sticky-failed.
 
 use crate::frame::{decode_header, encode_header, FrameError, FrameHeader, FrameKind, HEADER_LEN};
-use crate::{Completion, Fabric, FabricError, FabricHealth, NodeId, Op};
+use crate::{Completion, Fabric, FabricError, FabricHealth, NodeId, Op, RetryPolicy};
+use std::cmp::Ordering;
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -29,6 +37,29 @@ use std::time::{Duration, Instant};
 /// Op id used for internal frames (barrier/heartbeat/abort) that no
 /// caller-visible operation tracks.
 const NO_OP: u64 = u64::MAX;
+
+/// Cap on a peer's sender-side replay log. Overflowing it clears the log
+/// and marks the peer unhealable: a reconnection could no longer replay
+/// the gap, so pretending otherwise would corrupt the stream.
+const REPLAY_CAP: usize = 64 << 20;
+
+/// How long a not-yet-identified reconnection attempt may sit in the
+/// accept queue before it is discarded.
+const ACCEPT_GRACE: Duration = Duration::from_secs(5);
+
+/// A reliable frame retained until the peer's cumulative ack covers it,
+/// so it can be re-sent verbatim after a reconnect.
+struct ReplayFrame {
+    seq: u64,
+    header: [u8; HEADER_LEN],
+    body: Vec<u8>,
+}
+
+/// Recovery-window state for a peer whose connection dropped.
+struct Reconnect {
+    attempts_left: u32,
+    next_at: Instant,
+}
 
 /// A frame being written: fixed header + body, with a write cursor across
 /// both.
@@ -45,13 +76,15 @@ struct OutFrame {
 }
 
 struct Peer {
-    stream: TcpStream,
+    /// `None` while the connection is down and a recovery window is open.
+    stream: Option<TcpStream>,
     out: VecDeque<OutFrame>,
     inbuf: Vec<u8>,
     next_seq_out: u64,
     next_seq_in: u64,
-    /// Peer closed its end (or its socket errored); frames already parsed
-    /// stay valid, but nothing more can flow.
+    /// Peer closed its end (or its socket errored) and no recovery window
+    /// applies; frames already parsed stay valid, but nothing more can
+    /// flow.
     eof: bool,
     /// Peer announced a deliberate shutdown with an abort frame.
     aborted: bool,
@@ -59,6 +92,17 @@ struct Peer {
     last_recv: Instant,
     /// Highest barrier epoch this peer has announced entering.
     barrier_epoch: u64,
+    /// Un-acked reliable frames, oldest first (empty when retry is off).
+    replay: VecDeque<ReplayFrame>,
+    replay_bytes: usize,
+    /// The replay log overflowed [`REPLAY_CAP`]: this peer can no longer
+    /// be healed.
+    replay_overflow: bool,
+    /// Highest cumulative ack this node has stamped on a frame to this
+    /// peer (to know when a standalone ack is worth sending).
+    last_ack_sent: u64,
+    /// Open recovery window, if the connection is currently down.
+    reconnect: Option<Reconnect>,
 }
 
 impl Peer {
@@ -79,6 +123,15 @@ pub struct TcpFabric {
     nodes: usize,
     /// `None` at `rank`.
     peers: Vec<Option<Peer>>,
+    /// Kept after mesh-up so higher-rank peers can re-dial us during a
+    /// recovery window.
+    listener: Option<TcpListener>,
+    /// Every node's address, for re-dialing lower-rank peers.
+    addrs: Vec<String>,
+    retry: RetryPolicy,
+    /// Accepted-but-unidentified reconnection attempts: stream, partial
+    /// 4-byte rank handshake, accept time.
+    pending_accepts: Vec<(TcpStream, Vec<u8>, Instant)>,
     inbox: VecDeque<(u32, Vec<u8>, usize)>,
     recv_ops: VecDeque<u64>,
     /// Send op -> peer whose queue holds its frame.
@@ -174,6 +227,10 @@ impl TcpFabric {
             rank,
             nodes,
             peers,
+            listener: Some(listener),
+            addrs: addrs.to_vec(),
+            retry: RetryPolicy::none(),
+            pending_accepts: Vec::new(),
             inbox: VecDeque::new(),
             recv_ops: VecDeque::new(),
             send_ops: HashMap::new(),
@@ -205,7 +262,7 @@ impl TcpFabric {
         stream.set_nodelay(true)?;
         stream.set_nonblocking(true)?;
         Ok(Peer {
-            stream,
+            stream: Some(stream),
             out: VecDeque::new(),
             inbuf: Vec::new(),
             next_seq_out: 0,
@@ -214,7 +271,22 @@ impl TcpFabric {
             aborted: false,
             last_recv: Instant::now(),
             barrier_epoch: 0,
+            replay: VecDeque::new(),
+            replay_bytes: 0,
+            replay_overflow: false,
+            last_ack_sent: 0,
+            reconnect: None,
         })
+    }
+
+    /// Enable the bounded in-run recovery window: when a peer's connection
+    /// drops (EOF, I/O error, liveness timeout), re-dial it up to
+    /// `retry.attempts` times, `retry.backoff` apart, replaying un-acked
+    /// frames once the connection is back. Call before the first send:
+    /// replay logging is gated on the policy, so frames sent while it was
+    /// off are not replayable.
+    pub fn set_retry(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
     }
 
     fn next_op(&mut self) -> Op {
@@ -246,15 +318,49 @@ impl TcpFabric {
     }
 
     fn queue_frame(&mut self, dst: NodeId, kind: FrameKind, body: Vec<u8>, op: u64, count: usize) {
+        let log_replay = self.retry.attempts > 0;
         let peer = self.peers[dst]
             .as_mut()
             .unwrap_or_else(|| panic!("node sending to itself or unknown peer {dst}"));
+        let reliable = kind.is_reliable();
+        let seq = if reliable {
+            let s = peer.next_seq_out;
+            peer.next_seq_out += 1;
+            s
+        } else {
+            0
+        };
+        let ack = peer.next_seq_in;
         let header = encode_header(&FrameHeader {
             kind,
-            seq: peer.next_seq_out,
+            seq,
+            ack,
             len: body.len() as u64,
         });
-        peer.next_seq_out += 1;
+        if reliable && log_replay {
+            peer.replay_bytes += HEADER_LEN + body.len();
+            peer.replay.push_back(ReplayFrame {
+                seq,
+                header,
+                body: body.clone(),
+            });
+            if peer.replay_bytes > REPLAY_CAP {
+                peer.replay.clear();
+                peer.replay_bytes = 0;
+                peer.replay_overflow = true;
+            }
+        }
+        if peer.stream.is_none() {
+            // Recovery window open: reliable frames live in the replay log
+            // and go out at heal time; control frames are dropped (they
+            // carry no state a reconnect needs). Tracked sends complete
+            // now — the replay log owns the bytes.
+            if self.send_ops.contains_key(&op) {
+                self.counts.insert(op, count);
+            }
+            return;
+        }
+        peer.last_ack_sent = ack;
         peer.out.push_back(OutFrame {
             op,
             header,
@@ -266,13 +372,18 @@ impl TcpFabric {
     }
 
     /// Drive all socket I/O once: sticky-failure check, heartbeat
-    /// scheduling, reads/writes/parsing, liveness check.
+    /// scheduling, reconnection attempts, reads/writes/parsing, liveness
+    /// check.
     fn pump(&mut self) -> Result<bool, FabricError> {
         self.check()?;
         if let Some(hb) = &self.heartbeat {
             if hb.last_sent.elapsed() >= hb.interval {
                 let dsts: Vec<NodeId> = (0..self.nodes)
-                    .filter(|&d| self.peers[d].as_ref().is_some_and(Peer::usable))
+                    .filter(|&d| {
+                        self.peers[d]
+                            .as_ref()
+                            .is_some_and(|p| p.usable() && p.stream.is_some())
+                    })
                     .collect();
                 if let Some(hb) = &mut self.heartbeat {
                     hb.last_sent = Instant::now();
@@ -283,6 +394,7 @@ impl TcpFabric {
                 }
             }
         }
+        self.try_reconnects()?;
         let progressed = match self.pump_io() {
             Ok(p) => p,
             Err(e) => return Err(self.fail(e)),
@@ -291,35 +403,236 @@ impl TcpFabric {
             let liveness = hb.liveness;
             let silent = self.peers.iter().enumerate().find_map(|(r, s)| {
                 s.as_ref().and_then(|p| {
-                    (p.usable() && p.last_recv.elapsed() > liveness)
+                    (p.usable() && p.stream.is_some() && p.last_recv.elapsed() > liveness)
                         .then(|| (r, p.last_recv.elapsed()))
                 })
             });
             if let Some((peer, waited)) = silent {
                 self.health.heartbeats_missed += 1;
-                if let Some(p) = self.peers[peer].as_mut() {
-                    p.eof = true;
+                if self.healable(peer) {
+                    // A silent-but-open connection is treated like a
+                    // dropped one: tear it down and open the recovery
+                    // window.
+                    self.start_recovery(peer);
+                } else {
+                    if let Some(p) = self.peers[peer].as_mut() {
+                        p.eof = true;
+                    }
+                    return Err(self.fail(FabricError::Timeout { peer, waited }));
                 }
-                return Err(self.fail(FabricError::Timeout { peer, waited }));
             }
         }
         Ok(progressed)
     }
 
-    /// Reads, writes, and frame parsing for every peer; marks the
-    /// offending peer unusable before reporting a fatal condition (so a
-    /// best-effort abort flush can skip it).
+    /// Whether a connection fault on `peer` may enter the recovery window
+    /// instead of being fatal.
+    fn healable(&self, peer: NodeId) -> bool {
+        self.retry.attempts > 0
+            && self.peers[peer]
+                .as_ref()
+                .is_some_and(|p| !p.replay_overflow && !p.aborted && !p.eof)
+    }
+
+    /// Tear down a peer's connection and open its recovery window:
+    /// pending tracked sends complete (the replay log owns their bytes),
+    /// the inbound buffer is discarded (the sender will replay anything
+    /// un-acked), and reconnection attempts begin.
+    fn start_recovery(&mut self, r: NodeId) {
+        let attempts = self.retry.attempts;
+        let peer = self.peers[r].as_mut().unwrap();
+        peer.stream = None;
+        peer.inbuf.clear();
+        peer.eof = false;
+        peer.reconnect = Some(Reconnect {
+            attempts_left: attempts,
+            next_at: Instant::now(),
+        });
+        let drained: Vec<OutFrame> = peer.out.drain(..).collect();
+        for f in drained {
+            if self.send_ops.contains_key(&f.op) {
+                self.counts.insert(f.op, f.count);
+            }
+        }
+    }
+
+    /// Install a fresh connection for `r` and replay every un-acked
+    /// reliable frame. Also used to "force-heal" when a higher-rank peer
+    /// re-dials before we noticed the drop ourselves.
+    fn heal_peer(&mut self, r: NodeId, stream: TcpStream) -> std::io::Result<()> {
+        stream.set_nodelay(true)?;
+        stream.set_nonblocking(true)?;
+        let peer = self.peers[r].as_mut().unwrap();
+        peer.stream = Some(stream);
+        peer.inbuf.clear();
+        peer.eof = false;
+        peer.reconnect = None;
+        peer.last_recv = Instant::now();
+        let drained: Vec<OutFrame> = peer.out.drain(..).collect();
+        for rf in &peer.replay {
+            peer.out.push_back(OutFrame {
+                op: NO_OP,
+                header: rf.header,
+                body: rf.body.clone(),
+                written: 0,
+                count: 0,
+                retried: false,
+            });
+        }
+        self.health.frames_replayed += peer.replay.len() as u64;
+        self.health.retries_healed += 1;
+        for f in drained {
+            if self.send_ops.contains_key(&f.op) {
+                self.counts.insert(f.op, f.count);
+            }
+        }
+        Ok(())
+    }
+
+    /// Drive every open recovery window once: poll the listener for
+    /// re-dialing higher-rank peers, re-dial lower-rank peers that are
+    /// due, and escalate peers whose window is exhausted.
+    fn try_reconnects(&mut self) -> Result<(), FabricError> {
+        if self.retry.attempts == 0 {
+            return Ok(());
+        }
+        let reconnecting = self.peers.iter().flatten().any(|p| p.reconnect.is_some());
+        if !reconnecting && self.pending_accepts.is_empty() {
+            return Ok(());
+        }
+        self.poll_reconnect_accepts();
+        let now = Instant::now();
+        let backoff = self.retry.backoff;
+        let mut exhausted: Option<NodeId> = None;
+        let mut dials: Vec<NodeId> = Vec::new();
+        let rank = self.rank;
+        for (r, slot) in self.peers.iter_mut().enumerate() {
+            let Some(peer) = slot.as_mut() else { continue };
+            let Some(rc) = peer.reconnect.as_mut() else {
+                continue;
+            };
+            if rc.next_at > now {
+                continue;
+            }
+            if rc.attempts_left == 0 {
+                exhausted = Some(r);
+                break;
+            }
+            rc.attempts_left -= 1;
+            rc.next_at = now + backoff;
+            self.health.reconnect_attempts += 1;
+            if r < rank {
+                dials.push(r);
+            }
+            // Higher ranks re-dial us; their attempts tick down here so
+            // the window is bounded on both sides.
+        }
+        if let Some(r) = exhausted {
+            let attempts = self.retry.attempts;
+            if let Some(p) = self.peers[r].as_mut() {
+                p.eof = true;
+                p.reconnect = None;
+            }
+            return Err(self.fail(FabricError::RetriesExhausted { peer: r, attempts }));
+        }
+        for r in dials {
+            if let Ok(mut s) = TcpStream::connect(&self.addrs[r]) {
+                if s.write_all(&(self.rank as u32).to_le_bytes()).is_ok() {
+                    let _ = self.heal_peer(r, s);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Accept and identify reconnection attempts from higher-rank peers.
+    /// Reads at most the 4-byte rank handshake from each pending stream —
+    /// any frame bytes behind it stay in the kernel buffer for the normal
+    /// read path after the heal.
+    fn poll_reconnect_accepts(&mut self) {
+        {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            // Stops on WouldBlock (or any transient error): retried on the
+            // next pump.
+            while let Ok((s, _)) = listener.accept() {
+                if s.set_nonblocking(true).is_ok() {
+                    self.pending_accepts.push((s, Vec::new(), Instant::now()));
+                }
+            }
+        }
+        let mut i = 0;
+        while i < self.pending_accepts.len() {
+            let mut drop_it;
+            let mut healed: Option<NodeId> = None;
+            {
+                let (s, buf, since) = &mut self.pending_accepts[i];
+                drop_it = since.elapsed() > ACCEPT_GRACE;
+                let need = 4 - buf.len();
+                if !drop_it && need > 0 {
+                    let mut tmp = [0u8; 4];
+                    match s.read(&mut tmp[..need]) {
+                        Ok(0) => drop_it = true,
+                        Ok(k) => buf.extend_from_slice(&tmp[..k]),
+                        Err(e)
+                            if e.kind() == std::io::ErrorKind::WouldBlock
+                                || e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(_) => drop_it = true,
+                    }
+                }
+                if !drop_it && buf.len() == 4 {
+                    let pr = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+                    drop_it = true; // identified (or bogus): leaves the queue either way
+                    if pr > self.rank && pr < self.nodes && self.peers[pr].is_some() {
+                        healed = Some(pr);
+                    }
+                }
+            }
+            if let Some(pr) = healed {
+                let (s, _, _) = self.pending_accepts.remove(i);
+                // The peer noticed the drop before we did: force-heal
+                // (heal_peer discards our stale stream and buffers).
+                let _ = self.heal_peer(pr, s);
+                continue;
+            }
+            if drop_it {
+                self.pending_accepts.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Reads, writes, and frame parsing for every peer.
+    ///
+    /// A connection fault (EOF, write to a closed socket, I/O error) is
+    /// recorded per peer, and complete frames already in the inbound
+    /// buffer are still parsed first — a peer that sent its final barrier
+    /// and exited must not look like a transient drop. Only then is the
+    /// fault dispatched: into the recovery window when [`RetryPolicy`]
+    /// allows, otherwise along the old fatal path. Protocol violations
+    /// (malformed frames, sequence gaps) are never healed.
     fn pump_io(&mut self) -> Result<bool, FabricError> {
         let mut progressed = false;
         let mut fatal: Option<FabricError> = None;
+        let retry_enabled = self.retry.attempts > 0;
+        let retry_attempts = self.retry.attempts;
+        let mut want_ack: Vec<NodeId> = Vec::new();
         'peers: for (peer_rank, slot) in self.peers.iter_mut().enumerate() {
             let Some(peer) = slot.as_mut() else { continue };
+            if peer.stream.is_none() {
+                continue; // recovery window open; try_reconnects drives it
+            }
+            // `Some(None)` = connection gone cleanly (EOF / closed socket),
+            // `Some(Some(e))` = I/O error. Dispatched after parsing.
+            let mut fault: Option<Option<FabricError>> = None;
 
             // Writes: drain the outbound queue as far as the kernel allows.
-            while !peer.out.is_empty() {
+            while fault.is_none() && !peer.out.is_empty() {
                 if !peer.usable() {
-                    fatal = Some(FabricError::PeerClosed { peer: peer_rank });
-                    break 'peers;
+                    fault = Some(Some(FabricError::PeerClosed { peer: peer_rank }));
+                    break;
                 }
                 let front = peer.out.front_mut().unwrap();
                 let (src, base): (&[u8], usize) = if front.written < HEADER_LEN {
@@ -327,11 +640,9 @@ impl TcpFabric {
                 } else {
                     (&front.body, front.written - HEADER_LEN)
                 };
-                match peer.stream.write(&src[base..]) {
+                match peer.stream.as_mut().unwrap().write(&src[base..]) {
                     Ok(0) => {
-                        peer.eof = true;
-                        fatal = Some(FabricError::PeerClosed { peer: peer_rank });
-                        break 'peers;
+                        fault = Some(Some(FabricError::PeerClosed { peer: peer_rank }));
                     }
                     Ok(k) => {
                         front.written += k;
@@ -356,28 +667,23 @@ impl TcpFabric {
                         continue;
                     }
                     Err(e) => {
-                        peer.eof = true;
-                        fatal = Some(FabricError::Io {
+                        fault = Some(Some(FabricError::Io {
                             peer: Some(peer_rank),
                             kind: e.kind(),
                             msg: e.to_string(),
-                        });
-                        break 'peers;
+                        }));
                     }
                 }
             }
 
             // Reads: pull whatever the kernel has buffered.
             let mut tmp = [0u8; 64 * 1024];
-            while !peer.eof {
-                match peer.stream.read(&mut tmp) {
+            while fault.is_none() && !peer.eof {
+                match peer.stream.as_mut().unwrap().read(&mut tmp) {
                     Ok(0) => {
-                        // Orderly close. Whether this is fatal depends on
-                        // what we still expect from the peer — test() and
-                        // barrier() decide; already-parsed frames stay
-                        // valid.
-                        peer.eof = true;
-                        break;
+                        // Orderly close: parse what already arrived, then
+                        // let the disposition below decide.
+                        fault = Some(None);
                     }
                     Ok(k) => {
                         peer.inbuf.extend_from_slice(&tmp[..k]);
@@ -388,18 +694,18 @@ impl TcpFabric {
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                     Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                     Err(e) => {
-                        peer.eof = true;
-                        fatal = Some(FabricError::Io {
+                        fault = Some(Some(FabricError::Io {
                             peer: Some(peer_rank),
                             kind: e.kind(),
                             msg: e.to_string(),
-                        });
-                        break 'peers;
+                        }));
                     }
                 }
             }
 
-            // Parse complete frames.
+            // Parse complete frames (even when the connection just died:
+            // already-buffered frames are valid and may include the peer's
+            // final barrier).
             let mut consumed = 0;
             while peer.inbuf.len() - consumed >= HEADER_LEN {
                 let hdr = match decode_header(&peer.inbuf[consumed..consumed + HEADER_LEN]) {
@@ -417,18 +723,34 @@ impl TcpFabric {
                 if peer.inbuf.len() - consumed < total {
                     break;
                 }
-                if hdr.seq != peer.next_seq_in {
-                    peer.eof = true;
-                    fatal = Some(FabricError::MalformedFrame {
-                        peer: peer_rank,
-                        reason: FrameError::OutOfOrder {
-                            expected: peer.next_seq_in,
-                            got: hdr.seq,
-                        },
-                    });
-                    break 'peers;
+                // The cumulative ack frees replayable frames regardless of
+                // the frame kind that carried it.
+                while peer.replay.front().is_some_and(|f| f.seq < hdr.ack) {
+                    let f = peer.replay.pop_front().unwrap();
+                    peer.replay_bytes -= HEADER_LEN + f.body.len();
                 }
-                peer.next_seq_in += 1;
+                if hdr.kind.is_reliable() {
+                    match hdr.seq.cmp(&peer.next_seq_in) {
+                        Ordering::Less => {
+                            // Replayed frame we already delivered before
+                            // the reconnect: deduplicate silently.
+                            consumed += total;
+                            continue;
+                        }
+                        Ordering::Equal => peer.next_seq_in += 1,
+                        Ordering::Greater => {
+                            peer.eof = true;
+                            fatal = Some(FabricError::MalformedFrame {
+                                peer: peer_rank,
+                                reason: FrameError::OutOfOrder {
+                                    expected: peer.next_seq_in,
+                                    got: hdr.seq,
+                                },
+                            });
+                            break 'peers;
+                        }
+                    }
+                }
                 let body = peer.inbuf[consumed + HEADER_LEN..consumed + total].to_vec();
                 consumed += total;
                 match hdr.kind {
@@ -441,6 +763,7 @@ impl TcpFabric {
                         peer.barrier_epoch = peer.barrier_epoch.max(epoch);
                     }
                     FrameKind::Heartbeat => {} // last_recv already refreshed
+                    FrameKind::Ack => {}       // the header's ack did the work
                     FrameKind::Abort => {
                         peer.aborted = true;
                     }
@@ -449,6 +772,46 @@ impl TcpFabric {
             if consumed > 0 {
                 peer.inbuf.drain(..consumed);
             }
+
+            // Dispatch a connection fault: recovery window when allowed,
+            // the old fatal/EOF path otherwise.
+            if let Some(cause) = fault {
+                let heal = retry_enabled && !peer.replay_overflow && !peer.aborted && !peer.eof;
+                if heal {
+                    peer.stream = None;
+                    peer.inbuf.clear();
+                    peer.reconnect = Some(Reconnect {
+                        attempts_left: retry_attempts,
+                        next_at: Instant::now(),
+                    });
+                    let drained: Vec<OutFrame> = peer.out.drain(..).collect();
+                    for f in drained {
+                        if self.send_ops.contains_key(&f.op) {
+                            self.counts.insert(f.op, f.count);
+                        }
+                    }
+                } else {
+                    peer.eof = true;
+                    if let Some(e) = cause {
+                        fatal = Some(e);
+                        break 'peers;
+                    }
+                    // Clean EOF stays non-fatal here: test() and barrier()
+                    // decide whether the peer is still needed.
+                }
+            } else if retry_enabled
+                && peer.stream.is_some()
+                && peer.out.is_empty()
+                && peer.next_seq_in > peer.last_ack_sent
+            {
+                // Delivery progressed but nothing outbound will carry the
+                // ack: queue a standalone one so the peer's replay log
+                // stays bounded.
+                want_ack.push(peer_rank);
+            }
+        }
+        for dst in want_ack {
+            self.queue_frame(dst, FrameKind::Ack, Vec::new(), NO_OP, 0);
         }
         match fatal {
             Some(e) => Err(e),
@@ -618,6 +981,17 @@ impl Fabric for TcpFabric {
 
     fn health(&self) -> FabricHealth {
         self.health
+    }
+
+    fn drop_connections(&mut self) {
+        // Sever every live socket without telling anyone: both sides
+        // observe the fault on their next I/O, exactly like a network
+        // drop. State is not touched — the pump discovers it.
+        for p in self.peers.iter_mut().flatten() {
+            if let Some(s) = &p.stream {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
     }
 
     fn bytes_sent(&self) -> u64 {
@@ -823,6 +1197,98 @@ mod tests {
         assert!(f0.health().heartbeats_sent > 0);
         assert_eq!(f0.health().heartbeats_missed, 1);
         drop(f1);
+    }
+
+    #[test]
+    fn transient_drop_heals_and_dedups() {
+        let (mut f0, mut f1) = localhost_pair();
+        let retry = RetryPolicy {
+            attempts: 200,
+            backoff: Duration::from_millis(2),
+        };
+        f0.set_retry(retry);
+        f1.set_retry(retry);
+
+        // First message flows normally.
+        let s1 = f0.post_send(1, 7, b"one".to_vec(), 3).unwrap();
+        let r1 = f1.post_recv().unwrap();
+        let (w, p, _) = wait_recv(&mut f1, r1);
+        assert_eq!((w, p.as_slice()), (7, b"one".as_slice()));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !matches!(f0.test(s1).unwrap(), Completion::SendDone) {
+            assert!(Instant::now() < deadline, "send one timed out");
+        }
+
+        // Sever the connection mid-run; both sides must heal through the
+        // recovery window and the second message must arrive exactly once.
+        f0.drop_connections();
+        let s2 = f0.post_send(1, 8, b"two".to_vec(), 3).unwrap();
+        let r2 = f1.post_recv().unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let (w, p, _) = loop {
+            match f1.test(r2).expect("receiver heals, not fails") {
+                Completion::Recv {
+                    wire_id,
+                    payload,
+                    bytes,
+                } => break (wire_id, payload, bytes),
+                _ => {
+                    assert!(Instant::now() < deadline, "heal timed out");
+                    let _ = f0.test(s2).expect("sender heals, not fails");
+                    f0.idle(Duration::from_micros(200));
+                    f1.idle(Duration::from_micros(200));
+                }
+            }
+        };
+        // Dedup: the replayed "one" (already delivered) must not surface
+        // again — the next receive after the heal is "two".
+        assert_eq!((w, p.as_slice()), (8, b"two".as_slice()));
+        let healed = f0.health().retries_healed + f1.health().retries_healed;
+        assert!(healed >= 1, "no recovery window closed: {healed}");
+        // "two" was posted while the connection was down, so it can only
+        // have traveled via the replay log.
+        assert!(
+            f0.health().frames_replayed >= 1,
+            "nothing replayed: {:?}",
+            f0.health()
+        );
+    }
+
+    #[test]
+    fn retries_exhausted_is_typed() {
+        let (mut f0, f1) = localhost_pair();
+        f0.set_retry(RetryPolicy {
+            attempts: 3,
+            backoff: Duration::from_millis(1),
+        });
+        let r = f0.post_recv().unwrap();
+        drop(f1); // the peer process is gone for good
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let err = loop {
+            match f0.test(r) {
+                Ok(Completion::Pending) => {
+                    assert!(Instant::now() < deadline, "exhaustion never surfaced");
+                    f0.idle(Duration::from_millis(1));
+                }
+                Ok(c) => panic!("unexpected completion {c:?}"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(
+            err,
+            FabricError::RetriesExhausted {
+                peer: 1,
+                attempts: 3
+            }
+        );
+        // Sticky, like every other fatal error.
+        assert_eq!(
+            f0.test(r),
+            Err(FabricError::RetriesExhausted {
+                peer: 1,
+                attempts: 3
+            })
+        );
     }
 
     #[test]

@@ -8,20 +8,31 @@ use pulsar_fabric::frame::{
 };
 
 fn header_strategy() -> BoxedStrategy<FrameHeader> {
-    let data =
-        (any::<u32>(), any::<u64>(), 0u64..=MAX_BODY as u64).prop_map(|(wire_id, seq, len)| {
-            FrameHeader {
-                kind: FrameKind::Data { wire_id },
-                seq,
-                len,
-            }
+    let data = (
+        any::<u32>(),
+        any::<u64>(),
+        any::<u64>(),
+        0u64..=MAX_BODY as u64,
+    )
+        .prop_map(|(wire_id, seq, ack, len)| FrameHeader {
+            kind: FrameKind::Data { wire_id },
+            seq,
+            ack,
+            len,
         });
-    let barrier = any::<u64>().prop_map(|seq| FrameHeader {
+    let barrier = (any::<u64>(), any::<u64>()).prop_map(|(seq, ack)| FrameHeader {
         kind: FrameKind::Barrier,
         seq,
+        ack,
         len: 8,
     });
-    prop_oneof![data, barrier].boxed()
+    let ack_frame = any::<u64>().prop_map(|ack| FrameHeader {
+        kind: FrameKind::Ack,
+        seq: 0,
+        ack,
+        len: 0,
+    });
+    prop_oneof![data, barrier, ack_frame].boxed()
 }
 
 proptest! {
@@ -40,15 +51,15 @@ proptest! {
     }
 
     #[test]
-    fn unknown_kind_is_rejected(h in header_strategy(), kind in 4u8..=255) {
+    fn unknown_kind_is_rejected(h in header_strategy(), kind in 5u8..=255) {
         let mut b = encode_header(&h);
         b[4] = kind;
         prop_assert_eq!(decode_header(&b), Err(FrameError::BadKind(kind)));
     }
 
     #[test]
-    fn control_kind_with_body_is_rejected(h in header_strategy(), kind in 2u8..=3) {
-        // Heartbeat/abort frames must have empty bodies; grafting the
+    fn control_kind_with_body_is_rejected(h in header_strategy(), kind in 2u8..=4) {
+        // Heartbeat/abort/ack frames must have empty bodies; grafting the
         // control kind onto a header that declares one is malformed.
         let mut b = encode_header(&h);
         b[4] = kind;
@@ -85,7 +96,7 @@ proptest! {
     #[test]
     fn oversized_body_is_rejected(h in header_strategy(), over in 1u64..=1 << 20) {
         let mut b = encode_header(&h);
-        b[17..25].copy_from_slice(&(MAX_BODY as u64 + over).to_le_bytes());
+        b[25..33].copy_from_slice(&(MAX_BODY as u64 + over).to_le_bytes());
         prop_assert!(matches!(decode_header(&b), Err(FrameError::Oversized(_))));
     }
 }

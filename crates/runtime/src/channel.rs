@@ -166,6 +166,32 @@ impl ChannelQueue {
             ChannelState::Disabled | ChannelState::Destroyed => true,
         }
     }
+
+    /// Checkpoint view: life-cycle state plus the queued packets in FIFO
+    /// order (clones alias the payload `Arc`s, so this is cheap).
+    pub(crate) fn snapshot(&self) -> (ChannelState, Vec<Packet>) {
+        let packets = self.fifo.lock().iter().cloned().collect();
+        (self.state(), packets)
+    }
+
+    /// Restore-time overwrite: replace the FIFO contents and force the
+    /// life-cycle state, including transitions `enable`/`disable` forbid
+    /// (a checkpoint may legitimately re-create any recorded state).
+    pub(crate) fn restore(&self, state: ChannelState, packets: Vec<Packet>) {
+        let depth = {
+            let mut q = self.fifo.lock();
+            q.clear();
+            q.extend(packets);
+            q.len()
+        };
+        self.high_water.fetch_max(depth, Ordering::Relaxed);
+        let raw = match state {
+            ChannelState::Enabled => 0,
+            ChannelState::Disabled => 1,
+            ChannelState::Destroyed => 2,
+        };
+        self.state.store(raw, Ordering::Release);
+    }
 }
 
 #[cfg(test)]

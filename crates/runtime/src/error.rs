@@ -104,6 +104,14 @@ pub enum RunError {
         /// What was violated.
         msg: String,
     },
+    /// Writing or restoring a checkpoint failed (unencodable packet, I/O
+    /// error, corrupt or mismatched checkpoint file).
+    Checkpoint {
+        /// The local node whose checkpoint failed.
+        node: usize,
+        /// What went wrong.
+        error: crate::checkpoint::CheckpointError,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -132,6 +140,9 @@ impl std::fmt::Display for RunError {
                 write!(f, "rank {node}: mesh connect failed: {msg}")
             }
             RunError::Protocol { node, msg } => write!(f, "node {node}: protocol error: {msg}"),
+            RunError::Checkpoint { node, error } => {
+                write!(f, "node {node}: checkpoint failed: {error}")
+            }
         }
     }
 }

@@ -56,6 +56,7 @@
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod checkpoint;
 pub mod error;
 pub mod net;
 pub mod packet;
@@ -66,10 +67,11 @@ pub mod vdp;
 pub mod vsa;
 
 pub use channel::{ChannelSpec, ChannelState};
+pub use checkpoint::CheckpointError;
 pub use error::{RunError, StuckVdp};
 pub use net::NetModel;
 pub use packet::{Packet, PacketCodec, PacketRegistry, WireError};
-pub use pulsar_fabric::{FabricError, FaultPlan, KillSpec};
+pub use pulsar_fabric::{FabricError, FaultLog, FaultPlan, KillSpec, RetryPolicy};
 pub use trace::{TaskSpan, Trace};
 pub use tuple::Tuple;
 pub use vdp::{VdpContext, VdpLogic, VdpSpec, WorkerScratch};

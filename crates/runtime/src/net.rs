@@ -14,9 +14,10 @@
 //! An optional alpha-beta [`NetModel`] delays deliveries on the *receiving*
 //! side to emulate a slower interconnect — identically for every backend.
 
+use crate::checkpoint::{self, CheckpointError, ExitEntry, RankCheckpoint};
 use crate::error::{fabric_run_error, RunError};
 use crate::packet::{Packet, WireError};
-use crate::vsa::Shared;
+use crate::vsa::{CkptControl, Shared, CKPT_PARK, CKPT_RUN, CKPT_SERIALIZE};
 use pulsar_fabric::{Completion, Fabric, FabricError, Op};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -61,6 +62,10 @@ pub(crate) struct WireMsg {
 /// Per-node routing table: wire id -> (destination queue, owner thread).
 pub(crate) type RouteTable = HashMap<u32, (Arc<crate::channel::ChannelQueue>, usize)>;
 
+/// Reserved wire id for checkpoint-round announcements (rank 0 → peers).
+/// Plans allocate wire ids from 0 upward, so the top value never collides.
+pub(crate) const CKPT_WIRE: u32 = u32::MAX;
+
 /// An arrival the [`NetModel`] is still holding back.
 struct Held {
     at: Instant,
@@ -102,6 +107,8 @@ enum ProxyFail {
     Decode(WireError),
     /// An arrival addressed a wire id this node has no route for.
     Route(u32),
+    /// Writing a periodic checkpoint failed.
+    Checkpoint(CheckpointError),
 }
 
 impl From<FabricError> for ProxyFail {
@@ -153,6 +160,7 @@ pub(crate) fn proxy_loop<F, E, D>(
                 node,
                 msg: format!("no route for wire id {w}"),
             },
+            ProxyFail::Checkpoint(e) => RunError::Checkpoint { node, error: e },
         };
         shared.fail(error);
         // Tell the peers we are going down so their barriers and receives
@@ -185,13 +193,12 @@ where
     let mut pending_sends: Vec<Op> = Vec::new();
     let mut recv_op = fabric.post_recv()?;
 
-    let route = |wire_id: u32, packet: Packet| -> Result<(), ProxyFail> {
-        let (queue, owner) = routes.get(&wire_id).ok_or(ProxyFail::Route(wire_id))?;
-        queue.push(packet);
-        shared.mark_progress();
-        shared.notifiers[*owner].notify();
-        Ok(())
-    };
+    // Periodic-checkpoint state. Rank 0 is the sole initiator; every other
+    // rank joins a round when the announcement frame reaches its drain.
+    let ckpt = shared.ckpt.as_ref();
+    let mut next_epoch = ckpt.map_or(1, |c| c.start_epoch.load(Ordering::Relaxed) + 1);
+    let mut last_ckpt = Instant::now();
+    let mut ckpt_requested: Option<u64> = None;
 
     loop {
         // Observe quiescence BEFORE sweeping outgoing: a worker's last push
@@ -199,6 +206,24 @@ where
         // by an empty sweep means no send can appear later.
         let quiesced = shared.live[node].load(Ordering::Acquire) == 0;
         let mut progressed = false;
+
+        // Initiate a checkpoint round: rank 0 only, on its timer, never
+        // while quiesced (a quiesced rank 0 initiating nothing is what lets
+        // every rank's final barrier come up empty and close the run).
+        if let Some(ctl) = ckpt {
+            if node == 0
+                && !quiesced
+                && ckpt_requested.is_none()
+                && last_ckpt.elapsed() >= ctl.every
+            {
+                let epoch = next_epoch;
+                for peer in 1..fabric.nodes() {
+                    let (payload, nbytes) = encode(&Packet::wire(epoch as i64));
+                    pending_sends.push(fabric.post_send(peer, CKPT_WIRE, payload, nbytes)?);
+                }
+                ckpt_requested = Some(epoch);
+            }
+        }
 
         // Serve outgoing queues: post the sends (MPI_Isend analogue).
         let mut swept_any = false;
@@ -243,6 +268,14 @@ where
                     recv_op = fabric.post_recv()?;
                     progressed = true;
                     let packet = decode(payload).map_err(ProxyFail::Decode)?;
+                    if wire_id == CKPT_WIRE {
+                        // Rank 0 announced a checkpoint round; run it after
+                        // this drain (at most one can be outstanding — the
+                        // next announcement is only sent after this round's
+                        // barrier completed on every rank).
+                        ckpt_requested = Some(ckpt_epoch_of(&packet)?);
+                        continue;
+                    }
                     match shared.net {
                         Some(net) => {
                             // Receiver-side hold; clamp to the wire's FIFO floor.
@@ -260,7 +293,7 @@ where
                             }));
                             held_seq += 1;
                         }
-                        None => route(wire_id, packet)?,
+                        None => route_packet(&routes, shared, wire_id, packet)?,
                     }
                 }
             }
@@ -274,7 +307,7 @@ where
                 break;
             }
             let Reverse(h) = held.pop().unwrap();
-            route(h.wire_id, h.packet)?;
+            route_packet(&routes, shared, h.wire_id, h.packet)?;
             progressed = true;
         }
 
@@ -284,6 +317,31 @@ where
             fabric.cancel(recv_op);
             fabric.abort();
             return Ok(());
+        }
+
+        // Run the checkpoint round the drain surfaced (or rank 0 queued).
+        // The round itself performs this rank's barrier for the epoch.
+        if let Some(epoch) = ckpt_requested.take() {
+            if let Some(ctl) = ckpt {
+                checkpoint_round(
+                    node,
+                    epoch,
+                    false,
+                    fabric,
+                    ctl,
+                    &routes,
+                    outgoing,
+                    &mut pending_sends,
+                    &mut recv_op,
+                    &mut held,
+                    shared,
+                    &encode,
+                    &decode,
+                )?;
+                next_epoch = epoch + 1;
+                last_ckpt = Instant::now();
+                continue;
+            }
         }
 
         // Paper shutdown sequence: last local VDP destroyed and nothing in
@@ -300,8 +358,77 @@ where
                     return Err(e.into());
                 }
             }
-            fabric.cancel(recv_op);
-            return Ok(());
+            let Some(ctl) = ckpt else {
+                fabric.cancel(recv_op);
+                return Ok(());
+            };
+            if shared.is_aborted() {
+                fabric.cancel(recv_op);
+                return Ok(());
+            }
+            // Lingering exit under periodic checkpointing: a done rank
+            // cannot know whether the barrier it just completed closes the
+            // run or seals a round initiated by a still-busy rank 0. The
+            // per-connection FIFO settles it: rank 0 sends the
+            // announcement *before* its round barrier, so after the
+            // barrier a drain either surfaces the announcement (this was
+            // round `e`'s barrier — take the checkpoint, skip its barrier,
+            // and keep lingering) or comes up empty (every rank is in the
+            // same announcement-free barrier — exit together).
+            let mut announced: Option<u64> = None;
+            loop {
+                match fabric.test(recv_op) {
+                    Ok(Completion::Pending) => break,
+                    Ok(Completion::SendDone) => unreachable!("recv op completed as send"),
+                    Ok(Completion::Recv {
+                        wire_id, payload, ..
+                    }) => {
+                        fabric.get_count(recv_op);
+                        recv_op = fabric.post_recv()?;
+                        let packet = decode(payload).map_err(ProxyFail::Decode)?;
+                        if wire_id == CKPT_WIRE {
+                            announced = Some(ckpt_epoch_of(&packet)?);
+                        } else {
+                            route_packet(&routes, shared, wire_id, packet)?;
+                        }
+                    }
+                    // A peer that closed after our exit barrier has itself
+                    // drained empty and concluded collective exit (it could
+                    // not be mid-round: the initiator blocks in the round
+                    // barrier until every rank joins) — follow it out
+                    // rather than treating its EOF as a lost peer.
+                    Err(FabricError::PeerClosed { .. }) if announced.is_none() => break,
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            match announced {
+                Some(epoch) => {
+                    checkpoint_round(
+                        node,
+                        epoch,
+                        true,
+                        fabric,
+                        ctl,
+                        &routes,
+                        outgoing,
+                        &mut pending_sends,
+                        &mut recv_op,
+                        &mut held,
+                        shared,
+                        &encode,
+                        &decode,
+                    )?;
+                    next_epoch = epoch + 1;
+                    last_ckpt = Instant::now();
+                    continue;
+                }
+                None => {
+                    ctl.shutdown.store(true, Ordering::Release);
+                    shared.notify_node(node);
+                    fabric.cancel(recv_op);
+                    return Ok(());
+                }
+            }
         }
 
         if !progressed {
@@ -315,6 +442,193 @@ where
                 .unwrap_or(Duration::from_micros(100));
             fabric.idle(nap.max(Duration::from_micros(1)));
         }
+    }
+}
+
+/// Route one arrival into its destination channel and wake the owner.
+fn route_packet(
+    routes: &RouteTable,
+    shared: &Shared,
+    wire_id: u32,
+    packet: Packet,
+) -> Result<(), ProxyFail> {
+    let (queue, owner) = routes.get(&wire_id).ok_or(ProxyFail::Route(wire_id))?;
+    queue.push(packet);
+    shared.mark_progress();
+    shared.notifiers[*owner].notify();
+    Ok(())
+}
+
+/// Epoch carried by a checkpoint-round announcement frame.
+fn ckpt_epoch_of(packet: &Packet) -> Result<u64, ProxyFail> {
+    match packet.get::<i64>() {
+        Some(&e) if e >= 0 => Ok(e as u64),
+        _ => Err(ProxyFail::Decode(WireError::Malformed(
+            "checkpoint announcement does not carry an epoch",
+        ))),
+    }
+}
+
+/// One rank's side of a coordinated quiescent checkpoint round:
+///
+/// 1. *Park* — workers stop at their next firing boundary.
+/// 2. *Flush* — everything they produced goes out; all posted sends
+///    complete (the peer's kernel has the bytes; the replay log covers
+///    redelivery on a transient fault).
+/// 3. *Barrier* — seals the epoch. Every peer's pre-barrier data frames
+///    are parsed before its barrier frame (per-connection FIFO), so after
+///    the barrier a drain empties the fabric of everything belonging to
+///    this cut. `already_barriered` skips this step on the lingering-exit
+///    path, where the barrier ran before the round was recognized.
+/// 4. *Drain* — arrivals route to their channels; net-model holds flush.
+/// 5. *Serialize* — workers dump their VDP sets into per-thread buffers.
+/// 6. *Write* — one atomic per-rank file; resume workers.
+///
+/// An abort observed at any wait returns `Cancelled`; "first error wins"
+/// in `Shared::fail` keeps the real cause. Parked workers are unblocked by
+/// the abort itself, so error paths need no phase unwinding.
+#[allow(clippy::too_many_arguments)]
+fn checkpoint_round<F, E, D>(
+    node: usize,
+    epoch: u64,
+    already_barriered: bool,
+    fabric: &mut F,
+    ctl: &CkptControl,
+    routes: &RouteTable,
+    outgoing: &[crate::sched::OutgoingQueue],
+    pending_sends: &mut Vec<Op>,
+    recv_op: &mut Op,
+    held: &mut BinaryHeap<Reverse<Held>>,
+    shared: &Shared,
+    encode: &E,
+    decode: &D,
+) -> Result<(), ProxyFail>
+where
+    F: Fabric,
+    E: Fn(&Packet) -> (F::Payload, usize),
+    D: Fn(F::Payload) -> Result<Packet, WireError>,
+{
+    let tpn = shared.threads_per_node;
+    let aborted = || -> Result<(), ProxyFail> {
+        if shared.is_aborted() {
+            Err(ProxyFail::Fabric(FabricError::Cancelled))
+        } else {
+            Ok(())
+        }
+    };
+
+    // 1. Park.
+    ctl.phase.store(CKPT_PARK, Ordering::Release);
+    shared.notify_node(node);
+    while ctl.parked.load(Ordering::Acquire) < tpn {
+        aborted()?;
+        // Keep pumping (heartbeats, arrivals) while workers wind down.
+        fabric.idle(Duration::from_micros(50));
+    }
+
+    // 2. Flush.
+    for q in outgoing {
+        while let Some(msg) = q.lock().pop_front() {
+            let (payload, nbytes) = encode(&msg.packet);
+            pending_sends.push(fabric.post_send(msg.dst_node, msg.wire_id, payload, nbytes)?);
+            shared.sent.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+    while !pending_sends.is_empty() {
+        aborted()?;
+        let mut i = 0;
+        let mut moved = false;
+        while i < pending_sends.len() {
+            match fabric.test(pending_sends[i])? {
+                Completion::SendDone => {
+                    fabric.get_count(pending_sends[i]);
+                    pending_sends.swap_remove(i);
+                    moved = true;
+                }
+                _ => i += 1,
+            }
+        }
+        if !moved {
+            fabric.idle(Duration::from_micros(50));
+        }
+    }
+
+    // 3. Seal the epoch.
+    if !already_barriered {
+        match fabric.barrier(&mut || shared.is_aborted()) {
+            Ok(()) => {}
+            Err(FabricError::Cancelled) => return Err(ProxyFail::Fabric(FabricError::Cancelled)),
+            Err(e) => return Err(e.into()),
+        }
+    }
+
+    // 4. Drain everything sealed into this cut.
+    loop {
+        match fabric.test(*recv_op)? {
+            Completion::Pending => break,
+            Completion::SendDone => unreachable!("recv op completed as send"),
+            Completion::Recv {
+                wire_id, payload, ..
+            } => {
+                fabric.get_count(*recv_op);
+                *recv_op = fabric.post_recv()?;
+                let packet = decode(payload).map_err(ProxyFail::Decode)?;
+                // A nested announcement is impossible mid-round (single
+                // initiator, one barrier per round) — treat as data.
+                route_packet(routes, shared, wire_id, packet)?;
+            }
+        }
+    }
+    while let Some(Reverse(h)) = held.pop() {
+        route_packet(routes, shared, h.wire_id, h.packet)?;
+    }
+
+    // 5. Serialize.
+    ctl.done.store(0, Ordering::Release);
+    ctl.phase.store(CKPT_SERIALIZE, Ordering::Release);
+    shared.notify_node(node);
+    while ctl.done.load(Ordering::Acquire) < tpn {
+        aborted()?;
+        fabric.idle(Duration::from_micros(50));
+    }
+
+    // 6. Collect, write, resume.
+    let mut vdps = Vec::new();
+    for local in 0..tpn {
+        let buf = ctl.buffers[shared.global_thread(node, local)]
+            .lock()
+            .take()
+            .expect("parked worker serialized its buffer");
+        vdps.extend(buf);
+    }
+    let exits: Vec<ExitEntry> = shared
+        .exits
+        .lock()
+        .iter()
+        .map(|((tuple, slot), packets)| ExitEntry {
+            tuple: tuple.clone(),
+            slot: *slot,
+            packets: packets.clone(),
+        })
+        .collect();
+    let ck = RankCheckpoint {
+        rank: node,
+        nodes: fabric.nodes(),
+        epoch,
+        vdps,
+        exits,
+    };
+    let written = checkpoint::write_rank_checkpoint(&ctl.dir, &ck);
+    ctl.parked.store(0, Ordering::Release);
+    ctl.phase.store(CKPT_RUN, Ordering::Release);
+    shared.notify_node(node);
+    match written {
+        Ok(bytes) => {
+            shared.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+            shared.checkpoint_bytes.fetch_add(bytes, Ordering::Relaxed);
+            Ok(())
+        }
+        Err(e) => Err(ProxyFail::Checkpoint(e)),
     }
 }
 
@@ -342,6 +656,28 @@ fn fold_stats<F: Fabric>(fabric: &F, stats: &ProxyStats, shared: &Shared) {
     shared
         .retried_sends
         .fetch_add(h.retried_sends, Ordering::Relaxed);
+    shared
+        .frames_replayed
+        .fetch_add(h.frames_replayed, Ordering::Relaxed);
+    shared
+        .retries_healed
+        .fetch_add(h.retries_healed, Ordering::Relaxed);
+    if let Some(log) = fabric.fault_log() {
+        let mut slot = shared.fault_log.lock();
+        let merged = match slot.take() {
+            None => log,
+            Some(prev) => pulsar_fabric::FaultLog {
+                dropped: prev.dropped + log.dropped,
+                duplicated: prev.duplicated + log.duplicated,
+                delayed: prev.delayed + log.delayed,
+                corrupted: prev.corrupted + log.corrupted,
+                truncated: prev.truncated + log.truncated,
+                killed: prev.killed || log.killed,
+                disconnected: prev.disconnected || log.disconnected,
+            },
+        };
+        *slot = Some(merged);
+    }
 }
 
 #[cfg(test)]

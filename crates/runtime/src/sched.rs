@@ -7,7 +7,7 @@ use crate::packet::Packet;
 use crate::trace::TaskSpan;
 use crate::tuple::Tuple;
 use crate::vdp::{RuntimeServices, VdpContext, VdpState, WorkerScratch};
-use crate::vsa::{NodeShared, SchedScheme, Shared};
+use crate::vsa::{CkptControl, NodeShared, SchedScheme, Shared, CKPT_RUN, CKPT_SERIALIZE};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -184,10 +184,30 @@ pub(crate) fn worker_loop(
     let scratch = WorkerScratch::new();
     let global = shared.global_thread(node, local_thread);
     let notifier = shared.notifiers[global].clone();
-    let mut alive = vdps.len();
+    // A restore may hand this worker already-destroyed VDPs.
+    let mut alive = vdps.iter().filter(|v| v.logic.is_some()).count();
 
-    while alive > 0 {
+    loop {
         if shared.is_aborted() {
+            return;
+        }
+        if let Some(ctl) = &shared.ckpt {
+            if ctl.phase.load(std::sync::atomic::Ordering::Acquire) != CKPT_RUN {
+                serve_checkpoint(ctl, &vdps, global, shared, &notifier);
+                continue;
+            }
+            if alive == 0 {
+                // Linger: this node's proxy may still run checkpoint
+                // rounds on behalf of busier ranks; stay available for
+                // the park/serialize handshake until it says shutdown.
+                if ctl.shutdown.load(std::sync::atomic::Ordering::Acquire) {
+                    return;
+                }
+                let epoch = notifier.current();
+                notifier.wait_past(epoch, Duration::from_micros(200));
+                continue;
+            }
+        } else if alive == 0 {
             return;
         }
         let epoch = notifier.current();
@@ -236,7 +256,8 @@ pub(crate) fn worker_loop(
             }
         }
         if alive == 0 {
-            break;
+            // Back to the top: exit outright, or linger for checkpoints.
+            continue;
         }
         if !progressed {
             notifier.wait_past(epoch, Duration::from_micros(500));
@@ -258,6 +279,46 @@ pub(crate) fn worker_loop(
                 }
             }
         }
+    }
+}
+
+/// One worker's side of a checkpoint round: park at the firing boundary,
+/// wait for the proxy to seal the epoch, serialize every owned VDP
+/// (destroyed ones included — their firing counters matter to the
+/// restore), then wait to be resumed. An abort anywhere unblocks it.
+fn serve_checkpoint(
+    ctl: &CkptControl,
+    vdps: &[VdpState],
+    global: usize,
+    shared: &Shared,
+    notifier: &ThreadNotifier,
+) {
+    use std::sync::atomic::Ordering;
+    ctl.parked.fetch_add(1, Ordering::AcqRel);
+    loop {
+        if shared.is_aborted() {
+            return;
+        }
+        match ctl.phase.load(Ordering::Acquire) {
+            CKPT_SERIALIZE => break,
+            // The round was unwound before sealing; resume running.
+            CKPT_RUN => return,
+            _ => {
+                let e = notifier.current();
+                notifier.wait_past(e, Duration::from_micros(200));
+            }
+        }
+    }
+    let entries: Vec<crate::checkpoint::VdpEntry> =
+        vdps.iter().map(crate::checkpoint::entry_of).collect();
+    *ctl.buffers[global].lock() = Some(entries);
+    ctl.done.fetch_add(1, Ordering::AcqRel);
+    while ctl.phase.load(Ordering::Acquire) == CKPT_SERIALIZE {
+        if shared.is_aborted() {
+            return;
+        }
+        let e = notifier.current();
+        notifier.wait_past(e, Duration::from_micros(200));
     }
 }
 

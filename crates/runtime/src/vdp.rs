@@ -1,7 +1,7 @@
 //! Virtual Data Processors: the processing elements of a VSA.
 
 use crate::channel::ChannelQueue;
-use crate::packet::Packet;
+use crate::packet::{Packet, WireError};
 use crate::tuple::Tuple;
 use std::any::{Any, TypeId};
 use std::cell::RefCell;
@@ -49,6 +49,31 @@ impl WorkerScratch {
 pub trait VdpLogic: Send {
     /// One firing: pop from inputs, compute, push to outputs.
     fn fire(&mut self, ctx: &mut VdpContext<'_>);
+
+    /// Append this VDP's persistent local store to `out` for a checkpoint.
+    ///
+    /// The default writes nothing, which is correct for stateless VDPs
+    /// (all state flows through packets). VDPs with a local store must
+    /// override both this and [`VdpLogic::restore`] with an inverse pair.
+    fn snapshot(&self, out: &mut Vec<u8>) {
+        let _ = out;
+    }
+
+    /// Rebuild the local store from bytes written by [`VdpLogic::snapshot`].
+    ///
+    /// The default accepts only an empty snapshot (the stateless case);
+    /// non-empty bytes reaching a logic that never snapshots any are a
+    /// checkpoint/plan mismatch and yield a typed error instead of a
+    /// silently wrong resume.
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), WireError> {
+        if bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed(
+                "stateless VDP given a non-empty local-store snapshot",
+            ))
+        }
+    }
 }
 
 impl<F: FnMut(&mut VdpContext<'_>) + Send> VdpLogic for F {

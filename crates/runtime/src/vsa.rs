@@ -1,6 +1,7 @@
 //! The Virtual Systolic Array: construction and execution.
 
 use crate::channel::{ChannelQueue, ChannelSpec};
+use crate::checkpoint::{self, CheckpointError, RankCheckpoint, VdpEntry};
 use crate::error::RunError;
 use crate::net::{NetModel, RouteTable};
 use crate::packet::{Packet, PacketRegistry};
@@ -9,11 +10,12 @@ use crate::trace::{Trace, TraceCollector};
 use crate::tuple::Tuple;
 use crate::vdp::{OutputTarget, VdpSpec, VdpState};
 use parking_lot::Mutex;
-use pulsar_fabric::{FaultPlan, FaultyFabric, InProcFabric, TcpFabric};
+use pulsar_fabric::{FaultLog, FaultPlan, FaultyFabric, InProcFabric, RetryPolicy, TcpFabric};
 use std::collections::HashMap;
 use std::net::TcpListener;
 use std::ops::Range;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -119,6 +121,22 @@ pub struct RunConfig {
     /// Heartbeat interval for [`Backend::Tcp`]: probe peers this often and
     /// declare one dead after five silent intervals.
     pub heartbeat: Option<Duration>,
+    /// Where per-rank checkpoint files go. Setting this alone writes the
+    /// epoch-0 snapshot (initial state, before any firing); combined with
+    /// [`RunConfig::checkpoint_every`] under [`Backend::Tcp`] it also
+    /// enables periodic coordinated checkpoints.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// How often rank 0 initiates a coordinated quiescent checkpoint
+    /// (periodic rounds require [`Backend::Tcp`] with more than one node;
+    /// other backends get the epoch-0 snapshot only).
+    pub checkpoint_every: Option<Duration>,
+    /// Restore state from the newest checkpoint epoch every rank completed
+    /// in `checkpoint_dir` instead of starting fresh.
+    pub resume: bool,
+    /// In-run recovery for transient connection faults under
+    /// [`Backend::Tcp`]: redial and replay un-acked frames this many times
+    /// before escalating to a fatal [`RunError`].
+    pub retry: RetryPolicy,
 }
 
 impl RunConfig {
@@ -146,6 +164,10 @@ impl RunConfig {
             fault: None,
             chaos_registry: None,
             heartbeat: None,
+            checkpoint_dir: None,
+            checkpoint_every: None,
+            resume: false,
+            retry: RetryPolicy::none(),
         }
     }
 
@@ -163,6 +185,10 @@ impl RunConfig {
             fault: None,
             chaos_registry: None,
             heartbeat: None,
+            checkpoint_dir: None,
+            checkpoint_every: None,
+            resume: false,
+            retry: RetryPolicy::none(),
         }
     }
 
@@ -205,6 +231,30 @@ impl RunConfig {
         self.heartbeat = Some(interval);
         self
     }
+
+    /// Write checkpoints into `dir`: the epoch-0 snapshot always, plus a
+    /// coordinated quiescent checkpoint every `every` (periodic rounds run
+    /// only under [`Backend::Tcp`] with more than one node).
+    pub fn with_checkpoints(mut self, dir: impl Into<PathBuf>, every: Option<Duration>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self.checkpoint_every = every;
+        self
+    }
+
+    /// Resume from the newest checkpoint epoch every rank completed in the
+    /// configured checkpoint directory.
+    pub fn resuming(mut self) -> Self {
+        self.resume = true;
+        self
+    }
+
+    /// Heal transient connection faults in-run: redial up to
+    /// `retry.attempts` times with `retry.backoff` between attempts,
+    /// replaying un-acked frames after each reconnect.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
 }
 
 /// Counters and statistics from a completed run.
@@ -243,6 +293,16 @@ pub struct RunStats {
     pub retried_sends: u64,
     /// VDPs destroyed because their firing panicked.
     pub quarantined_vdps: usize,
+    /// Checkpoint files this rank wrote (epoch 0 included).
+    pub checkpoints_written: u64,
+    /// Total bytes of checkpoint files written.
+    pub checkpoint_bytes: u64,
+    /// Frames resent from the replay log after a reconnect.
+    pub frames_replayed: u64,
+    /// Connection faults the retry policy healed in-run.
+    pub retries_healed: u64,
+    /// What the fault injector did to this rank (`with_fault` runs only).
+    pub fault_log: Option<FaultLog>,
 }
 
 impl RunStats {
@@ -277,6 +337,35 @@ impl RunOutput {
     }
 }
 
+/// Checkpoint protocol phase: workers run normally.
+pub(crate) const CKPT_RUN: u8 = 0;
+/// Workers must stop at the next firing boundary and report parked.
+pub(crate) const CKPT_PARK: u8 = 1;
+/// The epoch is sealed; workers serialize their VDP sets.
+pub(crate) const CKPT_SERIALIZE: u8 = 2;
+
+/// Coordination state for periodic coordinated checkpoints (present only
+/// when the run can take them: TCP backend, several nodes, an interval and
+/// a directory configured).
+pub(crate) struct CkptControl {
+    /// Current protocol phase ([`CKPT_RUN`]/[`CKPT_PARK`]/[`CKPT_SERIALIZE`]).
+    pub phase: AtomicU8,
+    /// Workers parked this round (the proxy resets it when resuming them).
+    pub parked: AtomicUsize,
+    /// Workers done serializing this round.
+    pub done: AtomicUsize,
+    /// Per-global-thread serialized VDP entries, collected by the proxy.
+    pub buffers: Vec<Mutex<Option<Vec<VdpEntry>>>>,
+    /// Set by a node's proxy on clean exit; releases lingering workers.
+    pub shutdown: AtomicBool,
+    /// Destination directory for per-rank checkpoint files.
+    pub dir: PathBuf,
+    /// Rank 0's initiation interval.
+    pub every: Duration,
+    /// Epoch this run restored from (0 fresh); rounds continue at +1.
+    pub start_epoch: AtomicU64,
+}
+
 /// Global state shared by all workers and proxies of a run.
 pub(crate) struct Shared {
     pub notifiers: Vec<Arc<ThreadNotifier>>,
@@ -296,6 +385,14 @@ pub(crate) struct Shared {
     pub reconnect_attempts: AtomicU64,
     pub retried_sends: AtomicU64,
     pub quarantined: AtomicUsize,
+    pub checkpoints_written: AtomicU64,
+    pub checkpoint_bytes: AtomicU64,
+    pub frames_replayed: AtomicU64,
+    pub retries_healed: AtomicU64,
+    /// Folded from every local fault-injecting fabric endpoint.
+    pub fault_log: Mutex<Option<FaultLog>>,
+    /// Present when periodic coordinated checkpoints are enabled.
+    pub ckpt: Option<CkptControl>,
     pub trace: Option<TraceCollector>,
     pub net: Option<NetModel>,
     pub deadlock_timeout: Option<Duration>,
@@ -310,6 +407,14 @@ pub(crate) struct Shared {
 impl Shared {
     pub fn global_thread(&self, node: usize, local: usize) -> usize {
         node * self.threads_per_node + local
+    }
+
+    /// Wake every worker of one node (checkpoint phase transitions).
+    pub fn notify_node(&self, node: usize) {
+        let base = node * self.threads_per_node;
+        for n in &self.notifiers[base..base + self.threads_per_node] {
+            n.notify();
+        }
     }
 
     pub fn mark_progress(&self) {
@@ -551,6 +656,24 @@ impl Vsa {
             .collect();
 
         let t0 = Instant::now();
+        // Periodic coordinated checkpoints need a real inter-process
+        // transport (the quiescence barrier seals an epoch across ranks);
+        // other backends still get the epoch-0 snapshot below.
+        let ckpt = match (&config.backend, config.checkpoint_dir.as_ref()) {
+            (Backend::Tcp(_), Some(dir)) if nodes > 1 => {
+                config.checkpoint_every.map(|every| CkptControl {
+                    phase: AtomicU8::new(CKPT_RUN),
+                    parked: AtomicUsize::new(0),
+                    done: AtomicUsize::new(0),
+                    buffers: (0..nodes * tpn).map(|_| Mutex::new(None)).collect(),
+                    shutdown: AtomicBool::new(false),
+                    dir: dir.clone(),
+                    every,
+                    start_epoch: AtomicU64::new(0),
+                })
+            }
+            _ => None,
+        };
         let shared = Shared {
             notifiers: (0..nodes * tpn).map(|_| ThreadNotifier::new()).collect(),
             exits: Mutex::new(HashMap::new()),
@@ -567,6 +690,12 @@ impl Vsa {
             reconnect_attempts: AtomicU64::new(0),
             retried_sends: AtomicU64::new(0),
             quarantined: AtomicUsize::new(0),
+            checkpoints_written: AtomicU64::new(0),
+            checkpoint_bytes: AtomicU64::new(0),
+            frames_replayed: AtomicU64::new(0),
+            retries_healed: AtomicU64::new(0),
+            fault_log: Mutex::new(None),
+            ckpt,
             trace: config.trace.then(|| TraceCollector::new(t0)),
             net: config.net,
             deadlock_timeout: config.deadlock_timeout,
@@ -664,6 +793,67 @@ impl Vsa {
             state.inputs[slot].as_ref().unwrap().push(p);
         }
         shared.mark_progress();
+
+        // Checkpoint base / restore. A fresh run with a checkpoint dir
+        // writes the epoch-0 snapshot synchronously (initial state, seeds
+        // queued, nothing fired) so `resume` always has a base; a resuming
+        // run instead loads the newest epoch every rank completed and
+        // overwrites firing counters, local stores, queue contents, and
+        // accumulated exits.
+        if let Some(dir) = &config.checkpoint_dir {
+            if config.resume {
+                let registry: Arc<PacketRegistry> = match &config.backend {
+                    Backend::Tcp(t) => t.registry.clone(),
+                    Backend::InProcess => config
+                        .chaos_registry
+                        .clone()
+                        .unwrap_or_else(|| Arc::new(PacketRegistry::standard())),
+                };
+                let epoch = checkpoint::latest_common_epoch(dir, nodes).map_err(|error| {
+                    RunError::Checkpoint {
+                        node: local_nodes.start,
+                        error,
+                    }
+                })?;
+                for node in local_nodes.clone() {
+                    checkpoint::load_rank(dir, node, epoch, &registry)
+                        .and_then(|ck| {
+                            apply_restore(
+                                &ck,
+                                node,
+                                nodes,
+                                &by_tuple,
+                                &places,
+                                &mut states,
+                                &shared,
+                            )
+                        })
+                        .map_err(|error| RunError::Checkpoint { node, error })?;
+                }
+                if let Some(c) = &shared.ckpt {
+                    c.start_epoch.store(epoch, Ordering::Relaxed);
+                }
+            } else {
+                for node in local_nodes.clone() {
+                    let ck = RankCheckpoint {
+                        rank: node,
+                        nodes,
+                        epoch: 0,
+                        vdps: states
+                            .iter()
+                            .zip(&places)
+                            .filter(|(s, p)| p.node == node && s.is_some())
+                            .map(|(s, _)| checkpoint::entry_of(s.as_ref().unwrap()))
+                            .collect(),
+                        exits: Vec::new(),
+                    };
+                    let bytes = checkpoint::write_rank_checkpoint(dir, &ck)
+                        .map_err(|error| RunError::Checkpoint { node, error })?;
+                    shared.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+                    shared.checkpoint_bytes.fetch_add(bytes, Ordering::Relaxed);
+                }
+            }
+        }
 
         // Partition local VDPs per worker thread.
         let mut per_thread: Vec<Vec<VdpState>> = (0..nodes * tpn).map(|_| Vec::new()).collect();
@@ -794,6 +984,7 @@ impl Vsa {
                         let registry = t.registry.clone();
                         let timeout = t.connect_timeout;
                         let heartbeat = config.heartbeat;
+                        let retry = config.retry;
                         let fault = config.fault.clone();
                         let shared = &shared;
                         let ns = &node_shared[rank];
@@ -816,6 +1007,9 @@ impl Vsa {
                                     };
                                 if let Some(hb) = heartbeat {
                                     fabric.set_heartbeat(hb, hb * 5);
+                                }
+                                if retry.attempts > 0 {
+                                    fabric.set_retry(retry);
                                 }
                                 let encode = |p: &Packet| {
                                     let buf = encode_or_die(p);
@@ -878,6 +1072,11 @@ impl Vsa {
             reconnect_attempts: shared.reconnect_attempts.load(Ordering::Relaxed),
             retried_sends: shared.retried_sends.load(Ordering::Relaxed),
             quarantined_vdps: shared.quarantined.load(Ordering::Relaxed),
+            checkpoints_written: shared.checkpoints_written.load(Ordering::Relaxed),
+            checkpoint_bytes: shared.checkpoint_bytes.load(Ordering::Relaxed),
+            frames_replayed: shared.frames_replayed.load(Ordering::Relaxed),
+            retries_healed: shared.retries_healed.load(Ordering::Relaxed),
+            fault_log: *shared.fault_log.lock(),
         };
         Ok(RunOutput {
             exits: shared.exits.into_inner(),
@@ -885,6 +1084,93 @@ impl Vsa {
             stats,
         })
     }
+}
+
+/// Overwrite one local node's fresh build with a checkpoint: firing
+/// counters, local stores, channel FIFOs and life-cycle states, the live
+/// count, and accumulated exits. Every mismatch between the checkpoint and
+/// the identically-rebuilt plan is a typed error, never a wrong resume.
+fn apply_restore(
+    ck: &RankCheckpoint,
+    rank: usize,
+    nodes: usize,
+    by_tuple: &HashMap<Tuple, usize>,
+    places: &[Place],
+    states: &mut [Option<VdpState>],
+    shared: &Shared,
+) -> Result<(), CheckpointError> {
+    if ck.nodes != nodes || ck.rank != rank {
+        return Err(CheckpointError::Malformed(
+            "checkpoint rank/node count does not match this run",
+        ));
+    }
+    let local_total = places
+        .iter()
+        .enumerate()
+        .filter(|&(i, p)| p.node == rank && states[i].is_some())
+        .count();
+    if ck.vdps.len() != local_total {
+        return Err(CheckpointError::Malformed(
+            "checkpoint VDP count does not match the plan",
+        ));
+    }
+    let mut live = 0usize;
+    for entry in &ck.vdps {
+        let &idx = by_tuple
+            .get(&entry.tuple)
+            .ok_or(CheckpointError::Malformed(
+                "checkpointed VDP tuple not in the plan",
+            ))?;
+        if places[idx].node != rank {
+            return Err(CheckpointError::Malformed(
+                "checkpointed VDP mapped to a different rank",
+            ));
+        }
+        let state = states[idx].as_mut().ok_or(CheckpointError::Malformed(
+            "checkpointed VDP not materialized locally",
+        ))?;
+        if entry.counter != state.counter {
+            return Err(CheckpointError::Malformed(
+                "checkpointed firing counter does not match the plan",
+            ));
+        }
+        if entry.slots.len() != state.inputs.len() {
+            return Err(CheckpointError::Malformed(
+                "checkpointed slot count does not match the plan",
+            ));
+        }
+        state.fired = entry.fired;
+        if entry.fired >= state.counter {
+            state.logic = None;
+        } else {
+            live += 1;
+            state
+                .logic
+                .as_mut()
+                .expect("freshly built VDP has logic")
+                .restore(&entry.logic)?;
+        }
+        for (se, q) in entry.slots.iter().zip(state.inputs.iter_mut()) {
+            match (se, q) {
+                (Some(se), Some(q)) => q.restore(se.state, se.packets.clone()),
+                (None, None) => {}
+                _ => {
+                    return Err(CheckpointError::Malformed(
+                        "checkpointed channel wiring does not match the plan",
+                    ))
+                }
+            }
+        }
+    }
+    shared.live[rank].store(live, Ordering::Release);
+    let mut exits = shared.exits.lock();
+    for e in &ck.exits {
+        exits
+            .entry((e.tuple.clone(), e.slot))
+            .or_default()
+            .extend(e.packets.iter().cloned());
+    }
+    Ok(())
 }
 
 /// Encode a packet for a byte fabric; a non-wire packet crossing nodes is

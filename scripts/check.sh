@@ -16,10 +16,32 @@ if [ "${BENCH:-0}" = "1" ]; then
     CRITERION_SAMPLE_SIZE="${CRITERION_SAMPLE_SIZE:-3}" sh scripts/bench_kernels.sh
 fi
 
+# Optional: CKPT_FUZZ=1 ./scripts/check.sh widens the checkpoint-corruption
+# property sweep (round-trip / truncation / bit-flip cases over the
+# checkpoint encoding; see crates/runtime/tests/checkpoint_props.rs).
+if [ "${CKPT_FUZZ:-0}" = "1" ]; then
+    CKPT_FUZZ=1 cargo test --offline -p pulsar-runtime --test checkpoint_props
+fi
+
 # Optional: CHAOS=1 ./scripts/check.sh widens the fault-injection suite to a
 # larger seed sweep (CHAOS_SWEEP seeds of drop/delay/corrupt/truncate chaos
-# against real QR runs; see tests/chaos.rs).
+# against real QR runs; see tests/chaos.rs) and proves kill -> resume
+# end-to-end through the real binary: a 3-rank TCP run with periodic
+# checkpoints is crashed via the fault injector, then `resume` must finish
+# it from the surviving epoch with exit code 0 (R verified bit-identical
+# against the SMP reference inside the workers).
 if [ "${CHAOS:-0}" = "1" ]; then
     CHAOS_SWEEP="${CHAOS_SWEEP:-16}" \
         cargo test --offline -p pulsar --test chaos -- --nocapture
+    ckpt_dir=$(mktemp -d)
+    if ./target/release/pulsar-qr launch --nodes 3 --rows 288 --cols 72 \
+        --nb 8 --heartbeat-ms 50 --checkpoint-dir "$ckpt_dir" \
+        --checkpoint-every-ms 25 --fault-plan kill=1@40; then
+        echo "CHAOS resume e2e: the killed launch unexpectedly succeeded" >&2
+        rm -rf "$ckpt_dir"
+        exit 1
+    fi
+    ./target/release/pulsar-qr resume "$ckpt_dir"
+    rm -rf "$ckpt_dir"
+    echo "CHAOS resume e2e: ok"
 fi

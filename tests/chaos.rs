@@ -13,8 +13,8 @@ use pulsar::core::{wire_registry, QrOptions};
 use pulsar::linalg::verify::r_factor_distance;
 use pulsar::linalg::Matrix;
 use pulsar::runtime::{
-    Backend, ChannelSpec, FaultPlan, KillSpec, MappingFn, Packet, PacketRegistry, Place, RunConfig,
-    RunError, TcpBackend, Tuple, VdpContext, VdpSpec, Vsa,
+    Backend, ChannelSpec, FaultPlan, KillSpec, MappingFn, Packet, PacketRegistry, Place,
+    RetryPolicy, RunConfig, RunError, TcpBackend, Tuple, VdpContext, VdpSpec, Vsa,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -197,6 +197,182 @@ fn killed_tcp_rank_yields_peer_lost_on_survivors() {
             .iter()
             .map(|r| r.as_ref().map(|_| ()).map_err(|e| e.to_string()))
             .collect::<Vec<_>>()
+    );
+}
+
+/// Run `tile_qr_vsa_partial` on a `nodes`-rank TCP mesh hosted in threads,
+/// with `tweak` applied to each rank's base config (fault plans,
+/// checkpointing, retry policies).
+fn run_tcp_ranks<F>(
+    nodes: usize,
+    threads: usize,
+    mt: usize,
+    nt: usize,
+    a: &Matrix,
+    opts: &QrOptions,
+    tweak: F,
+) -> Vec<Result<VsaQrPartial, RunError>>
+where
+    F: Fn(usize, RunConfig) -> RunConfig + Sync,
+{
+    use std::net::TcpListener;
+    let listeners: Vec<TcpListener> = (0..nodes)
+        .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
+        .collect();
+    let peers: Vec<String> = listeners
+        .iter()
+        .map(|l| l.local_addr().unwrap().to_string())
+        .collect();
+    std::thread::scope(|s| {
+        let tweak = &tweak;
+        let handles: Vec<_> = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(rank, listener)| {
+                let peers = peers.clone();
+                s.spawn(move || {
+                    let qr_plan = opts.plan(mt, nt);
+                    let mapping = qr_mapping(&qr_plan, RowDist::Block, nodes, threads);
+                    let cfg = RunConfig::cluster(nodes, threads, mapping)
+                        .with_backend(Backend::Tcp(TcpBackend::new(
+                            rank,
+                            listener,
+                            peers,
+                            wire_registry(),
+                        )))
+                        .with_heartbeat(Duration::from_millis(25));
+                    tile_qr_vsa_partial(a, opts, &tweak(rank, cfg))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+/// Union the per-rank `R` tiles of an SPMD run into one dense matrix.
+fn assemble_r(parts: &[VsaQrPartial], mt: usize, nt: usize, nb: usize) -> Matrix {
+    let k = (mt * nb).min(nt * nb);
+    let mut r = Matrix::zeros(k, nt * nb);
+    for part in parts {
+        for (i, l, block) in &part.r_tiles {
+            let rows = block.nrows().min(k - i * nb);
+            r.set_submatrix(i * nb, l * nb, &block.submatrix(0, 0, rows, block.ncols()));
+        }
+    }
+    r
+}
+
+/// The tentpole chaos proof: a 3-rank TCP run with periodic checkpoints is
+/// killed via `kill=1@SENDS`, every rank fails typed, and a resume from the
+/// surviving checkpoint files completes and produces an `R` bit-identical
+/// to an undisturbed run of the same mesh.
+#[test]
+fn killed_tcp_rank_resumes_bit_identical() {
+    let nodes = 3;
+    let (mt, nt, nb) = (12usize, 3usize, 8usize);
+    let mut rng = StdRng::seed_from_u64(2014);
+    let a = Matrix::random(mt * nb, nt * nb, &mut rng);
+    let opts = QrOptions::new(nb, 4, Tree::BinaryOnFlat { h: 3 });
+
+    // Undisturbed reference over the same mesh shape.
+    let clean: Vec<VsaQrPartial> = run_tcp_ranks(nodes, 2, mt, nt, &a, &opts, |_, cfg| cfg)
+        .into_iter()
+        .enumerate()
+        .map(|(rank, r)| r.unwrap_or_else(|e| panic!("clean rank {rank} failed: {e}")))
+        .collect();
+    let r_clean = assemble_r(&clean, mt, nt, nb);
+
+    let dir = std::env::temp_dir().join(format!("pulsar-chaos-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Checkpoint frequently, then kill rank 1 mid-factorization.
+    let plan = FaultPlan {
+        kill: Some(KillSpec {
+            rank: 1,
+            after_sends: 10,
+        }),
+        ..FaultPlan::none()
+    };
+    let killed = run_tcp_ranks(nodes, 2, mt, nt, &a, &opts, |_, cfg| {
+        cfg.with_checkpoints(&dir, Some(Duration::from_millis(5)))
+            .with_fault(plan.clone(), Arc::new(wire_registry()))
+    });
+    for (rank, r) in killed.iter().enumerate() {
+        assert!(r.is_err(), "rank {rank} completed despite the kill");
+    }
+
+    // Resume from the newest epoch all ranks wrote; no faults this time.
+    let resumed: Vec<VsaQrPartial> = run_tcp_ranks(nodes, 2, mt, nt, &a, &opts, |_, cfg| {
+        cfg.with_checkpoints(&dir, Some(Duration::from_millis(5)))
+            .resuming()
+    })
+    .into_iter()
+    .enumerate()
+    .map(|(rank, r)| r.unwrap_or_else(|e| panic!("resumed rank {rank} failed: {e}")))
+    .collect();
+    let r_resumed = assemble_r(&resumed, mt, nt, nb);
+
+    let dist = r_factor_distance(&r_resumed, &r_clean);
+    assert_eq!(
+        dist, 0.0,
+        "resumed R is not bit-identical to the clean run (distance {dist:.2e})"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A transient connection drop (`disconnect=1@SENDS`) with a retry policy
+/// heals *in-run*: every rank completes, at least one reconnection healed
+/// with frames replayed, and `R` is bit-identical to an undisturbed run.
+#[test]
+fn transient_disconnect_heals_in_run() {
+    let nodes = 3;
+    let (mt, nt, nb) = (12usize, 3usize, 8usize);
+    let mut rng = StdRng::seed_from_u64(2014);
+    let a = Matrix::random(mt * nb, nt * nb, &mut rng);
+    let opts = QrOptions::new(nb, 4, Tree::BinaryOnFlat { h: 3 });
+
+    let clean: Vec<VsaQrPartial> = run_tcp_ranks(nodes, 2, mt, nt, &a, &opts, |_, cfg| cfg)
+        .into_iter()
+        .enumerate()
+        .map(|(rank, r)| r.unwrap_or_else(|e| panic!("clean rank {rank} failed: {e}")))
+        .collect();
+    let r_clean = assemble_r(&clean, mt, nt, nb);
+
+    let plan = FaultPlan {
+        disconnect: Some(KillSpec {
+            rank: 1,
+            after_sends: 10,
+        }),
+        ..FaultPlan::none()
+    };
+    let retry = RetryPolicy {
+        attempts: 5,
+        backoff: Duration::from_millis(50),
+    };
+    let healed: Vec<VsaQrPartial> = run_tcp_ranks(nodes, 2, mt, nt, &a, &opts, |_, cfg| {
+        cfg.with_retry(retry)
+            .with_fault(plan.clone(), Arc::new(wire_registry()))
+    })
+    .into_iter()
+    .enumerate()
+    .map(|(rank, r)| r.unwrap_or_else(|e| panic!("rank {rank} did not heal: {e}")))
+    .collect();
+
+    let heals: u64 = healed.iter().map(|p| p.stats.retries_healed).sum();
+    assert!(
+        heals >= 1,
+        "expected at least one healed reconnection, stats: {:?}",
+        healed
+            .iter()
+            .map(|p| (p.stats.retries_healed, p.stats.frames_replayed))
+            .collect::<Vec<_>>()
+    );
+    let r_healed = assemble_r(&healed, mt, nt, nb);
+    let dist = r_factor_distance(&r_healed, &r_clean);
+    assert_eq!(
+        dist, 0.0,
+        "healed R is not bit-identical to the clean run (distance {dist:.2e})"
     );
 }
 
