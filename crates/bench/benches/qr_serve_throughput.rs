@@ -1,0 +1,55 @@
+//! Throughput of the persistent QR service: jobs/s through a warm
+//! [`Service`] (in-process, no TCP) as the submit burst grows, showing the
+//! effect of batching many small jobs into one VSA launch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pulsar_core::{QrOptions, Tree};
+use pulsar_linalg::Matrix;
+use pulsar_server::{ServeConfig, Service};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_serve(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let nb = 16;
+    let opts = QrOptions::new(nb, 4, Tree::Greedy);
+    let a = Matrix::random(8 * nb, 2 * nb, &mut rng);
+
+    let mut g = c.benchmark_group("qr_serve");
+    for burst in [1u64, 4, 8] {
+        // One warm service per burst size; it outlives all iterations, so
+        // the pool's workers and arenas stay hot — exactly the steady
+        // state the daemon runs in.
+        let service = Service::start(ServeConfig {
+            threads: 2,
+            queue_cap: 64,
+            batch_max: 4,
+            ..ServeConfig::default()
+        });
+        g.throughput(Throughput::Elements(burst));
+        g.bench_with_input(BenchmarkId::new("burst", burst), &burst, |b, &burst| {
+            b.iter(|| {
+                let jobs: Vec<u64> = (0..burst)
+                    .map(|_| {
+                        service
+                            .submit(a.clone(), opts.clone(), None)
+                            .expect("queue_cap exceeds the burst size")
+                    })
+                    .collect();
+                for job in jobs {
+                    black_box(service.wait_result(job).expect("job completes"));
+                }
+            })
+        });
+        drop(service); // drains the pool before the next burst size
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_serve
+}
+criterion_main!(benches);

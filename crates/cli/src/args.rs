@@ -92,32 +92,9 @@ impl Args {
 /// Parse a tree spec: `flat`, `binary`, `greedy`, `hier:H`, or a
 /// comma-separated custom domain list like `domains:3,2,1`.
 pub fn parse_tree(s: &str) -> Result<pulsar_core::Tree, String> {
-    use pulsar_core::Tree;
-    match s {
-        "flat" => Ok(Tree::Flat),
-        "binary" => Ok(Tree::Binary),
-        "greedy" => Ok(Tree::Greedy),
-        _ => {
-            if let Some(h) = s.strip_prefix("hier:") {
-                let h: usize = h.parse().map_err(|_| format!("bad h in {s}"))?;
-                if h == 0 {
-                    return Err("h must be positive".into());
-                }
-                Ok(Tree::BinaryOnFlat { h })
-            } else if let Some(list) = s.strip_prefix("domains:") {
-                let sizes: Result<Vec<usize>, _> = list.split(',').map(str::parse).collect();
-                let sizes = sizes.map_err(|_| format!("bad domain list in {s}"))?;
-                if sizes.is_empty() || sizes.contains(&0) {
-                    return Err("domain sizes must be positive".into());
-                }
-                Ok(Tree::custom(sizes))
-            } else {
-                Err(format!(
-                    "unknown tree `{s}` (use flat | binary | greedy | hier:H | domains:a,b,...)"
-                ))
-            }
-        }
-    }
+    // The spec grammar lives next to `Tree` itself so the serve daemon can
+    // parse job specs without depending on the CLI.
+    s.parse()
 }
 
 #[cfg(test)]

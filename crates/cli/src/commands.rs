@@ -27,7 +27,7 @@ COMMANDS
   factor    factorize a random tall-skinny matrix on the runtime and verify
             --rows N --cols N [--nb 64] [--ib nb/4] [--tree hier:4]
             [--threads 4] [--nodes 1] [--engine vsa3d|compact|domino|seq]
-            [--seed 42] [--net seastar]
+            [--seed 42] [--net seastar] [--trace-out trace.json]
   ls        solve a random least-squares problem, report residuals/cond
             --rows N --cols N [--rhs 1] [--nb 64] [--ib nb/4]
             [--tree hier:4] [--threads 4] [--seed 42]
@@ -51,6 +51,19 @@ COMMANDS
   worker    one rank of a distributed run (spawned by `launch`; reads the
             peer address table on stdin)
             --rank R --nodes N [qr options as for launch]
+  serve     run a persistent QR service: warm worker pool, job batching,
+            typed backpressure; prints `SERVE <addr>` when ready and runs
+            until a client drains it
+            [--port 0] [--threads 2] [--queue-cap 32] [--batch-max 4]
+            [--batch-mb 64] [--retry-ms 50] [--stats true]
+            [--trace-out trace.json]
+  submit    send one random factorization job to a serve daemon and verify
+            its R against the sequential oracle
+            --addr HOST:PORT --rows N --cols N [--nb 8] [--ib nb/4]
+            [--tree greedy] [--seed 42] [--deadline-ms 0] [--cancel true]
+  drain     shut a serve daemon down (queued jobs finish first) and print
+            its final stats JSON
+            --addr HOST:PORT
 TREES: flat | binary | greedy | hier:H | domains:a,b,...
 FAULT PLANS: comma-separated seed=N,drop=P,dup=P,delay=P,delay-steps=N,
              corrupt=P,trunc=P,kill=RANK@SENDS,disconnect=RANK@SENDS
@@ -75,6 +88,9 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "launch" => crate::dist::launch(args),
         "resume" => crate::dist::resume(args),
         "worker" => crate::dist::worker(args),
+        "serve" => crate::serve_cmd::serve(args),
+        "submit" => crate::serve_cmd::submit(args),
+        "drain" => crate::serve_cmd::drain(args),
         "help" | "--help" => Ok(usage()),
         other => Err(CliError::usage(format!(
             "unknown command `{other}`\n\n{}",
@@ -98,7 +114,17 @@ fn opts_from(args: &Args, default_nb: usize, default_tree: Tree) -> Result<QrOpt
 
 fn factor(args: &Args) -> Result<String, String> {
     args.ensure_known(&[
-        "rows", "cols", "nb", "ib", "tree", "threads", "nodes", "engine", "seed", "net",
+        "rows",
+        "cols",
+        "nb",
+        "ib",
+        "tree",
+        "threads",
+        "nodes",
+        "engine",
+        "seed",
+        "net",
+        "trace-out",
     ])?;
     let m: usize = args.req("rows")?;
     let n: usize = args.req("cols")?;
@@ -126,11 +152,20 @@ fn factor(args: &Args) -> Result<String, String> {
     if args.get("net") == Some("seastar") {
         config = config.with_net(NetModel::seastar2());
     }
+    let trace_out = args.get("trace-out").map(str::to_string);
+    if trace_out.is_some() {
+        if engine != "vsa3d" {
+            return Err("--trace-out needs --engine vsa3d".into());
+        }
+        config = config.with_trace();
+    }
 
     let t0 = Instant::now();
+    let mut trace = None;
     let (factors, stats) = match engine.as_str() {
         "vsa3d" => {
             let r = pulsar_core::vsa3d::tile_qr_vsa(&a, &opts, &config);
+            trace = r.trace;
             (r.factors, Some(r.stats))
         }
         "compact" => {
@@ -169,6 +204,12 @@ fn factor(args: &Args) -> Result<String, String> {
             s.imbalance()
         )
         .unwrap();
+    }
+    if let Some(path) = trace_out {
+        let trace = trace.ok_or("engine produced no trace")?;
+        std::fs::write(&path, trace.to_chrome_json())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        writeln!(out, "trace: {} spans -> {path}", trace.spans.len()).unwrap();
     }
     let resid = factors.residual(&a);
     writeln!(out, "residual ||A-QR||/(||A|| max(m,n)) = {resid:.2e}").unwrap();
@@ -384,6 +425,49 @@ mod tests {
         ])
         .unwrap();
         assert!(out.contains("verification OK"), "{out}");
+    }
+
+    #[test]
+    fn factor_writes_a_chrome_trace() {
+        let dir = std::env::temp_dir().join(format!("pulsar-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let out = run_line(&[
+            "factor",
+            "--rows",
+            "16",
+            "--cols",
+            "8",
+            "--nb",
+            "4",
+            "--threads",
+            "2",
+            "--trace-out",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("trace:"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.trim_start().starts_with('['), "{json}");
+        assert!(json.contains("\"ph\":\"X\""), "complete events: {json}");
+        assert!(json.contains("\"pid\":"), "{json}");
+        std::fs::remove_dir_all(&dir).ok();
+        // Engines without a tracing runtime refuse the flag.
+        let err = run_line(&[
+            "factor",
+            "--rows",
+            "16",
+            "--cols",
+            "8",
+            "--nb",
+            "4",
+            "--engine",
+            "seq",
+            "--trace-out",
+            "/dev/null",
+        ])
+        .unwrap_err();
+        assert!(err.msg.contains("vsa3d"), "{}", err.msg);
     }
 
     #[test]

@@ -15,6 +15,10 @@ pub const EXIT_CODES: &[(i32, &str)] = &[
     (5, "VDP panicked and was quarantined"),
     (6, "other fabric/protocol/decode/checkpoint failure"),
     (7, "unrecoverable after N retry attempts"),
+    (
+        8,
+        "server over capacity (backpressure; retry after the hinted delay)",
+    ),
 ];
 
 /// A CLI failure: what to print and which code to exit with.
@@ -55,6 +59,24 @@ impl From<RunError> for CliError {
         CliError {
             code: exit_code_for(&e),
             msg: e.to_string(),
+        }
+    }
+}
+
+impl From<pulsar_server::ClientError> for CliError {
+    fn from(e: pulsar_server::ClientError) -> Self {
+        use pulsar_server::ClientError;
+        let code = match &e {
+            // Typed backpressure: scripts can distinguish "come back
+            // later" from real failures and honor the retry hint.
+            ClientError::Backpressure { .. } => 8,
+            // Wire-level corruption shares the decode/protocol code.
+            ClientError::Proto(_) | ClientError::Unexpected(_) => 6,
+            ClientError::Job { .. } | ClientError::Io(_) => 1,
+        };
+        CliError {
+            msg: e.to_string(),
+            code,
         }
     }
 }
@@ -187,5 +209,21 @@ mod tests {
         }
         assert!(table.contains(&CliError::usage("x").code));
         assert!(table.contains(&CliError::from(String::from("x")).code));
+    }
+
+    #[test]
+    fn backpressure_gets_its_own_code() {
+        use pulsar_server::ClientError;
+        let bp = CliError::from(ClientError::Backpressure {
+            retry_after_ms: 25,
+            queued: 4,
+            draining: false,
+        });
+        assert_eq!(bp.code, 8);
+        assert!(bp.msg.contains("retry after 25 ms"), "{}", bp.msg);
+        let proto = CliError::from(ClientError::Proto(pulsar_server::ProtoError::Truncated));
+        assert_eq!(proto.code, 6, "wire corruption shares the decode code");
+        let table: Vec<i32> = EXIT_CODES.iter().map(|(c, _)| *c).collect();
+        assert!(table.contains(&bp.code) && table.contains(&proto.code));
     }
 }

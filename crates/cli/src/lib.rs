@@ -10,3 +10,4 @@ pub mod args;
 pub mod commands;
 pub mod dist;
 pub mod error;
+pub mod serve_cmd;

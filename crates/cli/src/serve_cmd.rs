@@ -1,0 +1,162 @@
+//! The `serve`, `submit`, and `drain` subcommands: a long-lived QR
+//! service daemon and its client-side drivers.
+//!
+//! Rendezvous follows the `launch`/`worker` idiom: the daemon prints
+//! `SERVE <addr>` on stdout as soon as the socket is bound, so a parent
+//! process (or `scripts/check.sh`) can scrape the ephemeral port.
+
+use crate::args::{parse_tree, Args};
+use crate::error::CliError;
+use pulsar_core::plan::Tree;
+use pulsar_core::QrOptions;
+use pulsar_linalg::verify::r_factor_distance;
+use pulsar_linalg::Matrix;
+use pulsar_server::{Client, ServeConfig, Service};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::net::TcpListener;
+
+/// `pulsar-qr serve`: run the QR service until a client drains it.
+pub fn serve(args: &Args) -> Result<String, CliError> {
+    args.ensure_known(&[
+        "port",
+        "threads",
+        "queue-cap",
+        "batch-max",
+        "batch-mb",
+        "retry-ms",
+        "stats",
+        "trace-out",
+    ])
+    .map_err(CliError::usage)?;
+    let port: u16 = args.opt("port", 0)?;
+    let trace_out = args.get("trace-out").map(str::to_string);
+    let cfg = ServeConfig {
+        threads: args.opt("threads", 2)?,
+        queue_cap: args.opt("queue-cap", 32)?,
+        batch_max: args.opt("batch-max", 4)?,
+        batch_bytes: args.opt::<usize>("batch-mb", 64)? << 20,
+        default_retry_after_ms: args.opt("retry-ms", 50)?,
+        trace: trace_out.is_some(),
+    };
+    let want_stats: bool = args.opt("stats", false)?;
+    if cfg.threads == 0 || cfg.queue_cap == 0 || cfg.batch_max == 0 {
+        return Err(CliError::usage(
+            "--threads, --queue-cap, and --batch-max must be positive",
+        ));
+    }
+
+    let listener = TcpListener::bind(("127.0.0.1", port))
+        .map_err(|e| CliError::from(format!("bind failed: {e}")))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| CliError::from(e.to_string()))?;
+    // Stdout is line-buffered: the newline flushes the rendezvous line
+    // before the accept loop blocks.
+    println!("SERVE {addr}");
+
+    let service = Service::start(cfg);
+    pulsar_server::serve(listener, service.clone())
+        .map_err(|e| CliError::from(format!("serve failed: {e}")))?;
+
+    let mut out = String::new();
+    if let Some(path) = trace_out {
+        let trace = service.take_trace();
+        let spans = trace.spans.len();
+        std::fs::write(&path, trace.to_chrome_json())
+            .map_err(|e| CliError::from(format!("writing {path}: {e}")))?;
+        writeln!(out, "trace: {spans} spans -> {path}").unwrap();
+    }
+    if want_stats {
+        writeln!(out, "STATS-JSON {}", service.stats_json()).unwrap();
+    }
+    writeln!(out, "drained").unwrap();
+    Ok(out)
+}
+
+fn submit_opts(args: &Args) -> Result<QrOptions, String> {
+    let nb: usize = args.opt("nb", 8)?;
+    if nb == 0 {
+        return Err("--nb must be positive".into());
+    }
+    let ib: usize = args.opt("ib", (nb / 4).max(1))?;
+    let tree = match args.get("tree") {
+        Some(s) => parse_tree(s)?,
+        None => Tree::Greedy,
+    };
+    Ok(QrOptions::new(nb, ib, tree))
+}
+
+/// `pulsar-qr submit`: send one random factorization job to a daemon.
+pub fn submit(args: &Args) -> Result<String, CliError> {
+    args.ensure_known(&[
+        "addr",
+        "rows",
+        "cols",
+        "nb",
+        "ib",
+        "tree",
+        "seed",
+        "deadline-ms",
+        "cancel",
+    ])
+    .map_err(CliError::usage)?;
+    let addr: String = args.req("addr")?;
+    let m: usize = args.req("rows")?;
+    let n: usize = args.req("cols")?;
+    let opts = submit_opts(args)?;
+    if !m.is_multiple_of(opts.nb) || !n.is_multiple_of(opts.nb) {
+        return Err(CliError::usage(format!(
+            "--rows and --cols must be multiples of nb ({})",
+            opts.nb
+        )));
+    }
+    let seed: u64 = args.opt("seed", 42)?;
+    let deadline_ms: u32 = args.opt("deadline-ms", 0)?;
+    let cancel: bool = args.opt("cancel", false)?;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = Matrix::random(m, n, &mut rng);
+
+    let mut client = Client::connect(&addr)?;
+    let job = client.submit(&a, &opts, deadline_ms)?;
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "submitted job {job}  {m}x{n}  nb={} ib={} tree={:?}",
+        opts.nb, opts.ib, opts.tree
+    )
+    .unwrap();
+    if cancel {
+        // Cancellation races the scheduler by design: a queued job is
+        // cancelled, a scheduled one completes. Both are valid outcomes.
+        if client.cancel(job)? {
+            writeln!(out, "job {job} cancelled").unwrap();
+        } else {
+            writeln!(out, "job {job} already past the queue; not cancelled").unwrap();
+        }
+        return Ok(out);
+    }
+    let r = client.result(job)?;
+    let oracle = pulsar_core::tile_qr_seq(&a, &opts);
+    let dist = r_factor_distance(&r, &oracle.r);
+    writeln!(out, "R distance to sequential oracle: {dist:.2e}").unwrap();
+    if dist != 0.0 {
+        return Err(CliError::from(format!(
+            "verification FAILED: served R differs from oracle by {dist:.2e}\n{out}"
+        )));
+    }
+    writeln!(out, "verification OK").unwrap();
+    Ok(out)
+}
+
+/// `pulsar-qr drain`: shut a daemon down and print its final stats.
+pub fn drain(args: &Args) -> Result<String, CliError> {
+    args.ensure_known(&["addr"]).map_err(CliError::usage)?;
+    let addr: String = args.req("addr")?;
+    let mut client = Client::connect(&addr)?;
+    let stats = client.drain()?;
+    Ok(format!("STATS-JSON {stats}\ndrained\n"))
+}

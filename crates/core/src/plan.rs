@@ -58,6 +58,63 @@ impl Tree {
     }
 }
 
+/// Renders the spec syntax [`Tree::from_str`] parses:
+/// `flat | binary | greedy | hier:H | domains:a,b,...`.
+impl std::fmt::Display for Tree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tree::Flat => write!(f, "flat"),
+            Tree::Binary => write!(f, "binary"),
+            Tree::Greedy => write!(f, "greedy"),
+            Tree::BinaryOnFlat { h } => write!(f, "hier:{h}"),
+            Tree::CustomDomains { sizes } => {
+                write!(f, "domains:")?;
+                for (i, s) in sizes.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{s}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Parse a tree spec: `flat | binary | greedy | hier:H | domains:a,b,...`
+/// (the syntax `pulsar-qr --tree` takes and [`Display`](Tree) emits).
+impl std::str::FromStr for Tree {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "flat" => Ok(Tree::Flat),
+            "binary" => Ok(Tree::Binary),
+            "greedy" => Ok(Tree::Greedy),
+            _ => {
+                if let Some(h) = s.strip_prefix("hier:") {
+                    let h: usize = h.parse().map_err(|_| format!("bad h in {s}"))?;
+                    if h == 0 {
+                        return Err("h must be positive".into());
+                    }
+                    Ok(Tree::BinaryOnFlat { h })
+                } else if let Some(list) = s.strip_prefix("domains:") {
+                    let sizes: Result<Vec<usize>, _> = list.split(',').map(str::parse).collect();
+                    let sizes = sizes.map_err(|_| format!("bad domain list in {s}"))?;
+                    if sizes.is_empty() || sizes.contains(&0) {
+                        return Err("domain sizes must be positive".into());
+                    }
+                    Ok(Tree::custom(sizes))
+                } else {
+                    Err(format!(
+                        "unknown tree `{s}` (use flat | binary | greedy | hier:H | domains:a,b,...)"
+                    ))
+                }
+            }
+        }
+    }
+}
+
 /// How domain boundaries move between panels (paper Figure 6).
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum Boundary {
@@ -574,5 +631,21 @@ mod tests {
         assert_eq!(op.owner_row(), 5);
         let tt = PanelOp::Ttqrt { top: 1, bot: 4 };
         assert_eq!(tt.owner_row(), 1);
+    }
+
+    #[test]
+    fn tree_spec_round_trips() {
+        for tree in [
+            Tree::Flat,
+            Tree::Binary,
+            Tree::Greedy,
+            Tree::BinaryOnFlat { h: 12 },
+            Tree::custom([3, 2]),
+        ] {
+            assert_eq!(tree.to_string().parse::<Tree>().unwrap(), tree);
+        }
+        assert!("hier:0".parse::<Tree>().is_err());
+        assert!("domains:3,0".parse::<Tree>().is_err());
+        assert!("nope".parse::<Tree>().is_err());
     }
 }

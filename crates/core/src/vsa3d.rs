@@ -30,7 +30,8 @@ use pulsar_linalg::{
     geqrt_ws, tsmqr_ws, tsqrt_ws, ttmqr_ws, ttqrt_ws, unmqr_ws, Matrix, TileMatrix, Workspace,
 };
 use pulsar_runtime::{
-    ChannelSpec, Packet, RunConfig, RunError, RunStats, Trace, Tuple, VdpContext, VdpSpec, Vsa,
+    ChannelSpec, Packet, RunConfig, RunError, RunOutput, RunStats, Trace, Tuple, VdpContext,
+    VdpSpec, Vsa, VsaPool,
 };
 
 /// Result of a VSA-executed factorization.
@@ -43,16 +44,34 @@ pub struct VsaQrResult {
     pub trace: Option<Trace>,
 }
 
-fn vdp_tuple(j: usize, q: usize, l: usize) -> Tuple {
-    Tuple::new3(j as i32, q as i32, l as i32)
+/// Tuple namespace for one job's sub-array. `None` keeps the legacy
+/// 3-tuple ids (bit-compatible with single-job arrays); `Some(b)` prefixes
+/// every tuple — VDPs and exits alike — with batch job id `b`, so many
+/// independent QR arrays coexist disjointly in one VSA launch.
+#[derive(Copy, Clone, Default)]
+struct Ns {
+    job: Option<i32>,
 }
 
-fn exit_r_tuple(i: usize, l: usize) -> Tuple {
-    Tuple::new3(-1, i as i32, l as i32)
-}
+impl Ns {
+    fn tuple(self, a: i32, b: i32, c: i32) -> Tuple {
+        match self.job {
+            None => Tuple::new3(a, b, c),
+            Some(id) => Tuple::new4(id, a, b, c),
+        }
+    }
 
-fn exit_trans_tuple(j: usize, q: usize) -> Tuple {
-    Tuple::new3(-2, j as i32, q as i32)
+    fn vdp(self, j: usize, q: usize, l: usize) -> Tuple {
+        self.tuple(j as i32, q as i32, l as i32)
+    }
+
+    fn exit_r(self, i: usize, l: usize) -> Tuple {
+        self.tuple(-1, i as i32, l as i32)
+    }
+
+    fn exit_trans(self, j: usize, q: usize) -> Tuple {
+        self.tuple(-2, j as i32, q as i32)
+    }
 }
 
 /// Where a row's tile goes after op `after_q` (or after arriving fresh when
@@ -73,6 +92,7 @@ fn next_hop(
     after_q: Option<usize>,
     row: usize,
     l: usize,
+    ns: Ns,
 ) -> Hop {
     let start = after_q.map_or(0, |q| q + 1);
     if let Some((q2, op)) = stage_ops[j]
@@ -81,14 +101,14 @@ fn next_hop(
         .skip(start)
         .find(|(_, op)| op.touches(row))
     {
-        return Hop::Vdp(vdp_tuple(j, q2, l), op.role_slot(row));
+        return Hop::Vdp(ns.vdp(j, q2, l), op.role_slot(row));
     }
     if row == j {
         return Hop::ExitR;
     }
     if j + 1 < kt {
         debug_assert!(l > j, "panel-column tiles of eliminated rows are spent");
-        return next_hop(stage_ops, kt, j + 1, None, row, l);
+        return next_hop(stage_ops, kt, j + 1, None, row, l, ns);
     }
     Hop::Drop
 }
@@ -105,6 +125,15 @@ struct QrGeom {
 /// Build the full 3D VSA for `a` (every rank of an SPMD run builds the
 /// identical array; the runtime materializes only the local part).
 fn build_qr_array(a: &Matrix, opts: &QrOptions) -> (Vsa, QrGeom) {
+    let mut vsa = Vsa::new();
+    let g = build_qr_array_into(&mut vsa, a, opts, Ns::default());
+    (vsa, g)
+}
+
+/// Add `a`'s QR sub-array to an existing VSA under tuple namespace `ns`.
+/// With distinct namespaces this composes: a batch launch builds one
+/// sub-array per job into a single [`Vsa`] and runs them all at once.
+fn build_qr_array_into(vsa: &mut Vsa, a: &Matrix, opts: &QrOptions, ns: Ns) -> QrGeom {
     assert_eq!(
         a.nrows() % opts.nb,
         0,
@@ -119,19 +148,21 @@ fn build_qr_array(a: &Matrix, opts: &QrOptions) -> (Vsa, QrGeom) {
     let tile_bytes = 8 * nb * nb;
     let trans_bytes = 8 * nb * nb + 8 * ib * nb;
 
-    let mut vsa = Vsa::new();
-
     // VDPs.
     for (j, ops) in stage_ops.iter().enumerate() {
         for (q, &op) in ops.iter().enumerate() {
             for l in j..nt {
-                let logic = QrVdp { op, ib };
+                let logic = QrVdp {
+                    op,
+                    ib,
+                    factor: l == j,
+                };
                 // Factor VDPs: in 0/1 = primary/secondary tile; out 0 = R
                 // onward, 1 = transform chain, 2 = transform exit.
                 // Update VDPs: in 0/1 = C1/C2, in 2 = transform; out 0/1 =
                 // tiles onward, out 2 = transform chain.
                 let (n_in, n_out) = if l == j { (2, 3) } else { (3, 3) };
-                vsa.add_vdp(VdpSpec::new(vdp_tuple(j, q, l), 1, n_in, n_out, logic));
+                vsa.add_vdp(VdpSpec::new(ns.vdp(j, q, l), 1, n_in, n_out, logic));
             }
         }
     }
@@ -140,10 +171,10 @@ fn build_qr_array(a: &Matrix, opts: &QrOptions) -> (Vsa, QrGeom) {
     for (j, ops) in stage_ops.iter().enumerate() {
         for (q, &op) in ops.iter().enumerate() {
             for l in j..nt {
-                let src = vdp_tuple(j, q, l);
+                let src = ns.vdp(j, q, l);
                 // Tile channels out of this VDP.
                 let (prim, sec) = op.rows();
-                match next_hop(&stage_ops, kt, j, Some(q), prim, l) {
+                match next_hop(&stage_ops, kt, j, Some(q), prim, l, ns) {
                     Hop::Vdp(dst, slot) => {
                         vsa.add_channel(ChannelSpec::new(tile_bytes, src.clone(), 0, dst, slot));
                     }
@@ -152,7 +183,7 @@ fn build_qr_array(a: &Matrix, opts: &QrOptions) -> (Vsa, QrGeom) {
                             tile_bytes,
                             src.clone(),
                             0,
-                            exit_r_tuple(prim, l),
+                            ns.exit_r(prim, l),
                             0,
                         ));
                     }
@@ -160,7 +191,7 @@ fn build_qr_array(a: &Matrix, opts: &QrOptions) -> (Vsa, QrGeom) {
                 }
                 if l > j {
                     if let Some(s) = sec {
-                        match next_hop(&stage_ops, kt, j, Some(q), s, l) {
+                        match next_hop(&stage_ops, kt, j, Some(q), s, l, ns) {
                             Hop::Vdp(dst, slot) => {
                                 vsa.add_channel(ChannelSpec::new(
                                     tile_bytes,
@@ -175,7 +206,7 @@ fn build_qr_array(a: &Matrix, opts: &QrOptions) -> (Vsa, QrGeom) {
                                     tile_bytes,
                                     src.clone(),
                                     1,
-                                    exit_r_tuple(s, l),
+                                    ns.exit_r(s, l),
                                     0,
                                 ));
                             }
@@ -191,7 +222,7 @@ fn build_qr_array(a: &Matrix, opts: &QrOptions) -> (Vsa, QrGeom) {
                             trans_bytes,
                             src.clone(),
                             1,
-                            vdp_tuple(j, q, l + 1),
+                            ns.vdp(j, q, l + 1),
                             2,
                         ));
                     }
@@ -199,7 +230,7 @@ fn build_qr_array(a: &Matrix, opts: &QrOptions) -> (Vsa, QrGeom) {
                         trans_bytes,
                         src.clone(),
                         2,
-                        exit_trans_tuple(j, q),
+                        ns.exit_trans(j, q),
                         0,
                     ));
                 } else if l + 1 < nt {
@@ -207,7 +238,7 @@ fn build_qr_array(a: &Matrix, opts: &QrOptions) -> (Vsa, QrGeom) {
                         trans_bytes,
                         src.clone(),
                         2,
-                        vdp_tuple(j, q, l + 1),
+                        ns.vdp(j, q, l + 1),
                         2,
                     ));
                 }
@@ -226,20 +257,17 @@ fn build_qr_array(a: &Matrix, opts: &QrOptions) -> (Vsa, QrGeom) {
         let slot = op0.role_slot(i);
         for l in 0..nt {
             let t = tiles.take_tile(i, l);
-            vsa.seed(vdp_tuple(0, q0, l), slot, Packet::tile(t));
+            vsa.seed(ns.vdp(0, q0, l), slot, Packet::tile(t));
         }
     }
 
-    (
-        vsa,
-        QrGeom {
-            nt,
-            kt,
-            nb,
-            ib,
-            stage_ops,
-        },
-    )
+    QrGeom {
+        nt,
+        kt,
+        nb,
+        ib,
+        stage_ops,
+    }
 }
 
 /// Build the 3D VSA for `a`, run it under `config`, and collect the factors.
@@ -253,24 +281,28 @@ fn build_qr_array(a: &Matrix, opts: &QrOptions) -> (Vsa, QrGeom) {
 /// [`tile_qr_vsa_partial`].
 pub fn tile_qr_vsa(a: &Matrix, opts: &QrOptions, config: &RunConfig) -> VsaQrResult {
     let (vsa, g) = build_qr_array(a, opts);
-    let QrGeom {
-        nt,
-        kt,
-        nb,
-        ib,
-        ref stage_ops,
-    } = g;
     let mut out = vsa
         .run(config)
         .unwrap_or_else(|e| panic!("tile_qr_vsa: {e}"));
-    let k = a.nrows().min(a.ncols());
-    let mut r = Matrix::zeros(k, a.ncols());
+    let factors = collect_factors(&mut out, a.nrows(), a.ncols(), &g, Ns::default());
+    VsaQrResult {
+        factors,
+        stats: out.stats,
+        trace: out.trace,
+    }
+}
+
+/// Drain one job's exits from a finished run into its factorization.
+fn collect_factors(out: &mut RunOutput, m: usize, n: usize, g: &QrGeom, ns: Ns) -> TileQrFactors {
+    let (nt, kt, nb, ib) = (g.nt, g.kt, g.nb, g.ib);
+    let k = m.min(n);
+    let mut r = Matrix::zeros(k, n);
     for i in 0..kt {
         for l in i..nt {
             if i * nb >= k {
                 continue;
             }
-            let mut packets = out.take_exit(exit_r_tuple(i, l), 0);
+            let mut packets = out.take_exit(ns.exit_r(i, l), 0);
             assert_eq!(packets.len(), 1, "missing R tile ({i},{l})");
             let tile = packets.remove(0).into_tile();
             let block = if i == l { tile.upper_triangle() } else { tile };
@@ -280,9 +312,9 @@ pub fn tile_qr_vsa(a: &Matrix, opts: &QrOptions, config: &RunConfig) -> VsaQrRes
     }
     let panels: Vec<Vec<Reflectors>> = (0..kt)
         .map(|j| {
-            (0..stage_ops[j].len())
+            (0..g.stage_ops[j].len())
                 .map(|q| {
-                    let mut p = out.take_exit(exit_trans_tuple(j, q), 0);
+                    let mut p = out.take_exit(ns.exit_trans(j, q), 0);
                     assert_eq!(p.len(), 1, "missing transform ({j},{q})");
                     p.remove(0).take::<Reflectors>()
                 })
@@ -290,18 +322,102 @@ pub fn tile_qr_vsa(a: &Matrix, opts: &QrOptions, config: &RunConfig) -> VsaQrRes
         })
         .collect();
 
-    VsaQrResult {
-        factors: TileQrFactors {
-            m: a.nrows(),
-            n: a.ncols(),
-            nb,
-            ib,
-            r: r.upper_triangle(),
-            panels,
-        },
+    TileQrFactors {
+        m,
+        n,
+        nb,
+        ib,
+        r: r.upper_triangle(),
+        panels,
+    }
+}
+
+/// Result of a batched VSA launch: one factorization per job, in
+/// submission order, plus the shared run's stats and trace.
+pub struct BatchQrResult {
+    /// Per-job factorizations, indexed like the input slice.
+    pub factors: Vec<TileQrFactors>,
+    /// Statistics of the single run that executed every job.
+    pub stats: RunStats,
+    /// Execution trace of the whole batch, when requested.
+    pub trace: Option<Trace>,
+}
+
+fn build_batch_array(jobs: &[(&Matrix, &QrOptions)]) -> (Vsa, Vec<QrGeom>) {
+    assert!(!jobs.is_empty(), "batch needs at least one job");
+    let mut vsa = Vsa::new();
+    let geoms = jobs
+        .iter()
+        .enumerate()
+        .map(|(b, (a, opts))| {
+            build_qr_array_into(
+                &mut vsa,
+                a,
+                opts,
+                Ns {
+                    job: Some(b as i32),
+                },
+            )
+        })
+        .collect();
+    (vsa, geoms)
+}
+
+fn collect_batch(
+    mut out: RunOutput,
+    jobs: &[(&Matrix, &QrOptions)],
+    geoms: &[QrGeom],
+) -> BatchQrResult {
+    let factors = jobs
+        .iter()
+        .zip(geoms)
+        .enumerate()
+        .map(|(b, ((a, _), g))| {
+            collect_factors(
+                &mut out,
+                a.nrows(),
+                a.ncols(),
+                g,
+                Ns {
+                    job: Some(b as i32),
+                },
+            )
+        })
+        .collect();
+    BatchQrResult {
+        factors,
         stats: out.stats,
         trace: out.trace,
     }
+}
+
+/// Factor several matrices in ONE VSA launch: each job's sub-array gets a
+/// disjoint tuple namespace (its batch index prefixes every tuple), and the
+/// runtime schedules all of them together — the service's small-job
+/// batching, amortizing thread wake-up and run setup across jobs.
+///
+/// The dataflow of each sub-array is independent, so every job's factors
+/// are identical to what a solo [`tile_qr_vsa`] run would produce.
+pub fn tile_qr_vsa_batch(
+    jobs: &[(&Matrix, &QrOptions)],
+    config: &RunConfig,
+) -> Result<BatchQrResult, RunError> {
+    let (vsa, geoms) = build_batch_array(jobs);
+    let out = vsa.run(config)?;
+    Ok(collect_batch(out, jobs, &geoms))
+}
+
+/// [`tile_qr_vsa_batch`] executed on a persistent [`VsaPool`] instead of
+/// freshly spawned threads — the warm path of `pulsar-qr serve`, where the
+/// pool's kernel workspaces persist from batch to batch.
+pub fn tile_qr_vsa_batch_pooled(
+    jobs: &[(&Matrix, &QrOptions)],
+    config: &RunConfig,
+    pool: &VsaPool,
+) -> Result<BatchQrResult, RunError> {
+    let (vsa, geoms) = build_batch_array(jobs);
+    let out = vsa.run_pooled(config, pool)?;
+    Ok(collect_batch(out, jobs, &geoms))
 }
 
 /// What one rank of a distributed run collected: the `R` tiles whose
@@ -335,6 +451,7 @@ pub fn tile_qr_vsa_partial(
 ) -> Result<VsaQrPartial, RunError> {
     let (vsa, g) = build_qr_array(a, opts);
     let mut out = vsa.run(config)?;
+    let ns = Ns::default();
     let k = a.nrows().min(a.ncols());
     let mut r_tiles = Vec::new();
     for i in 0..g.kt {
@@ -342,7 +459,7 @@ pub fn tile_qr_vsa_partial(
             if i * g.nb >= k {
                 continue;
             }
-            let mut packets = out.take_exit(exit_r_tuple(i, l), 0);
+            let mut packets = out.take_exit(ns.exit_r(i, l), 0);
             let Some(p) = (!packets.is_empty()).then(|| packets.remove(0)) else {
                 continue;
             };
@@ -358,18 +475,18 @@ pub fn tile_qr_vsa_partial(
     })
 }
 
-/// The logic of one 3D-VSA VDP (factor when `l == j`, update when `l > j` —
-/// distinguished by which input slots are wired).
+/// The logic of one 3D-VSA VDP (factor when `l == j`, update when `l > j`
+/// — recorded at build time so the role is independent of the tuple arity
+/// a batch namespace gives the VDP).
 struct QrVdp {
     op: PanelOp,
     ib: usize,
+    factor: bool,
 }
 
 impl pulsar_runtime::VdpLogic for QrVdp {
     fn fire(&mut self, ctx: &mut VdpContext<'_>) {
-        let l = ctx.tuple().id(2);
-        let j = ctx.tuple().id(0);
-        if l == j {
+        if self.factor {
             self.fire_factor(ctx);
         } else {
             self.fire_update(ctx);
@@ -528,12 +645,13 @@ pub fn array_shape(plan: &QrPlan) -> ArrayShape {
         for (q, &op) in ops.iter().enumerate() {
             for l in j..plan.nt {
                 let (prim, sec) = op.rows();
-                if !matches!(next_hop(&stage_ops, kt, j, Some(q), prim, l), Hop::Drop) {
+                let ns = Ns::default();
+                if !matches!(next_hop(&stage_ops, kt, j, Some(q), prim, l, ns), Hop::Drop) {
                     channels += 1;
                 }
                 if l > j {
                     if let Some(s) = sec {
-                        if !matches!(next_hop(&stage_ops, kt, j, Some(q), s, l), Hop::Drop) {
+                        if !matches!(next_hop(&stage_ops, kt, j, Some(q), s, l, ns), Hop::Drop) {
                             channels += 1;
                         }
                     }
@@ -634,6 +752,64 @@ mod tests {
     #[test]
     fn vsa_custom_domains() {
         run_case(28, 8, &QrOptions::new(4, 2, Tree::custom([3, 2])), 4);
+    }
+
+    #[test]
+    fn batch_matches_sequential_per_job() {
+        let mut rng = rand::rng();
+        let specs = [
+            (16usize, 8usize, QrOptions::new(4, 2, Tree::Binary)),
+            (24, 4, QrOptions::new(4, 2, Tree::BinaryOnFlat { h: 3 })),
+            (12, 12, QrOptions::new(4, 2, Tree::Flat)),
+        ];
+        let mats: Vec<Matrix> = specs
+            .iter()
+            .map(|&(m, n, _)| Matrix::random(m, n, &mut rng))
+            .collect();
+        let jobs: Vec<(&Matrix, &QrOptions)> = mats
+            .iter()
+            .zip(&specs)
+            .map(|(a, (_, _, o))| (a, o))
+            .collect();
+        let out = tile_qr_vsa_batch(&jobs, &RunConfig::smp(4)).expect("batch run");
+        assert_eq!(out.factors.len(), 3);
+        for ((a, opts), f) in jobs.iter().zip(&out.factors) {
+            let seq = tile_qr_seq(a, opts);
+            // Same dataflow, same kernels, same operands: bit-identical.
+            let d = r_factor_distance(&f.r, &seq.r);
+            assert_eq!(d, 0.0, "batched job's R differs from sequential by {d}");
+            let resid = f.residual(a);
+            assert!(resid < 1e-13, "batch residual {resid}");
+        }
+    }
+
+    #[test]
+    fn batch_pooled_reuses_one_pool_across_launches() {
+        let pool = pulsar_runtime::VsaPool::new(3);
+        let mut rng = rand::rng();
+        let opts = QrOptions::new(4, 2, Tree::Binary);
+        for _ in 0..2 {
+            let mats: Vec<Matrix> = (0..2).map(|_| Matrix::random(16, 8, &mut rng)).collect();
+            let jobs: Vec<(&Matrix, &QrOptions)> = mats.iter().map(|a| (a, &opts)).collect();
+            let out =
+                tile_qr_vsa_batch_pooled(&jobs, &RunConfig::smp(3), &pool).expect("pooled batch");
+            for (a, f) in mats.iter().zip(&out.factors) {
+                let seq = tile_qr_seq(a, &opts);
+                assert_eq!(r_factor_distance(&f.r, &seq.r), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_rejects_mismatched_thread_count() {
+        let pool = pulsar_runtime::VsaPool::new(2);
+        let mut rng = rand::rng();
+        let a = Matrix::random(8, 4, &mut rng);
+        let opts = QrOptions::new(4, 2, Tree::Flat);
+        let err = tile_qr_vsa_batch_pooled(&[(&a, &opts)], &RunConfig::smp(3), &pool)
+            .err()
+            .expect("must reject");
+        assert!(matches!(err, RunError::Protocol { .. }), "got {err:?}");
     }
 
     #[test]

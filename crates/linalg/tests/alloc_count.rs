@@ -130,6 +130,63 @@ fn apply_kernels_are_alloc_free_after_warmup() {
     });
 }
 
+/// One service "job" worth of kernel work: every `_ws` kernel once, in
+/// factor → apply order, against pre-allocated inputs.
+#[allow(clippy::too_many_arguments)]
+fn job_sweep(
+    ws: &mut Workspace,
+    geqrt_a: &mut Matrix,
+    ts_r: &mut Matrix,
+    ts_v: &mut Matrix,
+    tt_r: &mut Matrix,
+    tt_v: &mut Matrix,
+    c1: &mut Matrix,
+    c2: &mut Matrix,
+    t: &mut Matrix,
+) {
+    geqrt_ws(geqrt_a, t, IB, ws);
+    unmqr_ws(geqrt_a, t, ApplyTrans::Trans, c1, IB, ws);
+    tsqrt_ws(ts_r, ts_v, t, IB, ws);
+    tsmqr_ws(c1, c2, ts_v, t, ApplyTrans::Trans, IB, ws);
+    ttqrt_ws(tt_r, tt_v, t, IB, ws);
+    ttmqr_ws(c1, c2, tt_v, t, ApplyTrans::Trans, IB, ws);
+}
+
+#[test]
+fn two_consecutive_jobs_share_a_warm_workspace_alloc_free() {
+    // The serve daemon's worth: a pooled worker runs job after job on one
+    // warm workspace. Model two jobs with fresh inputs each (allocated
+    // outside the counted region, as the service decodes them off the
+    // wire before dispatch); the second job must never hit the allocator.
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut ws = Workspace::new();
+    let mut inputs = || {
+        (
+            Matrix::random(NB, NB, &mut rng),
+            Matrix::random(NB, NB, &mut rng).upper_triangle(),
+            Matrix::random(NB, NB, &mut rng),
+            Matrix::random(NB, NB, &mut rng).upper_triangle(),
+            Matrix::random(NB, NB, &mut rng).upper_triangle(),
+            Matrix::random(NB, NB, &mut rng),
+            Matrix::random(NB, NB, &mut rng),
+        )
+    };
+    let (mut ga, mut tr, mut tv, mut hr, mut hv, mut c1, mut c2) = inputs();
+    let (mut ga2, mut tr2, mut tv2, mut hr2, mut hv2, mut d1, mut d2) = inputs();
+    let mut t1 = Matrix::zeros(IB, NB);
+    let mut t2 = Matrix::zeros(IB, NB);
+
+    job_sweep(
+        &mut ws, &mut ga, &mut tr, &mut tv, &mut hr, &mut hv, &mut c1, &mut c2, &mut t1,
+    );
+    let before = alloc_count();
+    job_sweep(
+        &mut ws, &mut ga2, &mut tr2, &mut tv2, &mut hr2, &mut hv2, &mut d1, &mut d2, &mut t2,
+    );
+    let during = alloc_count() - before;
+    assert_eq!(during, 0, "second job made {during} allocations");
+}
+
 #[test]
 fn workspace_capacity_stops_growing() {
     // Independent signal: after one full kernel sweep the arena's capacity

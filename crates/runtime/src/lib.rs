@@ -60,6 +60,7 @@ pub mod checkpoint;
 pub mod error;
 pub mod net;
 pub mod packet;
+pub mod pool;
 mod sched;
 pub mod trace;
 pub mod tuple;
@@ -71,6 +72,7 @@ pub use checkpoint::CheckpointError;
 pub use error::{RunError, StuckVdp};
 pub use net::NetModel;
 pub use packet::{Packet, PacketCodec, PacketRegistry, WireError};
+pub use pool::VsaPool;
 pub use pulsar_fabric::{FabricError, FaultLog, FaultPlan, KillSpec, RetryPolicy};
 pub use trace::{TaskSpan, Trace};
 pub use tuple::Tuple;

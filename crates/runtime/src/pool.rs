@@ -1,0 +1,187 @@
+//! A persistent worker pool for repeated VSA runs.
+//!
+//! [`Vsa::run`](crate::Vsa::run) spawns scoped OS threads per run and tears
+//! them down at the end — fine for one-shot factorizations, wasteful for a
+//! service that executes thousands of jobs. A [`VsaPool`] keeps the paper's
+//! worker layout alive between runs: one OS thread per configured worker,
+//! each owning a [`WorkerScratch`] whose typed slots (notably the
+//! `linalg::Workspace` arenas the QR kernels allocate from) stay warm from
+//! job to job. [`Vsa::run_pooled`](crate::Vsa::run_pooled) dispatches a
+//! prepared array onto the pool instead of spawning threads.
+
+use crate::vdp::WorkerScratch;
+use parking_lot::Mutex;
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+/// One unit of pool work: a worker-thread body that borrows the pool
+/// thread's persistent scratch store for its duration.
+pub(crate) type PoolJob = Box<dyn FnOnce(&WorkerScratch) + Send>;
+
+struct Envelope {
+    job: PoolJob,
+    /// Signals completion; carries the panic payload if the job panicked.
+    /// The job (and everything it captured) is dropped before this fires.
+    done: mpsc::Sender<Option<Box<dyn Any + Send>>>,
+}
+
+/// A fixed-size pool of long-lived worker threads with warm per-thread
+/// [`WorkerScratch`] stores.
+///
+/// Jobs are dispatched positionally — job `i` always runs on pool thread
+/// `i` — so a deterministic VDP→thread mapping lands the same work on the
+/// same warm arenas across runs. Runs are serialized internally: a second
+/// [`Vsa::run_pooled`](crate::Vsa::run_pooled) blocks until the first
+/// finishes. A panicking job does not kill its pool thread (the panic is
+/// captured and re-raised on the caller); dropping the pool joins every
+/// thread.
+pub struct VsaPool {
+    senders: Vec<mpsc::Sender<Envelope>>,
+    handles: Vec<JoinHandle<()>>,
+    run_lock: Mutex<()>,
+}
+
+impl VsaPool {
+    /// Spawn a pool of `threads` persistent workers.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "a VsaPool needs at least one thread");
+        let mut senders = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let (tx, rx) = mpsc::channel::<Envelope>();
+            senders.push(tx);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("vsa-pool-{i}"))
+                    .spawn(move || {
+                        // The thread's whole reason to exist: this scratch
+                        // store outlives every job the thread runs.
+                        let scratch = WorkerScratch::new();
+                        while let Ok(Envelope { job, done }) = rx.recv() {
+                            let r = catch_unwind(AssertUnwindSafe(|| job(&scratch)));
+                            let _ = done.send(r.err());
+                        }
+                    })
+                    .expect("failed to spawn pool thread"),
+            );
+        }
+        VsaPool {
+            senders,
+            handles,
+            run_lock: Mutex::new(()),
+        }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn threads(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Dispatch one job per pool thread (job `i` → thread `i`) and block
+    /// until all complete. Returns the first panic payload, if any job
+    /// panicked; the caller decides whether to resume it.
+    pub(crate) fn run_jobs(&self, jobs: Vec<PoolJob>) -> Option<Box<dyn Any + Send>> {
+        let _serialize = self.run_lock.lock();
+        assert_eq!(
+            jobs.len(),
+            self.senders.len(),
+            "run_jobs needs exactly one job per pool thread"
+        );
+        let (done_tx, done_rx) = mpsc::channel();
+        for (tx, job) in self.senders.iter().zip(jobs) {
+            tx.send(Envelope {
+                job,
+                done: done_tx.clone(),
+            })
+            .expect("pool worker thread died");
+        }
+        drop(done_tx);
+        let mut first_panic = None;
+        for outcome in done_rx.iter() {
+            if first_panic.is_none() {
+                first_panic = outcome;
+            }
+        }
+        first_panic
+    }
+}
+
+impl Drop for VsaPool {
+    fn drop(&mut self) {
+        // Closing the channels lets every worker fall out of its recv loop.
+        self.senders.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn job(f: impl FnOnce(&WorkerScratch) + Send + 'static) -> PoolJob {
+        Box::new(f)
+    }
+
+    #[test]
+    fn scratch_persists_across_runs_on_the_same_thread() {
+        let pool = VsaPool::new(2);
+        // Run 1 stamps each thread's scratch slot.
+        pool.run_jobs(vec![
+            job(|s| s.with(|v: &mut Vec<usize>| v.push(10))),
+            job(|s| s.with(|v: &mut Vec<usize>| v.push(20))),
+        ]);
+        // Run 2 must see run 1's state, positionally.
+        let seen = Arc::new(Mutex::new(vec![0usize; 2]));
+        let (a, b) = (seen.clone(), seen.clone());
+        pool.run_jobs(vec![
+            job(move |s| a.lock()[0] = s.with(|v: &mut Vec<usize>| v[0])),
+            job(move |s| b.lock()[1] = s.with(|v: &mut Vec<usize>| v[0])),
+        ]);
+        assert_eq!(*seen.lock(), vec![10, 20]);
+    }
+
+    #[test]
+    fn panicking_job_reports_payload_and_spares_the_thread() {
+        let pool = VsaPool::new(2);
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f = fired.clone();
+        let payload = pool.run_jobs(vec![
+            job(|_| panic!("boom from job 0")),
+            job(move |_| {
+                f.fetch_add(1, Ordering::SeqCst);
+            }),
+        ]);
+        let payload = payload.expect("panic payload must surface");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(msg.contains("boom"), "unexpected payload {msg:?}");
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        // The pool survives: the same threads run another round.
+        let f = fired.clone();
+        let payload = pool.run_jobs(vec![
+            job({
+                let f = fired.clone();
+                move |_| {
+                    f.fetch_add(1, Ordering::SeqCst);
+                }
+            }),
+            job(move |_| {
+                f.fetch_add(1, Ordering::SeqCst);
+            }),
+        ]);
+        assert!(payload.is_none());
+        assert_eq!(fired.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "one job per pool thread")]
+    fn job_count_must_match_thread_count() {
+        let pool = VsaPool::new(2);
+        pool.run_jobs(vec![job(|_| {})]);
+    }
+}

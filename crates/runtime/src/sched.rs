@@ -154,6 +154,11 @@ fn fire_vdp(
 }
 
 /// Main loop of one worker thread.
+///
+/// `scratch` is the worker's typed slot store: kernel workspaces stay warm
+/// across every VDP firing this worker executes. Scoped runs hand each
+/// spawned thread a fresh store; pooled runs ([`crate::VsaPool`]) pass the
+/// pool thread's persistent store so arenas survive from job to job.
 pub(crate) fn worker_loop(
     node: usize,
     local_thread: usize,
@@ -161,6 +166,7 @@ pub(crate) fn worker_loop(
     shared: &Shared,
     node_shared: &NodeShared,
     scheme: SchedScheme,
+    scratch: &WorkerScratch,
 ) {
     // If this worker panics (user VDP code, watchdog, wiring bug), wake and
     // stop every other thread so the scope can join and propagate the panic.
@@ -179,9 +185,6 @@ pub(crate) fn worker_loop(
         node_shared,
         local_thread,
     };
-    // One scratch store per worker thread: kernel workspaces stay warm
-    // across every VDP firing this worker executes.
-    let scratch = WorkerScratch::new();
     let global = shared.global_thread(node, local_thread);
     let notifier = shared.notifiers[global].clone();
     // A restore may hand this worker already-destroyed VDPs.
@@ -218,7 +221,7 @@ pub(crate) fn worker_loop(
             }
             while vdp.is_ready() {
                 let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    fire_vdp(vdp, node, local_thread, &services, &scratch)
+                    fire_vdp(vdp, node, local_thread, &services, scratch)
                 }));
                 if let Err(e) = r {
                     // Quarantine: the panicking firing already left

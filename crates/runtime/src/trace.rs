@@ -59,6 +59,33 @@ impl Trace {
         self.spans.iter().filter(|s| pred(&s.label)).collect()
     }
 
+    /// Render the trace in the Chrome trace-event format understood by
+    /// `chrome://tracing` and <https://ui.perfetto.dev>: a JSON array of
+    /// complete (`"ph":"X"`) events, one pid per node and one tid per
+    /// worker thread, timestamps and durations in microseconds.
+    pub fn to_chrome_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n  {{\"name\":{},\"cat\":\"vsa\",\"ph\":\"X\",\"pid\":{},\"tid\":{},\
+                 \"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"tuple\":{}}}}}",
+                json_string(&s.label),
+                s.node,
+                s.thread,
+                s.start_us,
+                (s.end_us - s.start_us).max(0.0),
+                json_string(&s.tuple),
+            );
+        }
+        out.push_str("\n]\n");
+        out
+    }
+
     /// Render an ASCII chart: one row per thread, time binned into `width`
     /// columns, each cell showing the class letter of the span occupying it
     /// (`classify` maps a label to a letter; later spans win ties).
@@ -95,17 +122,44 @@ impl Trace {
     }
 }
 
+/// JSON string literal with the escapes the trace-event format needs.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 /// Shared collector the runtime appends spans to while tracing is on.
+///
+/// Spans land in a per-worker buffer (indexed by the span's global thread)
+/// so recording never contends across workers on the hot firing path; the
+/// buffers are merged into one [`Trace`] at run end.
 pub(crate) struct TraceCollector {
     pub t0: Instant,
-    pub spans: Mutex<Vec<TaskSpan>>,
+    buffers: Vec<Mutex<Vec<TaskSpan>>>,
 }
 
 impl TraceCollector {
-    pub fn new(t0: Instant) -> Self {
+    pub fn new(t0: Instant, threads: usize) -> Self {
         TraceCollector {
             t0,
-            spans: Mutex::new(Vec::new()),
+            buffers: (0..threads.max(1))
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
         }
     }
 
@@ -114,13 +168,20 @@ impl TraceCollector {
     }
 
     pub fn record(&self, span: TaskSpan) {
-        self.spans.lock().push(span);
+        let slot = span.thread.min(self.buffers.len() - 1);
+        self.buffers[slot].lock().push(span);
     }
 
     pub fn finish(self) -> Trace {
-        Trace {
-            spans: self.spans.into_inner(),
-        }
+        let mut spans: Vec<TaskSpan> = self
+            .buffers
+            .into_iter()
+            .flat_map(|b| b.into_inner())
+            .collect();
+        // Per-worker buffers are already in completion order; restore the
+        // global completion order the single-vec collector used to give.
+        spans.sort_by(|a, b| a.end_us.total_cmp(&b.end_us));
+        Trace { spans }
     }
 }
 
@@ -171,5 +232,50 @@ mod tests {
         let t = Trace::default();
         assert!(t.ascii_chart(10, |_| Some('x')).contains("empty"));
         assert_eq!(t.makespan_us(), 0.0);
+    }
+
+    #[test]
+    fn per_worker_buffers_merge_in_completion_order() {
+        let c = TraceCollector::new(Instant::now(), 3);
+        c.record(span(2, "late", 5.0, 30.0));
+        c.record(span(0, "early", 0.0, 10.0));
+        c.record(span(1, "mid", 2.0, 20.0));
+        // A thread index past the buffer count must not panic (clamped).
+        c.record(span(7, "overflow", 30.0, 40.0));
+        let t = c.finish();
+        let labels: Vec<&str> = t.spans.iter().map(|s| s.label.as_str()).collect();
+        assert_eq!(labels, ["early", "mid", "late", "overflow"]);
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let t = Trace {
+            spans: vec![
+                span(0, "geqrt", 0.0, 50.0),
+                TaskSpan {
+                    node: 2,
+                    thread: 5,
+                    tuple: String::from("(1,2)"),
+                    label: String::from("odd\"label\\"),
+                    start_us: 1.5,
+                    end_us: 2.5,
+                },
+            ],
+        };
+        let j = t.to_chrome_json();
+        assert!(j.trim_start().starts_with('['));
+        assert!(j.trim_end().ends_with(']'));
+        assert!(j.contains("\"ph\":\"X\""));
+        assert!(j.contains("\"pid\":2"));
+        assert!(j.contains("\"tid\":5"));
+        assert!(j.contains("\"name\":\"geqrt\""));
+        // Escaping: the quote and backslash in the label survive as \" and \\.
+        assert!(j.contains("odd\\\"label\\\\"));
+        assert!(j.contains("\"dur\":1.000"));
+    }
+
+    #[test]
+    fn empty_chrome_json_is_valid_array() {
+        assert_eq!(Trace::default().to_chrome_json(), "[\n]\n");
     }
 }

@@ -5,10 +5,11 @@ use crate::checkpoint::{self, CheckpointError, RankCheckpoint, VdpEntry};
 use crate::error::RunError;
 use crate::net::{NetModel, RouteTable};
 use crate::packet::{Packet, PacketRegistry};
+use crate::pool::{PoolJob, VsaPool};
 use crate::sched::{worker_loop, OutgoingQueue, ThreadNotifier};
 use crate::trace::{Trace, TraceCollector};
 use crate::tuple::Tuple;
-use crate::vdp::{OutputTarget, VdpSpec, VdpState};
+use crate::vdp::{OutputTarget, VdpSpec, VdpState, WorkerScratch};
 use parking_lot::Mutex;
 use pulsar_fabric::{FaultLog, FaultPlan, FaultyFabric, InProcFabric, RetryPolicy, TcpFabric};
 use std::collections::HashMap;
@@ -582,22 +583,11 @@ impl Vsa {
         }
     }
 
-    /// Launch the array and block until every local VDP has been destroyed
-    /// or the run fails.
-    ///
-    /// Under [`Backend::InProcess`] all `nodes` run here as thread groups.
-    /// Under [`Backend::Tcp`] only the VDPs mapped to the backend's rank
-    /// are materialized; wire ids for *every* cross-node channel are still
-    /// assigned (deterministically, in channel insertion order), so all
-    /// ranks of the SPMD run agree on them — the identically-built array IS
-    /// the address space.
-    ///
-    /// A lost peer, undecodable arrival, panicking VDP, or stall is
-    /// reported as a typed [`RunError`] (first failure wins; every thread
-    /// is unblocked). Wiring bugs in the caller's own array — bad slots,
-    /// duplicate tuples, non-wire packets crossing nodes — still panic, as
-    /// does anything [`Vsa::validate`] would have rejected.
-    pub fn run(self, config: &RunConfig) -> Result<RunOutput, RunError> {
+    /// Build everything a run needs short of spawning threads: placement,
+    /// VDP states, the [`Shared`] block, channel wiring, seeds, checkpoint
+    /// base/restore, and the per-thread work partition. Shared by
+    /// [`Vsa::run`] (scoped threads) and [`Vsa::run_pooled`] (warm pool).
+    fn prepare(self, config: &RunConfig) -> Result<Prepared, RunError> {
         let Vsa {
             vdps,
             by_tuple,
@@ -696,7 +686,7 @@ impl Vsa {
             retries_healed: AtomicU64::new(0),
             fault_log: Mutex::new(None),
             ckpt,
-            trace: config.trace.then(|| TraceCollector::new(t0)),
+            trace: config.trace.then(|| TraceCollector::new(t0, nodes * tpn)),
             net: config.net,
             deadlock_timeout: config.deadlock_timeout,
             threads_per_node: tpn,
@@ -870,6 +860,47 @@ impl Vsa {
             })
             .collect();
 
+        Ok(Prepared {
+            shared: Arc::new(shared),
+            per_thread,
+            node_shared: Arc::new(node_shared),
+            all_queues,
+            routes,
+            local_nodes,
+            t0,
+        })
+    }
+
+    /// Launch the array and block until every local VDP has been destroyed
+    /// or the run fails.
+    ///
+    /// Under [`Backend::InProcess`] all `nodes` run here as thread groups.
+    /// Under [`Backend::Tcp`] only the VDPs mapped to the backend's rank
+    /// are materialized; wire ids for *every* cross-node channel are still
+    /// assigned (deterministically, in channel insertion order), so all
+    /// ranks of the SPMD run agree on them — the identically-built array IS
+    /// the address space.
+    ///
+    /// A lost peer, undecodable arrival, panicking VDP, or stall is
+    /// reported as a typed [`RunError`] (first failure wins; every thread
+    /// is unblocked). Wiring bugs in the caller's own array — bad slots,
+    /// duplicate tuples, non-wire packets crossing nodes — still panic, as
+    /// does anything [`Vsa::validate`] would have rejected.
+    pub fn run(self, config: &RunConfig) -> Result<RunOutput, RunError> {
+        let nodes = config.nodes;
+        let tpn = config.threads_per_node;
+        let Prepared {
+            shared: shared_arc,
+            mut per_thread,
+            node_shared: node_shared_arc,
+            all_queues,
+            mut routes,
+            local_nodes,
+            t0,
+        } = self.prepare(config)?;
+        let shared: &Shared = &shared_arc;
+        let node_shared: &[NodeShared] = &node_shared_arc;
+
         let scheme = config.scheme;
         // `thread::scope` replaces panic payloads with a generic message, so
         // capture the first real payload (e.g. a watchdog diagnostic or a
@@ -887,12 +918,14 @@ impl Vsa {
             for node in local_nodes.clone() {
                 for local in 0..tpn {
                     let vdps = std::mem::take(&mut per_thread[shared.global_thread(node, local)]);
-                    let shared = &shared;
                     let ns = &node_shared[node];
                     let capture = &capture;
                     scope.spawn(move || {
+                        // One fresh scratch store per scoped worker thread;
+                        // pooled runs reuse the pool's persistent stores.
+                        let scratch = WorkerScratch::new();
                         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            worker_loop(node, local, vdps, shared, ns, scheme)
+                            worker_loop(node, local, vdps, shared, ns, scheme, &scratch)
                         }));
                         if let Err(e) = r {
                             capture(e);
@@ -918,7 +951,6 @@ impl Vsa {
                             let fabric = FaultyFabric::new(fabric, plan.clone());
                             let rt = std::mem::take(&mut routes[node]);
                             let registry = registry.clone();
-                            let shared = &shared;
                             let ns = &node_shared[node];
                             let capture = &capture;
                             scope.spawn(move || {
@@ -948,7 +980,6 @@ impl Vsa {
                         let mesh = InProcFabric::<Packet>::mesh(nodes);
                         for (node, fabric) in mesh.into_iter().enumerate() {
                             let rt = std::mem::take(&mut routes[node]);
-                            let shared = &shared;
                             let ns = &node_shared[node];
                             let capture = &capture;
                             scope.spawn(move || {
@@ -986,7 +1017,6 @@ impl Vsa {
                         let heartbeat = config.heartbeat;
                         let retry = config.retry;
                         let fault = config.fault.clone();
-                        let shared = &shared;
                         let ns = &node_shared[rank];
                         let capture = &capture;
                         scope.spawn(move || {
@@ -1049,41 +1079,136 @@ impl Vsa {
         if let Some(p) = first_panic.into_inner() {
             std::panic::resume_unwind(p);
         }
-        if let Some(e) = shared.take_error() {
-            return Err(e);
-        }
-
-        let stats = RunStats {
-            fired: shared.fired.load(Ordering::Relaxed),
-            remote_msgs: shared.sent.load(Ordering::Relaxed),
-            wall: t0.elapsed(),
-            fired_per_thread: shared
-                .fired_per_thread
-                .iter()
-                .map(|c| c.load(Ordering::Relaxed))
-                .collect(),
-            peak_channel_depth: all_queues.iter().map(|q| q.high_water()).max().unwrap_or(0),
-            wire_bytes_sent: shared.wire_bytes_sent.load(Ordering::Relaxed),
-            wire_bytes_recv: shared.wire_bytes_recv.load(Ordering::Relaxed),
-            deferred_msgs: shared.deferred.load(Ordering::Relaxed),
-            proxy_idle_spins: shared.idle_spins.load(Ordering::Relaxed),
-            heartbeats_sent: shared.heartbeats_sent.load(Ordering::Relaxed),
-            heartbeats_missed: shared.heartbeats_missed.load(Ordering::Relaxed),
-            reconnect_attempts: shared.reconnect_attempts.load(Ordering::Relaxed),
-            retried_sends: shared.retried_sends.load(Ordering::Relaxed),
-            quarantined_vdps: shared.quarantined.load(Ordering::Relaxed),
-            checkpoints_written: shared.checkpoints_written.load(Ordering::Relaxed),
-            checkpoint_bytes: shared.checkpoint_bytes.load(Ordering::Relaxed),
-            frames_replayed: shared.frames_replayed.load(Ordering::Relaxed),
-            retries_healed: shared.retries_healed.load(Ordering::Relaxed),
-            fault_log: *shared.fault_log.lock(),
-        };
-        Ok(RunOutput {
-            exits: shared.exits.into_inner(),
-            trace: shared.trace.map(|t| t.finish()),
-            stats,
-        })
+        finish_run(shared_arc, &all_queues, t0)
     }
+
+    /// Run the array on a persistent [`VsaPool`] instead of spawning one
+    /// scoped thread per worker. The pool's per-thread [`WorkerScratch`]
+    /// stores survive from run to run, so kernel workspaces warmed by one
+    /// job are reused allocation-free by the next — the warm-pool path of
+    /// `pulsar-qr serve`. Because the tuple→thread mapping is deterministic
+    /// and jobs are dispatched thread-`i`→pool-worker-`i`, repeated runs of
+    /// the same array shape always land on the same warm arenas.
+    ///
+    /// Restricted to single-node in-process runs: `config` must have
+    /// `nodes == 1`, [`Backend::InProcess`], no fault injection, no
+    /// checkpointing, and `threads_per_node` equal to [`VsaPool::threads`].
+    /// Violations are reported as [`RunError::Protocol`].
+    pub fn run_pooled(self, config: &RunConfig, pool: &VsaPool) -> Result<RunOutput, RunError> {
+        let unsupported = |msg: &str| RunError::Protocol {
+            node: 0,
+            msg: msg.to_string(),
+        };
+        if config.nodes != 1 {
+            return Err(unsupported("run_pooled requires nodes == 1"));
+        }
+        if !matches!(config.backend, Backend::InProcess) {
+            return Err(unsupported("run_pooled requires Backend::InProcess"));
+        }
+        if config.fault.is_some() || config.checkpoint_dir.is_some() || config.resume {
+            return Err(unsupported(
+                "run_pooled does not support fault injection or checkpointing",
+            ));
+        }
+        if config.threads_per_node != pool.threads() {
+            return Err(unsupported(
+                "config.threads_per_node must match the pool's thread count",
+            ));
+        }
+        let tpn = config.threads_per_node;
+        let scheme = config.scheme;
+        let Prepared {
+            shared,
+            mut per_thread,
+            node_shared,
+            all_queues,
+            routes: _,
+            local_nodes: _,
+            t0,
+        } = self.prepare(config)?;
+        let jobs: Vec<PoolJob> = (0..tpn)
+            .map(|local| {
+                let vdps = std::mem::take(&mut per_thread[local]);
+                let shared = Arc::clone(&shared);
+                let node_shared = Arc::clone(&node_shared);
+                let job: PoolJob = Box::new(move |scratch: &WorkerScratch| {
+                    worker_loop(0, local, vdps, &shared, &node_shared[0], scheme, scratch)
+                });
+                job
+            })
+            .collect();
+        if let Some(p) = pool.run_jobs(jobs) {
+            std::panic::resume_unwind(p);
+        }
+        finish_run(shared, &all_queues, t0)
+    }
+}
+
+/// Everything [`Vsa::prepare`] builds for the execution step.
+struct Prepared {
+    shared: Arc<Shared>,
+    per_thread: Vec<Vec<VdpState>>,
+    node_shared: Arc<Vec<NodeShared>>,
+    all_queues: Vec<Arc<ChannelQueue>>,
+    routes: Vec<RouteTable>,
+    local_nodes: Range<usize>,
+    t0: Instant,
+}
+
+/// Tear down after every worker has stopped: reclaim the shared block,
+/// surface the first typed error, and assemble stats + output.
+fn finish_run(
+    shared: Arc<Shared>,
+    all_queues: &[Arc<ChannelQueue>],
+    t0: Instant,
+) -> Result<RunOutput, RunError> {
+    // Scoped runs reach here holding the only reference; pooled runs can
+    // momentarily race a pool thread that has signalled completion but not
+    // yet dropped its clone.
+    let mut shared = shared;
+    let shared = loop {
+        match Arc::try_unwrap(shared) {
+            Ok(s) => break s,
+            Err(again) => {
+                shared = again;
+                std::thread::yield_now();
+            }
+        }
+    };
+    if let Some(e) = shared.take_error() {
+        return Err(e);
+    }
+
+    let stats = RunStats {
+        fired: shared.fired.load(Ordering::Relaxed),
+        remote_msgs: shared.sent.load(Ordering::Relaxed),
+        wall: t0.elapsed(),
+        fired_per_thread: shared
+            .fired_per_thread
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect(),
+        peak_channel_depth: all_queues.iter().map(|q| q.high_water()).max().unwrap_or(0),
+        wire_bytes_sent: shared.wire_bytes_sent.load(Ordering::Relaxed),
+        wire_bytes_recv: shared.wire_bytes_recv.load(Ordering::Relaxed),
+        deferred_msgs: shared.deferred.load(Ordering::Relaxed),
+        proxy_idle_spins: shared.idle_spins.load(Ordering::Relaxed),
+        heartbeats_sent: shared.heartbeats_sent.load(Ordering::Relaxed),
+        heartbeats_missed: shared.heartbeats_missed.load(Ordering::Relaxed),
+        reconnect_attempts: shared.reconnect_attempts.load(Ordering::Relaxed),
+        retried_sends: shared.retried_sends.load(Ordering::Relaxed),
+        quarantined_vdps: shared.quarantined.load(Ordering::Relaxed),
+        checkpoints_written: shared.checkpoints_written.load(Ordering::Relaxed),
+        checkpoint_bytes: shared.checkpoint_bytes.load(Ordering::Relaxed),
+        frames_replayed: shared.frames_replayed.load(Ordering::Relaxed),
+        retries_healed: shared.retries_healed.load(Ordering::Relaxed),
+        fault_log: *shared.fault_log.lock(),
+    };
+    Ok(RunOutput {
+        exits: shared.exits.into_inner(),
+        trace: shared.trace.map(|t| t.finish()),
+        stats,
+    })
 }
 
 /// Overwrite one local node's fresh build with a checkpoint: firing

@@ -1,0 +1,174 @@
+//! Blocking client for the QR service protocol.
+
+use crate::proto::{self, ErrCode, JobState, Msg, ProtoError};
+use pulsar_core::QrOptions;
+use pulsar_linalg::Matrix;
+use std::net::TcpStream;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The server refused admission (queue full or draining). This is the
+    /// typed backpressure signal: retry after `retry_after_ms` unless
+    /// `draining` is set.
+    Backpressure {
+        /// Server-suggested back-off.
+        retry_after_ms: u32,
+        /// Queue depth at rejection time.
+        queued: u32,
+        /// True when the server is shutting down.
+        draining: bool,
+    },
+    /// The server reported a job-level failure.
+    Job {
+        /// Offending job id (0 when not job-specific).
+        job: u64,
+        /// Failure class.
+        code: ErrCode,
+        /// Server-side detail.
+        msg: String,
+    },
+    /// The reply did not decode (carried inside an io error by the
+    /// protocol reader) or violated the protocol.
+    Proto(ProtoError),
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The server replied with a verb this call does not expect.
+    Unexpected(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Backpressure {
+                retry_after_ms,
+                queued,
+                draining,
+            } => write!(
+                f,
+                "server over capacity ({queued} queued, draining: {draining}); \
+                 retry after {retry_after_ms} ms"
+            ),
+            ClientError::Job { job, code, msg } => {
+                write!(f, "job {job} failed ({code:?}): {msg}")
+            }
+            ClientError::Proto(e) => write!(f, "protocol error: {e}"),
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Unexpected(what) => write!(f, "unexpected reply to {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        // The protocol reader smuggles decode failures through
+        // `InvalidData`; unwrap them back into their typed form.
+        if e.kind() == std::io::ErrorKind::InvalidData {
+            if let Some(inner) = e.get_ref().and_then(|i| i.downcast_ref::<ProtoError>()) {
+                return ClientError::Proto(inner.clone());
+            }
+        }
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking connection to a QR service.
+pub struct Client {
+    stream: TcpStream,
+    next_seq: u64,
+}
+
+impl Client {
+    /// Connect to a serve daemon at `addr` (e.g. `127.0.0.1:7070`).
+    pub fn connect(addr: &str) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(ClientError::Io)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            stream,
+            next_seq: 1,
+        })
+    }
+
+    fn call(&mut self, msg: &Msg) -> Result<Msg, ClientError> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        proto::write_msg(&mut self.stream, msg, seq)?;
+        let (reply, rseq) = proto::read_msg(&mut self.stream)?;
+        if rseq != seq {
+            return Err(ClientError::Unexpected("reply with a foreign request id"));
+        }
+        Ok(reply)
+    }
+
+    /// Submit a factorization; returns the server-assigned job id.
+    /// `deadline_ms == 0` means the job may queue forever.
+    pub fn submit(
+        &mut self,
+        a: &Matrix,
+        opts: &QrOptions,
+        deadline_ms: u32,
+    ) -> Result<u64, ClientError> {
+        let msg = Msg::Submit {
+            nb: opts.nb as u32,
+            ib: opts.ib as u32,
+            deadline_ms,
+            tree: opts.tree.to_string(),
+            a: a.clone(),
+        };
+        match self.call(&msg)? {
+            Msg::SubmitOk { job } => Ok(job),
+            Msg::Reject {
+                draining,
+                retry_after_ms,
+                queued,
+            } => Err(ClientError::Backpressure {
+                retry_after_ms,
+                queued,
+                draining,
+            }),
+            Msg::Error { job, code, msg } => Err(ClientError::Job { job, code, msg }),
+            _ => Err(ClientError::Unexpected("submit")),
+        }
+    }
+
+    /// Block until `job` finishes and return its R factor.
+    pub fn result(&mut self, job: u64) -> Result<Matrix, ClientError> {
+        match self.call(&Msg::Result { job })? {
+            Msg::RFactor { r, .. } => Ok(r),
+            Msg::Error { job, code, msg } => Err(ClientError::Job { job, code, msg }),
+            _ => Err(ClientError::Unexpected("result")),
+        }
+    }
+
+    /// Query a job's state and queue position.
+    pub fn status(&mut self, job: u64) -> Result<(JobState, u32), ClientError> {
+        match self.call(&Msg::Status { job })? {
+            Msg::State {
+                state, queue_pos, ..
+            } => Ok((state, queue_pos)),
+            Msg::Error { job, code, msg } => Err(ClientError::Job { job, code, msg }),
+            _ => Err(ClientError::Unexpected("status")),
+        }
+    }
+
+    /// Cancel a queued job; false when it already ran (or never existed).
+    pub fn cancel(&mut self, job: u64) -> Result<bool, ClientError> {
+        match self.call(&Msg::Cancel { job })? {
+            Msg::CancelOk { cancelled, .. } => Ok(cancelled),
+            Msg::Error { job, code, msg } => Err(ClientError::Job { job, code, msg }),
+            _ => Err(ClientError::Unexpected("cancel")),
+        }
+    }
+
+    /// Drain the server: no new admissions, queued jobs finish, the
+    /// daemon exits. Returns the final stats JSON.
+    pub fn drain(&mut self) -> Result<String, ClientError> {
+        match self.call(&Msg::Drain)? {
+            Msg::Drained { stats } => Ok(stats),
+            Msg::Error { job, code, msg } => Err(ClientError::Job { job, code, msg }),
+            _ => Err(ClientError::Unexpected("drain")),
+        }
+    }
+}

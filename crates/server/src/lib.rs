@@ -1,0 +1,80 @@
+//! Persistent QR service ("pulsar-serve").
+//!
+//! The offline pipeline (`pulsar-qr factor`) builds a VSA, spawns worker
+//! threads, factors one matrix, and tears everything down. This crate
+//! keeps that machinery *warm*: a [`Service`] owns a
+//! [`VsaPool`](pulsar_runtime::VsaPool) of persistent workers whose
+//! per-thread scratch arenas survive from job to job, an admission queue
+//! with typed backpressure, and a batching scheduler that packs several
+//! small factorizations into a single VSA launch (each job lives in its
+//! own tuple namespace, so results are bit-identical to running alone).
+//!
+//! Layers, bottom-up:
+//! - [`proto`] — the binary wire protocol, framed by the fabric codec.
+//! - [`service`] — the in-process queue + scheduler + pool.
+//! - [`server`] — TCP accept loop mapping the protocol onto a service.
+//! - [`client`] — blocking client used by `pulsar-qr submit`/`drain`.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod service;
+
+pub use client::{Client, ClientError};
+pub use proto::{decode_msg, encode_msg, ErrCode, JobState, Msg, ProtoError, MAX_SERVICE_BODY};
+pub use server::serve;
+pub use service::{JobError, ServeConfig, Service, SubmitError};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pulsar_core::{tile_qr_seq, QrOptions, Tree};
+    use pulsar_linalg::verify::r_factor_distance;
+    use pulsar_linalg::Matrix;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::net::TcpListener;
+
+    #[test]
+    fn tcp_round_trip_submit_result_drain() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let svc = Service::start(ServeConfig {
+            threads: 2,
+            ..ServeConfig::default()
+        });
+        let daemon = std::thread::spawn(move || serve(listener, svc));
+
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut a = Matrix::zeros(16, 8);
+        for v in a.data_mut() {
+            *v = rng.random::<f64>() - 0.5;
+        }
+        let opts = QrOptions::new(4, 2, Tree::Greedy);
+
+        let mut c = Client::connect(&addr).unwrap();
+        let job = c.submit(&a, &opts, 0).unwrap();
+        let (state, _) = c.status(job).unwrap();
+        assert!(
+            matches!(state, JobState::Queued | JobState::Running | JobState::Done),
+            "live job state, got {state}"
+        );
+        let r = c.result(job).unwrap();
+        let oracle = tile_qr_seq(&a, &opts);
+        assert_eq!(r_factor_distance(&r, &oracle.r), 0.0);
+        assert!(!c.cancel(job).unwrap(), "done job is not cancellable");
+        match c.status(9999) {
+            Err(ClientError::Job {
+                code: ErrCode::UnknownJob,
+                ..
+            }) => {}
+            other => panic!("expected UnknownJob, got {other:?}"),
+        }
+
+        let stats = c.drain().unwrap();
+        assert!(stats.contains("\"jobs_done\":1"), "stats: {stats}");
+        daemon.join().unwrap().unwrap();
+    }
+}

@@ -1,0 +1,671 @@
+//! Wire protocol of the QR service.
+//!
+//! Framing reuses the fabric codec verbatim: every message is exactly one
+//! length-prefixed frame whose header is a [`FrameKind::Data`] with the
+//! service *verb* as `wire_id` and the caller-chosen request id as `seq`
+//! (echoed unchanged in the reply). The body is `[crc u32 LE][payload]`
+//! where the checksum is FNV-1a over the payload, mixed with the verb and
+//! the request id — a frame cannot be replayed as a different verb, and a
+//! single flipped bit anywhere (header or body) is detected. Matrices ride
+//! inside payloads in the runtime's packet layout
+//! ([`encode_matrix_body`]/[`decode_matrix_body`]): `[nrows u64][ncols
+//! u64][column-major f64]`, all little-endian.
+
+use pulsar_fabric::frame::{
+    decode_header, encode_header, FrameError, FrameHeader, FrameKind, HEADER_LEN,
+};
+use pulsar_linalg::Matrix;
+use pulsar_runtime::packet::{decode_matrix_body, encode_matrix_body};
+
+/// Largest accepted service body (checksum + payload): 64 MiB, far below
+/// the fabric's 1 GiB frame ceiling — a submit bigger than this should go
+/// through the offline `factor` path, not a live service queue.
+pub const MAX_SERVICE_BODY: usize = 1 << 26;
+
+/// Protocol verbs, carried as the `wire_id` of a data frame.
+pub mod verb {
+    /// Client → server: factor a matrix.
+    pub const SUBMIT: u32 = 1;
+    /// Server → client: job accepted.
+    pub const SUBMIT_OK: u32 = 2;
+    /// Server → client: queue full or draining (backpressure).
+    pub const REJECT: u32 = 3;
+    /// Client → server: query a job's state.
+    pub const STATUS: u32 = 4;
+    /// Server → client: job state + queue position.
+    pub const STATE: u32 = 5;
+    /// Client → server: block until the job finishes, then send its R.
+    pub const RESULT: u32 = 6;
+    /// Server → client: the R factor.
+    pub const R_FACTOR: u32 = 7;
+    /// Client → server: cancel a queued job.
+    pub const CANCEL: u32 = 8;
+    /// Server → client: cancel outcome.
+    pub const CANCEL_OK: u32 = 9;
+    /// Client → server: stop admitting, finish the queue, shut down.
+    pub const DRAIN: u32 = 10;
+    /// Server → client: drain complete, final stats attached.
+    pub const DRAINED: u32 = 11;
+    /// Server → client: typed failure.
+    pub const ERROR: u32 = 12;
+}
+
+/// Lifecycle of a job inside the service, as seen over the wire.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting in the admission queue.
+    Queued,
+    /// Handed to the VSA pool (possibly inside a batch).
+    Running,
+    /// Finished; R is available.
+    Done,
+    /// The runtime reported an error.
+    Failed,
+    /// Cancelled while still queued.
+    Cancelled,
+    /// Its deadline passed before a worker picked it up.
+    Expired,
+}
+
+impl JobState {
+    fn to_wire(self) -> u8 {
+        match self {
+            JobState::Queued => 0,
+            JobState::Running => 1,
+            JobState::Done => 2,
+            JobState::Failed => 3,
+            JobState::Cancelled => 4,
+            JobState::Expired => 5,
+        }
+    }
+
+    fn from_wire(b: u8) -> Result<Self, ProtoError> {
+        Ok(match b {
+            0 => JobState::Queued,
+            1 => JobState::Running,
+            2 => JobState::Done,
+            3 => JobState::Failed,
+            4 => JobState::Cancelled,
+            5 => JobState::Expired,
+            _ => return Err(ProtoError::Malformed("unknown job state")),
+        })
+    }
+}
+
+impl std::fmt::Display for JobState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+            JobState::Expired => "expired",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Failure class carried by [`Msg::Error`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ErrCode {
+    /// The factorization itself failed (runtime error).
+    Failed,
+    /// The job's deadline expired before it ran.
+    DeadlineExpired,
+    /// The job was cancelled.
+    Cancelled,
+    /// No such job id.
+    UnknownJob,
+    /// The request was malformed or invalid.
+    Invalid,
+}
+
+impl ErrCode {
+    fn to_wire(self) -> u8 {
+        match self {
+            ErrCode::Failed => 0,
+            ErrCode::DeadlineExpired => 1,
+            ErrCode::Cancelled => 2,
+            ErrCode::UnknownJob => 3,
+            ErrCode::Invalid => 4,
+        }
+    }
+
+    fn from_wire(b: u8) -> Result<Self, ProtoError> {
+        Ok(match b {
+            0 => ErrCode::Failed,
+            1 => ErrCode::DeadlineExpired,
+            2 => ErrCode::Cancelled,
+            3 => ErrCode::UnknownJob,
+            4 => ErrCode::Invalid,
+            _ => return Err(ProtoError::Malformed("unknown error code")),
+        })
+    }
+}
+
+/// One service message; requests and replies share the enum.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Msg {
+    /// Factor `a` with the given tile sizes and reduction tree spec
+    /// (`flat | binary | greedy | hier:H | domains:a,b,...`).
+    /// `deadline_ms == 0` means no deadline.
+    Submit {
+        /// Tile size.
+        nb: u32,
+        /// Inner block size.
+        ib: u32,
+        /// Milliseconds the job may wait in the queue (0 = forever).
+        deadline_ms: u32,
+        /// Reduction tree spec.
+        tree: String,
+        /// The matrix to factor.
+        a: Matrix,
+    },
+    /// Submit accepted; `job` is the service-assigned id.
+    SubmitOk {
+        /// Assigned job id.
+        job: u64,
+    },
+    /// Submit rejected: the admission queue is full or the service is
+    /// draining. `retry_after_ms` is the server's estimate of when a slot
+    /// frees up (0 when draining — don't retry).
+    Reject {
+        /// True when the service is shutting down.
+        draining: bool,
+        /// Suggested client back-off.
+        retry_after_ms: u32,
+        /// Current queue depth, for client-side telemetry.
+        queued: u32,
+    },
+    /// Ask for a job's state.
+    Status {
+        /// Job id.
+        job: u64,
+    },
+    /// Reply to [`Msg::Status`].
+    State {
+        /// Job id.
+        job: u64,
+        /// Current lifecycle state.
+        state: JobState,
+        /// Position in the queue (0 = next; 0 for jobs no longer queued).
+        queue_pos: u32,
+    },
+    /// Long-poll for a job's R factor (blocks server-side until done).
+    Result {
+        /// Job id.
+        job: u64,
+    },
+    /// Reply to [`Msg::Result`]: the upper-triangular R factor.
+    RFactor {
+        /// Job id.
+        job: u64,
+        /// The R factor.
+        r: Matrix,
+    },
+    /// Cancel a queued job (running jobs are not interrupted).
+    Cancel {
+        /// Job id.
+        job: u64,
+    },
+    /// Reply to [`Msg::Cancel`].
+    CancelOk {
+        /// Job id.
+        job: u64,
+        /// False when the job had already started, finished, or is unknown.
+        cancelled: bool,
+    },
+    /// Stop admitting jobs, finish the queue, and shut the server down.
+    Drain,
+    /// Reply to [`Msg::Drain`]: final service statistics as one-line JSON.
+    Drained {
+        /// Stats JSON (p50/p90/p99 latency, jobs/s, utilization, ...).
+        stats: String,
+    },
+    /// Typed failure reply.
+    Error {
+        /// Offending job id (0 when not job-specific).
+        job: u64,
+        /// Failure class.
+        code: ErrCode,
+        /// Human-readable detail.
+        msg: String,
+    },
+}
+
+impl Msg {
+    /// The verb this message travels under.
+    pub fn verb(&self) -> u32 {
+        match self {
+            Msg::Submit { .. } => verb::SUBMIT,
+            Msg::SubmitOk { .. } => verb::SUBMIT_OK,
+            Msg::Reject { .. } => verb::REJECT,
+            Msg::Status { .. } => verb::STATUS,
+            Msg::State { .. } => verb::STATE,
+            Msg::Result { .. } => verb::RESULT,
+            Msg::RFactor { .. } => verb::R_FACTOR,
+            Msg::Cancel { .. } => verb::CANCEL,
+            Msg::CancelOk { .. } => verb::CANCEL_OK,
+            Msg::Drain => verb::DRAIN,
+            Msg::Drained { .. } => verb::DRAINED,
+            Msg::Error { .. } => verb::ERROR,
+        }
+    }
+}
+
+/// Typed decode failures. Framing-level problems are wrapped
+/// [`FrameError`]s; everything else is service-layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The frame header itself was invalid.
+    Frame(FrameError),
+    /// The header is not a data frame (service verbs ride on data frames).
+    NotData,
+    /// The header carries a nonzero ack (unused by the service protocol).
+    NonzeroAck(u64),
+    /// The body exceeds [`MAX_SERVICE_BODY`].
+    Oversized(u64),
+    /// The buffer ends before the frame does.
+    Truncated,
+    /// Bytes remain past the end of the frame.
+    Trailing(usize),
+    /// The body checksum does not match.
+    Checksum {
+        /// Checksum recomputed from the payload.
+        expected: u32,
+        /// Checksum found on the wire.
+        got: u32,
+    },
+    /// The verb is not one this protocol defines.
+    UnknownVerb(u32),
+    /// The payload does not parse under its verb.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Frame(e) => write!(f, "bad frame: {e}"),
+            ProtoError::NotData => write!(f, "service messages must be data frames"),
+            ProtoError::NonzeroAck(a) => write!(f, "unexpected ack {a} on a service frame"),
+            ProtoError::Oversized(n) => {
+                write!(f, "service body of {n} bytes exceeds {MAX_SERVICE_BODY}")
+            }
+            ProtoError::Truncated => write!(f, "truncated service frame"),
+            ProtoError::Trailing(n) => write!(f, "{n} trailing bytes after the service frame"),
+            ProtoError::Checksum { expected, got } => {
+                write!(
+                    f,
+                    "checksum mismatch: expected {expected:#010x}, got {got:#010x}"
+                )
+            }
+            ProtoError::UnknownVerb(v) => write!(f, "unknown service verb {v}"),
+            ProtoError::Malformed(what) => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// FNV-1a over the payload, mixed with the verb and request id so a frame
+/// cannot be replayed as a different verb or request. Same constants as
+/// the runtime packet codec.
+fn service_crc(verb: u32, seq: u64, payload: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in payload {
+        h = (h ^ u32::from(b)).wrapping_mul(0x0100_0193);
+    }
+    h ^= verb.wrapping_mul(0x9e37_79b9);
+    h ^ (seq as u32) ^ ((seq >> 32) as u32)
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Encode one message as a complete wire frame (header + body).
+pub fn encode_msg(msg: &Msg, seq: u64) -> Vec<u8> {
+    let mut payload = Vec::new();
+    match msg {
+        Msg::Submit {
+            nb,
+            ib,
+            deadline_ms,
+            tree,
+            a,
+        } => {
+            put_u32(&mut payload, *nb);
+            put_u32(&mut payload, *ib);
+            put_u32(&mut payload, *deadline_ms);
+            put_str(&mut payload, tree);
+            encode_matrix_body(a, &mut payload);
+        }
+        Msg::SubmitOk { job } | Msg::Status { job } | Msg::Result { job } | Msg::Cancel { job } => {
+            put_u64(&mut payload, *job);
+        }
+        Msg::Reject {
+            draining,
+            retry_after_ms,
+            queued,
+        } => {
+            payload.push(u8::from(*draining));
+            put_u32(&mut payload, *retry_after_ms);
+            put_u32(&mut payload, *queued);
+        }
+        Msg::State {
+            job,
+            state,
+            queue_pos,
+        } => {
+            put_u64(&mut payload, *job);
+            payload.push(state.to_wire());
+            put_u32(&mut payload, *queue_pos);
+        }
+        Msg::RFactor { job, r } => {
+            put_u64(&mut payload, *job);
+            encode_matrix_body(r, &mut payload);
+        }
+        Msg::CancelOk { job, cancelled } => {
+            put_u64(&mut payload, *job);
+            payload.push(u8::from(*cancelled));
+        }
+        Msg::Drain => {}
+        Msg::Drained { stats } => put_str(&mut payload, stats),
+        Msg::Error { job, code, msg } => {
+            put_u64(&mut payload, *job);
+            payload.push(code.to_wire());
+            put_str(&mut payload, msg);
+        }
+    }
+    let verb = msg.verb();
+    let crc = service_crc(verb, seq, &payload);
+    let body_len = 4 + payload.len();
+    assert!(
+        body_len <= MAX_SERVICE_BODY,
+        "service message of {body_len} bytes exceeds MAX_SERVICE_BODY"
+    );
+    let header = FrameHeader {
+        kind: FrameKind::Data { wire_id: verb },
+        seq,
+        ack: 0,
+        len: body_len as u64,
+    };
+    let mut out = Vec::with_capacity(HEADER_LEN + body_len);
+    out.extend_from_slice(&encode_header(&header));
+    out.extend_from_slice(&crc.to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Byte-slice reader with typed, bounds-checked accessors.
+struct Cur<'a>(&'a [u8]);
+
+impl<'a> Cur<'a> {
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        let (&b, rest) = self.0.split_first().ok_or(ProtoError::Truncated)?;
+        self.0 = rest;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        if self.0.len() < 4 {
+            return Err(ProtoError::Truncated);
+        }
+        let (head, rest) = self.0.split_at(4);
+        self.0 = rest;
+        Ok(u32::from_le_bytes(head.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        if self.0.len() < 8 {
+            return Err(ProtoError::Truncated);
+        }
+        let (head, rest) = self.0.split_at(8);
+        self.0 = rest;
+        Ok(u64::from_le_bytes(head.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String, ProtoError> {
+        let len = self.u32()? as usize;
+        if self.0.len() < len {
+            return Err(ProtoError::Truncated);
+        }
+        let (head, rest) = self.0.split_at(len);
+        self.0 = rest;
+        String::from_utf8(head.to_vec()).map_err(|_| ProtoError::Malformed("non-UTF-8 string"))
+    }
+
+    fn matrix(&mut self) -> Result<Matrix, ProtoError> {
+        let (m, rest) =
+            decode_matrix_body(self.0).map_err(|_| ProtoError::Malformed("bad matrix body"))?;
+        self.0 = rest;
+        Ok(m)
+    }
+
+    fn finish(self) -> Result<(), ProtoError> {
+        if self.0.is_empty() {
+            Ok(())
+        } else {
+            Err(ProtoError::Malformed("payload has trailing bytes"))
+        }
+    }
+}
+
+/// Decode a frame body that has already been separated from its header.
+/// Used by stream readers that pull the header and body off a socket
+/// independently; [`decode_msg`] wraps it for contiguous buffers.
+pub fn decode_body(header: &FrameHeader, body: &[u8]) -> Result<(Msg, u64), ProtoError> {
+    let verb = match header.kind {
+        FrameKind::Data { wire_id } => wire_id,
+        _ => return Err(ProtoError::NotData),
+    };
+    if header.ack != 0 {
+        return Err(ProtoError::NonzeroAck(header.ack));
+    }
+    if body.len() as u64 != header.len {
+        return Err(ProtoError::Truncated);
+    }
+    if body.len() < 4 {
+        return Err(ProtoError::Truncated);
+    }
+    let got = u32::from_le_bytes(body[..4].try_into().unwrap());
+    let payload = &body[4..];
+    let expected = service_crc(verb, header.seq, payload);
+    if got != expected {
+        return Err(ProtoError::Checksum { expected, got });
+    }
+    let mut c = Cur(payload);
+    let msg = match verb {
+        verb::SUBMIT => {
+            let nb = c.u32()?;
+            let ib = c.u32()?;
+            let deadline_ms = c.u32()?;
+            let tree = c.string()?;
+            let a = c.matrix()?;
+            Msg::Submit {
+                nb,
+                ib,
+                deadline_ms,
+                tree,
+                a,
+            }
+        }
+        verb::SUBMIT_OK => Msg::SubmitOk { job: c.u64()? },
+        verb::REJECT => Msg::Reject {
+            draining: c.u8()? != 0,
+            retry_after_ms: c.u32()?,
+            queued: c.u32()?,
+        },
+        verb::STATUS => Msg::Status { job: c.u64()? },
+        verb::STATE => Msg::State {
+            job: c.u64()?,
+            state: JobState::from_wire(c.u8()?)?,
+            queue_pos: c.u32()?,
+        },
+        verb::RESULT => Msg::Result { job: c.u64()? },
+        verb::R_FACTOR => Msg::RFactor {
+            job: c.u64()?,
+            r: c.matrix()?,
+        },
+        verb::CANCEL => Msg::Cancel { job: c.u64()? },
+        verb::CANCEL_OK => Msg::CancelOk {
+            job: c.u64()?,
+            cancelled: c.u8()? != 0,
+        },
+        verb::DRAIN => Msg::Drain,
+        verb::DRAINED => Msg::Drained { stats: c.string()? },
+        verb::ERROR => Msg::Error {
+            job: c.u64()?,
+            code: ErrCode::from_wire(c.u8()?)?,
+            msg: c.string()?,
+        },
+        other => return Err(ProtoError::UnknownVerb(other)),
+    };
+    c.finish()?;
+    Ok((msg, header.seq))
+}
+
+/// Decode exactly one message from a contiguous buffer. The buffer must
+/// hold the frame and nothing else: a strict prefix is
+/// [`ProtoError::Truncated`] (or a truncated [`FrameError`] inside the
+/// header), extra bytes are [`ProtoError::Trailing`].
+pub fn decode_msg(buf: &[u8]) -> Result<(Msg, u64), ProtoError> {
+    let header = decode_header(buf).map_err(ProtoError::Frame)?;
+    if header.len as usize > MAX_SERVICE_BODY {
+        return Err(ProtoError::Oversized(header.len));
+    }
+    let need = HEADER_LEN + header.len as usize;
+    if buf.len() < need {
+        return Err(ProtoError::Truncated);
+    }
+    if buf.len() > need {
+        return Err(ProtoError::Trailing(buf.len() - need));
+    }
+    decode_body(&header, &buf[HEADER_LEN..])
+}
+
+/// Write one message to a stream.
+pub fn write_msg<W: std::io::Write>(w: &mut W, msg: &Msg, seq: u64) -> std::io::Result<()> {
+    w.write_all(&encode_msg(msg, seq))
+}
+
+/// Read exactly one message from a stream. Protocol-level failures are
+/// surfaced as `InvalidData` io errors carrying the [`ProtoError`].
+pub fn read_msg<R: std::io::Read>(r: &mut R) -> std::io::Result<(Msg, u64)> {
+    let bad = |e: ProtoError| std::io::Error::new(std::io::ErrorKind::InvalidData, e);
+    let mut hdr = [0u8; HEADER_LEN];
+    r.read_exact(&mut hdr)?;
+    let header = decode_header(&hdr).map_err(|e| bad(ProtoError::Frame(e)))?;
+    if header.len as usize > MAX_SERVICE_BODY {
+        return Err(bad(ProtoError::Oversized(header.len)));
+    }
+    let mut body = vec![0u8; header.len as usize];
+    r.read_exact(&mut body)?;
+    decode_body(&header, &body).map_err(bad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat() -> Matrix {
+        Matrix::from_col_major(2, 2, vec![1.0, 2.0, 3.0, 4.0])
+    }
+
+    #[test]
+    fn round_trips_every_verb() {
+        let msgs = vec![
+            Msg::Submit {
+                nb: 4,
+                ib: 2,
+                deadline_ms: 250,
+                tree: "hier:4".into(),
+                a: mat(),
+            },
+            Msg::SubmitOk { job: 7 },
+            Msg::Reject {
+                draining: true,
+                retry_after_ms: 40,
+                queued: 9,
+            },
+            Msg::Status { job: 7 },
+            Msg::State {
+                job: 7,
+                state: JobState::Running,
+                queue_pos: 3,
+            },
+            Msg::Result { job: 7 },
+            Msg::RFactor { job: 7, r: mat() },
+            Msg::Cancel { job: 7 },
+            Msg::CancelOk {
+                job: 7,
+                cancelled: false,
+            },
+            Msg::Drain,
+            Msg::Drained {
+                stats: "{\"jobs_done\":3}".into(),
+            },
+            Msg::Error {
+                job: 7,
+                code: ErrCode::UnknownJob,
+                msg: "unknown job".into(),
+            },
+        ];
+        for (i, m) in msgs.into_iter().enumerate() {
+            let seq = 1000 + i as u64;
+            let wire = encode_msg(&m, seq);
+            let (back, rseq) = decode_msg(&wire).expect("round trip");
+            assert_eq!(back, m);
+            assert_eq!(rseq, seq);
+        }
+    }
+
+    #[test]
+    fn seq_is_bound_into_the_checksum() {
+        // The same message under a different request id must not verify:
+        // splice the body of one encoding under the header of another.
+        let a = encode_msg(&Msg::Status { job: 1 }, 1);
+        let b = encode_msg(&Msg::Status { job: 1 }, 2);
+        let mut spliced = b[..HEADER_LEN].to_vec();
+        spliced.extend_from_slice(&a[HEADER_LEN..]);
+        assert!(matches!(
+            decode_msg(&spliced),
+            Err(ProtoError::Checksum { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_header_is_rejected_without_reading_the_body() {
+        let header = FrameHeader {
+            kind: FrameKind::Data {
+                wire_id: verb::SUBMIT,
+            },
+            seq: 0,
+            ack: 0,
+            len: (MAX_SERVICE_BODY + 1) as u64,
+        };
+        let wire = encode_header(&header);
+        assert!(matches!(decode_msg(&wire), Err(ProtoError::Oversized(_))));
+    }
+
+    #[test]
+    fn stream_read_write_round_trips() {
+        let mut buf = Vec::new();
+        write_msg(&mut buf, &Msg::Drain, 42).unwrap();
+        write_msg(&mut buf, &Msg::SubmitOk { job: 5 }, 43).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_msg(&mut r).unwrap(), (Msg::Drain, 42));
+        assert_eq!(read_msg(&mut r).unwrap(), (Msg::SubmitOk { job: 5 }, 43));
+        assert!(read_msg(&mut r).is_err(), "stream exhausted");
+    }
+}

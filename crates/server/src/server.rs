@@ -1,0 +1,182 @@
+//! TCP front end of the QR service: accept loop, one handler thread per
+//! connection, and the request → [`Service`] dispatch table.
+
+use crate::proto::{self, ErrCode, Msg};
+use crate::service::{JobError, Service, SubmitError};
+use parking_lot::Mutex;
+use pulsar_core::{QrOptions, Tree};
+use std::io::ErrorKind;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+impl JobError {
+    fn code(&self) -> ErrCode {
+        match self {
+            JobError::Failed(_) => ErrCode::Failed,
+            JobError::DeadlineExpired => ErrCode::DeadlineExpired,
+            JobError::Cancelled => ErrCode::Cancelled,
+            JobError::Unknown => ErrCode::UnknownJob,
+        }
+    }
+}
+
+/// Serve `service` on `listener` until a client sends [`Msg::Drain`].
+///
+/// Each connection gets its own handler thread; requests on one
+/// connection are processed in order ([`Msg::Result`] long-polls, so
+/// interleave slow and fast requests on separate connections). The call
+/// returns after a drain completed: the queue was run dry, the drained
+/// reply was sent, and every handler thread was joined.
+pub fn serve(listener: TcpListener, service: Arc<Service>) -> std::io::Result<()> {
+    let local = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let conns: Mutex<Vec<TcpStream>> = Mutex::new(Vec::new());
+    let mut handlers = Vec::new();
+    loop {
+        let (stream, _) = listener.accept()?;
+        if shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        // Keep a duplicate handle so the drain path can unblock handlers
+        // that sit in a read on a connection the client left open.
+        if let Ok(dup) = stream.try_clone() {
+            conns.lock().push(dup);
+        }
+        let service = service.clone();
+        let shutdown = shutdown.clone();
+        handlers.push(
+            std::thread::Builder::new()
+                .name("qr-conn".into())
+                .spawn(move || handle_conn(stream, &service, &shutdown, local))
+                .expect("failed to spawn connection handler"),
+        );
+    }
+    // Drained: every queued job has resolved. Close the read half of each
+    // connection (dead ones error, which is fine) so handlers blocked in a
+    // read see EOF and return, while in-flight replies still flush.
+    for conn in conns.lock().drain(..) {
+        let _ = conn.shutdown(Shutdown::Read);
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+    Ok(())
+}
+
+fn handle_conn(mut stream: TcpStream, service: &Service, shutdown: &AtomicBool, local: SocketAddr) {
+    loop {
+        let (msg, seq) = match proto::read_msg(&mut stream) {
+            Ok(x) => x,
+            Err(e) if e.kind() == ErrorKind::InvalidData => {
+                // Garbage on the wire: after a bad frame the stream offset
+                // is unreliable, so reply once and hang up.
+                let reply = Msg::Error {
+                    job: 0,
+                    code: ErrCode::Invalid,
+                    msg: e.to_string(),
+                };
+                let _ = proto::write_msg(&mut stream, &reply, 0);
+                return;
+            }
+            // Clean disconnect (or any other io failure): drop the
+            // connection silently.
+            Err(_) => return,
+        };
+        let draining = matches!(msg, Msg::Drain);
+        let reply = dispatch(service, msg);
+        if proto::write_msg(&mut stream, &reply, seq).is_err() {
+            return;
+        }
+        if draining {
+            // The drained reply is out; wake the acceptor so `serve`
+            // returns. The self-connection is accepted and discarded.
+            shutdown.store(true, Ordering::Release);
+            let _ = TcpStream::connect_timeout(&local, Duration::from_secs(5));
+            return;
+        }
+    }
+}
+
+fn dispatch(service: &Service, msg: Msg) -> Msg {
+    match msg {
+        Msg::Submit {
+            nb,
+            ib,
+            deadline_ms,
+            tree,
+            a,
+        } => {
+            let tree: Tree = match tree.parse() {
+                Ok(t) => t,
+                Err(e) => {
+                    return Msg::Error {
+                        job: 0,
+                        code: ErrCode::Invalid,
+                        msg: e,
+                    }
+                }
+            };
+            if nb == 0 || ib == 0 {
+                return Msg::Error {
+                    job: 0,
+                    code: ErrCode::Invalid,
+                    msg: "nb and ib must be positive".into(),
+                };
+            }
+            let opts = QrOptions::new(nb as usize, ib as usize, tree);
+            let deadline = (deadline_ms > 0).then(|| Duration::from_millis(u64::from(deadline_ms)));
+            match service.submit(a, opts, deadline) {
+                Ok(job) => Msg::SubmitOk { job },
+                Err(SubmitError::Backpressure {
+                    retry_after_ms,
+                    queued,
+                    draining,
+                }) => Msg::Reject {
+                    draining,
+                    retry_after_ms,
+                    queued,
+                },
+                Err(SubmitError::Invalid(m)) => Msg::Error {
+                    job: 0,
+                    code: ErrCode::Invalid,
+                    msg: m,
+                },
+            }
+        }
+        Msg::Status { job } => match service.status(job) {
+            Some((state, queue_pos)) => Msg::State {
+                job,
+                state,
+                queue_pos,
+            },
+            None => Msg::Error {
+                job,
+                code: ErrCode::UnknownJob,
+                msg: format!("unknown job {job}"),
+            },
+        },
+        Msg::Result { job } => match service.wait_result(job) {
+            Ok(r) => Msg::RFactor { job, r },
+            Err(e) => Msg::Error {
+                job,
+                code: e.code(),
+                msg: e.to_string(),
+            },
+        },
+        Msg::Cancel { job } => Msg::CancelOk {
+            job,
+            cancelled: service.cancel(job),
+        },
+        Msg::Drain => Msg::Drained {
+            stats: service.drain(),
+        },
+        // A client sending reply verbs is confused; tell it so.
+        other => Msg::Error {
+            job: 0,
+            code: ErrCode::Invalid,
+            msg: format!("verb {} is a reply, not a request", other.verb()),
+        },
+    }
+}

@@ -1,0 +1,692 @@
+//! The in-process QR service: admission queue, batching scheduler, and
+//! the warm [`VsaPool`] that executes every job.
+//!
+//! One scheduler thread owns the pool. It pops jobs FIFO off a bounded
+//! queue, packs up to `batch_max` of them into a single VSA launch
+//! (capped by `batch_bytes` of matrix data so one giant job cannot drag
+//! a batch of small ones behind it), runs
+//! [`tile_qr_vsa_batch_pooled`](pulsar_core::vsa3d::tile_qr_vsa_batch_pooled)
+//! on the warm pool, and distributes each R to its waiters. Admission is
+//! rejected — not stalled — when the queue is full, with a retry hint
+//! derived from the observed batch rate.
+
+use crate::proto::JobState;
+use parking_lot::{Condvar, Mutex};
+use pulsar_core::vsa3d::tile_qr_vsa_batch_pooled;
+use pulsar_core::QrOptions;
+use pulsar_linalg::Matrix;
+use pulsar_runtime::trace::{TaskSpan, Trace};
+use pulsar_runtime::{RunConfig, VsaPool};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of a [`Service`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads in the VSA pool.
+    pub threads: usize,
+    /// Admission queue capacity; submits beyond this are rejected.
+    pub queue_cap: usize,
+    /// Most jobs packed into one VSA launch.
+    pub batch_max: usize,
+    /// Soft cap on the summed matrix bytes of one batch. The first job of
+    /// a batch is always admitted regardless of size.
+    pub batch_bytes: usize,
+    /// Retry hint handed out before any batch has completed (no rate
+    /// estimate exists yet).
+    pub default_retry_after_ms: u32,
+    /// Collect per-task execution traces across all batches.
+    pub trace: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            threads: 2,
+            queue_cap: 32,
+            batch_max: 4,
+            batch_bytes: 64 << 20,
+            default_retry_after_ms: 50,
+            trace: false,
+        }
+    }
+}
+
+/// Why a submit was refused.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitError {
+    /// The queue is full or the service is draining. Typed backpressure:
+    /// the caller should retry after `retry_after_ms` (unless draining).
+    Backpressure {
+        /// Suggested back-off.
+        retry_after_ms: u32,
+        /// Queue depth at rejection time.
+        queued: u32,
+        /// True when the service is shutting down (do not retry).
+        draining: bool,
+    },
+    /// The job parameters are invalid (bad shape, tile sizes, ...).
+    Invalid(String),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Backpressure {
+                retry_after_ms,
+                queued,
+                draining,
+            } => write!(
+                f,
+                "service over capacity ({queued} queued, draining: {draining}); \
+                 retry after {retry_after_ms} ms"
+            ),
+            SubmitError::Invalid(m) => write!(f, "invalid job: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Why a job produced no R factor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The runtime reported an error while factoring the batch.
+    Failed(String),
+    /// The deadline passed before the job left the queue.
+    DeadlineExpired,
+    /// The job was cancelled while queued.
+    Cancelled,
+    /// No job with that id was ever admitted.
+    Unknown,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Failed(m) => write!(f, "factorization failed: {m}"),
+            JobError::DeadlineExpired => write!(f, "deadline expired in queue"),
+            JobError::Cancelled => write!(f, "cancelled"),
+            JobError::Unknown => write!(f, "unknown job"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+struct Job {
+    /// Present while queued; taken when scheduled (or dropped on
+    /// cancel/expiry) so the queue holds each matrix exactly once.
+    a: Option<Matrix>,
+    opts: QrOptions,
+    deadline: Option<Instant>,
+    submitted: Instant,
+    state: JobState,
+    outcome: Option<Result<Matrix, JobError>>,
+}
+
+#[derive(Default)]
+struct Counters {
+    done: u64,
+    failed: u64,
+    cancelled: u64,
+    expired: u64,
+    rejected: u64,
+    batches: u64,
+}
+
+struct State {
+    next_id: u64,
+    queue: VecDeque<u64>,
+    jobs: HashMap<u64, Job>,
+    draining: bool,
+    /// Scheduler has exited (drain finished).
+    stopped: bool,
+    running: usize,
+    counters: Counters,
+    latencies_ms: Vec<f64>,
+    queue_peak: usize,
+    /// Wall time the pool spent inside batches.
+    busy: Duration,
+    /// Accumulated spans from every batch, shifted to service time.
+    spans: Vec<TaskSpan>,
+}
+
+/// A running QR service. Cheap to share behind an [`Arc`]; every method
+/// takes `&self` and is safe to call from any connection thread.
+pub struct Service {
+    cfg: ServeConfig,
+    started: Instant,
+    state: Mutex<State>,
+    /// Signals the scheduler that work (or drain) arrived.
+    work: Condvar,
+    /// Signals waiters that some job reached a terminal state.
+    done: Condvar,
+    sched: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Service {
+    /// Start the scheduler thread and its warm VSA pool.
+    pub fn start(cfg: ServeConfig) -> Arc<Service> {
+        assert!(cfg.threads > 0, "service needs at least one pool thread");
+        assert!(cfg.queue_cap > 0, "queue capacity must be positive");
+        assert!(cfg.batch_max > 0, "batch size must be positive");
+        let svc = Arc::new(Service {
+            cfg: cfg.clone(),
+            started: Instant::now(),
+            state: Mutex::new(State {
+                next_id: 1,
+                queue: VecDeque::new(),
+                jobs: HashMap::new(),
+                draining: false,
+                stopped: false,
+                running: 0,
+                counters: Counters::default(),
+                latencies_ms: Vec::new(),
+                queue_peak: 0,
+                busy: Duration::ZERO,
+                spans: Vec::new(),
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            sched: Mutex::new(None),
+        });
+        let runner = svc.clone();
+        let handle = std::thread::Builder::new()
+            .name("qr-sched".into())
+            .spawn(move || {
+                let pool = VsaPool::new(cfg.threads);
+                runner.scheduler(&pool);
+            })
+            .expect("failed to spawn service scheduler");
+        *svc.sched.lock() = Some(handle);
+        svc
+    }
+
+    /// The configuration this service was started with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Admit a job, or reject it with typed backpressure. `deadline` bounds
+    /// the time the job may *wait in the queue*; once running it completes.
+    pub fn submit(
+        &self,
+        a: Matrix,
+        opts: QrOptions,
+        deadline: Option<Duration>,
+    ) -> Result<u64, SubmitError> {
+        if a.nrows() == 0 || a.ncols() == 0 {
+            return Err(SubmitError::Invalid("matrix must be non-empty".into()));
+        }
+        if opts.nb == 0 || opts.ib == 0 || opts.ib > opts.nb {
+            return Err(SubmitError::Invalid(format!(
+                "need 0 < ib <= nb, got nb={} ib={}",
+                opts.nb, opts.ib
+            )));
+        }
+        if !a.nrows().is_multiple_of(opts.nb) || !a.ncols().is_multiple_of(opts.nb) {
+            return Err(SubmitError::Invalid(format!(
+                "matrix {}x{} is not tiled by nb={}",
+                a.nrows(),
+                a.ncols(),
+                opts.nb
+            )));
+        }
+        let mut st = self.state.lock();
+        if st.draining {
+            st.counters.rejected += 1;
+            return Err(SubmitError::Backpressure {
+                retry_after_ms: 0,
+                queued: st.queue.len() as u32,
+                draining: true,
+            });
+        }
+        if st.queue.len() >= self.cfg.queue_cap {
+            st.counters.rejected += 1;
+            let retry_after_ms = self.estimate_retry_ms(&st);
+            return Err(SubmitError::Backpressure {
+                retry_after_ms,
+                queued: st.queue.len() as u32,
+                draining: false,
+            });
+        }
+        let id = st.next_id;
+        st.next_id += 1;
+        st.jobs.insert(
+            id,
+            Job {
+                a: Some(a),
+                opts,
+                deadline: deadline.map(|d| Instant::now() + d),
+                submitted: Instant::now(),
+                state: JobState::Queued,
+                outcome: None,
+            },
+        );
+        st.queue.push_back(id);
+        st.queue_peak = st.queue_peak.max(st.queue.len());
+        self.work.notify_one();
+        Ok(id)
+    }
+
+    /// How long a rejected client should back off: the observed per-batch
+    /// wall time times the number of batches queued ahead of it.
+    fn estimate_retry_ms(&self, st: &State) -> u32 {
+        if st.counters.batches == 0 {
+            return self.cfg.default_retry_after_ms;
+        }
+        let per_batch_ms = st.busy.as_millis() as u64 / st.counters.batches;
+        let batches_ahead = (st.queue.len() / self.cfg.batch_max) as u64 + 1;
+        (per_batch_ms * batches_ahead).clamp(1, 60_000) as u32
+    }
+
+    /// A job's lifecycle state and queue position (0 when not queued).
+    pub fn status(&self, id: u64) -> Option<(JobState, u32)> {
+        let st = self.state.lock();
+        let job = st.jobs.get(&id)?;
+        let pos = st
+            .queue
+            .iter()
+            .position(|&q| q == id)
+            .map_or(0, |p| p as u32);
+        Some((job.state, pos))
+    }
+
+    /// Cancel a queued job. Returns false when the job is unknown or has
+    /// already started, finished, or been resolved.
+    pub fn cancel(&self, id: u64) -> bool {
+        let mut st = self.state.lock();
+        let Some(job) = st.jobs.get_mut(&id) else {
+            return false;
+        };
+        if job.state != JobState::Queued {
+            return false;
+        }
+        job.state = JobState::Cancelled;
+        job.outcome = Some(Err(JobError::Cancelled));
+        job.a = None;
+        st.counters.cancelled += 1;
+        self.done.notify_all();
+        true
+    }
+
+    /// Block until the job reaches a terminal state and return its R.
+    pub fn wait_result(&self, id: u64) -> Result<Matrix, JobError> {
+        let mut st = self.state.lock();
+        loop {
+            match st.jobs.get(&id) {
+                None => return Err(JobError::Unknown),
+                Some(job) => {
+                    if let Some(outcome) = &job.outcome {
+                        return outcome.clone();
+                    }
+                }
+            }
+            self.done.wait(&mut st);
+        }
+    }
+
+    /// Stop admitting jobs, let the scheduler finish everything already
+    /// queued, join it, and return the final stats JSON.
+    pub fn drain(&self) -> String {
+        {
+            let mut st = self.state.lock();
+            st.draining = true;
+            self.work.notify_all();
+            while !st.stopped {
+                self.done.wait(&mut st);
+            }
+        }
+        if let Some(handle) = self.sched.lock().take() {
+            let _ = handle.join();
+        }
+        self.stats_json()
+    }
+
+    /// Take the accumulated execution trace (spans are in service time:
+    /// microseconds since the service started). Empty unless
+    /// [`ServeConfig::trace`] was set.
+    pub fn take_trace(&self) -> Trace {
+        let mut st = self.state.lock();
+        let mut spans = std::mem::take(&mut st.spans);
+        spans.sort_by(|a, b| a.end_us.total_cmp(&b.end_us));
+        Trace { spans }
+    }
+
+    /// One-line JSON snapshot of service statistics: latency percentiles,
+    /// throughput, queue depth, and pool utilization.
+    pub fn stats_json(&self) -> String {
+        let st = self.state.lock();
+        let uptime = self.started.elapsed().as_secs_f64().max(1e-9);
+        let mut lat = st.latencies_ms.clone();
+        lat.sort_by(|a, b| a.total_cmp(b));
+        let pct = |p: f64| -> f64 {
+            if lat.is_empty() {
+                0.0
+            } else {
+                lat[((lat.len() - 1) as f64 * p).round() as usize]
+            }
+        };
+        let c = &st.counters;
+        format!(
+            "{{\"jobs_done\":{},\"jobs_failed\":{},\"jobs_cancelled\":{},\
+             \"jobs_expired\":{},\"jobs_rejected\":{},\"batches\":{},\
+             \"p50_ms\":{:.3},\"p90_ms\":{:.3},\"p99_ms\":{:.3},\
+             \"jobs_per_s\":{:.3},\"queue_depth\":{},\"queue_peak\":{},\
+             \"running\":{},\"pool_utilization\":{:.4},\"uptime_s\":{:.3}}}",
+            c.done,
+            c.failed,
+            c.cancelled,
+            c.expired,
+            c.rejected,
+            c.batches,
+            pct(0.50),
+            pct(0.90),
+            pct(0.99),
+            c.done as f64 / uptime,
+            st.queue.len(),
+            st.queue_peak,
+            st.running,
+            (st.busy.as_secs_f64() / uptime).min(1.0),
+            uptime,
+        )
+    }
+
+    /// Scheduler body: pull → batch → run on the pool → distribute.
+    fn scheduler(self: Arc<Service>, pool: &VsaPool) {
+        loop {
+            let Some(batch) = self.next_batch() else {
+                return; // drained
+            };
+            let t0 = Instant::now();
+            let offset_us = (t0 - self.started).as_secs_f64() * 1e6;
+            let jobs: Vec<(&Matrix, &QrOptions)> = batch.iter().map(|(_, a, o)| (a, o)).collect();
+            let mut config = RunConfig::smp(pool.threads());
+            if self.cfg.trace {
+                config = config.with_trace();
+            }
+            let result = tile_qr_vsa_batch_pooled(&jobs, &config, pool);
+            let wall = t0.elapsed();
+            drop(jobs);
+
+            let mut st = self.state.lock();
+            st.counters.batches += 1;
+            st.busy += wall;
+            st.running -= batch.len();
+            match result {
+                Ok(out) => {
+                    if let Some(trace) = out.trace {
+                        st.spans.extend(trace.spans.into_iter().map(|mut s| {
+                            s.start_us += offset_us;
+                            s.end_us += offset_us;
+                            s
+                        }));
+                    }
+                    for ((id, _, _), factors) in batch.iter().zip(out.factors) {
+                        let latency_ms = {
+                            let job = st.jobs.get_mut(id).expect("running job exists");
+                            job.state = JobState::Done;
+                            job.outcome = Some(Ok(factors.r));
+                            job.submitted.elapsed().as_secs_f64() * 1e3
+                        };
+                        st.latencies_ms.push(latency_ms);
+                        st.counters.done += 1;
+                    }
+                }
+                Err(e) => {
+                    // One failing job poisons its whole batch: every member
+                    // fails with the same runtime error.
+                    let msg = e.to_string();
+                    for (id, _, _) in &batch {
+                        let job = st.jobs.get_mut(id).expect("running job exists");
+                        job.state = JobState::Failed;
+                        job.outcome = Some(Err(JobError::Failed(msg.clone())));
+                        st.counters.failed += 1;
+                    }
+                }
+            }
+            self.done.notify_all();
+        }
+    }
+
+    /// Block until at least one schedulable job exists (resolving
+    /// cancellations and expired deadlines along the way), then pull up to
+    /// `batch_max` / `batch_bytes` of them. `None` means drained.
+    fn next_batch(&self) -> Option<Vec<(u64, Matrix, QrOptions)>> {
+        let mut st = self.state.lock();
+        loop {
+            let mut batch: Vec<(u64, Matrix, QrOptions)> = Vec::new();
+            let mut bytes = 0usize;
+            while batch.len() < self.cfg.batch_max {
+                let Some(&id) = st.queue.front() else { break };
+                enum Pulled {
+                    Run(Matrix, QrOptions),
+                    Expired,
+                    Skip,
+                    BatchFull,
+                }
+                let pulled = {
+                    let job = st.jobs.get_mut(&id).expect("queued id has a job");
+                    match job.state {
+                        JobState::Queued => {
+                            if job.deadline.is_some_and(|d| Instant::now() > d) {
+                                job.state = JobState::Expired;
+                                job.outcome = Some(Err(JobError::DeadlineExpired));
+                                job.a = None;
+                                Pulled::Expired
+                            } else {
+                                let a = job.a.as_ref().expect("queued job holds its matrix");
+                                let sz = a.nrows() * a.ncols() * 8;
+                                if !batch.is_empty() && bytes + sz > self.cfg.batch_bytes {
+                                    Pulled::BatchFull
+                                } else {
+                                    bytes += sz;
+                                    job.state = JobState::Running;
+                                    Pulled::Run(job.a.take().unwrap(), job.opts.clone())
+                                }
+                            }
+                        }
+                        // Cancelled (or defensively, any other state): the
+                        // entry was already resolved; drop it from the queue.
+                        _ => Pulled::Skip,
+                    }
+                };
+                match pulled {
+                    Pulled::Run(a, opts) => {
+                        st.queue.pop_front();
+                        st.running += 1;
+                        batch.push((id, a, opts));
+                    }
+                    Pulled::Expired => {
+                        st.queue.pop_front();
+                        st.counters.expired += 1;
+                        self.done.notify_all();
+                    }
+                    Pulled::Skip => {
+                        st.queue.pop_front();
+                    }
+                    Pulled::BatchFull => break,
+                }
+            }
+            if !batch.is_empty() {
+                return Some(batch);
+            }
+            if st.draining && st.queue.is_empty() {
+                st.stopped = true;
+                self.done.notify_all();
+                return None;
+            }
+            self.work.wait(&mut st);
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        // Make sure the scheduler thread exits even if `drain` was never
+        // called (e.g. a test that just drops the service).
+        {
+            let mut st = self.state.lock();
+            st.draining = true;
+            self.work.notify_all();
+        }
+        if let Some(handle) = self.sched.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pulsar_core::{tile_qr_seq, Tree};
+    use pulsar_linalg::verify::r_factor_distance;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(m: usize, n: usize, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut a = Matrix::zeros(m, n);
+        for v in a.data_mut() {
+            *v = rng.random::<f64>() - 0.5;
+        }
+        a
+    }
+
+    fn opts() -> QrOptions {
+        QrOptions::new(4, 2, Tree::Greedy)
+    }
+
+    #[test]
+    fn jobs_match_the_sequential_oracle() {
+        let svc = Service::start(ServeConfig {
+            threads: 2,
+            batch_max: 3,
+            ..ServeConfig::default()
+        });
+        let mats: Vec<Matrix> = (0..5)
+            .map(|i| random_matrix(16 + 4 * (i % 2), 8, 100 + i as u64))
+            .collect();
+        let ids: Vec<u64> = mats
+            .iter()
+            .map(|a| svc.submit(a.clone(), opts(), None).unwrap())
+            .collect();
+        for (a, id) in mats.iter().zip(ids) {
+            let r = svc.wait_result(id).expect("job completes");
+            let oracle = tile_qr_seq(a, &opts());
+            assert_eq!(r_factor_distance(&r, &oracle.r), 0.0, "bit-identical R");
+        }
+        let stats = svc.drain();
+        assert!(stats.contains("\"jobs_done\":5"), "stats: {stats}");
+    }
+
+    #[test]
+    fn full_queue_rejects_with_backpressure() {
+        let svc = Service::start(ServeConfig {
+            threads: 1,
+            queue_cap: 1,
+            batch_max: 1,
+            ..ServeConfig::default()
+        });
+        // Saturate: many quick submits against a capacity-1 queue must
+        // produce at least one typed rejection.
+        let mut rejected = 0;
+        let mut accepted = Vec::new();
+        for i in 0..64 {
+            match svc.submit(random_matrix(32, 8, i), opts(), None) {
+                Ok(id) => accepted.push(id),
+                Err(SubmitError::Backpressure { draining, .. }) => {
+                    assert!(!draining);
+                    rejected += 1;
+                }
+                Err(e) => panic!("unexpected submit error: {e}"),
+            }
+        }
+        assert!(rejected > 0, "expected at least one backpressure rejection");
+        for id in accepted {
+            svc.wait_result(id).expect("accepted jobs still complete");
+        }
+        svc.drain();
+    }
+
+    #[test]
+    fn cancel_and_deadline_resolve_queued_jobs() {
+        let svc = Service::start(ServeConfig {
+            threads: 1,
+            batch_max: 1,
+            ..ServeConfig::default()
+        });
+        // A big head-of-line job keeps the queue busy long enough for the
+        // cancel and the 1 ms deadline behind it to take effect.
+        let head = svc.submit(random_matrix(96, 32, 1), opts(), None).unwrap();
+        let doomed = svc.submit(random_matrix(8, 8, 2), opts(), None).unwrap();
+        let expired = svc
+            .submit(
+                random_matrix(8, 8, 3),
+                opts(),
+                Some(Duration::from_millis(1)),
+            )
+            .unwrap();
+        assert!(svc.cancel(doomed), "queued job is cancellable");
+        assert!(!svc.cancel(doomed), "second cancel is a no-op");
+        assert_eq!(svc.wait_result(doomed), Err(JobError::Cancelled));
+        svc.wait_result(head).expect("head job completes");
+        // The deadline is checked when the scheduler reaches the job; by
+        // now 1 ms has long passed.
+        match svc.wait_result(expired) {
+            Err(JobError::DeadlineExpired) => {}
+            Ok(_) => panic!("deadline should have expired"),
+            Err(e) => panic!("unexpected outcome: {e}"),
+        }
+        assert!(!svc.cancel(9999), "unknown job is not cancellable");
+        let stats = svc.drain();
+        assert!(stats.contains("\"jobs_cancelled\":1"), "stats: {stats}");
+        assert!(stats.contains("\"jobs_expired\":1"), "stats: {stats}");
+    }
+
+    #[test]
+    fn draining_service_rejects_new_submits() {
+        let svc = Service::start(ServeConfig::default());
+        svc.drain();
+        match svc.submit(random_matrix(8, 8, 1), opts(), None) {
+            Err(SubmitError::Backpressure { draining: true, .. }) => {}
+            other => panic!("expected draining rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_jobs_are_rejected_before_admission() {
+        let svc = Service::start(ServeConfig::default());
+        let bad_tile = svc.submit(random_matrix(10, 8, 1), opts(), None);
+        assert!(matches!(bad_tile, Err(SubmitError::Invalid(_))));
+        let bad_ib = svc.submit(
+            random_matrix(8, 8, 1),
+            QrOptions::new(4, 4, Tree::Flat),
+            None,
+        );
+        assert!(bad_ib.is_ok(), "ib == nb is legal");
+        svc.drain();
+    }
+
+    #[test]
+    fn trace_accumulates_across_batches_in_service_time() {
+        let svc = Service::start(ServeConfig {
+            threads: 2,
+            trace: true,
+            ..ServeConfig::default()
+        });
+        let a = random_matrix(16, 8, 7);
+        let id1 = svc.submit(a.clone(), opts(), None).unwrap();
+        svc.wait_result(id1).unwrap();
+        let id2 = svc.submit(a, opts(), None).unwrap();
+        svc.wait_result(id2).unwrap();
+        svc.drain();
+        let trace = svc.take_trace();
+        assert!(!trace.spans.is_empty(), "tracing was enabled");
+        let json = trace.to_chrome_json();
+        assert!(json.starts_with('[') && json.ends_with("]\n"));
+    }
+}

@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# Run the QR service throughput benchmark and distill jobs/s per submit
+# burst size into BENCH_serve.json at the repo root.
+#
+# The criterion shim appends one NDJSON line per benchmark to the file in
+# CRITERION_JSON; Throughput::Elements carries the burst's job count, so
+# units_per_s is directly jobs/s. Tune sampling with CRITERION_SAMPLE_SIZE
+# (default here: 10).
+#
+# Usage: scripts/bench_serve.sh [output.json]
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_serve.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+CRITERION_JSON="$raw" CRITERION_SAMPLE_SIZE="${CRITERION_SAMPLE_SIZE:-10}" \
+    cargo bench --offline -p pulsar-bench --bench qr_serve_throughput
+
+# NDJSON -> one pretty-printed object keyed "group/bench/burst" -> jobs/s.
+awk '
+BEGIN { print "{"; n = 0 }
+{
+    name = $0; sub(/.*"name":"/, "", name); sub(/".*/, "", name)
+    rate = $0; sub(/.*"units_per_s":/, "", rate); sub(/[,}].*/, "", rate)
+    if (n++) printf ",\n"
+    printf "  \"%s\": %.3f", name, rate
+}
+END { print "\n}" }
+' "$raw" > "$out"
+
+echo "wrote $out:"
+cat "$out"

@@ -16,6 +16,32 @@ if [ "${BENCH:-0}" = "1" ]; then
     CRITERION_SAMPLE_SIZE="${CRITERION_SAMPLE_SIZE:-3}" sh scripts/bench_kernels.sh
 fi
 
+# Optional: SERVE=1 ./scripts/check.sh smoke-tests the persistent QR
+# service end-to-end through the release binary: start a daemon, drive it
+# with verified submits (one racing a cancel — either outcome is fine),
+# drain it, and require a clean exit.
+if [ "${SERVE:-0}" = "1" ]; then
+    serve_out=$(mktemp)
+    ./target/release/pulsar-qr serve --threads 2 --stats true > "$serve_out" &
+    serve_pid=$!
+    addr=""
+    for _ in $(seq 1 50); do
+        addr=$(awk '/^SERVE/{print $2}' "$serve_out")
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { echo "SERVE smoke: daemon never announced" >&2; exit 1; }
+    ./target/release/pulsar-qr submit --addr "$addr" --rows 96 --cols 32 --nb 8
+    ./target/release/pulsar-qr submit --addr "$addr" --rows 64 --cols 64 \
+        --nb 16 --tree binary --seed 9
+    ./target/release/pulsar-qr submit --addr "$addr" --rows 256 --cols 64 \
+        --nb 8 --cancel true
+    ./target/release/pulsar-qr drain --addr "$addr"
+    wait "$serve_pid"
+    rm -f "$serve_out"
+    echo "SERVE smoke: ok"
+fi
+
 # Optional: CKPT_FUZZ=1 ./scripts/check.sh widens the checkpoint-corruption
 # property sweep (round-trip / truncation / bit-flip cases over the
 # checkpoint encoding; see crates/runtime/tests/checkpoint_props.rs).
