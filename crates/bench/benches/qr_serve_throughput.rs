@@ -33,7 +33,7 @@ fn bench_serve(c: &mut Criterion) {
                 let jobs: Vec<u64> = (0..burst)
                     .map(|_| {
                         service
-                            .submit(a.clone(), opts.clone(), None)
+                            .submit(a.clone(), opts.clone(), None, false)
                             .expect("queue_cap exceeds the burst size")
                     })
                     .collect();

@@ -1,0 +1,94 @@
+//! Throughput of the factor-store verbs against a warm in-process
+//! [`Service`]: solves/s on a cached handle (the whole point of
+//! `submit --keep`: Q^T·b plus back-substitution, no re-factorization),
+//! and rows/s absorbed by the streaming `update` verb versus re-factoring
+//! the stacked matrix from scratch. At mb >> nb the update touches only
+//! the appended tile rows against the resident R — O(p n^2) instead of
+//! O((m+p) n^2) — so its rows/s must come out strictly higher.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use pulsar_core::{tile_qr_seq, QrOptions, Tree};
+use pulsar_linalg::Matrix;
+use pulsar_server::{ServeConfig, Service};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+// Tall and skinny, many tile rows per panel: mb = 32 >> appended pt = 4.
+const M: usize = 512;
+const N: usize = 32;
+const NB: usize = 16;
+const IB: usize = 4;
+const P: usize = 64; // rows appended per update
+
+fn keep_factors(service: &Service, a: &Matrix, opts: &QrOptions) -> u64 {
+    let handle = service
+        .submit(a.clone(), opts.clone(), None, true)
+        .expect("admission");
+    service.wait_result(handle).expect("factorization");
+    handle
+}
+
+fn bench_solve(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(17);
+    let opts = QrOptions::new(NB, IB, Tree::Greedy);
+    let a = Matrix::random(M, N, &mut rng);
+    let b = Matrix::random(M, 1, &mut rng);
+    let e = Matrix::random(P, N, &mut rng);
+
+    let service = Service::start(ServeConfig {
+        threads: 2,
+        ..ServeConfig::default()
+    });
+
+    // solves/s against one warm cached handle: the store hit plus the
+    // apply/back-substitute arithmetic, nothing else.
+    let warm = keep_factors(&service, &a, &opts);
+    let mut g = c.benchmark_group("qr_solve");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("solve_cached", |bench| {
+        bench.iter(|| black_box(service.solve(warm, &b).expect("warm handle solves")))
+    });
+    g.finish();
+
+    // rows/s absorbed when P rows arrive: streaming update against the
+    // stored factors vs. re-factoring the stacked (M+P) x N matrix. Both
+    // report Throughput::Elements(P) — the new rows are the work either
+    // way — so units_per_s is directly comparable.
+    let mut g = c.benchmark_group("qr_update");
+    g.throughput(Throughput::Elements(P as u64));
+    g.bench_function("append_rows", |bench| {
+        bench.iter_batched(
+            // Updates mutate the stored factors, so each timed call gets
+            // a fresh handle (factored outside the timed region).
+            || keep_factors(&service, &a, &opts),
+            |handle| {
+                black_box(service.update(handle, &e).expect("update commits"));
+                service.release(handle);
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    let stacked = Matrix::from_fn(
+        M + P,
+        N,
+        |i, j| {
+            if i < M {
+                a[(i, j)]
+            } else {
+                e[(i - M, j)]
+            }
+        },
+    );
+    g.bench_function("refactor_from_scratch", |bench| {
+        bench.iter(|| black_box(tile_qr_seq(&stacked, &opts)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_solve
+}
+criterion_main!(benches);

@@ -55,12 +55,15 @@ COMMANDS
             typed backpressure; prints `SERVE <addr>` when ready and runs
             until a client drains it
             [--port 0] [--threads 2] [--queue-cap 32] [--batch-max 4]
-            [--batch-mb 64] [--retry-ms 50] [--stats true]
+            [--batch-mb 64] [--retry-ms 50] [--store-mb 256] [--stats true]
             [--trace-out trace.json]
-  submit    send one random factorization job to a serve daemon and verify
-            its R against the sequential oracle
+  submit    drive a serve daemon: factor a random matrix (default verb) or
+            exercise a stored factorization; every verb self-verifies
+            against a local oracle re-derived from the seed
             --addr HOST:PORT --rows N --cols N [--nb 8] [--ib nb/4]
             [--tree greedy] [--seed 42] [--deadline-ms 0] [--cancel true]
+            [--verb factor|solve|apply-q|update] [--keep true] (prints
+            `HANDLE <id>`) [--handle H] [--rhs 1] [--append-rows P]
   drain     shut a serve daemon down (queued jobs finish first) and print
             its final stats JSON
             --addr HOST:PORT

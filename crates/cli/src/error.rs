@@ -17,7 +17,11 @@ pub const EXIT_CODES: &[(i32, &str)] = &[
     (7, "unrecoverable after N retry attempts"),
     (
         8,
-        "server over capacity (backpressure; retry after the hinted delay)",
+        "server over capacity (backpressure or factor store full; retry after the hinted delay)",
+    ),
+    (
+        9,
+        "factor handle expired (released or evicted from the store)",
     ),
 ];
 
@@ -65,11 +69,23 @@ impl From<RunError> for CliError {
 
 impl From<pulsar_server::ClientError> for CliError {
     fn from(e: pulsar_server::ClientError) -> Self {
-        use pulsar_server::ClientError;
+        use pulsar_server::{ClientError, ErrCode};
         let code = match &e {
             // Typed backpressure: scripts can distinguish "come back
-            // later" from real failures and honor the retry hint.
+            // later" from real failures and honor the retry hint. A full
+            // factor store is the same shape of problem — capacity, not
+            // correctness — so it shares the code.
             ClientError::Backpressure { .. } => 8,
+            ClientError::Job {
+                code: ErrCode::StoreFull,
+                ..
+            } => 8,
+            // A dead factor handle is retryable only by re-factoring;
+            // scripts need to tell it apart from capacity pushback.
+            ClientError::Job {
+                code: ErrCode::HandleExpired,
+                ..
+            } => 9,
             // Wire-level corruption shares the decode/protocol code.
             ClientError::Proto(_) | ClientError::Unexpected(_) => 6,
             ClientError::Job { .. } | ClientError::Io(_) => 1,
@@ -225,5 +241,26 @@ mod tests {
         assert_eq!(proto.code, 6, "wire corruption shares the decode code");
         let table: Vec<i32> = EXIT_CODES.iter().map(|(c, _)| *c).collect();
         assert!(table.contains(&bp.code) && table.contains(&proto.code));
+    }
+
+    #[test]
+    fn store_errors_get_typed_codes() {
+        use pulsar_server::{ClientError, ErrCode};
+        let job = |code| {
+            CliError::from(ClientError::Job {
+                job: 7,
+                code,
+                msg: "x".into(),
+            })
+        };
+        assert_eq!(job(ErrCode::HandleExpired).code, 9);
+        assert_eq!(
+            job(ErrCode::StoreFull).code,
+            8,
+            "store capacity shares the backpressure code"
+        );
+        assert_eq!(job(ErrCode::Failed).code, 1);
+        let table: Vec<i32> = EXIT_CODES.iter().map(|(c, _)| *c).collect();
+        assert!(table.contains(&9));
     }
 }

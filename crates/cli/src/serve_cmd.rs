@@ -26,6 +26,7 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         "batch-max",
         "batch-mb",
         "retry-ms",
+        "store-mb",
         "stats",
         "trace-out",
     ])
@@ -38,6 +39,7 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         batch_max: args.opt("batch-max", 4)?,
         batch_bytes: args.opt::<usize>("batch-mb", 64)? << 20,
         default_retry_after_ms: args.opt("retry-ms", 50)?,
+        store_bytes: args.opt::<usize>("store-mb", 256)? << 20,
         trace: trace_out.is_some(),
     };
     let want_stats: bool = args.opt("stats", false)?;
@@ -88,7 +90,11 @@ fn submit_opts(args: &Args) -> Result<QrOptions, String> {
     Ok(QrOptions::new(nb, ib, tree))
 }
 
-/// `pulsar-qr submit`: send one random factorization job to a daemon.
+/// `pulsar-qr submit`: drive a serve daemon with one request. The default
+/// verb factors a random matrix and verifies the returned R; the handle
+/// verbs (`solve`, `apply-q`, `update`) exercise a factorization stored
+/// by an earlier `submit --keep true`, re-deriving their oracles locally
+/// from the same `--seed`/`--rows`/`--cols` so every flow self-verifies.
 pub fn submit(args: &Args) -> Result<String, CliError> {
     args.ensure_known(&[
         "addr",
@@ -100,27 +106,60 @@ pub fn submit(args: &Args) -> Result<String, CliError> {
         "seed",
         "deadline-ms",
         "cancel",
+        "verb",
+        "keep",
+        "handle",
+        "rhs",
+        "append-rows",
     ])
     .map_err(CliError::usage)?;
-    let addr: String = args.req("addr")?;
+    match args.get("verb").unwrap_or("factor") {
+        "factor" => submit_factor(args),
+        "solve" => verb_solve(args),
+        "apply-q" => verb_apply_q(args),
+        "update" => verb_update(args),
+        other => Err(CliError::usage(format!(
+            "unknown --verb `{other}`; expected factor|solve|apply-q|update"
+        ))),
+    }
+}
+
+/// The problem every verb re-derives: matrix first, then right-hand
+/// sides, always drawn in the same order from one seeded stream, so a
+/// `solve` invocation reproduces the exact matrix an earlier
+/// `submit --keep true` run factored.
+fn seeded_problem(args: &Args) -> Result<(Matrix, StdRng, usize, usize), String> {
     let m: usize = args.req("rows")?;
     let n: usize = args.req("cols")?;
+    let seed: u64 = args.opt("seed", 42)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = Matrix::random(m, n, &mut rng);
+    Ok((a, rng, m, n))
+}
+
+fn submit_factor(args: &Args) -> Result<String, CliError> {
+    let addr: String = args.req("addr")?;
     let opts = submit_opts(args)?;
+    let (a, _, m, n) = seeded_problem(args)?;
     if !m.is_multiple_of(opts.nb) || !n.is_multiple_of(opts.nb) {
         return Err(CliError::usage(format!(
             "--rows and --cols must be multiples of nb ({})",
             opts.nb
         )));
     }
-    let seed: u64 = args.opt("seed", 42)?;
     let deadline_ms: u32 = args.opt("deadline-ms", 0)?;
     let cancel: bool = args.opt("cancel", false)?;
-
-    let mut rng = StdRng::seed_from_u64(seed);
-    let a = Matrix::random(m, n, &mut rng);
+    let keep: bool = args.opt("keep", false)?;
+    if keep && cancel {
+        return Err(CliError::usage("--keep and --cancel are exclusive"));
+    }
 
     let mut client = Client::connect(&addr)?;
-    let job = client.submit(&a, &opts, deadline_ms)?;
+    let job = if keep {
+        client.submit_keep(&a, &opts, deadline_ms)?
+    } else {
+        client.submit(&a, &opts, deadline_ms)?
+    };
 
     let mut out = String::new();
     writeln!(
@@ -146,6 +185,104 @@ pub fn submit(args: &Args) -> Result<String, CliError> {
     if dist != 0.0 {
         return Err(CliError::from(format!(
             "verification FAILED: served R differs from oracle by {dist:.2e}\n{out}"
+        )));
+    }
+    writeln!(out, "verification OK").unwrap();
+    if keep {
+        // Rendezvous line for scripts, like `SERVE <addr>`: the job id
+        // doubles as the factor handle while the store keeps it.
+        writeln!(out, "HANDLE {job}").unwrap();
+    }
+    Ok(out)
+}
+
+fn verb_solve(args: &Args) -> Result<String, CliError> {
+    let addr: String = args.req("addr")?;
+    let handle: u64 = args.req("handle")?;
+    let k: usize = args.opt("rhs", 1)?;
+    let (a, mut rng, m, n) = seeded_problem(args)?;
+    let b = Matrix::random(m, k, &mut rng);
+
+    let mut client = Client::connect(&addr)?;
+    let x = client.solve(handle, &b)?;
+
+    let oracle = pulsar_linalg::reference::geqrf(a).solve_ls(&b);
+    let rel = x.sub(&oracle).norm_fro() / oracle.norm_fro().max(1.0);
+    let mut out = String::new();
+    writeln!(out, "solve handle {handle}  {m}x{n}  {k} rhs").unwrap();
+    writeln!(out, "solution distance to reference QR: {rel:.2e}").unwrap();
+    if rel > 1e-8 {
+        return Err(CliError::from(format!(
+            "verification FAILED: served solution off by {rel:.2e}\n{out}"
+        )));
+    }
+    writeln!(out, "verification OK").unwrap();
+    Ok(out)
+}
+
+fn verb_apply_q(args: &Args) -> Result<String, CliError> {
+    let addr: String = args.req("addr")?;
+    let handle: u64 = args.req("handle")?;
+    let k: usize = args.opt("rhs", 1)?;
+    let (_, mut rng, m, n) = seeded_problem(args)?;
+    let b = Matrix::random(m, k, &mut rng);
+
+    let mut client = Client::connect(&addr)?;
+    let qb = client.apply_q(handle, &b, false)?;
+    let back = client.apply_q(handle, &qb, true)?;
+
+    // Orthogonality is the whole contract: Q^T(Qb) = b and ||Qb|| = ||b||.
+    let roundtrip = back.sub(&b).norm_fro() / b.norm_fro().max(1.0);
+    let norm_drift = (qb.norm_fro() - b.norm_fro()).abs() / b.norm_fro().max(1.0);
+    let mut out = String::new();
+    writeln!(out, "apply-q handle {handle}  {m}x{n}  {k} columns").unwrap();
+    writeln!(
+        out,
+        "round trip ||Q^T Q b - b||/||b|| = {roundtrip:.2e}   norm drift {norm_drift:.2e}"
+    )
+    .unwrap();
+    if roundtrip > 1e-10 || norm_drift > 1e-10 {
+        return Err(CliError::from(format!(
+            "verification FAILED: Q application is not orthogonal\n{out}"
+        )));
+    }
+    writeln!(out, "verification OK").unwrap();
+    Ok(out)
+}
+
+fn verb_update(args: &Args) -> Result<String, CliError> {
+    let addr: String = args.req("addr")?;
+    let handle: u64 = args.req("handle")?;
+    let p: usize = args.req("append-rows")?;
+    let k: usize = args.opt("rhs", 1)?;
+    let (a, mut rng, m, n) = seeded_problem(args)?;
+    let e = Matrix::random(p, n, &mut rng);
+
+    let mut client = Client::connect(&addr)?;
+    let rows = client.update(handle, &e)?;
+
+    let mut out = String::new();
+    writeln!(out, "update handle {handle}  +{p} rows -> {rows} total").unwrap();
+    if rows != (m + p) as u64 {
+        return Err(CliError::from(format!(
+            "verification FAILED: expected {} rows after update, server says {rows}\n{out}",
+            m + p
+        )));
+    }
+    // The updated factors must solve the stacked problem [A; E].
+    let stacked = Matrix::from_fn(
+        m + p,
+        n,
+        |i, j| if i < m { a[(i, j)] } else { e[(i - m, j)] },
+    );
+    let b = Matrix::random(m + p, k, &mut rng);
+    let x = client.solve(handle, &b)?;
+    let oracle = pulsar_linalg::reference::geqrf(stacked).solve_ls(&b);
+    let rel = x.sub(&oracle).norm_fro() / oracle.norm_fro().max(1.0);
+    writeln!(out, "stacked-solve distance to reference QR: {rel:.2e}").unwrap();
+    if rel > 1e-8 {
+        return Err(CliError::from(format!(
+            "verification FAILED: updated factors mis-solve the stacked problem\n{out}"
         )));
     }
     writeln!(out, "verification OK").unwrap();

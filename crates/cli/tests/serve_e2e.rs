@@ -214,6 +214,130 @@ fn cancel_status_and_deadline_over_the_wire() {
     wait_success(child);
 }
 
+/// Run the CLI binary, returning (status, stdout, stderr).
+fn run_cli(args: &[&str]) -> (std::process::ExitStatus, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_pulsar-qr"))
+        .args(args)
+        .output()
+        .expect("running pulsar-qr");
+    (
+        out.status,
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// Scrape the `HANDLE <id>` rendezvous line a `submit --keep true` prints.
+fn scrape_handle(out: &str) -> String {
+    out.lines()
+        .find_map(|l| l.strip_prefix("HANDLE "))
+        .unwrap_or_else(|| panic!("no HANDLE line in {out:?}"))
+        .to_string()
+}
+
+#[test]
+fn keep_solve_apply_q_and_update_verbs_self_verify() {
+    let (child, addr, _tail) = spawn_daemon(&["--threads", "2", "--store-mb", "64"]);
+    let seed_args = [
+        "--addr", &addr, "--rows", "32", "--cols", "8", "--seed", "11",
+    ];
+
+    let (status, out, err) = run_cli(
+        &[
+            &["submit"],
+            &seed_args[..],
+            &["--nb", "4", "--keep", "true"],
+        ]
+        .concat(),
+    );
+    assert!(status.success(), "keep submit failed: {out}\n{err}");
+    assert!(out.contains("verification OK"), "{out}");
+    let handle = scrape_handle(&out);
+
+    // Each verb re-derives its oracle from the shared seed and verifies
+    // in-process; "verification OK" is the whole assertion.
+    let (status, out, err) = run_cli(
+        &[
+            &["submit", "--verb", "solve", "--handle", &handle],
+            &seed_args[..],
+            &["--rhs", "2"],
+        ]
+        .concat(),
+    );
+    assert!(status.success(), "solve failed: {out}\n{err}");
+    assert!(out.contains("verification OK"), "{out}");
+
+    let (status, out, err) = run_cli(
+        &[
+            &["submit", "--verb", "apply-q", "--handle", &handle],
+            &seed_args[..],
+            &["--rhs", "3"],
+        ]
+        .concat(),
+    );
+    assert!(status.success(), "apply-q failed: {out}\n{err}");
+    assert!(out.contains("verification OK"), "{out}");
+
+    let (status, out, err) = run_cli(
+        &[
+            &["submit", "--verb", "update", "--handle", &handle],
+            &seed_args[..],
+            &["--append-rows", "8"],
+        ]
+        .concat(),
+    );
+    assert!(status.success(), "update failed: {out}\n{err}");
+    assert!(out.contains("-> 40 total"), "{out}");
+    assert!(out.contains("verification OK"), "{out}");
+
+    let (status, out, _) = run_cli(&["drain", "--addr", &addr]);
+    assert!(status.success());
+    // update's verify issues a second solve against the updated factors.
+    assert!(out.contains("\"solves\":2"), "{out}");
+    assert!(out.contains("\"updates\":1"), "{out}");
+    assert!(out.contains("\"store\":{"), "{out}");
+    wait_success(child);
+}
+
+#[test]
+fn eviction_under_a_tiny_store_is_a_typed_expiry_with_exit_code_9() {
+    // 2 MiB holds one 1024x64 factorization (~1.3 MiB of V/T/R) but not
+    // two: the second keep must evict the first, and solving against the
+    // evicted handle fails with the dedicated handle-expired exit code.
+    let (child, addr, _tail) = spawn_daemon(&["--threads", "2", "--store-mb", "2"]);
+    let keep = |seed: &str| {
+        let (status, out, err) = run_cli(&[
+            "submit", "--addr", &addr, "--rows", "1024", "--cols", "64", "--nb", "16", "--seed",
+            seed, "--keep", "true",
+        ]);
+        assert!(status.success(), "keep submit failed: {out}\n{err}");
+        scrape_handle(&out)
+    };
+    let first = keep("21");
+    let second = keep("22");
+
+    let solve = |handle: &str, seed: &str| {
+        run_cli(&[
+            "submit", "--verb", "solve", "--handle", handle, "--addr", &addr, "--rows", "1024",
+            "--cols", "64", "--seed", seed,
+        ])
+    };
+    let (status, out, err) = solve(&first, "21");
+    assert!(!status.success(), "evicted handle must fail: {out}");
+    assert_eq!(status.code(), Some(9), "handle expiry exit code: {err}");
+    assert!(err.contains("expired") || err.contains("evicted"), "{err}");
+
+    // The survivor still solves.
+    let (status, out, err) = solve(&second, "22");
+    assert!(status.success(), "resident handle failed: {out}\n{err}");
+    assert!(out.contains("verification OK"), "{out}");
+
+    let (status, out, _) = run_cli(&["drain", "--addr", &addr]);
+    assert!(status.success());
+    assert!(out.contains("\"evictions\":1"), "{out}");
+    wait_success(child);
+}
+
 #[test]
 fn submit_and_drain_subcommands_drive_a_daemon() {
     let (child, addr, _tail) = spawn_daemon(&["--threads", "2"]);

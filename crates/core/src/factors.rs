@@ -162,11 +162,19 @@ impl TileQrFactors {
     /// Solve the least-squares problem `min ||A x - b||` (`m >= n`,
     /// full rank): `x = R^{-1} (Q^T b)[0..n]`.
     pub fn solve_ls(&self, b: &Matrix) -> Matrix {
+        self.try_solve_ls(b).expect("singular R in solve_ls")
+    }
+
+    /// [`Self::solve_ls`] with a typed verdict: an exactly-singular `R`
+    /// (rank-deficient `A`) returns [`pulsar_linalg::SolveError::Singular`]
+    /// instead of flooding the solution with inf/NaN. This is the entry
+    /// point the QR service's `solve` verb uses against stored factors.
+    pub fn try_solve_ls(&self, b: &Matrix) -> Result<Matrix, pulsar_linalg::SolveError> {
         assert!(self.m >= self.n, "least squares needs m >= n");
         let qtb = self.apply_qt(b);
         let mut x = qtb.submatrix(0, 0, self.n, b.ncols());
-        pulsar_linalg::blas::dtrsm_upper_left(&self.r, &mut x);
-        x
+        pulsar_linalg::back_substitute(&self.r, &mut x)?;
+        Ok(x)
     }
 
     /// Scaled factorization residual `||A - Q [R; 0]||_F / (||A||_F max(m,n))`.
@@ -194,6 +202,21 @@ impl TileQrFactors {
     /// Number of recorded transformations.
     pub fn transform_count(&self) -> usize {
         self.panels.iter().map(|p| p.len()).sum()
+    }
+
+    /// Approximate resident size in bytes: the `f64` payload of `R` and
+    /// every recorded `V`/`T` block, plus a fixed per-transform overhead
+    /// for the surrounding structs. The factorization store budgets its
+    /// cache against this estimate.
+    pub fn approx_bytes(&self) -> usize {
+        let payload: usize = 8 * self.r.nrows() * self.r.ncols()
+            + self
+                .panels
+                .iter()
+                .flat_map(|p| p.iter())
+                .map(|rf| 8 * (rf.v.nrows() * rf.v.ncols() + rf.t.nrows() * rf.t.ncols()))
+                .sum::<usize>();
+        payload + 64 * self.transform_count() + 128
     }
 
     /// Estimated 1-norm condition number of `R` (`m >= n` only). Since

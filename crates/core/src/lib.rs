@@ -27,6 +27,7 @@ pub mod mapping;
 pub mod plan;
 pub mod seqqr;
 pub(crate) mod store;
+pub mod update;
 pub mod vsa3d;
 pub mod vsa_compact;
 
@@ -34,6 +35,7 @@ pub use factors::{Reflectors, TileQrFactors};
 pub use lsqr::{least_squares, LsSolution};
 pub use plan::{Boundary, PanelOp, QrPlan, Tree};
 pub use seqqr::tile_qr_seq;
+pub use update::{append_rows, UpdateError};
 
 /// Decoders for every payload the QR arrays send across node boundaries:
 /// the runtime's standard types plus [`Reflectors`]. Every rank of a

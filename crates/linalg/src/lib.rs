@@ -19,6 +19,7 @@ pub mod householder;
 pub mod kernels;
 pub mod matrix;
 pub mod reference;
+pub mod solve;
 pub mod tile;
 pub mod verify;
 pub mod workspace;
@@ -28,5 +29,6 @@ pub use kernels::{
     unmqr_ws, ApplyTrans,
 };
 pub use matrix::Matrix;
+pub use solve::{back_substitute, SolveError};
 pub use tile::TileMatrix;
 pub use workspace::{with_thread_workspace, Workspace};

@@ -5,7 +5,7 @@
 
 use pulsar_linalg::kernels::ApplyTrans;
 use pulsar_linalg::{
-    geqrt_ws, tsmqr_ws, tsqrt_ws, ttmqr_ws, ttqrt_ws, unmqr_ws, Matrix, Workspace,
+    back_substitute, geqrt_ws, tsmqr_ws, tsqrt_ws, ttmqr_ws, ttqrt_ws, unmqr_ws, Matrix, Workspace,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -185,6 +185,55 @@ fn two_consecutive_jobs_share_a_warm_workspace_alloc_free() {
     );
     let during = alloc_count() - before;
     assert_eq!(during, 0, "second job made {during} allocations");
+}
+
+#[test]
+fn warm_solve_on_cached_factors_is_alloc_free() {
+    // The serve daemon's `solve` verb against a stored handle: V/T and R
+    // already live in the factor store, the right-hand side arrives off
+    // the wire, and the only arithmetic is Q^T·b (unmqr + tsmqr chain)
+    // followed by back-substitution. Model that hot path exactly: factor
+    // a 4-tile-row single-column matrix once (setup, allocation allowed),
+    // then run the solve pass twice against preallocated b tiles — the
+    // second pass must never hit the allocator.
+    const K: usize = 2; // right-hand sides
+    const ROWS: usize = 4; // tile rows
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut ws = Workspace::new();
+
+    // "Stored handle": geqrt on tile 0 plus a flat tsqrt chain.
+    let mut v0 = Matrix::random(NB, NB, &mut rng);
+    let mut t0 = Matrix::zeros(IB, NB);
+    geqrt_ws(&mut v0, &mut t0, IB, &mut ws);
+    let mut chain = Vec::new();
+    for _ in 1..ROWS {
+        let mut v = Matrix::random(NB, NB, &mut rng);
+        let mut t = Matrix::zeros(IB, NB);
+        // tsqrt reads and writes only v0's upper triangle, exactly as the
+        // store's update path does against the cached R.
+        let mut r = v0.submatrix(0, 0, NB, NB);
+        tsqrt_ws(&mut r, &mut v, &mut t, IB, &mut ws);
+        v0.set_submatrix(0, 0, &r);
+        chain.push((v, t));
+    }
+    let r = v0.upper_triangle();
+
+    // Wire operand and its pristine copy (the service decodes b off the
+    // socket before dispatch, so these live outside the counted region).
+    let b_orig: Vec<Matrix> = (0..ROWS).map(|_| Matrix::random(NB, K, &mut rng)).collect();
+    let mut b: Vec<Matrix> = b_orig.clone();
+
+    assert_steady_state_alloc_free("warm solve", &mut ws, |ws| {
+        for (tile, orig) in b.iter_mut().zip(&b_orig) {
+            tile.data_mut().copy_from_slice(orig.data());
+        }
+        let (top, rest) = b.split_at_mut(1);
+        unmqr_ws(&v0, &t0, ApplyTrans::Trans, &mut top[0], IB, ws);
+        for (tile, (v, t)) in rest.iter_mut().zip(&chain) {
+            tsmqr_ws(&mut top[0], tile, v, t, ApplyTrans::Trans, IB, ws);
+        }
+        back_substitute(&r, &mut top[0]).expect("R is nonsingular");
+    });
 }
 
 #[test]

@@ -110,10 +110,34 @@ impl Client {
         opts: &QrOptions,
         deadline_ms: u32,
     ) -> Result<u64, ClientError> {
+        self.submit_inner(a, opts, deadline_ms, false)
+    }
+
+    /// [`Self::submit`] with keep: the server stores the complete
+    /// factorization, and the returned job id doubles as the factor
+    /// handle for [`Self::solve`] / [`Self::apply_q`] / [`Self::update`]
+    /// until released or evicted.
+    pub fn submit_keep(
+        &mut self,
+        a: &Matrix,
+        opts: &QrOptions,
+        deadline_ms: u32,
+    ) -> Result<u64, ClientError> {
+        self.submit_inner(a, opts, deadline_ms, true)
+    }
+
+    fn submit_inner(
+        &mut self,
+        a: &Matrix,
+        opts: &QrOptions,
+        deadline_ms: u32,
+        keep: bool,
+    ) -> Result<u64, ClientError> {
         let msg = Msg::Submit {
             nb: opts.nb as u32,
             ib: opts.ib as u32,
             deadline_ms,
+            keep,
             tree: opts.tree.to_string(),
             a: a.clone(),
         };
@@ -159,6 +183,61 @@ impl Client {
             Msg::CancelOk { cancelled, .. } => Ok(cancelled),
             Msg::Error { job, code, msg } => Err(ClientError::Job { job, code, msg }),
             _ => Err(ClientError::Unexpected("cancel")),
+        }
+    }
+
+    /// Least-squares solve against a stored factorization: returns the
+    /// `n x k` solution of `min ||A x - b||`.
+    pub fn solve(&mut self, handle: u64, b: &Matrix) -> Result<Matrix, ClientError> {
+        match self.call(&Msg::Solve {
+            handle,
+            b: b.clone(),
+        })? {
+            Msg::Solution { x, .. } => Ok(x),
+            Msg::Error { job, code, msg } => Err(ClientError::Job { job, code, msg }),
+            _ => Err(ClientError::Unexpected("solve")),
+        }
+    }
+
+    /// Apply `Q` (or `Q^T` when `transpose`) from a stored factorization
+    /// to an `m x k` operand.
+    pub fn apply_q(
+        &mut self,
+        handle: u64,
+        b: &Matrix,
+        transpose: bool,
+    ) -> Result<Matrix, ClientError> {
+        match self.call(&Msg::ApplyQ {
+            handle,
+            transpose,
+            b: b.clone(),
+        })? {
+            Msg::QApplied { c, .. } => Ok(c),
+            Msg::Error { job, code, msg } => Err(ClientError::Job { job, code, msg }),
+            _ => Err(ClientError::Unexpected("apply-q")),
+        }
+    }
+
+    /// Append rows to a stored factorization (streaming update). Returns
+    /// the updated total row count.
+    pub fn update(&mut self, handle: u64, e: &Matrix) -> Result<u64, ClientError> {
+        match self.call(&Msg::Update {
+            handle,
+            e: e.clone(),
+        })? {
+            Msg::Updated { rows, .. } => Ok(rows),
+            Msg::Error { job, code, msg } => Err(ClientError::Job { job, code, msg }),
+            _ => Err(ClientError::Unexpected("update")),
+        }
+    }
+
+    /// Drop a stored factorization; false when the handle was already
+    /// gone (released, evicted, or never kept).
+    pub fn release(&mut self, handle: u64) -> Result<bool, ClientError> {
+        match self.call(&Msg::Release { handle })? {
+            Msg::Released { released, .. } => Ok(released),
+            Msg::Error { job, code, msg } => Err(ClientError::Job { job, code, msg }),
+            _ => Err(ClientError::Unexpected("release")),
         }
     }
 

@@ -9,9 +9,18 @@
 //! small factorizations into a single VSA launch (each job lives in its
 //! own tuple namespace, so results are bit-identical to running alone).
 //!
+//! Beyond one-shot factorization, the service keeps completed
+//! factorizations alive: `submit --keep` parks the full V/T reflector
+//! tree and `R` in a byte-budgeted LRU [`store`](crate::store), and the
+//! `solve`, `apply-q`, and `update` verbs run least-squares solves,
+//! `Q`/`Q^T` products, and streaming row appends against the stored
+//! factors — no re-factorization, typed `HandleExpired`/`StoreFull`
+//! errors when the cache says no.
+//!
 //! Layers, bottom-up:
 //! - [`proto`] — the binary wire protocol, framed by the fabric codec.
-//! - [`service`] — the in-process queue + scheduler + pool.
+//! - [`store`] — the byte-budgeted LRU factorization store.
+//! - [`service`] — the in-process queue + scheduler + pool + store.
 //! - [`server`] — TCP accept loop mapping the protocol onto a service.
 //! - [`client`] — blocking client used by `pulsar-qr submit`/`drain`.
 
@@ -21,11 +30,13 @@ pub mod client;
 pub mod proto;
 pub mod server;
 pub mod service;
+pub mod store;
 
 pub use client::{Client, ClientError};
 pub use proto::{decode_msg, encode_msg, ErrCode, JobState, Msg, ProtoError, MAX_SERVICE_BODY};
 pub use server::serve;
 pub use service::{JobError, ServeConfig, Service, SubmitError};
+pub use store::{FactorHandle, FactorStore, StoreError, StoreStats};
 
 #[cfg(test)]
 mod tests {
@@ -75,6 +86,52 @@ mod tests {
 
         let stats = c.drain().unwrap();
         assert!(stats.contains("\"jobs_done\":1"), "stats: {stats}");
+        daemon.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn tcp_keep_solve_apply_update_release_round_trip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let svc = Service::start(ServeConfig {
+            threads: 2,
+            ..ServeConfig::default()
+        });
+        let daemon = std::thread::spawn(move || serve(listener, svc));
+
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = Matrix::random(24, 8, &mut rng);
+        let opts = QrOptions::new(4, 2, Tree::Greedy);
+        let mut c = Client::connect(&addr).unwrap();
+
+        let handle = c.submit_keep(&a, &opts, 0).unwrap();
+        c.result(handle).unwrap();
+
+        let b = Matrix::random(24, 2, &mut rng);
+        let x = c.solve(handle, &b).unwrap();
+        let xref = pulsar_linalg::reference::geqrf(a.clone()).solve_ls(&b);
+        assert!(x.sub(&xref).norm_fro() < 1e-9 * xref.norm_fro().max(1.0));
+
+        let qb = c.apply_q(handle, &b, false).unwrap();
+        let back = c.apply_q(handle, &qb, true).unwrap();
+        assert!(back.sub(&b).norm_fro() < 1e-12 * b.norm_fro());
+
+        let e = Matrix::random(4, 8, &mut rng);
+        assert_eq!(c.update(handle, &e).unwrap(), 28);
+
+        assert!(c.release(handle).unwrap());
+        assert!(!c.release(handle).unwrap(), "second release is a miss");
+        match c.solve(handle, &b) {
+            Err(ClientError::Job {
+                code: ErrCode::HandleExpired,
+                ..
+            }) => {}
+            other => panic!("expected HandleExpired over the wire, got {other:?}"),
+        }
+
+        let stats = c.drain().unwrap();
+        assert!(stats.contains("\"solves\":1"), "stats: {stats}");
+        assert!(stats.contains("\"store\":{"), "stats: {stats}");
         daemon.join().unwrap().unwrap();
     }
 }

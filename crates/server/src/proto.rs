@@ -48,6 +48,22 @@ pub mod verb {
     pub const DRAINED: u32 = 11;
     /// Server → client: typed failure.
     pub const ERROR: u32 = 12;
+    /// Client → server: least-squares solve against a stored factorization.
+    pub const SOLVE: u32 = 13;
+    /// Server → client: the least-squares solution.
+    pub const SOLUTION: u32 = 14;
+    /// Client → server: apply Q or Q^T from a stored factorization.
+    pub const APPLY_Q: u32 = 15;
+    /// Server → client: the Q-applied operand.
+    pub const Q_APPLIED: u32 = 16;
+    /// Client → server: append rows to a stored factorization.
+    pub const UPDATE: u32 = 17;
+    /// Server → client: update absorbed, new row count attached.
+    pub const UPDATED: u32 = 18;
+    /// Client → server: drop a stored factorization.
+    pub const RELEASE: u32 = 19;
+    /// Server → client: release outcome.
+    pub const RELEASED: u32 = 20;
 }
 
 /// Lifecycle of a job inside the service, as seen over the wire.
@@ -119,6 +135,11 @@ pub enum ErrCode {
     UnknownJob,
     /// The request was malformed or invalid.
     Invalid,
+    /// The factor handle is not resident (never kept, released, or
+    /// evicted from the store).
+    HandleExpired,
+    /// The factorization exceeds the store's whole byte budget.
+    StoreFull,
 }
 
 impl ErrCode {
@@ -129,6 +150,8 @@ impl ErrCode {
             ErrCode::Cancelled => 2,
             ErrCode::UnknownJob => 3,
             ErrCode::Invalid => 4,
+            ErrCode::HandleExpired => 5,
+            ErrCode::StoreFull => 6,
         }
     }
 
@@ -139,6 +162,8 @@ impl ErrCode {
             2 => ErrCode::Cancelled,
             3 => ErrCode::UnknownJob,
             4 => ErrCode::Invalid,
+            5 => ErrCode::HandleExpired,
+            6 => ErrCode::StoreFull,
             _ => return Err(ProtoError::Malformed("unknown error code")),
         })
     }
@@ -157,6 +182,10 @@ pub enum Msg {
         ib: u32,
         /// Milliseconds the job may wait in the queue (0 = forever).
         deadline_ms: u32,
+        /// Keep the full factorization in the server's factor store; the
+        /// job id doubles as the factor handle for solve/apply-q/update.
+        /// Fire-and-forget submits (`false`) never enter the store.
+        keep: bool,
         /// Reduction tree spec.
         tree: String,
         /// The matrix to factor.
@@ -232,6 +261,64 @@ pub enum Msg {
         /// Human-readable detail.
         msg: String,
     },
+    /// Solve `min ||A x - b||` against the stored factorization `handle`.
+    Solve {
+        /// Factor handle (the keeping submit's job id).
+        handle: u64,
+        /// Right-hand side(s), `m x k`.
+        b: Matrix,
+    },
+    /// Reply to [`Msg::Solve`]: the `n x k` least-squares solution.
+    Solution {
+        /// Factor handle.
+        handle: u64,
+        /// The solution.
+        x: Matrix,
+    },
+    /// Apply `Q` (or `Q^T` when `transpose`) from the stored factorization
+    /// to an `m x k` operand.
+    ApplyQ {
+        /// Factor handle.
+        handle: u64,
+        /// Apply `Q^T` instead of `Q`.
+        transpose: bool,
+        /// The operand.
+        b: Matrix,
+    },
+    /// Reply to [`Msg::ApplyQ`]: the transformed operand.
+    QApplied {
+        /// Factor handle.
+        handle: u64,
+        /// `Q * B` or `Q^T * B`.
+        c: Matrix,
+    },
+    /// Append the rows of `e` to the stored factorization (streaming
+    /// update; no re-factorization).
+    Update {
+        /// Factor handle.
+        handle: u64,
+        /// Rows to absorb, `p x n` with `p` a multiple of the job's nb.
+        e: Matrix,
+    },
+    /// Reply to [`Msg::Update`]: rows absorbed.
+    Updated {
+        /// Factor handle.
+        handle: u64,
+        /// Total rows of the updated factorization.
+        rows: u64,
+    },
+    /// Drop a stored factorization, freeing its cache bytes.
+    Release {
+        /// Factor handle.
+        handle: u64,
+    },
+    /// Reply to [`Msg::Release`].
+    Released {
+        /// Factor handle.
+        handle: u64,
+        /// False when the handle was already gone.
+        released: bool,
+    },
 }
 
 impl Msg {
@@ -250,6 +337,14 @@ impl Msg {
             Msg::Drain => verb::DRAIN,
             Msg::Drained { .. } => verb::DRAINED,
             Msg::Error { .. } => verb::ERROR,
+            Msg::Solve { .. } => verb::SOLVE,
+            Msg::Solution { .. } => verb::SOLUTION,
+            Msg::ApplyQ { .. } => verb::APPLY_Q,
+            Msg::QApplied { .. } => verb::Q_APPLIED,
+            Msg::Update { .. } => verb::UPDATE,
+            Msg::Updated { .. } => verb::UPDATED,
+            Msg::Release { .. } => verb::RELEASE,
+            Msg::Released { .. } => verb::RELEASED,
         }
     }
 }
@@ -341,12 +436,14 @@ pub fn encode_msg(msg: &Msg, seq: u64) -> Vec<u8> {
             nb,
             ib,
             deadline_ms,
+            keep,
             tree,
             a,
         } => {
             put_u32(&mut payload, *nb);
             put_u32(&mut payload, *ib);
             put_u32(&mut payload, *deadline_ms);
+            payload.push(u8::from(*keep));
             put_str(&mut payload, tree);
             encode_matrix_body(a, &mut payload);
         }
@@ -385,6 +482,40 @@ pub fn encode_msg(msg: &Msg, seq: u64) -> Vec<u8> {
             put_u64(&mut payload, *job);
             payload.push(code.to_wire());
             put_str(&mut payload, msg);
+        }
+        Msg::Solve { handle, b } => {
+            put_u64(&mut payload, *handle);
+            encode_matrix_body(b, &mut payload);
+        }
+        Msg::Solution { handle, x } => {
+            put_u64(&mut payload, *handle);
+            encode_matrix_body(x, &mut payload);
+        }
+        Msg::ApplyQ {
+            handle,
+            transpose,
+            b,
+        } => {
+            put_u64(&mut payload, *handle);
+            payload.push(u8::from(*transpose));
+            encode_matrix_body(b, &mut payload);
+        }
+        Msg::QApplied { handle, c } => {
+            put_u64(&mut payload, *handle);
+            encode_matrix_body(c, &mut payload);
+        }
+        Msg::Update { handle, e } => {
+            put_u64(&mut payload, *handle);
+            encode_matrix_body(e, &mut payload);
+        }
+        Msg::Updated { handle, rows } => {
+            put_u64(&mut payload, *handle);
+            put_u64(&mut payload, *rows);
+        }
+        Msg::Release { handle } => put_u64(&mut payload, *handle),
+        Msg::Released { handle, released } => {
+            put_u64(&mut payload, *handle);
+            payload.push(u8::from(*released));
         }
     }
     let verb = msg.verb();
@@ -490,12 +621,14 @@ pub fn decode_body(header: &FrameHeader, body: &[u8]) -> Result<(Msg, u64), Prot
             let nb = c.u32()?;
             let ib = c.u32()?;
             let deadline_ms = c.u32()?;
+            let keep = c.u8()? != 0;
             let tree = c.string()?;
             let a = c.matrix()?;
             Msg::Submit {
                 nb,
                 ib,
                 deadline_ms,
+                keep,
                 tree,
                 a,
             }
@@ -528,6 +661,36 @@ pub fn decode_body(header: &FrameHeader, body: &[u8]) -> Result<(Msg, u64), Prot
             job: c.u64()?,
             code: ErrCode::from_wire(c.u8()?)?,
             msg: c.string()?,
+        },
+        verb::SOLVE => Msg::Solve {
+            handle: c.u64()?,
+            b: c.matrix()?,
+        },
+        verb::SOLUTION => Msg::Solution {
+            handle: c.u64()?,
+            x: c.matrix()?,
+        },
+        verb::APPLY_Q => Msg::ApplyQ {
+            handle: c.u64()?,
+            transpose: c.u8()? != 0,
+            b: c.matrix()?,
+        },
+        verb::Q_APPLIED => Msg::QApplied {
+            handle: c.u64()?,
+            c: c.matrix()?,
+        },
+        verb::UPDATE => Msg::Update {
+            handle: c.u64()?,
+            e: c.matrix()?,
+        },
+        verb::UPDATED => Msg::Updated {
+            handle: c.u64()?,
+            rows: c.u64()?,
+        },
+        verb::RELEASE => Msg::Release { handle: c.u64()? },
+        verb::RELEASED => Msg::Released {
+            handle: c.u64()?,
+            released: c.u8()? != 0,
         },
         other => return Err(ProtoError::UnknownVerb(other)),
     };
@@ -589,6 +752,7 @@ mod tests {
                 nb: 4,
                 ib: 2,
                 deadline_ms: 250,
+                keep: true,
                 tree: "hier:4".into(),
                 a: mat(),
             },
@@ -619,6 +783,41 @@ mod tests {
                 job: 7,
                 code: ErrCode::UnknownJob,
                 msg: "unknown job".into(),
+            },
+            Msg::Error {
+                job: 7,
+                code: ErrCode::HandleExpired,
+                msg: "factor handle 7 expired".into(),
+            },
+            Msg::Solve {
+                handle: 7,
+                b: mat(),
+            },
+            Msg::Solution {
+                handle: 7,
+                x: mat(),
+            },
+            Msg::ApplyQ {
+                handle: 7,
+                transpose: true,
+                b: mat(),
+            },
+            Msg::QApplied {
+                handle: 7,
+                c: mat(),
+            },
+            Msg::Update {
+                handle: 7,
+                e: mat(),
+            },
+            Msg::Updated {
+                handle: 7,
+                rows: 24,
+            },
+            Msg::Release { handle: 7 },
+            Msg::Released {
+                handle: 7,
+                released: true,
             },
         ];
         for (i, m) in msgs.into_iter().enumerate() {

@@ -18,7 +18,19 @@ impl JobError {
             JobError::DeadlineExpired => ErrCode::DeadlineExpired,
             JobError::Cancelled => ErrCode::Cancelled,
             JobError::Unknown => ErrCode::UnknownJob,
+            JobError::HandleExpired(_) => ErrCode::HandleExpired,
+            JobError::StoreFull { .. } => ErrCode::StoreFull,
+            JobError::Invalid(_) => ErrCode::Invalid,
         }
+    }
+}
+
+/// Typed error reply for a handle-verb failure.
+fn handle_err(handle: u64, e: &JobError) -> Msg {
+    Msg::Error {
+        job: handle,
+        code: e.code(),
+        msg: e.to_string(),
     }
 }
 
@@ -105,6 +117,7 @@ fn dispatch(service: &Service, msg: Msg) -> Msg {
             nb,
             ib,
             deadline_ms,
+            keep,
             tree,
             a,
         } => {
@@ -127,7 +140,7 @@ fn dispatch(service: &Service, msg: Msg) -> Msg {
             }
             let opts = QrOptions::new(nb as usize, ib as usize, tree);
             let deadline = (deadline_ms > 0).then(|| Duration::from_millis(u64::from(deadline_ms)));
-            match service.submit(a, opts, deadline) {
+            match service.submit(a, opts, deadline, keep) {
                 Ok(job) => Msg::SubmitOk { job },
                 Err(SubmitError::Backpressure {
                     retry_after_ms,
@@ -171,6 +184,29 @@ fn dispatch(service: &Service, msg: Msg) -> Msg {
         },
         Msg::Drain => Msg::Drained {
             stats: service.drain(),
+        },
+        // Handle verbs run inline on this connection thread: they are
+        // pure reads of stored factors (plus a short store commit for
+        // update), so they never queue behind factorization batches.
+        Msg::Solve { handle, b } => match service.solve(handle, &b) {
+            Ok(x) => Msg::Solution { handle, x },
+            Err(e) => handle_err(handle, &e),
+        },
+        Msg::ApplyQ {
+            handle,
+            transpose,
+            b,
+        } => match service.apply_q(handle, &b, transpose) {
+            Ok(c) => Msg::QApplied { handle, c },
+            Err(e) => handle_err(handle, &e),
+        },
+        Msg::Update { handle, e } => match service.update(handle, &e) {
+            Ok(rows) => Msg::Updated { handle, rows },
+            Err(err) => handle_err(handle, &err),
+        },
+        Msg::Release { handle } => Msg::Released {
+            handle,
+            released: service.release(handle),
         },
         // A client sending reply verbs is confused; tell it so.
         other => Msg::Error {

@@ -11,7 +11,9 @@
 //! derived from the observed batch rate.
 
 use crate::proto::JobState;
+use crate::store::{FactorHandle, FactorStore, StoreError};
 use parking_lot::{Condvar, Mutex};
+use pulsar_core::update::append_rows;
 use pulsar_core::vsa3d::tile_qr_vsa_batch_pooled;
 use pulsar_core::QrOptions;
 use pulsar_linalg::Matrix;
@@ -37,6 +39,10 @@ pub struct ServeConfig {
     /// Retry hint handed out before any batch has completed (no rate
     /// estimate exists yet).
     pub default_retry_after_ms: u32,
+    /// Byte budget of the factorization store (`submit --keep` results).
+    /// LRU entries are evicted past this; a single factorization larger
+    /// than the whole budget is refused with a typed `StoreFull`.
+    pub store_bytes: usize,
     /// Collect per-task execution traces across all batches.
     pub trace: bool,
 }
@@ -49,6 +55,7 @@ impl Default for ServeConfig {
             batch_max: 4,
             batch_bytes: 64 << 20,
             default_retry_after_ms: 50,
+            store_bytes: 256 << 20,
             trace: false,
         }
     }
@@ -101,6 +108,19 @@ pub enum JobError {
     Cancelled,
     /// No job with that id was ever admitted.
     Unknown,
+    /// The factor handle is not resident in the store: never kept,
+    /// explicitly released, or evicted by the byte budget.
+    HandleExpired(u64),
+    /// The factorization does not fit the store's whole byte budget.
+    StoreFull {
+        /// Bytes the factorization needs.
+        needed: u64,
+        /// The store's total budget.
+        budget: u64,
+    },
+    /// The request is invalid against the stored factorization (shape
+    /// mismatch, wide problem, rows not tiled, ...).
+    Invalid(String),
 }
 
 impl std::fmt::Display for JobError {
@@ -110,11 +130,30 @@ impl std::fmt::Display for JobError {
             JobError::DeadlineExpired => write!(f, "deadline expired in queue"),
             JobError::Cancelled => write!(f, "cancelled"),
             JobError::Unknown => write!(f, "unknown job"),
+            JobError::HandleExpired(h) => {
+                write!(f, "factor handle {h} expired (released or evicted)")
+            }
+            JobError::StoreFull { needed, budget } => {
+                write!(
+                    f,
+                    "factorization needs {needed} bytes, store budget is {budget}"
+                )
+            }
+            JobError::Invalid(m) => write!(f, "invalid request: {m}"),
         }
     }
 }
 
 impl std::error::Error for JobError {}
+
+impl From<StoreError> for JobError {
+    fn from(e: StoreError) -> Self {
+        match e {
+            StoreError::HandleExpired(h) => JobError::HandleExpired(h.raw()),
+            StoreError::StoreFull { needed, budget } => JobError::StoreFull { needed, budget },
+        }
+    }
+}
 
 struct Job {
     /// Present while queued; taken when scheduled (or dropped on
@@ -124,6 +163,9 @@ struct Job {
     deadline: Option<Instant>,
     submitted: Instant,
     state: JobState,
+    /// Keep the full factorization in the store when done (the job id
+    /// becomes its factor handle).
+    keep: bool,
     outcome: Option<Result<Matrix, JobError>>,
 }
 
@@ -135,6 +177,10 @@ struct Counters {
     expired: u64,
     rejected: u64,
     batches: u64,
+    solves: u64,
+    applies: u64,
+    updates: u64,
+    update_rows: u64,
 }
 
 struct State {
@@ -160,6 +206,9 @@ pub struct Service {
     cfg: ServeConfig,
     started: Instant,
     state: Mutex<State>,
+    /// Kept factorizations, behind their own short-held lock. Lock order:
+    /// `state` may nest `store` (the scheduler does); never the reverse.
+    store: Mutex<FactorStore>,
     /// Signals the scheduler that work (or drain) arrived.
     work: Condvar,
     /// Signals waiters that some job reached a terminal state.
@@ -189,6 +238,7 @@ impl Service {
                 busy: Duration::ZERO,
                 spans: Vec::new(),
             }),
+            store: Mutex::new(FactorStore::new(cfg.store_bytes)),
             work: Condvar::new(),
             done: Condvar::new(),
             sched: Mutex::new(None),
@@ -212,11 +262,18 @@ impl Service {
 
     /// Admit a job, or reject it with typed backpressure. `deadline` bounds
     /// the time the job may *wait in the queue*; once running it completes.
+    ///
+    /// With `keep`, the completed factorization (V/T reflector tree + R)
+    /// enters the factor store under the returned id, ready for
+    /// [`Self::solve`] / [`Self::apply_q`] / [`Self::update`] until
+    /// released or evicted. Without it — the default, fire-and-forget path
+    /// — the factors are dropped at completion and never pin store bytes.
     pub fn submit(
         &self,
         a: Matrix,
         opts: QrOptions,
         deadline: Option<Duration>,
+        keep: bool,
     ) -> Result<u64, SubmitError> {
         if a.nrows() == 0 || a.ncols() == 0 {
             return Err(SubmitError::Invalid("matrix must be non-empty".into()));
@@ -263,6 +320,7 @@ impl Service {
                 deadline: deadline.map(|d| Instant::now() + d),
                 submitted: Instant::now(),
                 state: JobState::Queued,
+                keep,
                 outcome: None,
             },
         );
@@ -329,6 +387,86 @@ impl Service {
         }
     }
 
+    /// Least-squares solve `min ||A x - b||` against the stored
+    /// factorization `handle`: `Q^T b` through the V/T reflector tree,
+    /// then back-substitution against `R`. Runs entirely on the calling
+    /// thread — the store lock is held only for the lookup, so solves on
+    /// different handles (or the same one) proceed concurrently.
+    pub fn solve(&self, handle: u64, b: &Matrix) -> Result<Matrix, JobError> {
+        let f = self.store.lock().get(FactorHandle::from_raw(handle))?;
+        if f.m < f.n {
+            return Err(JobError::Invalid(format!(
+                "solve needs a tall factorization, handle {handle} is {}x{}",
+                f.m, f.n
+            )));
+        }
+        if b.nrows() != f.m {
+            return Err(JobError::Invalid(format!(
+                "rhs has {} rows, factorization has {}",
+                b.nrows(),
+                f.m
+            )));
+        }
+        let x = f
+            .try_solve_ls(b)
+            .map_err(|e| JobError::Failed(e.to_string()))?;
+        self.state.lock().counters.solves += 1;
+        Ok(x)
+    }
+
+    /// Apply `Q` (or `Q^T` when `transpose`) from the stored factorization
+    /// to an `m x k` operand, using the recorded block reflectors.
+    pub fn apply_q(&self, handle: u64, b: &Matrix, transpose: bool) -> Result<Matrix, JobError> {
+        let f = self.store.lock().get(FactorHandle::from_raw(handle))?;
+        if b.nrows() != f.m {
+            return Err(JobError::Invalid(format!(
+                "operand has {} rows, factorization has {}",
+                b.nrows(),
+                f.m
+            )));
+        }
+        let c = if transpose {
+            f.apply_qt(b)
+        } else {
+            f.apply_q(b)
+        };
+        self.state.lock().counters.applies += 1;
+        Ok(c)
+    }
+
+    /// Absorb the rows of `e` into the stored factorization without
+    /// re-factoring (TSQRT chain against the resident `R`), and commit
+    /// the grown factors back under the same handle. Returns the updated
+    /// row count. Updates on one handle serialize on its gate; eviction
+    /// between the read and the commit surfaces as `HandleExpired`.
+    pub fn update(&self, handle: u64, e: &Matrix) -> Result<u64, JobError> {
+        let h = FactorHandle::from_raw(handle);
+        let gate = self.store.lock().update_gate(h)?;
+        // Hold the per-handle gate (not the store lock) across the math.
+        let _serialized = gate.lock();
+        let f = self.store.lock().get(h)?;
+        let updated = append_rows(&f, e).map_err(|err| JobError::Invalid(err.to_string()))?;
+        let rows = updated.m as u64;
+        let absorbed = e.nrows() as u64;
+        {
+            let mut store = self.store.lock();
+            // Commit only if still resident: an eviction while we were
+            // computing means the handle is gone and must stay gone.
+            store.update_gate(h)?;
+            store.insert(h, Arc::new(updated))?;
+        }
+        let mut st = self.state.lock();
+        st.counters.updates += 1;
+        st.counters.update_rows += absorbed;
+        Ok(rows)
+    }
+
+    /// Drop a stored factorization, freeing its cache bytes. Returns
+    /// false when the handle was not resident.
+    pub fn release(&self, handle: u64) -> bool {
+        self.store.lock().release(FactorHandle::from_raw(handle))
+    }
+
     /// Stop admitting jobs, let the scheduler finish everything already
     /// queued, join it, and return the final stats JSON.
     pub fn drain(&self) -> String {
@@ -357,8 +495,10 @@ impl Service {
     }
 
     /// One-line JSON snapshot of service statistics: latency percentiles,
-    /// throughput, queue depth, and pool utilization.
+    /// throughput, queue depth, pool utilization, verb counters, and the
+    /// nested factor-store section.
     pub fn stats_json(&self) -> String {
+        let store_json = self.store.lock().stats_json();
         let st = self.state.lock();
         let uptime = self.started.elapsed().as_secs_f64().max(1e-9);
         let mut lat = st.latencies_ms.clone();
@@ -376,7 +516,9 @@ impl Service {
              \"jobs_expired\":{},\"jobs_rejected\":{},\"batches\":{},\
              \"p50_ms\":{:.3},\"p90_ms\":{:.3},\"p99_ms\":{:.3},\
              \"jobs_per_s\":{:.3},\"queue_depth\":{},\"queue_peak\":{},\
-             \"running\":{},\"pool_utilization\":{:.4},\"uptime_s\":{:.3}}}",
+             \"running\":{},\"pool_utilization\":{:.4},\"uptime_s\":{:.3},\
+             \"solves\":{},\"applies\":{},\"updates\":{},\"update_rows\":{},\
+             \"store\":{}}}",
             c.done,
             c.failed,
             c.cancelled,
@@ -392,6 +534,11 @@ impl Service {
             st.running,
             (st.busy.as_secs_f64() / uptime).min(1.0),
             uptime,
+            c.solves,
+            c.applies,
+            c.updates,
+            c.update_rows,
+            store_json,
         )
     }
 
@@ -426,14 +573,41 @@ impl Service {
                         }));
                     }
                     for ((id, _, _), factors) in batch.iter().zip(out.factors) {
-                        let latency_ms = {
+                        let (latency_ms, kept_ok) = {
                             let job = st.jobs.get_mut(id).expect("running job exists");
-                            job.state = JobState::Done;
-                            job.outcome = Some(Ok(factors.r));
-                            job.submitted.elapsed().as_secs_f64() * 1e3
+                            // Keeping jobs park their full factorization in
+                            // the store *before* the outcome is published:
+                            // a client woken by `done` must find its handle
+                            // resident. The state lock may nest the store
+                            // lock (never the reverse).
+                            let outcome = if job.keep {
+                                let r = factors.r.clone();
+                                match self
+                                    .store
+                                    .lock()
+                                    .insert(FactorHandle::from_raw(*id), Arc::new(factors))
+                                {
+                                    Ok(()) => Ok(r),
+                                    // The keep could not be honored; the
+                                    // client asked for a live handle, so a
+                                    // typed failure beats silently handing
+                                    // out an R whose handle is dead.
+                                    Err(e) => Err(JobError::from(e)),
+                                }
+                            } else {
+                                Ok(factors.r)
+                            };
+                            let ok = outcome.is_ok();
+                            job.state = if ok { JobState::Done } else { JobState::Failed };
+                            job.outcome = Some(outcome);
+                            (job.submitted.elapsed().as_secs_f64() * 1e3, ok)
                         };
                         st.latencies_ms.push(latency_ms);
-                        st.counters.done += 1;
+                        if kept_ok {
+                            st.counters.done += 1;
+                        } else {
+                            st.counters.failed += 1;
+                        }
                     }
                 }
                 Err(e) => {
@@ -572,7 +746,7 @@ mod tests {
             .collect();
         let ids: Vec<u64> = mats
             .iter()
-            .map(|a| svc.submit(a.clone(), opts(), None).unwrap())
+            .map(|a| svc.submit(a.clone(), opts(), None, false).unwrap())
             .collect();
         for (a, id) in mats.iter().zip(ids) {
             let r = svc.wait_result(id).expect("job completes");
@@ -596,7 +770,7 @@ mod tests {
         let mut rejected = 0;
         let mut accepted = Vec::new();
         for i in 0..64 {
-            match svc.submit(random_matrix(32, 8, i), opts(), None) {
+            match svc.submit(random_matrix(32, 8, i), opts(), None, false) {
                 Ok(id) => accepted.push(id),
                 Err(SubmitError::Backpressure { draining, .. }) => {
                     assert!(!draining);
@@ -621,13 +795,18 @@ mod tests {
         });
         // A big head-of-line job keeps the queue busy long enough for the
         // cancel and the 1 ms deadline behind it to take effect.
-        let head = svc.submit(random_matrix(96, 32, 1), opts(), None).unwrap();
-        let doomed = svc.submit(random_matrix(8, 8, 2), opts(), None).unwrap();
+        let head = svc
+            .submit(random_matrix(96, 32, 1), opts(), None, false)
+            .unwrap();
+        let doomed = svc
+            .submit(random_matrix(8, 8, 2), opts(), None, false)
+            .unwrap();
         let expired = svc
             .submit(
                 random_matrix(8, 8, 3),
                 opts(),
                 Some(Duration::from_millis(1)),
+                false,
             )
             .unwrap();
         assert!(svc.cancel(doomed), "queued job is cancellable");
@@ -651,7 +830,7 @@ mod tests {
     fn draining_service_rejects_new_submits() {
         let svc = Service::start(ServeConfig::default());
         svc.drain();
-        match svc.submit(random_matrix(8, 8, 1), opts(), None) {
+        match svc.submit(random_matrix(8, 8, 1), opts(), None, false) {
             Err(SubmitError::Backpressure { draining: true, .. }) => {}
             other => panic!("expected draining rejection, got {other:?}"),
         }
@@ -660,15 +839,160 @@ mod tests {
     #[test]
     fn invalid_jobs_are_rejected_before_admission() {
         let svc = Service::start(ServeConfig::default());
-        let bad_tile = svc.submit(random_matrix(10, 8, 1), opts(), None);
+        let bad_tile = svc.submit(random_matrix(10, 8, 1), opts(), None, false);
         assert!(matches!(bad_tile, Err(SubmitError::Invalid(_))));
         let bad_ib = svc.submit(
             random_matrix(8, 8, 1),
             QrOptions::new(4, 4, Tree::Flat),
             None,
+            false,
         );
         assert!(bad_ib.is_ok(), "ib == nb is legal");
         svc.drain();
+    }
+
+    #[test]
+    fn kept_jobs_serve_solve_apply_and_update_against_oracles() {
+        let svc = Service::start(ServeConfig {
+            threads: 2,
+            ..ServeConfig::default()
+        });
+        let a = random_matrix(24, 8, 11);
+        let handle = svc.submit(a.clone(), opts(), None, true).unwrap();
+        svc.wait_result(handle).expect("keep job completes");
+
+        // solve: against the LAPACK-style dense reference.
+        let b = random_matrix(24, 3, 12);
+        let x = svc.solve(handle, &b).expect("resident handle solves");
+        let xref = pulsar_linalg::reference::geqrf(a.clone()).solve_ls(&b);
+        assert!(
+            x.sub(&xref).norm_fro() < 1e-9 * xref.norm_fro().max(1.0),
+            "solve disagrees with the reference"
+        );
+
+        // apply-q: Q^T (Q B) must round-trip to B.
+        let qb = svc.apply_q(handle, &b, false).unwrap();
+        let back = svc.apply_q(handle, &qb, true).unwrap();
+        assert!(back.sub(&b).norm_fro() < 1e-12 * b.norm_fro());
+
+        // update: absorb rows, then solve the stacked problem.
+        let e = random_matrix(8, 8, 13);
+        let rows = svc.update(handle, &e).expect("update succeeds");
+        assert_eq!(rows, 32);
+        let mut stacked = Matrix::zeros(32, 8);
+        stacked.set_submatrix(0, 0, &a);
+        stacked.set_submatrix(24, 0, &e);
+        let b2 = random_matrix(32, 2, 14);
+        let x2 = svc.solve(handle, &b2).expect("solve after update");
+        let x2ref = pulsar_linalg::reference::geqrf(stacked).solve_ls(&b2);
+        assert!(
+            x2.sub(&x2ref).norm_fro() < 1e-9 * x2ref.norm_fro().max(1.0),
+            "post-update solve disagrees with the reference"
+        );
+
+        // Shape errors are typed Invalid, not panics.
+        match svc.solve(handle, &random_matrix(8, 1, 15)) {
+            Err(JobError::Invalid(_)) => {}
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+
+        // release: frees the entry; every verb then reports expiry.
+        assert!(svc.release(handle));
+        assert!(!svc.release(handle));
+        match svc.solve(handle, &b2) {
+            Err(JobError::HandleExpired(h)) => assert_eq!(h, handle),
+            other => panic!("expected HandleExpired, got {other:?}"),
+        }
+        match svc.update(handle, &e) {
+            Err(JobError::HandleExpired(_)) => {}
+            other => panic!("expected HandleExpired, got {other:?}"),
+        }
+
+        let stats = svc.drain();
+        for key in [
+            "\"solves\":2",
+            "\"applies\":2",
+            "\"updates\":1",
+            "\"update_rows\":8",
+            "\"store\":{",
+            "\"released\":1",
+        ] {
+            assert!(stats.contains(key), "missing {key} in {stats}");
+        }
+    }
+
+    #[test]
+    fn fire_and_forget_jobs_never_pin_store_bytes() {
+        let svc = Service::start(ServeConfig {
+            threads: 1,
+            ..ServeConfig::default()
+        });
+        let id = svc
+            .submit(random_matrix(16, 8, 1), opts(), None, false)
+            .unwrap();
+        svc.wait_result(id).unwrap();
+        // The default path drops the factors: its id is never a handle.
+        match svc.solve(id, &random_matrix(16, 1, 2)) {
+            Err(JobError::HandleExpired(_)) => {}
+            other => panic!("expected HandleExpired, got {other:?}"),
+        }
+        let stats = svc.drain();
+        assert!(
+            stats.contains("\"entries\":0,\"bytes\":0"),
+            "store must be empty: {stats}"
+        );
+    }
+
+    #[test]
+    fn evicted_handles_expire_with_a_typed_error() {
+        // A store budget that fits one small factorization at a time: the
+        // second keep evicts the first.
+        let probe = {
+            let f = tile_qr_seq(&random_matrix(16, 8, 0), &opts());
+            f.approx_bytes()
+        };
+        let svc = Service::start(ServeConfig {
+            threads: 1,
+            store_bytes: probe + probe / 2,
+            ..ServeConfig::default()
+        });
+        let first = svc
+            .submit(random_matrix(16, 8, 1), opts(), None, true)
+            .unwrap();
+        svc.wait_result(first).unwrap();
+        assert!(svc.solve(first, &random_matrix(16, 1, 3)).is_ok());
+        let second = svc
+            .submit(random_matrix(16, 8, 2), opts(), None, true)
+            .unwrap();
+        svc.wait_result(second).unwrap();
+        match svc.solve(first, &random_matrix(16, 1, 4)) {
+            Err(JobError::HandleExpired(h)) => assert_eq!(h, first),
+            other => panic!("expected HandleExpired, got {other:?}"),
+        }
+        assert!(svc.solve(second, &random_matrix(16, 1, 5)).is_ok());
+        let stats = svc.drain();
+        assert!(stats.contains("\"evictions\":1"), "stats: {stats}");
+    }
+
+    #[test]
+    fn oversized_keep_fails_the_job_with_store_full() {
+        let svc = Service::start(ServeConfig {
+            threads: 1,
+            store_bytes: 64, // nothing real fits
+            ..ServeConfig::default()
+        });
+        let id = svc
+            .submit(random_matrix(16, 8, 1), opts(), None, true)
+            .unwrap();
+        match svc.wait_result(id) {
+            Err(JobError::StoreFull { needed, budget }) => {
+                assert!(needed > budget);
+                assert_eq!(budget, 64);
+            }
+            other => panic!("expected StoreFull, got {other:?}"),
+        }
+        let stats = svc.drain();
+        assert!(stats.contains("\"jobs_failed\":1"), "stats: {stats}");
     }
 
     #[test]
@@ -679,9 +1003,9 @@ mod tests {
             ..ServeConfig::default()
         });
         let a = random_matrix(16, 8, 7);
-        let id1 = svc.submit(a.clone(), opts(), None).unwrap();
+        let id1 = svc.submit(a.clone(), opts(), None, false).unwrap();
         svc.wait_result(id1).unwrap();
-        let id2 = svc.submit(a, opts(), None).unwrap();
+        let id2 = svc.submit(a, opts(), None, false).unwrap();
         svc.wait_result(id2).unwrap();
         svc.drain();
         let trace = svc.take_trace();

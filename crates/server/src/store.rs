@@ -1,0 +1,401 @@
+//! The factorization store: a bounded, byte-budgeted cache that keeps a
+//! job's complete factorization — `R` plus the V/T block-reflector tree —
+//! alive after the batch that computed it, so later requests can solve,
+//! apply `Q`, or stream row updates against it without re-factoring.
+//!
+//! Entries are keyed by an opaque [`FactorHandle`] (the admitting job's
+//! id, which the service never reuses). The store holds at most
+//! `budget` bytes of factor payload (measured by
+//! [`TileQrFactors::approx_bytes`]); inserting past the budget evicts
+//! least-recently-used entries first, and an entry larger than the whole
+//! budget is refused outright with [`StoreError::StoreFull`]. Every miss
+//! — never-kept, explicitly released, or evicted — is the same typed
+//! [`StoreError::HandleExpired`]: the protocol promises only that a
+//! handle *may* expire, not why.
+//!
+//! Concurrency: the service wraps the store in a mutex held only for
+//! map/LRU bookkeeping; factor data leaves as `Arc` clones so solves and
+//! Q-applies run lock-free on connection threads. Each entry carries an
+//! update gate serializing row updates per handle (two concurrent
+//! `update`s on one handle must not both build on the same `R`).
+
+use parking_lot::Mutex;
+use pulsar_core::TileQrFactors;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Opaque reference to a stored factorization. On the wire this is the
+/// id of the `submit --keep` job that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FactorHandle(u64);
+
+impl FactorHandle {
+    /// Wrap a raw wire id.
+    pub fn from_raw(id: u64) -> Self {
+        FactorHandle(id)
+    }
+
+    /// The raw wire id.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for FactorHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Why a store operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The handle is not resident: never kept, released, or evicted.
+    HandleExpired(FactorHandle),
+    /// The entry alone exceeds the store's whole byte budget, so no
+    /// amount of eviction can make room for it.
+    StoreFull {
+        /// Bytes the entry needs.
+        needed: u64,
+        /// The store's total budget.
+        budget: u64,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::HandleExpired(h) => {
+                write!(f, "factor handle {h} expired (released or evicted)")
+            }
+            StoreError::StoreFull { needed, budget } => {
+                write!(
+                    f,
+                    "factorization needs {needed} bytes, store budget is {budget}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Monotonic counters describing store traffic since start.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Successful lookups.
+    pub hits: u64,
+    /// Lookups of non-resident handles.
+    pub misses: u64,
+    /// Entries admitted (inserts and update commits).
+    pub inserts: u64,
+    /// Entries pushed out by the byte budget.
+    pub evictions: u64,
+    /// Entries refused because they exceed the whole budget.
+    pub rejected: u64,
+    /// Entries dropped by explicit release.
+    pub released: u64,
+}
+
+struct Entry {
+    factors: Arc<TileQrFactors>,
+    bytes: usize,
+    /// LRU position: key into `lru`, refreshed on every touch.
+    tick: u64,
+    /// Serializes row updates per handle.
+    gate: Arc<Mutex<()>>,
+}
+
+/// A byte-budgeted LRU cache of completed factorizations. Not internally
+/// synchronized — the service owns one behind a mutex.
+pub struct FactorStore {
+    budget: usize,
+    bytes: usize,
+    clock: u64,
+    entries: HashMap<FactorHandle, Entry>,
+    /// Recency order: oldest tick first. Ticks are unique (the clock only
+    /// moves forward), so this is a faithful LRU queue.
+    lru: BTreeMap<u64, FactorHandle>,
+    stats: StoreStats,
+}
+
+impl FactorStore {
+    /// An empty store that will hold at most `budget` bytes of factors.
+    pub fn new(budget: usize) -> Self {
+        FactorStore {
+            budget,
+            bytes: 0,
+            clock: 0,
+            entries: HashMap::new(),
+            lru: BTreeMap::new(),
+            stats: StoreStats::default(),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Bytes currently resident.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Number of resident factorizations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Traffic counters since start.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Admit a factorization under `handle`, evicting LRU entries as
+    /// needed. Re-inserting an existing handle replaces its entry (and
+    /// refreshes its recency) — that is how update commits land.
+    pub fn insert(
+        &mut self,
+        handle: FactorHandle,
+        factors: Arc<TileQrFactors>,
+    ) -> Result<(), StoreError> {
+        let needed = factors.approx_bytes();
+        if needed > self.budget {
+            self.stats.rejected += 1;
+            return Err(StoreError::StoreFull {
+                needed: needed as u64,
+                budget: self.budget as u64,
+            });
+        }
+        // Replacing ourselves: drop the old entry first (keeping its gate,
+        // so an in-flight update chain on this handle stays serialized),
+        // then make room among the others.
+        let gate = match self.remove(handle) {
+            Some(old) => old.gate,
+            None => Arc::new(Mutex::new(())),
+        };
+        while self.bytes + needed > self.budget {
+            let (_, victim) = self
+                .lru
+                .pop_first()
+                .expect("non-zero resident bytes imply a resident entry");
+            let evicted = self.entries.remove(&victim).expect("lru entry is resident");
+            self.bytes -= evicted.bytes;
+            self.stats.evictions += 1;
+        }
+        let tick = self.tick();
+        self.lru.insert(tick, handle);
+        self.bytes += needed;
+        self.entries.insert(
+            handle,
+            Entry {
+                factors,
+                bytes: needed,
+                tick,
+                gate,
+            },
+        );
+        self.stats.inserts += 1;
+        Ok(())
+    }
+
+    /// Look up a resident factorization, refreshing its recency. The
+    /// returned `Arc` stays valid even if the entry is evicted afterwards
+    /// — readers in flight are never invalidated, only future lookups.
+    pub fn get(&mut self, handle: FactorHandle) -> Result<Arc<TileQrFactors>, StoreError> {
+        let tick = self.tick();
+        match self.entries.get_mut(&handle) {
+            Some(entry) => {
+                self.lru.remove(&entry.tick);
+                entry.tick = tick;
+                self.lru.insert(tick, handle);
+                self.stats.hits += 1;
+                Ok(entry.factors.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                Err(StoreError::HandleExpired(handle))
+            }
+        }
+    }
+
+    /// The per-handle update gate. Callers lock it *outside* the store's
+    /// own mutex for the duration of a row update, so updates on one
+    /// handle serialize while the store stays available to everyone else.
+    pub fn update_gate(&mut self, handle: FactorHandle) -> Result<Arc<Mutex<()>>, StoreError> {
+        match self.entries.get(&handle) {
+            Some(entry) => Ok(entry.gate.clone()),
+            None => {
+                self.stats.misses += 1;
+                Err(StoreError::HandleExpired(handle))
+            }
+        }
+    }
+
+    /// Drop an entry, returning whether it was resident. Releasing is how
+    /// fire-and-forget jobs guarantee they pin no cache bytes.
+    pub fn release(&mut self, handle: FactorHandle) -> bool {
+        let hit = self.remove(handle).is_some();
+        if hit {
+            self.stats.released += 1;
+        }
+        hit
+    }
+
+    /// Store section of the service STATS-JSON.
+    pub fn stats_json(&self) -> String {
+        let s = &self.stats;
+        format!(
+            "{{\"entries\":{},\"bytes\":{},\"budget_bytes\":{},\"hits\":{},\
+             \"misses\":{},\"inserts\":{},\"evictions\":{},\"rejected\":{},\
+             \"released\":{}}}",
+            self.entries.len(),
+            self.bytes,
+            self.budget,
+            s.hits,
+            s.misses,
+            s.inserts,
+            s.evictions,
+            s.rejected,
+            s.released,
+        )
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn remove(&mut self, handle: FactorHandle) -> Option<Entry> {
+        let entry = self.entries.remove(&handle)?;
+        self.lru.remove(&entry.tick);
+        self.bytes -= entry.bytes;
+        Some(entry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pulsar_core::{tile_qr_seq, QrOptions, Tree};
+    use pulsar_linalg::Matrix;
+
+    fn factors(m: usize, seed: u64) -> Arc<TileQrFactors> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        use rand::SeedableRng;
+        let a = Matrix::random(m, 8, &mut rng);
+        Arc::new(tile_qr_seq(&a, &QrOptions::new(4, 2, Tree::Flat)))
+    }
+
+    fn h(id: u64) -> FactorHandle {
+        FactorHandle::from_raw(id)
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_touched() {
+        let f = factors(16, 1);
+        let one = f.approx_bytes();
+        let mut store = FactorStore::new(3 * one);
+        store.insert(h(1), f.clone()).unwrap();
+        store.insert(h(2), factors(16, 2)).unwrap();
+        store.insert(h(3), factors(16, 3)).unwrap();
+        assert_eq!(store.len(), 3);
+        // Touch 1 so 2 becomes the LRU victim.
+        store.get(h(1)).unwrap();
+        store.insert(h(4), factors(16, 4)).unwrap();
+        assert_eq!(store.len(), 3);
+        assert!(store.get(h(1)).is_ok());
+        assert_eq!(
+            store.get(h(2)).unwrap_err(),
+            StoreError::HandleExpired(h(2))
+        );
+        assert!(store.get(h(3)).is_ok());
+        assert_eq!(store.stats().evictions, 1);
+        assert_eq!(store.stats().misses, 1);
+        assert!(store.bytes() <= store.budget());
+    }
+
+    #[test]
+    fn oversized_entry_is_rejected_not_thrashed() {
+        let small = factors(16, 1);
+        let mut store = FactorStore::new(small.approx_bytes());
+        store.insert(h(1), small).unwrap();
+        let big = factors(64, 2);
+        match store.insert(h(2), big) {
+            Err(StoreError::StoreFull { needed, budget }) => {
+                assert!(needed > budget);
+            }
+            other => panic!("expected StoreFull, got {other:?}"),
+        }
+        // The resident entry survived the refusal.
+        assert!(store.get(h(1)).is_ok());
+        assert_eq!(store.stats().rejected, 1);
+    }
+
+    #[test]
+    fn release_frees_bytes_and_expires_the_handle() {
+        let mut store = FactorStore::new(1 << 20);
+        store.insert(h(7), factors(16, 7)).unwrap();
+        assert!(store.bytes() > 0);
+        assert!(store.release(h(7)));
+        assert!(!store.release(h(7)), "double release is a miss");
+        assert_eq!(store.bytes(), 0);
+        assert!(store.is_empty());
+        assert_eq!(
+            store.get(h(7)).unwrap_err(),
+            StoreError::HandleExpired(h(7))
+        );
+        assert_eq!(store.stats().released, 1);
+    }
+
+    #[test]
+    fn replacing_a_handle_keeps_one_entry_and_its_gate() {
+        let mut store = FactorStore::new(1 << 20);
+        store.insert(h(1), factors(16, 1)).unwrap();
+        let gate = store.update_gate(h(1)).unwrap();
+        let bigger = factors(32, 1);
+        let bytes = bigger.approx_bytes();
+        store.insert(h(1), bigger).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.bytes(), bytes);
+        assert!(
+            Arc::ptr_eq(&gate, &store.update_gate(h(1)).unwrap()),
+            "update gate survives replacement"
+        );
+    }
+
+    #[test]
+    fn in_flight_readers_survive_eviction() {
+        let f = factors(16, 1);
+        let mut store = FactorStore::new(f.approx_bytes());
+        store.insert(h(1), f).unwrap();
+        let reader = store.get(h(1)).unwrap();
+        store.insert(h(2), factors(16, 2)).unwrap(); // evicts 1
+        assert!(store.get(h(1)).is_err());
+        assert_eq!(reader.n, 8, "evicted factors stay readable via the Arc");
+    }
+
+    #[test]
+    fn stats_json_shape() {
+        let mut store = FactorStore::new(1 << 20);
+        store.insert(h(1), factors(16, 1)).unwrap();
+        store.get(h(1)).unwrap();
+        let _ = store.get(h(9));
+        let json = store.stats_json();
+        for key in [
+            "\"entries\":1",
+            "\"budget_bytes\":1048576",
+            "\"hits\":1",
+            "\"misses\":1",
+            "\"inserts\":1",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

@@ -58,6 +58,8 @@ fn err_code_strategy() -> BoxedStrategy<ErrCode> {
         Just(ErrCode::Cancelled),
         Just(ErrCode::UnknownJob),
         Just(ErrCode::Invalid),
+        Just(ErrCode::HandleExpired),
+        Just(ErrCode::StoreFull),
     ]
     .boxed()
 }
@@ -67,13 +69,15 @@ fn msg_strategy() -> BoxedStrategy<Msg> {
         1u32..512,
         1u32..128,
         any::<u32>(),
+        any::<bool>(),
         string_strategy(16),
         matrix_strategy(),
     )
-        .prop_map(|(nb, ib, deadline_ms, tree, a)| Msg::Submit {
+        .prop_map(|(nb, ib, deadline_ms, keep, tree, a)| Msg::Submit {
             nb,
             ib,
             deadline_ms,
+            keep,
             tree,
             a,
         });
@@ -97,6 +101,25 @@ fn msg_strategy() -> BoxedStrategy<Msg> {
         (any::<u64>(), any::<bool>()).prop_map(|(job, cancelled)| Msg::CancelOk { job, cancelled });
     let error = (any::<u64>(), err_code_strategy(), string_strategy(32))
         .prop_map(|(job, code, msg)| Msg::Error { job, code, msg });
+    let solve = (any::<u64>(), matrix_strategy()).prop_map(|(handle, b)| Msg::Solve { handle, b });
+    let solution =
+        (any::<u64>(), matrix_strategy()).prop_map(|(handle, x)| Msg::Solution { handle, x });
+    let apply_q =
+        (any::<u64>(), any::<bool>(), matrix_strategy()).prop_map(|(handle, transpose, b)| {
+            Msg::ApplyQ {
+                handle,
+                transpose,
+                b,
+            }
+        });
+    let q_applied =
+        (any::<u64>(), matrix_strategy()).prop_map(|(handle, c)| Msg::QApplied { handle, c });
+    let update =
+        (any::<u64>(), matrix_strategy()).prop_map(|(handle, e)| Msg::Update { handle, e });
+    let updated =
+        (any::<u64>(), any::<u64>()).prop_map(|(handle, rows)| Msg::Updated { handle, rows });
+    let released = (any::<u64>(), any::<bool>())
+        .prop_map(|(handle, released)| Msg::Released { handle, released });
     prop_oneof![
         submit,
         any::<u64>().prop_map(|job| Msg::SubmitOk { job }),
@@ -110,6 +133,14 @@ fn msg_strategy() -> BoxedStrategy<Msg> {
         Just(Msg::Drain),
         string_strategy(64).prop_map(|stats| Msg::Drained { stats }),
         error,
+        solve,
+        solution,
+        apply_q,
+        q_applied,
+        update,
+        updated,
+        any::<u64>().prop_map(|handle| Msg::Release { handle }),
+        released,
     ]
     .boxed()
 }

@@ -1,0 +1,52 @@
+#!/usr/bin/env sh
+# Run the factor-store verb benchmark and distill it into BENCH_solve.json
+# at the repo root: solves/s against a cached handle, and rows/s absorbed
+# by the streaming update verb vs. re-factoring from scratch.
+#
+# The criterion shim appends one NDJSON line per benchmark to the file in
+# CRITERION_JSON; Throughput::Elements carries solves (qr_solve group) or
+# appended rows (qr_update group), so units_per_s reads directly as
+# solves/s or rows/s. Tune sampling with CRITERION_SAMPLE_SIZE.
+#
+# The script fails if the streaming update does not absorb rows strictly
+# faster than re-factoring the stacked matrix — that inequality is the
+# whole reason the update verb exists.
+#
+# Usage: scripts/bench_solve.sh [output.json]
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_solve.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+CRITERION_JSON="$raw" CRITERION_SAMPLE_SIZE="${CRITERION_SAMPLE_SIZE:-10}" \
+    cargo bench --offline -p pulsar-bench --bench qr_solve
+
+# NDJSON -> one pretty-printed object keyed "group/bench" -> units/s,
+# and the update-beats-refactor check.
+awk '
+BEGIN { print "{"; n = 0 }
+{
+    name = $0; sub(/.*"name":"/, "", name); sub(/".*/, "", name)
+    rate = $0; sub(/.*"units_per_s":/, "", rate); sub(/[,}].*/, "", rate)
+    if (n++) printf ",\n"
+    printf "  \"%s\": %.3f", name, rate
+    rates[name] = rate + 0
+}
+END {
+    print "\n}"
+    update = rates["qr_update/append_rows"]
+    refactor = rates["qr_update/refactor_from_scratch"]
+    if (update <= refactor) {
+        printf "bench_solve: update absorbed %.0f rows/s, refactor %.0f — streaming update must win\n", \
+            update, refactor > "/dev/stderr"
+        exit 1
+    }
+    printf "bench_solve: update absorbs %.1fx more rows/s than re-factoring\n", \
+        update / refactor > "/dev/stderr"
+}
+' "$raw" > "$out"
+
+echo "wrote $out:"
+cat "$out"

@@ -11,9 +11,12 @@ cargo build --offline --workspace --release
 cargo test --offline --workspace -q
 
 # Optional: BENCH=1 ./scripts/check.sh also smoke-runs the kernel bench
-# harness (few samples) and refreshes BENCH_kernels.json.
+# harness (few samples), refreshes BENCH_kernels.json, and runs the
+# factor-store verb benchmark into BENCH_solve.json (which fails unless
+# the streaming update absorbs rows faster than re-factoring).
 if [ "${BENCH:-0}" = "1" ]; then
     CRITERION_SAMPLE_SIZE="${CRITERION_SAMPLE_SIZE:-3}" sh scripts/bench_kernels.sh
+    CRITERION_SAMPLE_SIZE="${CRITERION_SAMPLE_SIZE:-3}" sh scripts/bench_solve.sh
 fi
 
 # Optional: SERVE=1 ./scripts/check.sh smoke-tests the persistent QR
@@ -36,6 +39,19 @@ if [ "${SERVE:-0}" = "1" ]; then
         --nb 16 --tree binary --seed 9
     ./target/release/pulsar-qr submit --addr "$addr" --rows 256 --cols 64 \
         --nb 8 --cancel true
+    # Factor-store verbs: keep a factorization, then solve / apply-q /
+    # stream rows against its handle (each self-verifies its oracle).
+    keep_out=$(./target/release/pulsar-qr submit --addr "$addr" --rows 96 \
+        --cols 32 --nb 8 --seed 13 --keep true)
+    echo "$keep_out"
+    handle=$(echo "$keep_out" | awk '/^HANDLE/{print $2}')
+    [ -n "$handle" ] || { echo "SERVE smoke: no HANDLE line" >&2; exit 1; }
+    ./target/release/pulsar-qr submit --addr "$addr" --verb solve \
+        --handle "$handle" --rows 96 --cols 32 --seed 13 --rhs 2
+    ./target/release/pulsar-qr submit --addr "$addr" --verb apply-q \
+        --handle "$handle" --rows 96 --cols 32 --seed 13
+    ./target/release/pulsar-qr submit --addr "$addr" --verb update \
+        --handle "$handle" --rows 96 --cols 32 --seed 13 --append-rows 16
     ./target/release/pulsar-qr drain --addr "$addr"
     wait "$serve_pid"
     rm -f "$serve_out"
