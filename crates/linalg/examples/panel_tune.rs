@@ -1,0 +1,104 @@
+//! Quick sub-panel width sweep for the blocked tile kernels, with a dgemm
+//! reference in the same run to normalize away host-load noise.
+
+use pulsar_linalg::blas::{dgemm_with, GemmAlgo, Trans};
+use pulsar_linalg::{geqrt, set_panel_ib, tsqrt, ttqrt, Matrix};
+use std::time::Instant;
+
+fn time<F: FnMut()>(mut f: F, iters: usize) -> f64 {
+    f(); // warm
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    for (n, ib) in [(192usize, 48usize), (96, 24), (48, 12)] {
+        sweep(n, ib);
+    }
+}
+
+fn sweep(n: usize, ib: usize) {
+    let mut rng = rand::rng();
+
+    let a = Matrix::random(n, n, &mut rng);
+    let b = Matrix::random(n, n, &mut rng);
+    let mut c = Matrix::zeros(n, n);
+    let secs = time(
+        || {
+            dgemm_with(
+                GemmAlgo::Packed,
+                Trans::No,
+                Trans::No,
+                1.0,
+                &a,
+                &b,
+                0.0,
+                &mut c,
+            )
+        },
+        20,
+    );
+    let dgemm_rate = 2.0 * (n * n * n) as f64 / secs / 1e9;
+    println!("n={n} ib={ib}  dgemm = {dgemm_rate:.2} GF");
+
+    let flops_geqrt = 4.0 / 3.0 * (n as f64).powi(3);
+    let flops_ts = 2.0 * (n as f64).powi(3);
+    let flops_tt = (n as f64).powi(3) * 2.0 / 3.0;
+
+    for pib in [8usize, 8, 12, 16, 16, usize::MAX] {
+        set_panel_ib(Some(pib));
+        let a0 = Matrix::random(n, n, &mut rng);
+        let secs = time(
+            || {
+                let mut aa = a0.clone();
+                let mut t = Matrix::zeros(ib, n);
+                geqrt(&mut aa, &mut t, ib);
+            },
+            10,
+        );
+        let g_rate = flops_geqrt / secs / 1e9;
+
+        let r1 = Matrix::random(n, n, &mut rng).upper_triangle();
+        let b2 = Matrix::random(n, n, &mut rng);
+        let secs = time(
+            || {
+                let mut x1 = r1.clone();
+                let mut x2 = b2.clone();
+                let mut t = Matrix::zeros(ib, n);
+                tsqrt(&mut x1, &mut x2, &mut t, ib);
+            },
+            10,
+        );
+        let ts_rate = flops_ts / secs / 1e9;
+
+        let r2 = Matrix::random(n, n, &mut rng).upper_triangle();
+        let secs = time(
+            || {
+                let mut x1 = r1.clone();
+                let mut x2 = r2.clone();
+                let mut t = Matrix::zeros(ib, n);
+                ttqrt(&mut x1, &mut x2, &mut t, ib);
+            },
+            10,
+        );
+        let tt_rate = flops_tt / secs / 1e9;
+
+        let p = if pib == usize::MAX {
+            "MAX".to_string()
+        } else {
+            pib.to_string()
+        };
+        println!(
+            "pib={p:>3}  geqrt={g_rate:.2} ({:.3}x dgemm)  tsqrt={ts_rate:.2} ({:.3}x)  ttqrt={tt_rate:.2} ({:.3}x)",
+            g_rate / dgemm_rate,
+            ts_rate / dgemm_rate,
+            tt_rate / dgemm_rate
+        );
+    }
+    set_panel_ib(None);
+}

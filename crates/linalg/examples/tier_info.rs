@@ -1,0 +1,10 @@
+//! Print the active GEMM microkernel tier and detected CPU features, one
+//! `key=value` per line. Consumed by `scripts/bench_kernels.sh` to record
+//! the hardware context alongside benchmark numbers.
+
+use pulsar_linalg::gemm::{active_gemm_tier, cpu_features};
+
+fn main() {
+    println!("tier={}", active_gemm_tier().name());
+    println!("features={}", cpu_features());
+}

@@ -1,6 +1,14 @@
 //! `geqrt` (tile QR) and `unmqr` (apply tile Q), with inner blocking.
+//!
+//! The panel factorization is itself blocked: each `ib`-wide inner block is
+//! factored in sub-panels of width [`super::PANEL_IB`], so scalar
+//! Householder loops only ever touch a sub-panel — the rest of the block
+//! and the trailing tile columns are updated through the zero-padded
+//! pure-GEMM block apply, and all `T` factors come from a Gram GEMM.
 
-use super::{apply_tile_block, inner_blocks, ApplyTrans};
+use super::{
+    apply_tile_block, form_block_t, inner_blocks, pad_tile_v, sub_panel_width, ApplyTrans,
+};
 use crate::blas::ddot;
 use crate::householder::dlarfg;
 use crate::matrix::Matrix;
@@ -32,73 +40,102 @@ pub fn geqrt_ws(a: &mut Matrix, t: &mut Matrix, ib: usize, ws: &mut Workspace) {
     let taus = grow(&mut ws.taus, k);
 
     for (jb, ibb) in inner_blocks(k, ib, ApplyTrans::Trans) {
-        // Unblocked factorization of the panel columns jb..jb+ibb.
-        for j in jb..jb + ibb {
-            let (beta, tau) = {
-                let col = a.col_mut(j);
-                let (head, tail) = col.split_at_mut(j + 1);
-                dlarfg(head[j], tail)
-            };
-            a[(j, j)] = beta;
-            taus[j] = tau;
-            if tau == 0.0 {
-                continue;
-            }
-            // Apply H_j to the remaining panel columns j+1..jb+ibb.
-            for c in j + 1..jb + ibb {
-                let (colj, colc) = a.two_cols_mut(j, c);
-                let vtail = &colj[j + 1..m];
-                let seg = &mut colc[j..m];
-                let w = tau * (seg[0] + ddot(vtail, &seg[1..]));
-                seg[0] -= w;
-                for (s, v) in seg[1..].iter_mut().zip(vtail) {
-                    *s -= w * v;
+        // Blocked panel factorization: scalar Householder work confined to
+        // `pib`-wide sub-panels, each applied to the rest of the block via
+        // the padded-GEMM block apply. Narrow blocks stay one scalar panel.
+        let pib = sub_panel_width(ibb);
+        for (p0l, pw) in inner_blocks(ibb, pib, ApplyTrans::Trans) {
+            let p0 = jb + p0l;
+            for j in p0..p0 + pw {
+                let (beta, tau) = {
+                    let col = a.col_mut(j);
+                    let (head, tail) = col.split_at_mut(j + 1);
+                    dlarfg(head[j], tail)
+                };
+                a[(j, j)] = beta;
+                taus[j] = tau;
+                if tau == 0.0 {
+                    continue;
                 }
+                // Apply H_j to the remaining sub-panel columns j+1..p0+pw.
+                for c in j + 1..p0 + pw {
+                    let (colj, colc) = a.two_cols_mut(j, c);
+                    let vtail = &colj[j + 1..m];
+                    let seg = &mut colc[j..m];
+                    let w = tau * (seg[0] + ddot(vtail, &seg[1..]));
+                    seg[0] -= w;
+                    for (s, v) in seg[1..].iter_mut().zip(vtail) {
+                        *s -= w * v;
+                    }
+                }
+            }
+            // Apply the finished sub-panel to the rest of this inner block.
+            if p0 + pw < jb + ibb {
+                let (vpart, cpart) = a.split_cols_mut(p0 + pw);
+                let rows = pad_tile_v(vpart, m, p0, pw, &mut ws.vpad);
+                form_block_t(
+                    &ws.vpad[..rows * pw],
+                    rows,
+                    rows,
+                    pw,
+                    &taus[p0..p0 + pw],
+                    grow(&mut ws.tsub, pw * pw),
+                    pw,
+                    0,
+                    &mut ws.tgram,
+                    &mut ws.gemm,
+                );
+                apply_tile_block(
+                    &ws.vpad[..rows * pw],
+                    rows,
+                    pw,
+                    &ws.tsub[..pw * pw],
+                    pw,
+                    0,
+                    ApplyTrans::Trans,
+                    cpart,
+                    m,
+                    p0,
+                    0,
+                    jb + ibb - (p0 + pw),
+                    &mut ws.w,
+                    &mut ws.gemm,
+                );
             }
         }
 
-        // Form the T factor of this block (dlarft on the in-tile V block).
-        for lj in 0..ibb {
-            let j = jb + lj;
-            let tau = taus[j];
-            t[(lj, j)] = tau;
-            if tau == 0.0 {
-                for li in 0..lj {
-                    t[(li, j)] = 0.0;
-                }
-                continue;
-            }
-            for li in 0..lj {
-                let i = jb + li;
-                // v_i^T v_j: unit head of v_j hits row j of v_i, tails overlap below.
-                let s = a[(j, i)] + ddot(&a.col(i)[j + 1..m], &a.col(j)[j + 1..m]);
-                t[(li, j)] = -tau * s;
-            }
-            for li in 0..lj {
-                let mut s = 0.0;
-                for ll in li..lj {
-                    s += t[(li, jb + ll)] * t[(ll, j)];
-                }
-                t[(li, j)] = s;
-            }
-        }
+        // Form the block's T factor (Gram GEMM + triangular recurrence on
+        // the padded V̂ copy, which the trailing apply then reuses).
+        let t_ld = t.nrows();
+        let rows = pad_tile_v(a.data(), m, jb, ibb, &mut ws.vpad);
+        form_block_t(
+            &ws.vpad[..rows * ibb],
+            rows,
+            rows,
+            ibb,
+            &taus[jb..jb + ibb],
+            t.data_mut(),
+            t_ld,
+            jb,
+            &mut ws.tgram,
+            &mut ws.gemm,
+        );
 
-        // Apply the block reflector (transposed) to the trailing columns of
-        // this tile. The V block lives in columns jb..jb+ibb and the update
-        // target in columns jb+ibb.., so split the tile buffer between them.
+        // Apply the block reflector (transposed) to the trailing columns.
         if jb + ibb < n {
-            let nc = n - (jb + ibb);
-            let (vpart, cpart) = a.split_cols_mut(jb + ibb);
             apply_tile_block(
-                vpart,
-                m,
-                t,
-                jb,
+                &ws.vpad[..rows * ibb],
+                rows,
                 ibb,
+                t.data(),
+                t_ld,
+                jb,
                 ApplyTrans::Trans,
-                cpart,
-                0,
-                nc,
+                a.data_mut(),
+                m,
+                jb,
+                jb + ibb,
+                n - (jb + ibb),
                 &mut ws.w,
                 &mut ws.gemm,
             );
@@ -132,16 +169,21 @@ pub fn unmqr_ws(
     let k = m.min(v.ncols());
     assert_eq!(c.nrows(), m, "C row count must match V");
     let n = c.ncols();
+    let t_ld = t.nrows();
 
     for (jb, ibb) in inner_blocks(k, ib, trans) {
+        let rows = pad_tile_v(v.data(), m, jb, ibb, &mut ws.vpad);
         apply_tile_block(
-            v.data(),
-            m,
-            t,
-            jb,
+            &ws.vpad[..rows * ibb],
+            rows,
             ibb,
+            t.data(),
+            t_ld,
+            jb,
             trans,
             c.data_mut(),
+            m,
+            jb,
             0,
             n,
             &mut ws.w,
@@ -152,6 +194,7 @@ pub fn unmqr_ws(
 
 #[cfg(test)]
 mod tests {
+    use super::super::set_panel_ib;
     use super::*;
     use crate::matrix::Matrix;
 
@@ -222,6 +265,48 @@ mod tests {
         // 96x96 with ib=24 pushes the trailing update over the packed GEMM
         // crossover, covering the packed W accumulation/write-back.
         check_qr(96, 96, 24);
+    }
+
+    #[test]
+    fn geqrt_sub_panel_sizes_cover_ragged_splits() {
+        // Sub-panel widths that do and don't divide ib, including 1.
+        for pib in [1, 3, 5, 8] {
+            set_panel_ib(Some(pib));
+            check_qr(24, 24, 12);
+            check_qr(20, 13, 6);
+        }
+        set_panel_ib(None);
+    }
+
+    #[test]
+    fn geqrt_blocked_matches_unblocked_panel() {
+        // The sub-panel blocked factorization must produce the same V, T,
+        // and R as the single-scalar-panel path (pib = MAX) up to roundoff
+        // reordering of the same sums.
+        let mut rng = rand::rng();
+        let a0 = Matrix::random(48, 48, &mut rng);
+
+        set_panel_ib(Some(usize::MAX));
+        let mut a_ref = a0.clone();
+        let mut t_ref = Matrix::zeros(16, 48);
+        geqrt(&mut a_ref, &mut t_ref, 16);
+
+        // Pin a width the adaptive gate can't widen back to a single panel.
+        set_panel_ib(Some(4));
+        let mut a_blk = a0.clone();
+        let mut t_blk = Matrix::zeros(16, 48);
+        geqrt(&mut a_blk, &mut t_blk, 16);
+        set_panel_ib(None);
+
+        let scale = a0.norm_fro().max(1.0);
+        assert!(
+            a_blk.sub(&a_ref).norm_fro() < 1e-11 * scale,
+            "blocked V/R drifted from unblocked panel"
+        );
+        assert!(
+            t_blk.sub(&t_ref).norm_fro() < 1e-11 * scale,
+            "blocked T drifted from unblocked panel"
+        );
     }
 
     #[test]

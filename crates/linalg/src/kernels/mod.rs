@@ -16,13 +16,18 @@
 //! inner block starting at column `jb` lives in `t[0..ibb, jb..jb+ibb]`
 //! (upper triangular, `ibb = min(ib, n - jb)`).
 //!
-//! The block-reflector applies are GEMM-shaped: the `W = A1 + V2^T A2`,
-//! `A2 -= V2 W` steps run through the packed GEMM engine over the whole
-//! column range, with the ragged reflector tails of `ttqrt`/`ttmqr` split
-//! into a dense rectangle (GEMM) plus a small triangular fringe. Each
-//! kernel has a `*_ws` variant taking an explicit [`Workspace`]
-//! (allocation-free in steady state); the plain names borrow the
-//! thread-local workspace.
+//! The factorizations themselves are blocked twice: each `ib`-wide panel is
+//! factored in sub-panels of width [`PANEL_IB`] (override with
+//! [`set_panel_ib`]), where only the current sub-panel runs scalar
+//! Householder loops — the finished sub-panel is applied to the rest of its
+//! panel through the same GEMM-shaped block apply the trailing update uses,
+//! and the `T` factors come from a `V̂^T V̂` Gram GEMM plus a small
+//! triangular recurrence. Ragged reflector shapes (the unit-triangle heads
+//! of `geqrt`, the staircase tails of `ttqrt`) are zero-padded into dense
+//! `V̂` copies so every apply is two GEMMs — the padded lanes contribute
+//! exact zeros, so results are unchanged. Each kernel has a `*_ws` variant
+//! taking an explicit [`Workspace`] (allocation-free in steady state); the
+//! plain names borrow the thread-local workspace.
 
 pub mod cholesky;
 mod geqrt;
@@ -35,10 +40,11 @@ pub use ttqrt::{ttmqr, ttmqr_ws, ttqrt, ttqrt_ws};
 
 pub use cholesky::{potrf_lower, syrk_lower, trsm_right_lower_trans};
 
-use crate::blas::{daxpy, ddot};
+use crate::blas::ddot;
 use crate::gemm::{gemm_into, GemmScratch, MatMut, MatRef};
 use crate::matrix::Matrix;
 use crate::workspace::grow;
+use std::cell::Cell;
 
 /// Which operator to apply in the `*mqr` kernels.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -49,37 +55,47 @@ pub enum ApplyTrans {
     Trans,
 }
 
-/// Shape of the stored reflector tails in a stacked block (`tsqrt` family
-/// vs `ttqrt` family).
-#[derive(Copy, Clone, Debug)]
-pub(crate) enum VShape {
-    /// Every tail spans the same `m2` rows (`tsqrt`/`tsmqr`).
-    Full(usize),
-    /// Local tail `l` spans `first + l` rows (`ttqrt`/`ttmqr` staircase).
-    Staircase {
-        /// Rows of the shortest (first) tail in the block.
-        first: usize,
-    },
+/// Default sub-panel width of the blocked panel factorizations: within each
+/// `ib`-wide inner block, only `PANEL_IB` columns at a time are factored
+/// with scalar Householder loops; everything wider goes through GEMM. 16
+/// matches the microkernel's full MR tile, so the `V̂^T C` sub-panel
+/// GEMMs run unmasked.
+pub(crate) const PANEL_IB: usize = 16;
+
+/// Column-block width of the T-recurrence lift and the Gram floor inside
+/// [`form_block_t`]: small enough that the per-block scalar recurrence
+/// stays negligible, big enough that the lift GEMMs aren't degenerate.
+const T_BLOCK_IB: usize = 8;
+
+thread_local! {
+    static PANEL_IB_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
 }
 
-impl VShape {
-    /// Stored length of local tail `l`.
-    #[inline]
-    fn len(self, l: usize) -> usize {
-        match self {
-            VShape::Full(m2) => m2,
-            VShape::Staircase { first } => first + l,
-        }
-    }
+/// Override the factorization sub-panel width for the current thread
+/// (`None` restores [`PANEL_IB`]). `Some(usize::MAX)` disables sub-panel
+/// blocking entirely (one scalar panel per inner block, the pre-blocking
+/// code path) — a test/bench hook, not a tuning knob.
+pub fn set_panel_ib(width: Option<usize>) {
+    assert!(width != Some(0), "sub-panel width must be positive");
+    PANEL_IB_OVERRIDE.with(|c| c.set(width));
+}
 
-    /// Rows shared by *all* tails of an `ibb`-wide block (the dense
-    /// rectangle handled by GEMM; the rest is the triangular fringe).
-    #[inline]
-    fn rect(self) -> usize {
-        match self {
-            VShape::Full(m2) => m2,
-            VShape::Staircase { first } => first,
-        }
+/// The sub-panel width in effect on this thread.
+pub(crate) fn panel_ib() -> usize {
+    PANEL_IB_OVERRIDE.with(|c| c.get()).unwrap_or(PANEL_IB)
+}
+
+/// Sub-panel width used to factor an `ibb`-wide inner block: the thread's
+/// [`panel_ib`] when the block is wide enough for the pad/Gram/apply
+/// machinery to amortize, the full block width otherwise (one scalar
+/// panel — the fastest shape for small `ib`, where splitting only adds
+/// copies and tiny GEMMs).
+pub(crate) fn sub_panel_width(ibb: usize) -> usize {
+    let pib = panel_ib();
+    if ibb / 2 > pib {
+        pib
+    } else {
+        ibb.max(1)
     }
 }
 
@@ -104,25 +120,72 @@ pub(crate) fn inner_blocks(
     })
 }
 
+/// Below this block width `apply_t_block` keeps its in-place scalar
+/// triangular loops: the dense-`T` GEMM doubles the flops, and for small
+/// `ibb` the product falls under the packed-GEMM threshold anyway, so the
+/// 2x runs in the slow small-product loops and loses outright.
+const T_APPLY_GEMM_MIN: usize = 16;
+
 /// Multiply the `ibb x nc` column-major workspace `w` (leading dimension
-/// `ibb`) in place by the inner-block `T` factor stored at
-/// `t[0..ibb, jb..jb+ibb]`: `w := op(T) * w`.
-pub(crate) fn apply_t_block(
-    t: &Matrix,
-    jb: usize,
+/// `ibb`) by the upper-triangular `T` block stored in columns
+/// `t_col0..t_col0+ibb` of the flat column-major buffer `t` (leading
+/// dimension `t_ld`). **Out of place**: the result `op(T) * w` lands in the
+/// first `ibb * nc` elements of `scratch`, which is returned; `w` is left
+/// untouched.
+///
+/// For `ibb >= T_APPLY_GEMM_MIN` the triangle is zero-filled into a dense
+/// `ibb x ibb` copy (the tail of `scratch`, which must hold `ibb * (nc +
+/// ibb)` elements) and the whole product becomes one GEMM from `w` into the
+/// output — no copy of `w` at all. The padded zeros contribute exact zeros,
+/// so the math is unchanged; it trades 2x the flops for the vectorized GEMM
+/// rate, which wins by an order of magnitude over the scalar triangular
+/// loops that would otherwise dominate every block apply.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn apply_t_block<'s>(
+    t: &[f64],
+    t_ld: usize,
+    t_col0: usize,
     ibb: usize,
     trans: ApplyTrans,
-    w: &mut [f64],
+    w: &[f64],
+    scratch: &'s mut [f64],
     nc: usize,
-) {
+    gemm: &mut GemmScratch,
+) -> &'s mut [f64] {
     debug_assert!(w.len() >= ibb * nc);
+    debug_assert!(scratch.len() >= ibb * (nc + ibb));
+    let tcol = |j: usize| &t[(t_col0 + j) * t_ld..][..ibb.min(t_ld)];
+    let (out, td) = scratch.split_at_mut(ibb * nc);
+    if ibb >= T_APPLY_GEMM_MIN {
+        for j in 0..ibb {
+            let dst = &mut td[j * ibb..(j + 1) * ibb];
+            dst[..=j].copy_from_slice(&tcol(j)[..=j]);
+            dst[j + 1..].fill(0.0);
+        }
+        let tv = MatRef::new(&td[..ibb * ibb], ibb, ibb, 1, ibb);
+        let tv = match trans {
+            ApplyTrans::Trans => tv.t(),
+            ApplyTrans::NoTrans => tv,
+        };
+        gemm_into(
+            1.0,
+            tv,
+            MatRef::new(&w[..ibb * nc], ibb, nc, 1, ibb),
+            0.0,
+            MatMut::new(out, ibb, nc, 1, ibb),
+            gemm,
+        );
+        return out;
+    }
+    out.copy_from_slice(&w[..ibb * nc]);
+    let w = out;
     match trans {
         ApplyTrans::Trans => {
             // Row i of T^T w depends on rows <= i of w: bottom-up in place.
             for c in 0..nc {
                 let col = &mut w[c * ibb..(c + 1) * ibb];
                 for i in (0..ibb).rev() {
-                    col[i] = ddot(&t.col(jb + i)[..=i], &col[..=i]);
+                    col[i] = ddot(&tcol(i)[..=i], &col[..=i]);
                 }
             }
         }
@@ -132,91 +195,236 @@ pub(crate) fn apply_t_block(
                 let col = &mut w[c * ibb..(c + 1) * ibb];
                 for i in 0..ibb {
                     let mut s = 0.0;
-                    for l in i..ibb {
-                        s += t[(i, jb + l)] * col[l];
+                    for (l, &cl) in col.iter().enumerate().take(ibb).skip(i) {
+                        s += tcol(l)[i] * cl;
                     }
                     col[i] = s;
                 }
             }
         }
     }
+    w
 }
 
-/// Form the inner-block `T` factor for a *stacked* reflector block
-/// (`tsqrt` / `ttqrt`): the top part of each reflector is a unit vector, so
-/// cross products reduce to dot products of the stored tails.
+/// Form the upper-triangular `T` factor of an `ibb`-wide reflector block
+/// from its dense `rows x ibb` column-major representation `vhat` (leading
+/// dimension `v_ld`, zero-padded where reflectors are ragged; unit heads
+/// explicit for in-tile blocks, absent for stacked blocks whose heads live
+/// in a separate identity part).
 ///
-/// `v2` is the flat column-major store with leading dimension `v2_ld`;
-/// local reflector `l` (for `l < ibb`) has its tail in column
-/// `v2_col0 + l` with stored length `shape.len(l)`; `taus[l]` is its
-/// scalar. The result goes to `t[0..ibb, jb..jb+ibb]`.
+/// The cross products come from one Gram GEMM `G = V̂^T V̂` (`gram`
+/// scratch); the dlarft recurrence is then blocked over the `ibb x ibb`
+/// triangle: a scalar recurrence on each `T_BLOCK_IB`-wide diagonal block
+/// `T22`, followed by a GEMM lift `T12 = -T11 (V1^T V2) T22` for the rows
+/// above it (the cross Gram `V1^T V2` is already sitting in `g`). The
+/// result goes to columns `t_col0..t_col0+ibb` of the flat column-major
+/// buffer `t` (leading dimension `t_ld`).
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn form_t_block_stacked(
-    v2: &[f64],
-    v2_ld: usize,
-    v2_col0: usize,
-    jb: usize,
+pub(crate) fn form_block_t(
+    vhat: &[f64],
+    v_ld: usize,
+    rows: usize,
     ibb: usize,
     taus: &[f64],
-    shape: VShape,
-    t: &mut Matrix,
+    t: &mut [f64],
+    t_ld: usize,
+    t_col0: usize,
+    gram: &mut Vec<f64>,
+    gemm: &mut GemmScratch,
 ) {
-    let vcol = |l: usize| &v2[(v2_col0 + l) * v2_ld..][..shape.len(l)];
-    for lj in 0..ibb {
-        let j = jb + lj;
-        let tau = taus[lj];
-        t[(lj, j)] = tau;
-        if tau == 0.0 {
-            for li in 0..lj {
-                t[(li, j)] = 0.0;
+    if ibb == 0 {
+        return;
+    }
+    let tq = T_BLOCK_IB;
+    // Narrow blocks (`ibb < 2 * tq`, e.g. small-`ib` tiles) skip both the
+    // Gram GEMM and the recurrence lift: at that size the GEMMs fall under
+    // the packed threshold and run generic full-rectangle loops, losing to
+    // plain triangular dots.
+    let narrow = ibb < 2 * tq;
+    let lift = !narrow && ibb > tq;
+    // Scratch layout: Gram `g` (ibb^2), then — only when lifting — dense
+    // zero-padded copies `t11d` (ibb^2) and `t22d` (tq^2) of the triangular
+    // factors plus the `tmp` product (ibb*tq). The dense copies exist
+    // because `t`'s sub-diagonal is caller-owned (possibly dirty) and GEMM
+    // can't honor triangular structure.
+    let want = if lift {
+        2 * ibb * ibb + tq * tq + ibb * tq
+    } else {
+        ibb * ibb
+    };
+    let buf = grow(gram, want);
+    let (g, dense) = buf.split_at_mut(ibb * ibb);
+    if rows > 0 && ibb > 1 {
+        if narrow {
+            // Upper triangle only, by plain dots over the columns.
+            for lj in 1..ibb {
+                let vj = &vhat[lj * v_ld..][..rows];
+                for li in 0..lj {
+                    g[li + lj * ibb] = ddot(&vhat[li * v_ld..][..rows], vj);
+                }
             }
-            continue;
-        }
-        // t[0..lj, j] = -tau * V2[:, ..lj]^T * v2_lj  (overlap bounded by tail lengths)
-        for li in 0..lj {
-            let len = shape.len(li).min(shape.len(lj));
-            let s = ddot(&vcol(li)[..len], &vcol(lj)[..len]);
-            t[(li, j)] = -tau * s;
-        }
-        // t[0..lj, j] = T_block * t[0..lj, j], ascending in-place triangular product.
-        for li in 0..lj {
-            let mut s = 0.0;
-            for ll in li..lj {
-                s += t[(li, jb + ll)] * t[(ll, j)];
+        } else {
+            // The recurrence only reads the upper triangle `g[li, lj]`,
+            // `li < lj`, so form the Gram in column blocks: each block of
+            // columns `b0..b0+bw` needs rows `0..b0+bw` only. Two halves is
+            // the sweet spot — narrower blocks save more flops but the
+            // skinny GEMMs run slower than the saved work is worth.
+            let gw = (ibb / 2).max(T_BLOCK_IB);
+            for (b0, bw) in inner_blocks(ibb, gw, ApplyTrans::Trans) {
+                let hi = b0 + bw;
+                let va = MatRef::new(vhat, rows, hi, 1, v_ld).t();
+                let vb = MatRef::new(&vhat[b0 * v_ld..], rows, bw, 1, v_ld);
+                let gb = MatMut::new(&mut g[b0 * ibb..], hi, bw, 1, ibb);
+                gemm_into(1.0, va, vb, 0.0, gb, gemm);
             }
-            t[(li, j)] = s;
+        }
+    }
+    // Without the lift the recurrence must run as one full block (there is
+    // nothing else to fill rows above the diagonal blocks).
+    let rw = if lift { tq } else { ibb };
+    for (b0, bw) in inner_blocks(ibb, rw, ApplyTrans::Trans) {
+        // Scalar recurrence confined to the diagonal block: for columns
+        // `b0..b0+bw` only rows `b0..` are built here; rows `0..b0` come
+        // from the lift GEMMs below.
+        for lj in b0..b0 + bw {
+            let tau = taus[lj];
+            let colbase = (t_col0 + lj) * t_ld;
+            t[lj + colbase] = tau;
+            if tau == 0.0 {
+                for li in b0..lj {
+                    t[li + colbase] = 0.0;
+                }
+                // Rows 0..b0 are still written by the lift (T22 column is
+                // zero, so the GEMM lands zeros there too).
+                continue;
+            }
+            // t[b0..lj, col] = -tau * V̂[:, b0..lj]^T v̂_lj from the Gram.
+            for li in b0..lj {
+                t[li + colbase] = -tau * g[li + lj * ibb];
+            }
+            // t[b0..lj, col] = T22_partial * t[b0..lj, col], ascending
+            // in-place triangular product within the block.
+            for li in b0..lj {
+                let mut s = 0.0;
+                for ll in li..lj {
+                    s += t[li + (t_col0 + ll) * t_ld] * t[ll + colbase];
+                }
+                t[li + colbase] = s;
+            }
+        }
+        if lift && b0 > 0 {
+            let (t11d, rest) = dense.split_at_mut(ibb * ibb);
+            let (t22d, tmp) = rest.split_at_mut(tq * tq);
+            // Dense zero-padded copy of the fresh diagonal block T22.
+            for j in 0..bw {
+                let src = &t[(t_col0 + b0 + j) * t_ld + b0..];
+                let dst = &mut t22d[j * bw..(j + 1) * bw];
+                dst[..=j].copy_from_slice(&src[..=j]);
+                dst[j + 1..].fill(0.0);
+            }
+            // tmp = G12 * T22, then T12 = -T11 * tmp straight into `t`.
+            let g12 = MatRef::new(&g[b0 * ibb..], b0, bw, 1, ibb);
+            let t22 = MatRef::new(&t22d[..bw * bw], bw, bw, 1, bw);
+            let tmp = &mut tmp[..b0 * bw];
+            gemm_into(1.0, g12, t22, 0.0, MatMut::new(tmp, b0, bw, 1, b0), gemm);
+            let t11 = MatRef::new(t11d, b0, b0, 1, ibb);
+            let t12 = MatMut::new(&mut t[(t_col0 + b0) * t_ld..], b0, bw, 1, t_ld);
+            gemm_into(-1.0, t11, MatRef::new(tmp, b0, bw, 1, b0), 0.0, t12, gemm);
+        }
+        if lift {
+            // Extend the dense T11 copy with this block's finished columns
+            // so later blocks can lift against it.
+            let t11d = &mut dense[..ibb * ibb];
+            for j in 0..bw {
+                let col = b0 + j;
+                let src = &t[(t_col0 + col) * t_ld..];
+                let dst = &mut t11d[col * ibb..(col + 1) * ibb];
+                dst[..=col].copy_from_slice(&src[..=col]);
+                dst[col + 1..].fill(0.0);
+            }
         }
     }
 }
 
-/// Apply one inner block of a *stacked* block reflector from the left to the
-/// pair `(rows jb..jb+ibb of a1, a2)`, columns `cols` of both:
+/// Build the zero-padded dense `V̂` for one in-tile reflector block: column
+/// `l` gets zeros above its head, an explicit unit head at local row `l`,
+/// and the stored tail below. `v` is the flat column-major tile (leading
+/// dimension `ld` = tile rows) holding reflector `l` in column `jb + l`.
+/// Returns the padded row count `ld - jb`.
+pub(crate) fn pad_tile_v(v: &[f64], ld: usize, jb: usize, ibb: usize, out: &mut Vec<f64>) -> usize {
+    let rows = ld - jb;
+    let buf = grow(out, rows * ibb);
+    for l in 0..ibb {
+        let src = &v[(jb + l) * ld..][..ld];
+        let dst = &mut buf[l * rows..(l + 1) * rows];
+        dst[..l].fill(0.0);
+        dst[l] = 1.0;
+        dst[l + 1..].copy_from_slice(&src[jb + l + 1..]);
+    }
+    rows
+}
+
+/// Build the zero-padded dense `V̂` for one staircase reflector-tail block
+/// (`ttqrt` family): local tail `l` (column `col0 + l` of `v`, leading
+/// dimension `ld`) has `first + l` valid rows; shorter tails are padded
+/// with exact zeros at the bottom. Returns the padded row count
+/// `first + ibb - 1`.
+pub(crate) fn pad_stair_v(
+    v: &[f64],
+    ld: usize,
+    col0: usize,
+    first: usize,
+    ibb: usize,
+    out: &mut Vec<f64>,
+) -> usize {
+    let rows = first + ibb - 1;
+    let buf = grow(out, rows * ibb);
+    for l in 0..ibb {
+        let len = first + l;
+        let src = &v[(col0 + l) * ld..][..len];
+        let dst = &mut buf[l * rows..(l + 1) * rows];
+        dst[..len].copy_from_slice(src);
+        dst[len..].fill(0.0);
+    }
+    rows
+}
+
+/// Apply one inner block of a *stacked* block reflector from the left to
+/// the pair `(rows a1_row0..a1_row0+ibb of a1, rows 0..v2_rows of a2)`,
+/// columns `cols` of both:
 ///
 /// ```text
-/// W  = A1[jb..jb+ibb, cols] + V2_blk^T * A2[.., cols]
+/// W  = A1[a1_row0.., cols] + V2^T * A2[0..v2_rows, cols]
 /// W := op(T_blk) * W
-/// A1[jb..jb+ibb, cols] -= W
-/// A2[.., cols]         -= V2_blk * W
+/// A1[a1_row0.., cols] -= W
+/// A2[0..v2_rows, cols] -= V2 * W
 /// ```
 ///
-/// `v2` is the flat column-major reflector store with leading dimension
-/// `v2_ld`; local reflector `l` has its tail in column `v2_col0 + l` with
-/// stored length `shape.len(l)`. The two `V2` products run as one GEMM
-/// each over the dense `shape.rect()`-row rectangle, plus per-tail
-/// dot/axpy fringe for the staircase rows. `w`/`gemm` are the caller's
-/// scratch (no allocations in steady state).
+/// `v2` is a dense column-major reflector-tail store with leading dimension
+/// `v2_ld`: local reflector `l` has its tail in column `v2_col0 + l`, rows
+/// `0..v2_rows` (staircase tails must be zero-padded, see [`pad_stair_v`]).
+/// The `T` block lives in columns `t_col0..` of the flat buffer `t`
+/// (leading dimension `t_ld`). `a2` is a raw column-major slice (leading
+/// dimension `a2m`) whose first column is global column `a2_col0` — this
+/// lets `tsqrt` split its tile into reflector and target halves and apply
+/// in place, with no `V` copy. Both `V2` products are single GEMMs;
+/// `w`/`gemm` are the caller's scratch (no allocations in steady state).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn apply_stacked_block(
     v2: &[f64],
     v2_ld: usize,
     v2_col0: usize,
-    t: &Matrix,
-    jb: usize,
+    v2_rows: usize,
+    t: &[f64],
+    t_ld: usize,
+    t_col0: usize,
     ibb: usize,
     trans: ApplyTrans,
-    shape: VShape,
     a1: &mut Matrix,
-    a2: &mut Matrix,
+    a1_row0: usize,
+    a2: &mut [f64],
+    a2m: usize,
+    a2_col0: usize,
     cols: std::ops::Range<usize>,
     w: &mut Vec<f64>,
     gemm: &mut GemmScratch,
@@ -225,18 +433,18 @@ pub(crate) fn apply_stacked_block(
     if nc == 0 || ibb == 0 {
         return;
     }
-    let rect = shape.rect();
-    let a2m = a2.nrows();
-    let w = grow(w, ibb * nc);
+    let a2_off = (cols.start - a2_col0) * a2m;
+    let wbuf = grow(w, ibb * (2 * nc + ibb));
+    let (w, tscratch) = wbuf.split_at_mut(ibb * nc);
 
-    // W = A1[jb..jb+ibb, cols].
+    // W = A1[a1_row0..a1_row0+ibb, cols].
     for (wc, c) in cols.clone().enumerate() {
-        w[wc * ibb..(wc + 1) * ibb].copy_from_slice(&a1.col(c)[jb..jb + ibb]);
+        w[wc * ibb..(wc + 1) * ibb].copy_from_slice(&a1.col(c)[a1_row0..a1_row0 + ibb]);
     }
-    // W += V2_rect^T * A2_rect over the dense rectangle.
-    if rect > 0 {
-        let v2v = MatRef::new(&v2[v2_col0 * v2_ld..], rect, ibb, 1, v2_ld).t();
-        let a2v = MatRef::new(&a2.data()[cols.start * a2m..], rect, nc, 1, a2m);
+    // W += V2^T * A2.
+    if v2_rows > 0 {
+        let v2v = MatRef::new(&v2[v2_col0 * v2_ld..], v2_rows, ibb, 1, v2_ld).t();
+        let a2v = MatRef::new(&a2[a2_off..], v2_rows, nc, 1, a2m);
         gemm_into(
             1.0,
             v2v,
@@ -246,128 +454,81 @@ pub(crate) fn apply_stacked_block(
             gemm,
         );
     }
-    // Staircase fringe: tail `l` additionally spans rows rect..rect+l.
-    if let VShape::Staircase { first } = shape {
-        for l in 1..ibb {
-            let len = first + l;
-            let vtail = &v2[(v2_col0 + l) * v2_ld..][rect..len];
-            for (wc, c) in cols.clone().enumerate() {
-                w[wc * ibb + l] += ddot(vtail, &a2.col(c)[rect..len]);
-            }
-        }
-    }
 
-    apply_t_block(t, jb, ibb, trans, w, nc);
+    let w = apply_t_block(t, t_ld, t_col0, ibb, trans, w, tscratch, nc, gemm);
 
-    // A1[jb..jb+ibb, cols] -= W.
+    // A1[a1_row0..a1_row0+ibb, cols] -= W.
     for (wc, c) in cols.clone().enumerate() {
-        let dst = &mut a1.col_mut(c)[jb..jb + ibb];
+        let dst = &mut a1.col_mut(c)[a1_row0..a1_row0 + ibb];
         for (x, wv) in dst.iter_mut().zip(&w[wc * ibb..(wc + 1) * ibb]) {
             *x -= wv;
         }
     }
-    // A2_rect -= V2_rect * W over the dense rectangle.
-    if rect > 0 {
-        let v2v = MatRef::new(&v2[v2_col0 * v2_ld..], rect, ibb, 1, v2_ld);
+    // A2 -= V2 * W.
+    if v2_rows > 0 {
+        let v2v = MatRef::new(&v2[v2_col0 * v2_ld..], v2_rows, ibb, 1, v2_ld);
         let wv = MatRef::new(&w[..], ibb, nc, 1, ibb);
-        let cv = MatMut::new(&mut a2.data_mut()[cols.start * a2m..], rect, nc, 1, a2m);
+        let cv = MatMut::new(&mut a2[a2_off..], v2_rows, nc, 1, a2m);
         gemm_into(-1.0, v2v, wv, 1.0, cv, gemm);
-    }
-    // Staircase fringe write-back.
-    if let VShape::Staircase { first } = shape {
-        for l in 1..ibb {
-            let len = first + l;
-            let vtail = &v2[(v2_col0 + l) * v2_ld..][rect..len];
-            for (wc, c) in cols.clone().enumerate() {
-                let wval = w[wc * ibb + l];
-                if wval == 0.0 {
-                    continue;
-                }
-                daxpy(-wval, vtail, &mut a2.col_mut(c)[rect..len]);
-            }
-        }
     }
 }
 
 /// Apply one inner block of an *in-tile* block reflector (`geqrt` trailing
 /// update / `unmqr`) from the left to columns `c_col0..c_col0+nc` of the
-/// `m x *` column-major buffer `c` (leading dimension `m`):
+/// column-major buffer `c` (leading dimension `ld`), rows
+/// `row0..row0+rows`:
 ///
 /// ```text
-/// W  = V_blk^T * C     (V unit lower-triangular in rows jb..jb+ibb,
-/// W := op(T_blk) * W    dense in rows jb+ibb..m)
-/// C -= V_blk * W
+/// W  = V̂^T * C[row0.., cols]
+/// W := op(T_blk) * W
+/// C[row0.., cols] -= V̂ * W
 /// ```
 ///
-/// `v` is the flat column-major tile holding reflector `l` in column
-/// `jb + l` (unit head at row `jb + l`, tail below). The dense rows go
-/// through GEMM; the `ibb`-row triangle is per-column dot/axpy.
+/// `vhat` is the zero-padded dense `rows x ibb` reflector block from
+/// [`pad_tile_v`] (unit heads explicit, so the whole apply is two GEMMs —
+/// no triangular fringe). The `T` block lives in columns `t_col0..` of the
+/// flat buffer `t` (leading dimension `t_ld`).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn apply_tile_block(
-    v: &[f64],
-    m: usize,
-    t: &Matrix,
-    jb: usize,
+    vhat: &[f64],
+    rows: usize,
     ibb: usize,
+    t: &[f64],
+    t_ld: usize,
+    t_col0: usize,
     trans: ApplyTrans,
     c: &mut [f64],
+    ld: usize,
+    row0: usize,
     c_col0: usize,
     nc: usize,
     w: &mut Vec<f64>,
     gemm: &mut GemmScratch,
 ) {
-    if nc == 0 || ibb == 0 {
+    if nc == 0 || ibb == 0 || rows == 0 {
         return;
     }
-    let d0 = jb + ibb; // first dense row
-    let md = m - d0;
-    let w = grow(w, ibb * nc);
+    let wbuf = grow(w, ibb * (2 * nc + ibb));
+    let (w, tscratch) = wbuf.split_at_mut(ibb * nc);
+    let vv = MatRef::new(&vhat[..rows * ibb], rows, ibb, 1, rows);
 
-    // Triangle part: W[l] = C[jb+l] + dot(V[jb+l+1..d0, jb+l], C[jb+l+1..d0]).
-    for wc in 0..nc {
-        let ccol = &c[(c_col0 + wc) * m..][..m];
-        let wcol = &mut w[wc * ibb..(wc + 1) * ibb];
-        for (l, wl) in wcol.iter_mut().enumerate() {
-            let vcol = &v[(jb + l) * m..][..d0];
-            *wl = ccol[jb + l] + ddot(&vcol[jb + l + 1..d0], &ccol[jb + l + 1..d0]);
-        }
-    }
-    // Dense part: W += V_dense^T * C_dense.
-    if md > 0 {
-        let vv = MatRef::new(&v[jb * m + d0..], md, ibb, 1, m).t();
-        let cv = MatRef::new(&c[c_col0 * m + d0..], md, nc, 1, m);
-        gemm_into(
-            1.0,
-            vv,
-            cv,
-            1.0,
-            MatMut::new(&mut w[..], ibb, nc, 1, ibb),
-            gemm,
-        );
-    }
+    // W = V̂^T * C (beta = 0: W scratch may hold stale garbage).
+    let cv = MatRef::new(&c[c_col0 * ld + row0..], rows, nc, 1, ld);
+    gemm_into(
+        1.0,
+        vv.t(),
+        cv,
+        0.0,
+        MatMut::new(&mut w[..], ibb, nc, 1, ibb),
+        gemm,
+    );
 
-    apply_t_block(t, jb, ibb, trans, w, nc);
+    let w = apply_t_block(t, t_ld, t_col0, ibb, trans, w, tscratch, nc, gemm);
 
-    // Triangle write-back: C[jb+l] -= W[l]; C[jb+l+1..d0] -= V_tail * W[l].
-    for wc in 0..nc {
-        let ccol = &mut c[(c_col0 + wc) * m..][..m];
-        let wcol = &w[wc * ibb..(wc + 1) * ibb];
-        for (l, &wl) in wcol.iter().enumerate() {
-            if wl == 0.0 {
-                continue;
-            }
-            let vcol = &v[(jb + l) * m..][..d0];
-            ccol[jb + l] -= wl;
-            daxpy(-wl, &vcol[jb + l + 1..d0], &mut ccol[jb + l + 1..d0]);
-        }
-    }
-    // Dense write-back: C_dense -= V_dense * W.
-    if md > 0 {
-        let vv = MatRef::new(&v[jb * m + d0..], md, ibb, 1, m);
-        let wv = MatRef::new(&w[..], ibb, nc, 1, ibb);
-        let cv = MatMut::new(&mut c[c_col0 * m + d0..], md, nc, 1, m);
-        gemm_into(-1.0, vv, wv, 1.0, cv, gemm);
-    }
+    // C -= V̂ * W.
+    let wv = MatRef::new(&w[..], ibb, nc, 1, ibb);
+    let cm = MatMut::new(&mut c[c_col0 * ld + row0..], rows, nc, 1, ld);
+    gemm_into(-1.0, vv, wv, 1.0, cm, gemm);
 }
 
 #[cfg(test)]
@@ -389,31 +550,81 @@ mod tests {
         assert_eq!(inner_blocks(0, 4, ApplyTrans::Trans).count(), 0);
     }
 
-    #[test]
-    fn apply_t_block_matches_dense() {
+    // Checks both dispatch paths: `ibb = 3` runs the scalar triangular
+    // loops, `ibb = 24` the zero-padded dense-T GEMM.
+    fn check_apply_t_block(ibb: usize, nc: usize, tol: f64) {
         use crate::blas::{dgemm, Trans};
         let mut rng = rand::rng();
-        let ibb = 3;
-        // t with the block at columns 2..5, upper triangular.
-        let mut t = Matrix::zeros(4, 8);
+        // t with the block at columns 2..2+ibb, upper triangular.
+        let mut t = Matrix::zeros(ibb + 1, ibb + 4);
         for j in 0..ibb {
             for i in 0..=j {
                 t[(i, 2 + j)] = rand::Rng::random::<f64>(&mut rng);
             }
         }
         let tdense = Matrix::from_fn(ibb, ibb, |i, j| if i <= j { t[(i, 2 + j)] } else { 0.0 });
-        let w0 = Matrix::random(ibb, 5, &mut rng);
+        let w0 = Matrix::random(ibb, nc, &mut rng);
+        let mut scratch = vec![0.0; ibb * (nc + ibb)];
+        let mut gemm = GemmScratch::default();
 
-        let mut w = w0.clone();
-        apply_t_block(&t, 2, ibb, ApplyTrans::Trans, w.data_mut(), 5);
-        let mut want = Matrix::zeros(ibb, 5);
-        dgemm(Trans::Yes, Trans::No, 1.0, &tdense, &w0, 0.0, &mut want);
-        assert!(w.sub(&want).norm_fro() < 1e-13);
+        for (trans, tt) in [
+            (ApplyTrans::Trans, Trans::Yes),
+            (ApplyTrans::NoTrans, Trans::No),
+        ] {
+            let out = apply_t_block(
+                t.data(),
+                t.nrows(),
+                2,
+                ibb,
+                trans,
+                w0.data(),
+                &mut scratch,
+                nc,
+                &mut gemm,
+            );
+            let got = Matrix::from_fn(ibb, nc, |i, j| out[i + j * ibb]);
+            let mut want = Matrix::zeros(ibb, nc);
+            dgemm(tt, Trans::No, 1.0, &tdense, &w0, 0.0, &mut want);
+            assert!(
+                got.sub(&want).norm_fro() < tol,
+                "ibb={ibb} nc={nc} trans={trans:?}"
+            );
+        }
+    }
 
-        let mut w = w0.clone();
-        apply_t_block(&t, 2, ibb, ApplyTrans::NoTrans, w.data_mut(), 5);
-        let mut want = Matrix::zeros(ibb, 5);
-        dgemm(Trans::No, Trans::No, 1.0, &tdense, &w0, 0.0, &mut want);
-        assert!(w.sub(&want).norm_fro() < 1e-13);
+    #[test]
+    fn apply_t_block_matches_dense_scalar_path() {
+        check_apply_t_block(3, 5, 1e-13);
+    }
+
+    #[test]
+    fn apply_t_block_matches_dense_gemm_path() {
+        check_apply_t_block(24, 17, 1e-12);
+    }
+
+    #[test]
+    fn pad_tile_v_builds_unit_lower_copy() {
+        // 5x3 tile, block at jb = 1, ibb = 2.
+        let m = 5;
+        let v: Vec<f64> = (0..15).map(|x| x as f64 + 1.0).collect();
+        let mut out = Vec::new();
+        let rows = pad_tile_v(&v, m, 1, 2, &mut out);
+        assert_eq!(rows, 4);
+        // Column 0 = reflector in tile column 1: head at local row 0.
+        assert_eq!(&out[0..4], &[1.0, v[7], v[8], v[9]]);
+        // Column 1 = reflector in tile column 2: zero, head, tail.
+        assert_eq!(&out[4..8], &[0.0, 1.0, v[13], v[14]]);
+    }
+
+    #[test]
+    fn pad_stair_v_zero_pads_short_tails() {
+        // Tails at col0 = 1, first = 2, ibb = 2: lengths 2 and 3.
+        let ld = 4;
+        let v: Vec<f64> = (0..12).map(|x| x as f64 + 1.0).collect();
+        let mut out = Vec::new();
+        let rows = pad_stair_v(&v, ld, 1, 2, 2, &mut out);
+        assert_eq!(rows, 3);
+        assert_eq!(&out[0..3], &[v[4], v[5], 0.0]);
+        assert_eq!(&out[3..6], &[v[8], v[9], v[10]]);
     }
 }

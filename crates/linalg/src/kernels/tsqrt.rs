@@ -1,6 +1,11 @@
 //! `tsqrt` / `tsmqr`: incremental QR of a triangle stacked on a full tile.
+//!
+//! The reflector tails live in a full `m2 x n` tile, so no padding is
+//! needed anywhere: sub-panel updates, `T` formation (Gram GEMM over the
+//! tails — the unit heads are orthogonal `e_j`'s and contribute nothing),
+//! and the trailing block applies are all straight GEMM-shaped.
 
-use super::{apply_stacked_block, form_t_block_stacked, inner_blocks, ApplyTrans, VShape};
+use super::{apply_stacked_block, form_block_t, inner_blocks, sub_panel_width, ApplyTrans};
 use crate::blas::ddot;
 use crate::householder::dlarfg;
 use crate::matrix::Matrix;
@@ -35,55 +40,101 @@ pub fn tsqrt_ws(a1: &mut Matrix, a2: &mut Matrix, t: &mut Matrix, ib: usize, ws:
 
     let taus = grow(&mut ws.taus, ib.min(n.max(1)));
     for (jb, ibb) in inner_blocks(n, ib, ApplyTrans::Trans) {
-        #[allow(clippy::needless_range_loop)]
-        for lj in 0..ibb {
-            let j = jb + lj;
-            // Reflector from [a1[j,j]; a2[:, j]].
-            let (beta, tau) = dlarfg(a1[(j, j)], a2.col_mut(j));
-            a1[(j, j)] = beta;
-            taus[lj] = tau;
-            if tau == 0.0 {
-                continue;
-            }
-            // Apply H_j to the remaining in-block columns of [A1; A2]:
-            // only row j of A1 is touched (the top of the reflector is e_j).
-            for c in j + 1..jb + ibb {
-                let (v2, a2c) = a2.two_cols_mut(j, c);
-                let w = tau * (a1[(j, c)] + ddot(v2, a2c));
-                a1[(j, c)] -= w;
-                for (x, v) in a2c.iter_mut().zip(v2.iter()) {
-                    *x -= w * v;
+        let pib = sub_panel_width(ibb);
+        for (p0l, pw) in inner_blocks(ibb, pib, ApplyTrans::Trans) {
+            let p0 = jb + p0l;
+            #[allow(clippy::needless_range_loop)]
+            for lj in p0l..p0l + pw {
+                let j = jb + lj;
+                // Reflector from [a1[j,j]; a2[:, j]].
+                let (beta, tau) = dlarfg(a1[(j, j)], a2.col_mut(j));
+                a1[(j, j)] = beta;
+                taus[lj] = tau;
+                if tau == 0.0 {
+                    continue;
+                }
+                // Apply H_j to the remaining sub-panel columns of [A1; A2]:
+                // only row j of A1 is touched (the reflector head is e_j).
+                for c in j + 1..p0 + pw {
+                    let (v2, a2c) = a2.two_cols_mut(j, c);
+                    let w = tau * (a1[(j, c)] + ddot(v2, a2c));
+                    a1[(j, c)] -= w;
+                    for (x, v) in a2c.iter_mut().zip(v2.iter()) {
+                        *x -= w * v;
+                    }
                 }
             }
+            // Apply the finished sub-panel to the rest of this inner block.
+            if p0 + pw < jb + ibb {
+                form_block_t(
+                    &a2.data()[p0 * m2..(p0 + pw) * m2],
+                    m2,
+                    m2,
+                    pw,
+                    &taus[p0l..p0l + pw],
+                    grow(&mut ws.tsub, pw * pw),
+                    pw,
+                    0,
+                    &mut ws.tgram,
+                    &mut ws.gemm,
+                );
+                // a2 is both reflector store and update target: split it at
+                // the sub-panel boundary and apply in place, no V copy.
+                let (vpart, cpart) = a2.split_cols_mut(p0 + pw);
+                apply_stacked_block(
+                    vpart,
+                    m2,
+                    p0,
+                    m2,
+                    &ws.tsub[..pw * pw],
+                    pw,
+                    0,
+                    pw,
+                    ApplyTrans::Trans,
+                    a1,
+                    p0,
+                    cpart,
+                    m2,
+                    p0 + pw,
+                    p0 + pw..jb + ibb,
+                    &mut ws.w,
+                    &mut ws.gemm,
+                );
+            }
         }
-        form_t_block_stacked(
-            a2.data(),
+        // Form the block's T factor from the tails (Gram GEMM).
+        let t_ld = t.nrows();
+        form_block_t(
+            &a2.data()[jb * m2..(jb + ibb) * m2],
             m2,
-            jb,
-            jb,
+            m2,
             ibb,
             &taus[..ibb],
-            VShape::Full(m2),
-            t,
+            t.data_mut(),
+            t_ld,
+            jb,
+            &mut ws.tgram,
+            &mut ws.gemm,
         );
-        // Apply the block reflector to the trailing columns. `a2` is both the
-        // reflector store and the update target, so copy the V block out.
+        // Apply the block reflector to the trailing columns: split `a2` at
+        // the block boundary (reflector store left, target right).
         if jb + ibb < n {
-            let vc = grow(&mut ws.vcopy, m2 * ibb);
-            for l in 0..ibb {
-                vc[l * m2..(l + 1) * m2].copy_from_slice(a2.col(jb + l));
-            }
+            let (vpart, cpart) = a2.split_cols_mut(jb + ibb);
             apply_stacked_block(
-                &ws.vcopy[..m2 * ibb],
+                vpart,
                 m2,
-                0,
-                t,
+                jb,
+                m2,
+                t.data(),
+                t_ld,
                 jb,
                 ibb,
                 ApplyTrans::Trans,
-                VShape::Full(m2),
                 a1,
-                a2,
+                jb,
+                cpart,
+                m2,
+                jb + ibb,
                 jb + ibb..n,
                 &mut ws.w,
                 &mut ws.gemm,
@@ -130,19 +181,24 @@ pub fn tsmqr_ws(
     assert_eq!(a2.nrows(), m2, "a2 rows must match V");
     assert_eq!(a1.ncols(), a2.ncols(), "a1/a2 must have equal column count");
     let nc = a1.ncols();
+    let t_ld = t.nrows();
 
     for (jb, ibb) in inner_blocks(k, ib, trans) {
         apply_stacked_block(
             v.data(),
             m2,
             jb,
-            t,
+            m2,
+            t.data(),
+            t_ld,
             jb,
             ibb,
             trans,
-            VShape::Full(m2),
             a1,
-            a2,
+            jb,
+            a2.data_mut(),
+            m2,
+            0,
             0..nc,
             &mut ws.w,
             &mut ws.gemm,
@@ -152,6 +208,7 @@ pub fn tsmqr_ws(
 
 #[cfg(test)]
 mod tests {
+    use super::super::set_panel_ib;
     use super::*;
     use crate::kernels::geqrt;
     use crate::matrix::Matrix;
@@ -232,6 +289,46 @@ mod tests {
         // Large enough that the stacked applies cross the packed GEMM
         // threshold inside apply_stacked_block.
         check_ts(48, 48, 12);
+    }
+
+    #[test]
+    fn tsqrt_sub_panel_sizes_cover_ragged_splits() {
+        for pib in [1, 3, 5, 8] {
+            set_panel_ib(Some(pib));
+            check_ts(24, 24, 12);
+            check_ts(13, 20, 6);
+        }
+        set_panel_ib(None);
+    }
+
+    #[test]
+    fn tsqrt_blocked_matches_unblocked_panel() {
+        // Same V2, T, and R as the single-scalar-panel path up to roundoff
+        // reordering of the same sums.
+        let mut rng = rand::rng();
+        let n = 48;
+        let ib = 16;
+        let r1 = Matrix::random(n, n, &mut rng).upper_triangle();
+        let b = Matrix::random(n, n, &mut rng);
+
+        set_panel_ib(Some(usize::MAX));
+        let mut a1_ref = r1.clone();
+        let mut a2_ref = b.clone();
+        let mut t_ref = Matrix::zeros(ib, n);
+        tsqrt(&mut a1_ref, &mut a2_ref, &mut t_ref, ib);
+
+        // Pin a width the adaptive gate can't widen back to a single panel.
+        set_panel_ib(Some(4));
+        let mut a1_blk = r1.clone();
+        let mut a2_blk = b.clone();
+        let mut t_blk = Matrix::zeros(ib, n);
+        tsqrt(&mut a1_blk, &mut a2_blk, &mut t_blk, ib);
+        set_panel_ib(None);
+
+        let scale = r1.norm_fro().max(b.norm_fro()).max(1.0);
+        assert!(a1_blk.sub(&a1_ref).norm_fro() < 1e-11 * scale, "R drifted");
+        assert!(a2_blk.sub(&a2_ref).norm_fro() < 1e-11 * scale, "V2 drifted");
+        assert!(t_blk.sub(&t_ref).norm_fro() < 1e-11 * scale, "T drifted");
     }
 
     #[test]

@@ -1,7 +1,16 @@
 //! `ttqrt` / `ttmqr`: incremental QR of a triangle stacked on a triangle
 //! (the binary-tree reduction kernels).
+//!
+//! The reflector tails form a staircase (tail `j` spans rows `0..=j` of
+//! `a2`'s upper triangle). All block operations zero-pad the staircase into
+//! a dense `V̂` copy ([`super::pad_stair_v`]) so the applies and the `T`
+//! formation are pure GEMM-shaped — no scalar fringe loops. The padded
+//! lanes are exact zeros, so results are unchanged, and the strict lower
+//! triangle of `a2` (poison by contract) is never read.
 
-use super::{apply_stacked_block, form_t_block_stacked, inner_blocks, ApplyTrans, VShape};
+use super::{
+    apply_stacked_block, form_block_t, inner_blocks, pad_stair_v, sub_panel_width, ApplyTrans,
+};
 use crate::householder::dlarfg;
 use crate::matrix::Matrix;
 use crate::workspace::{grow, with_thread_workspace, Workspace};
@@ -38,62 +47,114 @@ pub fn ttqrt_ws(a1: &mut Matrix, a2: &mut Matrix, t: &mut Matrix, ib: usize, ws:
 
     let taus = grow(&mut ws.taus, ib.min(n.max(1)));
     for (jb, ibb) in inner_blocks(n, ib, ApplyTrans::Trans) {
-        #[allow(clippy::needless_range_loop)]
-        for lj in 0..ibb {
-            let j = jb + lj;
-            // Reflector from [a1[j,j]; a2[0..=j, j]].
-            let (beta, tau) = {
-                let tail = &mut a2.col_mut(j)[0..=j];
-                dlarfg(a1[(j, j)], tail)
-            };
-            a1[(j, j)] = beta;
-            taus[lj] = tau;
-            if tau == 0.0 {
-                continue;
+        let pib = sub_panel_width(ibb);
+        for (p0l, pw) in inner_blocks(ibb, pib, ApplyTrans::Trans) {
+            let p0 = jb + p0l;
+            #[allow(clippy::needless_range_loop)]
+            for lj in p0l..p0l + pw {
+                let j = jb + lj;
+                // Reflector from [a1[j,j]; a2[0..=j, j]].
+                let (beta, tau) = {
+                    let tail = &mut a2.col_mut(j)[0..=j];
+                    dlarfg(a1[(j, j)], tail)
+                };
+                a1[(j, j)] = beta;
+                taus[lj] = tau;
+                if tau == 0.0 {
+                    continue;
+                }
+                // Apply H_j to the remaining sub-panel columns; the tail
+                // only touches rows 0..=j of A2, which stay inside its
+                // upper triangle because c > j.
+                for c in j + 1..p0 + pw {
+                    let (v2, a2c) = a2.two_cols_mut(j, c);
+                    let v2 = &v2[0..=j];
+                    let seg = &mut a2c[0..=j];
+                    let mut dot = 0.0;
+                    for (v, x) in v2.iter().zip(seg.iter()) {
+                        dot += v * x;
+                    }
+                    let w = tau * (a1[(j, c)] + dot);
+                    a1[(j, c)] -= w;
+                    for (x, v) in seg.iter_mut().zip(v2) {
+                        *x -= w * v;
+                    }
+                }
             }
-            // Apply H_j to the remaining in-block columns; the reflector tail
-            // only touches rows 0..=j of A2, which stay inside its upper
-            // triangle because c > j.
-            for c in j + 1..jb + ibb {
-                let (v2, a2c) = a2.two_cols_mut(j, c);
-                let v2 = &v2[0..=j];
-                let seg = &mut a2c[0..=j];
-                let mut dot = 0.0;
-                for (v, x) in v2.iter().zip(seg.iter()) {
-                    dot += v * x;
-                }
-                let w = tau * (a1[(j, c)] + dot);
-                a1[(j, c)] -= w;
-                for (x, v) in seg.iter_mut().zip(v2) {
-                    *x -= w * v;
-                }
+            // Apply the finished sub-panel to the rest of this inner block.
+            // Padding the staircase also takes the place of the V copy (a2
+            // is both reflector store and update target). Target columns
+            // c >= p0 + pw have valid rows 0..p0+pw, so the padded apply
+            // never touches the poison triangle.
+            if p0 + pw < jb + ibb {
+                let vrows = pad_stair_v(a2.data(), a2m, p0, p0 + 1, pw, &mut ws.vpad);
+                form_block_t(
+                    &ws.vpad[..vrows * pw],
+                    vrows,
+                    vrows,
+                    pw,
+                    &taus[p0l..p0l + pw],
+                    grow(&mut ws.tsub, pw * pw),
+                    pw,
+                    0,
+                    &mut ws.tgram,
+                    &mut ws.gemm,
+                );
+                apply_stacked_block(
+                    &ws.vpad[..vrows * pw],
+                    vrows,
+                    0,
+                    vrows,
+                    &ws.tsub[..pw * pw],
+                    pw,
+                    0,
+                    pw,
+                    ApplyTrans::Trans,
+                    a1,
+                    p0,
+                    a2.data_mut(),
+                    a2m,
+                    0,
+                    p0 + pw..jb + ibb,
+                    &mut ws.w,
+                    &mut ws.gemm,
+                );
             }
         }
-        // Local tail l (column jb + l) spans rows 0..jb+l+1.
-        let shape = VShape::Staircase { first: jb + 1 };
-        form_t_block_stacked(a2.data(), a2m, jb, jb, ibb, &taus[..ibb], shape, t);
-        // Apply the block reflector to the trailing columns; `a2` is both the
-        // reflector store and the update target, so copy the V block out
-        // (valid staircase rows only — the strict lower triangle of `a2` is
-        // poison by contract and must never be read).
+        // Form the block's T factor from the zero-padded staircase.
+        let t_ld = t.nrows();
+        let vrows = pad_stair_v(a2.data(), a2m, jb, jb + 1, ibb, &mut ws.vcopy);
+        form_block_t(
+            &ws.vcopy[..vrows * ibb],
+            vrows,
+            vrows,
+            ibb,
+            &taus[..ibb],
+            t.data_mut(),
+            t_ld,
+            jb,
+            &mut ws.tgram,
+            &mut ws.gemm,
+        );
+        // Apply the block reflector to the trailing columns, reusing the
+        // padded V̂ copy (trailing columns c >= jb + ibb have valid rows
+        // 0..jb+ibb, so the poison triangle stays untouched).
         if jb + ibb < n {
-            let vrows = jb + ibb;
-            let vc = grow(&mut ws.vcopy, vrows * ibb);
-            for l in 0..ibb {
-                let len = jb + l + 1;
-                vc[l * vrows..l * vrows + len].copy_from_slice(&a2.col(jb + l)[..len]);
-            }
             apply_stacked_block(
                 &ws.vcopy[..vrows * ibb],
                 vrows,
                 0,
-                t,
+                vrows,
+                t.data(),
+                t_ld,
                 jb,
                 ibb,
                 ApplyTrans::Trans,
-                shape,
                 a1,
-                a2,
+                jb,
+                a2.data_mut(),
+                a2m,
+                0,
                 jb + ibb..n,
                 &mut ws.w,
                 &mut ws.gemm,
@@ -138,19 +199,26 @@ pub fn ttmqr_ws(
     assert!(a2.nrows() >= k, "a2 must cover the reflector tails");
     assert_eq!(a1.ncols(), a2.ncols(), "a1/a2 must have equal column count");
     let nc = a1.ncols();
+    let a2m = a2.nrows();
+    let t_ld = t.nrows();
 
     for (jb, ibb) in inner_blocks(k, ib, trans) {
+        let vrows = pad_stair_v(v.data(), v.nrows(), jb, jb + 1, ibb, &mut ws.vpad);
         apply_stacked_block(
-            v.data(),
-            v.nrows(),
-            jb,
-            t,
+            &ws.vpad[..vrows * ibb],
+            vrows,
+            0,
+            vrows,
+            t.data(),
+            t_ld,
             jb,
             ibb,
             trans,
-            VShape::Staircase { first: jb + 1 },
             a1,
-            a2,
+            jb,
+            a2.data_mut(),
+            a2m,
+            0,
             0..nc,
             &mut ws.w,
             &mut ws.gemm,
@@ -160,6 +228,7 @@ pub fn ttmqr_ws(
 
 #[cfg(test)]
 mod tests {
+    use super::super::set_panel_ib;
     use super::*;
     use crate::matrix::Matrix;
 
@@ -236,6 +305,46 @@ mod tests {
         // Large enough that the rectangle part of the staircase apply
         // crosses the packed GEMM threshold.
         check_tt(48, 12);
+    }
+
+    #[test]
+    fn ttqrt_sub_panel_sizes_cover_ragged_splits() {
+        for pib in [1, 3, 5, 8] {
+            set_panel_ib(Some(pib));
+            check_tt(24, 12);
+            check_tt(13, 6);
+        }
+        set_panel_ib(None);
+    }
+
+    #[test]
+    fn ttqrt_blocked_matches_unblocked_panel() {
+        // Same V2, T, and R as the single-scalar-panel path up to roundoff
+        // reordering of the same sums.
+        let mut rng = rand::rng();
+        let n = 48;
+        let ib = 16;
+        let r1 = Matrix::random(n, n, &mut rng).upper_triangle();
+        let r2 = Matrix::random(n, n, &mut rng).upper_triangle();
+
+        set_panel_ib(Some(usize::MAX));
+        let mut a1_ref = r1.clone();
+        let mut a2_ref = r2.clone();
+        let mut t_ref = Matrix::zeros(ib, n);
+        ttqrt(&mut a1_ref, &mut a2_ref, &mut t_ref, ib);
+
+        // Pin a width the adaptive gate can't widen back to a single panel.
+        set_panel_ib(Some(4));
+        let mut a1_blk = r1.clone();
+        let mut a2_blk = r2.clone();
+        let mut t_blk = Matrix::zeros(ib, n);
+        ttqrt(&mut a1_blk, &mut a2_blk, &mut t_blk, ib);
+        set_panel_ib(None);
+
+        let scale = r1.norm_fro().max(r2.norm_fro()).max(1.0);
+        assert!(a1_blk.sub(&a1_ref).norm_fro() < 1e-11 * scale, "R drifted");
+        assert!(a2_blk.sub(&a2_ref).norm_fro() < 1e-11 * scale, "V2 drifted");
+        assert!(t_blk.sub(&t_ref).norm_fro() < 1e-11 * scale, "T drifted");
     }
 
     #[test]

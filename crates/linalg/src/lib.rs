@@ -14,7 +14,7 @@
 pub mod blas;
 pub mod cond;
 pub mod flops;
-mod gemm;
+pub mod gemm;
 pub mod householder;
 pub mod kernels;
 pub mod matrix;
@@ -25,8 +25,8 @@ pub mod verify;
 pub mod workspace;
 
 pub use kernels::{
-    geqrt, geqrt_ws, tsmqr, tsmqr_ws, tsqrt, tsqrt_ws, ttmqr, ttmqr_ws, ttqrt, ttqrt_ws, unmqr,
-    unmqr_ws, ApplyTrans,
+    geqrt, geqrt_ws, set_panel_ib, tsmqr, tsmqr_ws, tsqrt, tsqrt_ws, ttmqr, ttmqr_ws, ttqrt,
+    ttqrt_ws, unmqr, unmqr_ws, ApplyTrans,
 };
 pub use matrix::Matrix;
 pub use solve::{back_substitute, SolveError};

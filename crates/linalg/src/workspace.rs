@@ -24,8 +24,15 @@ pub struct Workspace {
     pub(crate) w: Vec<f64>,
     /// Copy of a `V` block when it aliases the update target.
     pub(crate) vcopy: Vec<f64>,
+    /// Zero-padded `V̂` copy (unit heads explicit, staircase tails padded)
+    /// used by the pure-GEMM block applies and the sub-panel updates.
+    pub(crate) vpad: Vec<f64>,
     /// Per-panel Householder scalars.
     pub(crate) taus: Vec<f64>,
+    /// `V̂^T V̂` Gram block for the GEMM-shaped `T` formation.
+    pub(crate) tgram: Vec<f64>,
+    /// Sub-panel `T` factor used inside a blocked panel factorization.
+    pub(crate) tsub: Vec<f64>,
     /// Packing buffers for the packed GEMM path.
     pub(crate) gemm: GemmScratch,
 }
@@ -38,7 +45,13 @@ impl Workspace {
 
     /// Total `f64` capacity currently held across all buffers (diagnostics).
     pub fn capacity(&self) -> usize {
-        self.w.capacity() + self.vcopy.capacity() + self.taus.capacity() + self.gemm.capacity()
+        self.w.capacity()
+            + self.vcopy.capacity()
+            + self.vpad.capacity()
+            + self.taus.capacity()
+            + self.tgram.capacity()
+            + self.tsub.capacity()
+            + self.gemm.capacity()
     }
 }
 

@@ -5,6 +5,7 @@
 //! held to the same oracle.
 
 use pulsar_linalg::blas::{dgemm_with, GemmAlgo, Trans};
+use pulsar_linalg::gemm::{set_gemm_tier, GemmTier};
 use pulsar_linalg::Matrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -131,6 +132,25 @@ fn auto_matches_naive_all_combos() {
 fn reference_matches_naive() {
     check_combo(GemmAlgo::Reference, Trans::No, Trans::No, -1.0, 0.5);
     check_combo(GemmAlgo::Reference, Trans::Yes, Trans::Yes, 1.0, 0.0);
+}
+
+#[test]
+fn every_available_tier_matches_naive() {
+    // Same oracle grid, forced through each microkernel tier in turn.
+    // Tiers the CPU can't execute are skipped (they can't be tested here);
+    // Scalar always runs, so the test is never vacuous.
+    for tier in [GemmTier::Scalar, GemmTier::Avx2, GemmTier::Avx512] {
+        if !tier.is_available() {
+            eprintln!("skipping tier {tier}: not supported by this CPU");
+            continue;
+        }
+        set_gemm_tier(Some(tier));
+        check_combo(GemmAlgo::Packed, Trans::No, Trans::No, 1.0, 0.0);
+        check_combo(GemmAlgo::Packed, Trans::Yes, Trans::No, -0.7, 1.0);
+        check_combo(GemmAlgo::Packed, Trans::No, Trans::Yes, 1.5, -0.5);
+        check_combo(GemmAlgo::Packed, Trans::Yes, Trans::Yes, 2.0, 0.25);
+    }
+    set_gemm_tier(None);
 }
 
 #[test]

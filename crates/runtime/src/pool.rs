@@ -108,6 +108,62 @@ impl VsaPool {
     }
 }
 
+impl VsaPool {
+    /// Run `f(i, scratch_i)` once on every pool thread `i`, borrowing `f`
+    /// for the duration of the call (no `'static` bound, no per-call
+    /// allocations beyond the dispatch envelopes). Blocks until every
+    /// worker finishes; re-raises the first panic.
+    pub fn run_scoped(&self, f: &(dyn Fn(usize, &WorkerScratch) + Sync)) {
+        let _serialize = self.run_lock.lock();
+        // SAFETY of the lifetime erasure: every dispatched job is dropped by
+        // its worker before the matching done signal fires, a failed send
+        // drops its envelope (and job) immediately, and we drain every done
+        // signal below before returning — so no borrow of `f` survives this
+        // call, even if a job panics.
+        let f_static: &'static (dyn Fn(usize, &WorkerScratch) + Sync) =
+            unsafe { std::mem::transmute(f) };
+        let (done_tx, done_rx) = mpsc::channel();
+        let mut send_failed = false;
+        for (i, tx) in self.senders.iter().enumerate() {
+            let job: PoolJob = Box::new(move |s: &WorkerScratch| f_static(i, s));
+            if tx
+                .send(Envelope {
+                    job,
+                    done: done_tx.clone(),
+                })
+                .is_err()
+            {
+                send_failed = true;
+            }
+        }
+        drop(done_tx);
+        let mut first_panic = None;
+        for outcome in done_rx.iter() {
+            if first_panic.is_none() {
+                first_panic = outcome;
+            }
+        }
+        assert!(!send_failed, "pool worker thread died");
+        if let Some(p) = first_panic {
+            std::panic::resume_unwind(p);
+        }
+    }
+}
+
+// SAFETY: `run_scoped` invokes the job exactly once per worker index
+// 0..threads(), each pool thread owns its private `WorkerScratch` (so the
+// `Workspace` handed to concurrent invocations is never shared), and the
+// call blocks until every dispatched job has completed.
+unsafe impl pulsar_linalg::gemm::GemmPool for VsaPool {
+    fn workers(&self) -> usize {
+        self.threads()
+    }
+
+    fn run(&self, job: &(dyn Fn(usize, &mut pulsar_linalg::Workspace) + Sync)) {
+        self.run_scoped(&|i, scratch| scratch.with(|ws: &mut pulsar_linalg::Workspace| job(i, ws)));
+    }
+}
+
 impl Drop for VsaPool {
     fn drop(&mut self) {
         // Closing the channels lets every worker fall out of its recv loop.
@@ -183,5 +239,49 @@ mod tests {
     fn job_count_must_match_thread_count() {
         let pool = VsaPool::new(2);
         pool.run_jobs(vec![job(|_| {})]);
+    }
+
+    #[test]
+    fn run_scoped_visits_every_worker_with_borrowed_state() {
+        let pool = VsaPool::new(3);
+        let hits: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+        pool.run_scoped(&|i, _s| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::SeqCst), 1);
+        }
+    }
+
+    #[test]
+    fn run_scoped_propagates_panic_and_pool_survives() {
+        let pool = VsaPool::new(2);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_scoped(&|i, _s| {
+                if i == 1 {
+                    panic!("scoped boom");
+                }
+            });
+        }));
+        assert!(r.is_err(), "panic must propagate to the caller");
+        let hits = AtomicUsize::new(0);
+        pool.run_scoped(&|_, _| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn run_scoped_sees_warm_scratch_from_run_jobs() {
+        let pool = VsaPool::new(2);
+        pool.run_jobs(vec![
+            job(|s| s.with(|v: &mut Vec<usize>| v.push(7))),
+            job(|s| s.with(|v: &mut Vec<usize>| v.push(8))),
+        ]);
+        let seen = Mutex::new(vec![0usize; 2]);
+        pool.run_scoped(&|i, s| {
+            seen.lock()[i] = s.with(|v: &mut Vec<usize>| v[0]);
+        });
+        assert_eq!(*seen.lock(), vec![7, 8]);
     }
 }

@@ -1,0 +1,68 @@
+//! Pool-parallel GEMM over a warm [`VsaPool`] must be **bit-identical** to
+//! the single-threaded packed path: every element of `C` is produced by the
+//! same packed loop nest over the same k-order, just on a different thread.
+
+use pulsar_linalg::blas::{dgemm_pooled, dgemm_with, GemmAlgo, Trans};
+use pulsar_linalg::Matrix;
+use pulsar_runtime::VsaPool;
+
+fn check_bitwise(m: usize, n: usize, k: usize, ta: Trans, tb: Trans, pool: &VsaPool) {
+    let mut rng = rand::rng();
+    let (am, an) = if ta == Trans::No { (m, k) } else { (k, m) };
+    let (bm, bn) = if tb == Trans::No { (k, n) } else { (n, k) };
+    let a = Matrix::random(am, an, &mut rng);
+    let b = Matrix::random(bm, bn, &mut rng);
+    let c0 = Matrix::random(m, n, &mut rng);
+
+    let mut c_single = c0.clone();
+    dgemm_with(GemmAlgo::Packed, ta, tb, 1.25, &a, &b, -0.5, &mut c_single);
+    let mut c_pool = c0.clone();
+    dgemm_pooled(ta, tb, 1.25, &a, &b, -0.5, &mut c_pool, pool);
+
+    for j in 0..n {
+        for i in 0..m {
+            assert_eq!(
+                c_single[(i, j)].to_bits(),
+                c_pool[(i, j)].to_bits(),
+                "bit mismatch at ({i},{j}) for {m}x{n}x{k} ta={ta:?} tb={tb:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pooled_dgemm_bit_identical_on_vsa_pool() {
+    // Odd sizes: chunk boundaries land mid-NR-panel, exercising the padded
+    // edge paths; big enough to clear the parallel threshold.
+    let pool = VsaPool::new(4);
+    check_bitwise(701, 653, 307, Trans::No, Trans::No, &pool);
+    check_bitwise(640, 512, 384, Trans::Yes, Trans::No, &pool);
+}
+
+#[test]
+fn pooled_dgemm_small_falls_back_single_threaded() {
+    // Below the flop threshold the pooled entry point must still produce
+    // the exact single-threaded result (it routes to the same path).
+    let pool = VsaPool::new(4);
+    let mut rng = rand::rng();
+    let a = Matrix::random(16, 16, &mut rng);
+    let b = Matrix::random(16, 16, &mut rng);
+    let mut c_auto = Matrix::zeros(16, 16);
+    dgemm_with(
+        GemmAlgo::Auto,
+        Trans::No,
+        Trans::No,
+        1.0,
+        &a,
+        &b,
+        0.0,
+        &mut c_auto,
+    );
+    let mut c_pool = Matrix::zeros(16, 16);
+    dgemm_pooled(Trans::No, Trans::No, 1.0, &a, &b, 0.0, &mut c_pool, &pool);
+    for j in 0..16 {
+        for i in 0..16 {
+            assert_eq!(c_auto[(i, j)].to_bits(), c_pool[(i, j)].to_bits());
+        }
+    }
+}

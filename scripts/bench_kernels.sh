@@ -1,11 +1,18 @@
 #!/usr/bin/env sh
 # Run the kernel microbenchmarks and distill GFLOP/s per kernel per tile
-# size into BENCH_kernels.json at the repo root.
+# size into BENCH_kernels.json at the repo root, together with the active
+# GEMM microkernel tier and the detected CPU features.
 #
 # The criterion shim appends one NDJSON line per benchmark to the file in
 # CRITERION_JSON; this script turns those lines into a single JSON object
 # keyed "group/kernel/size" -> GFLOP/s. Tune sampling with
 # CRITERION_SAMPLE_SIZE (default here: 10).
+#
+# If the output file already exists, its numbers become a regression gate:
+# the new geqrt/tsqrt/ttqrt rates must reach at least KERNEL_GATE_SLACK
+# (default 0.9) of the previous ones, and ttqrt must stay monotone in nb.
+# The refreshed file is written either way, so a failed gate leaves the
+# honest numbers behind for inspection.
 #
 # Usage: scripts/bench_kernels.sh [output.json]
 set -eu
@@ -13,16 +20,32 @@ cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_kernels.json}"
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+prev=""
+if [ -f "$out" ]; then
+    prev="$(mktemp)"
+    cp "$out" "$prev"
+fi
+trap 'rm -f "$raw" "$prev"' EXIT
 
 CRITERION_JSON="$raw" CRITERION_SAMPLE_SIZE="${CRITERION_SAMPLE_SIZE:-10}" \
     cargo bench --offline -p pulsar-bench --bench kernels
 
+# Hardware context: active tier (PULSAR_GEMM_TIER is honored, clamped to
+# what the CPU supports) and the detected feature set.
+tier_info="$(cargo run --offline -q -p pulsar-linalg --example tier_info)"
+tier="$(printf '%s\n' "$tier_info" | awk -F= '/^tier=/{print $2}')"
+features="$(printf '%s\n' "$tier_info" | awk -F= '/^features=/{print $2}')"
+
 # NDJSON -> one pretty-printed object. The shim reports units_per_s where
 # units are flops (Throughput::Elements carries the kernel flop count), so
 # GFLOP/s = units_per_s / 1e9.
-awk '
-BEGIN { print "{"; n = 0 }
+awk -v tier="$tier" -v features="$features" '
+BEGIN {
+    print "{"
+    printf "  \"meta/gemm_tier\": \"%s\",\n", tier
+    printf "  \"meta/cpu_features\": \"%s\"", features
+    n = 2
+}
 {
     name = $0; sub(/.*"name":"/, "", name); sub(/".*/, "", name)
     rate = $0; sub(/.*"units_per_s":/, "", rate); sub(/[,}].*/, "", rate)
@@ -34,3 +57,52 @@ END { print "\n}" }
 
 echo "wrote $out:"
 cat "$out"
+
+# Regression gate against the previous snapshot: the factorization kernels
+# must not lose more than (1 - KERNEL_GATE_SLACK) of their recorded rate.
+if [ -n "$prev" ]; then
+    slack="${KERNEL_GATE_SLACK:-0.9}"
+    awk -v slack="$slack" '
+    FNR == 1 { file++ }
+    /"tile_kernels\/(geqrt|tsqrt|ttqrt)\// {
+        key = $0; sub(/^ *"/, "", key); sub(/".*/, "", key)
+        val = $0; sub(/.*: */, "", val); sub(/,.*/, "", val)
+        if (file == 1) old[key] = val + 0; else cur[key] = val + 0
+    }
+    END {
+        bad = 0
+        for (k in old) {
+            if (!(k in cur)) continue
+            if (cur[k] < slack * old[k]) {
+                printf "kernel regression: %s %.3f -> %.3f GFLOP/s (below %.2fx gate)\n", \
+                    k, old[k], cur[k], slack
+                bad = 1
+            }
+        }
+        exit bad
+    }' "$prev" "$out" || { echo "kernel regression gate FAILED" >&2; exit 1; }
+fi
+
+# ttqrt must scale with the tile size: its GFLOP/s may not drop as nb grows
+# (2% slack for run-to-run noise).
+awk '
+/"tile_kernels\/ttqrt\// {
+    key = $0; sub(/^ *"/, "", key); sub(/".*/, "", key)
+    split(key, p, "/"); size = p[3] + 0
+    val = $0; sub(/.*: */, "", val); sub(/,.*/, "", val)
+    v[size] = val + 0; sizes[++ns] = size
+}
+END {
+    for (i = 1; i <= ns; i++)
+        for (j = i + 1; j <= ns; j++)
+            if (sizes[j] < sizes[i]) { t = sizes[i]; sizes[i] = sizes[j]; sizes[j] = t }
+    bad = 0
+    for (i = 2; i <= ns; i++) {
+        if (v[sizes[i]] < 0.98 * v[sizes[i - 1]]) {
+            printf "ttqrt not monotone in nb: %.3f GFLOP/s @%d < %.3f @%d\n", \
+                v[sizes[i]], sizes[i], v[sizes[i - 1]], sizes[i - 1]
+            bad = 1
+        }
+    }
+    exit bad
+}' "$out" || { echo "ttqrt nb-monotonicity gate FAILED" >&2; exit 1; }

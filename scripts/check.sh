@@ -10,6 +10,13 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 cargo build --offline --workspace --release
 cargo test --offline --workspace -q
 
+# The linalg suite again under each forcible GEMM microkernel tier, so a
+# bug in one tier's microkernel cannot hide behind runtime dispatch picking
+# another. The env override clamps to what the CPU supports, so these runs
+# are safe (if degenerate) on hosts without the wider ISA.
+PULSAR_GEMM_TIER=scalar cargo test --offline -p pulsar-linalg -q
+PULSAR_GEMM_TIER=avx2 cargo test --offline -p pulsar-linalg -q
+
 # Optional: BENCH=1 ./scripts/check.sh also smoke-runs the kernel bench
 # harness (few samples), refreshes BENCH_kernels.json, and runs the
 # factor-store verb benchmark into BENCH_solve.json (which fails unless
