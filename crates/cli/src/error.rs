@@ -23,6 +23,10 @@ pub const EXIT_CODES: &[(i32, &str)] = &[
         9,
         "factor handle expired (released or evicted from the store)",
     ),
+    (
+        10,
+        "client call deadline exceeded (connect/read/write timeout)",
+    ),
 ];
 
 /// A CLI failure: what to print and which code to exit with.
@@ -86,8 +90,15 @@ impl From<pulsar_server::ClientError> for CliError {
                 code: ErrCode::HandleExpired,
                 ..
             } => 9,
+            // A job killed by a kernel panic shares the quarantine code
+            // the offline pipeline uses for the same failure.
+            ClientError::Job {
+                code: ErrCode::Panicked,
+                ..
+            } => 5,
             // Wire-level corruption shares the decode/protocol code.
             ClientError::Proto(_) | ClientError::Unexpected(_) => 6,
+            ClientError::Timeout => 10,
             ClientError::Job { .. } | ClientError::Io(_) => 1,
         };
         CliError {
@@ -260,7 +271,20 @@ mod tests {
             "store capacity shares the backpressure code"
         );
         assert_eq!(job(ErrCode::Failed).code, 1);
+        assert_eq!(
+            job(ErrCode::Panicked).code,
+            5,
+            "a panicked job shares the VDP quarantine code"
+        );
         let table: Vec<i32> = EXIT_CODES.iter().map(|(c, _)| *c).collect();
         assert!(table.contains(&9));
+    }
+
+    #[test]
+    fn timeout_gets_its_own_code() {
+        let t = CliError::from(pulsar_server::ClientError::Timeout);
+        assert_eq!(t.code, 10);
+        let table: Vec<i32> = EXIT_CODES.iter().map(|(c, _)| *c).collect();
+        assert!(table.contains(&t.code));
     }
 }

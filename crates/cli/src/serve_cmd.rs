@@ -11,11 +11,12 @@ use pulsar_core::plan::Tree;
 use pulsar_core::QrOptions;
 use pulsar_linalg::verify::r_factor_distance;
 use pulsar_linalg::Matrix;
-use pulsar_server::{Client, ServeConfig, Service};
+use pulsar_server::{Client, ServeConfig, ServeFaultPlan, Service};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
 use std::net::TcpListener;
+use std::time::Duration;
 
 /// `pulsar-qr serve`: run the QR service until a client drains it.
 pub fn serve(args: &Args) -> Result<String, CliError> {
@@ -26,7 +27,10 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         "batch-max",
         "batch-mb",
         "retry-ms",
+        "retry-budget",
         "store-mb",
+        "store-path",
+        "fault-plan",
         "stats",
         "trace-out",
     ])
@@ -39,9 +43,16 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         batch_max: args.opt("batch-max", 4)?,
         batch_bytes: args.opt::<usize>("batch-mb", 64)? << 20,
         default_retry_after_ms: args.opt("retry-ms", 50)?,
+        retry_budget: args.opt("retry-budget", 2)?,
         store_bytes: args.opt::<usize>("store-mb", 256)? << 20,
+        store_path: args.get("store-path").map(std::path::PathBuf::from),
         trace: trace_out.is_some(),
     };
+    let faults = args
+        .get("fault-plan")
+        .map(ServeFaultPlan::parse)
+        .transpose()
+        .map_err(CliError::usage)?;
     let want_stats: bool = args.opt("stats", false)?;
     if cfg.threads == 0 || cfg.queue_cap == 0 || cfg.batch_max == 0 {
         return Err(CliError::usage(
@@ -58,8 +69,11 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
     // before the accept loop blocks.
     println!("SERVE {addr}");
 
-    let service = Service::start(cfg);
-    pulsar_server::serve(listener, service.clone())
+    // A corrupt snapshot is a hard error (restore nothing rather than
+    // something subtly wrong); a torn WAL tail is not (it truncates).
+    let service = Service::try_start(cfg)
+        .map_err(|e| CliError::from(format!("factor store recovery failed: {e}")))?;
+    pulsar_server::serve_with_faults(listener, service.clone(), faults)
         .map_err(|e| CliError::from(format!("serve failed: {e}")))?;
 
     let mut out = String::new();
@@ -111,6 +125,8 @@ pub fn submit(args: &Args) -> Result<String, CliError> {
         "handle",
         "rhs",
         "append-rows",
+        "timeout-ms",
+        "retry-for-ms",
     ])
     .map_err(CliError::usage)?;
     match args.get("verb").unwrap_or("factor") {
@@ -122,6 +138,19 @@ pub fn submit(args: &Args) -> Result<String, CliError> {
             "unknown --verb `{other}`; expected factor|solve|apply-q|update"
         ))),
     }
+}
+
+/// Dial the daemon, arming per-call read/write deadlines when the user
+/// passed `--timeout-ms` (a wedged or fault-injected server then surfaces
+/// as exit code 10 instead of hanging the client).
+fn connect(args: &Args) -> Result<Client, CliError> {
+    let addr: String = args.req("addr")?;
+    let timeout_ms: u64 = args.opt("timeout-ms", 0)?;
+    Ok(if timeout_ms > 0 {
+        Client::connect_timeout(&addr, Duration::from_millis(timeout_ms))?
+    } else {
+        Client::connect(&addr)?
+    })
 }
 
 /// The problem every verb re-derives: matrix first, then right-hand
@@ -138,7 +167,6 @@ fn seeded_problem(args: &Args) -> Result<(Matrix, StdRng, usize, usize), String>
 }
 
 fn submit_factor(args: &Args) -> Result<String, CliError> {
-    let addr: String = args.req("addr")?;
     let opts = submit_opts(args)?;
     let (a, _, m, n) = seeded_problem(args)?;
     if !m.is_multiple_of(opts.nb) || !n.is_multiple_of(opts.nb) {
@@ -150,12 +178,23 @@ fn submit_factor(args: &Args) -> Result<String, CliError> {
     let deadline_ms: u32 = args.opt("deadline-ms", 0)?;
     let cancel: bool = args.opt("cancel", false)?;
     let keep: bool = args.opt("keep", false)?;
+    let retry_for_ms: u64 = args.opt("retry-for-ms", 0)?;
     if keep && cancel {
         return Err(CliError::usage("--keep and --cancel are exclusive"));
     }
 
-    let mut client = Client::connect(&addr)?;
-    let job = if keep {
+    let mut client = connect(args)?;
+    let job = if retry_for_ms > 0 {
+        // Idempotent retries: a dropped ACK or a backpressure reject is
+        // retried under one idempotency key until the budget runs out.
+        client.submit_retrying(
+            &a,
+            &opts,
+            deadline_ms,
+            keep,
+            Duration::from_millis(retry_for_ms),
+        )?
+    } else if keep {
         client.submit_keep(&a, &opts, deadline_ms)?
     } else {
         client.submit(&a, &opts, deadline_ms)?
@@ -178,7 +217,13 @@ fn submit_factor(args: &Args) -> Result<String, CliError> {
         }
         return Ok(out);
     }
-    let r = client.result(job)?;
+    let r = if retry_for_ms > 0 {
+        // The long-poll mutates nothing server-side, so a reply lost to
+        // the wire (or a read deadline firing mid-run) is safely re-asked.
+        client.result_retrying(job, Duration::from_millis(retry_for_ms))?
+    } else {
+        client.result(job)?
+    };
     let oracle = pulsar_core::tile_qr_seq(&a, &opts);
     let dist = r_factor_distance(&r, &oracle.r);
     writeln!(out, "R distance to sequential oracle: {dist:.2e}").unwrap();
@@ -197,13 +242,12 @@ fn submit_factor(args: &Args) -> Result<String, CliError> {
 }
 
 fn verb_solve(args: &Args) -> Result<String, CliError> {
-    let addr: String = args.req("addr")?;
     let handle: u64 = args.req("handle")?;
     let k: usize = args.opt("rhs", 1)?;
     let (a, mut rng, m, n) = seeded_problem(args)?;
     let b = Matrix::random(m, k, &mut rng);
 
-    let mut client = Client::connect(&addr)?;
+    let mut client = connect(args)?;
     let x = client.solve(handle, &b)?;
 
     let oracle = pulsar_linalg::reference::geqrf(a).solve_ls(&b);
@@ -221,13 +265,12 @@ fn verb_solve(args: &Args) -> Result<String, CliError> {
 }
 
 fn verb_apply_q(args: &Args) -> Result<String, CliError> {
-    let addr: String = args.req("addr")?;
     let handle: u64 = args.req("handle")?;
     let k: usize = args.opt("rhs", 1)?;
     let (_, mut rng, m, n) = seeded_problem(args)?;
     let b = Matrix::random(m, k, &mut rng);
 
-    let mut client = Client::connect(&addr)?;
+    let mut client = connect(args)?;
     let qb = client.apply_q(handle, &b, false)?;
     let back = client.apply_q(handle, &qb, true)?;
 
@@ -251,14 +294,13 @@ fn verb_apply_q(args: &Args) -> Result<String, CliError> {
 }
 
 fn verb_update(args: &Args) -> Result<String, CliError> {
-    let addr: String = args.req("addr")?;
     let handle: u64 = args.req("handle")?;
     let p: usize = args.req("append-rows")?;
     let k: usize = args.opt("rhs", 1)?;
     let (a, mut rng, m, n) = seeded_problem(args)?;
     let e = Matrix::random(p, n, &mut rng);
 
-    let mut client = Client::connect(&addr)?;
+    let mut client = connect(args)?;
     let rows = client.update(handle, &e)?;
 
     let mut out = String::new();
@@ -291,9 +333,9 @@ fn verb_update(args: &Args) -> Result<String, CliError> {
 
 /// `pulsar-qr drain`: shut a daemon down and print its final stats.
 pub fn drain(args: &Args) -> Result<String, CliError> {
-    args.ensure_known(&["addr"]).map_err(CliError::usage)?;
-    let addr: String = args.req("addr")?;
-    let mut client = Client::connect(&addr)?;
+    args.ensure_known(&["addr", "timeout-ms"])
+        .map_err(CliError::usage)?;
+    let mut client = connect(args)?;
     let stats = client.drain()?;
     Ok(format!("STATS-JSON {stats}\ndrained\n"))
 }

@@ -221,6 +221,12 @@ pub(crate) fn worker_loop(
             }
             while vdp.is_ready() {
                 let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    // Chaos hook: a configured panic target detonates here,
+                    // inside the same catch_unwind that guards real kernel
+                    // panics, so tests exercise the genuine quarantine path.
+                    if shared.chaos_panic.as_ref() == Some(&vdp.tuple) {
+                        panic!("chaos: injected panic at VDP {}", vdp.tuple);
+                    }
                     fire_vdp(vdp, node, local_thread, &services, scratch)
                 }));
                 if let Err(e) = r {

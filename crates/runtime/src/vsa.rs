@@ -138,6 +138,11 @@ pub struct RunConfig {
     /// [`Backend::Tcp`]: redial and replay un-acked frames this many times
     /// before escalating to a fatal [`RunError`].
     pub retry: RetryPolicy,
+    /// Chaos hook: panic deterministically on the first firing of this
+    /// VDP, exercising the real quarantine path
+    /// ([`crate::RunError::VdpPanicked`]). Unlike [`RunConfig::fault`] this
+    /// needs no wire codec, so pooled runs accept it.
+    pub chaos_panic: Option<Tuple>,
 }
 
 impl RunConfig {
@@ -169,6 +174,7 @@ impl RunConfig {
             checkpoint_every: None,
             resume: false,
             retry: RetryPolicy::none(),
+            chaos_panic: None,
         }
     }
 
@@ -190,6 +196,7 @@ impl RunConfig {
             checkpoint_every: None,
             resume: false,
             retry: RetryPolicy::none(),
+            chaos_panic: None,
         }
     }
 
@@ -254,6 +261,14 @@ impl RunConfig {
     /// replaying un-acked frames after each reconnect.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Panic deterministically on the first firing of `tuple` (chaos
+    /// testing of the VDP-quarantine path). Works under every backend,
+    /// including pooled runs.
+    pub fn with_chaos_panic(mut self, tuple: Tuple) -> Self {
+        self.chaos_panic = Some(tuple);
         self
     }
 }
@@ -398,6 +413,8 @@ pub(crate) struct Shared {
     pub net: Option<NetModel>,
     pub deadlock_timeout: Option<Duration>,
     pub threads_per_node: usize,
+    /// Chaos hook: the VDP whose first firing must panic.
+    pub chaos_panic: Option<Tuple>,
     /// First run error observed; later reports are discarded.
     error: Mutex<Option<RunError>>,
     t0: Instant,
@@ -690,6 +707,7 @@ impl Vsa {
             net: config.net,
             deadlock_timeout: config.deadlock_timeout,
             threads_per_node: tpn,
+            chaos_panic: config.chaos_panic.clone(),
             error: Mutex::new(None),
             t0,
             last_progress_us: AtomicU64::new(0),

@@ -1,9 +1,19 @@
 //! Blocking client for the QR service protocol.
+//!
+//! Robustness layer: [`Client::connect_timeout`] bounds the dial and arms
+//! per-call read/write deadlines (a wedged or fault-injected server
+//! surfaces as typed [`ClientError::Timeout`] instead of blocking
+//! forever), and [`Client::submit_retrying`] pairs a client-generated
+//! idempotency key with jittered exponential backoff so a submit retried
+//! after a dropped ACK lands on the server-side dedup table rather than
+//! factoring (and charging the store budget) twice.
 
 use crate::proto::{self, ErrCode, JobState, Msg, ProtoError};
 use pulsar_core::QrOptions;
 use pulsar_linalg::Matrix;
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -33,6 +43,10 @@ pub enum ClientError {
     Proto(ProtoError),
     /// Transport failure.
     Io(std::io::Error),
+    /// A call exceeded its connect/read/write deadline. The connection is
+    /// no longer frame-aligned; reconnect before reusing it (the retrying
+    /// submit path does this automatically).
+    Timeout,
     /// The server replied with a verb this call does not expect.
     Unexpected(&'static str),
 }
@@ -54,6 +68,7 @@ impl std::fmt::Display for ClientError {
             }
             ClientError::Proto(e) => write!(f, "protocol error: {e}"),
             ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Timeout => write!(f, "call deadline exceeded"),
             ClientError::Unexpected(what) => write!(f, "unexpected reply to {what}"),
         }
     }
@@ -70,25 +85,97 @@ impl From<std::io::Error> for ClientError {
                 return ClientError::Proto(inner.clone());
             }
         }
+        // A socket with an armed read/write deadline reports expiry as
+        // `WouldBlock` (unix) or `TimedOut` (windows, and connect_timeout
+        // everywhere); both mean the same thing to callers.
+        if matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ) {
+            return ClientError::Timeout;
+        }
         ClientError::Io(e)
     }
+}
+
+/// Mint a process-unique idempotency key (never 0 — 0 means "no key" on
+/// the wire). Keys combine a process-random hash seed with an atomic
+/// counter, so two clients retrying concurrently cannot collide by
+/// counter reuse alone.
+pub fn fresh_idem() -> u64 {
+    use std::hash::{BuildHasher, Hasher};
+    static COUNTER: AtomicU64 = AtomicU64::new(1);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let mut h = std::collections::hash_map::RandomState::new().build_hasher();
+    h.write_u64(n);
+    h.write_u32(std::process::id());
+    let k = h.finish();
+    if k == 0 {
+        1
+    } else {
+        k
+    }
+}
+
+/// Deterministic jittered exponential backoff: ~10 ms doubling per
+/// attempt, capped at 500 ms, jittered to [cap/2, cap] by a SplitMix64
+/// hash of (key, attempt) so concurrent retriers decorrelate without a
+/// shared RNG.
+fn backoff_delay(key: u64, attempt: u32) -> Duration {
+    let cap = 10u64.saturating_mul(1 << attempt.min(6)).min(500);
+    let mut x = key ^ u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    Duration::from_millis(cap / 2 + x % (cap / 2 + 1))
 }
 
 /// A blocking connection to a QR service.
 pub struct Client {
     stream: TcpStream,
     next_seq: u64,
+    addr: String,
+    timeout: Option<Duration>,
 }
 
 impl Client {
     /// Connect to a serve daemon at `addr` (e.g. `127.0.0.1:7070`).
+    /// No deadlines: calls block until the server answers (use
+    /// [`Self::connect_timeout`] when a wedged server must not wedge
+    /// the client too).
     pub fn connect(addr: &str) -> Result<Client, ClientError> {
         let stream = TcpStream::connect(addr).map_err(ClientError::Io)?;
         stream.set_nodelay(true).ok();
         Ok(Client {
             stream,
             next_seq: 1,
+            addr: addr.to_string(),
+            timeout: None,
         })
+    }
+
+    /// [`Self::connect`] with a deadline on the dial and on every
+    /// subsequent read/write. An expired deadline surfaces as
+    /// [`ClientError::Timeout`]; the connection is then no longer
+    /// frame-aligned and must be reconnected before reuse.
+    pub fn connect_timeout(addr: &str, timeout: Duration) -> Result<Client, ClientError> {
+        let stream = dial(addr, Some(timeout))?;
+        Ok(Client {
+            stream,
+            next_seq: 1,
+            addr: addr.to_string(),
+            timeout: Some(timeout),
+        })
+    }
+
+    /// Drop the current connection and dial the same address again with
+    /// the same deadlines. Sequence numbers keep counting up; the server
+    /// only requires them to be per-connection consistent.
+    pub fn reconnect(&mut self) -> Result<(), ClientError> {
+        self.stream = dial(&self.addr, self.timeout)?;
+        Ok(())
     }
 
     fn call(&mut self, msg: &Msg) -> Result<Msg, ClientError> {
@@ -110,7 +197,7 @@ impl Client {
         opts: &QrOptions,
         deadline_ms: u32,
     ) -> Result<u64, ClientError> {
-        self.submit_inner(a, opts, deadline_ms, false)
+        self.submit_inner(a, opts, deadline_ms, false, 0)
     }
 
     /// [`Self::submit`] with keep: the server stores the complete
@@ -123,7 +210,59 @@ impl Client {
         opts: &QrOptions,
         deadline_ms: u32,
     ) -> Result<u64, ClientError> {
-        self.submit_inner(a, opts, deadline_ms, true)
+        self.submit_inner(a, opts, deadline_ms, true, 0)
+    }
+
+    /// Submit with automatic retries for up to `retry_for` wall time.
+    ///
+    /// Every attempt carries the same fresh idempotency key, so a retry
+    /// after a dropped ACK (the server admitted the job but the reply
+    /// never arrived) returns the original job id instead of factoring —
+    /// and charging the store budget — twice. Backpressure rejects honor
+    /// the server's `retry_after_ms` hint; transport errors and timeouts
+    /// reconnect and back off exponentially with jitter. Non-retryable
+    /// failures (invalid request, draining server) return immediately.
+    pub fn submit_retrying(
+        &mut self,
+        a: &Matrix,
+        opts: &QrOptions,
+        deadline_ms: u32,
+        keep: bool,
+        retry_for: Duration,
+    ) -> Result<u64, ClientError> {
+        let idem = fresh_idem();
+        let start = Instant::now();
+        let mut attempt = 0u32;
+        loop {
+            let err = match self.submit_inner(a, opts, deadline_ms, keep, idem) {
+                Ok(job) => return Ok(job),
+                Err(e) => e,
+            };
+            let (hint, transport) = match &err {
+                ClientError::Backpressure {
+                    draining: false,
+                    retry_after_ms,
+                    ..
+                } => (
+                    Some(Duration::from_millis(u64::from(*retry_after_ms).max(1))),
+                    false,
+                ),
+                ClientError::Io(_) | ClientError::Timeout => (None, true),
+                _ => return Err(err),
+            };
+            attempt += 1;
+            let delay = hint.unwrap_or_else(|| backoff_delay(idem, attempt));
+            if start.elapsed() + delay >= retry_for {
+                return Err(err);
+            }
+            std::thread::sleep(delay);
+            if transport {
+                // A half-finished exchange leaves the old stream out of
+                // frame sync; a failed redial just means the next attempt
+                // errors fast and backs off again.
+                let _ = self.reconnect();
+            }
+        }
     }
 
     fn submit_inner(
@@ -132,12 +271,14 @@ impl Client {
         opts: &QrOptions,
         deadline_ms: u32,
         keep: bool,
+        idem: u64,
     ) -> Result<u64, ClientError> {
         let msg = Msg::Submit {
             nb: opts.nb as u32,
             ib: opts.ib as u32,
             deadline_ms,
             keep,
+            idem,
             tree: opts.tree.to_string(),
             a: a.clone(),
         };
@@ -163,6 +304,34 @@ impl Client {
             Msg::RFactor { r, .. } => Ok(r),
             Msg::Error { job, code, msg } => Err(ClientError::Job { job, code, msg }),
             _ => Err(ClientError::Unexpected("result")),
+        }
+    }
+
+    /// [`Self::result`] with transport retries for up to `retry_for` wall
+    /// time. The long-poll is naturally idempotent — it mutates nothing —
+    /// so a reply lost on the wire (or a read deadline expiring while the
+    /// job still runs) is safely asked again on a fresh connection.
+    /// Semantic failures (`Error` replies) return immediately.
+    pub fn result_retrying(
+        &mut self,
+        job: u64,
+        retry_for: Duration,
+    ) -> Result<Matrix, ClientError> {
+        let start = Instant::now();
+        let mut attempt = 0u32;
+        loop {
+            let err = match self.result(job) {
+                Ok(r) => return Ok(r),
+                Err(e @ (ClientError::Io(_) | ClientError::Timeout)) => e,
+                Err(e) => return Err(e),
+            };
+            attempt += 1;
+            let delay = backoff_delay(job, attempt);
+            if start.elapsed() + delay >= retry_for {
+                return Err(err);
+            }
+            std::thread::sleep(delay);
+            let _ = self.reconnect();
         }
     }
 
@@ -248,6 +417,69 @@ impl Client {
             Msg::Drained { stats } => Ok(stats),
             Msg::Error { job, code, msg } => Err(ClientError::Job { job, code, msg }),
             _ => Err(ClientError::Unexpected("drain")),
+        }
+    }
+}
+
+/// Dial `addr`, optionally bounded by (and arming) `timeout`.
+fn dial(addr: &str, timeout: Option<Duration>) -> Result<TcpStream, ClientError> {
+    let stream = match timeout {
+        None => TcpStream::connect(addr).map_err(ClientError::Io)?,
+        Some(t) => {
+            // connect_timeout wants a resolved SocketAddr; take the first.
+            let sa = addr
+                .to_socket_addrs()
+                .map_err(ClientError::Io)?
+                .next()
+                .ok_or_else(|| {
+                    ClientError::Io(std::io::Error::new(
+                        std::io::ErrorKind::AddrNotAvailable,
+                        format!("{addr} resolved to no addresses"),
+                    ))
+                })?;
+            let s = TcpStream::connect_timeout(&sa, t).map_err(ClientError::from)?;
+            s.set_read_timeout(Some(t)).map_err(ClientError::Io)?;
+            s.set_write_timeout(Some(t)).map_err(ClientError::Io)?;
+            s
+        }
+    };
+    stream.set_nodelay(true).ok();
+    Ok(stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_idem_is_unique_and_nonzero() {
+        let keys: Vec<u64> = (0..64).map(|_| fresh_idem()).collect();
+        assert!(keys.iter().all(|&k| k != 0));
+        let mut dedup = keys.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), keys.len(), "collision in {keys:?}");
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        for attempt in 1..12 {
+            let d = backoff_delay(0xdead_beef, attempt);
+            let cap = 10u64.saturating_mul(1 << attempt.min(6)).min(500);
+            assert!(d.as_millis() as u64 >= cap / 2, "attempt {attempt}: {d:?}");
+            assert!(d.as_millis() as u64 <= cap, "attempt {attempt}: {d:?}");
+        }
+        // Jitter decorrelates different keys at the same attempt.
+        assert_ne!(backoff_delay(1, 5), backoff_delay(2, 5));
+    }
+
+    #[test]
+    fn timeout_kinds_map_to_typed_timeout() {
+        for kind in [std::io::ErrorKind::WouldBlock, std::io::ErrorKind::TimedOut] {
+            match ClientError::from(std::io::Error::new(kind, "deadline")) {
+                ClientError::Timeout => {}
+                other => panic!("{kind:?} mapped to {other:?}"),
+            }
         }
     }
 }

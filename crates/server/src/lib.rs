@@ -19,24 +19,29 @@
 //!
 //! Layers, bottom-up:
 //! - [`proto`] — the binary wire protocol, framed by the fabric codec.
-//! - [`store`] — the byte-budgeted LRU factorization store.
+//! - [`store`] — the byte-budgeted LRU factorization store, optionally
+//!   durable (checksummed snapshot + write-ahead log).
 //! - [`service`] — the in-process queue + scheduler + pool + store.
 //! - [`server`] — TCP accept loop mapping the protocol onto a service.
-//! - [`client`] — blocking client used by `pulsar-qr submit`/`drain`.
+//! - [`fault`] — seeded reply-path fault injection for chaos tests.
+//! - [`client`] — blocking client used by `pulsar-qr submit`/`drain`,
+//!   with per-call deadlines and idempotent retries.
 
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod fault;
 pub mod proto;
 pub mod server;
 pub mod service;
 pub mod store;
 
-pub use client::{Client, ClientError};
+pub use client::{fresh_idem, Client, ClientError};
+pub use fault::ServeFaultPlan;
 pub use proto::{decode_msg, encode_msg, ErrCode, JobState, Msg, ProtoError, MAX_SERVICE_BODY};
-pub use server::serve;
+pub use server::{serve, serve_with_faults};
 pub use service::{JobError, ServeConfig, Service, SubmitError};
-pub use store::{FactorHandle, FactorStore, StoreError, StoreStats};
+pub use store::{FactorHandle, FactorStore, StoreError, StoreStats, WalError};
 
 #[cfg(test)]
 mod tests {

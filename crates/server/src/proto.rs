@@ -140,6 +140,9 @@ pub enum ErrCode {
     HandleExpired,
     /// The factorization exceeds the store's whole byte budget.
     StoreFull,
+    /// The job's own VDP panicked mid-batch; the worker was quarantined
+    /// and respawned. Co-batched jobs are unaffected (re-dispatched).
+    Panicked,
 }
 
 impl ErrCode {
@@ -152,6 +155,7 @@ impl ErrCode {
             ErrCode::Invalid => 4,
             ErrCode::HandleExpired => 5,
             ErrCode::StoreFull => 6,
+            ErrCode::Panicked => 7,
         }
     }
 
@@ -164,6 +168,7 @@ impl ErrCode {
             4 => ErrCode::Invalid,
             5 => ErrCode::HandleExpired,
             6 => ErrCode::StoreFull,
+            7 => ErrCode::Panicked,
             _ => return Err(ProtoError::Malformed("unknown error code")),
         })
     }
@@ -186,6 +191,10 @@ pub enum Msg {
         /// job id doubles as the factor handle for solve/apply-q/update.
         /// Fire-and-forget submits (`false`) never enter the store.
         keep: bool,
+        /// Client-generated idempotency key (0 = none). A retried submit
+        /// carrying the same nonzero key after a dropped ACK is answered
+        /// with the original job id instead of being admitted again.
+        idem: u64,
         /// Reduction tree spec.
         tree: String,
         /// The matrix to factor.
@@ -437,6 +446,7 @@ pub fn encode_msg(msg: &Msg, seq: u64) -> Vec<u8> {
             ib,
             deadline_ms,
             keep,
+            idem,
             tree,
             a,
         } => {
@@ -444,6 +454,7 @@ pub fn encode_msg(msg: &Msg, seq: u64) -> Vec<u8> {
             put_u32(&mut payload, *ib);
             put_u32(&mut payload, *deadline_ms);
             payload.push(u8::from(*keep));
+            put_u64(&mut payload, *idem);
             put_str(&mut payload, tree);
             encode_matrix_body(a, &mut payload);
         }
@@ -622,6 +633,7 @@ pub fn decode_body(header: &FrameHeader, body: &[u8]) -> Result<(Msg, u64), Prot
             let ib = c.u32()?;
             let deadline_ms = c.u32()?;
             let keep = c.u8()? != 0;
+            let idem = c.u64()?;
             let tree = c.string()?;
             let a = c.matrix()?;
             Msg::Submit {
@@ -629,6 +641,7 @@ pub fn decode_body(header: &FrameHeader, body: &[u8]) -> Result<(Msg, u64), Prot
                 ib,
                 deadline_ms,
                 keep,
+                idem,
                 tree,
                 a,
             }
@@ -753,6 +766,7 @@ mod tests {
                 ib: 2,
                 deadline_ms: 250,
                 keep: true,
+                idem: 0x5eed_cafe,
                 tree: "hier:4".into(),
                 a: mat(),
             },
@@ -788,6 +802,11 @@ mod tests {
                 job: 7,
                 code: ErrCode::HandleExpired,
                 msg: "factor handle 7 expired".into(),
+            },
+            Msg::Error {
+                job: 7,
+                code: ErrCode::Panicked,
+                msg: "VDP (7,0,0,0) panicked: chaos".into(),
             },
             Msg::Solve {
                 handle: 7,

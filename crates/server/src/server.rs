@@ -1,15 +1,16 @@
 //! TCP front end of the QR service: accept loop, one handler thread per
 //! connection, and the request → [`Service`] dispatch table.
 
+use crate::fault::{ConnFaults, ReplyFate, ServeFaultPlan};
 use crate::proto::{self, ErrCode, Msg};
 use crate::service::{JobError, Service, SubmitError};
 use parking_lot::Mutex;
 use pulsar_core::{QrOptions, Tree};
-use std::io::ErrorKind;
+use std::io::{ErrorKind, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 impl JobError {
     fn code(&self) -> ErrCode {
@@ -21,6 +22,7 @@ impl JobError {
             JobError::HandleExpired(_) => ErrCode::HandleExpired,
             JobError::StoreFull { .. } => ErrCode::StoreFull,
             JobError::Invalid(_) => ErrCode::Invalid,
+            JobError::Panicked(_) => ErrCode::Panicked,
         }
     }
 }
@@ -34,6 +36,10 @@ fn handle_err(handle: u64, e: &JobError) -> Msg {
     }
 }
 
+/// How long the drain path waits for clients to collect already-delivered
+/// outcomes before it closes the read half of every connection.
+const DRAIN_GRACE: Duration = Duration::from_millis(250);
+
 /// Serve `service` on `listener` until a client sends [`Msg::Drain`].
 ///
 /// Each connection gets its own handler thread; requests on one
@@ -42,10 +48,28 @@ fn handle_err(handle: u64, e: &JobError) -> Msg {
 /// returns after a drain completed: the queue was run dry, the drained
 /// reply was sent, and every handler thread was joined.
 pub fn serve(listener: TcpListener, service: Arc<Service>) -> std::io::Result<()> {
+    serve_with_faults(listener, service, None)
+}
+
+/// [`serve`] under a seeded [`ServeFaultPlan`]: every reply frame rolls
+/// for drop / delay / corrupt / disconnect before the write, and a
+/// `panic-job` directive detonates inside that job's first VDP firing.
+/// Chaos tests use this to prove accepted jobs survive dropped ACKs,
+/// poisoned batches, and severed connections with typed errors — never a
+/// hang or a silently wrong answer.
+pub fn serve_with_faults(
+    listener: TcpListener,
+    service: Arc<Service>,
+    faults: Option<ServeFaultPlan>,
+) -> std::io::Result<()> {
+    if let Some(job) = faults.as_ref().and_then(|f| f.panic_job) {
+        service.inject_panic_job(job);
+    }
     let local = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
     let conns: Mutex<Vec<TcpStream>> = Mutex::new(Vec::new());
     let mut handlers = Vec::new();
+    let mut conn_index = 0u64;
     loop {
         let (stream, _) = listener.accept()?;
         if shutdown.load(Ordering::Acquire) {
@@ -58,16 +82,27 @@ pub fn serve(listener: TcpListener, service: Arc<Service>) -> std::io::Result<()
         }
         let service = service.clone();
         let shutdown = shutdown.clone();
+        let conn_faults = faults.as_ref().map(|p| ConnFaults::new(p, conn_index));
+        conn_index += 1;
         handlers.push(
             std::thread::Builder::new()
                 .name("qr-conn".into())
-                .spawn(move || handle_conn(stream, &service, &shutdown, local))
+                .spawn(move || handle_conn(stream, &service, &shutdown, local, conn_faults))
                 .expect("failed to spawn connection handler"),
         );
     }
-    // Drained: every queued job has resolved. Close the read half of each
-    // connection (dead ones error, which is fine) so handlers blocked in a
-    // read see EOF and return, while in-flight replies still flush.
+    // Drained: every queued job has resolved, but a result delivered to
+    // the service moments ago may not have been *collected* yet — a
+    // client can be mid-flight between its submit ACK and its result
+    // call. Give those outcomes a short grace window before hanging up,
+    // so drain never races result collection. Only then close the read
+    // half of each connection (dead ones error, which is fine) so
+    // handlers blocked in a read see EOF and return, while in-flight
+    // replies still flush.
+    let grace = Instant::now();
+    while service.unclaimed_outcomes() > 0 && grace.elapsed() < DRAIN_GRACE {
+        std::thread::sleep(Duration::from_millis(5));
+    }
     for conn in conns.lock().drain(..) {
         let _ = conn.shutdown(Shutdown::Read);
     }
@@ -77,7 +112,13 @@ pub fn serve(listener: TcpListener, service: Arc<Service>) -> std::io::Result<()
     Ok(())
 }
 
-fn handle_conn(mut stream: TcpStream, service: &Service, shutdown: &AtomicBool, local: SocketAddr) {
+fn handle_conn(
+    mut stream: TcpStream,
+    service: &Service,
+    shutdown: &AtomicBool,
+    local: SocketAddr,
+    mut faults: Option<ConnFaults>,
+) {
     loop {
         let (msg, seq) = match proto::read_msg(&mut stream) {
             Ok(x) => x,
@@ -98,14 +139,33 @@ fn handle_conn(mut stream: TcpStream, service: &Service, shutdown: &AtomicBool, 
         };
         let draining = matches!(msg, Msg::Drain);
         let reply = dispatch(service, msg);
-        if proto::write_msg(&mut stream, &reply, seq).is_err() {
-            return;
-        }
+        let mut frame = proto::encode_msg(&reply, seq);
+        let fate = faults
+            .as_mut()
+            .map_or(ReplyFate::Deliver, |f| f.apply(&mut frame));
+        let delivered = match fate {
+            ReplyFate::Deliver => stream.write_all(&frame).is_ok(),
+            ReplyFate::DeliverAfter(d) => {
+                std::thread::sleep(d);
+                stream.write_all(&frame).is_ok()
+            }
+            // A dropped ACK: the request took effect but the client hears
+            // nothing. The connection stays usable for its retry.
+            ReplyFate::Drop => true,
+            ReplyFate::Disconnect => {
+                let _ = stream.shutdown(Shutdown::Both);
+                false
+            }
+        };
         if draining {
-            // The drained reply is out; wake the acceptor so `serve`
-            // returns. The self-connection is accepted and discarded.
+            // The drained reply is out (or chaos ate it — the drain still
+            // happened); wake the acceptor so `serve` returns. The
+            // self-connection is accepted and discarded.
             shutdown.store(true, Ordering::Release);
             let _ = TcpStream::connect_timeout(&local, Duration::from_secs(5));
+            return;
+        }
+        if !delivered {
             return;
         }
     }
@@ -118,6 +178,7 @@ fn dispatch(service: &Service, msg: Msg) -> Msg {
             ib,
             deadline_ms,
             keep,
+            idem,
             tree,
             a,
         } => {
@@ -140,7 +201,7 @@ fn dispatch(service: &Service, msg: Msg) -> Msg {
             }
             let opts = QrOptions::new(nb as usize, ib as usize, tree);
             let deadline = (deadline_ms > 0).then(|| Duration::from_millis(u64::from(deadline_ms)));
-            match service.submit(a, opts, deadline, keep) {
+            match service.submit_idem(a, opts, deadline, keep, idem) {
                 Ok(job) => Msg::SubmitOk { job },
                 Err(SubmitError::Backpressure {
                     retry_after_ms,

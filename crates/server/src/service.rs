@@ -11,18 +11,23 @@
 //! derived from the observed batch rate.
 
 use crate::proto::JobState;
-use crate::store::{FactorHandle, FactorStore, StoreError};
+use crate::store::{FactorHandle, FactorStore, StoreError, WalError};
 use parking_lot::{Condvar, Mutex};
 use pulsar_core::update::append_rows;
 use pulsar_core::vsa3d::tile_qr_vsa_batch_pooled;
 use pulsar_core::QrOptions;
 use pulsar_linalg::Matrix;
 use pulsar_runtime::trace::{TaskSpan, Trace};
-use pulsar_runtime::{RunConfig, VsaPool};
+use pulsar_runtime::{RunConfig, RunError, Tuple, VsaPool};
 use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// How many idempotency keys the service remembers (FIFO): enough to
+/// cover any realistic retry window without unbounded growth.
+const IDEM_CAP: usize = 1024;
 
 /// Tuning knobs of a [`Service`].
 #[derive(Clone, Debug)]
@@ -45,6 +50,14 @@ pub struct ServeConfig {
     pub store_bytes: usize,
     /// Collect per-task execution traces across all batches.
     pub trace: bool,
+    /// How many times an innocent job may be re-dispatched after a
+    /// co-batched job's VDP panicked (or the batch failed for another
+    /// transient runtime reason) before it fails for good.
+    pub retry_budget: u32,
+    /// Directory for the durable factor store (checksummed snapshot +
+    /// append-only WAL). `None` keeps the store purely in memory; kept
+    /// handles then die with the process.
+    pub store_path: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -57,6 +70,8 @@ impl Default for ServeConfig {
             default_retry_after_ms: 50,
             store_bytes: 256 << 20,
             trace: false,
+            retry_budget: 2,
+            store_path: None,
         }
     }
 }
@@ -121,6 +136,9 @@ pub enum JobError {
     /// The request is invalid against the stored factorization (shape
     /// mismatch, wide problem, rows not tiled, ...).
     Invalid(String),
+    /// This job's own VDP panicked mid-batch. The offending worker was
+    /// quarantined and respawned; co-batched jobs were re-dispatched.
+    Panicked(String),
 }
 
 impl std::fmt::Display for JobError {
@@ -140,6 +158,7 @@ impl std::fmt::Display for JobError {
                 )
             }
             JobError::Invalid(m) => write!(f, "invalid request: {m}"),
+            JobError::Panicked(m) => write!(f, "job panicked: {m}"),
         }
     }
 }
@@ -151,6 +170,7 @@ impl From<StoreError> for JobError {
         match e {
             StoreError::HandleExpired(h) => JobError::HandleExpired(h.raw()),
             StoreError::StoreFull { needed, budget } => JobError::StoreFull { needed, budget },
+            StoreError::Io(m) => JobError::Failed(m),
         }
     }
 }
@@ -166,6 +186,11 @@ struct Job {
     /// Keep the full factorization in the store when done (the job id
     /// becomes its factor handle).
     keep: bool,
+    /// Times this job has been re-dispatched after a poisoned batch.
+    retries: u32,
+    /// The outcome has been delivered to a waiter at least once; drain's
+    /// grace period only waits for unclaimed outcomes.
+    claimed: bool,
     outcome: Option<Result<Matrix, JobError>>,
 }
 
@@ -181,6 +206,10 @@ struct Counters {
     applies: u64,
     updates: u64,
     update_rows: u64,
+    /// Jobs whose own VDP panicked (typed `JobError::Panicked`).
+    panicked: u64,
+    /// Innocent jobs re-queued after a poisoned batch.
+    redispatched: u64,
 }
 
 struct State {
@@ -198,6 +227,14 @@ struct State {
     busy: Duration,
     /// Accumulated spans from every batch, shifted to service time.
     spans: Vec<TaskSpan>,
+    /// Idempotency-key → job id, bounded FIFO (`idem_order` is the
+    /// eviction queue). A retried submit with a remembered key gets the
+    /// original id back instead of a second admission.
+    idem: HashMap<u64, u64>,
+    idem_order: VecDeque<u64>,
+    /// Chaos directive: panic the factor VDP of this job's next batch
+    /// (consumed one-shot, so a re-dispatch runs clean).
+    chaos_panic_job: Option<u64>,
 }
 
 /// A running QR service. Cheap to share behind an [`Arc`]; every method
@@ -209,6 +246,9 @@ pub struct Service {
     /// Kept factorizations, behind their own short-held lock. Lock order:
     /// `state` may nest `store` (the scheduler does); never the reverse.
     store: Mutex<FactorStore>,
+    /// The warm VSA pool. Owned by the service (not the scheduler thread)
+    /// so connection threads can read its respawn counter for stats.
+    pool: VsaPool,
     /// Signals the scheduler that work (or drain) arrived.
     work: Condvar,
     /// Signals waiters that some job reached a terminal state.
@@ -217,16 +257,36 @@ pub struct Service {
 }
 
 impl Service {
-    /// Start the scheduler thread and its warm VSA pool.
+    /// Start the scheduler thread and its warm VSA pool. Panics when the
+    /// durable store (if configured) cannot be recovered; use
+    /// [`Self::try_start`] to handle that as a typed error.
     pub fn start(cfg: ServeConfig) -> Arc<Service> {
+        match Self::try_start(cfg) {
+            Ok(svc) => svc,
+            Err(e) => panic!("factor store recovery failed: {e}"),
+        }
+    }
+
+    /// Start the service, recovering the durable factor store from
+    /// [`ServeConfig::store_path`] when one is configured: the snapshot is
+    /// loaded, the WAL replayed (truncating any torn or corrupt tail), and
+    /// every recovered handle is resident again — bit-identical — before
+    /// the first connection is accepted.
+    pub fn try_start(cfg: ServeConfig) -> Result<Arc<Service>, WalError> {
         assert!(cfg.threads > 0, "service needs at least one pool thread");
         assert!(cfg.queue_cap > 0, "queue capacity must be positive");
         assert!(cfg.batch_max > 0, "batch size must be positive");
+        let (store, max_handle) = match &cfg.store_path {
+            Some(dir) => FactorStore::recover(cfg.store_bytes, dir)?,
+            None => (FactorStore::new(cfg.store_bytes), 0),
+        };
         let svc = Arc::new(Service {
             cfg: cfg.clone(),
             started: Instant::now(),
             state: Mutex::new(State {
-                next_id: 1,
+                // Never reuse a recovered handle's id for a new job: a
+                // colliding keep would silently replace the survivor.
+                next_id: max_handle + 1,
                 queue: VecDeque::new(),
                 jobs: HashMap::new(),
                 draining: false,
@@ -237,8 +297,12 @@ impl Service {
                 queue_peak: 0,
                 busy: Duration::ZERO,
                 spans: Vec::new(),
+                idem: HashMap::new(),
+                idem_order: VecDeque::new(),
+                chaos_panic_job: None,
             }),
-            store: Mutex::new(FactorStore::new(cfg.store_bytes)),
+            store: Mutex::new(store),
+            pool: VsaPool::new(cfg.threads),
             work: Condvar::new(),
             done: Condvar::new(),
             sched: Mutex::new(None),
@@ -246,13 +310,10 @@ impl Service {
         let runner = svc.clone();
         let handle = std::thread::Builder::new()
             .name("qr-sched".into())
-            .spawn(move || {
-                let pool = VsaPool::new(cfg.threads);
-                runner.scheduler(&pool);
-            })
+            .spawn(move || runner.scheduler())
             .expect("failed to spawn service scheduler");
         *svc.sched.lock() = Some(handle);
-        svc
+        Ok(svc)
     }
 
     /// The configuration this service was started with.
@@ -275,6 +336,22 @@ impl Service {
         deadline: Option<Duration>,
         keep: bool,
     ) -> Result<u64, SubmitError> {
+        self.submit_idem(a, opts, deadline, keep, 0)
+    }
+
+    /// [`Self::submit`] with a client-generated idempotency key (0 =
+    /// none). When a nonzero key is remembered — the original submit's ACK
+    /// was lost and the client retried — the original job id is returned
+    /// and nothing is admitted: one factorization, one store charge, no
+    /// matter how often the submit is repeated.
+    pub fn submit_idem(
+        &self,
+        a: Matrix,
+        opts: QrOptions,
+        deadline: Option<Duration>,
+        keep: bool,
+        idem: u64,
+    ) -> Result<u64, SubmitError> {
         if a.nrows() == 0 || a.ncols() == 0 {
             return Err(SubmitError::Invalid("matrix must be non-empty".into()));
         }
@@ -293,6 +370,13 @@ impl Service {
             )));
         }
         let mut st = self.state.lock();
+        // A remembered key wins over every other admission outcome — the
+        // job already exists, so not even draining turns the retry away.
+        if idem != 0 {
+            if let Some(&id) = st.idem.get(&idem) {
+                return Ok(id);
+            }
+        }
         if st.draining {
             st.counters.rejected += 1;
             return Err(SubmitError::Backpressure {
@@ -312,6 +396,15 @@ impl Service {
         }
         let id = st.next_id;
         st.next_id += 1;
+        if idem != 0 {
+            if st.idem_order.len() >= IDEM_CAP {
+                if let Some(old) = st.idem_order.pop_front() {
+                    st.idem.remove(&old);
+                }
+            }
+            st.idem.insert(idem, id);
+            st.idem_order.push_back(idem);
+        }
         st.jobs.insert(
             id,
             Job {
@@ -321,6 +414,8 @@ impl Service {
                 submitted: Instant::now(),
                 state: JobState::Queued,
                 keep,
+                retries: 0,
+                claimed: false,
                 outcome: None,
             },
         );
@@ -365,6 +460,9 @@ impl Service {
         }
         job.state = JobState::Cancelled;
         job.outcome = Some(Err(JobError::Cancelled));
+        // The canceller has been told; drain need not wait for a Result
+        // call that may never come.
+        job.claimed = true;
         job.a = None;
         st.counters.cancelled += 1;
         self.done.notify_all();
@@ -375,16 +473,43 @@ impl Service {
     pub fn wait_result(&self, id: u64) -> Result<Matrix, JobError> {
         let mut st = self.state.lock();
         loop {
-            match st.jobs.get(&id) {
+            match st.jobs.get_mut(&id) {
                 None => return Err(JobError::Unknown),
                 Some(job) => {
                     if let Some(outcome) = &job.outcome {
-                        return outcome.clone();
+                        let outcome = outcome.clone();
+                        job.claimed = true;
+                        return outcome;
                     }
                 }
             }
             self.done.wait(&mut st);
         }
+    }
+
+    /// Admitted jobs whose outcome no waiter has collected yet. The TCP
+    /// front end keeps read halves open after a drain until this hits
+    /// zero (or a grace period lapses), so a client that submitted just
+    /// before the drain still gets its result instead of an EOF.
+    pub fn unclaimed_outcomes(&self) -> usize {
+        let st = self.state.lock();
+        st.jobs
+            .values()
+            .filter(|j| j.outcome.is_some() && !j.claimed)
+            .count()
+    }
+
+    /// Chaos hook: make the factor VDP of job `id` panic when its batch
+    /// launches. Consumed one-shot — a re-dispatched co-batched job runs
+    /// clean — so a single directive proves both the typed `Panicked`
+    /// outcome and the innocent jobs' recovery.
+    pub fn inject_panic_job(&self, id: u64) {
+        self.state.lock().chaos_panic_job = Some(id);
+    }
+
+    /// Worker threads quarantined and respawned by the pool.
+    pub fn pool_respawns(&self) -> u64 {
+        self.pool.respawns()
     }
 
     /// Least-squares solve `min ||A x - b||` against the stored
@@ -481,6 +606,12 @@ impl Service {
         if let Some(handle) = self.sched.lock().take() {
             let _ = handle.join();
         }
+        // A clean shutdown folds the WAL into a fresh snapshot so the next
+        // boot replays nothing. Failure is not fatal — the un-compacted
+        // log is still valid, just longer to replay.
+        if let Err(e) = self.store.lock().compact_log() {
+            eprintln!("warning: factor store compaction failed: {e}");
+        }
         self.stats_json()
     }
 
@@ -514,6 +645,7 @@ impl Service {
         format!(
             "{{\"jobs_done\":{},\"jobs_failed\":{},\"jobs_cancelled\":{},\
              \"jobs_expired\":{},\"jobs_rejected\":{},\"batches\":{},\
+             \"jobs_panicked\":{},\"jobs_redispatched\":{},\"pool_respawns\":{},\
              \"p50_ms\":{:.3},\"p90_ms\":{:.3},\"p99_ms\":{:.3},\
              \"jobs_per_s\":{:.3},\"queue_depth\":{},\"queue_peak\":{},\
              \"running\":{},\"pool_utilization\":{:.4},\"uptime_s\":{:.3},\
@@ -525,6 +657,9 @@ impl Service {
             c.expired,
             c.rejected,
             c.batches,
+            c.panicked,
+            c.redispatched,
+            self.pool.respawns(),
             pct(0.50),
             pct(0.90),
             pct(0.99),
@@ -543,7 +678,8 @@ impl Service {
     }
 
     /// Scheduler body: pull → batch → run on the pool → distribute.
-    fn scheduler(self: Arc<Service>, pool: &VsaPool) {
+    fn scheduler(self: Arc<Service>) {
+        let pool = &self.pool;
         loop {
             let Some(batch) = self.next_batch() else {
                 return; // drained
@@ -555,9 +691,28 @@ impl Service {
             if self.cfg.trace {
                 config = config.with_trace();
             }
+            // A pending chaos directive detonates the factor VDP of its
+            // job's batch slot — and is consumed, so the re-dispatch of
+            // the surviving jobs runs clean.
+            {
+                let mut st = self.state.lock();
+                if let Some(target) = st.chaos_panic_job {
+                    if let Some(pos) = batch.iter().position(|(id, _, _)| *id == target) {
+                        st.chaos_panic_job = None;
+                        config = config.with_chaos_panic(Tuple::new4(pos as i32, 0, 0, 0));
+                    }
+                }
+            }
             let result = tile_qr_vsa_batch_pooled(&jobs, &config, pool);
             let wall = t0.elapsed();
             drop(jobs);
+
+            // A VDP panic unwound through a pool worker's warm arenas;
+            // quarantine every worker (fresh scratch) before the next
+            // batch touches them.
+            if matches!(result, Err(RunError::VdpPanicked { .. })) {
+                pool.respawn_all();
+            }
 
             let mut st = self.state.lock();
             st.counters.batches += 1;
@@ -611,14 +766,48 @@ impl Service {
                     }
                 }
                 Err(e) => {
-                    // One failing job poisons its whole batch: every member
-                    // fails with the same runtime error.
+                    // Isolate the poison instead of failing the launch: a
+                    // VDP panic names its batch slot (the tuple's leading
+                    // id is the job's position), so only that job gets the
+                    // typed outcome. Everyone else re-enters the queue
+                    // with its matrix restored, bounded by the per-job
+                    // retry budget. Non-panic runtime errors carry no
+                    // culprit; every member is re-dispatched under the
+                    // same budget.
                     let msg = e.to_string();
-                    for (id, _, _) in &batch {
-                        let job = st.jobs.get_mut(id).expect("running job exists");
-                        job.state = JobState::Failed;
-                        job.outcome = Some(Err(JobError::Failed(msg.clone())));
-                        st.counters.failed += 1;
+                    let panicked_pos = match &e {
+                        RunError::VdpPanicked { tuple, .. } if tuple.len() == 4 => {
+                            let b = tuple.ids()[0];
+                            (b >= 0 && (b as usize) < batch.len()).then_some(b as usize)
+                        }
+                        _ => None,
+                    };
+                    let mut requeue = Vec::new();
+                    for (pos, (id, a, _)) in batch.into_iter().enumerate() {
+                        let job = st.jobs.get_mut(&id).expect("running job exists");
+                        if Some(pos) == panicked_pos {
+                            job.state = JobState::Failed;
+                            job.outcome = Some(Err(JobError::Panicked(msg.clone())));
+                            st.counters.failed += 1;
+                            st.counters.panicked += 1;
+                        } else if job.retries < self.cfg.retry_budget {
+                            job.retries += 1;
+                            job.state = JobState::Queued;
+                            job.a = Some(a);
+                            requeue.push(id);
+                            st.counters.redispatched += 1;
+                        } else {
+                            job.state = JobState::Failed;
+                            job.outcome = Some(Err(JobError::Failed(format!(
+                                "retry budget exhausted after poisoned batch: {msg}"
+                            ))));
+                            st.counters.failed += 1;
+                        }
+                    }
+                    // Front of the queue, original order: re-dispatched
+                    // jobs go ahead of anything admitted since.
+                    for id in requeue.into_iter().rev() {
+                        st.queue.push_front(id);
                     }
                 }
             }

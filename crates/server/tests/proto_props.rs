@@ -60,27 +60,29 @@ fn err_code_strategy() -> BoxedStrategy<ErrCode> {
         Just(ErrCode::Invalid),
         Just(ErrCode::HandleExpired),
         Just(ErrCode::StoreFull),
+        Just(ErrCode::Panicked),
     ]
     .boxed()
 }
 
 fn msg_strategy() -> BoxedStrategy<Msg> {
     let submit = (
-        1u32..512,
-        1u32..128,
-        any::<u32>(),
-        any::<bool>(),
+        (1u32..512, 1u32..128, any::<u32>()),
+        (any::<bool>(), any::<u64>()),
         string_strategy(16),
         matrix_strategy(),
     )
-        .prop_map(|(nb, ib, deadline_ms, keep, tree, a)| Msg::Submit {
-            nb,
-            ib,
-            deadline_ms,
-            keep,
-            tree,
-            a,
-        });
+        .prop_map(
+            |((nb, ib, deadline_ms), (keep, idem), tree, a)| Msg::Submit {
+                nb,
+                ib,
+                deadline_ms,
+                keep,
+                idem,
+                tree,
+                a,
+            },
+        );
     let reject = (any::<bool>(), any::<u32>(), any::<u32>()).prop_map(
         |(draining, retry_after_ms, queued)| Msg::Reject {
             draining,

@@ -7,13 +7,27 @@
 # units_per_s is directly jobs/s. Tune sampling with CRITERION_SAMPLE_SIZE
 # (default here: 10).
 #
+# The script fails if any burst size lands below 0.9x the committed
+# BENCH_serve.json baseline — the self-healing machinery on the serve
+# path (quarantine hooks, idempotency map, durable store) must stay off
+# the hot path.
+#
 # Usage: scripts/bench_serve.sh [output.json]
 set -eu
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_serve.json}"
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+base="$(mktemp)"
+trap 'rm -f "$raw" "$base"' EXIT
+
+# Snapshot the committed baseline before the default output path
+# overwrites it.
+if [ -f BENCH_serve.json ]; then
+    cp BENCH_serve.json "$base"
+else
+    : > "$base"
+fi
 
 CRITERION_JSON="$raw" CRITERION_SAMPLE_SIZE="${CRITERION_SAMPLE_SIZE:-10}" \
     cargo bench --offline -p pulsar-bench --bench qr_serve_throughput
@@ -32,3 +46,29 @@ END { print "\n}" }
 
 echo "wrote $out:"
 cat "$out"
+
+# Throughput gate: every burst must hold at least 0.9x its committed
+# baseline rate. Skipped when no baseline was present (first run).
+if [ -s "$base" ]; then
+    awk -F'"' '
+        NR == FNR {
+            if (/burst/) { v = $3; sub(/[: ]+/, "", v); baseline[$2] = v + 0 }
+            next
+        }
+        /burst/ {
+            v = $3; sub(/[: ]+/, "", v); rate = v + 0
+            if ($2 in baseline) {
+                ratio = rate / baseline[$2]
+                printf "bench_serve gate: %-18s %10.1f jobs/s (%.2fx of baseline %.1f)\n", \
+                    $2, rate, ratio, baseline[$2] > "/dev/stderr"
+                if (ratio < 0.9) fail = 1
+            }
+        }
+        END {
+            if (fail) {
+                print "bench_serve gate: throughput regressed below 0.9x baseline" > "/dev/stderr"
+                exit 1
+            }
+        }
+    ' "$base" "$out"
+fi

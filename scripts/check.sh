@@ -93,4 +93,53 @@ if [ "${CHAOS:-0}" = "1" ]; then
     ./target/release/pulsar-qr resume "$ckpt_dir"
     rm -rf "$ckpt_dir"
     echo "CHAOS resume e2e: ok"
+
+    # Serve crash/recover e2e through the release binary: keep a
+    # factorization in a durable store, SIGKILL the daemon mid-traffic
+    # (no drain, no compaction — the WAL tail is whatever the crash left),
+    # restart on the same store path, and require the pre-crash handle to
+    # solve with full verification against the seeded oracle.
+    store_dir=$(mktemp -d)
+    serve_out=$(mktemp)
+    ./target/release/pulsar-qr serve --threads 2 --store-path "$store_dir" \
+        > "$serve_out" &
+    serve_pid=$!
+    addr=""
+    for _ in $(seq 1 50); do
+        addr=$(awk '/^SERVE/{print $2}' "$serve_out")
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { echo "CHAOS serve: daemon never announced" >&2; exit 1; }
+    keep_out=$(./target/release/pulsar-qr submit --addr "$addr" --rows 96 \
+        --cols 32 --nb 8 --seed 29 --keep true --timeout-ms 5000 \
+        --retry-for-ms 2000)
+    handle=$(echo "$keep_out" | awk '/^HANDLE/{print $2}')
+    [ -n "$handle" ] || { echo "CHAOS serve: no HANDLE line" >&2; exit 1; }
+    # Mid-traffic: a job is in flight when the SIGKILL lands; its client
+    # fails with a transport error, which is the expected outcome.
+    ./target/release/pulsar-qr submit --addr "$addr" --rows 256 --cols 64 \
+        --nb 8 --timeout-ms 5000 & victim_pid=$!
+    kill -9 "$serve_pid"
+    wait "$serve_pid" 2>/dev/null || true
+    wait "$victim_pid" 2>/dev/null || true
+    ./target/release/pulsar-qr serve --threads 2 --store-path "$store_dir" \
+        > "$serve_out" &
+    serve_pid=$!
+    addr=""
+    for _ in $(seq 1 50); do
+        addr=$(awk '/^SERVE/{print $2}' "$serve_out")
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { echo "CHAOS serve: restart never announced" >&2; exit 1; }
+    # The handle kept before the crash must be resident again and solve
+    # correctly (the verb re-derives the oracle from the same seed).
+    ./target/release/pulsar-qr submit --addr "$addr" --verb solve \
+        --handle "$handle" --rows 96 --cols 32 --seed 29 --rhs 2 \
+        --timeout-ms 5000
+    ./target/release/pulsar-qr drain --addr "$addr" --timeout-ms 5000
+    wait "$serve_pid"
+    rm -rf "$store_dir" "$serve_out"
+    echo "CHAOS serve crash/recover e2e: ok"
 fi
