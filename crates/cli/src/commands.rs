@@ -64,9 +64,27 @@ COMMANDS
             [--tree greedy] [--seed 42] [--deadline-ms 0] [--cancel true]
             [--verb factor|solve|apply-q|update] [--keep true] (prints
             `HANDLE <id>`) [--handle H] [--rhs 1] [--append-rows P]
+            [--burst N] (pipeline N identical jobs, print BURST-JOBS-PER-S)
   drain     shut a serve daemon down (queued jobs finish first) and print
             its final stats JSON
             --addr HOST:PORT
+  route     shard submits across worker nodes: health-checked least-loaded
+            placement, small jobs replicated (first answer wins), node
+            death re-dispatches journaled jobs to survivors; prints
+            `ROUTE <addr>` when ready and runs until drained (a drain
+            cascades to every member worker)
+            [--port 0] [--heartbeat-ms 50] [--probe-timeout-ms 250]
+            [--replicate-under-kb 32] [--ledger-cap 256]
+            [--redispatch-max 3] [--dial-timeout-ms 1000]
+            [--idem-cap 1024] [--drain-grace-ms 250] [--stats true]
+  join      register a worker with a router (capability report attached);
+            prints `NODE <id>` — routed handles are `<id>:<handle>`
+            --addr ROUTER --worker HOST:PORT [--threads 2]
+            [--store-mb 256] [--gemm-tier detected]
+  leave     stop a router placing new jobs on a node (drain-then-leave:
+            in-flight work and stored factors keep routing); prints
+            `LEFT <id>`
+            --addr ROUTER --node ID
 TREES: flat | binary | greedy | hier:H | domains:a,b,...
 FAULT PLANS: comma-separated seed=N,drop=P,dup=P,delay=P,delay-steps=N,
              corrupt=P,trunc=P,kill=RANK@SENDS,disconnect=RANK@SENDS
@@ -94,6 +112,9 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "serve" => crate::serve_cmd::serve(args),
         "submit" => crate::serve_cmd::submit(args),
         "drain" => crate::serve_cmd::drain(args),
+        "route" => crate::route_cmd::route(args),
+        "join" => crate::route_cmd::join(args),
+        "leave" => crate::route_cmd::leave(args),
         "help" | "--help" => Ok(usage()),
         other => Err(CliError::usage(format!(
             "unknown command `{other}`\n\n{}",

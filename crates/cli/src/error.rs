@@ -27,6 +27,10 @@ pub const EXIT_CODES: &[(i32, &str)] = &[
         10,
         "client call deadline exceeded (connect/read/write timeout)",
     ),
+    (
+        11,
+        "worker node lost (routed factor unreachable or re-dispatch exhausted)",
+    ),
 ];
 
 /// A CLI failure: what to print and which code to exit with.
@@ -96,6 +100,14 @@ impl From<pulsar_server::ClientError> for CliError {
                 code: ErrCode::Panicked,
                 ..
             } => 5,
+            // A router lost the worker owning a factor (or exhausted its
+            // re-dispatch budget): the client must re-factor elsewhere,
+            // which is neither capacity pushback nor a dead handle on a
+            // live node.
+            ClientError::Job {
+                code: ErrCode::NodeLost,
+                ..
+            } => 11,
             // Wire-level corruption shares the decode/protocol code.
             ClientError::Proto(_) | ClientError::Unexpected(_) => 6,
             ClientError::Timeout => 10,
@@ -278,6 +290,19 @@ mod tests {
         );
         let table: Vec<i32> = EXIT_CODES.iter().map(|(c, _)| *c).collect();
         assert!(table.contains(&9));
+    }
+
+    #[test]
+    fn node_lost_gets_its_own_code() {
+        use pulsar_server::{ClientError, ErrCode};
+        let e = CliError::from(ClientError::Job {
+            job: (3u64 << 48) | 7,
+            code: ErrCode::NodeLost,
+            msg: "node 3 is dead".into(),
+        });
+        assert_eq!(e.code, 11);
+        let table: Vec<i32> = EXIT_CODES.iter().map(|(c, _)| *c).collect();
+        assert!(table.contains(&e.code));
     }
 
     #[test]

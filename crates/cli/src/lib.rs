@@ -10,4 +10,5 @@ pub mod args;
 pub mod commands;
 pub mod dist;
 pub mod error;
+pub mod route_cmd;
 pub mod serve_cmd;

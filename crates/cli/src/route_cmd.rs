@@ -1,0 +1,154 @@
+//! The `route`, `join`, and `leave` subcommands: a sharded multi-node
+//! front end over warm-pool serve daemons.
+//!
+//! Rendezvous follows the `serve` idiom: the router prints
+//! `ROUTE <addr>` on stdout once its socket is bound, `join` prints
+//! `NODE <id>` with the router-assigned node id, and `leave` prints
+//! `LEFT <id>` once placement on that node has stopped.
+
+use crate::args::Args;
+use crate::error::CliError;
+use pulsar_server::router::membership::Caps;
+use pulsar_server::{split_handle, Client, RouteConfig, Router};
+use std::net::TcpListener;
+use std::time::Duration;
+
+/// Parse a handle argument: either a plain id or the routed `node:handle`
+/// form a router prints (`3:17` packs node 3's local handle 17).
+pub fn parse_handle(s: &str) -> Result<u64, String> {
+    if let Some((node, rest)) = s.split_once(':') {
+        let node: u32 = node
+            .parse()
+            .map_err(|_| format!("bad node id in handle `{s}`"))?;
+        let remote: u64 = rest
+            .parse()
+            .map_err(|_| format!("bad local handle in `{s}`"))?;
+        if node == 0 {
+            return Err(format!("node ids start at 1 (got `{s}`)"));
+        }
+        Ok(pulsar_server::routed_handle(node, remote))
+    } else {
+        s.parse().map_err(|_| format!("bad handle `{s}`"))
+    }
+}
+
+/// Render a handle the way clients should quote it back: `node:handle`
+/// when routed, the bare id otherwise.
+pub fn show_handle(handle: u64) -> String {
+    match split_handle(handle) {
+        (0, local) => local.to_string(),
+        (node, remote) => format!("{node}:{remote}"),
+    }
+}
+
+/// `pulsar-qr route`: run the router front end until a client drains it.
+/// Workers are registered afterwards with `pulsar-qr join`.
+pub fn route(args: &Args) -> Result<String, CliError> {
+    args.ensure_known(&[
+        "port",
+        "heartbeat-ms",
+        "probe-timeout-ms",
+        "replicate-under-kb",
+        "ledger-cap",
+        "redispatch-max",
+        "dial-timeout-ms",
+        "idem-cap",
+        "drain-grace-ms",
+        "stats",
+    ])
+    .map_err(CliError::usage)?;
+    let port: u16 = args.opt("port", 0)?;
+    let defaults = RouteConfig::default();
+    let cfg = RouteConfig {
+        heartbeat_ms: args.opt("heartbeat-ms", defaults.heartbeat_ms)?,
+        probe_timeout_ms: args.opt("probe-timeout-ms", defaults.probe_timeout_ms)?,
+        replicate_under: args.opt::<usize>("replicate-under-kb", defaults.replicate_under >> 10)?
+            << 10,
+        ledger_cap: args.opt("ledger-cap", defaults.ledger_cap)?,
+        redispatch_max: args.opt("redispatch-max", defaults.redispatch_max)?,
+        dial_timeout: Duration::from_millis(
+            args.opt("dial-timeout-ms", defaults.dial_timeout.as_millis() as u64)?,
+        ),
+        idem_cap: args.opt("idem-cap", defaults.idem_cap)?,
+        drain_grace: Duration::from_millis(
+            args.opt("drain-grace-ms", defaults.drain_grace.as_millis() as u64)?,
+        ),
+    };
+    if cfg.heartbeat_ms == 0 || cfg.ledger_cap == 0 {
+        return Err(CliError::usage(
+            "--heartbeat-ms and --ledger-cap must be positive",
+        ));
+    }
+    let want_stats: bool = args.opt("stats", false)?;
+
+    let listener = TcpListener::bind(("127.0.0.1", port))
+        .map_err(|e| CliError::from(format!("bind failed: {e}")))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| CliError::from(e.to_string()))?;
+    println!("ROUTE {addr}");
+
+    let router = Router::new(cfg);
+    pulsar_server::route(listener, router.clone())
+        .map_err(|e| CliError::from(format!("route failed: {e}")))?;
+
+    let mut out = String::new();
+    if want_stats {
+        out.push_str(&format!("STATS-JSON {}\n", router.stats_json_standalone()));
+    }
+    out.push_str("drained\n");
+    Ok(out)
+}
+
+/// `pulsar-qr join`: register a worker with a router, attaching the
+/// worker's capability report (pool width, store budget, GEMM tier).
+pub fn join(args: &Args) -> Result<String, CliError> {
+    args.ensure_known(&["addr", "worker", "threads", "store-mb", "gemm-tier"])
+        .map_err(CliError::usage)?;
+    let addr: String = args.req("addr")?;
+    let worker: String = args.req("worker")?;
+    let caps = Caps {
+        threads: args.opt("threads", 2)?,
+        store_bytes: args.opt::<u64>("store-mb", 256)? << 20,
+        gemm_tier: args.opt(
+            "gemm-tier",
+            pulsar_linalg::gemm::GemmTier::detect().name().to_string(),
+        )?,
+    };
+    let mut client = Client::connect(&addr)?;
+    let node_id = client.join(&worker, caps.threads, caps.store_bytes, &caps.gemm_tier)?;
+    Ok(format!(
+        "NODE {node_id}\njoined {worker} as node {node_id}\n"
+    ))
+}
+
+/// `pulsar-qr leave`: drain-then-leave a node — the router stops placing
+/// new jobs there; in-flight work and resident factors keep routing.
+pub fn leave(args: &Args) -> Result<String, CliError> {
+    args.ensure_known(&["addr", "node"])
+        .map_err(CliError::usage)?;
+    let addr: String = args.req("addr")?;
+    let node: u32 = args.req("node")?;
+    let mut client = Client::connect(&addr)?;
+    if !client.leave(node)? {
+        return Err(CliError::from(format!("node {node} is not a member")));
+    }
+    Ok(format!("LEFT {node}\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_render_and_parse_both_forms() {
+        assert_eq!(parse_handle("42").unwrap(), 42);
+        let routed = parse_handle("3:17").unwrap();
+        assert_eq!(split_handle(routed), (3, 17));
+        assert_eq!(show_handle(routed), "3:17");
+        assert_eq!(show_handle(42), "42");
+        assert!(parse_handle("0:5").is_err(), "node ids start at 1");
+        assert!(parse_handle("x:5").is_err());
+        assert!(parse_handle("").is_err());
+    }
+}

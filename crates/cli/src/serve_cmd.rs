@@ -30,6 +30,9 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         "retry-budget",
         "store-mb",
         "store-path",
+        "idem-cap",
+        "drain-grace-ms",
+        "wal-compact-mb",
         "fault-plan",
         "stats",
         "trace-out",
@@ -46,6 +49,9 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         retry_budget: args.opt("retry-budget", 2)?,
         store_bytes: args.opt::<usize>("store-mb", 256)? << 20,
         store_path: args.get("store-path").map(std::path::PathBuf::from),
+        idem_cap: args.opt("idem-cap", 1024)?,
+        drain_grace: Duration::from_millis(args.opt("drain-grace-ms", 250)?),
+        wal_compact_bytes: args.opt::<u64>("wal-compact-mb", 32)? << 20,
         trace: trace_out.is_some(),
     };
     let faults = args
@@ -125,6 +131,7 @@ pub fn submit(args: &Args) -> Result<String, CliError> {
         "handle",
         "rhs",
         "append-rows",
+        "burst",
         "timeout-ms",
         "retry-for-ms",
     ])
@@ -179,11 +186,18 @@ fn submit_factor(args: &Args) -> Result<String, CliError> {
     let cancel: bool = args.opt("cancel", false)?;
     let keep: bool = args.opt("keep", false)?;
     let retry_for_ms: u64 = args.opt("retry-for-ms", 0)?;
+    let burst: usize = args.opt("burst", 1)?;
     if keep && cancel {
         return Err(CliError::usage("--keep and --cancel are exclusive"));
     }
+    if burst > 1 && (keep || cancel) {
+        return Err(CliError::usage("--burst is exclusive with --keep/--cancel"));
+    }
 
     let mut client = connect(args)?;
+    if burst > 1 {
+        return submit_burst(client, &a, &opts, deadline_ms, retry_for_ms, burst, m, n);
+    }
     let job = if retry_for_ms > 0 {
         // Idempotent retries: a dropped ACK or a backpressure reject is
         // retried under one idempotency key until the budget runs out.
@@ -235,14 +249,77 @@ fn submit_factor(args: &Args) -> Result<String, CliError> {
     writeln!(out, "verification OK").unwrap();
     if keep {
         // Rendezvous line for scripts, like `SERVE <addr>`: the job id
-        // doubles as the factor handle while the store keeps it.
-        writeln!(out, "HANDLE {job}").unwrap();
+        // doubles as the factor handle while the store keeps it. A
+        // router mints routed handles, printed `node:handle`.
+        writeln!(out, "HANDLE {}", crate::route_cmd::show_handle(job)).unwrap();
     }
     Ok(out)
 }
 
+/// Pipeline `burst` copies of one job through the daemon: submit all,
+/// then collect and verify every result against the one local oracle.
+/// The `BURST-JOBS-PER-S` line is what `scripts/bench_serve.sh` scrapes
+/// in its multi-node mode.
+#[allow(clippy::too_many_arguments)]
+fn submit_burst(
+    mut client: Client,
+    a: &Matrix,
+    opts: &QrOptions,
+    deadline_ms: u32,
+    retry_for_ms: u64,
+    burst: usize,
+    m: usize,
+    n: usize,
+) -> Result<String, CliError> {
+    let budget = Duration::from_millis(retry_for_ms);
+    let t0 = std::time::Instant::now();
+    let mut jobs = Vec::with_capacity(burst);
+    for _ in 0..burst {
+        let job = if retry_for_ms > 0 {
+            client.submit_retrying(a, opts, deadline_ms, false, budget)?
+        } else {
+            client.submit(a, opts, deadline_ms)?
+        };
+        jobs.push(job);
+    }
+    let oracle = pulsar_core::tile_qr_seq(a, opts);
+    for &job in &jobs {
+        let r = if retry_for_ms > 0 {
+            client.result_retrying(job, budget)?
+        } else {
+            client.result(job)?
+        };
+        let dist = r_factor_distance(&r, &oracle.r);
+        if dist != 0.0 {
+            return Err(CliError::from(format!(
+                "verification FAILED: job {job} R differs from oracle by {dist:.2e}"
+            )));
+        }
+    }
+    let dt = t0.elapsed().as_secs_f64().max(1e-9);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "burst {burst} jobs  {m}x{n}  nb={} ib={}",
+        opts.nb, opts.ib
+    )
+    .unwrap();
+    writeln!(out, "BURST-JOBS-PER-S {:.3}", burst as f64 / dt).unwrap();
+    writeln!(out, "verification OK").unwrap();
+    Ok(out)
+}
+
+/// `--handle` accepts both the bare form a single daemon prints and the
+/// `node:handle` form a router prints.
+fn routed_handle_arg(args: &Args) -> Result<u64, CliError> {
+    let raw = args
+        .get("handle")
+        .ok_or_else(|| CliError::usage("missing required option --handle"))?;
+    crate::route_cmd::parse_handle(raw).map_err(CliError::usage)
+}
+
 fn verb_solve(args: &Args) -> Result<String, CliError> {
-    let handle: u64 = args.req("handle")?;
+    let handle = routed_handle_arg(args)?;
     let k: usize = args.opt("rhs", 1)?;
     let (a, mut rng, m, n) = seeded_problem(args)?;
     let b = Matrix::random(m, k, &mut rng);
@@ -253,7 +330,12 @@ fn verb_solve(args: &Args) -> Result<String, CliError> {
     let oracle = pulsar_linalg::reference::geqrf(a).solve_ls(&b);
     let rel = x.sub(&oracle).norm_fro() / oracle.norm_fro().max(1.0);
     let mut out = String::new();
-    writeln!(out, "solve handle {handle}  {m}x{n}  {k} rhs").unwrap();
+    writeln!(
+        out,
+        "solve handle {}  {m}x{n}  {k} rhs",
+        crate::route_cmd::show_handle(handle)
+    )
+    .unwrap();
     writeln!(out, "solution distance to reference QR: {rel:.2e}").unwrap();
     if rel > 1e-8 {
         return Err(CliError::from(format!(
@@ -265,7 +347,7 @@ fn verb_solve(args: &Args) -> Result<String, CliError> {
 }
 
 fn verb_apply_q(args: &Args) -> Result<String, CliError> {
-    let handle: u64 = args.req("handle")?;
+    let handle = routed_handle_arg(args)?;
     let k: usize = args.opt("rhs", 1)?;
     let (_, mut rng, m, n) = seeded_problem(args)?;
     let b = Matrix::random(m, k, &mut rng);
@@ -278,7 +360,12 @@ fn verb_apply_q(args: &Args) -> Result<String, CliError> {
     let roundtrip = back.sub(&b).norm_fro() / b.norm_fro().max(1.0);
     let norm_drift = (qb.norm_fro() - b.norm_fro()).abs() / b.norm_fro().max(1.0);
     let mut out = String::new();
-    writeln!(out, "apply-q handle {handle}  {m}x{n}  {k} columns").unwrap();
+    writeln!(
+        out,
+        "apply-q handle {}  {m}x{n}  {k} columns",
+        crate::route_cmd::show_handle(handle)
+    )
+    .unwrap();
     writeln!(
         out,
         "round trip ||Q^T Q b - b||/||b|| = {roundtrip:.2e}   norm drift {norm_drift:.2e}"
@@ -294,7 +381,7 @@ fn verb_apply_q(args: &Args) -> Result<String, CliError> {
 }
 
 fn verb_update(args: &Args) -> Result<String, CliError> {
-    let handle: u64 = args.req("handle")?;
+    let handle = routed_handle_arg(args)?;
     let p: usize = args.req("append-rows")?;
     let k: usize = args.opt("rhs", 1)?;
     let (a, mut rng, m, n) = seeded_problem(args)?;
@@ -304,7 +391,12 @@ fn verb_update(args: &Args) -> Result<String, CliError> {
     let rows = client.update(handle, &e)?;
 
     let mut out = String::new();
-    writeln!(out, "update handle {handle}  +{p} rows -> {rows} total").unwrap();
+    writeln!(
+        out,
+        "update handle {}  +{p} rows -> {rows} total",
+        crate::route_cmd::show_handle(handle)
+    )
+    .unwrap();
     if rows != (m + p) as u64 {
         return Err(CliError::from(format!(
             "verification FAILED: expected {} rows after update, server says {rows}\n{out}",

@@ -1,0 +1,244 @@
+//! End-to-end tests of the sharded multi-node service: a real
+//! `pulsar-qr route` front end over real `pulsar-qr serve` worker
+//! processes, elastic membership over the CLI, SIGKILL of a worker
+//! mid-traffic with zero accepted-job loss, and routed handles that keep
+//! serving from survivor nodes.
+
+use pulsar_core::{tile_qr_seq, QrOptions, Tree};
+use pulsar_linalg::verify::r_factor_distance;
+use pulsar_linalg::Matrix;
+use pulsar_server::Client;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Spawn a daemon subcommand (`serve` or `route`) and scrape its
+/// rendezvous line (`SERVE <addr>` / `ROUTE <addr>`).
+fn spawn_daemon(verb: &str, prefix: &str, extra: &[&str]) -> (Child, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_pulsar-qr"));
+    cmd.arg(verb)
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    let mut child = cmd
+        .spawn()
+        .unwrap_or_else(|e| panic!("spawning {verb}: {e}"));
+    let stdout = child.stdout.take().expect("piped stdout");
+    let (addr_tx, addr_rx) = mpsc::channel();
+    let prefix = format!("{prefix} ");
+    std::thread::spawn(move || {
+        let mut lines = BufReader::new(stdout).lines();
+        if let Some(Ok(first)) = lines.next() {
+            let _ = addr_tx.send(first);
+        }
+        // Drain the rest so the pipe never fills.
+        for _ in lines.by_ref() {}
+    });
+    let first = addr_rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("daemon never announced its address");
+    let addr = first
+        .strip_prefix(&prefix)
+        .unwrap_or_else(|| panic!("unexpected rendezvous line {first:?}"))
+        .to_string();
+    (child, addr)
+}
+
+/// Run the CLI binary, returning (status, stdout, stderr).
+fn run_cli(args: &[&str]) -> (std::process::ExitStatus, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_pulsar-qr"))
+        .args(args)
+        .output()
+        .expect("running pulsar-qr");
+    (
+        out.status,
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn json_u64(stats: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\":");
+    let at = stats
+        .find(&pat)
+        .unwrap_or_else(|| panic!("{key} in {stats}"));
+    stats[at + pat.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn three_node_fleet_survives_sigkill_with_zero_accepted_job_loss() {
+    let (router, raddr) = spawn_daemon(
+        "route",
+        "ROUTE",
+        &[
+            "--heartbeat-ms",
+            "20",
+            "--probe-timeout-ms",
+            "60",
+            // Single-dispatch everything: losses must be healed by the
+            // ledger's re-dispatch, not masked by replication.
+            "--replicate-under-kb",
+            "0",
+        ],
+    );
+    // Workers factor slowly (the scheduler sleeps 100 ms per batch), so
+    // accepted jobs are still in flight when the SIGKILL lands.
+    let worker_args = ["--threads", "2", "--fault-plan", "sched-delay-ms=100"];
+    let mut workers: Vec<(u32, Child, String)> = Vec::new();
+    for _ in 0..3 {
+        let (child, waddr) = spawn_daemon("serve", "SERVE", &worker_args);
+        let (status, out, err) = run_cli(&["join", "--addr", &raddr, "--worker", &waddr]);
+        assert!(status.success(), "join failed: {out}\n{err}");
+        let node: u32 = out
+            .lines()
+            .find_map(|l| l.strip_prefix("NODE "))
+            .unwrap_or_else(|| panic!("no NODE line in {out:?}"))
+            .parse()
+            .unwrap();
+        workers.push((node, child, waddr));
+    }
+
+    // Park a factor on some node before the crash; the CLI self-verifies
+    // and prints the routed handle as `node:handle`.
+    let seed_args = [
+        "--addr", &raddr, "--rows", "32", "--cols", "8", "--seed", "17",
+    ];
+    let (status, out, err) = run_cli(
+        &[
+            &["submit"],
+            &seed_args[..],
+            &["--nb", "4", "--keep", "true"],
+        ]
+        .concat(),
+    );
+    assert!(status.success(), "keep submit failed: {out}\n{err}");
+    let handle = out
+        .lines()
+        .find_map(|l| l.strip_prefix("HANDLE "))
+        .unwrap_or_else(|| panic!("no HANDLE line in {out:?}"))
+        .to_string();
+    let keep_node: u32 = handle.split(':').next().unwrap().parse().unwrap();
+    assert!(handle.contains(':'), "router handles are routed: {handle}");
+
+    // Accept a burst of jobs (they linger on the slow workers)...
+    let mut rng = StdRng::seed_from_u64(99);
+    let a = Matrix::random(16, 8, &mut rng);
+    let opts = QrOptions::new(4, 2, Tree::Greedy);
+    let oracle = tile_qr_seq(&a, &opts);
+    let mut client = Client::connect(&raddr).unwrap();
+    let jobs: Vec<u64> = (0..12)
+        .map(|i| {
+            client
+                .submit(&a, &opts, 0)
+                .unwrap_or_else(|e| panic!("submit {i}: {e}"))
+        })
+        .collect();
+
+    // ...then SIGKILL a worker that does NOT own the kept factor, while
+    // roughly a third of the accepted jobs sit on it.
+    let victim = workers
+        .iter_mut()
+        .find(|(node, _, _)| *node != keep_node)
+        .expect("a node other than the keep owner");
+    let victim_node = victim.0;
+    victim.1.kill().expect("SIGKILL the victim worker");
+
+    // Zero accepted-job loss: every ACKed job completes, bit-identical,
+    // re-dispatched to survivors where the victim held it.
+    for (i, job) in jobs.iter().enumerate() {
+        let r = client
+            .result(*job)
+            .unwrap_or_else(|e| panic!("job {i} was accepted but lost: {e}"));
+        assert_eq!(
+            r_factor_distance(&r, &oracle.r),
+            0.0,
+            "job {i}: re-dispatched result must be bit-identical"
+        );
+    }
+
+    // The pre-crash routed handle still serves from its survivor node.
+    let (status, out, err) = run_cli(
+        &[
+            &["submit", "--verb", "solve", "--handle", &handle],
+            &seed_args[..],
+            &["--rhs", "2"],
+        ]
+        .concat(),
+    );
+    assert!(status.success(), "post-crash solve failed: {out}\n{err}");
+    assert!(out.contains("verification OK"), "{out}");
+
+    let (status, stats, err) = run_cli(&["drain", "--addr", &raddr]);
+    assert!(status.success(), "drain failed: {stats}\n{err}");
+    assert_eq!(
+        json_u64(&stats, "jobs_done"),
+        13,
+        "keep + 12 burst: {stats}"
+    );
+    assert_eq!(json_u64(&stats, "node_lost"), 0, "{stats}");
+    assert_eq!(json_u64(&stats, "jobs_failed"), 0, "{stats}");
+    assert!(
+        json_u64(&stats, "redispatched") >= 1,
+        "the victim held in-flight jobs: {stats}"
+    );
+    assert!(
+        stats.contains(&format!("\"node\":{victim_node},"))
+            && stats.contains("\"health\":\"dead\""),
+        "victim reported dead in the rollup: {stats}"
+    );
+
+    assert!(router.wait_with_output().unwrap().status.success());
+    for (node, mut child, _) in workers {
+        let status = child.wait().unwrap();
+        if node == victim_node {
+            assert!(!status.success(), "the victim was SIGKILLed");
+        } else {
+            assert!(status.success(), "survivor {node} drained cleanly");
+        }
+    }
+}
+
+#[test]
+fn burst_and_tuned_serve_flags_work_end_to_end() {
+    // The satellite flags parse and serve still round-trips: a tight
+    // drain grace, a small WAL compaction threshold, and a small idem
+    // window, plus `submit --burst` printing the bench scrape line.
+    let (child, addr) = spawn_daemon(
+        "serve",
+        "SERVE",
+        &[
+            "--threads",
+            "2",
+            "--drain-grace-ms",
+            "50",
+            "--wal-compact-mb",
+            "8",
+            "--idem-cap",
+            "64",
+        ],
+    );
+    let (status, out, err) = run_cli(&[
+        "submit", "--addr", &addr, "--rows", "16", "--cols", "8", "--nb", "4", "--burst", "4",
+    ]);
+    assert!(status.success(), "burst submit failed: {out}\n{err}");
+    assert!(out.contains("BURST-JOBS-PER-S "), "{out}");
+    assert!(out.contains("verification OK"), "{out}");
+
+    let (status, stats, _) = run_cli(&["drain", "--addr", &addr]);
+    assert!(status.success());
+    assert_eq!(json_u64(&stats, "jobs_done"), 4, "{stats}");
+    assert!(
+        stats.contains("\"idem_hits\":") && stats.contains("\"idem_evictions\":"),
+        "idem counters in stats: {stats}"
+    );
+    let mut child = child;
+    assert!(child.wait().unwrap().success());
+}

@@ -213,6 +213,21 @@ impl Client {
         self.submit_inner(a, opts, deadline_ms, true, 0)
     }
 
+    /// Submit under a caller-provided idempotency key (0 = none). The
+    /// router uses this to re-dispatch a ledgered job under its original
+    /// key: a worker that already admitted it answers with the original
+    /// job id instead of factoring twice.
+    pub fn submit_with_idem(
+        &mut self,
+        a: &Matrix,
+        opts: &QrOptions,
+        deadline_ms: u32,
+        keep: bool,
+        idem: u64,
+    ) -> Result<u64, ClientError> {
+        self.submit_inner(a, opts, deadline_ms, keep, idem)
+    }
+
     /// Submit with automatic retries for up to `retry_for` wall time.
     ///
     /// Every attempt carries the same fresh idempotency key, so a retry
@@ -417,6 +432,58 @@ impl Client {
             Msg::Drained { stats } => Ok(stats),
             Msg::Error { job, code, msg } => Err(ClientError::Job { job, code, msg }),
             _ => Err(ClientError::Unexpected("drain")),
+        }
+    }
+
+    /// Register a worker node with a router. `addr` is where the router
+    /// should dial the worker back; the capability report rides along.
+    /// Returns the router-assigned node id.
+    pub fn join(
+        &mut self,
+        addr: &str,
+        threads: u32,
+        store_bytes: u64,
+        gemm_tier: &str,
+    ) -> Result<u32, ClientError> {
+        match self.call(&Msg::Join {
+            addr: addr.to_string(),
+            threads,
+            store_bytes,
+            gemm_tier: gemm_tier.to_string(),
+        })? {
+            Msg::JoinOk { node_id } => Ok(node_id),
+            Msg::Error { job, code, msg } => Err(ClientError::Job { job, code, msg }),
+            _ => Err(ClientError::Unexpected("join")),
+        }
+    }
+
+    /// Stop a router from placing new jobs on node `node_id`. In-flight
+    /// work completes and resident factors keep routing. Returns false
+    /// when the node was not a member.
+    pub fn leave(&mut self, node_id: u32) -> Result<bool, ClientError> {
+        match self.call(&Msg::Leave { node_id })? {
+            Msg::LeaveOk { left, .. } => Ok(left),
+            Msg::Error { job, code, msg } => Err(ClientError::Job { job, code, msg }),
+            _ => Err(ClientError::Unexpected("leave")),
+        }
+    }
+
+    /// Liveness probe; returns the peer's (queued, running) load snapshot.
+    pub fn ping(&mut self) -> Result<(u32, u32), ClientError> {
+        let nonce = fresh_idem();
+        match self.call(&Msg::Ping { nonce })? {
+            Msg::Pong {
+                nonce: echoed,
+                queued,
+                running,
+            } => {
+                if echoed != nonce {
+                    return Err(ClientError::Unexpected("pong with a foreign nonce"));
+                }
+                Ok((queued, running))
+            }
+            Msg::Error { job, code, msg } => Err(ClientError::Job { job, code, msg }),
+            _ => Err(ClientError::Unexpected("ping")),
         }
     }
 }

@@ -31,6 +31,17 @@ pub struct ServeFaultPlan {
     /// Inject a kernel panic into this job id's first VDP firing (the
     /// service quarantines the worker and isolates the batch).
     pub panic_job: Option<u64>,
+    /// Simulated node crash: after this many replies have been processed
+    /// (across all connections) the server severs every connection and
+    /// the accept loop returns an error, skipping the drain grace — what
+    /// a SIGKILL looks like to clients, without killing the process.
+    /// [`Msg::Pong`](crate::proto::Msg::Pong) replies don't advance the
+    /// counter, so a router's continuous health pings never shift the
+    /// crash point: `die=N` always means "after the Nth job reply".
+    pub die: Option<u64>,
+    /// Stall the scheduler this long before every batch, turning the node
+    /// into a fixed-rate server (multi-node throughput comparisons).
+    pub sched_delay_ms: Option<u64>,
 }
 
 impl Default for ServeFaultPlan {
@@ -43,6 +54,8 @@ impl Default for ServeFaultPlan {
             corrupt: 0.0,
             disconnect: 0.0,
             panic_job: None,
+            die: None,
+            sched_delay_ms: None,
         }
     }
 }
@@ -57,8 +70,8 @@ impl ServeFaultPlan {
     /// `seed=7,drop=0.05,delay=0.1,delay-ms=20,corrupt=0.01,panic-job=3`.
     ///
     /// Keys: `seed`, `drop`, `delay`, `delay-ms`, `corrupt`,
-    /// `disconnect`, `panic-job`. Unknown keys and malformed values are
-    /// errors.
+    /// `disconnect`, `panic-job`, `die`, `sched-delay-ms`. Unknown keys
+    /// and malformed values are errors.
     pub fn parse(spec: &str) -> Result<ServeFaultPlan, String> {
         let mut plan = ServeFaultPlan::default();
         for part in spec.split(',').filter(|s| !s.is_empty()) {
@@ -94,6 +107,20 @@ impl ServeFaultPlan {
                         value
                             .parse()
                             .map_err(|_| format!("fault spec: bad panic-job `{value}`"))?,
+                    )
+                }
+                "die" => {
+                    plan.die = Some(
+                        value
+                            .parse()
+                            .map_err(|_| format!("fault spec: bad die `{value}`"))?,
+                    )
+                }
+                "sched-delay-ms" => {
+                    plan.sched_delay_ms = Some(
+                        value
+                            .parse()
+                            .map_err(|_| format!("fault spec: bad sched-delay-ms `{value}`"))?,
                     )
                 }
                 k => return Err(format!("fault spec: unknown key `{k}`")),
@@ -194,6 +221,14 @@ mod tests {
             ServeFaultPlan::parse("panic-job=3").unwrap().panic_job,
             Some(3)
         );
+        assert_eq!(ServeFaultPlan::parse("die=5").unwrap().die, Some(5));
+        assert_eq!(
+            ServeFaultPlan::parse("sched-delay-ms=20")
+                .unwrap()
+                .sched_delay_ms,
+            Some(20)
+        );
+        assert!(ServeFaultPlan::parse("die=nope").is_err());
         assert!(ServeFaultPlan::parse("drop=2.0").is_err());
         assert!(ServeFaultPlan::parse("bogus=1").is_err());
         assert!(ServeFaultPlan::parse("panic-job=nope").is_err());

@@ -26,12 +26,16 @@
 //! - [`fault`] — seeded reply-path fault injection for chaos tests.
 //! - [`client`] — blocking client used by `pulsar-qr submit`/`drain`,
 //!   with per-call deadlines and idempotent retries.
+//! - [`router`] — the `pulsar-route` front end: shards jobs across many
+//!   worker nodes with health-checked placement, a bounded in-flight
+//!   ledger for lossless failover, and elastic join/leave membership.
 
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod fault;
 pub mod proto;
+pub mod router;
 pub mod server;
 pub mod service;
 pub mod store;
@@ -39,6 +43,7 @@ pub mod store;
 pub use client::{fresh_idem, Client, ClientError};
 pub use fault::ServeFaultPlan;
 pub use proto::{decode_msg, encode_msg, ErrCode, JobState, Msg, ProtoError, MAX_SERVICE_BODY};
+pub use router::{route, routed_handle, split_handle, RouteConfig, Router};
 pub use server::{serve, serve_with_faults};
 pub use service::{JobError, ServeConfig, Service, SubmitError};
 pub use store::{FactorHandle, FactorStore, StoreError, StoreStats, WalError};

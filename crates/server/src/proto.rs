@@ -64,6 +64,18 @@ pub mod verb {
     pub const RELEASE: u32 = 19;
     /// Server → client: release outcome.
     pub const RELEASED: u32 = 20;
+    /// Worker → router: register as a member node with a capability report.
+    pub const JOIN: u32 = 21;
+    /// Router → worker: join accepted, node id assigned.
+    pub const JOIN_OK: u32 = 22;
+    /// Worker → router: stop placing jobs on this node.
+    pub const LEAVE: u32 = 23;
+    /// Router → worker: leave outcome.
+    pub const LEAVE_OK: u32 = 24;
+    /// Router → worker: liveness probe.
+    pub const PING: u32 = 25;
+    /// Worker → router: probe reply with current load.
+    pub const PONG: u32 = 26;
 }
 
 /// Lifecycle of a job inside the service, as seen over the wire.
@@ -143,6 +155,9 @@ pub enum ErrCode {
     /// The job's own VDP panicked mid-batch; the worker was quarantined
     /// and respawned. Co-batched jobs are unaffected (re-dispatched).
     Panicked,
+    /// The member node owning this job or factor handle died and the work
+    /// could not be recovered on a survivor (e.g. an unreplicated factor).
+    NodeLost,
 }
 
 impl ErrCode {
@@ -156,6 +171,7 @@ impl ErrCode {
             ErrCode::HandleExpired => 5,
             ErrCode::StoreFull => 6,
             ErrCode::Panicked => 7,
+            ErrCode::NodeLost => 8,
         }
     }
 
@@ -169,6 +185,7 @@ impl ErrCode {
             5 => ErrCode::HandleExpired,
             6 => ErrCode::StoreFull,
             7 => ErrCode::Panicked,
+            8 => ErrCode::NodeLost,
             _ => return Err(ProtoError::Malformed("unknown error code")),
         })
     }
@@ -328,6 +345,50 @@ pub enum Msg {
         /// False when the handle was already gone.
         released: bool,
     },
+    /// Register a worker node with the router, capability report attached.
+    Join {
+        /// Address the router should dial the worker back on.
+        addr: String,
+        /// Worker pool width (scheduler threads).
+        threads: u32,
+        /// Factor store byte budget.
+        store_bytes: u64,
+        /// GEMM kernel tier the node detected (`scalar`/`avx2`/`avx512`).
+        gemm_tier: String,
+    },
+    /// Reply to [`Msg::Join`]: the node is a member.
+    JoinOk {
+        /// Router-assigned node id (also the top 16 bits of routed
+        /// handles owned by this node).
+        node_id: u32,
+    },
+    /// Stop placing new jobs on a node; in-flight work completes and
+    /// resident factors keep routing until the node actually goes away.
+    Leave {
+        /// Node id from [`Msg::JoinOk`].
+        node_id: u32,
+    },
+    /// Reply to [`Msg::Leave`].
+    LeaveOk {
+        /// Node id.
+        node_id: u32,
+        /// False when the node was not a member.
+        left: bool,
+    },
+    /// Liveness probe from the router's health prober.
+    Ping {
+        /// Echo nonce.
+        nonce: u64,
+    },
+    /// Reply to [`Msg::Ping`] with a load snapshot for placement.
+    Pong {
+        /// Echoed nonce.
+        nonce: u64,
+        /// Jobs waiting in the admission queue.
+        queued: u32,
+        /// Jobs currently running in the pool.
+        running: u32,
+    },
 }
 
 impl Msg {
@@ -354,6 +415,12 @@ impl Msg {
             Msg::Updated { .. } => verb::UPDATED,
             Msg::Release { .. } => verb::RELEASE,
             Msg::Released { .. } => verb::RELEASED,
+            Msg::Join { .. } => verb::JOIN,
+            Msg::JoinOk { .. } => verb::JOIN_OK,
+            Msg::Leave { .. } => verb::LEAVE,
+            Msg::LeaveOk { .. } => verb::LEAVE_OK,
+            Msg::Ping { .. } => verb::PING,
+            Msg::Pong { .. } => verb::PONG,
         }
     }
 }
@@ -527,6 +594,33 @@ pub fn encode_msg(msg: &Msg, seq: u64) -> Vec<u8> {
         Msg::Released { handle, released } => {
             put_u64(&mut payload, *handle);
             payload.push(u8::from(*released));
+        }
+        Msg::Join {
+            addr,
+            threads,
+            store_bytes,
+            gemm_tier,
+        } => {
+            put_str(&mut payload, addr);
+            put_u32(&mut payload, *threads);
+            put_u64(&mut payload, *store_bytes);
+            put_str(&mut payload, gemm_tier);
+        }
+        Msg::JoinOk { node_id } => put_u32(&mut payload, *node_id),
+        Msg::Leave { node_id } => put_u32(&mut payload, *node_id),
+        Msg::LeaveOk { node_id, left } => {
+            put_u32(&mut payload, *node_id);
+            payload.push(u8::from(*left));
+        }
+        Msg::Ping { nonce } => put_u64(&mut payload, *nonce),
+        Msg::Pong {
+            nonce,
+            queued,
+            running,
+        } => {
+            put_u64(&mut payload, *nonce);
+            put_u32(&mut payload, *queued);
+            put_u32(&mut payload, *running);
         }
     }
     let verb = msg.verb();
@@ -705,6 +799,24 @@ pub fn decode_body(header: &FrameHeader, body: &[u8]) -> Result<(Msg, u64), Prot
             handle: c.u64()?,
             released: c.u8()? != 0,
         },
+        verb::JOIN => Msg::Join {
+            addr: c.string()?,
+            threads: c.u32()?,
+            store_bytes: c.u64()?,
+            gemm_tier: c.string()?,
+        },
+        verb::JOIN_OK => Msg::JoinOk { node_id: c.u32()? },
+        verb::LEAVE => Msg::Leave { node_id: c.u32()? },
+        verb::LEAVE_OK => Msg::LeaveOk {
+            node_id: c.u32()?,
+            left: c.u8()? != 0,
+        },
+        verb::PING => Msg::Ping { nonce: c.u64()? },
+        verb::PONG => Msg::Pong {
+            nonce: c.u64()?,
+            queued: c.u32()?,
+            running: c.u32()?,
+        },
         other => return Err(ProtoError::UnknownVerb(other)),
     };
     c.finish()?;
@@ -837,6 +949,29 @@ mod tests {
             Msg::Released {
                 handle: 7,
                 released: true,
+            },
+            Msg::Error {
+                job: (3 << 48) | 7,
+                code: ErrCode::NodeLost,
+                msg: "node 3 lost".into(),
+            },
+            Msg::Join {
+                addr: "127.0.0.1:9101".into(),
+                threads: 4,
+                store_bytes: 64 << 20,
+                gemm_tier: "avx2".into(),
+            },
+            Msg::JoinOk { node_id: 3 },
+            Msg::Leave { node_id: 3 },
+            Msg::LeaveOk {
+                node_id: 3,
+                left: true,
+            },
+            Msg::Ping { nonce: 0xfeed },
+            Msg::Pong {
+                nonce: 0xfeed,
+                queued: 5,
+                running: 2,
             },
         ];
         for (i, m) in msgs.into_iter().enumerate() {

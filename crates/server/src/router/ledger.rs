@@ -1,0 +1,228 @@
+//! The in-flight ledger: every accepted job journaled until its outcome
+//! is posted, so a node death mid-job can be answered with a re-dispatch
+//! instead of a lost result.
+//!
+//! The ledger is bounded: admission past `cap` in-flight entries is
+//! refused (typed backpressure at the router front end), and resolved
+//! entries are kept in a FIFO window only long enough for result
+//! long-polls to collect them.
+
+use crate::proto::ErrCode;
+use pulsar_core::QrOptions;
+use pulsar_linalg::Matrix;
+use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
+
+/// How many resolved entries are retained for late result polls, per
+/// unit of ledger capacity.
+const RESOLVED_PER_CAP: usize = 4;
+
+/// A job's outcome as the router reports it: the R factor, or a typed
+/// error code plus detail.
+pub type Outcome = Result<Matrix, (ErrCode, String)>;
+
+/// One dispatch of a ledgered job to a node.
+#[derive(Clone, Debug)]
+pub struct Assignment {
+    /// Target node.
+    pub node: u32,
+    /// The job id the node assigned (0 until its submit was ACKed).
+    pub remote_job: u64,
+    /// The dispatch was written off: its node died, its connection
+    /// severed, or a replica answered first.
+    pub abandoned: bool,
+}
+
+/// A journaled job.
+pub struct Entry {
+    /// The matrix, held for re-dispatch; dropped once resolved.
+    pub a: Option<Matrix>,
+    /// Tile sizes and tree spec.
+    pub opts: QrOptions,
+    /// The client's queue deadline (0 = none), measured from `admitted`.
+    pub deadline_ms: u32,
+    /// Keep job: its routed handle pins a factor to one node.
+    pub keep: bool,
+    /// Idempotency key minted at admission and reused verbatim on every
+    /// dispatch and re-dispatch, so a worker that already admitted the
+    /// job answers with the original id instead of factoring twice.
+    pub idem: u64,
+    /// Router admission time — the zero point for deadlines and the
+    /// latency percentiles (router-admission-to-outcome, not per-node
+    /// service time).
+    pub admitted: Instant,
+    /// Every dispatch, live and abandoned.
+    pub assignments: Vec<Assignment>,
+    /// Terminal result; `Some` moves the entry to the resolved window.
+    pub outcome: Option<Outcome>,
+    /// Times this entry was re-dispatched after losing a node.
+    pub redispatches: u32,
+}
+
+impl Entry {
+    /// Nodes with a live (not abandoned) dispatch of this entry.
+    pub fn live_nodes(&self) -> Vec<u32> {
+        self.assignments
+            .iter()
+            .filter(|a| !a.abandoned)
+            .map(|a| a.node)
+            .collect()
+    }
+
+    /// True when `node` holds a live dispatch of this entry.
+    pub fn live_on(&self, node: u32) -> bool {
+        self.assignments
+            .iter()
+            .any(|a| !a.abandoned && a.node == node)
+    }
+}
+
+/// The bounded in-flight journal.
+pub struct Ledger {
+    cap: usize,
+    entries: HashMap<u64, Entry>,
+    /// Resolution order of resolved entries, oldest first (eviction FIFO).
+    resolved: VecDeque<u64>,
+    inflight: usize,
+}
+
+impl Ledger {
+    /// A ledger admitting at most `cap` unresolved entries.
+    pub fn new(cap: usize) -> Self {
+        Ledger {
+            cap: cap.max(1),
+            entries: HashMap::new(),
+            resolved: VecDeque::new(),
+            inflight: 0,
+        }
+    }
+
+    /// Unresolved entries currently journaled.
+    pub fn inflight(&self) -> usize {
+        self.inflight
+    }
+
+    /// The admission bound.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Journal a new entry under `id`. `false` means the in-flight bound
+    /// is hit — refuse admission with backpressure, never queue unbounded.
+    #[must_use]
+    pub fn admit(&mut self, id: u64, entry: Entry) -> bool {
+        if self.inflight >= self.cap {
+            return false;
+        }
+        debug_assert!(entry.outcome.is_none());
+        let old = self.entries.insert(id, entry);
+        debug_assert!(old.is_none(), "ledger ids are never reused");
+        self.inflight += 1;
+        true
+    }
+
+    /// Look up an entry (in-flight or resolved-and-retained).
+    pub fn get(&self, id: u64) -> Option<&Entry> {
+        self.entries.get(&id)
+    }
+
+    /// Look up an entry mutably.
+    pub fn get_mut(&mut self, id: u64) -> Option<&mut Entry> {
+        self.entries.get_mut(&id)
+    }
+
+    /// Post `id`'s terminal outcome. Returns false when the entry is
+    /// unknown or already resolved (a replica answered first — the
+    /// duplicate is dropped, outcomes are exactly-once). The resolved
+    /// window is trimmed FIFO.
+    pub fn resolve(&mut self, id: u64, outcome: Outcome) -> bool {
+        match self.entries.get_mut(&id) {
+            Some(e) if e.outcome.is_none() => {
+                e.outcome = Some(outcome);
+                e.a = None; // no more re-dispatches; free the payload
+                self.inflight -= 1;
+                self.resolved.push_back(id);
+                while self.resolved.len() > self.cap * RESOLVED_PER_CAP {
+                    if let Some(old) = self.resolved.pop_front() {
+                        self.entries.remove(&old);
+                    }
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Ids of unresolved entries with a live dispatch on `node` — the
+    /// work to re-home when that node dies.
+    pub fn stranded_on(&self, node: u32) -> Vec<u64> {
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.outcome.is_none() && e.live_on(node))
+            .map(|(&id, _)| id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pulsar_core::Tree;
+
+    fn entry() -> Entry {
+        Entry {
+            a: Some(Matrix::zeros(4, 4)),
+            opts: QrOptions::new(4, 2, Tree::Flat),
+            deadline_ms: 0,
+            keep: false,
+            idem: 7,
+            admitted: Instant::now(),
+            assignments: vec![Assignment {
+                node: 1,
+                remote_job: 0,
+                abandoned: false,
+            }],
+            outcome: None,
+            redispatches: 0,
+        }
+    }
+
+    #[test]
+    fn admission_is_bounded_and_outcomes_are_exactly_once() {
+        let mut l = Ledger::new(2);
+        assert!(l.admit(1, entry()));
+        assert!(l.admit(2, entry()));
+        assert!(!l.admit(3, entry()), "cap hit");
+        assert!(l.resolve(1, Ok(Matrix::zeros(2, 2))));
+        assert!(
+            !l.resolve(1, Err((ErrCode::Failed, "late replica".into()))),
+            "second outcome dropped"
+        );
+        assert!(l.admit(3, entry()), "resolution frees a slot");
+        assert!(l.get(1).unwrap().a.is_none(), "payload freed at resolve");
+        assert!(matches!(l.get(1).unwrap().outcome, Some(Ok(_))));
+    }
+
+    #[test]
+    fn resolved_window_is_fifo_bounded() {
+        let mut l = Ledger::new(1);
+        for id in 0..20 {
+            assert!(l.admit(id, entry()));
+            l.resolve(id, Ok(Matrix::zeros(1, 1)));
+        }
+        assert!(l.get(19).is_some(), "fresh outcomes retained");
+        assert!(l.get(0).is_none(), "oldest resolved entries evicted");
+    }
+
+    #[test]
+    fn stranded_entries_are_found_by_live_node() {
+        let mut l = Ledger::new(8);
+        assert!(l.admit(1, entry()));
+        let mut two = entry();
+        two.assignments[0].node = 2;
+        assert!(l.admit(2, two));
+        assert_eq!(l.stranded_on(1), vec![1]);
+        l.get_mut(1).unwrap().assignments[0].abandoned = true;
+        assert!(l.stranded_on(1).is_empty(), "abandoned dispatches ignored");
+    }
+}

@@ -1,0 +1,308 @@
+//! The router's membership table: which worker nodes exist, what they
+//! can do, and how alive they look.
+//!
+//! Health is driven by the prober's beats with hysteresis: one missed
+//! beat never flaps a node. A node degrades healthy → suspect after
+//! [`SUSPECT_AFTER`] consecutive misses and suspect → dead after
+//! [`DEAD_AFTER`]; any good beat snaps it straight back to healthy.
+//! Suspect nodes stop attracting *new* placements but their in-flight
+//! work is left to finish; only the dead transition triggers re-dispatch.
+
+use std::collections::HashMap;
+
+/// Consecutive missed beats before a healthy node turns suspect.
+pub const SUSPECT_AFTER: u32 = 2;
+/// Consecutive missed beats before a suspect node is declared dead.
+pub const DEAD_AFTER: u32 = 4;
+
+/// Capability report a node attaches to its join.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Caps {
+    /// Worker pool width (scheduler threads).
+    pub threads: u32,
+    /// Factor store byte budget.
+    pub store_bytes: u64,
+    /// GEMM kernel tier the node detected.
+    pub gemm_tier: String,
+}
+
+/// Liveness as the prober sees it.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Health {
+    /// Answering probes.
+    Healthy,
+    /// Missed a couple of beats; no new placements, not yet written off.
+    Suspect,
+    /// Missed enough beats (or severed a connection mid-job) that its
+    /// in-flight work has been re-dispatched.
+    Dead,
+}
+
+impl Health {
+    /// Lowercase name for stats JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Health::Healthy => "healthy",
+            Health::Suspect => "suspect",
+            Health::Dead => "dead",
+        }
+    }
+}
+
+/// One member node.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Router-assigned id; also the tag in routed handles.
+    pub id: u32,
+    /// Address the router dials for dispatch and probes.
+    pub addr: String,
+    /// Capability report from the join.
+    pub caps: Caps,
+    /// Current liveness.
+    pub health: Health,
+    /// Consecutive missed beats.
+    pub misses: u32,
+    /// False once the node asked to leave: placement stops, in-flight
+    /// work and resident factors keep routing.
+    pub accepting: bool,
+    /// Jobs the router currently has assigned here (its own view).
+    pub inflight: u32,
+    /// Total jobs ever placed here (placement tie-break and stats).
+    pub placed: u64,
+    /// Last reported admission-queue depth.
+    pub queued: u32,
+    /// Last reported pool occupancy.
+    pub running: u32,
+}
+
+impl Node {
+    /// The load score placement sorts by: the router's own in-flight
+    /// count plus the node's last self-reported queue and pool load.
+    pub fn load_score(&self) -> u64 {
+        u64::from(self.inflight) + u64::from(self.queued) + u64::from(self.running)
+    }
+}
+
+/// The membership table. Not internally synchronized — the router owns
+/// one behind its state mutex.
+#[derive(Default)]
+pub struct Membership {
+    nodes: HashMap<u32, Node>,
+    next_id: u32,
+}
+
+impl Membership {
+    /// An empty table.
+    pub fn new() -> Self {
+        Membership {
+            nodes: HashMap::new(),
+            next_id: 1,
+        }
+    }
+
+    /// Register a node (idempotent by address: a worker re-joining after
+    /// a restart gets a fresh id only if its old entry is dead, otherwise
+    /// the existing registration is refreshed in place).
+    pub fn join(&mut self, addr: &str, caps: Caps) -> u32 {
+        if let Some(n) = self
+            .nodes
+            .values_mut()
+            .find(|n| n.addr == addr && n.health != Health::Dead)
+        {
+            n.caps = caps;
+            n.health = Health::Healthy;
+            n.misses = 0;
+            n.accepting = true;
+            return n.id;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.nodes.insert(
+            id,
+            Node {
+                id,
+                addr: addr.to_string(),
+                caps,
+                health: Health::Healthy,
+                misses: 0,
+                accepting: true,
+                inflight: 0,
+                placed: 0,
+                queued: 0,
+                running: 0,
+            },
+        );
+        id
+    }
+
+    /// Stop placing new jobs on `id`. Returns false for unknown nodes.
+    pub fn leave(&mut self, id: u32) -> bool {
+        match self.nodes.get_mut(&id) {
+            Some(n) => {
+                n.accepting = false;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Look up a node.
+    pub fn get(&self, id: u32) -> Option<&Node> {
+        self.nodes.get(&id)
+    }
+
+    /// Look up a node mutably.
+    pub fn get_mut(&mut self, id: u32) -> Option<&mut Node> {
+        self.nodes.get_mut(&id)
+    }
+
+    /// All nodes, in id order (stable stats output).
+    pub fn all(&self) -> Vec<&Node> {
+        let mut v: Vec<&Node> = self.nodes.values().collect();
+        v.sort_by_key(|n| n.id);
+        v
+    }
+
+    /// Ids of every node the prober should watch (not yet dead).
+    pub fn probe_targets(&self) -> Vec<(u32, String)> {
+        let mut v: Vec<(u32, String)> = self
+            .nodes
+            .values()
+            .filter(|n| n.health != Health::Dead)
+            .map(|n| (n.id, n.addr.clone()))
+            .collect();
+        v.sort_by_key(|&(id, _)| id);
+        v
+    }
+
+    /// Nodes eligible for new placements: accepting and healthy. When no
+    /// healthy node exists, suspects are better than refusing outright.
+    pub fn placeable(&self) -> Vec<&Node> {
+        let mut v: Vec<&Node> = self
+            .nodes
+            .values()
+            .filter(|n| n.accepting && n.health == Health::Healthy)
+            .collect();
+        if v.is_empty() {
+            v = self
+                .nodes
+                .values()
+                .filter(|n| n.accepting && n.health == Health::Suspect)
+                .collect();
+        }
+        v.sort_by_key(|n| (n.load_score(), n.placed, n.id));
+        v
+    }
+
+    /// A good beat: load refreshed, health snaps back to healthy.
+    pub fn record_beat(&mut self, id: u32, queued: u32, running: u32) {
+        if let Some(n) = self.nodes.get_mut(&id) {
+            if n.health == Health::Dead {
+                return; // dead stays dead; a revived worker must re-join
+            }
+            n.misses = 0;
+            n.health = Health::Healthy;
+            n.queued = queued;
+            n.running = running;
+        }
+    }
+
+    /// A missed beat. Returns the health after applying hysteresis, and
+    /// whether this very miss was the dead transition (the caller then
+    /// re-dispatches the node's in-flight work exactly once).
+    pub fn record_miss(&mut self, id: u32) -> (Health, bool) {
+        let Some(n) = self.nodes.get_mut(&id) else {
+            return (Health::Dead, false);
+        };
+        if n.health == Health::Dead {
+            return (Health::Dead, false);
+        }
+        n.misses += 1;
+        let was = n.health;
+        n.health = if n.misses >= DEAD_AFTER {
+            Health::Dead
+        } else if n.misses >= SUSPECT_AFTER {
+            Health::Suspect
+        } else {
+            n.health
+        };
+        (n.health, n.health == Health::Dead && was != Health::Dead)
+    }
+
+    /// Declare a node dead outright (a severed connection mid-dispatch is
+    /// stronger evidence than a missed probe). Returns true when this
+    /// call made the transition.
+    pub fn mark_dead(&mut self, id: u32) -> bool {
+        match self.nodes.get_mut(&id) {
+            Some(n) if n.health != Health::Dead => {
+                n.health = Health::Dead;
+                n.misses = n.misses.max(DEAD_AFTER);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn caps() -> Caps {
+        Caps {
+            threads: 2,
+            store_bytes: 64 << 20,
+            gemm_tier: "scalar".into(),
+        }
+    }
+
+    #[test]
+    fn join_is_idempotent_by_address() {
+        let mut m = Membership::new();
+        let a = m.join("127.0.0.1:9001", caps());
+        let b = m.join("127.0.0.1:9002", caps());
+        assert_ne!(a, b);
+        assert_eq!(m.join("127.0.0.1:9001", caps()), a, "re-join keeps the id");
+        // A dead node's address can be re-registered under a fresh id.
+        m.mark_dead(a);
+        let c = m.join("127.0.0.1:9001", caps());
+        assert_ne!(c, a);
+    }
+
+    #[test]
+    fn hysteresis_needs_consecutive_misses() {
+        let mut m = Membership::new();
+        let id = m.join("n", caps());
+        // One miss does not flap.
+        assert_eq!(m.record_miss(id).0, Health::Healthy);
+        m.record_beat(id, 0, 0);
+        assert_eq!(m.get(id).unwrap().misses, 0);
+        // Two consecutive misses: suspect. Four: dead, flagged once.
+        assert_eq!(m.record_miss(id).0, Health::Healthy);
+        assert_eq!(m.record_miss(id).0, Health::Suspect);
+        assert_eq!(m.record_miss(id), (Health::Suspect, false));
+        assert_eq!(m.record_miss(id), (Health::Dead, true));
+        assert_eq!(m.record_miss(id), (Health::Dead, false), "dead only once");
+        // A beat cannot resurrect the dead.
+        m.record_beat(id, 0, 0);
+        assert_eq!(m.get(id).unwrap().health, Health::Dead);
+    }
+
+    #[test]
+    fn placement_prefers_least_loaded_accepting_nodes() {
+        let mut m = Membership::new();
+        let a = m.join("a", caps());
+        let b = m.join("b", caps());
+        let c = m.join("c", caps());
+        m.get_mut(a).unwrap().inflight = 5;
+        m.get_mut(c).unwrap().queued = 9;
+        assert_eq!(m.placeable()[0].id, b);
+        m.leave(b);
+        assert_eq!(m.placeable()[0].id, a, "left nodes attract nothing");
+        // Suspects only when no healthy candidate remains.
+        m.get_mut(a).unwrap().health = Health::Suspect;
+        m.get_mut(c).unwrap().health = Health::Suspect;
+        let ids: Vec<u32> = m.placeable().iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![a, c]);
+    }
+}

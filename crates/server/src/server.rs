@@ -8,7 +8,7 @@ use parking_lot::Mutex;
 use pulsar_core::{QrOptions, Tree};
 use std::io::{ErrorKind, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -27,6 +27,15 @@ impl JobError {
     }
 }
 
+/// Shared trigger for the `die=N` chaos directive: one reply counter
+/// across every connection, firing exactly once.
+struct DieSwitch {
+    after: u64,
+    replies: AtomicU64,
+    fired: AtomicBool,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+}
+
 /// Typed error reply for a handle-verb failure.
 fn handle_err(handle: u64, e: &JobError) -> Msg {
     Msg::Error {
@@ -35,10 +44,6 @@ fn handle_err(handle: u64, e: &JobError) -> Msg {
         msg: e.to_string(),
     }
 }
-
-/// How long the drain path waits for clients to collect already-delivered
-/// outcomes before it closes the read half of every connection.
-const DRAIN_GRACE: Duration = Duration::from_millis(250);
 
 /// Serve `service` on `listener` until a client sends [`Msg::Drain`].
 ///
@@ -65,9 +70,20 @@ pub fn serve_with_faults(
     if let Some(job) = faults.as_ref().and_then(|f| f.panic_job) {
         service.inject_panic_job(job);
     }
+    if let Some(ms) = faults.as_ref().and_then(|f| f.sched_delay_ms) {
+        service.inject_sched_delay(Duration::from_millis(ms));
+    }
     let local = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
-    let conns: Mutex<Vec<TcpStream>> = Mutex::new(Vec::new());
+    let conns: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+    let die = faults.as_ref().and_then(|f| f.die).map(|after| {
+        Arc::new(DieSwitch {
+            after,
+            replies: AtomicU64::new(0),
+            fired: AtomicBool::new(false),
+            conns: conns.clone(),
+        })
+    });
     let mut handlers = Vec::new();
     let mut conn_index = 0u64;
     loop {
@@ -83,13 +99,27 @@ pub fn serve_with_faults(
         let service = service.clone();
         let shutdown = shutdown.clone();
         let conn_faults = faults.as_ref().map(|p| ConnFaults::new(p, conn_index));
+        let die = die.clone();
         conn_index += 1;
         handlers.push(
             std::thread::Builder::new()
                 .name("qr-conn".into())
-                .spawn(move || handle_conn(stream, &service, &shutdown, local, conn_faults))
+                .spawn(move || handle_conn(stream, &service, &shutdown, local, conn_faults, die))
                 .expect("failed to spawn connection handler"),
         );
+    }
+    // A fired die directive is a crash, not a drain: connections are
+    // already severed, so skip the grace window and surface an error.
+    if die
+        .as_ref()
+        .is_some_and(|d| d.fired.load(Ordering::Acquire))
+    {
+        for h in handlers {
+            let _ = h.join();
+        }
+        return Err(std::io::Error::other(
+            "chaos: die directive severed the node",
+        ));
     }
     // Drained: every queued job has resolved, but a result delivered to
     // the service moments ago may not have been *collected* yet — a
@@ -100,7 +130,8 @@ pub fn serve_with_faults(
     // handlers blocked in a read see EOF and return, while in-flight
     // replies still flush.
     let grace = Instant::now();
-    while service.unclaimed_outcomes() > 0 && grace.elapsed() < DRAIN_GRACE {
+    let drain_grace = service.config().drain_grace;
+    while service.unclaimed_outcomes() > 0 && grace.elapsed() < drain_grace {
         std::thread::sleep(Duration::from_millis(5));
     }
     for conn in conns.lock().drain(..) {
@@ -118,6 +149,7 @@ fn handle_conn(
     shutdown: &AtomicBool,
     local: SocketAddr,
     mut faults: Option<ConnFaults>,
+    die: Option<Arc<DieSwitch>>,
 ) {
     loop {
         let (msg, seq) = match proto::read_msg(&mut stream) {
@@ -157,6 +189,24 @@ fn handle_conn(
                 false
             }
         };
+        // Probe replies don't advance the die counter: a router's prober
+        // pings continuously, and `die=N` must mean "after N *job*
+        // replies", deterministic regardless of heartbeat cadence.
+        let counts_toward_die = !matches!(reply, Msg::Pong { .. });
+        if let Some(d) = die.as_ref().filter(|_| counts_toward_die) {
+            // The crash lands *after* this reply went out: the client saw
+            // the ACK, then the node vanished mid-conversation.
+            if d.replies.fetch_add(1, Ordering::AcqRel) + 1 >= d.after
+                && !d.fired.swap(true, Ordering::AcqRel)
+            {
+                shutdown.store(true, Ordering::Release);
+                for conn in d.conns.lock().drain(..) {
+                    let _ = conn.shutdown(Shutdown::Both);
+                }
+                let _ = TcpStream::connect_timeout(&local, Duration::from_secs(5));
+                return;
+            }
+        }
         if draining {
             // The drained reply is out (or chaos ate it — the drain still
             // happened); wake the acceptor so `serve` returns. The
@@ -269,6 +319,16 @@ fn dispatch(service: &Service, msg: Msg) -> Msg {
             handle,
             released: service.release(handle),
         },
+        // Liveness probe from a router's health prober: answer with the
+        // queue/pool load snapshot placement feeds on.
+        Msg::Ping { nonce } => {
+            let (queued, running) = service.load();
+            Msg::Pong {
+                nonce,
+                queued,
+                running,
+            }
+        }
         // A client sending reply verbs is confused; tell it so.
         other => Msg::Error {
             job: 0,

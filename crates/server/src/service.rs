@@ -25,10 +25,6 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// How many idempotency keys the service remembers (FIFO): enough to
-/// cover any realistic retry window without unbounded growth.
-const IDEM_CAP: usize = 1024;
-
 /// Tuning knobs of a [`Service`].
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
@@ -58,6 +54,16 @@ pub struct ServeConfig {
     /// append-only WAL). `None` keeps the store purely in memory; kept
     /// handles then die with the process.
     pub store_path: Option<PathBuf>,
+    /// How many idempotency keys the service remembers (FIFO). Enough to
+    /// cover any realistic retry window without unbounded growth; a
+    /// router fronting many clients may want this larger.
+    pub idem_cap: usize,
+    /// How long the TCP front end keeps read halves open after a drain
+    /// for unclaimed outcomes before closing anyway.
+    pub drain_grace: Duration,
+    /// WAL size past which the durable factor store folds the log into a
+    /// fresh snapshot.
+    pub wal_compact_bytes: u64,
 }
 
 impl Default for ServeConfig {
@@ -72,6 +78,9 @@ impl Default for ServeConfig {
             trace: false,
             retry_budget: 2,
             store_path: None,
+            idem_cap: 1024,
+            drain_grace: Duration::from_millis(250),
+            wal_compact_bytes: 32 << 20,
         }
     }
 }
@@ -210,6 +219,10 @@ struct Counters {
     panicked: u64,
     /// Innocent jobs re-queued after a poisoned batch.
     redispatched: u64,
+    /// Retried submits answered from the idempotency map (no re-admission).
+    idem_hits: u64,
+    /// Idempotency keys dropped by the FIFO capacity bound.
+    idem_evictions: u64,
 }
 
 struct State {
@@ -235,6 +248,9 @@ struct State {
     /// Chaos directive: panic the factor VDP of this job's next batch
     /// (consumed one-shot, so a re-dispatch runs clean).
     chaos_panic_job: Option<u64>,
+    /// Chaos directive: stall the scheduler this long before every batch,
+    /// modelling a fixed service rate (multi-node bench and tests).
+    chaos_sched_delay: Option<Duration>,
 }
 
 /// A running QR service. Cheap to share behind an [`Arc`]; every method
@@ -276,10 +292,11 @@ impl Service {
         assert!(cfg.threads > 0, "service needs at least one pool thread");
         assert!(cfg.queue_cap > 0, "queue capacity must be positive");
         assert!(cfg.batch_max > 0, "batch size must be positive");
-        let (store, max_handle) = match &cfg.store_path {
+        let (mut store, max_handle) = match &cfg.store_path {
             Some(dir) => FactorStore::recover(cfg.store_bytes, dir)?,
             None => (FactorStore::new(cfg.store_bytes), 0),
         };
+        store.set_wal_compact_bytes(cfg.wal_compact_bytes);
         let svc = Arc::new(Service {
             cfg: cfg.clone(),
             started: Instant::now(),
@@ -300,6 +317,7 @@ impl Service {
                 idem: HashMap::new(),
                 idem_order: VecDeque::new(),
                 chaos_panic_job: None,
+                chaos_sched_delay: None,
             }),
             store: Mutex::new(store),
             pool: VsaPool::new(cfg.threads),
@@ -374,6 +392,7 @@ impl Service {
         // job already exists, so not even draining turns the retry away.
         if idem != 0 {
             if let Some(&id) = st.idem.get(&idem) {
+                st.counters.idem_hits += 1;
                 return Ok(id);
             }
         }
@@ -397,9 +416,10 @@ impl Service {
         let id = st.next_id;
         st.next_id += 1;
         if idem != 0 {
-            if st.idem_order.len() >= IDEM_CAP {
+            if st.idem_order.len() >= self.cfg.idem_cap.max(1) {
                 if let Some(old) = st.idem_order.pop_front() {
                     st.idem.remove(&old);
+                    st.counters.idem_evictions += 1;
                 }
             }
             st.idem.insert(idem, id);
@@ -505,6 +525,20 @@ impl Service {
     /// outcome and the innocent jobs' recovery.
     pub fn inject_panic_job(&self, id: u64) {
         self.state.lock().chaos_panic_job = Some(id);
+    }
+
+    /// Chaos hook: stall the scheduler `delay` before every batch. Models
+    /// a fixed per-batch service rate, which makes multi-node throughput
+    /// comparisons meaningful on any host regardless of core count.
+    pub fn inject_sched_delay(&self, delay: Duration) {
+        self.state.lock().chaos_sched_delay = Some(delay);
+    }
+
+    /// Load snapshot for placement and liveness probes: jobs waiting in
+    /// the admission queue and jobs currently inside the pool.
+    pub fn load(&self) -> (u32, u32) {
+        let st = self.state.lock();
+        (st.queue.len() as u32, st.running as u32)
     }
 
     /// Worker threads quarantined and respawned by the pool.
@@ -650,6 +684,7 @@ impl Service {
              \"jobs_per_s\":{:.3},\"queue_depth\":{},\"queue_peak\":{},\
              \"running\":{},\"pool_utilization\":{:.4},\"uptime_s\":{:.3},\
              \"solves\":{},\"applies\":{},\"updates\":{},\"update_rows\":{},\
+             \"idem_hits\":{},\"idem_evictions\":{},\
              \"store\":{}}}",
             c.done,
             c.failed,
@@ -673,6 +708,8 @@ impl Service {
             c.applies,
             c.updates,
             c.update_rows,
+            c.idem_hits,
+            c.idem_evictions,
             store_json,
         )
     }
@@ -684,6 +721,12 @@ impl Service {
             let Some(batch) = self.next_batch() else {
                 return; // drained
             };
+            // Chaos: a fixed pre-batch stall turns the node into a
+            // constant-rate server, independent of host core count.
+            let stall = self.state.lock().chaos_sched_delay;
+            if let Some(d) = stall {
+                std::thread::sleep(d);
+            }
             let t0 = Instant::now();
             let offset_us = (t0 - self.started).as_secs_f64() * 1e6;
             let jobs: Vec<(&Matrix, &QrOptions)> = batch.iter().map(|(_, a, o)| (a, o)).collect();

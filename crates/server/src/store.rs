@@ -141,6 +141,8 @@ pub struct FactorStore {
     /// Present when the store is durable: every mutation is appended here
     /// before the caller sees success.
     wal: Option<DurableLog>,
+    /// WAL size past which inserts fold the log into a fresh snapshot.
+    wal_compact_bytes: u64,
 }
 
 impl FactorStore {
@@ -154,7 +156,14 @@ impl FactorStore {
             lru: BTreeMap::new(),
             stats: StoreStats::default(),
             wal: None,
+            wal_compact_bytes: WAL_COMPACT_BYTES,
         }
+    }
+
+    /// Override the WAL compaction threshold (`--wal-compact-mb`). A
+    /// no-op for in-memory stores.
+    pub fn set_wal_compact_bytes(&mut self, bytes: u64) {
+        self.wal_compact_bytes = bytes.max(WAL_HEADER_LEN + 1);
     }
 
     /// A durable store: recover the previous incarnation's entries from
@@ -265,7 +274,11 @@ impl FactorStore {
                 self.remove(handle);
                 return Err(StoreError::Io(e.to_string()));
             }
-            if self.wal.as_ref().is_some_and(DurableLog::wants_compaction) {
+            if self
+                .wal
+                .as_ref()
+                .is_some_and(|w| w.wants_compaction(self.wal_compact_bytes))
+            {
                 // Best effort: a failed compaction leaves a long but valid
                 // WAL, which is only a startup-cost problem.
                 let _ = self.compact_log();
@@ -685,8 +698,8 @@ impl DurableLog {
         self.append(REC_RELEASE, handle, &[])
     }
 
-    fn wants_compaction(&self) -> bool {
-        self.wal_bytes > WAL_COMPACT_BYTES
+    fn wants_compaction(&self, threshold: u64) -> bool {
+        self.wal_bytes > threshold
     }
 
     /// Write a fresh snapshot of `entries` (atomically: tmp + rename +

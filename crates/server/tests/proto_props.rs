@@ -61,6 +61,7 @@ fn err_code_strategy() -> BoxedStrategy<ErrCode> {
         Just(ErrCode::HandleExpired),
         Just(ErrCode::StoreFull),
         Just(ErrCode::Panicked),
+        Just(ErrCode::NodeLost),
     ]
     .boxed()
 }
@@ -122,6 +123,26 @@ fn msg_strategy() -> BoxedStrategy<Msg> {
         (any::<u64>(), any::<u64>()).prop_map(|(handle, rows)| Msg::Updated { handle, rows });
     let released = (any::<u64>(), any::<bool>())
         .prop_map(|(handle, released)| Msg::Released { handle, released });
+    let join = (
+        string_strategy(24),
+        any::<u32>(),
+        any::<u64>(),
+        string_strategy(8),
+    )
+        .prop_map(|(addr, threads, store_bytes, gemm_tier)| Msg::Join {
+            addr,
+            threads,
+            store_bytes,
+            gemm_tier,
+        });
+    let leave_ok =
+        (any::<u32>(), any::<bool>()).prop_map(|(node_id, left)| Msg::LeaveOk { node_id, left });
+    let pong =
+        (any::<u64>(), any::<u32>(), any::<u32>()).prop_map(|(nonce, queued, running)| Msg::Pong {
+            nonce,
+            queued,
+            running,
+        });
     prop_oneof![
         submit,
         any::<u64>().prop_map(|job| Msg::SubmitOk { job }),
@@ -143,6 +164,12 @@ fn msg_strategy() -> BoxedStrategy<Msg> {
         updated,
         any::<u64>().prop_map(|handle| Msg::Release { handle }),
         released,
+        join,
+        any::<u32>().prop_map(|node_id| Msg::JoinOk { node_id }),
+        any::<u32>().prop_map(|node_id| Msg::Leave { node_id }),
+        leave_ok,
+        any::<u64>().prop_map(|nonce| Msg::Ping { nonce }),
+        pong,
     ]
     .boxed()
 }

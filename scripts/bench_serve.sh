@@ -12,6 +12,14 @@
 # path (quarantine hooks, idempotency map, durable store) must stay off
 # the hot path.
 #
+# ROUTE=1 additionally measures multi-node scaling through the release
+# binary: a router fronting fixed-service-rate workers (each worker's
+# scheduler sleeps ROUTE_DELAY_MS per batch, so jobs/s is bounded by
+# service rate, not host CPU — the ratio is host-independent). Aggregate
+# and per-node jobs/s for 1-node and 2-node fleets are merged into the
+# output, and the run fails unless the 2-node aggregate reaches at least
+# 1.5x the single node.
+#
 # Usage: scripts/bench_serve.sh [output.json]
 set -eu
 cd "$(dirname "$0")/.."
@@ -71,4 +79,85 @@ if [ -s "$base" ]; then
             }
         }
     ' "$base" "$out"
+fi
+
+if [ "${ROUTE:-0}" = "1" ]; then
+    cargo build --offline --release -p pulsar-cli
+    bin=./target/release/pulsar-qr
+    delay="${ROUTE_DELAY_MS:-60}"
+    burst="${ROUTE_BURST:-24}"
+    route_lines="$(mktemp)"
+
+    # Spin up a router over $1 fixed-rate workers, push one burst through
+    # it, and append aggregate + per-node jobs/s entries to $route_lines.
+    # Echoes the aggregate rate. Replication is off so every job is
+    # dispatched once — the measurement is sharding, not redundancy.
+    measure_fleet() {
+        nodes=$1
+        r_out=$(mktemp)
+        "$bin" route --replicate-under-kb 0 > "$r_out" &
+        r_pid=$!
+        raddr=""
+        for _ in $(seq 1 50); do
+            raddr=$(awk '/^ROUTE/{print $2}' "$r_out")
+            [ -n "$raddr" ] && break
+            sleep 0.1
+        done
+        [ -n "$raddr" ] || { echo "route bench: router never announced" >&2; exit 1; }
+        w_pids=""
+        i=0
+        while [ "$i" -lt "$nodes" ]; do
+            w_out=$(mktemp)
+            "$bin" serve --threads 2 --fault-plan "sched-delay-ms=$delay" > "$w_out" &
+            w_pids="$w_pids $!"
+            waddr=""
+            for _ in $(seq 1 50); do
+                waddr=$(awk '/^SERVE/{print $2}' "$w_out")
+                [ -n "$waddr" ] && break
+                sleep 0.1
+            done
+            [ -n "$waddr" ] || { echo "route bench: worker never announced" >&2; exit 1; }
+            "$bin" join --addr "$raddr" --worker "$waddr" > /dev/null
+            rm -f "$w_out"
+            i=$((i + 1))
+        done
+        rate=$("$bin" submit --addr "$raddr" --rows 32 --cols 16 --nb 8 \
+            --burst "$burst" --timeout-ms 60000 --retry-for-ms 10000 \
+            | awk '/^BURST-JOBS-PER-S/{print $2}')
+        [ -n "$rate" ] || { echo "route bench: no BURST-JOBS-PER-S line" >&2; exit 1; }
+        stats=$("$bin" drain --addr "$raddr" --timeout-ms 10000)
+        for pid in $w_pids; do wait "$pid"; done
+        wait "$r_pid"
+        rm -f "$r_out"
+        printf '  "route/%s-node": %s,\n' "$nodes" "$rate" >> "$route_lines"
+        # Per-node jobs/s over the burst window: placed * aggregate / burst.
+        echo "$stats" | grep -o '"node":[0-9]*,[^{]*"placed":[0-9]*' | \
+            awk -F'[:,]' -v n="$nodes" -v rate="$rate" -v burst="$burst" \
+            '{ printf "  \"route/%s-node/node-%s\": %.3f,\n", n, $2, $NF * rate / burst }' \
+            >> "$route_lines"
+        echo "$rate"
+    }
+
+    r1=$(measure_fleet 1)
+    r2=$(measure_fleet 2)
+
+    # Merge the route measurements into the distilled json.
+    tmp=$(mktemp)
+    { sed '$d' "$out" | sed '$s/$/,/'; sed '$s/,$//' "$route_lines"; echo "}"; } > "$tmp"
+    mv "$tmp" "$out"
+    rm -f "$route_lines"
+    echo "merged route measurements into $out:"
+    cat "$out"
+
+    # Scaling gate: adding a second fixed-rate node must buy at least
+    # 1.5x aggregate throughput, or the router is serializing the fleet.
+    awk -v r1="$r1" -v r2="$r2" 'BEGIN {
+        ratio = r2 / r1
+        printf "bench_serve route gate: 1-node %.1f jobs/s, 2-node %.1f jobs/s (%.2fx)\n", \
+            r1, r2, ratio > "/dev/stderr"
+        if (ratio < 1.5) {
+            print "bench_serve route gate: 2-node aggregate below 1.5x single node" > "/dev/stderr"
+            exit 1
+        }
+    }'
 fi

@@ -142,4 +142,86 @@ if [ "${CHAOS:-0}" = "1" ]; then
     wait "$serve_pid"
     rm -rf "$store_dir" "$serve_out"
     echo "CHAOS serve crash/recover e2e: ok"
+
+    # Router failover e2e through the release binary: 3 worker nodes
+    # behind a `route` front end, one SIGKILLed mid-traffic. Zero
+    # accepted-job loss is required — the in-flight burst must still
+    # verify end-to-end (the victim's jobs re-dispatched to survivors
+    # under their original idempotency keys), a pre-crash routed handle
+    # on a survivor must still solve, and the dead node's handle must
+    # fail typed with the NodeLost exit code. Replication is disabled so
+    # the healing is the ledger's re-dispatch, not a masking replica.
+    route_out=$(mktemp)
+    ./target/release/pulsar-qr route --heartbeat-ms 20 --probe-timeout-ms 60 \
+        --replicate-under-kb 0 > "$route_out" &
+    route_pid=$!
+    raddr=""
+    for _ in $(seq 1 50); do
+        raddr=$(awk '/^ROUTE/{print $2}' "$route_out")
+        [ -n "$raddr" ] && break
+        sleep 0.1
+    done
+    [ -n "$raddr" ] || { echo "CHAOS route: router never announced" >&2; exit 1; }
+    w1_pid=""; w2_pid=""; w3_pid=""
+    for i in 1 2 3; do
+        w_out=$(mktemp)
+        ./target/release/pulsar-qr serve --threads 2 \
+            --fault-plan sched-delay-ms=150 > "$w_out" &
+        w_pid=$!
+        waddr=""
+        for _ in $(seq 1 50); do
+            waddr=$(awk '/^SERVE/{print $2}' "$w_out")
+            [ -n "$waddr" ] && break
+            sleep 0.1
+        done
+        [ -n "$waddr" ] || { echo "CHAOS route: worker $i never announced" >&2; exit 1; }
+        node=$(./target/release/pulsar-qr join --addr "$raddr" --worker "$waddr" \
+            | awk '/^NODE/{print $2}')
+        [ "$node" = "$i" ] || { echo "CHAOS route: worker $i joined as node $node" >&2; exit 1; }
+        eval "w${i}_pid=\$w_pid"
+        rm -f "$w_out"
+    done
+    # Two kept factors: placement ties round-robin on total placed, so
+    # they land on nodes 1 and 2 (the handles say so).
+    h1=$(./target/release/pulsar-qr submit --addr "$raddr" --rows 96 --cols 32 \
+        --nb 8 --seed 31 --keep true --timeout-ms 10000 | awk '/^HANDLE/{print $2}')
+    h2=$(./target/release/pulsar-qr submit --addr "$raddr" --rows 96 --cols 32 \
+        --nb 8 --seed 33 --keep true --timeout-ms 10000 | awk '/^HANDLE/{print $2}')
+    case "$h1" in 1:*) ;; *) echo "CHAOS route: first keep not on node 1: $h1" >&2; exit 1;; esac
+    case "$h2" in 2:*) ;; *) echo "CHAOS route: second keep not on node 2: $h2" >&2; exit 1;; esac
+    # Burst in the background; the slowed worker schedulers keep its jobs
+    # in flight long enough for the SIGKILL to land mid-traffic.
+    burst_out=$(mktemp)
+    ./target/release/pulsar-qr submit --addr "$raddr" --rows 32 --cols 16 \
+        --nb 8 --burst 12 --timeout-ms 30000 --retry-for-ms 10000 \
+        > "$burst_out" &
+    burst_pid=$!
+    sleep 0.1
+    kill -9 "$w2_pid"
+    wait "$burst_pid" || { cat "$burst_out" >&2; \
+        echo "CHAOS route: accepted jobs were lost" >&2; exit 1; }
+    grep -q "verification OK" "$burst_out" || { cat "$burst_out" >&2; exit 1; }
+    ./target/release/pulsar-qr submit --addr "$raddr" --verb solve \
+        --handle "$h1" --rows 96 --cols 32 --seed 31 --rhs 2 --timeout-ms 10000
+    rc=0
+    ./target/release/pulsar-qr submit --addr "$raddr" --verb solve \
+        --handle "$h2" --rows 96 --cols 32 --seed 33 --rhs 2 \
+        --timeout-ms 10000 || rc=$?
+    [ "$rc" -eq 11 ] || { echo "CHAOS route: expected exit 11 (node lost), got $rc" >&2; exit 1; }
+    drain_out=$(./target/release/pulsar-qr drain --addr "$raddr" --timeout-ms 10000)
+    echo "$drain_out"
+    # The kill landed mid-traffic: at least one of the victim's in-flight
+    # jobs was re-dispatched to a survivor, and nothing was lost.
+    redisp=$(echo "$drain_out" | grep -o '"redispatched":[0-9]*' | cut -d: -f2)
+    [ "${redisp:-0}" -ge 1 ] || { echo "CHAOS route: no job was re-dispatched" >&2; exit 1; }
+    echo "$drain_out" | grep -q '"node_lost":0' || \
+        { echo "CHAOS route: a fire-and-forget job was lost" >&2; exit 1; }
+    wait "$route_pid"
+    wait "$w1_pid"
+    wait "$w3_pid"
+    if wait "$w2_pid" 2>/dev/null; then
+        echo "CHAOS route: victim exited cleanly despite SIGKILL" >&2; exit 1
+    fi
+    rm -f "$route_out" "$burst_out"
+    echo "CHAOS route failover e2e: ok"
 fi
