@@ -5,6 +5,7 @@ use crate::args::{parse_tree, Args};
 use crate::error::CliError;
 use pulsar_core::mapping::{qr_mapping, RowDist};
 use pulsar_core::plan::Tree;
+use pulsar_core::policy::PlanPolicy;
 use pulsar_core::QrOptions;
 use pulsar_linalg::{flops, Matrix};
 use pulsar_runtime::{NetModel, RunConfig};
@@ -26,16 +27,25 @@ USAGE: pulsar-qr <command> [--option value]...
 COMMANDS
   factor    factorize a random tall-skinny matrix on the runtime and verify
             --rows N --cols N [--nb 64] [--ib nb/4] [--tree hier:4]
-            [--threads 4] [--nodes 1] [--engine vsa3d|compact|domino|seq]
+            [--threads 4] [--nodes 1]
+            [--engine vsa3d|compact|domino|seq|tsqr]
             [--seed 42] [--net seastar] [--trace-out trace.json]
+            [--profile table.json] (plan defaults from the tuned policy;
+            prints the chosen `PLAN ...`)
   ls        solve a random least-squares problem, report residuals/cond
             --rows N --cols N [--rhs 1] [--nb 64] [--ib nb/4]
             [--tree hier:4] [--threads 4] [--seed 42]
   simulate  model a factorization on a Kraken-like machine (paper Figs 10/11)
             --m N --n N --cores N [--nb 192] [--ib 48] [--tree hier:6]
             [--dist block|cyclic] [--runtime pulsar|parsec]
-  tune      rank candidate trees on the machine model
-            --m N --n N --cores N [--nb 192] [--ib 48]
+  tune      rank candidate trees on the machine model, or — with
+            --profile — measure candidate plans on this machine's real
+            executors and write each shape's winner to a profile table
+            model:    --m N --n N --cores N [--nb 192] [--ib 48]
+            measured: --profile table.json
+            [--shapes 256x256,512x128,1024x32,2048x8] [--threads 4]
+            [--reps 3] [--nb-list 8,16,32,64] [--seed 42]
+            [--pool-crossover false]
   cholesky  factor a random SPD matrix on the runtime and verify
             --n N [--nb 64] [--threads 4] [--seed 42]
   launch    distributed QR: spawn N worker processes meshed over TCP,
@@ -56,7 +66,9 @@ COMMANDS
             until a client drains it
             [--port 0] [--threads 2] [--queue-cap 32] [--batch-max 4]
             [--batch-mb 64] [--retry-ms 50] [--store-mb 256] [--stats true]
-            [--trace-out trace.json]
+            [--trace-out trace.json] [--profile table.json] (route
+            tall-skinny jobs to the TSQR fast path, refine the table
+            online, persist it on drain)
   submit    drive a serve daemon: factor a random matrix (default verb) or
             exercise a stored factorization; every verb self-verifies
             against a local oracle re-derived from the seed
@@ -65,6 +77,8 @@ COMMANDS
             [--verb factor|solve|apply-q|update] [--keep true] (prints
             `HANDLE <id>`) [--handle H] [--rhs 1] [--append-rows P]
             [--burst N] (pipeline N identical jobs, print BURST-JOBS-PER-S)
+            [--profile table.json] (unpinned nb/ib/tree from the tuned
+            policy for --rows x --cols at [--threads 2])
   drain     shut a serve daemon down (queued jobs finish first) and print
             its final stats JSON
             --addr HOST:PORT
@@ -149,16 +163,50 @@ fn factor(args: &Args) -> Result<String, String> {
         "seed",
         "net",
         "trace-out",
+        "profile",
     ])?;
     let m: usize = args.req("rows")?;
     let n: usize = args.req("cols")?;
-    let opts = opts_from(args, 64, Tree::BinaryOnFlat { h: 4 })?;
+    let threads: usize = args.opt("threads", 4)?;
+
+    // With a profile table, the plan defaults come from the tuned policy
+    // for this shape; explicit --nb/--ib/--tree/--engine still win
+    // field-by-field.
+    let mut plan_line = None;
+    let (default_nb, default_ib, default_tree, default_engine) = match args.get("profile") {
+        Some(path) => {
+            let table = pulsar_tuner::ProfileTable::load(std::path::Path::new(path))
+                .map_err(|e| format!("loading profile {path}: {e}"))?;
+            let policy = pulsar_tuner::ProfilePolicy::new(table);
+            let choice = PlanPolicy::choose(&policy, m, n, threads);
+            plan_line = Some(format!("PLAN {}", choice.describe()));
+            let engine = choice.backend.to_string();
+            (choice.nb, choice.ib, choice.tree, engine)
+        }
+        None => (64, 16, Tree::BinaryOnFlat { h: 4 }, "vsa3d".to_string()),
+    };
+    let nb: usize = args.opt("nb", default_nb)?;
+    if nb == 0 {
+        return Err("--nb must be positive".into());
+    }
+    let ib: usize = args.opt(
+        "ib",
+        if nb == default_nb {
+            default_ib
+        } else {
+            (nb / 4).max(1)
+        },
+    )?;
+    let tree = match args.get("tree") {
+        Some(s) => parse_tree(s)?,
+        None => default_tree,
+    };
+    let opts = QrOptions::new(nb, ib, tree);
     if !m.is_multiple_of(opts.nb) {
         return Err(format!("--rows must be a multiple of nb ({})", opts.nb));
     }
-    let threads: usize = args.opt("threads", 4)?;
     let nodes: usize = args.opt("nodes", 1)?;
-    let engine: String = args.opt("engine", "vsa3d".to_string())?;
+    let engine: String = args.opt("engine", default_engine)?;
     let seed: u64 = args.opt("seed", 42)?;
 
     let mut rng = StdRng::seed_from_u64(seed);
@@ -201,11 +249,15 @@ fn factor(args: &Args) -> Result<String, String> {
             (r.factors, Some(r.stats))
         }
         "seq" => (pulsar_core::tile_qr_seq(&a, &opts), None),
+        "tsqr" => (pulsar_core::tile_qr_tsqr(&a, &opts, threads), None),
         other => return Err(format!("unknown engine `{other}`")),
     };
     let dt = t0.elapsed().as_secs_f64();
 
     let mut out = String::new();
+    if let Some(line) = plan_line {
+        writeln!(out, "{line}").unwrap();
+    }
     writeln!(
         out,
         "factor {m}x{n}  nb={} ib={} tree={:?} engine={engine}",
@@ -344,6 +396,12 @@ fn simulate(args: &Args) -> Result<String, String> {
 }
 
 fn tune(args: &Args) -> Result<String, String> {
+    // Two modes share the verb: `--profile PATH` runs a *measured* sweep
+    // on this machine's real executors and writes the winners to a
+    // profile table; without it, the original machine-model ranking runs.
+    if args.get("profile").is_some() {
+        return tune_measured(args);
+    }
     args.ensure_known(&["m", "n", "cores", "nb", "ib"])?;
     let m: usize = args.req("m")?;
     let n: usize = args.req("n")?;
@@ -373,6 +431,113 @@ fn tune(args: &Args) -> Result<String, String> {
         .unwrap();
     }
     writeln!(out, "winner: {:?}", report.best().0).unwrap();
+    Ok(out)
+}
+
+/// `tune --profile`: measure candidate plans per shape on the real
+/// executors and persist each shape's winner. An existing table at the
+/// path is extended (cells for re-swept shapes are replaced), so repeated
+/// runs refine coverage instead of discarding it.
+fn tune_measured(args: &Args) -> Result<String, String> {
+    args.ensure_known(&[
+        "profile",
+        "shapes",
+        "threads",
+        "reps",
+        "nb-list",
+        "seed",
+        "pool-crossover",
+    ])?;
+    let path = std::path::PathBuf::from(args.get("profile").expect("dispatched on --profile"));
+    let shapes_spec: String = args.opt("shapes", "256x256,512x128,1024x32,2048x8".to_string())?;
+    let mut shapes = Vec::new();
+    for part in shapes_spec.split(',') {
+        let (m, n) = part
+            .split_once('x')
+            .ok_or_else(|| format!("bad shape `{part}` (use MxN)"))?;
+        let m: usize = m
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad rows in `{part}`"))?;
+        let n: usize = n
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad cols in `{part}`"))?;
+        if m == 0 || n == 0 {
+            return Err(format!("shape `{part}` must be positive"));
+        }
+        shapes.push((m, n));
+    }
+    let nb_spec: String = args.opt("nb-list", "8,16,32,64".to_string())?;
+    let mut nb_list = Vec::new();
+    for part in nb_spec.split(',') {
+        let nb: usize = part
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad nb `{part}` in --nb-list"))?;
+        if nb == 0 {
+            return Err("--nb-list entries must be positive".into());
+        }
+        nb_list.push(nb);
+    }
+    let cfg = pulsar_tuner::SweepConfig {
+        shapes,
+        threads: args.opt("threads", 4)?,
+        reps: args.opt("reps", 3)?,
+        nb_list,
+        seed: args.opt("seed", 42)?,
+        pool_crossover: args.opt("pool-crossover", false)?,
+    };
+
+    let report = pulsar_tuner::run_sweep(&cfg);
+    let mut table = if path.exists() {
+        pulsar_tuner::ProfileTable::load(&path).map_err(|e| format!("loading {path:?}: {e}"))?
+    } else {
+        pulsar_tuner::ProfileTable::new()
+    };
+    for cell in report.table.cells() {
+        table.insert(cell.clone());
+    }
+    if report.table.pool_min_mnk.is_some() {
+        table.pool_min_mnk = report.table.pool_min_mnk;
+    }
+    table
+        .save(&path)
+        .map_err(|e| format!("writing {path:?}: {e}"))?;
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "measured sweep on {} threads, {} rep(s)",
+        cfg.threads, cfg.reps
+    )
+    .unwrap();
+    for shape in &report.shapes {
+        writeln!(out, "{}x{}:", shape.m, shape.n).unwrap();
+        for (rank, c) in shape.ranked.iter().enumerate() {
+            writeln!(
+                out,
+                "  {} {:<40} {:>9.2} Gflop/s",
+                if rank == 0 { "*" } else { " " },
+                c.choice.describe(),
+                c.gflops
+            )
+            .unwrap();
+        }
+    }
+    if cfg.pool_crossover {
+        match table.pool_min_mnk {
+            Some(mnk) => writeln!(out, "pooled-GEMM crossover: m*n*k >= {mnk}").unwrap(),
+            None => writeln!(out, "pooled-GEMM crossover: not reached (pool stays off)").unwrap(),
+        }
+    }
+    writeln!(
+        out,
+        "PROFILE {} ({} cells)",
+        path.display(),
+        table.cells().len()
+    )
+    .unwrap();
     Ok(out)
 }
 
@@ -578,6 +743,75 @@ mod tests {
     fn tune_smoke() {
         let out = run_line(&["tune", "--m", "9216", "--n", "384", "--cores", "48"]).unwrap();
         assert!(out.contains("winner:"), "{out}");
+    }
+
+    /// End-to-end acceptance: a measured `tune --profile` writes a table
+    /// that `factor --profile` consumes, and the chosen `{tree, nb}`
+    /// (plus backend) differs between a square and a tall-skinny shape.
+    #[test]
+    fn tune_profile_feeds_factor_with_shape_dependent_plans() {
+        let path =
+            std::env::temp_dir().join(format!("pulsar-tune-e2e-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let out = run_line(&[
+            "tune",
+            "--profile",
+            path.to_str().unwrap(),
+            "--shapes",
+            "64x64,512x8",
+            "--threads",
+            "2",
+            "--reps",
+            "1",
+            "--nb-list",
+            "8",
+        ])
+        .unwrap();
+        assert!(out.contains("PROFILE"), "{out}");
+        assert!(out.contains("(2 cells)"), "{out}");
+
+        let plan_of = |rows: &str, cols: &str| -> String {
+            let out = run_line(&[
+                "factor",
+                "--rows",
+                rows,
+                "--cols",
+                cols,
+                "--threads",
+                "2",
+                "--profile",
+                path.to_str().unwrap(),
+            ])
+            .unwrap();
+            assert!(out.contains("verification OK"), "{out}");
+            out.lines()
+                .find(|l| l.starts_with("PLAN "))
+                .unwrap_or_else(|| panic!("no PLAN line in {out}"))
+                .to_string()
+        };
+        let square = plan_of("64", "64");
+        let tall = plan_of("512", "8");
+        assert_ne!(square, tall, "tuned plans must differ by shape");
+        assert!(tall.contains("backend=tsqr"), "{tall}");
+        assert!(square.contains("backend=vsa3d"), "{square}");
+        // Explicit flags still beat the profile.
+        let pinned = run_line(&[
+            "factor",
+            "--rows",
+            "512",
+            "--cols",
+            "8",
+            "--nb",
+            "4",
+            "--engine",
+            "seq",
+            "--profile",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(pinned.contains("nb=4"), "{pinned}");
+        assert!(pinned.contains("engine=seq"), "{pinned}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         "fault-plan",
         "stats",
         "trace-out",
+        "profile",
     ])
     .map_err(CliError::usage)?;
     let port: u16 = args.opt("port", 0)?;
@@ -53,6 +54,7 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
         drain_grace: Duration::from_millis(args.opt("drain-grace-ms", 250)?),
         wal_compact_bytes: args.opt::<u64>("wal-compact-mb", 32)? << 20,
         trace: trace_out.is_some(),
+        profile_path: args.get("profile").map(std::path::PathBuf::from),
     };
     let faults = args
         .get("fault-plan")
@@ -98,6 +100,35 @@ pub fn serve(args: &Args) -> Result<String, CliError> {
 }
 
 fn submit_opts(args: &Args) -> Result<QrOptions, String> {
+    // With a profile table, unpinned nb/ib/tree come from the tuned
+    // policy for the job's shape; explicit flags still win field-by-field.
+    // (Which *executor* runs the job stays a server-side routing choice.)
+    if let Some(path) = args.get("profile") {
+        let m: usize = args.req("rows")?;
+        let n: usize = args.req("cols")?;
+        let threads: usize = args.opt("threads", 2)?;
+        let table = pulsar_tuner::ProfileTable::load(std::path::Path::new(path))
+            .map_err(|e| format!("loading profile {path}: {e}"))?;
+        let policy = pulsar_tuner::ProfilePolicy::new(table);
+        let choice = pulsar_core::policy::PlanPolicy::choose(&policy, m, n, threads);
+        let nb: usize = args.opt("nb", choice.nb)?;
+        if nb == 0 {
+            return Err("--nb must be positive".into());
+        }
+        let ib: usize = args.opt(
+            "ib",
+            if nb == choice.nb {
+                choice.ib
+            } else {
+                (nb / 4).max(1)
+            },
+        )?;
+        let tree = match args.get("tree") {
+            Some(s) => parse_tree(s)?,
+            None => choice.tree,
+        };
+        return Ok(QrOptions::new(nb, ib, tree));
+    }
     let nb: usize = args.opt("nb", 8)?;
     if nb == 0 {
         return Err("--nb must be positive".into());
@@ -134,6 +165,8 @@ pub fn submit(args: &Args) -> Result<String, CliError> {
         "burst",
         "timeout-ms",
         "retry-for-ms",
+        "profile",
+        "threads",
     ])
     .map_err(CliError::usage)?;
     match args.get("verb").unwrap_or("factor") {

@@ -15,6 +15,10 @@
 //! - [`mapping`] — VDP→(node, thread) mapping functions.
 //! - [`factors`] — the factorization output: `R`, the transformation tree,
 //!   `Q` application, least-squares solving, and verification.
+//! - [`policy`] — plan policies: `{tree, h, nb, ib, backend}` chosen per
+//!   `(m, n, threads)` instead of hard-coded at call sites.
+//! - [`tsqr`] — the communication-optimal TSQR fast path for tall-skinny
+//!   jobs (bypasses the 3D VSA entirely).
 
 #![warn(missing_docs)]
 
@@ -25,8 +29,10 @@ pub mod factors;
 pub mod lsqr;
 pub mod mapping;
 pub mod plan;
+pub mod policy;
 pub mod seqqr;
 pub(crate) mod store;
+pub mod tsqr;
 pub mod update;
 pub mod vsa3d;
 pub mod vsa_compact;
@@ -34,7 +40,9 @@ pub mod vsa_compact;
 pub use factors::{Reflectors, TileQrFactors};
 pub use lsqr::{least_squares, LsSolution};
 pub use plan::{Boundary, PanelOp, QrPlan, Tree};
+pub use policy::{Backend, PaperPolicy, PlanChoice, PlanPolicy};
 pub use seqqr::tile_qr_seq;
+pub use tsqr::{grid_aspect, tile_qr_tsqr};
 pub use update::{append_rows, UpdateError};
 
 /// Decoders for every payload the QR arrays send across node boundaries:

@@ -4,8 +4,13 @@
 //! ordered list of [`PanelOp`]s — exactly the loop nest of the paper's
 //! Figure 5 pseudocode: a flat-tree reduction inside each domain of `h`
 //! tiles, followed by a binary-tree reduction of the domain top tiles.
-//! The *flat* tree is the degenerate case `h = mt` (one domain) and the
-//! *binary* tree is `h = 1` (every row its own domain).
+//! The *flat* tree is the degenerate case `h = mt` (one domain per panel —
+//! any `h >= mt` behaves identically, since panel `j` has only `mt - j`
+//! rows left, under both boundary modes) and the *binary* tree is `h = 1`
+//! (every row its own domain, so the panel is merges only). Both
+//! equivalences are exact op-for-op (pinned by the
+//! `degenerate_h_equivalences` test), with panel dependency depths
+//! `mt - j` for flat and `1 + ceil(log2(mt - j))` for binary.
 
 /// Which reduction tree factorizes each panel.
 ///
@@ -608,6 +613,56 @@ mod tests {
         let p = QrPlan::new(4, 2, Tree::Flat, Boundary::Shifted);
         // Panel 0: 4 ops x 2 cols; panel 1: 3 ops x 1 col.
         assert_eq!(p.total_tasks(), 8 + 3);
+    }
+
+    #[test]
+    fn degenerate_h_equivalences() {
+        // The header's claim, op-for-op: flat == hier with h = mt (one
+        // domain) and binary == hier with h = 1 (all domains singleton),
+        // for every panel and both boundary modes.
+        for boundary in [Boundary::Fixed, Boundary::Shifted] {
+            for mt in 1..10 {
+                let nt = mt.min(4);
+                let flat = QrPlan::new(mt, nt, Tree::Flat, boundary);
+                let hier_mt = QrPlan::new(mt, nt, Tree::BinaryOnFlat { h: mt }, boundary);
+                let binary = QrPlan::new(mt, nt, Tree::Binary, boundary);
+                let hier_1 = QrPlan::new(mt, nt, Tree::BinaryOnFlat { h: 1 }, boundary);
+                for j in 0..flat.panels() {
+                    assert_eq!(
+                        flat.panel_ops(j),
+                        hier_mt.panel_ops(j),
+                        "flat != hier:{mt} at mt={mt} j={j} {boundary:?}"
+                    );
+                    assert_eq!(
+                        binary.panel_ops(j),
+                        hier_1.panel_ops(j),
+                        "binary != hier:1 at mt={mt} j={j} {boundary:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_depth_formulas() {
+        // Depth formulas for the two degenerate cases, every panel: flat
+        // chains one op per remaining row; binary is one geqrt plus a
+        // ceil(log2) merge cascade.
+        for mt in 1..=17 {
+            let flat = QrPlan::new(mt, mt, Tree::Flat, Boundary::Shifted);
+            let binary = QrPlan::new(mt, mt, Tree::Binary, Boundary::Shifted);
+            for j in 0..mt {
+                let rows = mt - j;
+                assert_eq!(flat.panel_depth(j), rows, "flat depth, mt={mt} j={j}");
+                // ceil(log2(rows)): bit length of rows - 1 (0 when rows == 1).
+                let merges = usize::BITS as usize - (rows - 1).leading_zeros() as usize;
+                assert_eq!(
+                    binary.panel_depth(j),
+                    1 + merges,
+                    "binary depth, mt={mt} j={j}"
+                );
+            }
+        }
     }
 
     #[test]

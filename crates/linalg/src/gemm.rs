@@ -54,10 +54,14 @@ const KC: usize = 256;
 const NC: usize = 4096;
 /// Below this `m*n*k`, the packed path loses to the plain loops.
 const PACKED_MIN_FLOPS: usize = 8192;
-/// Below this `m*n*k`, [`gemm_into_pooled`] stays single-threaded: pool
-/// dispatch costs a cross-thread round-trip that small tiles never earn
-/// back (~256^3 is where 4-way splitting starts to win on one socket).
-const POOL_MIN_MNK: usize = 16 << 20;
+/// Default `m*n*k` below which [`gemm_into_pooled`] stays single-threaded:
+/// pool dispatch costs a cross-thread round-trip that small tiles never
+/// earn back (~256^3 is where 4-way splitting starts to win on one
+/// socket). The live threshold is [`pool_min_mnk`], settable from a
+/// measured profile table — BENCH_kernels.json showed the fixed constant
+/// mispredicting the crossover on some hosts (pool4/1024 slower than
+/// single), so the tuner measures it per machine instead.
+pub const POOL_MIN_MNK_DEFAULT: usize = 16 << 20;
 /// Packed-`A` prefetch distance in k-steps (one k-step of a 16-row panel
 /// is two cache lines).
 const PF_DIST: usize = 4;
@@ -65,6 +69,29 @@ const PF_DIST: usize = 4;
 /// Upper bound on pool workers one GEMM will split across (the chunk table
 /// lives on the stack).
 pub const MAX_GEMM_WORKERS: usize = 64;
+
+/// Process-wide pooled-GEMM threshold override; 0 means "use the default".
+static POOL_MIN_MNK_OVERRIDE: std::sync::atomic::AtomicUsize =
+    std::sync::atomic::AtomicUsize::new(0);
+
+/// The live `m*n*k` threshold below which [`gemm_into_pooled`] runs
+/// single-threaded. [`POOL_MIN_MNK_DEFAULT`] unless overridden by
+/// [`set_pool_min_mnk`].
+pub fn pool_min_mnk() -> usize {
+    match POOL_MIN_MNK_OVERRIDE.load(std::sync::atomic::Ordering::Relaxed) {
+        0 => POOL_MIN_MNK_DEFAULT,
+        v => v,
+    }
+}
+
+/// Override the pooled-GEMM threshold process-wide (a measured crossover
+/// from the tuner's profile table). Passing 0 restores the default;
+/// `usize::MAX` effectively disables pooled dispatch. Safe to call
+/// concurrently with running GEMMs — the threshold is read once per
+/// product.
+pub fn set_pool_min_mnk(mnk: usize) {
+    POOL_MIN_MNK_OVERRIDE.store(mnk, std::sync::atomic::Ordering::Relaxed);
+}
 
 /// Microkernel tier, ordered from narrowest to widest.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -399,7 +426,7 @@ unsafe impl Sync for ColChunks {}
 ///
 /// Falls back to the ordinary single-threaded path (on the caller's
 /// workspace) when the pool has fewer than two workers or the product is
-/// below [`POOL_MIN_MNK`]. The parallel result is **bit-identical** to the
+/// below [`pool_min_mnk`]. The parallel result is **bit-identical** to the
 /// single-threaded packed path: each worker runs the same packed loop nest
 /// over a contiguous column chunk, and no element of `C` is touched by two
 /// workers.
@@ -418,7 +445,7 @@ pub(crate) fn gemm_into_pooled(
     assert!(ld >= m.max(1), "C leading dimension too small");
     let k = a.n;
     let nw = pool.workers().min(MAX_GEMM_WORKERS).min(n.max(1));
-    if nw < 2 || m * n * k < POOL_MIN_MNK {
+    if nw < 2 || m * n * k < pool_min_mnk() {
         crate::workspace::with_thread_workspace(|ws| {
             let mut cv = MatMut::new(c_data, m, n, 1, ld);
             gemm_into_impl(alpha, a, b, beta, &mut cv, &mut ws.gemm, false);
@@ -884,6 +911,17 @@ mod tests {
     }
 
     #[test]
+    fn pool_threshold_is_settable() {
+        // Only small values here: other tests may read the live threshold
+        // concurrently and expect their products to stay above it.
+        assert_eq!(pool_min_mnk(), POOL_MIN_MNK_DEFAULT);
+        set_pool_min_mnk(1);
+        assert_eq!(pool_min_mnk(), 1);
+        set_pool_min_mnk(0);
+        assert_eq!(pool_min_mnk(), POOL_MIN_MNK_DEFAULT);
+    }
+
+    #[test]
     fn packed_matches_naive_with_offsets_and_strides() {
         let (m, n, k) = (13, 9, 21);
         let a = dense(m, k, |i, j| (i * 31 + j * 7) as f64 * 0.01 - 1.0);
@@ -1024,9 +1062,9 @@ mod tests {
 
     #[test]
     fn pooled_is_bit_identical_to_single_threaded() {
-        // Odd sizes above POOL_MIN_MNK so the chunked path actually runs.
+        // Odd sizes above the threshold so the chunked path actually runs.
         let (m, n, k) = (260, 301, 220);
-        assert!(m * n * k >= POOL_MIN_MNK);
+        assert!(m * n * k >= pool_min_mnk());
         let a = dense(m, k, |i, j| ((i * 13 + j * 17) % 29) as f64 * 0.1 - 1.4);
         let b = dense(k, n, |i, j| ((i * 11 + j * 7) % 23) as f64 * 0.2 - 2.2);
         let c0 = dense(m, n, |i, j| (i + j) as f64 * 0.01);

@@ -15,10 +15,11 @@ use crate::store::{FactorHandle, FactorStore, StoreError, WalError};
 use parking_lot::{Condvar, Mutex};
 use pulsar_core::update::append_rows;
 use pulsar_core::vsa3d::tile_qr_vsa_batch_pooled;
-use pulsar_core::QrOptions;
+use pulsar_core::{grid_aspect, tile_qr_tsqr, QrOptions, TileQrFactors};
 use pulsar_linalg::Matrix;
 use pulsar_runtime::trace::{TaskSpan, Trace};
 use pulsar_runtime::{RunConfig, RunError, Tuple, VsaPool};
+use pulsar_tuner::{qr_flops, PlanKey, ProfileTable, Refiner};
 use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -64,6 +65,13 @@ pub struct ServeConfig {
     /// WAL size past which the durable factor store folds the log into a
     /// fresh snapshot.
     pub wal_compact_bytes: u64,
+    /// Path of a tuner profile table (JSON, written by `pulsar-qr tune`).
+    /// When set, the service loads it at start (a missing file starts
+    /// empty), routes tall-skinny jobs to the TSQR fast path, refines the
+    /// table online from observed service times, and persists the refined
+    /// table back to the same path on drain. `None` disables the tuner
+    /// entirely — every job runs on the 3D VSA exactly as before.
+    pub profile_path: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -81,6 +89,7 @@ impl Default for ServeConfig {
             idem_cap: 1024,
             drain_grace: Duration::from_millis(250),
             wal_compact_bytes: 32 << 20,
+            profile_path: None,
         }
     }
 }
@@ -253,6 +262,19 @@ struct State {
     chaos_sched_delay: Option<Duration>,
 }
 
+/// Tuner state behind its own lock (never held together with `state` —
+/// the scheduler takes them strictly one at a time).
+struct TunerState {
+    table: ProfileTable,
+    refiner: Refiner,
+    /// Routing lookups answered by a profile cell (exact or nearest).
+    hits: u64,
+    /// Routing lookups with no cell at all (empty table).
+    misses: u64,
+    /// Jobs executed on the TSQR fast path instead of the VSA.
+    tsqr_jobs: u64,
+}
+
 /// A running QR service. Cheap to share behind an [`Arc`]; every method
 /// takes `&self` and is safe to call from any connection thread.
 pub struct Service {
@@ -270,6 +292,9 @@ pub struct Service {
     /// Signals waiters that some job reached a terminal state.
     done: Condvar,
     sched: Mutex<Option<JoinHandle<()>>>,
+    /// Shape-aware plan tuner; `None` when no profile path is configured
+    /// (the service then behaves exactly as before the tuner existed).
+    tuner: Option<Mutex<TunerState>>,
 }
 
 impl Service {
@@ -297,6 +322,28 @@ impl Service {
             None => (FactorStore::new(cfg.store_bytes), 0),
         };
         store.set_wal_compact_bytes(cfg.wal_compact_bytes);
+        let tuner = cfg.profile_path.as_ref().map(|path| {
+            let table = if path.exists() {
+                ProfileTable::load(path).unwrap_or_else(|e| {
+                    eprintln!("warning: ignoring unreadable profile {path:?}: {e}");
+                    ProfileTable::new()
+                })
+            } else {
+                ProfileTable::new()
+            };
+            // The measured pooled-GEMM crossover (if the sweep recorded
+            // one) replaces the library's fixed heuristic process-wide.
+            if let Some(mnk) = table.pool_min_mnk {
+                pulsar_linalg::gemm::set_pool_min_mnk(mnk);
+            }
+            Mutex::new(TunerState {
+                table,
+                refiner: Refiner::default(),
+                hits: 0,
+                misses: 0,
+                tsqr_jobs: 0,
+            })
+        });
         let svc = Arc::new(Service {
             cfg: cfg.clone(),
             started: Instant::now(),
@@ -324,6 +371,7 @@ impl Service {
             work: Condvar::new(),
             done: Condvar::new(),
             sched: Mutex::new(None),
+            tuner,
         });
         let runner = svc.clone();
         let handle = std::thread::Builder::new()
@@ -646,6 +694,13 @@ impl Service {
         if let Err(e) = self.store.lock().compact_log() {
             eprintln!("warning: factor store compaction failed: {e}");
         }
+        // Persist whatever the online refiner learned: the next boot (or
+        // an offline `factor --profile`) starts from the refined table.
+        if let (Some(path), Some(tuner)) = (&self.cfg.profile_path, &self.tuner) {
+            if let Err(e) = tuner.lock().table.save(path) {
+                eprintln!("warning: tuner profile save failed: {e}");
+            }
+        }
         self.stats_json()
     }
 
@@ -663,6 +718,25 @@ impl Service {
     /// throughput, queue depth, pool utilization, verb counters, and the
     /// nested factor-store section.
     pub fn stats_json(&self) -> String {
+        // The tuner section is built first so no two service locks are
+        // ever held together here.
+        let tuner_json = match &self.tuner {
+            Some(t) => {
+                let t = t.lock();
+                format!(
+                    "{{\"enabled\":true,\"profile_cells\":{},\"profile_hits\":{},\
+                     \"profile_misses\":{},\"refinements\":{},\"tsqr_jobs\":{}}}",
+                    t.table.cells().len(),
+                    t.hits,
+                    t.misses,
+                    t.refiner.refinements(),
+                    t.tsqr_jobs,
+                )
+            }
+            None => "{\"enabled\":false,\"profile_cells\":0,\"profile_hits\":0,\
+                     \"profile_misses\":0,\"refinements\":0,\"tsqr_jobs\":0}"
+                .to_string(),
+        };
         let store_json = self.store.lock().stats_json();
         let st = self.state.lock();
         let uptime = self.started.elapsed().as_secs_f64().max(1e-9);
@@ -685,7 +759,7 @@ impl Service {
              \"running\":{},\"pool_utilization\":{:.4},\"uptime_s\":{:.3},\
              \"solves\":{},\"applies\":{},\"updates\":{},\"update_rows\":{},\
              \"idem_hits\":{},\"idem_evictions\":{},\
-             \"store\":{}}}",
+             \"tuner\":{},\"store\":{}}}",
             c.done,
             c.failed,
             c.cancelled,
@@ -710,11 +784,125 @@ impl Service {
             c.update_rows,
             c.idem_hits,
             c.idem_evictions,
+            tuner_json,
             store_json,
         )
     }
 
-    /// Scheduler body: pull → batch → run on the pool → distribute.
+    /// Resolve one successfully factored job. Keeping jobs park their
+    /// full factorization in the store *before* the outcome is published:
+    /// a client woken by `done` must find its handle resident. The state
+    /// lock may nest the store lock (never the reverse).
+    fn publish(&self, st: &mut State, id: u64, factors: TileQrFactors) {
+        let (latency_ms, kept_ok) = {
+            let job = st.jobs.get_mut(&id).expect("running job exists");
+            let outcome = if job.keep {
+                let r = factors.r.clone();
+                match self
+                    .store
+                    .lock()
+                    .insert(FactorHandle::from_raw(id), Arc::new(factors))
+                {
+                    Ok(()) => Ok(r),
+                    // The keep could not be honored; the client asked for
+                    // a live handle, so a typed failure beats silently
+                    // handing out an R whose handle is dead.
+                    Err(e) => Err(JobError::from(e)),
+                }
+            } else {
+                Ok(factors.r)
+            };
+            let ok = outcome.is_ok();
+            job.state = if ok { JobState::Done } else { JobState::Failed };
+            job.outcome = Some(outcome);
+            (job.submitted.elapsed().as_secs_f64() * 1e3, ok)
+        };
+        st.latencies_ms.push(latency_ms);
+        if kept_ok {
+            st.counters.done += 1;
+        } else {
+            st.counters.failed += 1;
+        }
+    }
+
+    /// Peel tall-skinny jobs off a batch and run each on the TSQR fast
+    /// path (same kernel sequence as the VSA schedule, so the factors are
+    /// bit-identical — solve/apply-q/update against a kept handle cannot
+    /// tell which executor produced it). Returns the jobs left for the
+    /// VSA launch. A no-op returning the batch untouched when the tuner
+    /// is disabled.
+    fn run_tsqr_routed(
+        &self,
+        batch: Vec<(u64, Matrix, QrOptions)>,
+    ) -> Vec<(u64, Matrix, QrOptions)> {
+        let Some(tuner) = &self.tuner else {
+            return batch;
+        };
+        let threads = self.cfg.threads;
+        let mut rest = Vec::with_capacity(batch.len());
+        let mut routed = Vec::new();
+        {
+            let mut t = tuner.lock();
+            for (id, a, o) in batch {
+                match t.table.lookup(a.nrows(), a.ncols(), threads) {
+                    Some(_) => t.hits += 1,
+                    None => t.misses += 1,
+                }
+                if grid_aspect(a.nrows(), a.ncols(), o.nb) >= t.table.tsqr_min_aspect {
+                    t.tsqr_jobs += 1;
+                    routed.push((id, a, o));
+                } else {
+                    rest.push((id, a, o));
+                }
+            }
+        }
+        for (id, a, opts) in routed {
+            let t0 = Instant::now();
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                tile_qr_tsqr(&a, &opts, threads)
+            }));
+            let wall = t0.elapsed();
+            if result.is_ok() {
+                let secs = wall.as_secs_f64().max(1e-9);
+                let gflops = qr_flops(a.nrows(), a.ncols()) / secs / 1e9;
+                let mut t = tuner.lock();
+                let TunerState { table, refiner, .. } = &mut *t;
+                let key = PlanKey {
+                    tree: opts.tree.clone(),
+                    nb: opts.nb,
+                    backend: pulsar_core::Backend::Tsqr,
+                };
+                refiner.observe(
+                    table,
+                    (a.nrows(), a.ncols(), threads),
+                    &key,
+                    opts.ib,
+                    gflops,
+                );
+            }
+            let mut st = self.state.lock();
+            st.counters.batches += 1;
+            st.busy += wall;
+            st.running -= 1;
+            match result {
+                Ok(factors) => self.publish(&mut st, id, factors),
+                Err(_) => {
+                    let job = st.jobs.get_mut(&id).expect("running job exists");
+                    job.state = JobState::Failed;
+                    job.outcome = Some(Err(JobError::Panicked(
+                        "TSQR fast path panicked".to_string(),
+                    )));
+                    st.counters.failed += 1;
+                    st.counters.panicked += 1;
+                }
+            }
+            drop(st);
+            self.done.notify_all();
+        }
+        rest
+    }
+
+    /// Scheduler body: pull → batch → route → run on the pool → distribute.
     fn scheduler(self: Arc<Service>) {
         let pool = &self.pool;
         loop {
@@ -726,6 +914,13 @@ impl Service {
             let stall = self.state.lock().chaos_sched_delay;
             if let Some(d) = stall {
                 std::thread::sleep(d);
+            }
+            // Tuner routing: tall-skinny jobs skip the VSA and run on the
+            // TSQR fast path (bit-identical factors). No-op when no
+            // profile is configured.
+            let batch = self.run_tsqr_routed(batch);
+            if batch.is_empty() {
+                continue;
             }
             let t0 = Instant::now();
             let offset_us = (t0 - self.started).as_secs_f64() * 1e6;
@@ -757,6 +952,36 @@ impl Service {
                 pool.respawn_all();
             }
 
+            // Feed the online refiner: every job in a successful batch is
+            // one throughput observation of the plan it actually ran
+            // (batch wall time attributed by flop share, which reduces to
+            // the batch's aggregate throughput for every member).
+            if result.is_ok() {
+                if let Some(tuner) = &self.tuner {
+                    let total: f64 = batch
+                        .iter()
+                        .map(|(_, a, _)| qr_flops(a.nrows(), a.ncols()))
+                        .sum();
+                    let gflops = total / wall.as_secs_f64().max(1e-9) / 1e9;
+                    let mut t = tuner.lock();
+                    let TunerState { table, refiner, .. } = &mut *t;
+                    for (_, a, o) in &batch {
+                        let key = PlanKey {
+                            tree: o.tree.clone(),
+                            nb: o.nb,
+                            backend: pulsar_core::Backend::Vsa3d,
+                        };
+                        refiner.observe(
+                            table,
+                            (a.nrows(), a.ncols(), self.cfg.threads),
+                            &key,
+                            o.ib,
+                            gflops,
+                        );
+                    }
+                }
+            }
+
             let mut st = self.state.lock();
             st.counters.batches += 1;
             st.busy += wall;
@@ -771,41 +996,7 @@ impl Service {
                         }));
                     }
                     for ((id, _, _), factors) in batch.iter().zip(out.factors) {
-                        let (latency_ms, kept_ok) = {
-                            let job = st.jobs.get_mut(id).expect("running job exists");
-                            // Keeping jobs park their full factorization in
-                            // the store *before* the outcome is published:
-                            // a client woken by `done` must find its handle
-                            // resident. The state lock may nest the store
-                            // lock (never the reverse).
-                            let outcome = if job.keep {
-                                let r = factors.r.clone();
-                                match self
-                                    .store
-                                    .lock()
-                                    .insert(FactorHandle::from_raw(*id), Arc::new(factors))
-                                {
-                                    Ok(()) => Ok(r),
-                                    // The keep could not be honored; the
-                                    // client asked for a live handle, so a
-                                    // typed failure beats silently handing
-                                    // out an R whose handle is dead.
-                                    Err(e) => Err(JobError::from(e)),
-                                }
-                            } else {
-                                Ok(factors.r)
-                            };
-                            let ok = outcome.is_ok();
-                            job.state = if ok { JobState::Done } else { JobState::Failed };
-                            job.outcome = Some(outcome);
-                            (job.submitted.elapsed().as_secs_f64() * 1e3, ok)
-                        };
-                        st.latencies_ms.push(latency_ms);
-                        if kept_ok {
-                            st.counters.done += 1;
-                        } else {
-                            st.counters.failed += 1;
-                        }
+                        self.publish(&mut st, *id, factors);
                     }
                 }
                 Err(e) => {

@@ -142,6 +142,13 @@ fn fleet_round_trip_join_submit_keep_solve_leave_drain() {
         stats.contains("\"health\":\"healthy\""),
         "workers stayed healthy: {stats}"
     );
+    // Each embedded per-node section carries the worker's tuner rollup
+    // (disabled here — no profile configured — but always present).
+    assert_eq!(
+        stats.matches("\"tuner\":{\"enabled\":false").count(),
+        2,
+        "one tuner section per node: {stats}"
+    );
     assert_eq!(json_u64(&stats, "jobs_done"), 6);
     assert_eq!(json_u64(&stats, "node_lost"), 0);
     rh.join().unwrap().unwrap();

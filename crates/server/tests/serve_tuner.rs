@@ -1,0 +1,182 @@
+//! Serve-side tuner integration: tall-skinny jobs route to the TSQR fast
+//! path (factors indistinguishable from the VSA's — the kept handle
+//! serves solve/apply-q like any other), routing and refinement show up
+//! in the `"tuner"` stats section, and the profile table round-trips
+//! through the configured path across drain.
+
+use pulsar_core::{tile_qr_seq, QrOptions, Tree};
+use pulsar_linalg::verify::r_factor_distance;
+use pulsar_linalg::Matrix;
+use pulsar_server::{ServeConfig, Service};
+use pulsar_tuner::{ProfileCell, ProfileTable};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A unique scratch file per test; best-effort cleanup on drop.
+struct TempFile(PathBuf);
+
+impl TempFile {
+    fn new(tag: &str) -> TempFile {
+        static SALT: AtomicU64 = AtomicU64::new(0);
+        let path = std::env::temp_dir().join(format!(
+            "pulsar-tuner-{tag}-{}-{}.json",
+            std::process::id(),
+            SALT.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_file(&path);
+        TempFile(path)
+    }
+}
+
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    Matrix::random(rows, cols, &mut StdRng::seed_from_u64(seed))
+}
+
+fn json_u64(stats: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\":");
+    let at = stats
+        .find(&pat)
+        .unwrap_or_else(|| panic!("{key} in {stats}"));
+    stats[at + pat.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+/// Without a profile path the tuner is off: no routing, and the stats
+/// section says so (it is still always emitted, so router rollups can
+/// rely on its presence).
+#[test]
+fn tuner_disabled_by_default() {
+    let svc = Service::start(ServeConfig::default());
+    let id = svc
+        .submit(
+            matrix(256, 8, 1),
+            QrOptions::new(8, 4, Tree::Greedy),
+            None,
+            false,
+        )
+        .unwrap();
+    svc.wait_result(id).unwrap();
+    let stats = svc.drain();
+    assert!(stats.contains("\"tuner\":{\"enabled\":false"), "{stats}");
+    assert_eq!(json_u64(&stats, "tsqr_jobs"), 0);
+}
+
+/// With a profile configured, a tall-skinny job (grid aspect >= the
+/// table's TSQR threshold) runs on the TSQR fast path and a square job
+/// stays on the VSA — both bit-identical to the sequential oracle, both
+/// kept handles live. The (initially missing) profile file exists after
+/// drain and parses.
+#[test]
+fn tall_jobs_route_to_tsqr_and_profile_persists() {
+    let profile = TempFile::new("route");
+    let svc = Service::start(ServeConfig {
+        threads: 2,
+        profile_path: Some(profile.0.clone()),
+        ..ServeConfig::default()
+    });
+
+    // 256x8 at nb=8: 32x1 tiles, aspect 32 -> TSQR. 32x32: aspect 1 -> VSA.
+    let tall = matrix(256, 8, 7);
+    let tall_opts = QrOptions::new(8, 4, Tree::BinaryOnFlat { h: 4 });
+    let square = matrix(32, 32, 8);
+    let square_opts = QrOptions::new(8, 4, Tree::Greedy);
+
+    let jt = svc
+        .submit(tall.clone(), tall_opts.clone(), None, true)
+        .unwrap();
+    let js = svc
+        .submit(square.clone(), square_opts.clone(), None, true)
+        .unwrap();
+    let rt = svc.wait_result(jt).unwrap();
+    let rs = svc.wait_result(js).unwrap();
+
+    // Both Rs match the sequential oracle (TSQR is the same kernel
+    // sequence, so the routed job's R is not merely close — but the
+    // public contract is the factorization distance).
+    let oracle_t = tile_qr_seq(&tall, &tall_opts);
+    let oracle_s = tile_qr_seq(&square, &square_opts);
+    assert!(r_factor_distance(&rt, &oracle_t.r) < 1e-12);
+    assert!(r_factor_distance(&rs, &oracle_s.r) < 1e-12);
+
+    // The kept TSQR handle serves solves like any VSA handle.
+    let b = matrix(256, 2, 9);
+    let x = svc.solve(jt, &b).unwrap();
+    let x_ref = oracle_t.solve_ls(&b);
+    assert!(x.sub(&x_ref).norm_fro() < 1e-10 * x_ref.norm_fro().max(1.0));
+
+    let stats = svc.drain();
+    assert!(stats.contains("\"tuner\":{\"enabled\":true"), "{stats}");
+    assert_eq!(json_u64(&stats, "tsqr_jobs"), 1, "{stats}");
+    // The table started empty: every routing lookup was a miss.
+    assert_eq!(json_u64(&stats, "profile_hits"), 0, "{stats}");
+    assert!(json_u64(&stats, "profile_misses") >= 2, "{stats}");
+
+    // Drain persisted the (possibly still empty) table to the path.
+    let saved = ProfileTable::load(&profile.0).expect("profile written on drain");
+    let _ = saved.cells();
+}
+
+/// A pre-seeded profile makes lookups hit (nearest-shape fallback counts:
+/// the cell does not have to match the job shape exactly), and enough
+/// repeat traffic on one shape lets the online refiner seed a cell, which
+/// survives the drain into the saved table.
+#[test]
+fn preseeded_profile_hits_and_online_refinement_persist() {
+    let profile = TempFile::new("refine");
+    let mut table = ProfileTable::new();
+    table.insert(ProfileCell {
+        m: 64,
+        n: 64,
+        threads: 2,
+        tree: Tree::BinaryOnFlat { h: 4 },
+        nb: 8,
+        ib: 4,
+        backend: pulsar_core::Backend::Vsa3d,
+        gflops: 1.0,
+        samples: 1,
+    });
+    table.save(&profile.0).unwrap();
+
+    let svc = Service::start(ServeConfig {
+        threads: 2,
+        profile_path: Some(profile.0.clone()),
+        ..ServeConfig::default()
+    });
+
+    // Repeat one tall shape often enough to out-streak the refiner's
+    // hysteresis (default streak 3) on its shape's empty cell.
+    let opts = QrOptions::new(8, 4, Tree::Binary);
+    for seed in 0..4u64 {
+        let id = svc
+            .submit(matrix(256, 8, 100 + seed), opts.clone(), None, false)
+            .unwrap();
+        svc.wait_result(id).unwrap();
+    }
+
+    let stats = svc.drain();
+    assert!(json_u64(&stats, "profile_hits") >= 4, "{stats}");
+    assert_eq!(json_u64(&stats, "tsqr_jobs"), 4, "{stats}");
+    assert!(json_u64(&stats, "refinements") >= 1, "{stats}");
+
+    // The refined cell is in the saved table: shape (256, 8) on the TSQR
+    // backend, alongside the pre-seeded square cell.
+    let saved = ProfileTable::load(&profile.0).unwrap();
+    assert!(saved.lookup_exact(64, 64, 2).is_some());
+    let cell = saved
+        .lookup_exact(256, 8, 2)
+        .expect("online refinement seeded the tall shape");
+    assert_eq!(cell.backend, pulsar_core::Backend::Tsqr);
+    assert!(cell.samples >= 3);
+}

@@ -18,12 +18,16 @@ PULSAR_GEMM_TIER=scalar cargo test --offline -p pulsar-linalg -q
 PULSAR_GEMM_TIER=avx2 cargo test --offline -p pulsar-linalg -q
 
 # Optional: BENCH=1 ./scripts/check.sh also smoke-runs the kernel bench
-# harness (few samples), refreshes BENCH_kernels.json, and runs the
+# harness (few samples), refreshes BENCH_kernels.json, runs the
 # factor-store verb benchmark into BENCH_solve.json (which fails unless
-# the streaming update absorbs rows faster than re-factoring).
+# the streaming update absorbs rows faster than re-factoring), and runs
+# the shape sweep into BENCH_shapes.json (which fails unless tuned plans
+# beat the paper's fixed plan on every shape and the TSQR fast path wins
+# by >= 1.2x on the tall-skinny ones).
 if [ "${BENCH:-0}" = "1" ]; then
     CRITERION_SAMPLE_SIZE="${CRITERION_SAMPLE_SIZE:-3}" sh scripts/bench_kernels.sh
     CRITERION_SAMPLE_SIZE="${CRITERION_SAMPLE_SIZE:-3}" sh scripts/bench_solve.sh
+    sh scripts/bench_shapes.sh
 fi
 
 # Optional: SERVE=1 ./scripts/check.sh smoke-tests the persistent QR
